@@ -1,0 +1,127 @@
+/// \file bench_micro.cpp
+/// google-benchmark microbenchmarks for the performance-critical kernels:
+/// EMC arbitration, PCCS queries, cost-model evaluation, the Eq 2-9
+/// predictor, the discrete-event engine, and end-to-end solves. These
+/// guard the "schedules in seconds" property (Sec 3.5) against
+/// regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.h"
+#include "contention/pccs.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "grouping/grouping.h"
+#include "nn/zoo.h"
+#include "perf/profiler.h"
+#include "sched/formulation.h"
+#include "sched/solve.h"
+#include "sim/engine.h"
+
+using namespace hax;
+
+namespace {
+
+void BM_EmcArbitrate(benchmark::State& state) {
+  const soc::Platform plat = soc::Platform::xavier();
+  const std::vector<GBps> demands{80.0, 40.0, 2.0, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plat.memory().arbitrate(demands));
+  }
+}
+BENCHMARK(BM_EmcArbitrate);
+
+void BM_PccsCalibrate(benchmark::State& state) {
+  const soc::Platform plat = soc::Platform::xavier();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contention::PccsModel::calibrate(plat.memory()));
+  }
+}
+BENCHMARK(BM_PccsCalibrate);
+
+void BM_PccsQuery(benchmark::State& state) {
+  const soc::Platform plat = soc::Platform::xavier();
+  const auto model = contention::PccsModel::calibrate(plat.memory());
+  double own = 10.0;
+  for (auto _ : state) {
+    own = own > 90.0 ? 10.0 : own + 1.0;
+    benchmark::DoNotOptimize(model.slowdown(own, 130.0 - own));
+  }
+}
+BENCHMARK(BM_PccsQuery);
+
+void BM_ProfileGoogleNet(benchmark::State& state) {
+  const soc::Platform plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  const perf::Profiler profiler(plat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.profile(gn));
+  }
+}
+BENCHMARK(BM_ProfileGoogleNet);
+
+void BM_GroupingResNet152(benchmark::State& state) {
+  const nn::Network net = nn::zoo::resnet152();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grouping::build_groups(nn::Network(net), {.max_groups = 12}));
+  }
+}
+BENCHMARK(BM_GroupingResNet152);
+
+/// One predictor evaluation — the solver's inner loop.
+void BM_PredictPair(benchmark::State& state) {
+  const soc::Platform plat = soc::Platform::xavier();
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency,
+                              {.max_groups = static_cast<int>(state.range(0))});
+  inst.add_dnn(nn::zoo::vgg19());
+  inst.add_dnn(nn::zoo::resnet152());
+  const sched::Formulation f(inst.problem());
+  const sched::Schedule s = baselines::naive_concurrent(inst.problem());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.predict(s, {.enforce_epsilon = false}));
+  }
+}
+BENCHMARK(BM_PredictPair)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_SimulatePair(benchmark::State& state) {
+  const soc::Platform plat = soc::Platform::xavier();
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency, {.max_groups = 10});
+  inst.add_dnn(nn::zoo::vgg19());
+  inst.add_dnn(nn::zoo::resnet152());
+  const sched::Schedule s = baselines::naive_concurrent(inst.problem());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate(inst.problem(), s));
+  }
+}
+BENCHMARK(BM_SimulatePair);
+
+/// Full solve (the paper's headline cost: "under three seconds").
+void BM_SolvePair(benchmark::State& state) {
+  const soc::Platform plat = soc::Platform::xavier();
+  core::HaxConnOptions o;
+  o.grouping.max_groups = static_cast<int>(state.range(0));
+  const core::HaxConn hax(plat, o);
+  auto inst = hax.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hax.schedule(inst.problem()));
+  }
+}
+BENCHMARK(BM_SolvePair)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_SolveIncResV2(benchmark::State& state) {
+  // The paper's hardest instance: Inception-ResNet-v2's ~1000 layers.
+  const soc::Platform plat = soc::Platform::orin();
+  core::HaxConnOptions o;
+  o.grouping.max_groups = 12;
+  o.time_budget_ms = 10'000.0;
+  const core::HaxConn hax(plat, o);
+  auto inst = hax.make_problem({{nn::zoo::inception_resnet_v2()}, {nn::zoo::googlenet()}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hax.schedule(inst.problem()));
+  }
+}
+BENCHMARK(BM_SolveIncResV2)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/// \file bench_solvers.cpp
+/// Optimal vs heuristic schedule generation: the branch-and-bound engine
+/// (the paper's SMT-style optimal approach, Sec 3.5) against a genetic
+/// algorithm (the approach of the related work: Gamma, Kang et al.,
+/// Sec 2). Reports objective quality, proof-of-optimality, node counts
+/// and wall time per workload — the paper's argument for optimal solvers
+/// made quantitative.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/search_space.h"
+#include "solver/genetic.h"
+
+using namespace hax;
+
+int main() {
+  const soc::Platform plat = bench::platform_by_name("xavier");
+
+  struct WorkloadDef {
+    const char* name;
+    std::vector<const char*> dnns;
+    int max_groups;
+  };
+  const WorkloadDef workloads[] = {
+      {"VGG19+ResNet152", {"VGG19", "ResNet152"}, 10},
+      {"GoogleNet+ResNet101", {"GoogleNet", "ResNet101"}, 10},
+      {"3-DNN hybrid", {"GoogleNet", "ResNet152", "AlexNet"}, 8},
+      {"IncResV2+GoogleNet", {"Inc-res-v2", "GoogleNet"}, 12},
+  };
+
+  TextTable table;
+  table.header({"workload", "solver", "objective (ms)", "optimal?", "evals", "time (ms)"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"workload", "solver", "objective_ms", "proven_optimal", "evaluations",
+                 "time_ms"});
+
+  for (const WorkloadDef& w : workloads) {
+    core::HaxConnOptions options;
+    options.grouping.max_groups = w.max_groups;
+    const core::HaxConn hax(plat, options);
+    std::vector<core::WorkloadDnn> dnns;
+    for (const char* name : w.dnns) dnns.push_back({nn::zoo::by_name(name)});
+    auto inst = hax.make_problem(std::move(dnns));
+    // Compare raw solver engines on the same objective; ε relaxation is a
+    // HaxConn-level policy, so disable it here (the predictor still
+    // models queueing, so over-subscription is penalized, not hidden).
+    inst.problem().epsilon_ms = std::numeric_limits<TimeMs>::infinity();
+    const sched::Problem& prob = inst.problem();
+    const sched::ScheduleSpace space(prob);
+
+    // Branch & bound (exhausts the space: proven optimum).
+    {
+      const auto result = solver::BranchAndBound().solve(space, {});
+      const double obj = result.best ? result.best->objective : -1.0;
+      table.row({w.name, "B&B (ours)", fmt(obj, 3), result.stats.exhausted ? "yes" : "no",
+                 std::to_string(result.stats.leaves_evaluated),
+                 fmt(result.stats.elapsed_ms, 1)});
+      csv.push_back({w.name, "bnb", fmt(obj, 4), result.stats.exhausted ? "1" : "0",
+                     std::to_string(result.stats.leaves_evaluated),
+                     fmt(result.stats.elapsed_ms, 2)});
+    }
+    // Genetic algorithm at two effort levels.
+    for (int generations : {30, 200}) {
+      solver::GeneticOptions gopt;
+      gopt.generations = generations;
+      const auto result = solver::GeneticSolver().solve(space, gopt);
+      const double obj = result.best ? result.best->objective : -1.0;
+      const std::string label = "GA (" + std::to_string(generations) + " gen)";
+      table.row({w.name, label, fmt(obj, 3), "no",
+                 std::to_string(result.stats.leaves_evaluated),
+                 fmt(result.stats.elapsed_ms, 1)});
+      csv.push_back({w.name, label, fmt(obj, 4), "0",
+                     std::to_string(result.stats.leaves_evaluated),
+                     fmt(result.stats.elapsed_ms, 2)});
+    }
+  }
+
+  bench::emit("Solver comparison - optimal B&B vs genetic heuristic "
+              "(min-latency objective, lower is better)",
+              table, "solvers", csv);
+  std::printf("Expected shape: B&B proves the optimum; the GA approaches it only\n"
+              "with many generations and can stall on the 3-DNN space — the\n"
+              "paper's case for SAT-style optimal schedule generation.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file bench_table2_googlenet_profile.cpp
+/// Reproduces Table 2: execution and transition times of GoogleNet layer
+/// groups on Xavier's GPU and DLA, the DLA/GPU ratio, and per-group
+/// memory throughput as a fraction of EMC bandwidth.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "grouping/grouping.h"
+#include "perf/profiler.h"
+
+using namespace hax;
+
+int main() {
+  const soc::Platform plat = bench::platform_by_name("xavier");
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  const perf::Profiler profiler(plat);
+  const perf::NetworkProfile db = profiler.profile(gn);
+  const soc::PuId gpu = plat.gpu();
+  const soc::PuId dla = plat.dsa();
+
+  TextTable table;
+  table.header({"layer group", "GPU (ms)", "DLA (ms)", "D/G ratio", "T GtoD (ms)",
+                "T DtoG (ms)", "mem thr (%)"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"group", "gpu_ms", "dla_ms", "ratio", "t_gtod_ms", "t_dtog_ms",
+                 "mem_throughput_pct"});
+
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const perf::GroupProfile& on_gpu = db.at(g, gpu);
+    const perf::GroupProfile& on_dla = db.at(g, dla);
+    const std::string ratio = on_dla.supported ? fmt(on_dla.time_ms / on_gpu.time_ms, 2) : "-";
+    const std::string dla_ms = on_dla.supported ? fmt(on_dla.time_ms, 3) : "-";
+    // Transition legs around this boundary (as Table 2 reports them).
+    const std::string gtod =
+        on_dla.supported ? fmt(on_gpu.tau_out + on_dla.tau_in, 3) : "-";
+    const std::string dtog =
+        on_dla.supported ? fmt(on_dla.tau_out + on_gpu.tau_in, 3) : "-";
+    const double thr_pct = on_gpu.emc_utilization * 100.0;
+    table.row({gn.group(g).label, fmt(on_gpu.time_ms, 3), dla_ms, ratio, gtod, dtog,
+               fmt(thr_pct, 1)});
+    csv.push_back({gn.group(g).label, fmt(on_gpu.time_ms, 4), dla_ms, ratio, gtod, dtog,
+                   fmt(thr_pct, 2)});
+  }
+
+  bench::emit("Table 2 - GoogleNet layer groups on Xavier AGX", table,
+              "table2_googlenet_profile", csv);
+
+  // Summary of the paper's qualitative claims.
+  double min_ratio = 100.0, max_ratio = 0.0;
+  for (int g = 0; g < gn.group_count(); ++g) {
+    if (!db.at(g, dla).supported) continue;
+    const double r = db.at(g, dla).time_ms / db.at(g, gpu).time_ms;
+    min_ratio = std::min(min_ratio, r);
+    max_ratio = std::max(max_ratio, r);
+  }
+  std::printf("D/G ratio spread: %.2fx .. %.2fx (paper: 1.40x .. 2.02x)\n", min_ratio,
+              max_ratio);
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file bench_table5_standalone.cpp
+/// Reproduces Table 5: standalone single-inference runtimes of the
+/// evaluation DNN set on GPU and DLA for NVIDIA AGX Orin and Xavier AGX,
+/// measured on the ground-truth simulator (unsupported layers fall back
+/// to the GPU, as TensorRT's GPUFallback does on real hardware).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "grouping/grouping.h"
+#include "sim/engine.h"
+
+using namespace hax;
+
+namespace {
+
+TimeMs standalone(const soc::Platform& plat, const nn::Network& net, soc::PuId pu) {
+  const auto gn = grouping::build_groups(nn::Network(net), {.max_groups = 64});
+  std::vector<soc::PuId> asg;
+  for (int g = 0; g < gn.group_count(); ++g) {
+    asg.push_back(gn.supported(g, plat.pu(pu).params().kind) ? pu : plat.gpu());
+  }
+  const sim::Engine engine(plat, {.record_trace = false});
+  return engine.run({sim::DnnTask{&gn, asg, -1, 1}}).makespan_ms;
+}
+
+}  // namespace
+
+int main() {
+  const soc::Platform orin = bench::platform_by_name("orin");
+  const soc::Platform xavier = bench::platform_by_name("xavier");
+
+  TextTable table;
+  table.header({"DNN", "Orin GPU (ms)", "Orin DLA (ms)", "Orin D/G", "Xavier GPU (ms)",
+                "Xavier DLA (ms)", "Xavier D/G"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"dnn", "orin_gpu_ms", "orin_dla_ms", "orin_ratio", "xavier_gpu_ms",
+                 "xavier_dla_ms", "xavier_ratio"});
+
+  for (const std::string& name : nn::zoo::evaluation_set()) {
+    const nn::Network net = nn::zoo::by_name(name);
+    const TimeMs og = standalone(orin, net, orin.gpu());
+    const TimeMs od = standalone(orin, net, orin.dsa());
+    const TimeMs xg = standalone(xavier, net, xavier.gpu());
+    const TimeMs xd = standalone(xavier, net, xavier.dsa());
+    table.row({name, fmt(og, 2), fmt(od, 2), fmt(od / og, 2), fmt(xg, 2), fmt(xd, 2),
+               fmt(xd / xg, 2)});
+    csv.push_back({name, fmt(og, 3), fmt(od, 3), fmt(od / og, 3), fmt(xg, 3), fmt(xd, 3),
+                   fmt(xd / xg, 3)});
+  }
+
+  bench::emit("Table 5 - standalone runtimes (ms) and DLA/GPU ratios", table,
+              "table5_standalone", csv);
+  std::printf("Paper shape: every ratio > 1 (GPU faster), VGG19 the worst DLA fit\n"
+              "(paper Orin VGG19 ratio 2.7x), GoogleNet among the best (1.5x).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace hax::bench {
+
+soc::Platform platform_by_name(const std::string& name) {
+  if (name == "orin") return soc::Platform::orin();
+  if (name == "xavier") return soc::Platform::xavier();
+  if (name == "sd865") return soc::Platform::sd865();
+  HAX_REQUIRE(false, "unknown platform: " + name);
+  return soc::Platform::orin();
+}
+
+const SchedulerResult& ComparisonResult::best_baseline(sched::Objective objective) const {
+  HAX_REQUIRE(!baselines.empty(), "no baselines");
+  const SchedulerResult* best = &baselines.front();
+  for (const SchedulerResult& r : baselines) {
+    const bool better = objective == sched::Objective::MinMaxLatency
+                            ? r.latency_ms < best->latency_ms
+                            : r.fps > best->fps;
+    if (better) best = &r;
+  }
+  return *best;
+}
+
+double ComparisonResult::latency_improvement() const {
+  const SchedulerResult& best = best_baseline(sched::Objective::MinMaxLatency);
+  return 1.0 - haxconn.latency_ms / best.latency_ms;
+}
+
+double ComparisonResult::fps_improvement() const {
+  const SchedulerResult& best = best_baseline(sched::Objective::MaxThroughput);
+  return haxconn.fps / best.fps - 1.0;
+}
+
+ComparisonResult compare_all(const core::HaxConn& hax, const sched::Problem& problem,
+                             const core::EvalOptions& eval_options) {
+  ComparisonResult out;
+  for (auto kind : baselines::all_kinds()) {
+    SchedulerResult r;
+    r.name = baselines::name(kind);
+    r.schedule = baselines::make(kind, problem);
+    const core::EvalResult ev = core::evaluate(problem, r.schedule, eval_options);
+    r.latency_ms = ev.round_latency_ms;
+    r.fps = ev.fps;
+    out.baselines.push_back(std::move(r));
+  }
+  out.solution = hax.schedule(problem);
+  out.haxconn.name = "HaX-CoNN";
+  out.haxconn.schedule = out.solution.schedule;
+  const core::EvalResult ev = core::evaluate(problem, out.solution.schedule, eval_options);
+  out.haxconn.latency_ms = ev.round_latency_ms;
+  out.haxconn.fps = ev.fps;
+  return out;
+}
+
+void emit(const std::string& title, const TextTable& table,
+          const std::optional<std::string>& csv_name,
+          const std::vector<std::vector<std::string>>& csv_rows) {
+  std::printf("== %s ==\n%s\n", title.c_str(), table.render().c_str());
+  if (csv_name.has_value()) {
+    CsvWriter csv(*csv_name + ".csv");
+    for (const auto& row : csv_rows) csv.row(row);
+    std::printf("(rows written to %s.csv)\n\n", csv_name->c_str());
+  }
+}
+
+}  // namespace hax::bench

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared plumbing for the reproduction benchmarks: platform lookup,
+/// baseline-vs-HaX-CoNN sweeps, and result emission (stdout table + CSV
+/// next to the binary).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+#include "sched/problem.h"
+
+namespace hax::bench {
+
+/// Platform by short name ("orin" | "xavier" | "sd865").
+[[nodiscard]] soc::Platform platform_by_name(const std::string& name);
+
+/// One scheduler's ground-truth result for a workload.
+struct SchedulerResult {
+  std::string name;
+  sched::Schedule schedule;
+  TimeMs latency_ms = 0.0;  ///< per-round latency on the simulator
+  double fps = 0.0;
+};
+
+struct ComparisonResult {
+  std::vector<SchedulerResult> baselines;
+  SchedulerResult haxconn;
+  sched::ScheduleSolution solution;  ///< solver stats & prediction
+
+  /// Best baseline under the given objective.
+  [[nodiscard]] const SchedulerResult& best_baseline(sched::Objective objective) const;
+
+  /// HaX-CoNN's improvement over the best baseline (>= 0 by the fallback
+  /// guarantee, modulo simulator-vs-model noise). Ratio in [0, ...):
+  /// 0.23 = 23% better.
+  [[nodiscard]] double latency_improvement() const;
+  [[nodiscard]] double fps_improvement() const;
+};
+
+/// Runs every baseline plus HaX-CoNN on the problem and evaluates all of
+/// them on the ground-truth simulator.
+[[nodiscard]] ComparisonResult compare_all(const core::HaxConn& hax,
+                                           const sched::Problem& problem,
+                                           const core::EvalOptions& eval_options = {});
+
+/// Emits a rendered table to stdout and, when `csv_name` is set, the rows
+/// to `<csv_name>.csv` in the working directory.
+void emit(const std::string& title, const TextTable& table,
+          const std::optional<std::string>& csv_name,
+          const std::vector<std::vector<std::string>>& csv_rows);
+
+}  // namespace hax::bench

@@ -1,0 +1,74 @@
+/// \file cfg_modes.cpp
+/// Static CFG scheduling (Sec 3.5): an autonomous system's operating
+/// modes are known up front, so their optimal schedules are solved
+/// *offline*, saved as JSON deployment artifacts, and toggled at runtime
+/// in constant time — no solver on the critical path (contrast with
+/// dynamic_workload.cpp, where the CFG changes unpredictably and
+/// D-HaX-CoNN solves on the fly).
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/cfg.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+#include "sim/gantt.h"
+
+using namespace hax;
+
+int main() {
+  const soc::Platform platform = soc::Platform::orin();
+  core::HaxConnOptions options;
+  options.objective = sched::Objective::MinMaxLatency;
+  options.grouping.max_groups = 8;
+  const core::HaxConn hax(platform, options);
+
+  // ---- offline: solve every mode of the drone's CFG ---------------------
+  core::CfgManager cfg(hax);
+  std::printf("offline schedule generation on %s:\n", platform.name().c_str());
+  const struct {
+    const char* name;
+    std::vector<core::WorkloadDnn> (*make)();
+  } modes[] = {
+      {"discovery",
+       [] {
+         return std::vector<core::WorkloadDnn>{{nn::zoo::googlenet()},
+                                               {nn::zoo::resnet101()}};
+       }},
+      {"tracking",
+       [] {
+         return std::vector<core::WorkloadDnn>{{nn::zoo::googlenet()},
+                                               {nn::zoo::resnet18(), /*depends_on=*/0}};
+       }},
+      {"landing",
+       [] {
+         return std::vector<core::WorkloadDnn>{{nn::zoo::fcn_resnet18()},
+                                               {nn::zoo::squeezenet()}};
+       }},
+  };
+  for (const auto& mode : modes) {
+    const auto& sol = cfg.add_mode({mode.name, mode.make()});
+    std::printf("  %-10s predicted %6.2f ms  (%s)\n", mode.name, sol.prediction.round_ms,
+                sol.proven_optimal ? "proven optimal" : "time-limited");
+  }
+
+  // ---- deployment artifact: save, then reload as a fresh process would --
+  const std::string dir = "cfg_schedules";
+  std::filesystem::create_directories(dir);
+  cfg.save_schedules(dir);
+  cfg.load_schedules(dir);
+  std::printf("\nschedules saved to %s/ and reloaded\n\n", dir.c_str());
+
+  // ---- runtime: constant-time mode toggling -----------------------------
+  const char* flight_plan[] = {"discovery", "tracking", "tracking", "landing", "discovery"};
+  for (const char* mode : flight_plan) {
+    const auto ev = core::evaluate(cfg.problem(mode), cfg.schedule(mode),
+                                   {.record_trace = true});
+    std::printf("mode %-10s round %6.2f ms  %6.1f fps\n", mode, ev.round_latency_ms, ev.fps);
+    if (std::string(mode) == "landing") {
+      std::printf("%s", sim::render_gantt(ev.sim.trace, platform, {.width = 64}).c_str());
+    }
+  }
+  return 0;
+}

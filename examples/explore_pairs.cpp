@@ -1,0 +1,58 @@
+/// \file explore_pairs.cpp
+/// Workload explorer: sweep a set of DNN pairs on a chosen platform and
+/// report where layer-level multi-accelerator scheduling pays off and
+/// where GPU-only execution remains best (the paper's Table 8 insight in
+/// miniature).
+///
+///   $ ./explore_pairs [orin|xavier|sd865]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+
+using namespace hax;
+
+int main(int argc, char** argv) {
+  const std::string plat_name = argc > 1 ? argv[1] : "orin";
+  const soc::Platform platform = plat_name == "xavier" ? soc::Platform::xavier()
+                                 : plat_name == "sd865" ? soc::Platform::sd865()
+                                                        : soc::Platform::orin();
+
+  core::HaxConnOptions options;
+  options.objective = sched::Objective::MaxThroughput;
+  options.grouping.max_groups = 8;
+  options.time_budget_ms = 5'000.0;
+  const core::HaxConn hax(platform, options);
+
+  const std::vector<std::pair<const char*, const char*>> pairs = {
+      {"GoogleNet", "ResNet101"}, {"GoogleNet", "GoogleNet"}, {"AlexNet", "ResNet50"},
+      {"VGG19", "VGG19"},         {"ResNet18", "Inception"},  {"DenseNet", "ResNet101"},
+  };
+
+  std::printf("Pair exploration on %s (objective: max throughput)\n\n",
+              platform.name().c_str());
+  std::printf("%-24s %12s %12s %10s %s\n", "pair", "best-base", "HaX-CoNN", "gain",
+              "transitions");
+  for (const auto& [a, b] : pairs) {
+    auto instance = hax.make_problem({{nn::zoo::by_name(a)}, {nn::zoo::by_name(b)}});
+    const sched::Problem& problem = instance.problem();
+
+    double best_fps = 0.0;
+    for (auto kind : baselines::all_kinds()) {
+      best_fps = std::max(best_fps,
+                          core::evaluate(problem, baselines::make(kind, problem)).fps);
+    }
+    const auto solution = hax.schedule(problem);
+    const double hax_fps = core::evaluate(problem, solution.schedule).fps;
+    const std::string pair_name = std::string(a) + " + " + b;
+    std::printf("%-24s %9.1f fps %9.1f fps %9.2fx %d%s\n", pair_name.c_str(), best_fps,
+                hax_fps, hax_fps / best_fps, solution.schedule.total_transitions(),
+                solution.used_fallback ? " (fallback)" : "");
+  }
+  return 0;
+}

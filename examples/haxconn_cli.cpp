@@ -1,0 +1,206 @@
+/// \file haxconn_cli.cpp
+/// Command-line front end for the library — the adoption path for a user
+/// who wants schedules without writing C++:
+///
+///   haxconn_cli models
+///       List the model zoo.
+///   haxconn_cli profile <platform> <dnn>
+///       Print the per-group profile (Table 2 style) for one DNN.
+///   haxconn_cli schedule <platform> <dnn1> <dnn2> [...] [--fps] [--out f.json]
+///       Solve for the optimal schedule; optionally save it as JSON.
+///   haxconn_cli simulate <platform> <schedule.json> <dnn1> <dnn2> [...]
+///       Load a saved schedule and evaluate it on the simulator, writing
+///       a Chrome trace (trace.json) for visual inspection.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/energy.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "grouping/grouping.h"
+#include "nn/summary.h"
+#include "nn/zoo.h"
+#include "perf/profiler.h"
+#include "sched/explain.h"
+#include "sched/serialize.h"
+#include "sched/validate.h"
+#include "sim/gantt.h"
+#include "sim/trace_export.h"
+
+using namespace hax;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  haxconn_cli models\n"
+               "  haxconn_cli profile <orin|xavier|sd865> <dnn>\n"
+               "  haxconn_cli schedule <orin|xavier|sd865> <dnn>... [--fps] [--out file]\n"
+               "  haxconn_cli simulate <orin|xavier|sd865> <schedule.json> <dnn>...\n"
+               "  haxconn_cli explain <orin|xavier|sd865> <schedule.json> <dnn>...\n"
+               "  haxconn_cli describe <dnn>\n");
+  return 2;
+}
+
+soc::Platform platform_by_name(const std::string& name) {
+  if (name == "orin") return soc::Platform::orin();
+  if (name == "xavier") return soc::Platform::xavier();
+  if (name == "sd865") return soc::Platform::sd865();
+  throw PreconditionError("unknown platform: " + name + " (orin|xavier|sd865)");
+}
+
+int cmd_models() {
+  for (const auto& name : nn::zoo::all_names()) {
+    const nn::Network net = nn::zoo::by_name(name);
+    std::printf("%-14s %5d layers  %7.2f GFLOPs  %6.1f MB params\n", name.c_str(),
+                net.layer_count(), static_cast<double>(net.total_flops()) / 1e9,
+                static_cast<double>(net.total_weight_bytes()) / 1e6);
+  }
+  return 0;
+}
+
+int cmd_describe(const std::string& dnn) {
+  const nn::Network net = nn::zoo::by_name(dnn);
+  std::printf("%s\n%s", nn::summarize(net).c_str(), nn::layer_table(net).c_str());
+  return 0;
+}
+
+int cmd_profile(const std::string& plat_name, const std::string& dnn) {
+  const soc::Platform plat = platform_by_name(plat_name);
+  const auto gn = grouping::build_groups(nn::zoo::by_name(dnn), {.max_groups = 10});
+  const perf::NetworkProfile db = perf::Profiler(plat).profile(gn);
+
+  TextTable table;
+  table.header({"group", "GPU (ms)", "DSA (ms)", "ratio", "demand (GB/s)", "tau out (ms)"});
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const auto& on_gpu = db.at(g, plat.gpu());
+    const auto& on_dsa = db.at(g, plat.dsa());
+    table.row({gn.group(g).label, fmt(on_gpu.time_ms, 3),
+               on_dsa.supported ? fmt(on_dsa.time_ms, 3) : "-",
+               on_dsa.supported ? fmt(on_dsa.time_ms / on_gpu.time_ms, 2) : "-",
+               fmt(on_gpu.demand_gbps, 1), fmt(on_gpu.tau_out, 3)});
+  }
+  std::printf("%s on %s\n%s", dnn.c_str(), plat.name().c_str(), table.render().c_str());
+  return 0;
+}
+
+int cmd_schedule(const std::string& plat_name, const std::vector<std::string>& dnns,
+                 bool fps_objective, const std::string& out_path) {
+  const soc::Platform plat = platform_by_name(plat_name);
+  core::HaxConnOptions options;
+  options.objective = fps_objective ? sched::Objective::MaxThroughput
+                                    : sched::Objective::MinMaxLatency;
+  options.grouping.max_groups = 10;
+  options.time_budget_ms = 30'000.0;
+  const core::HaxConn hax(plat, options);
+
+  std::vector<core::WorkloadDnn> workload;
+  for (const std::string& name : dnns) workload.push_back({nn::zoo::by_name(name)});
+  auto inst = hax.make_problem(std::move(workload));
+  const sched::Problem& prob = inst.problem();
+
+  const auto sol = hax.schedule(prob);
+  const auto ev = core::evaluate(prob, sol.schedule);
+  const auto energy = core::evaluate_energy(prob, sol.schedule);
+
+  std::printf("schedule: %s\n", sol.schedule.describe(plat).c_str());
+  std::printf("%s%s\n", sol.proven_optimal ? "proven optimal" : "time-limited",
+              sol.used_fallback ? " (baseline fallback)" : "");
+  std::printf("latency %.2f ms | %.1f fps | %.1f mJ/round\n", ev.round_latency_ms, ev.fps,
+              energy.total_mj());
+
+  const auto base = baselines::gpu_only(prob);
+  const auto base_ev = core::evaluate(prob, base);
+  std::printf("GPU-only baseline: %.2f ms (%.1f%% improvement)\n", base_ev.round_latency_ms,
+              (1.0 - ev.round_latency_ms / base_ev.round_latency_ms) * 100.0);
+
+  if (!out_path.empty()) {
+    sched::save_schedule(sol.schedule, out_path);
+    std::printf("schedule written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const std::string& plat_name, const std::string& schedule_path,
+                 const std::vector<std::string>& dnns) {
+  const soc::Platform plat = platform_by_name(plat_name);
+  core::HaxConnOptions options;
+  options.grouping.max_groups = 10;
+  const core::HaxConn hax(plat, options);
+  std::vector<core::WorkloadDnn> workload;
+  for (const std::string& name : dnns) workload.push_back({nn::zoo::by_name(name)});
+  auto inst = hax.make_problem(std::move(workload));
+
+  const sched::Schedule schedule = sched::load_schedule(schedule_path);
+  const auto report = sched::validate_schedule(inst.problem(), schedule,
+                                               {.enforce_transition_budget = false});
+  if (!report.ok()) {
+    std::fprintf(stderr, "invalid schedule:\n%s", report.to_string().c_str());
+    return 1;
+  }
+  const auto ev = core::evaluate(inst.problem(), schedule, {.record_trace = true});
+  std::printf("latency %.2f ms | %.1f fps\n\n%s\n", ev.round_latency_ms, ev.fps,
+              sim::render_gantt(ev.sim.trace, plat).c_str());
+  sim::write_chrome_trace(ev.sim.trace, plat, "trace.json");
+  std::printf("execution trace written to trace.json (open in chrome://tracing)\n");
+  return 0;
+}
+
+int cmd_explain(const std::string& plat_name, const std::string& schedule_path,
+                const std::vector<std::string>& dnns) {
+  const soc::Platform plat = platform_by_name(plat_name);
+  core::HaxConnOptions options;
+  options.grouping.max_groups = 10;
+  const core::HaxConn hax(plat, options);
+  std::vector<core::WorkloadDnn> workload;
+  for (const std::string& name : dnns) workload.push_back({nn::zoo::by_name(name)});
+  auto inst = hax.make_problem(std::move(workload));
+  const sched::Schedule schedule = sched::load_schedule(schedule_path);
+  std::printf("%s", sched::explain_schedule(inst.problem(), schedule).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "models") return cmd_models();
+    if (cmd == "describe" && argc == 3) return cmd_describe(argv[2]);
+    if (cmd == "profile" && argc == 4) return cmd_profile(argv[2], argv[3]);
+    if (cmd == "schedule" && argc >= 4) {
+      std::vector<std::string> dnns;
+      bool fps = false;
+      std::string out;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fps") == 0) {
+          fps = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out = argv[++i];
+        } else {
+          dnns.emplace_back(argv[i]);
+        }
+      }
+      if (dnns.empty()) return usage();
+      return cmd_schedule(argv[2], dnns, fps, out);
+    }
+    if ((cmd == "simulate" || cmd == "explain") && argc >= 5) {
+      std::vector<std::string> dnns;
+      for (int i = 4; i < argc; ++i) dnns.emplace_back(argv[i]);
+      return cmd == "simulate" ? cmd_simulate(argv[2], argv[3], dnns)
+                               : cmd_explain(argv[2], argv[3], dnns);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,252 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "sched/formulation.h"
+
+namespace hax::baselines {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// All groups of one DNN on `pu`, with GPU fallback for unsupported groups.
+std::vector<soc::PuId> pin_with_fallback(const sched::Problem& prob, int dnn, soc::PuId pu) {
+  const sched::DnnSpec& spec = prob.dnns[static_cast<std::size_t>(dnn)];
+  const soc::PuId gpu = prob.platform->gpu();
+  std::vector<soc::PuId> asg;
+  asg.reserve(static_cast<std::size_t>(spec.net->group_count()));
+  for (int g = 0; g < spec.net->group_count(); ++g) {
+    asg.push_back(spec.profile->at(g, pu).supported ? pu : gpu);
+  }
+  return asg;
+}
+
+/// Standalone whole-DNN time on `pu` with GPU fallback.
+TimeMs pinned_time(const sched::Problem& prob, int dnn, soc::PuId pu) {
+  const sched::DnnSpec& spec = prob.dnns[static_cast<std::size_t>(dnn)];
+  const soc::PuId gpu = prob.platform->gpu();
+  TimeMs total = 0.0;
+  for (int g = 0; g < spec.net->group_count(); ++g) {
+    const perf::GroupProfile& rec = spec.profile->at(g, pu);
+    total += rec.supported ? rec.time_ms : spec.profile->at(g, gpu).time_ms;
+  }
+  return total * static_cast<double>(spec.iterations);
+}
+
+}  // namespace
+
+const char* name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::GpuOnly: return "GPU-only";
+    case Kind::NaiveConcurrent: return "GPU&DSA";
+    case Kind::Mensa: return "Mensa";
+    case Kind::Herald: return "Herald";
+    case Kind::H2H: return "H2H";
+  }
+  return "?";
+}
+
+std::vector<Kind> all_kinds() {
+  return {Kind::GpuOnly, Kind::NaiveConcurrent, Kind::Mensa, Kind::Herald, Kind::H2H};
+}
+
+sched::Schedule gpu_only(const sched::Problem& problem) {
+  problem.validate();
+  sched::Schedule s;
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    s.assignment.push_back(pin_with_fallback(problem, d, problem.platform->gpu()));
+  }
+  return s;
+}
+
+sched::Schedule naive_concurrent(const sched::Problem& problem) {
+  problem.validate();
+  const int n = problem.dnn_count();
+  const std::vector<soc::PuId>& pus = problem.pus;
+
+  // Enumerate whole-DNN placements (|pus|^n is tiny for the paper's
+  // 2-3 DNN workloads) and keep the one with the best balanced load.
+  std::vector<int> best(static_cast<std::size_t>(n), 0);
+  double best_makespan = kInf;
+  std::vector<int> choice(static_cast<std::size_t>(n), 0);
+  while (true) {
+    std::vector<TimeMs> load(pus.size(), 0.0);
+    for (int d = 0; d < n; ++d) {
+      load[static_cast<std::size_t>(choice[static_cast<std::size_t>(d)])] +=
+          pinned_time(problem, d, pus[static_cast<std::size_t>(choice[static_cast<std::size_t>(d)])]);
+    }
+    const TimeMs makespan = *std::max_element(load.begin(), load.end());
+    if (makespan < best_makespan) {
+      best_makespan = makespan;
+      best = choice;
+    }
+    // Next combination.
+    int i = n - 1;
+    while (i >= 0 && choice[static_cast<std::size_t>(i)] == static_cast<int>(pus.size()) - 1) {
+      choice[static_cast<std::size_t>(i)] = 0;
+      --i;
+    }
+    if (i < 0) break;
+    ++choice[static_cast<std::size_t>(i)];
+  }
+
+  sched::Schedule s;
+  for (int d = 0; d < n; ++d) {
+    s.assignment.push_back(
+        pin_with_fallback(problem, d, pus[static_cast<std::size_t>(best[static_cast<std::size_t>(d)])]));
+  }
+  return s;
+}
+
+sched::Schedule mensa(const sched::Problem& problem) {
+  problem.validate();
+  sched::Schedule s;
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    const sched::DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
+    std::vector<soc::PuId> asg;
+    soc::PuId prev = soc::kInvalidPu;
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      soc::PuId pick = soc::kInvalidPu;
+      TimeMs pick_cost = kInf;
+      for (soc::PuId pu : problem.pus) {
+        const perf::GroupProfile& rec = spec.profile->at(g, pu);
+        if (!rec.supported) continue;
+        TimeMs cost = rec.time_ms;
+        if (prev != soc::kInvalidPu && prev != pu) {
+          // Local (myopic) transition accounting — Mensa's weakness per
+          // Sec 5.1: it cannot see transition costs arising later.
+          cost += spec.profile->at(g - 1, prev).tau_out + rec.tau_in;
+        }
+        if (cost < pick_cost) {
+          pick_cost = cost;
+          pick = pu;
+        }
+      }
+      HAX_ASSERT(pick != soc::kInvalidPu);
+      asg.push_back(pick);
+      prev = pick;
+    }
+    s.assignment.push_back(std::move(asg));
+  }
+  return s;
+}
+
+sched::Schedule herald(const sched::Problem& problem) {
+  problem.validate();
+  sched::Schedule s;
+  std::vector<TimeMs> load(problem.pus.size(), 0.0);
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    const sched::DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
+    std::vector<soc::PuId> asg;
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      std::size_t pick = 0;
+      TimeMs pick_load = kInf;
+      for (std::size_t p = 0; p < problem.pus.size(); ++p) {
+        const perf::GroupProfile& rec = spec.profile->at(g, problem.pus[p]);
+        if (!rec.supported) continue;
+        const TimeMs resulting =
+            load[p] + rec.time_ms * static_cast<double>(spec.iterations);
+        if (resulting < pick_load) {
+          pick_load = resulting;
+          pick = p;
+        }
+      }
+      HAX_ASSERT(pick_load < kInf);
+      load[pick] = pick_load;
+      asg.push_back(problem.pus[pick]);
+    }
+    s.assignment.push_back(std::move(asg));
+  }
+  return s;
+}
+
+namespace {
+
+/// The analytic cost model Herald-class mappers optimize: standalone
+/// times plus (for H2H) transition costs, assuming perfect overlap —
+/// blind to both memory contention and same-PU queueing. The estimate is
+/// max(longest DNN chain, heaviest PU load); over-subscription and
+/// contention make the real runtime diverge from it by large margins
+/// (Sec 5.2: "inaccurate latency estimations that are wrong by up to 75%").
+double analytic_makespan(const sched::Problem& prob, const sched::Schedule& s,
+                         bool with_transitions) {
+  std::vector<TimeMs> pu_load(static_cast<std::size_t>(prob.platform->pu_count()), 0.0);
+  TimeMs longest_chain = 0.0;
+  for (int d = 0; d < prob.dnn_count(); ++d) {
+    const sched::DnnSpec& spec = prob.dnns[static_cast<std::size_t>(d)];
+    const auto& asg = s.assignment[static_cast<std::size_t>(d)];
+    TimeMs chain = 0.0;
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      const soc::PuId pu = asg[static_cast<std::size_t>(g)];
+      const perf::GroupProfile& rec = spec.profile->at(g, pu);
+      chain += rec.time_ms;
+      pu_load[static_cast<std::size_t>(pu)] +=
+          rec.time_ms * static_cast<double>(spec.iterations);
+      if (with_transitions && g > 0 && pu != asg[static_cast<std::size_t>(g - 1)]) {
+        const soc::PuId prev = asg[static_cast<std::size_t>(g - 1)];
+        chain += spec.profile->at(g - 1, prev).tau_out + rec.tau_in;
+      }
+    }
+    longest_chain = std::max(longest_chain, chain * static_cast<double>(spec.iterations));
+  }
+  const TimeMs heaviest = *std::max_element(pu_load.begin(), pu_load.end());
+  return std::max(longest_chain, heaviest);
+}
+
+}  // namespace
+
+sched::Schedule h2h(const sched::Problem& problem) {
+  problem.validate();
+  sched::Schedule s = herald(problem);
+
+  // Transition-cost-aware local search over the analytic model (H2H's
+  // defining feature — and flaw: still blind to contention and queueing,
+  // Sec 5.2).
+  double best = analytic_makespan(problem, s, /*with_transitions=*/true);
+
+  constexpr int kMaxPasses = 3;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool improved = false;
+    for (int d = 0; d < problem.dnn_count(); ++d) {
+      const sched::DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
+      for (int g = 0; g < spec.net->group_count(); ++g) {
+        auto& slot = s.assignment[static_cast<std::size_t>(d)][static_cast<std::size_t>(g)];
+        const soc::PuId original = slot;
+        for (soc::PuId pu : problem.pus) {
+          if (pu == original) continue;
+          if (!spec.profile->at(g, pu).supported) continue;
+          slot = pu;
+          const double candidate = analytic_makespan(problem, s, true);
+          if (candidate < best) {
+            best = candidate;
+            improved = true;
+          } else {
+            slot = original;
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return s;
+}
+
+sched::Schedule make(Kind kind, const sched::Problem& problem) {
+  switch (kind) {
+    case Kind::GpuOnly: return gpu_only(problem);
+    case Kind::NaiveConcurrent: return naive_concurrent(problem);
+    case Kind::Mensa: return mensa(problem);
+    case Kind::Herald: return herald(problem);
+    case Kind::H2H: return h2h(problem);
+  }
+  HAX_REQUIRE(false, "unknown baseline kind");
+  return {};
+}
+
+std::vector<sched::Schedule> naive_seeds(const sched::Problem& problem) {
+  return {gpu_only(problem), naive_concurrent(problem)};
+}
+
+}  // namespace baselines

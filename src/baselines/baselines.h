@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file baselines.h
+/// The five baseline schedulers HaX-CoNN is evaluated against (Sec 5):
+///
+///  - GpuOnly: everything on the GPU, DNNs serialized by the runtime.
+///  - NaiveConcurrent ("GPU & DSA"): each DNN pinned whole to one PU, the
+///    whole-DNN placement chosen to balance standalone load (groups a PU
+///    cannot run fall back to the GPU, as TensorRT's GPUFallback does).
+///  - Mensa (Boroumand et al.): per-DNN greedy layer placement by
+///    standalone time + local transition cost; single-DNN scheme, so each
+///    DNN is placed independently and contention is ignored.
+///  - Herald (Kwon et al.): cross-DNN utilization balancing, but blind to
+///    transition costs and contention.
+///  - H2H (Zhang et al.): Herald improved with transition-cost awareness
+///    and a local-search pass over a contention-blind cost model.
+///
+/// All return Schedules; their quality is judged on the simulator (ground
+/// truth), where the contention-blind ones mispredict — reproducing the
+/// paper's central comparison.
+
+#include <string>
+#include <vector>
+
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::baselines {
+
+enum class Kind { GpuOnly, NaiveConcurrent, Mensa, Herald, H2H };
+
+[[nodiscard]] const char* name(Kind kind) noexcept;
+
+/// All kinds, in the paper's comparison order.
+[[nodiscard]] std::vector<Kind> all_kinds();
+
+[[nodiscard]] sched::Schedule gpu_only(const sched::Problem& problem);
+[[nodiscard]] sched::Schedule naive_concurrent(const sched::Problem& problem);
+[[nodiscard]] sched::Schedule mensa(const sched::Problem& problem);
+[[nodiscard]] sched::Schedule herald(const sched::Problem& problem);
+[[nodiscard]] sched::Schedule h2h(const sched::Problem& problem);
+
+[[nodiscard]] sched::Schedule make(Kind kind, const sched::Problem& problem);
+
+/// Seed set for HaX-CoNN's solver: the naive baselines (the paper's
+/// fallback guarantee covers exactly these).
+[[nodiscard]] std::vector<sched::Schedule> naive_seeds(const sched::Problem& problem);
+
+}  // namespace hax::baselines

@@ -1,0 +1,38 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+namespace hax {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open '" + path + "' for writing");
+  }
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  row(std::vector<std::string>(cells));
+}
+
+}  // namespace hax

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file csv.h
+/// A tiny CSV writer used by benchmarks to emit machine-readable result
+/// files next to the human-readable tables.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hax {
+
+/// Writes rows to a CSV file. Values containing commas, quotes or newlines
+/// are quoted per RFC 4180. The file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure to open.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  /// Writes one row of string cells.
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<std::string> cells);
+
+  /// Escapes one cell per RFC 4180 (exposed for tests).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace hax

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file error.h
+/// Precondition / invariant checking helpers.
+///
+/// `HAX_REQUIRE` is used for caller-facing preconditions on public APIs and
+/// throws `hax::PreconditionError`, so misuse is testable. `HAX_ASSERT` is a
+/// cheap internal invariant check that aborts in all build types (the
+/// simulator must never silently continue from a broken invariant).
+
+#include <stdexcept>
+#include <string>
+
+namespace hax {
+
+/// Thrown when a public-API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void throw_precondition(const char* cond, const char* file, int line,
+                                            const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed (" + cond + "): " + msg);
+}
+
+}  // namespace hax
+
+#define HAX_REQUIRE(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::hax::throw_precondition(#cond, __FILE__, __LINE__, msg); \
+    }                                                            \
+  } while (false)
+
+#define HAX_ASSERT(cond)                                                        \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::hax::throw_precondition(#cond, __FILE__, __LINE__, "internal invariant"); \
+    }                                                                           \
+  } while (false)

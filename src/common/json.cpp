@@ -1,0 +1,343 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace hax::json {
+
+bool Value::as_bool() const {
+  HAX_REQUIRE(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+  HAX_REQUIRE(is_number(), "JSON value is not a number");
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::as_int() const { return std::llround(as_number()); }
+
+const std::string& Value::as_string() const {
+  HAX_REQUIRE(is_string(), "JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  HAX_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  HAX_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+Array& Value::as_array() {
+  HAX_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+Object& Value::as_object() {
+  HAX_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  HAX_REQUIRE(it != obj.end(), "missing JSON key: " + key);
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const noexcept {
+  return is_object() && std::get<Object>(data_).count(key) > 0;
+}
+
+std::string escape(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  HAX_REQUIRE(std::isfinite(d), "JSON cannot represent non-finite numbers");
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(data_) ? "true" : "false";
+  } else if (is_number()) {
+    append_number(out, std::get<double>(data_));
+  } else if (is_string()) {
+    out += escape(std::get<std::string>(data_));
+  } else if (is_array()) {
+    const Array& arr = std::get<Array>(data_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) out += ',';
+      newline_indent(out, indent, depth + 1);
+      arr[i].dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const Object& obj = std::get<Object>(data_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      out += escape(key);
+      out += indent > 0 ? ": " : ":";
+      value.dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ------------------------------------------------------------- parsing --
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    HAX_REQUIRE(pos_ == text_.size(), error("trailing characters"));
+    return v;
+  }
+
+ private:
+  [[nodiscard]] std::string error(const std::string& what) const {
+    return "JSON parse error at offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    HAX_REQUIRE(pos_ < text_.size(), error("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    HAX_REQUIRE(peek() == c, error(std::string("expected '") + c + "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        HAX_REQUIRE(consume_literal("true"), error("bad literal"));
+        return Value(true);
+      case 'f':
+        HAX_REQUIRE(consume_literal("false"), error("bad literal"));
+        return Value(false);
+      case 'n':
+        HAX_REQUIRE(consume_literal("null"), error("bad literal"));
+        return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      HAX_REQUIRE(pos_ < text_.size(), error("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      HAX_REQUIRE(pos_ < text_.size(), error("dangling escape"));
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          HAX_REQUIRE(pos_ + 4 <= text_.size(), error("bad \\u escape"));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              HAX_REQUIRE(false, error("bad hex digit in \\u escape"));
+            }
+          }
+          // Basic-multilingual-plane UTF-8 encoding (no surrogate pairs —
+          // our artifact formats are ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: HAX_REQUIRE(false, error("unknown escape"));
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    HAX_REQUIRE(pos_ > start + (text_[start] == '-' ? 1u : 0u), error("bad number"));
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    HAX_REQUIRE(end == token.c_str() + token.size(), error("bad number: " + token));
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace hax::json

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file json.h
+/// Minimal JSON value type with parsing and serialization — enough for the
+/// library's artifact formats (saved schedules, profiles, traces) without
+/// an external dependency. Supports the full JSON data model except
+/// non-finite numbers; numbers are stored as double.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hax::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps key order deterministic for diff-able output.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_number() const noexcept { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_string() const noexcept { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_array() const noexcept { return std::holds_alternative<Array>(data_); }
+  [[nodiscard]] bool is_object() const noexcept { return std::holds_alternative<Object>(data_); }
+
+  /// Typed accessors; throw PreconditionError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< number, rounded to nearest
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member access; throws if not an object or key missing.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool contains(const std::string& key) const noexcept;
+
+  /// Serializes compactly; `indent > 0` pretty-prints with that many
+  /// spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  bool operator==(const Value&) const = default;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document; throws PreconditionError with a
+/// byte-offset message on malformed input or trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escapes a string per RFC 8259 (exposed for tests).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace hax::json

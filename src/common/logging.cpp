@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace hax::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+
+std::mutex& write_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(static_cast<int>(level)); }
+
+Level level() noexcept { return static_cast<Level>(g_level.load()); }
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+void write(Level lvl, const std::string& message) {
+  std::lock_guard<std::mutex> lock(write_mutex());
+  std::cerr << "[hax:" << level_name(lvl) << "] " << message << '\n';
+}
+
+}  // namespace hax::log

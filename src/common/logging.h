@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal leveled logger. Thread-safe (a single global mutex serializes
+/// writes); defaults to `Warn` so library code is silent unless asked.
+
+#include <sstream>
+#include <string>
+
+namespace hax::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+
+/// Emits one line to stderr with a level prefix. Prefer the HAX_LOG macro.
+void write(Level level, const std::string& message);
+
+[[nodiscard]] const char* level_name(Level level) noexcept;
+
+}  // namespace hax::log
+
+/// Streams `expr` into the logger when `lvl` passes the threshold; the
+/// stream expression is not evaluated otherwise.
+#define HAX_LOG(lvl, expr)                              \
+  do {                                                  \
+    if (static_cast<int>(lvl) >= static_cast<int>(::hax::log::level())) { \
+      std::ostringstream hax_log_oss_;                  \
+      hax_log_oss_ << expr;                             \
+      ::hax::log::write(lvl, hax_log_oss_.str());       \
+    }                                                   \
+  } while (false)
+
+#define HAX_LOG_DEBUG(expr) HAX_LOG(::hax::log::Level::Debug, expr)
+#define HAX_LOG_INFO(expr) HAX_LOG(::hax::log::Level::Info, expr)
+#define HAX_LOG_WARN(expr) HAX_LOG(::hax::log::Level::Warn, expr)
+#define HAX_LOG_ERROR(expr) HAX_LOG(::hax::log::Level::Error, expr)

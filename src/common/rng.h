@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic, seedable PRNG (xoshiro256**). The simulator and benchmarks
+/// must be reproducible run-to-run, so all randomness flows through this
+/// class instead of std::random_device.
+
+#include <cstdint>
+
+namespace hax {
+
+/// xoshiro256** by Blackman & Vigna, seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller.
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stdev) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hax

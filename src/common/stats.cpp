@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace hax::stats {
+
+double sum(std::span<const double> xs) noexcept {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double min(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  HAX_REQUIRE(!xs.empty(), "percentile of empty sample");
+  HAX_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double geomean(std::span<const double> xs) {
+  HAX_REQUIRE(!xs.empty(), "geomean of empty sample");
+  double acc = 0.0;
+  for (double x : xs) {
+    HAX_REQUIRE(x > 0.0, "geomean requires positive samples");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stdev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace hax::stats

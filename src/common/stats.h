@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file stats.h
+/// Small descriptive-statistics helpers used by the profiler, the benchmark
+/// harness and tests. All functions take a span of doubles and are pure.
+
+#include <span>
+#include <vector>
+
+namespace hax::stats {
+
+[[nodiscard]] double sum(std::span<const double> xs) noexcept;
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double stdev(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double min(std::span<const double> xs) noexcept;
+[[nodiscard]] double max(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, `p` in [0, 100]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Geometric mean; requires all elements > 0.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Streaming accumulator (Welford) for mean/variance without storing samples.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stdev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hax::stats

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file string_util.h
+/// Small string helpers shared by the model zoo and benchmark output.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hax::str {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Joins elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace hax::str

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hax {
+
+void TextTable::header(std::vector<std::string> cells) {
+  HAX_REQUIRE(!cells.empty(), "header must have at least one column");
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  HAX_REQUIRE(!header_.empty(), "set header before adding rows");
+  HAX_REQUIRE(cells.size() <= header_.size(), "row has more cells than header columns");
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  HAX_REQUIRE(!header_.empty(), "render requires a header");
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.is_separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  const auto render_line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+  const auto render_sep = [&] {
+    std::ostringstream os;
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+    return os.str();
+  };
+
+  std::ostringstream out;
+  out << render_sep() << render_line(header_) << render_sep();
+  for (const Row& r : rows_) {
+    out << (r.is_separator ? render_sep() : render_line(r.cells));
+  }
+  out << render_sep();
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_pct(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace hax

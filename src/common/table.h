@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table.h
+/// ASCII table rendering for benchmark output. Benchmarks reproduce the
+/// paper's tables; this keeps their stdout readable and diff-able.
+
+#include <string>
+#include <vector>
+
+namespace hax {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows are a precondition violation.
+  void row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator at the current position.
+  void separator();
+
+  /// Renders the table with `|`-separated, space-padded columns.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// Formats a ratio as a percentage string, e.g. 0.23 -> "23%".
+[[nodiscard]] std::string fmt_pct(double ratio, int digits = 0);
+
+}  // namespace hax

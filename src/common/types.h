@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file types.h
+/// Fundamental scalar types and unit conventions used across the library.
+///
+/// Conventions:
+///  - Time is carried in milliseconds (`TimeMs`) everywhere; the simulator,
+///    profiler and scheduler all agree on this unit.
+///  - Memory traffic is carried in bytes (`Bytes`), bandwidth in GB/s
+///    (`GBps`, 1e9 bytes per second).
+///  - Compute work is carried in FLOPs (`Flops`), throughput in GFLOP/s.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace hax {
+
+/// Time duration or timestamp in milliseconds.
+using TimeMs = double;
+
+/// A byte count (tensor sizes, traffic volumes).
+using Bytes = std::int64_t;
+
+/// Floating point operation count.
+using Flops = std::int64_t;
+
+/// Bandwidth in gigabytes per second (1e9 bytes / s).
+using GBps = double;
+
+/// Compute throughput in GFLOP/s.
+using GFlopsPerSec = double;
+
+/// Converts a traffic volume moved over a duration into bandwidth.
+/// Returns 0 for non-positive durations.
+[[nodiscard]] constexpr GBps bytes_over_ms(Bytes bytes, TimeMs ms) noexcept {
+  if (ms <= 0.0) return 0.0;
+  // bytes / (ms * 1e-3 s) / 1e9 == bytes / ms * 1e-6
+  return static_cast<double>(bytes) / ms * 1e-6;
+}
+
+/// Time (ms) to move `bytes` at `gbps`. Returns 0 when bandwidth is
+/// non-positive (callers treat that as "free").
+[[nodiscard]] constexpr TimeMs ms_for_bytes(Bytes bytes, GBps gbps) noexcept {
+  if (gbps <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / gbps * 1e-6;
+}
+
+/// Time (ms) to execute `flops` at `gflops` GFLOP/s.
+[[nodiscard]] constexpr TimeMs ms_for_flops(Flops flops, GFlopsPerSec gflops) noexcept {
+  if (gflops <= 0.0) return 0.0;
+  return static_cast<double>(flops) / gflops * 1e-6;
+}
+
+}  // namespace hax

@@ -1,0 +1,63 @@
+#include "contention/pccs.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hax::contention {
+
+PccsModel PccsModel::calibrate(const soc::MemorySystem& memory, const PccsOptions& options) {
+  HAX_REQUIRE(options.own_levels >= 2, "need at least two own-demand levels");
+  HAX_REQUIRE(options.traffic_knots >= 2, "need at least two traffic knots");
+  HAX_REQUIRE(options.max_fraction > 0.0 && options.max_fraction <= 1.5,
+              "max_fraction out of sensible range");
+
+  const GBps peak = memory.total_gbps();
+  PccsModel model;
+  model.own_levels_.reserve(static_cast<std::size_t>(options.own_levels));
+  model.curves_.reserve(static_cast<std::size_t>(options.own_levels));
+
+  for (int i = 0; i < options.own_levels; ++i) {
+    // Levels span (0, max_fraction]; no zero level (zero demand => no slowdown).
+    const double frac = options.max_fraction * static_cast<double>(i + 1) /
+                        static_cast<double>(options.own_levels);
+    const GBps own = frac * peak;
+    PiecewiseLinear curve;
+    for (int k = 0; k < options.traffic_knots; ++k) {
+      const GBps external = options.max_fraction * peak * static_cast<double>(k) /
+                            static_cast<double>(options.traffic_knots - 1);
+      // "Run" the co-located streaming micro-kernels: the observed
+      // slowdown is the ratio of standalone to co-run progress rate.
+      curve.add_knot(external, memory.slowdown(own, external));
+    }
+    model.own_levels_.push_back(own);
+    model.curves_.push_back(std::move(curve));
+  }
+  return model;
+}
+
+double PccsModel::slowdown(GBps own, GBps external) const {
+  HAX_REQUIRE(!own_levels_.empty(), "PccsModel not calibrated");
+  if (own <= 0.0 || external <= 0.0) return 1.0;
+
+  // Locate the bracketing own-demand levels and interpolate between their
+  // external-traffic curves.
+  if (own <= own_levels_.front()) {
+    // Below the lowest calibrated level: scale the lowest curve's excess
+    // toward 1 (a near-zero own demand experiences ~no slowdown).
+    const double s = curves_.front().eval(external);
+    const double w = own / own_levels_.front();
+    return 1.0 + (s - 1.0) * w;
+  }
+  if (own >= own_levels_.back()) return curves_.back().eval(external);
+
+  const auto it = std::upper_bound(own_levels_.begin(), own_levels_.end(), own);
+  const std::size_t hi = static_cast<std::size_t>(it - own_levels_.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (own - own_levels_[lo]) / (own_levels_[hi] - own_levels_[lo]);
+  const double s_lo = curves_[lo].eval(external);
+  const double s_hi = curves_[hi].eval(external);
+  return std::max(1.0, s_lo + frac * (s_hi - s_lo));
+}
+
+}  // namespace hax::contention

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file pccs.h
+/// Processor-centric contention slowdown model (PCCS). Predicts the
+/// slowdown a PU experiences as a function of (a) its own requested memory
+/// throughput and (b) the cumulative external traffic from concurrently
+/// running PUs — and nothing layer-specific, which is what collapses the
+/// paper's profiling search space from quadratic co-run enumeration to
+/// linear standalone profiling (Sec 3.3).
+///
+/// Calibration co-runs synthetic streaming micro-kernels at a grid of
+/// (own, external) demand levels against the platform's memory system and
+/// fits one piecewise-linear slowdown curve per own-demand level. Queries
+/// bilinearly interpolate between curves. The fitted model is an
+/// *approximation* of the EMC's true arbitration — the residual error is
+/// what the scheduler's ε slack absorbs.
+
+#include <vector>
+
+#include "contention/piecewise.h"
+#include "soc/memory_system.h"
+
+namespace hax::contention {
+
+struct PccsOptions {
+  int own_levels = 9;      ///< grid resolution in own-demand
+  int traffic_knots = 17;  ///< knots per external-traffic curve
+  /// Calibration sweeps demands in (0, max_fraction] of EMC peak.
+  double max_fraction = 1.0;
+};
+
+class PccsModel {
+ public:
+  /// Fits the model against a memory system (the "micro-benchmark run").
+  [[nodiscard]] static PccsModel calibrate(const soc::MemorySystem& memory,
+                                           const PccsOptions& options = {});
+
+  /// Predicted slowdown (>= 1) for a PU requesting `own` GB/s while other
+  /// PUs request `external` GB/s in total.
+  [[nodiscard]] double slowdown(GBps own, GBps external) const;
+
+  [[nodiscard]] int own_level_count() const noexcept {
+    return static_cast<int>(own_levels_.size());
+  }
+
+ private:
+  PccsModel() = default;
+
+  std::vector<GBps> own_levels_;          ///< increasing own-demand grid
+  std::vector<PiecewiseLinear> curves_;   ///< slowdown vs external, per level
+};
+
+}  // namespace hax::contention

@@ -1,0 +1,32 @@
+#include "contention/piecewise.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hax::contention {
+
+PiecewiseLinear::PiecewiseLinear(std::span<const double> xs, std::span<const double> ys) {
+  HAX_REQUIRE(xs.size() == ys.size(), "knot arrays must have equal length");
+  for (std::size_t i = 0; i < xs.size(); ++i) add_knot(xs[i], ys[i]);
+}
+
+void PiecewiseLinear::add_knot(double x, double y) {
+  HAX_REQUIRE(xs_.empty() || x > xs_.back(), "knot x values must be strictly increasing");
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+double PiecewiseLinear::eval(double x) const {
+  HAX_REQUIRE(!xs_.empty(), "eval on empty piecewise function");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  // First knot strictly greater than x.
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + frac * (ys_[hi] - ys_[lo]);
+}
+
+}  // namespace hax::contention

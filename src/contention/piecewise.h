@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file piecewise.h
+/// Monotone piecewise-linear function, the building block of the PCCS
+/// slowdown model (Xu et al., MICRO'21 — the model the paper adopts in
+/// Sec 3.3). Knots are (x, y) pairs; evaluation interpolates linearly and
+/// clamps flat beyond the first/last knot.
+
+#include <span>
+#include <vector>
+
+namespace hax::contention {
+
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Builds from parallel knot arrays. X must be strictly increasing.
+  PiecewiseLinear(std::span<const double> xs, std::span<const double> ys);
+
+  /// Appends a knot; x must exceed the previous knot's x.
+  void add_knot(double x, double y);
+
+  [[nodiscard]] std::size_t knot_count() const noexcept { return xs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty(); }
+
+  /// Interpolated value; requires at least one knot.
+  [[nodiscard]] double eval(double x) const;
+
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const noexcept { return ys_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace hax::contention

@@ -1,0 +1,75 @@
+#include "core/cfg.h"
+
+#include "common/error.h"
+#include "sched/serialize.h"
+#include "sched/validate.h"
+
+namespace hax::core {
+
+const sched::ScheduleSolution& CfgManager::add_mode(CfgMode mode) {
+  HAX_REQUIRE(!mode.name.empty(), "mode name must be non-empty");
+  HAX_REQUIRE(!has_mode(mode.name), "duplicate CFG mode: " + mode.name);
+  HAX_REQUIRE(!mode.workload.empty(), "mode needs at least one DNN");
+
+  Entry e;
+  e.instance = std::make_unique<sched::ProblemInstance>(
+      hax_->make_problem(std::move(mode.workload)));
+  e.solution = hax_->schedule(e.instance->problem());
+  HAX_REQUIRE(e.solution.best_found(), "no feasible schedule for mode " + mode.name);
+  auto [it, inserted] = modes_.emplace(std::move(mode.name), std::move(e));
+  HAX_ASSERT(inserted);
+  return it->second.solution;
+}
+
+bool CfgManager::has_mode(const std::string& name) const noexcept {
+  return modes_.count(name) > 0;
+}
+
+std::vector<std::string> CfgManager::mode_names() const {
+  std::vector<std::string> names;
+  names.reserve(modes_.size());
+  for (const auto& [name, entry] : modes_) names.push_back(name);
+  return names;
+}
+
+const CfgManager::Entry& CfgManager::entry(const std::string& name) const {
+  const auto it = modes_.find(name);
+  HAX_REQUIRE(it != modes_.end(), "unknown CFG mode: " + name);
+  return it->second;
+}
+
+const sched::Problem& CfgManager::problem(const std::string& name) const {
+  return entry(name).instance->problem();
+}
+
+const sched::Schedule& CfgManager::schedule(const std::string& name) const {
+  return entry(name).solution.schedule;
+}
+
+const sched::ScheduleSolution& CfgManager::solution(const std::string& name) const {
+  return entry(name).solution;
+}
+
+void CfgManager::save_schedules(const std::string& dir) const {
+  for (const auto& [name, e] : modes_) {
+    sched::save_schedule(e.solution.schedule, dir + "/" + name + ".schedule.json");
+  }
+}
+
+void CfgManager::load_schedules(const std::string& dir) {
+  for (auto& [name, e] : modes_) {
+    sched::Schedule loaded = sched::load_schedule(dir + "/" + name + ".schedule.json");
+    const sched::ValidationReport report =
+        sched::validate_schedule(e.instance->problem(), loaded,
+                                 {.enforce_transition_budget = false});
+    HAX_REQUIRE(report.ok(),
+                "invalid schedule for mode " + name + ":\n" + report.to_string());
+    const sched::Formulation formulation(e.instance->problem());
+    e.solution.schedule = std::move(loaded);
+    e.solution.prediction = formulation.predict(
+        e.solution.schedule, {.enforce_transition_budget = false, .enforce_epsilon = false});
+    e.solution.proven_optimal = false;  // external schedules carry no proof
+  }
+}
+
+}  // namespace hax::core

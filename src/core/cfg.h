@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file cfg.h
+/// Static control-flow-graph scheduling (Sec 3.5, the *static* case):
+/// "Such CFGs and their corresponding schedules can be predetermined
+/// statically and toggled during the execution." An autonomous system
+/// declares its operating modes (each a DNN workload — e.g. a drone's
+/// *discovery* vs *tracking*), the manager solves every mode's optimal
+/// schedule offline, and at runtime mode switches are a constant-time
+/// lookup — no solver on the critical path.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/haxconn.h"
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::core {
+
+/// One operating mode of the autonomous CFG.
+struct CfgMode {
+  std::string name;
+  std::vector<WorkloadDnn> workload;
+};
+
+class CfgManager {
+ public:
+  explicit CfgManager(const HaxConn& hax) : hax_(&hax) {}
+
+  CfgManager(const CfgManager&) = delete;
+  CfgManager& operator=(const CfgManager&) = delete;
+
+  /// Registers a mode and solves its optimal schedule (the offline phase).
+  /// Returns the solved schedule's predicted metrics. Mode names must be
+  /// unique.
+  const sched::ScheduleSolution& add_mode(CfgMode mode);
+
+  [[nodiscard]] bool has_mode(const std::string& name) const noexcept;
+  [[nodiscard]] std::vector<std::string> mode_names() const;
+
+  /// Runtime toggle: the precomputed problem/schedule for a mode.
+  /// Constant-time; throws PreconditionError for unknown modes.
+  [[nodiscard]] const sched::Problem& problem(const std::string& name) const;
+  [[nodiscard]] const sched::Schedule& schedule(const std::string& name) const;
+  [[nodiscard]] const sched::ScheduleSolution& solution(const std::string& name) const;
+
+  /// Persists every mode's schedule as `<dir>/<mode>.schedule.json`
+  /// (deployment artifact); `load_schedules` re-reads them, replacing the
+  /// solved ones (e.g. after hand-tuning). Throws std::runtime_error on
+  /// I/O failure.
+  void save_schedules(const std::string& dir) const;
+  void load_schedules(const std::string& dir);
+
+ private:
+  struct Entry {
+    std::unique_ptr<sched::ProblemInstance> instance;
+    sched::ScheduleSolution solution;
+  };
+
+  [[nodiscard]] const Entry& entry(const std::string& name) const;
+
+  const HaxConn* hax_;
+  std::map<std::string, Entry> modes_;
+};
+
+}  // namespace hax::core

@@ -1,0 +1,97 @@
+#include "core/dynamic.h"
+
+#include <chrono>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+
+namespace hax::core {
+
+DHaxConn::~DHaxConn() { stop(); }
+
+void DHaxConn::publish(const sched::Schedule& schedule, const sched::Prediction& prediction) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Solver incumbents improve monotonically against each other, but the
+    // first few may still predict worse than the initial naive schedule —
+    // never regress the published one.
+    if (!schedule_.assignment.empty() &&
+        prediction.objective_value >= prediction_.objective_value) {
+      return;
+    }
+    schedule_ = schedule;
+    prediction_ = prediction;
+  }
+  updates_.fetch_add(1);
+  cv_.notify_all();
+}
+
+void DHaxConn::start(const sched::Problem& problem) {
+  stop();
+  problem.validate();
+  stop_requested_.store(false);
+  converged_.store(false);
+  updates_.store(0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    schedule_ = {};
+    prediction_ = {};
+    prediction_.objective_value = std::numeric_limits<double>::infinity();
+  }
+
+  // Step (1): start from the best naive schedule so inference can begin
+  // immediately. ("We do not start with a Herald or H2H schedule since
+  // they also take seconds to return a schedule.")
+  const sched::Formulation formulation(problem);
+  sched::Schedule initial;
+  sched::Prediction initial_pred;
+  initial_pred.objective_value = std::numeric_limits<double>::infinity();
+  for (sched::Schedule& seed : baselines::naive_seeds(problem)) {
+    const sched::Prediction p = formulation.predict(
+        seed, {.enforce_transition_budget = false, .enforce_epsilon = false});
+    if (p.objective_value < initial_pred.objective_value) {
+      initial = std::move(seed);
+      initial_pred = p;
+    }
+  }
+  publish(initial, initial_pred);
+
+  worker_ = std::thread([this, &problem] {
+    sched::SolveScheduleOptions options;
+    options.max_nodes_per_ms = solver_nodes_per_ms_;
+    const sched::ScheduleSolution solution = sched::solve_schedule(
+        problem, options,
+        [this](const sched::Schedule& s, const sched::Prediction& p, TimeMs) {
+          publish(s, p);
+          return !stop_requested_.load();
+        });
+    if (!stop_requested_.load() && solution.proven_optimal) {
+      converged_.store(true);
+      cv_.notify_all();
+    }
+  });
+}
+
+void DHaxConn::stop() {
+  stop_requested_.store(true);
+  if (worker_.joinable()) worker_.join();
+}
+
+sched::Schedule DHaxConn::current_schedule() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return schedule_;
+}
+
+sched::Prediction DHaxConn::current_prediction() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return prediction_;
+}
+
+bool DHaxConn::wait_converged(TimeMs timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::duration<double, std::milli>(timeout_ms),
+               [this] { return converged_.load(); });
+  return converged_.load();
+}
+
+}  // namespace hax::core

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file dynamic.h
+/// D-HaX-CoNN (Sec 3.5): runtime adaptation of optimal schedule
+/// generation. When the autonomous system's control-flow graph changes
+/// (a new DNN pair becomes active), the solver starts from the best naive
+/// schedule and runs *concurrently with inference* on a CPU core,
+/// publishing every improving incumbent so the runtime can hot-swap
+/// schedules, and eventually converging to the optimum.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/haxconn.h"
+#include "sched/formulation.h"
+#include "sched/schedule.h"
+
+namespace hax::core {
+
+class DHaxConn {
+ public:
+  /// `solver_nodes_per_ms` throttles the background solver (0 = full
+  /// speed) to emulate slower optimizers — Z3 on one embedded CPU core
+  /// explores orders of magnitude fewer nodes per second than this B&B,
+  /// and Fig. 7's multi-second convergence staircase assumes that pace.
+  explicit DHaxConn(const HaxConn& hax, double solver_nodes_per_ms = 0.0)
+      : hax_(&hax), solver_nodes_per_ms_(solver_nodes_per_ms) {}
+  ~DHaxConn();
+
+  DHaxConn(const DHaxConn&) = delete;
+  DHaxConn& operator=(const DHaxConn&) = delete;
+
+  /// Starts (or restarts, on a CFG change) background solving for
+  /// `problem`, which must outlive the solve. The current schedule is
+  /// immediately set to the best naive baseline — the paper's step (1) —
+  /// so inference can proceed while the solver improves it.
+  void start(const sched::Problem& problem);
+
+  /// Stops the background solver (idempotent).
+  void stop();
+
+  /// Snapshot of the best schedule found so far. Thread-safe; callable
+  /// from the inference threads at frame boundaries (hot swap).
+  [[nodiscard]] sched::Schedule current_schedule() const;
+  [[nodiscard]] sched::Prediction current_prediction() const;
+
+  /// Number of schedule improvements published since start().
+  [[nodiscard]] int update_count() const noexcept { return updates_.load(); }
+
+  /// True once the solver proved optimality for the active problem.
+  [[nodiscard]] bool converged() const noexcept { return converged_.load(); }
+
+  /// Blocks until convergence or the timeout elapses; returns converged().
+  bool wait_converged(TimeMs timeout_ms) const;
+
+ private:
+  void publish(const sched::Schedule& schedule, const sched::Prediction& prediction);
+
+  const HaxConn* hax_;
+  double solver_nodes_per_ms_;
+  std::thread worker_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> converged_{false};
+  std::atomic<int> updates_{0};
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  sched::Schedule schedule_;
+  sched::Prediction prediction_;
+};
+
+}  // namespace hax::core

@@ -1,0 +1,65 @@
+#include "core/energy.h"
+
+#include "common/error.h"
+#include "perf/cost_model.h"
+
+namespace hax::core {
+
+double EnergyBreakdown::total_mj() const noexcept {
+  double total = dram_mj;
+  for (double e : pu_active_mj) total += e;
+  for (double e : pu_idle_mj) total += e;
+  return total;
+}
+
+double EnergyBreakdown::per_frame_mj(int frames) const {
+  HAX_REQUIRE(frames > 0, "frames must be positive");
+  return total_mj() / static_cast<double>(frames);
+}
+
+EnergyBreakdown measure_energy(const sched::Problem& problem, const sched::Schedule& schedule,
+                               const EvalResult& result) {
+  problem.validate();
+  HAX_REQUIRE(!result.sim.trace.empty(),
+              "energy measurement needs a trace (evaluate with record_trace)");
+  const soc::Platform& plat = *problem.platform;
+
+  EnergyBreakdown out;
+  out.pu_active_mj.assign(static_cast<std::size_t>(plat.pu_count()), 0.0);
+  out.pu_idle_mj.assign(static_cast<std::size_t>(plat.pu_count()), 0.0);
+
+  // Active / idle split from the trace. Watts x milliseconds == millijoules.
+  for (const soc::ProcessingUnit& pu : plat.pus()) {
+    const TimeMs busy = result.sim.trace.pu_busy_ms(pu.id());
+    const TimeMs idle = std::max(0.0, result.sim.makespan_ms - busy);
+    out.pu_active_mj[static_cast<std::size_t>(pu.id())] = pu.params().active_power_w * busy;
+    out.pu_idle_mj[static_cast<std::size_t>(pu.id())] = pu.params().idle_power_w * idle;
+  }
+
+  // DRAM traffic from the cost model (contention does not change the
+  // volume moved, only when it moves).
+  const perf::CostModel cost(plat);
+  double dram_bytes = 0.0;
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    const sched::DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
+    const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
+    double per_iteration = 0.0;
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      per_iteration += static_cast<double>(
+          cost.group_dram_bytes(*spec.net, g, asg[static_cast<std::size_t>(g)]));
+    }
+    dram_bytes += per_iteration * static_cast<double>(spec.iterations);
+  }
+  out.dram_mj = dram_bytes * plat.memory().params().dram_pj_per_byte * 1e-9;
+  return out;
+}
+
+EnergyBreakdown evaluate_energy(const sched::Problem& problem, const sched::Schedule& schedule,
+                                const EvalOptions& options) {
+  EvalOptions traced = options;
+  traced.record_trace = true;
+  const EvalResult result = evaluate(problem, schedule, traced);
+  return measure_energy(problem, schedule, result);
+}
+
+}  // namespace hax::core

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file energy.h
+/// Energy accounting for executed schedules — the dimension the authors'
+/// earlier AxoNN work (DAC'22) optimizes, carried here as an extension:
+/// contention-aware schedules not only run faster, they also waste less
+/// energy idling PUs and re-fetching stalled DRAM streams.
+///
+/// Attribution model:
+///  - active energy: per-PU active power x busy time (from the trace,
+///    so contention stretch is charged),
+///  - idle energy: per-PU idle power x (makespan - busy time),
+///  - DRAM energy: modeled traffic volume x pJ/byte.
+
+#include <vector>
+
+#include "core/evaluate.h"
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::core {
+
+struct EnergyBreakdown {
+  std::vector<double> pu_active_mj;  ///< per PU id
+  std::vector<double> pu_idle_mj;
+  double dram_mj = 0.0;
+
+  [[nodiscard]] double total_mj() const noexcept;
+  /// Energy per processed frame.
+  [[nodiscard]] double per_frame_mj(int frames) const;
+};
+
+/// Measures the energy of an executed workload. `result` must carry a
+/// trace (evaluate with record_trace = true).
+[[nodiscard]] EnergyBreakdown measure_energy(const sched::Problem& problem,
+                                             const sched::Schedule& schedule,
+                                             const EvalResult& result);
+
+/// Convenience: simulate (with tracing) and measure in one call.
+[[nodiscard]] EnergyBreakdown evaluate_energy(const sched::Problem& problem,
+                                              const sched::Schedule& schedule,
+                                              const EvalOptions& options = {});
+
+}  // namespace hax::core

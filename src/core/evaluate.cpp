@@ -1,0 +1,43 @@
+#include "core/evaluate.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hax::core {
+
+EvalResult evaluate(const sched::Problem& problem, const sched::Schedule& schedule,
+                    const EvalOptions& options) {
+  problem.validate();
+  HAX_REQUIRE(schedule.dnn_count() == problem.dnn_count(),
+              "schedule/problem DNN count mismatch");
+
+  sim::SimOptions sim_options;
+  sim_options.loop_barrier = options.loop_barrier;
+  sim_options.background_traffic_gbps = options.background_traffic_gbps;
+  sim_options.record_trace = options.record_trace;
+  const sim::Engine engine(*problem.platform, sim_options);
+
+  std::vector<sim::DnnTask> tasks;
+  tasks.reserve(problem.dnns.size());
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    const sched::DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
+    sim::DnnTask task;
+    task.net = spec.net;
+    task.assignment = schedule.assignment[static_cast<std::size_t>(d)];
+    task.depends_on = spec.depends_on;
+    task.iterations = spec.iterations;
+    tasks.push_back(std::move(task));
+  }
+
+  EvalResult result;
+  result.sim = engine.run(tasks);
+
+  int rounds = 1;
+  for (const sched::DnnSpec& spec : problem.dnns) rounds = std::max(rounds, spec.iterations);
+  result.round_latency_ms = result.sim.makespan_ms / static_cast<double>(rounds);
+  result.fps = result.sim.total_fps();
+  return result;
+}
+
+}  // namespace hax::core

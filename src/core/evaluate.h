@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file evaluate.h
+/// Ground-truth evaluation: runs a schedule for a problem's workload on
+/// the discrete-event simulator and reports the latency / throughput
+/// metrics the paper's tables use. This is how both HaX-CoNN and the
+/// baselines are ultimately judged — predictions never enter the results.
+
+#include "sched/problem.h"
+#include "sched/schedule.h"
+#include "sim/engine.h"
+
+namespace hax::core {
+
+struct EvalOptions {
+  /// All tasks loop in lock-step rounds (Scenario 2/4 autonomous loop).
+  bool loop_barrier = false;
+
+  /// Extra constant EMC traffic (Table 7's solver-on-CPU experiment).
+  GBps background_traffic_gbps = 0.0;
+
+  bool record_trace = false;
+};
+
+struct EvalResult {
+  sim::SimResult sim;
+  /// Per-round completion time: makespan / max iteration count.
+  TimeMs round_latency_ms = 0.0;
+  /// Aggregate frames per second across all DNNs.
+  double fps = 0.0;
+};
+
+/// Simulates the workload under `schedule`. GPU-only schedules of
+/// independent DNNs serialize naturally through the PU FIFO.
+[[nodiscard]] EvalResult evaluate(const sched::Problem& problem,
+                                  const sched::Schedule& schedule,
+                                  const EvalOptions& options = {});
+
+}  // namespace hax::core

@@ -1,0 +1,79 @@
+#include "core/haxconn.h"
+
+#include <algorithm>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "sched/formulation.h"
+
+namespace hax::core {
+
+HaxConn::HaxConn(const soc::Platform& platform, HaxConnOptions options)
+    : platform_(&platform), options_(std::move(options)) {
+  HAX_REQUIRE(options_.max_transitions >= 0, "max_transitions must be >= 0");
+  HAX_REQUIRE(options_.epsilon_fraction > 0.0, "epsilon_fraction must be positive");
+}
+
+sched::ProblemInstance HaxConn::make_problem(std::vector<WorkloadDnn> dnns) const {
+  HAX_REQUIRE(!dnns.empty(), "workload must contain at least one DNN");
+  sched::ProblemInstance instance(*platform_, options_.objective, options_.grouping,
+                                  options_.profiling);
+  for (WorkloadDnn& d : dnns) {
+    instance.add_dnn(std::move(d.net), d.depends_on, d.iterations);
+  }
+  sched::Problem& prob = instance.problem();
+  prob.max_transitions = options_.max_transitions;
+
+  // ε scales with the workload: a fraction of the fastest DNN's fastest
+  // single-PU execution time.
+  TimeMs fastest = std::numeric_limits<TimeMs>::infinity();
+  for (const sched::DnnSpec& spec : prob.dnns) {
+    fastest = std::min(fastest, spec.profile->total_time(spec.profile->fastest_pu(prob.pus)));
+  }
+  prob.epsilon_ms = options_.epsilon_fraction * fastest;
+  return instance;
+}
+
+sched::ScheduleSolution HaxConn::schedule(const sched::Problem& problem,
+                                          const sched::ScheduleCallback& on_incumbent) const {
+  sched::SolveScheduleOptions solve_options;
+  solve_options.time_budget_ms = options_.time_budget_ms;
+  sched::ScheduleSolution solution =
+      sched::solve_schedule(problem, solve_options, on_incumbent);
+
+  // Adaptive ε (Sec 3.4): when GPU-only layer groups force every schedule
+  // to share a PU beyond ε, no feasible schedule exists — relax ε and
+  // retry rather than give up. The queueing-aware predictor keeps the
+  // relaxed schedules honest.
+  if (!solution.best_found()) {
+    sched::Problem relaxed = problem;
+    for (int attempt = 0; attempt < 3 && !solution.best_found(); ++attempt) {
+      relaxed.epsilon_ms *= 4.0;
+      solution = sched::solve_schedule(relaxed, solve_options, on_incumbent);
+    }
+  }
+
+  if (options_.fallback_to_baselines) {
+    // The layer-level predictor handles baseline schedules accurately even
+    // when they violate ε or the transition budget (it models queueing
+    // explicitly), so comparing predictions is sound. Return the best
+    // baseline when it out-predicts every ε-compliant schedule — this
+    // realizes the paper's guarantee that HaX-CoNN never underperforms
+    // the baselines (Sec 5.2, Sec 5.4 point 2).
+    const sched::Formulation formulation(problem);
+    const sched::PredictOptions lenient{.enforce_transition_budget = false,
+                                        .enforce_epsilon = false};
+    for (baselines::Kind kind : baselines::all_kinds()) {
+      sched::Schedule candidate = baselines::make(kind, problem);
+      const sched::Prediction pred = formulation.predict(candidate, lenient);
+      if (pred.objective_value < solution.prediction.objective_value) {
+        solution.schedule = std::move(candidate);
+        solution.prediction = pred;
+        solution.used_fallback = true;
+      }
+    }
+  }
+  return solution;
+}
+
+}  // namespace hax::core

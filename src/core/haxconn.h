@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file haxconn.h
+/// Top-level HaX-CoNN API (Fig. 2's pipeline): takes the DNNs to schedule
+/// and the target platform, runs layer grouping, per-layer/transition
+/// profiling, contention characterization, and SAT-style optimal schedule
+/// generation — and returns the schedule plus its predicted metrics.
+///
+/// Typical use:
+///   auto platform = soc::Platform::orin();
+///   core::HaxConn hax(platform);
+///   auto problem = hax.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+///   auto solution = hax.schedule(problem.problem());
+
+#include <memory>
+#include <vector>
+
+#include "grouping/grouping.h"
+#include "perf/profiler.h"
+#include "nn/network.h"
+#include "sched/problem.h"
+#include "sched/solve.h"
+#include "soc/platform.h"
+
+namespace hax::core {
+
+struct HaxConnOptions {
+  sched::Objective objective = sched::Objective::MinMaxLatency;
+  grouping::GroupingOptions grouping;
+
+  /// Profiling fidelity (measurement noise injection for robustness
+  /// experiments; defaults to exact readings).
+  perf::ProfilerOptions profiling;
+
+  int max_transitions = 2;
+
+  /// Wall-clock budget for the solver; 0 = run to proven optimality.
+  TimeMs time_budget_ms = 0.0;
+
+  /// Compare the solver's best ε-compliant schedule against the naive
+  /// baselines and return whichever predicts better, guaranteeing the
+  /// result is never worse than naive execution (Sec 5.2, Scenario 3).
+  bool fallback_to_baselines = true;
+
+  /// Eq. 9's ε, as a fraction of the workload's fastest single-PU DNN
+  /// time. Small values demand cleanly interlocking schedules; larger
+  /// values admit schedules whose DNNs briefly queue on a shared PU —
+  /// necessary when GPU-only layer groups (LRN, softmax heads) force both
+  /// DNNs through the GPU. The layer-granular predictor models that
+  /// queueing accurately, so the default is permissive (see
+  /// bench_ablation's ε sweep).
+  double epsilon_fraction = 0.5;
+};
+
+/// One DNN of the workload handed to make_problem().
+struct WorkloadDnn {
+  nn::Network net;
+  int depends_on = -1;  ///< pipeline producer (Scenario 3/4); -1 = none
+  int iterations = 1;   ///< frames per round (iteration balancing)
+};
+
+class HaxConn {
+ public:
+  explicit HaxConn(const soc::Platform& platform, HaxConnOptions options = {});
+
+  /// Groups, profiles and packages the DNNs into an owning problem
+  /// instance (the offline characterization phase).
+  [[nodiscard]] sched::ProblemInstance make_problem(std::vector<WorkloadDnn> dnns) const;
+
+  /// Runs the solver (with baseline seeds per options) and returns the
+  /// best schedule found.
+  [[nodiscard]] sched::ScheduleSolution schedule(
+      const sched::Problem& problem, const sched::ScheduleCallback& on_incumbent = {}) const;
+
+  [[nodiscard]] const soc::Platform& platform() const noexcept { return *platform_; }
+  [[nodiscard]] const HaxConnOptions& options() const noexcept { return options_; }
+
+ private:
+  const soc::Platform* platform_;
+  HaxConnOptions options_;
+};
+
+}  // namespace hax::core

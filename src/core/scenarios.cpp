@@ -1,0 +1,69 @@
+#include "core/scenarios.h"
+
+#include "common/error.h"
+#include "nn/zoo.h"
+
+namespace hax::core {
+
+ScenarioWorkload scenario1_same_dnn(const std::string& dnn, int instances, int frames) {
+  HAX_REQUIRE(instances >= 2, "scenario 1 needs at least two instances");
+  HAX_REQUIRE(frames >= 1, "frames must be >= 1");
+  ScenarioWorkload w;
+  for (int i = 0; i < instances; ++i) {
+    w.dnns.push_back({nn::zoo::by_name(dnn), -1, frames});
+  }
+  w.objective = sched::Objective::MaxThroughput;
+  w.loop_barrier = false;
+  w.description = std::to_string(instances) + "x " + dnn + " streaming";
+  return w;
+}
+
+ScenarioWorkload scenario2_parallel(const std::vector<std::string>& dnns) {
+  HAX_REQUIRE(dnns.size() >= 2, "scenario 2 needs at least two DNNs");
+  ScenarioWorkload w;
+  for (const std::string& name : dnns) w.dnns.push_back({nn::zoo::by_name(name)});
+  w.objective = sched::Objective::MinMaxLatency;
+  w.loop_barrier = true;  // all results join before the next round
+  w.description = "parallel same-input round";
+  return w;
+}
+
+ScenarioWorkload scenario3_pipeline(const std::string& producer, const std::string& consumer,
+                                    int frames) {
+  HAX_REQUIRE(frames >= 1, "frames must be >= 1");
+  ScenarioWorkload w;
+  w.dnns.push_back({nn::zoo::by_name(producer), -1, frames});
+  w.dnns.push_back({nn::zoo::by_name(consumer), 0, frames});
+  w.objective = sched::Objective::MaxThroughput;
+  w.loop_barrier = false;  // software pipeline: frames overlap
+  w.description = producer + " -> " + consumer + " stream";
+  return w;
+}
+
+ScenarioWorkload scenario4_hybrid(const std::string& producer, const std::string& consumer,
+                                  const std::string& parallel_dnn) {
+  ScenarioWorkload w;
+  w.dnns.push_back({nn::zoo::by_name(producer)});
+  w.dnns.push_back({nn::zoo::by_name(consumer), 0});
+  w.dnns.push_back({nn::zoo::by_name(parallel_dnn)});
+  w.objective = sched::Objective::MinMaxLatency;
+  w.loop_barrier = true;
+  w.description = producer + " -> " + consumer + " with " + parallel_dnn + " in parallel";
+  return w;
+}
+
+sched::ProblemInstance make_scenario_problem(const HaxConn& hax,
+                                             const ScenarioWorkload& scenario) {
+  // Copy the DNN descriptors (Network copies are cheap relative to
+  // profiling) so a ScenarioWorkload can be reused.
+  std::vector<WorkloadDnn> dnns;
+  dnns.reserve(scenario.dnns.size());
+  for (const WorkloadDnn& d : scenario.dnns) {
+    dnns.push_back({nn::Network(d.net), d.depends_on, d.iterations});
+  }
+  sched::ProblemInstance instance = hax.make_problem(std::move(dnns));
+  instance.problem().objective = scenario.objective;
+  return instance;
+}
+
+}  // namespace hax::core

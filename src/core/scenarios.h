@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file scenarios.h
+/// Canonical constructors for the paper's four evaluation scenarios
+/// (Sec 5), so examples, benchmarks and downstream users build workloads
+/// the same way:
+///
+///  - Scenario 1: multiple instances of the same DNN processing
+///    consecutive images (throughput objective).
+///  - Scenario 2: different DNNs processing the same input in parallel,
+///    synchronizing each round (latency objective).
+///  - Scenario 3: pipelined DNNs over streaming data (detection followed
+///    by tracking; throughput objective).
+///  - Scenario 4: a hybrid — a pipelined pair plus an independent DNN in
+///    parallel (latency objective).
+
+#include <string>
+#include <vector>
+
+#include "core/haxconn.h"
+#include "sched/problem.h"
+
+namespace hax::core {
+
+struct ScenarioWorkload {
+  std::vector<WorkloadDnn> dnns;
+  sched::Objective objective = sched::Objective::MinMaxLatency;
+  /// Whether evaluation should run the autonomous-loop barrier.
+  bool loop_barrier = false;
+  std::string description;
+};
+
+/// Scenario 1: `instances` copies of `dnn`, each streaming `frames` frames.
+[[nodiscard]] ScenarioWorkload scenario1_same_dnn(const std::string& dnn, int instances = 2,
+                                                  int frames = 6);
+
+/// Scenario 2: the listed DNNs run in parallel on the same input and
+/// synchronize each round.
+[[nodiscard]] ScenarioWorkload scenario2_parallel(const std::vector<std::string>& dnns);
+
+/// Scenario 3: `producer` feeds `consumer` frame-by-frame over `frames`
+/// streaming frames.
+[[nodiscard]] ScenarioWorkload scenario3_pipeline(const std::string& producer,
+                                                  const std::string& consumer,
+                                                  int frames = 4);
+
+/// Scenario 4: `producer` -> `consumer` pipelined, with `parallel_dnn`
+/// running beside them; the round latency gates the autonomous loop.
+[[nodiscard]] ScenarioWorkload scenario4_hybrid(const std::string& producer,
+                                                const std::string& consumer,
+                                                const std::string& parallel_dnn);
+
+/// Builds the problem for a scenario through the given HaxConn (applies
+/// its grouping/profiling/objective configuration; the scenario's
+/// objective overrides the HaxConn default).
+[[nodiscard]] sched::ProblemInstance make_scenario_problem(const HaxConn& hax,
+                                                           const ScenarioWorkload& scenario);
+
+}  // namespace hax::core

@@ -1,0 +1,109 @@
+#include "grouping/grouping.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace hax::grouping {
+
+GroupedNetwork::GroupedNetwork(nn::Network net, std::vector<LayerGroup> groups)
+    : net_(std::move(net)), groups_(std::move(groups)) {
+  HAX_REQUIRE(!groups_.empty(), "grouping must produce at least one group");
+  HAX_REQUIRE(groups_.front().first == 0, "first group must start at layer 0");
+  HAX_REQUIRE(groups_.back().last == net_.layer_count() - 1,
+              "last group must end at the last layer");
+  for (std::size_t i = 1; i < groups_.size(); ++i) {
+    HAX_REQUIRE(groups_[i].first == groups_[i - 1].last + 1, "groups must be contiguous");
+  }
+}
+
+const LayerGroup& GroupedNetwork::group(int index) const {
+  HAX_REQUIRE(index >= 0 && index < group_count(), "group index out of range");
+  return groups_[static_cast<std::size_t>(index)];
+}
+
+bool GroupedNetwork::supported(int index, soc::PuKind kind) const {
+  const LayerGroup& g = group(index);
+  if (kind == soc::PuKind::Gpu || kind == soc::PuKind::Cpu) return true;
+  return !g.gpu_only;
+}
+
+std::vector<int> legal_cut_points(const nn::Network& net) {
+  std::vector<int> cuts;
+  for (int i = 0; i < net.layer_count() - 1; ++i) {
+    const nn::Layer& here = net.layer(i);
+    const nn::Layer& next = net.layer(i + 1);
+    // Rule 1: preserve fusion. Conv/FC outputs feeding bn/activation, and
+    // residual adds consuming a just-produced tensor, stay fused.
+    if (here.fuses_with_next() &&
+        (next.kind == nn::LayerKind::BatchNorm || next.kind == nn::LayerKind::Activation)) {
+      continue;
+    }
+    if (next.kind == nn::LayerKind::Add || next.kind == nn::LayerKind::Softmax) continue;
+    // Never cut right after the input pseudo-layer.
+    if (here.kind == nn::LayerKind::Input) continue;
+    // Rule 2: single tensor crosses the boundary.
+    if (!net.is_clean_cut_after(i)) continue;
+    cuts.push_back(i);
+  }
+  return cuts;
+}
+
+namespace {
+
+LayerGroup make_group(const nn::Network& net, int first, int last) {
+  LayerGroup g;
+  g.first = first;
+  g.last = last;
+  for (int i = first; i <= last; ++i) {
+    const nn::Layer& l = net.layer(i);
+    g.flops += l.flops();
+    g.weight_bytes += l.weight_bytes();
+    if (!l.supported_on(soc::PuKind::Dsa)) g.gpu_only = true;
+  }
+  g.input_bytes = first == 0 ? 0 : net.layer(first).input_bytes();
+  g.output_bytes = net.layer(last).output_bytes();
+  g.label = std::to_string(first) + "-" + std::to_string(last);
+  return g;
+}
+
+}  // namespace
+
+GroupedNetwork build_groups(nn::Network net, const GroupingOptions& options) {
+  HAX_REQUIRE(options.max_groups >= 1, "max_groups must be >= 1");
+  net.validate();
+
+  const std::vector<int> cuts = legal_cut_points(net);
+
+  // Segment boundaries: [0, cut0], [cut0+1, cut1], ..., [last_cut+1, end].
+  std::vector<LayerGroup> groups;
+  int first = 0;
+  for (int cut : cuts) {
+    groups.push_back(make_group(net, first, cut));
+    first = cut + 1;
+  }
+  groups.push_back(make_group(net, first, net.layer_count() - 1));
+
+  // Coarsen: repeatedly merge the adjacent pair with the smallest combined
+  // FLOPs until within budget. Tiny groups cost solver time but cannot
+  // meaningfully rebalance the schedule, so they are the right victims.
+  while (static_cast<int>(groups.size()) > options.max_groups) {
+    std::size_t best = 0;
+    Flops best_cost = std::numeric_limits<Flops>::max();
+    for (std::size_t i = 0; i + 1 < groups.size(); ++i) {
+      const Flops cost = groups[i].flops + groups[i + 1].flops;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    const LayerGroup merged = make_group(net, groups[best].first, groups[best + 1].last);
+    groups[best] = merged;
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+
+  return GroupedNetwork(std::move(net), std::move(groups));
+}
+
+}  // namespace hax::grouping

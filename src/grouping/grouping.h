@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file grouping.h
+/// Layer grouping (paper Sec 3.1). Identifies the minimal layer groups
+/// that serve as atomic units of DSA assignment, such that:
+///  1. operator fusion is preserved (no cut between conv and its bn/relu),
+///  2. each boundary is a clean single-tensor cut (exactly one tensor is
+///     flushed to shared memory on an inter-DSA transition),
+///  3. accelerator limitations are honored (groups containing DSA-
+///     unsupported operators are pinned to the GPU).
+/// Groups are then coarsened toward `max_groups` by merging the cheapest
+/// adjacent pairs, mirroring the ~10-group granularity of the paper's
+/// Table 2.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "soc/processing_unit.h"
+
+namespace hax::grouping {
+
+/// One atomic assignment unit: the contiguous layer range [first, last].
+struct LayerGroup {
+  int first = 0;
+  int last = 0;
+  bool gpu_only = false;  ///< contains a DSA-unsupported operator
+
+  // Aggregates over member layers (filled by build_groups).
+  Flops flops = 0;
+  Bytes weight_bytes = 0;
+  Bytes input_bytes = 0;   ///< bytes crossing into the group
+  Bytes output_bytes = 0;  ///< bytes crossing out of the group
+  std::string label;       ///< e.g. "0-9"
+
+  [[nodiscard]] int size() const noexcept { return last - first + 1; }
+};
+
+struct GroupingOptions {
+  /// Upper bound on group count; legal cut points beyond this are merged
+  /// away (smallest-flops adjacent pairs first). The solver's search space
+  /// is O(|PUs|^groups), so this is the main knob trading schedule quality
+  /// against solve time (see bench_ablation).
+  int max_groups = 12;
+};
+
+/// A network plus its grouping. Owns the Network.
+class GroupedNetwork {
+ public:
+  GroupedNetwork(nn::Network net, std::vector<LayerGroup> groups);
+
+  [[nodiscard]] const nn::Network& network() const noexcept { return net_; }
+  [[nodiscard]] const std::vector<LayerGroup>& groups() const noexcept { return groups_; }
+  [[nodiscard]] int group_count() const noexcept { return static_cast<int>(groups_.size()); }
+  [[nodiscard]] const LayerGroup& group(int index) const;
+
+  /// Whether group `index` may run on the given PU kind.
+  [[nodiscard]] bool supported(int index, soc::PuKind kind) const;
+
+ private:
+  nn::Network net_;
+  std::vector<LayerGroup> groups_;
+};
+
+/// All boundaries after which a transition is legal: clean single-tensor
+/// cuts that do not split a fusion chain. The network end is excluded.
+[[nodiscard]] std::vector<int> legal_cut_points(const nn::Network& net);
+
+/// Builds the grouped network per the options.
+[[nodiscard]] GroupedNetwork build_groups(nn::Network net, const GroupingOptions& options = {});
+
+}  // namespace hax::grouping

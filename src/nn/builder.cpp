@@ -1,0 +1,221 @@
+#include "nn/builder.h"
+
+#include "common/error.h"
+
+namespace hax::nn {
+
+NetworkBuilder::NetworkBuilder(std::string name, Tensor3 input_shape)
+    : net_(std::move(name)) {
+  HAX_REQUIRE(input_shape.valid(), "input shape must be positive");
+  Layer in;
+  in.name = "input";
+  in.kind = LayerKind::Input;
+  in.in = input_shape;
+  in.out = input_shape;
+  net_.add(std::move(in));
+}
+
+Tensor3 NetworkBuilder::shape(int index) const { return net_.layer(index).out; }
+
+int NetworkBuilder::add_layer(Layer layer) {
+  if (layer.name.empty()) {
+    layer.name = std::string(to_string(layer.kind)) + "_" + std::to_string(next_id_);
+  }
+  ++next_id_;
+  return net_.add(std::move(layer));
+}
+
+int NetworkBuilder::conv_out_dim(int in, int kernel, int stride, int pad) noexcept {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+int NetworkBuilder::resolve_pad(int kernel, int pad) noexcept {
+  return pad == kSame ? (kernel - 1) / 2 : pad;
+}
+
+int NetworkBuilder::conv(int src, int out_channels, int kernel, int stride, int pad,
+                         int groups) {
+  HAX_REQUIRE(out_channels > 0 && kernel > 0 && stride > 0, "bad conv params");
+  const Tensor3 in = shape(src);
+  HAX_REQUIRE(in.c % groups == 0 && out_channels % groups == 0,
+              "conv channels must divide groups");
+  const int p = resolve_pad(kernel, pad);
+  Layer l;
+  l.kind = LayerKind::Conv;
+  l.in = in;
+  l.out = {out_channels, conv_out_dim(in.h, kernel, stride, p),
+           conv_out_dim(in.w, kernel, stride, p)};
+  l.kernel = kernel;
+  l.stride = stride;
+  l.pad = p;
+  l.groups = groups;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::conv_asym(int src, int out_channels, int kernel_h, int kernel_w) {
+  HAX_REQUIRE(out_channels > 0 && kernel_h > 0 && kernel_w > 0, "bad conv_asym params");
+  const Tensor3 in = shape(src);
+  Layer l;
+  l.kind = LayerKind::Conv;
+  l.in = in;
+  l.out = {out_channels, in.h, in.w};  // same-padded, stride 1
+  l.kernel = kernel_h;
+  l.kernel_w = kernel_w;
+  l.stride = 1;
+  l.pad = (kernel_h - 1) / 2;  // representative; shape already fixed above
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::dwconv(int src, int kernel, int stride, int pad) {
+  const Tensor3 in = shape(src);
+  const int p = resolve_pad(kernel, pad);
+  Layer l;
+  l.kind = LayerKind::DepthwiseConv;
+  l.in = in;
+  l.out = {in.c, conv_out_dim(in.h, kernel, stride, p), conv_out_dim(in.w, kernel, stride, p)};
+  l.kernel = kernel;
+  l.stride = stride;
+  l.pad = p;
+  l.groups = in.c;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::deconv(int src, int out_channels, int kernel, int stride) {
+  const Tensor3 in = shape(src);
+  Layer l;
+  l.kind = LayerKind::Deconv;
+  l.in = in;
+  // Standard fractionally-strided upsampling: out = in * stride.
+  l.out = {out_channels, in.h * stride, in.w * stride};
+  l.kernel = kernel;
+  l.stride = stride;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::bn(int src) {
+  const Tensor3 s = shape(src);
+  Layer l;
+  l.kind = LayerKind::BatchNorm;
+  l.in = s;
+  l.out = s;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::relu(int src) {
+  const Tensor3 s = shape(src);
+  Layer l;
+  l.kind = LayerKind::Activation;
+  l.in = s;
+  l.out = s;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::lrn(int src) {
+  const Tensor3 s = shape(src);
+  Layer l;
+  l.kind = LayerKind::Lrn;
+  l.in = s;
+  l.out = s;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::pool(int src, int kernel, int stride, int pad) {
+  const Tensor3 in = shape(src);
+  Layer l;
+  l.kind = LayerKind::Pool;
+  l.in = in;
+  l.out = {in.c, conv_out_dim(in.h, kernel, stride, pad), conv_out_dim(in.w, kernel, stride, pad)};
+  l.kernel = kernel;
+  l.stride = stride;
+  l.pad = pad;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::global_pool(int src) {
+  const Tensor3 in = shape(src);
+  Layer l;
+  l.kind = LayerKind::GlobalPool;
+  l.in = in;
+  l.out = {in.c, 1, 1};
+  l.kernel = in.h;
+  l.stride = 1;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::fc(int src, int out_features) {
+  const Tensor3 in = shape(src);
+  Layer l;
+  l.kind = LayerKind::FullyConnected;
+  l.in = in;
+  l.out = {out_features, 1, 1};
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::concat(const std::vector<int>& srcs) {
+  HAX_REQUIRE(srcs.size() >= 2, "concat needs >= 2 inputs");
+  const Tensor3 first = shape(srcs.front());
+  int total_c = 0;
+  for (int s : srcs) {
+    const Tensor3 t = shape(s);
+    HAX_REQUIRE(t.h == first.h && t.w == first.w, "concat inputs must share H/W");
+    total_c += t.c;
+  }
+  Layer l;
+  l.kind = LayerKind::Concat;
+  l.in = first;
+  l.out = {total_c, first.h, first.w};
+  l.inputs = srcs;
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::add(int a, int b) {
+  const Tensor3 sa = shape(a);
+  HAX_REQUIRE(sa == shape(b), "add inputs must have identical shape");
+  Layer l;
+  l.kind = LayerKind::Add;
+  l.in = sa;
+  l.out = sa;
+  l.inputs = {a, b};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::softmax(int src) {
+  const Tensor3 s = shape(src);
+  Layer l;
+  l.kind = LayerKind::Softmax;
+  l.in = s;
+  l.out = s;
+  l.inputs = {src};
+  return add_layer(std::move(l));
+}
+
+int NetworkBuilder::conv_relu(int src, int out_channels, int kernel, int stride, int pad) {
+  return relu(conv(src, out_channels, kernel, stride, pad));
+}
+
+int NetworkBuilder::conv_bn_relu(int src, int out_channels, int kernel, int stride, int pad) {
+  return relu(bn(conv(src, out_channels, kernel, stride, pad)));
+}
+
+int NetworkBuilder::dwconv_bn_relu(int src, int kernel, int stride) {
+  return relu(bn(dwconv(src, kernel, stride)));
+}
+
+Network NetworkBuilder::build() {
+  net_.validate();
+  Network out = std::move(net_);
+  net_ = Network("consumed");
+  return out;
+}
+
+}  // namespace hax::nn

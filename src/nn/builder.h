@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file builder.h
+/// Fluent construction of Network DAGs. Builder methods compute output
+/// shapes from convolution arithmetic so model definitions read like the
+/// architecture tables in the original papers.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace hax::nn {
+
+class NetworkBuilder {
+ public:
+  /// `pad == kSame` picks padding so stride-1 convs preserve H/W and
+  /// strided convs produce ceil(in/stride).
+  static constexpr int kSame = -1;
+
+  NetworkBuilder(std::string name, Tensor3 input_shape);
+
+  /// Index of the input layer (always 0).
+  [[nodiscard]] int input() const noexcept { return 0; }
+
+  /// Output shape of a built layer.
+  [[nodiscard]] Tensor3 shape(int index) const;
+
+  // --- primitive layers (return the new layer's index) ---
+  int conv(int src, int out_channels, int kernel, int stride = 1, int pad = kSame,
+           int groups = 1);
+  /// Asymmetric (kh x kw) same-padded stride-1 convolution, e.g. the 1x7 /
+  /// 7x1 factorized convs in Inception-v4.
+  int conv_asym(int src, int out_channels, int kernel_h, int kernel_w);
+  int dwconv(int src, int kernel, int stride = 1, int pad = kSame);
+  int deconv(int src, int out_channels, int kernel, int stride);
+  int bn(int src);
+  int relu(int src);
+  int lrn(int src);
+  int pool(int src, int kernel, int stride, int pad = 0);
+  int global_pool(int src);
+  int fc(int src, int out_features);
+  int concat(const std::vector<int>& srcs);
+  int add(int a, int b);
+  int softmax(int src);
+
+  // --- common fused idioms ---
+  int conv_relu(int src, int out_channels, int kernel, int stride = 1, int pad = kSame);
+  int conv_bn_relu(int src, int out_channels, int kernel, int stride = 1, int pad = kSame);
+  int dwconv_bn_relu(int src, int kernel, int stride = 1);
+
+  /// Finalizes, validates, and returns the network. The builder is
+  /// consumed (left empty).
+  [[nodiscard]] Network build();
+
+ private:
+  int add_layer(Layer layer);
+  [[nodiscard]] static int conv_out_dim(int in, int kernel, int stride, int pad) noexcept;
+  [[nodiscard]] static int resolve_pad(int kernel, int pad) noexcept;
+
+  Network net_;
+  int next_id_ = 0;  // for auto-generated layer names
+};
+
+}  // namespace hax::nn

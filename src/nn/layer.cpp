@@ -1,0 +1,134 @@
+#include "nn/layer.h"
+
+namespace hax::nn {
+
+const char* to_string(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::Input: return "input";
+    case LayerKind::Conv: return "conv";
+    case LayerKind::DepthwiseConv: return "dwconv";
+    case LayerKind::Deconv: return "deconv";
+    case LayerKind::Pool: return "pool";
+    case LayerKind::GlobalPool: return "gpool";
+    case LayerKind::FullyConnected: return "fc";
+    case LayerKind::Activation: return "act";
+    case LayerKind::BatchNorm: return "bn";
+    case LayerKind::Lrn: return "lrn";
+    case LayerKind::Concat: return "concat";
+    case LayerKind::Add: return "add";
+    case LayerKind::Softmax: return "softmax";
+  }
+  return "?";
+}
+
+Flops Layer::flops() const noexcept {
+  const std::int64_t out_elems = out.elems();
+  switch (kind) {
+    case LayerKind::Input:
+      return 0;
+    case LayerKind::Conv:
+    case LayerKind::Deconv: {
+      // 2 * (Kh*Kw*Cin/groups) FLOPs per output element.
+      const std::int64_t k2cin =
+          static_cast<std::int64_t>(kernel) * kw() * (in.c / (groups > 0 ? groups : 1));
+      return 2 * k2cin * out_elems;
+    }
+    case LayerKind::DepthwiseConv:
+      return 2 * static_cast<std::int64_t>(kernel) * kw() * out_elems;
+    case LayerKind::Pool:
+      return static_cast<std::int64_t>(kernel) * kernel * out_elems;
+    case LayerKind::GlobalPool:
+      return in.elems();
+    case LayerKind::FullyConnected:
+      return 2 * in.elems() * out_elems;
+    case LayerKind::Activation:
+    case LayerKind::BatchNorm:
+      return 2 * out_elems;
+    case LayerKind::Lrn:
+      return 6 * out_elems;  // square, window sum, scale, pow, mul
+    case LayerKind::Concat:
+      return 0;  // pure data movement
+    case LayerKind::Add:
+      return out_elems;
+    case LayerKind::Softmax:
+      return 5 * out_elems;
+  }
+  return 0;
+}
+
+Bytes Layer::weight_bytes() const noexcept {
+  switch (kind) {
+    case LayerKind::Conv:
+    case LayerKind::Deconv: {
+      const std::int64_t w = static_cast<std::int64_t>(kernel) * kw() *
+                             (in.c / (groups > 0 ? groups : 1)) * out.c;
+      return (w + out.c) * kBytesPerElement;  // + bias
+    }
+    case LayerKind::DepthwiseConv: {
+      const std::int64_t w = static_cast<std::int64_t>(kernel) * kw() * out.c;
+      return (w + out.c) * kBytesPerElement;
+    }
+    case LayerKind::FullyConnected: {
+      const std::int64_t w = in.elems() * out.elems();
+      return (w + out.elems()) * kBytesPerElement;
+    }
+    case LayerKind::BatchNorm:
+      return 2 * static_cast<Bytes>(out.c) * kBytesPerElement;  // folded scale+shift
+    default:
+      return 0;
+  }
+}
+
+Bytes Layer::input_bytes() const noexcept {
+  if (kind == LayerKind::Input) return 0;
+  // Concat/Add read each producer once; `in` records the per-producer
+  // shape and `inputs.size()` the fan-in. Single-input layers read `in`.
+  const auto fan_in = static_cast<Bytes>(inputs.empty() ? 1 : inputs.size());
+  if (kind == LayerKind::Concat || kind == LayerKind::Add) {
+    // For joins, out elems == total input elems (concat) or per-branch
+    // elems * fan-in reads (add). Reading `out.bytes()` worth for concat
+    // and fan_in * in.bytes() for add is equivalent under our builders.
+    return kind == LayerKind::Concat ? out.bytes() : fan_in * in.bytes();
+  }
+  return in.bytes();
+}
+
+Bytes Layer::output_bytes() const noexcept {
+  if (kind == LayerKind::Input) return 0;
+  return out.bytes();
+}
+
+Bytes Layer::total_bytes() const noexcept {
+  return input_bytes() + weight_bytes() + output_bytes();
+}
+
+bool Layer::supported_on(soc::PuKind pu) const noexcept {
+  if (pu == soc::PuKind::Gpu || pu == soc::PuKind::Cpu) return true;
+  // DSA limitations (NVDLA / Hexagon): no LRN, no softmax, no transposed
+  // convolution. Everything else has a fixed-function path.
+  switch (kind) {
+    case LayerKind::Lrn:
+    case LayerKind::Softmax:
+    case LayerKind::Deconv:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool Layer::fuses_with_next() const noexcept {
+  // TensorRT fuses conv+bn+activation chains and keeps them on one engine;
+  // a transition must not split them (Sec 3.1 item 1).
+  switch (kind) {
+    case LayerKind::Conv:
+    case LayerKind::DepthwiseConv:
+    case LayerKind::Deconv:
+    case LayerKind::BatchNorm:
+    case LayerKind::FullyConnected:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hax::nn

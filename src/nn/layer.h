@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file layer.h
+/// DNN layer representation with real shape/FLOP/traffic math. The
+/// scheduler never sees tensors' contents — only their shapes — so a layer
+/// here is its metadata: kind, parameters, input/output shapes, and the
+/// derived work (FLOPs) and traffic (bytes) quantities the cost model uses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "soc/processing_unit.h"
+
+namespace hax::nn {
+
+/// FP16 inference throughout (TensorRT's default on these SoCs).
+inline constexpr Bytes kBytesPerElement = 2;
+
+/// A 3-D activation tensor shape (channels, height, width). Batch is 1:
+/// the paper schedules single-image streaming inference.
+struct Tensor3 {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+
+  [[nodiscard]] std::int64_t elems() const noexcept {
+    return static_cast<std::int64_t>(c) * h * w;
+  }
+  [[nodiscard]] Bytes bytes() const noexcept { return elems() * kBytesPerElement; }
+  [[nodiscard]] bool valid() const noexcept { return c > 0 && h > 0 && w > 0; }
+  bool operator==(const Tensor3&) const = default;
+};
+
+enum class LayerKind : std::uint8_t {
+  Input,           ///< network entry; zero cost
+  Conv,            ///< 2-D convolution (optionally grouped)
+  DepthwiseConv,   ///< depthwise separable convolution (groups == channels)
+  Deconv,          ///< transposed convolution (FCN upsampling head)
+  Pool,            ///< max/average pooling
+  GlobalPool,      ///< global average pooling
+  FullyConnected,  ///< dense layer
+  Activation,      ///< ReLU & friends (elementwise)
+  BatchNorm,       ///< inference-mode scale+shift (elementwise)
+  Lrn,             ///< local response normalization (AlexNet/GoogleNet era)
+  Concat,          ///< channel concatenation (inception/densenet joins)
+  Add,             ///< elementwise residual addition
+  Softmax,         ///< classifier head
+};
+
+[[nodiscard]] const char* to_string(LayerKind kind) noexcept;
+
+/// One layer. Aggregates are built through NetworkBuilder, which fills in
+/// shapes; the struct itself only derives quantities from them.
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::Input;
+
+  Tensor3 in;   ///< primary input shape (for Concat/Add: shape of each input listed in `inputs`)
+  Tensor3 out;  ///< output shape
+
+  // Convolution / pooling parameters (ignored by other kinds).
+  int kernel = 0;    ///< kernel height (and width unless kernel_w > 0)
+  int kernel_w = 0;  ///< kernel width for asymmetric convs (0 = square)
+  int stride = 1;
+  int pad = 0;
+  int groups = 1;
+
+  /// Effective kernel width (kernel_w, or kernel when square).
+  [[nodiscard]] int kw() const noexcept { return kernel_w > 0 ? kernel_w : kernel; }
+
+  /// Producer layer indices within the owning Network. Single-input layers
+  /// have exactly one; Concat/Add have two or more; Input has none.
+  std::vector<int> inputs;
+
+  /// Compute work in FLOPs (multiply-accumulate counted as 2).
+  [[nodiscard]] Flops flops() const noexcept;
+
+  /// Parameter (weight + bias) footprint in bytes.
+  [[nodiscard]] Bytes weight_bytes() const noexcept;
+
+  /// Activation bytes read (all inputs).
+  [[nodiscard]] Bytes input_bytes() const noexcept;
+
+  /// Activation bytes written.
+  [[nodiscard]] Bytes output_bytes() const noexcept;
+
+  /// Total DRAM traffic assuming streaming execution (read inputs +
+  /// weights once, write output once). On-chip reuse is applied by the
+  /// cost model, not here.
+  [[nodiscard]] Bytes total_bytes() const noexcept;
+
+  /// Whether this operator can execute on a PU of the given kind.
+  /// Mirrors Sec 3.1 item 3 (accelerator/software limitations): DSAs in
+  /// our presets lack LRN, Softmax and Deconv support, so those layers pin
+  /// their group to the GPU.
+  [[nodiscard]] bool supported_on(soc::PuKind kind) const noexcept;
+
+  /// True for kinds whose output feeds a following fused op in TensorRT
+  /// (conv+bias+activation, conv+bn). Grouping keeps these together.
+  [[nodiscard]] bool fuses_with_next() const noexcept;
+};
+
+}  // namespace hax::nn

@@ -1,0 +1,103 @@
+#include "nn/network.h"
+
+#include "common/error.h"
+
+namespace hax::nn {
+
+const Layer& Network::layer(int index) const {
+  HAX_REQUIRE(index >= 0 && index < layer_count(), "layer index out of range");
+  return layers_[static_cast<std::size_t>(index)];
+}
+
+int Network::add(Layer layer) {
+  const int index = layer_count();
+  if (layer.kind == LayerKind::Input) {
+    HAX_REQUIRE(layer.inputs.empty(), "Input layer cannot have producers");
+    HAX_REQUIRE(index == 0, "Input layer must be first");
+  } else {
+    HAX_REQUIRE(!layer.inputs.empty(), "non-Input layer '" + layer.name + "' needs producers");
+    for (int p : layer.inputs) {
+      HAX_REQUIRE(p >= 0 && p < index,
+                  "layer '" + layer.name + "' references out-of-order producer");
+    }
+  }
+  HAX_REQUIRE(layer.out.valid(), "layer '" + layer.name + "' has invalid output shape");
+  layers_.push_back(std::move(layer));
+  consumers_valid_ = false;
+  return index;
+}
+
+Flops Network::total_flops() const noexcept {
+  Flops total = 0;
+  for (const Layer& l : layers_) total += l.flops();
+  return total;
+}
+
+Bytes Network::total_weight_bytes() const noexcept {
+  Bytes total = 0;
+  for (const Layer& l : layers_) total += l.weight_bytes();
+  return total;
+}
+
+const std::vector<std::vector<int>>& Network::consumers() const {
+  if (!consumers_valid_) {
+    consumers_.assign(layers_.size(), {});
+    for (int i = 0; i < layer_count(); ++i) {
+      for (int p : layers_[static_cast<std::size_t>(i)].inputs) {
+        consumers_[static_cast<std::size_t>(p)].push_back(i);
+      }
+    }
+    consumers_valid_ = true;
+  }
+  return consumers_;
+}
+
+bool Network::is_clean_cut_after(int index) const {
+  HAX_REQUIRE(index >= 0 && index < layer_count(), "cut index out of range");
+  if (index == layer_count() - 1) return true;  // network end
+  // Every crossing edge must originate at `index`: a producer p <= index
+  // with a consumer > index implies p == index.
+  const auto& cons = consumers();
+  for (int p = 0; p <= index; ++p) {
+    for (int c : cons[static_cast<std::size_t>(p)]) {
+      if (c > index && p != index) return false;
+    }
+  }
+  return true;
+}
+
+void Network::validate() const {
+  HAX_REQUIRE(layer_count() > 0, "empty network");
+  HAX_REQUIRE(layers_.front().kind == LayerKind::Input, "first layer must be Input");
+  for (int i = 1; i < layer_count(); ++i) {
+    const Layer& l = layers_[static_cast<std::size_t>(i)];
+    HAX_REQUIRE(l.kind != LayerKind::Input, "multiple Input layers");
+    // Shape agreement: the recorded `in` shape must match at least one
+    // producer's output (joins record the per-branch shape).
+    bool shape_ok = false;
+    for (int p : l.inputs) {
+      if (layers_[static_cast<std::size_t>(p)].out == l.in) {
+        shape_ok = true;
+        break;
+      }
+    }
+    // Concat joins tensors of equal H/W but differing C; accept if H/W match.
+    if (!shape_ok && l.kind == LayerKind::Concat) {
+      shape_ok = true;
+      for (int p : l.inputs) {
+        const Tensor3& o = layers_[static_cast<std::size_t>(p)].out;
+        if (o.h != l.out.h || o.w != l.out.w) shape_ok = false;
+      }
+    }
+    HAX_REQUIRE(shape_ok, "layer '" + l.name + "' input shape does not match any producer");
+  }
+  // Exactly one sink.
+  const auto& cons = consumers();
+  int sinks = 0;
+  for (int i = 0; i < layer_count(); ++i) {
+    if (cons[static_cast<std::size_t>(i)].empty()) ++sinks;
+  }
+  HAX_REQUIRE(sinks == 1, "network must have exactly one sink, found " + std::to_string(sinks));
+}
+
+}  // namespace hax::nn

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file network.h
+/// A DNN as a DAG of layers in topological order. Construction goes through
+/// NetworkBuilder (builder.h); Network itself is an immutable-ish container
+/// with structural queries used by grouping and the cost model.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hax::nn {
+
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] int layer_count() const noexcept { return static_cast<int>(layers_.size()); }
+  [[nodiscard]] const Layer& layer(int index) const;
+  [[nodiscard]] std::span<const Layer> layers() const noexcept { return layers_; }
+
+  /// Appends a layer whose `inputs` reference already-added layers.
+  /// Returns its index. Validates topological order and shape agreement.
+  int add(Layer layer);
+
+  /// Total network work / parameter footprint.
+  [[nodiscard]] Flops total_flops() const noexcept;
+  [[nodiscard]] Bytes total_weight_bytes() const noexcept;
+
+  /// Consumers of each layer (inverse of Layer::inputs), built lazily and
+  /// cached; invalidated by add().
+  [[nodiscard]] const std::vector<std::vector<int>>& consumers() const;
+
+  /// True when the boundary after layer `index` is a clean single-tensor
+  /// cut: every edge from a layer <= index to a layer > index originates
+  /// at `index` itself. Only such boundaries can host an inter-DSA
+  /// transition (exactly one tensor is flushed to shared memory).
+  [[nodiscard]] bool is_clean_cut_after(int index) const;
+
+  /// Structural validation: shapes propagate, inputs are topological,
+  /// exactly one Input layer, last layer has no consumers. Throws
+  /// PreconditionError on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+  mutable std::vector<std::vector<int>> consumers_;  // lazy cache
+  mutable bool consumers_valid_ = false;
+};
+
+}  // namespace hax::nn

@@ -1,0 +1,64 @@
+#include "nn/summary.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace hax::nn {
+
+std::vector<KindStats> kind_statistics(const Network& net) {
+  std::map<LayerKind, KindStats> by_kind;
+  for (const Layer& l : net.layers()) {
+    KindStats& s = by_kind[l.kind];
+    s.kind = l.kind;
+    ++s.count;
+    s.flops += l.flops();
+    s.weight_bytes += l.weight_bytes();
+  }
+  std::vector<KindStats> out;
+  out.reserve(by_kind.size());
+  for (const auto& [kind, stats] : by_kind) out.push_back(stats);
+  std::sort(out.begin(), out.end(),
+            [](const KindStats& a, const KindStats& b) { return a.flops > b.flops; });
+  return out;
+}
+
+std::string layer_table(const Network& net, int max_rows) {
+  TextTable table;
+  table.header({"#", "name", "kind", "output (CxHxW)", "MFLOPs", "params (KB)"});
+  const int rows = max_rows > 0 ? std::min(max_rows, net.layer_count()) : net.layer_count();
+  for (int i = 0; i < rows; ++i) {
+    const Layer& l = net.layer(i);
+    const std::string shape = std::to_string(l.out.c) + "x" + std::to_string(l.out.h) + "x" +
+                              std::to_string(l.out.w);
+    table.row({std::to_string(i), l.name, to_string(l.kind), shape,
+               fmt(static_cast<double>(l.flops()) / 1e6, 1),
+               fmt(static_cast<double>(l.weight_bytes()) / 1e3, 1)});
+  }
+  std::string out = table.render();
+  if (rows < net.layer_count()) {
+    out += "... (" + std::to_string(net.layer_count() - rows) + " more layers)\n";
+  }
+  return out;
+}
+
+std::string summarize(const Network& net) {
+  std::ostringstream os;
+  os << net.name() << ": " << net.layer_count() << " layers, "
+     << fmt(static_cast<double>(net.total_flops()) / 1e9, 2) << " GFLOPs, "
+     << fmt(static_cast<double>(net.total_weight_bytes()) / 1e6, 1) << " MB parameters\n";
+  os << "dominant operators:";
+  int shown = 0;
+  for (const KindStats& s : kind_statistics(net)) {
+    if (s.flops <= 0 || shown++ >= 3) break;
+    os << " " << to_string(s.kind) << " (" << s.count << "x, "
+       << fmt(static_cast<double>(s.flops) / static_cast<double>(net.total_flops()) * 100.0, 0)
+       << "% of FLOPs)";
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace hax::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file summary.h
+/// Human-readable network summaries: per-layer tables (Keras-style) and
+/// aggregate statistics per operator kind. Used by the CLI's `describe`
+/// subcommand and handy when adding zoo models.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace hax::nn {
+
+/// Aggregate statistics for one operator kind within a network.
+struct KindStats {
+  LayerKind kind = LayerKind::Input;
+  int count = 0;
+  Flops flops = 0;
+  Bytes weight_bytes = 0;
+};
+
+/// Per-kind totals, sorted by FLOPs descending.
+[[nodiscard]] std::vector<KindStats> kind_statistics(const Network& net);
+
+/// Renders a per-layer table: index, name, kind, output shape, FLOPs,
+/// parameters. `max_rows` truncates long networks (<= 0 = all rows).
+[[nodiscard]] std::string layer_table(const Network& net, int max_rows = 40);
+
+/// One-paragraph summary: layer count, FLOPs, parameters, dominant kinds.
+[[nodiscard]] std::string summarize(const Network& net);
+
+}  // namespace hax::nn

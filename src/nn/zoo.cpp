@@ -1,0 +1,47 @@
+#include "nn/zoo.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hax::nn::zoo {
+
+Network by_name(const std::string& name) {
+  const std::string key = str::to_lower(name);
+  if (key == "alexnet") return alexnet();
+  if (key == "caffenet") return caffenet();
+  if (key == "vgg16") return vgg16();
+  if (key == "vgg19" || key == "vgg-19") return vgg19();
+  if (key == "googlenet") return googlenet();
+  if (key == "resnet18") return resnet18();
+  if (key == "resnet34") return resnet34();
+  if (key == "resnet50" || key == "resnet52") return resnet50();
+  if (key == "resnet101") return resnet101();
+  if (key == "resnet152") return resnet152();
+  if (key == "inception" || key == "inception-v4" || key == "inceptionv4") return inception_v4();
+  if (key == "inc-res-v2" || key == "inception-resnet-v2" || key == "incresv2") {
+    return inception_resnet_v2();
+  }
+  if (key == "densenet" || key == "densenet121") return densenet121();
+  if (key == "fcn-resnet18" || key == "fc_resn18" || key == "fcn_resnet18") {
+    return fcn_resnet18();
+  }
+  if (key == "mobilenet" || key == "mobilenet-v1") return mobilenet_v1();
+  if (key == "squeezenet") return squeezenet();
+  HAX_REQUIRE(false, "unknown model name: " + name);
+  // Unreachable; HAX_REQUIRE throws.
+  return alexnet();
+}
+
+std::vector<std::string> all_names() {
+  return {"AlexNet",    "CaffeNet", "VGG16",        "VGG19",     "GoogleNet",
+          "ResNet18",   "ResNet34", "ResNet50",     "ResNet101", "ResNet152",
+          "Inception",  "Inc-res-v2", "DenseNet",   "FCN-ResNet18",
+          "MobileNet",  "SqueezeNet"};
+}
+
+std::vector<std::string> evaluation_set() {
+  return {"CaffeNet", "DenseNet",  "GoogleNet", "Inc-res-v2", "Inception",
+          "ResNet18", "ResNet50",  "ResNet101", "ResNet152",  "VGG19"};
+}
+
+}  // namespace hax::nn::zoo

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file zoo.h
+/// The model zoo: programmatic definitions of the DNNs used in the paper's
+/// evaluation (Sec 4, "Applications"). Each builder returns a validated
+/// Network with realistic layer counts, shapes, FLOPs and parameter sizes.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace hax::nn::zoo {
+
+[[nodiscard]] Network alexnet();
+[[nodiscard]] Network caffenet();
+[[nodiscard]] Network vgg16();
+[[nodiscard]] Network vgg19();
+[[nodiscard]] Network googlenet();
+[[nodiscard]] Network resnet18();
+[[nodiscard]] Network resnet34();
+[[nodiscard]] Network resnet50();
+[[nodiscard]] Network resnet101();
+[[nodiscard]] Network resnet152();
+[[nodiscard]] Network inception_v4();
+[[nodiscard]] Network inception_resnet_v2();
+[[nodiscard]] Network densenet121();
+[[nodiscard]] Network fcn_resnet18();
+[[nodiscard]] Network mobilenet_v1();
+[[nodiscard]] Network squeezenet();
+
+/// Case-insensitive lookup by canonical name (e.g. "GoogleNet",
+/// "ResNet101", "Inc-res-v2", "Inception", "FC_ResN18"). Throws
+/// PreconditionError for unknown names.
+[[nodiscard]] Network by_name(const std::string& name);
+
+/// All canonical model names.
+[[nodiscard]] std::vector<std::string> all_names();
+
+/// The ten models of Table 5 / Table 8 in the paper's ordering:
+/// CaffeNet, DenseNet, GoogleNet, Inc-res-v2, Inception, ResNet18,
+/// ResNet50, ResNet101, ResNet152, VGG19.
+[[nodiscard]] std::vector<std::string> evaluation_set();
+
+}  // namespace hax::nn::zoo

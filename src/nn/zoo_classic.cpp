@@ -1,0 +1,69 @@
+/// \file zoo_classic.cpp
+/// AlexNet / CaffeNet (Krizhevsky et al. 2012, Jia et al. 2014) and
+/// VGG-16/19 (Simonyan & Zisserman 2014).
+
+#include "nn/builder.h"
+#include "nn/zoo.h"
+
+namespace hax::nn::zoo {
+namespace {
+
+/// AlexNet-family trunk. CaffeNet is the single-GPU BVLC variant whose
+/// only structural difference is pooling before normalization.
+Network alexnet_family(const std::string& name, bool pool_before_lrn) {
+  NetworkBuilder b(name, {3, 227, 227});
+  int x = b.conv_relu(b.input(), 96, 11, 4, 0);
+  if (pool_before_lrn) {
+    x = b.pool(x, 3, 2);
+    x = b.lrn(x);
+  } else {
+    x = b.lrn(x);
+    x = b.pool(x, 3, 2);
+  }
+  x = b.conv_relu(x, 256, 5, 1, 2);
+  if (pool_before_lrn) {
+    x = b.pool(x, 3, 2);
+    x = b.lrn(x);
+  } else {
+    x = b.lrn(x);
+    x = b.pool(x, 3, 2);
+  }
+  x = b.conv_relu(x, 384, 3);
+  x = b.conv_relu(x, 384, 3);
+  x = b.conv_relu(x, 256, 3);
+  x = b.pool(x, 3, 2);
+  x = b.relu(b.fc(x, 4096));
+  x = b.relu(b.fc(x, 4096));
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+Network vgg(const std::string& name, const std::vector<int>& convs_per_block) {
+  NetworkBuilder b(name, {3, 224, 224});
+  int x = b.input();
+  const int channels[5] = {64, 128, 256, 512, 512};
+  for (std::size_t block = 0; block < convs_per_block.size(); ++block) {
+    for (int i = 0; i < convs_per_block[block]; ++i) {
+      x = b.conv_relu(x, channels[block], 3);
+    }
+    x = b.pool(x, 2, 2);
+  }
+  x = b.relu(b.fc(x, 4096));
+  x = b.relu(b.fc(x, 4096));
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+}  // namespace
+
+Network alexnet() { return alexnet_family("AlexNet", /*pool_before_lrn=*/false); }
+
+Network caffenet() { return alexnet_family("CaffeNet", /*pool_before_lrn=*/true); }
+
+Network vgg16() { return vgg("VGG16", {2, 2, 3, 3, 3}); }
+
+Network vgg19() { return vgg("VGG19", {2, 2, 4, 4, 4}); }
+
+}  // namespace hax::nn::zoo

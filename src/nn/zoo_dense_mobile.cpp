@@ -1,0 +1,97 @@
+/// \file zoo_dense_mobile.cpp
+/// DenseNet-121 (Huang et al. 2017) and MobileNet-v1 (Howard et al. 2017).
+/// DenseNet's dense connectivity produces many concat joins — the
+/// worst-case workload for transition-point discovery; MobileNet appears
+/// in the paper's Table 7 overhead experiment.
+
+#include "nn/builder.h"
+#include "nn/zoo.h"
+
+namespace hax::nn::zoo {
+namespace {
+
+/// One dense layer: BN-ReLU-Conv1x1(4k) -> BN-ReLU-Conv3x3(k), then concat
+/// with its input (growth rate k = 32).
+int dense_layer(NetworkBuilder& b, int x, int growth) {
+  int y = b.relu(b.bn(x));
+  y = b.conv(y, 4 * growth, 1, 1, 0);
+  y = b.relu(b.bn(y));
+  y = b.conv(y, growth, 3);
+  return b.concat({x, y});
+}
+
+int transition(NetworkBuilder& b, int x) {
+  int y = b.relu(b.bn(x));
+  y = b.conv(y, b.shape(x).c / 2, 1, 1, 0);
+  return b.pool(y, 2, 2);
+}
+
+}  // namespace
+
+Network densenet121() {
+  constexpr int kGrowth = 32;
+  NetworkBuilder b("DenseNet", {3, 224, 224});
+  int x = b.conv_bn_relu(b.input(), 64, 7, 2, 3);
+  x = b.pool(x, 3, 2, 1);
+  const int block_sizes[4] = {6, 12, 24, 16};
+  for (int blk = 0; blk < 4; ++blk) {
+    for (int i = 0; i < block_sizes[blk]; ++i) x = dense_layer(b, x, kGrowth);
+    if (blk < 3) x = transition(b, x);
+  }
+  x = b.relu(b.bn(x));
+  x = b.global_pool(x);
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+namespace {
+
+/// SqueezeNet fire module: squeeze 1x1 -> parallel expand 1x1 / 3x3, concat.
+int fire(NetworkBuilder& b, int x, int squeeze, int expand) {
+  const int s = b.conv_relu(x, squeeze, 1, 1, 0);
+  const int e1 = b.conv_relu(s, expand, 1, 1, 0);
+  const int e3 = b.conv_relu(s, expand, 3);
+  return b.concat({e1, e3});
+}
+
+}  // namespace
+
+Network squeezenet() {
+  NetworkBuilder b("SqueezeNet", {3, 224, 224});
+  int x = b.conv_relu(b.input(), 96, 7, 2, 3);
+  x = b.pool(x, 3, 2);
+  x = fire(b, x, 16, 64);
+  x = fire(b, x, 16, 64);
+  x = fire(b, x, 32, 128);
+  x = b.pool(x, 3, 2);
+  x = fire(b, x, 32, 128);
+  x = fire(b, x, 48, 192);
+  x = fire(b, x, 48, 192);
+  x = fire(b, x, 64, 256);
+  x = b.pool(x, 3, 2);
+  x = fire(b, x, 64, 256);
+  x = b.conv_relu(x, 1000, 1, 1, 0);
+  x = b.global_pool(x);
+  b.softmax(x);
+  return b.build();
+}
+
+Network mobilenet_v1() {
+  NetworkBuilder b("MobileNet", {3, 224, 224});
+  int x = b.conv_bn_relu(b.input(), 32, 3, 2);
+  // (stride, out_channels) per depthwise-separable block.
+  const int spec[13][2] = {{1, 64},  {2, 128}, {1, 128}, {2, 256}, {1, 256},
+                           {2, 512}, {1, 512}, {1, 512}, {1, 512}, {1, 512},
+                           {1, 512}, {2, 1024}, {1, 1024}};
+  for (const auto& [stride, out_c] : spec) {
+    x = b.dwconv_bn_relu(x, 3, stride);
+    x = b.conv_bn_relu(x, out_c, 1, 1, 0);
+  }
+  x = b.global_pool(x);
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+}  // namespace hax::nn::zoo

@@ -1,0 +1,51 @@
+/// \file zoo_googlenet.cpp
+/// GoogleNet / Inception-v1 (Szegedy et al. 2015), 22 weight layers, 9
+/// inception modules. Layer indices land near the paper's Table 2 grouping
+/// (0-9 stem, ~14-layer inception modules, 124-140 head).
+
+#include "nn/builder.h"
+#include "nn/zoo.h"
+
+namespace hax::nn::zoo {
+namespace {
+
+/// Classic inception module: 1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1, concat.
+int inception(NetworkBuilder& b, int x, int c1, int c3r, int c3, int c5r, int c5, int cp) {
+  const int b1 = b.conv_relu(x, c1, 1);
+  const int b3 = b.conv_relu(b.conv_relu(x, c3r, 1), c3, 3);
+  const int b5 = b.conv_relu(b.conv_relu(x, c5r, 1), c5, 5);
+  const int bp = b.conv_relu(b.pool(x, 3, 1, 1), cp, 1);
+  return b.concat({b1, b3, b5, bp});
+}
+
+}  // namespace
+
+Network googlenet() {
+  NetworkBuilder b("GoogleNet", {3, 224, 224});
+  int x = b.conv_relu(b.input(), 64, 7, 2, 3);
+  x = b.pool(x, 3, 2, 1);
+  x = b.lrn(x);
+  x = b.conv_relu(x, 64, 1);
+  x = b.conv_relu(x, 192, 3);
+  x = b.lrn(x);
+  x = b.pool(x, 3, 2, 1);
+
+  x = inception(b, x, 64, 96, 128, 16, 32, 32);     // 3a
+  x = inception(b, x, 128, 128, 192, 32, 96, 64);   // 3b
+  x = b.pool(x, 3, 2, 1);
+  x = inception(b, x, 192, 96, 208, 16, 48, 64);    // 4a
+  x = inception(b, x, 160, 112, 224, 24, 64, 64);   // 4b
+  x = inception(b, x, 128, 128, 256, 24, 64, 64);   // 4c
+  x = inception(b, x, 112, 144, 288, 32, 64, 64);   // 4d
+  x = inception(b, x, 256, 160, 320, 32, 128, 128); // 4e
+  x = b.pool(x, 3, 2, 1);
+  x = inception(b, x, 256, 160, 320, 32, 128, 128); // 5a
+  x = inception(b, x, 384, 192, 384, 48, 128, 128); // 5b
+
+  x = b.global_pool(x);
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+}  // namespace hax::nn::zoo

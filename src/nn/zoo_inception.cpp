@@ -1,0 +1,173 @@
+/// \file zoo_inception.cpp
+/// Inception-v4 and Inception-ResNet-v2 (Szegedy et al. 2017). These are
+/// the deepest networks in the evaluation set; Inception-ResNet-v2's large
+/// layer count stresses the solver exactly as the paper describes
+/// ("Inception-ResNet-v2 ... consists of 985 layers", Sec 4).
+
+#include "nn/builder.h"
+#include "nn/zoo.h"
+
+namespace hax::nn::zoo {
+namespace {
+
+using B = NetworkBuilder;
+
+/// Shared Inception-v4 / Inception-ResNet-v2 stem (299x299x3 -> 35x35x384).
+int inception_stem(B& b, bool with_bn) {
+  const auto cbr = [&](int src, int c, int k, int s = 1, int pad = B::kSame) {
+    return with_bn ? b.conv_bn_relu(src, c, k, s, pad) : b.conv_relu(src, c, k, s, pad);
+  };
+  int x = cbr(b.input(), 32, 3, 2, 0);  // 149x149
+  x = cbr(x, 32, 3, 1, 0);              // 147x147
+  x = cbr(x, 64, 3);                    // 147x147
+  const int p1 = b.pool(x, 3, 2);                    // 73x73
+  const int c1 = cbr(x, 96, 3, 2, 0);                // 73x73
+  x = b.concat({p1, c1});                            // 160c
+  const int a1 = cbr(cbr(x, 64, 1), 96, 3, 1, 0);    // 71x71
+  int a2 = cbr(x, 64, 1);
+  a2 = b.relu(b.conv_asym(a2, 64, 7, 1));
+  a2 = b.relu(b.conv_asym(a2, 64, 1, 7));
+  a2 = cbr(a2, 96, 3, 1, 0);                         // 71x71
+  x = b.concat({a1, a2});                            // 192c
+  const int c2 = cbr(x, 192, 3, 2, 0);               // 35x35
+  const int p2 = b.pool(x, 3, 2);                    // 35x35
+  return b.concat({c2, p2});                         // 384c
+}
+
+// ---------------------------------------------------------------- v4 ----
+
+int inception_a(B& b, int x) {
+  const int bp = b.conv_relu(b.pool(x, 3, 1, 1), 96, 1);
+  const int b1 = b.conv_relu(x, 96, 1);
+  const int b3 = b.conv_relu(b.conv_relu(x, 64, 1), 96, 3);
+  int b5 = b.conv_relu(x, 64, 1);
+  b5 = b.conv_relu(b5, 96, 3);
+  b5 = b.conv_relu(b5, 96, 3);
+  return b.concat({bp, b1, b3, b5});  // 384c
+}
+
+int reduction_a(B& b, int x, int k, int l, int m, int n) {
+  const int bp = b.pool(x, 3, 2);
+  const int b3 = b.conv_relu(x, n, 3, 2, 0);
+  int bd = b.conv_relu(x, k, 1);
+  bd = b.conv_relu(bd, l, 3);
+  bd = b.conv_relu(bd, m, 3, 2, 0);
+  return b.concat({bp, b3, bd});
+}
+
+int inception_b(B& b, int x) {
+  const int bp = b.conv_relu(b.pool(x, 3, 1, 1), 128, 1);
+  const int b1 = b.conv_relu(x, 384, 1);
+  int b7 = b.conv_relu(x, 192, 1);
+  b7 = b.relu(b.conv_asym(b7, 224, 1, 7));
+  b7 = b.relu(b.conv_asym(b7, 256, 7, 1));
+  int bd = b.conv_relu(x, 192, 1);
+  bd = b.relu(b.conv_asym(bd, 192, 1, 7));
+  bd = b.relu(b.conv_asym(bd, 224, 7, 1));
+  bd = b.relu(b.conv_asym(bd, 224, 1, 7));
+  bd = b.relu(b.conv_asym(bd, 256, 7, 1));
+  return b.concat({bp, b1, b7, bd});  // 1024c
+}
+
+int reduction_b_v4(B& b, int x) {
+  const int bp = b.pool(x, 3, 2);
+  int b3 = b.conv_relu(x, 192, 1);
+  b3 = b.conv_relu(b3, 192, 3, 2, 0);
+  int b7 = b.conv_relu(x, 256, 1);
+  b7 = b.relu(b.conv_asym(b7, 256, 1, 7));
+  b7 = b.relu(b.conv_asym(b7, 320, 7, 1));
+  b7 = b.conv_relu(b7, 320, 3, 2, 0);
+  return b.concat({bp, b3, b7});  // 1536c
+}
+
+int inception_c(B& b, int x) {
+  const int bp = b.conv_relu(b.pool(x, 3, 1, 1), 256, 1);
+  const int b1 = b.conv_relu(x, 256, 1);
+  const int mid3 = b.conv_relu(x, 384, 1);
+  const int b3a = b.relu(b.conv_asym(mid3, 256, 1, 3));
+  const int b3b = b.relu(b.conv_asym(mid3, 256, 3, 1));
+  int bd = b.conv_relu(x, 384, 1);
+  bd = b.relu(b.conv_asym(bd, 448, 1, 3));
+  bd = b.relu(b.conv_asym(bd, 512, 3, 1));
+  const int bda = b.relu(b.conv_asym(bd, 256, 3, 1));
+  const int bdb = b.relu(b.conv_asym(bd, 256, 1, 3));
+  return b.concat({bp, b1, b3a, b3b, bda, bdb});  // 1536c
+}
+
+// ------------------------------------------------------ resnet-v2 -------
+
+int block35(B& b, int x) {
+  const int b1 = b.conv_bn_relu(x, 32, 1);
+  const int b3 = b.conv_bn_relu(b.conv_bn_relu(x, 32, 1), 32, 3);
+  int b5 = b.conv_bn_relu(x, 32, 1);
+  b5 = b.conv_bn_relu(b5, 48, 3);
+  b5 = b.conv_bn_relu(b5, 64, 3);
+  const int cat = b.concat({b1, b3, b5});       // 128c
+  const int proj = b.conv(cat, b.shape(x).c, 1, 1, 0);  // linear projection
+  return b.relu(b.add(proj, x));
+}
+
+int block17(B& b, int x) {
+  const int b1 = b.conv_bn_relu(x, 192, 1);
+  int b7 = b.conv_bn_relu(x, 128, 1);
+  b7 = b.relu(b.bn(b.conv_asym(b7, 160, 1, 7)));
+  b7 = b.relu(b.bn(b.conv_asym(b7, 192, 7, 1)));
+  const int cat = b.concat({b1, b7});           // 384c
+  const int proj = b.conv(cat, b.shape(x).c, 1, 1, 0);
+  return b.relu(b.add(proj, x));
+}
+
+int block8(B& b, int x) {
+  const int b1 = b.conv_bn_relu(x, 192, 1);
+  int b3 = b.conv_bn_relu(x, 192, 1);
+  b3 = b.relu(b.bn(b.conv_asym(b3, 224, 1, 3)));
+  b3 = b.relu(b.bn(b.conv_asym(b3, 256, 3, 1)));
+  const int cat = b.concat({b1, b3});           // 448c
+  const int proj = b.conv(cat, b.shape(x).c, 1, 1, 0);
+  return b.relu(b.add(proj, x));
+}
+
+int reduction_b_res(B& b, int x) {
+  const int bp = b.pool(x, 3, 2);
+  int b1 = b.conv_bn_relu(x, 256, 1);
+  b1 = b.conv_bn_relu(b1, 384, 3, 2, 0);
+  int b2 = b.conv_bn_relu(x, 256, 1);
+  b2 = b.conv_bn_relu(b2, 288, 3, 2, 0);
+  int b3 = b.conv_bn_relu(x, 256, 1);
+  b3 = b.conv_bn_relu(b3, 288, 3);
+  b3 = b.conv_bn_relu(b3, 320, 3, 2, 0);
+  return b.concat({bp, b1, b2, b3});
+}
+
+}  // namespace
+
+Network inception_v4() {
+  NetworkBuilder b("Inception", {3, 299, 299});
+  int x = inception_stem(b, /*with_bn=*/false);
+  for (int i = 0; i < 4; ++i) x = inception_a(b, x);
+  x = reduction_a(b, x, 192, 224, 256, 384);  // -> 17x17x1024
+  for (int i = 0; i < 7; ++i) x = inception_b(b, x);
+  x = reduction_b_v4(b, x);  // -> 8x8x1536
+  for (int i = 0; i < 3; ++i) x = inception_c(b, x);
+  x = b.global_pool(x);
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+Network inception_resnet_v2() {
+  NetworkBuilder b("Inc-res-v2", {3, 299, 299});
+  int x = inception_stem(b, /*with_bn=*/true);
+  for (int i = 0; i < 10; ++i) x = block35(b, x);
+  x = reduction_a(b, x, 256, 256, 384, 384);  // -> 17x17x1152
+  for (int i = 0; i < 20; ++i) x = block17(b, x);
+  x = reduction_b_res(b, x);  // -> 8x8x2144
+  for (int i = 0; i < 10; ++i) x = block8(b, x);
+  x = b.conv_bn_relu(x, 1536, 1);
+  x = b.global_pool(x);
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+}  // namespace hax::nn::zoo

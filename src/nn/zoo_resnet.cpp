@@ -1,0 +1,117 @@
+/// \file zoo_resnet.cpp
+/// ResNet-18/50/101/152 (He et al. 2016) and the FCN-ResNet18 semantic
+/// segmentation variant used by the paper's experiment 5 ("FC_ResN18").
+
+#include "nn/builder.h"
+#include "nn/zoo.h"
+
+namespace hax::nn::zoo {
+namespace {
+
+/// Basic residual block (two 3x3 convs), ResNet-18/34.
+int basic_block(NetworkBuilder& b, int x, int channels, int stride) {
+  int shortcut = x;
+  int y = b.conv_bn_relu(x, channels, 3, stride);
+  y = b.bn(b.conv(y, channels, 3));
+  if (stride != 1 || b.shape(x).c != channels) {
+    shortcut = b.bn(b.conv(x, channels, 1, stride, 0));
+  }
+  return b.relu(b.add(y, shortcut));
+}
+
+/// Bottleneck residual block (1x1 -> 3x3 -> 1x1), ResNet-50/101/152.
+int bottleneck(NetworkBuilder& b, int x, int mid_channels, int stride) {
+  const int out_channels = mid_channels * 4;
+  int shortcut = x;
+  int y = b.conv_bn_relu(x, mid_channels, 1, 1, 0);
+  y = b.conv_bn_relu(y, mid_channels, 3, stride);
+  y = b.bn(b.conv(y, out_channels, 1, 1, 0));
+  if (stride != 1 || b.shape(x).c != out_channels) {
+    shortcut = b.bn(b.conv(x, out_channels, 1, stride, 0));
+  }
+  return b.relu(b.add(y, shortcut));
+}
+
+/// Shared stem: 7x7/2 conv + 3x3/2 max pool.
+int stem(NetworkBuilder& b) {
+  int x = b.conv_bn_relu(b.input(), 64, 7, 2, 3);
+  return b.pool(x, 3, 2, 1);
+}
+
+Network resnet_basic(const std::string& name, const int blocks[4], Tensor3 input,
+                     bool classification_head) {
+  NetworkBuilder b(name, input);
+  int x = stem(b);
+  const int channels[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < blocks[stage]; ++i) {
+      const int stride = (stage > 0 && i == 0) ? 2 : 1;
+      x = basic_block(b, x, channels[stage], stride);
+    }
+  }
+  if (classification_head) {
+    x = b.global_pool(x);
+    x = b.fc(x, 1000);
+    b.softmax(x);
+  } else {
+    // FCN head: 1x1 score conv + a chain of 2x transposed-conv upsampling
+    // stages back to the input resolution (stride 32 overall).
+    x = b.conv(x, 21, 1, 1, 0);
+    for (int i = 0; i < 5; ++i) {
+      x = b.deconv(x, 21, 4, 2);
+      if (i < 4) x = b.relu(x);
+    }
+  }
+  return b.build();
+}
+
+Network resnet_bottleneck(const std::string& name, const int blocks[4]) {
+  NetworkBuilder b(name, {3, 224, 224});
+  int x = stem(b);
+  const int mid[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < blocks[stage]; ++i) {
+      const int stride = (stage > 0 && i == 0) ? 2 : 1;
+      x = bottleneck(b, x, mid[stage], stride);
+    }
+  }
+  x = b.global_pool(x);
+  x = b.fc(x, 1000);
+  b.softmax(x);
+  return b.build();
+}
+
+}  // namespace
+
+Network resnet18() {
+  const int blocks[4] = {2, 2, 2, 2};
+  return resnet_basic("ResNet18", blocks, {3, 224, 224}, /*classification_head=*/true);
+}
+
+Network resnet34() {
+  const int blocks[4] = {3, 4, 6, 3};
+  return resnet_basic("ResNet34", blocks, {3, 224, 224}, /*classification_head=*/true);
+}
+
+Network resnet50() {
+  const int blocks[4] = {3, 4, 6, 3};
+  return resnet_bottleneck("ResNet50", blocks);
+}
+
+Network resnet101() {
+  const int blocks[4] = {3, 4, 23, 3};
+  return resnet_bottleneck("ResNet101", blocks);
+}
+
+Network resnet152() {
+  const int blocks[4] = {3, 8, 36, 3};
+  return resnet_bottleneck("ResNet152", blocks);
+}
+
+Network fcn_resnet18() {
+  // Cityscapes-style input aspect ratio; heavier than classification.
+  const int blocks[4] = {2, 2, 2, 2};
+  return resnet_basic("FCN-ResNet18", blocks, {3, 256, 512}, /*classification_head=*/false);
+}
+
+}  // namespace hax::nn::zoo

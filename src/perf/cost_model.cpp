@@ -1,0 +1,148 @@
+#include "perf/cost_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hax::perf {
+
+double CostModel::type_efficiency(nn::LayerKind kind, const soc::PuParams& pu) const noexcept {
+  using nn::LayerKind;
+  switch (kind) {
+    case LayerKind::Conv:
+    case LayerKind::DepthwiseConv:
+    case LayerKind::Deconv:
+      return pu.conv_eff;
+    case LayerKind::FullyConnected:
+      return pu.fc_eff;
+    case LayerKind::Pool:
+    case LayerKind::GlobalPool:
+      return pu.pool_eff;
+    case LayerKind::Activation:
+    case LayerKind::BatchNorm:
+    case LayerKind::Add:
+    case LayerKind::Lrn:
+    case LayerKind::Softmax:
+      return pu.elementwise_eff;
+    case LayerKind::Input:
+    case LayerKind::Concat:
+      return 1.0;  // no compute
+  }
+  return 1.0;
+}
+
+namespace {
+
+/// Elementwise tail ops (activation / bn / residual add) are fused into
+/// the producing kernel by TensorRT/DLA compilers when their tensor fits
+/// on-chip — they then cost (almost) nothing and move (almost) no DRAM
+/// traffic.
+bool fused_elementwise(const nn::Layer& layer, const soc::PuParams& p) {
+  switch (layer.kind) {
+    case nn::LayerKind::Activation:
+    case nn::LayerKind::BatchNorm:
+    case nn::LayerKind::Add:
+      return layer.out.bytes() <= p.onchip_buffer_bytes;
+    default:
+      return false;
+  }
+}
+
+bool conv_family(nn::LayerKind kind) {
+  return kind == nn::LayerKind::Conv || kind == nn::LayerKind::DepthwiseConv ||
+         kind == nn::LayerKind::Deconv;
+}
+
+}  // namespace
+
+Bytes CostModel::layer_dram_bytes(const nn::Layer& layer, soc::PuId pu) const {
+  const soc::PuParams& p = platform_->pu(pu).params();
+  if (layer.kind == nn::LayerKind::Input) return 0;
+  if (fused_elementwise(layer, p)) {
+    // Stays on-chip; only a sliver of boundary traffic remains.
+    return (layer.input_bytes() + layer.output_bytes()) / 8;
+  }
+  const Bytes act = layer.input_bytes() + layer.output_bytes();
+  // Tiling amplification applies to convolution-family activations only:
+  // pooling / joins / heads stream their tensors once.
+  const double amp = conv_family(layer.kind) ? p.act_traffic_amplification : 1.0;
+  double weights = static_cast<double>(layer.weight_bytes());
+  if (layer.kind == nn::LayerKind::FullyConnected) weights *= p.fc_weight_traffic;
+  return static_cast<Bytes>(amp * static_cast<double>(act) + weights);
+}
+
+TimeMs CostModel::layer_time(const nn::Layer& layer, soc::PuId pu) const {
+  const soc::ProcessingUnit& unit = platform_->pu(pu);
+  const soc::PuParams& p = unit.params();
+  HAX_REQUIRE(layer.supported_on(p.kind),
+              "layer '" + layer.name + "' not supported on " + p.name);
+  if (layer.kind == nn::LayerKind::Input) return 0.0;
+  if (fused_elementwise(layer, p)) {
+    // Tail of a fused kernel: a fraction of the launch overhead, floored
+    // by the time its residual boundary traffic needs at stream bandwidth
+    // (keeps the derived demand physically bounded).
+    return std::max(0.3 * p.per_layer_overhead_ms,
+                    ms_for_bytes(layer_dram_bytes(layer, pu), p.max_stream_gbps));
+  }
+
+  const Flops work = layer.flops();
+  TimeMs compute_ms = 0.0;
+  if (work > 0) {
+    double eff = type_efficiency(layer.kind, p);
+    // Asymmetric kernels get padded toward square on DSA pipelines.
+    if (conv_family(layer.kind) && layer.kernel_w > 0 && layer.kernel_w != layer.kernel) {
+      eff /= p.asym_kernel_penalty;
+    }
+    compute_ms = ms_for_flops(work, unit.effective_gflops(work) * eff);
+  }
+  const TimeMs memory_ms = ms_for_bytes(layer_dram_bytes(layer, pu), p.max_stream_gbps);
+  return std::max(compute_ms, memory_ms) + p.per_layer_overhead_ms;
+}
+
+GBps CostModel::layer_demand(const nn::Layer& layer, soc::PuId pu) const {
+  const TimeMs t = layer_time(layer, pu);
+  if (t <= 0.0) return 0.0;
+  return bytes_over_ms(layer_dram_bytes(layer, pu), t);
+}
+
+TimeMs CostModel::group_time(const grouping::GroupedNetwork& gn, int group,
+                             soc::PuId pu) const {
+  const grouping::LayerGroup& g = gn.group(group);
+  TimeMs total = 0.0;
+  for (int i = g.first; i <= g.last; ++i) total += layer_time(gn.network().layer(i), pu);
+  return total;
+}
+
+Bytes CostModel::group_dram_bytes(const grouping::GroupedNetwork& gn, int group,
+                                  soc::PuId pu) const {
+  const grouping::LayerGroup& g = gn.group(group);
+  Bytes total = 0;
+  for (int i = g.first; i <= g.last; ++i) {
+    total += layer_dram_bytes(gn.network().layer(i), pu);
+  }
+  return total;
+}
+
+GBps CostModel::group_demand(const grouping::GroupedNetwork& gn, int group,
+                             soc::PuId pu) const {
+  const TimeMs t = group_time(gn, group, pu);
+  if (t <= 0.0) return 0.0;
+  return bytes_over_ms(group_dram_bytes(gn, group, pu), t);
+}
+
+TimeMs CostModel::network_time(const nn::Network& net, soc::PuId pu,
+                               soc::PuId fallback_pu) const {
+  TimeMs total = 0.0;
+  for (const nn::Layer& l : net.layers()) {
+    soc::PuId target = pu;
+    if (!l.supported_on(platform_->pu(pu).params().kind)) {
+      HAX_REQUIRE(fallback_pu != soc::kInvalidPu,
+                  "layer '" + l.name + "' unsupported and no fallback PU given");
+      target = fallback_pu;
+    }
+    total += layer_time(l, target);
+  }
+  return total;
+}
+
+}  // namespace hax::perf

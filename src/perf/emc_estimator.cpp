@@ -1,0 +1,20 @@
+#include "perf/emc_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hax::perf {
+
+double EmcEstimator::measure_utilization(GBps demand, GBps emc_peak) noexcept {
+  if (emc_peak <= 0.0) return 0.0;
+  const double util = std::clamp(demand / emc_peak, 0.0, 1.0);
+  return std::round(util / kUtilQuantum) * kUtilQuantum;
+}
+
+GBps EmcEstimator::estimate_demand(GBps gpu_demand, double gpu_util,
+                                   double dsa_util) noexcept {
+  if (gpu_util <= 0.0) return 0.0;
+  return std::max(0.0, gpu_demand * dsa_util / gpu_util);
+}
+
+}  // namespace hax::perf

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file emc_estimator.h
+/// Black-box DSA memory-throughput estimation (paper Sec 3.3, steps 1-4).
+/// Hardware counters (Nsight Compute) expose requested throughput on the
+/// GPU but not on the DLA/DSP; only the system-wide external memory
+/// controller (EMC) utilization counter covers every PU — at coarse
+/// granularity. The paper's method: profile a layer's throughput on the
+/// GPU, read EMC utilization for the layer on both PUs, and scale the GPU
+/// throughput by the utilization ratio.
+
+#include "common/types.h"
+
+namespace hax::perf {
+
+class EmcEstimator {
+ public:
+  /// Percent resolution of the EMC utilization counter (tegrastats-style).
+  /// Non-zero quantization is what makes the reconstructed demand an
+  /// *estimate* rather than the exact value — the scheduler's ε slack
+  /// (Eq. 9) absorbs the residual error.
+  static constexpr double kUtilQuantum = 0.01;
+
+  /// Step 2: "read" the EMC utilization counter for a layer demanding
+  /// `demand` GB/s against an EMC peak of `emc_peak` GB/s. Quantized to
+  /// kUtilQuantum and clamped to [0, 1].
+  [[nodiscard]] static double measure_utilization(GBps demand, GBps emc_peak) noexcept;
+
+  /// Step 3: reconstruct a black-box PU's requested throughput from the
+  /// GPU-profiled throughput of the same layer and both measured EMC
+  /// utilizations: demand_dsa = demand_gpu * util_dsa / util_gpu.
+  /// Returns 0 when the GPU utilization reading is zero (nothing to scale).
+  [[nodiscard]] static GBps estimate_demand(GBps gpu_demand, double gpu_util,
+                                            double dsa_util) noexcept;
+};
+
+}  // namespace hax::perf

@@ -1,0 +1,142 @@
+#include "perf/profiler.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "perf/emc_estimator.h"
+
+namespace hax::perf {
+
+NetworkProfile::NetworkProfile(int group_count, int layer_count, int pu_count)
+    : group_count_(group_count), layer_count_(layer_count), pu_count_(pu_count) {
+  HAX_REQUIRE(group_count > 0 && layer_count > 0 && pu_count > 0,
+              "profile dimensions must be positive");
+  records_.resize(static_cast<std::size_t>(group_count) * static_cast<std::size_t>(pu_count));
+  layer_records_.resize(static_cast<std::size_t>(layer_count) *
+                        static_cast<std::size_t>(pu_count));
+}
+
+const LayerProfile& NetworkProfile::layer_at(int layer, soc::PuId pu) const {
+  HAX_REQUIRE(layer >= 0 && layer < layer_count_, "layer out of range");
+  HAX_REQUIRE(pu >= 0 && pu < pu_count_, "pu out of range");
+  return layer_records_[static_cast<std::size_t>(layer) * static_cast<std::size_t>(pu_count_) +
+                        static_cast<std::size_t>(pu)];
+}
+
+LayerProfile& NetworkProfile::layer_at(int layer, soc::PuId pu) {
+  return const_cast<LayerProfile&>(std::as_const(*this).layer_at(layer, pu));
+}
+
+const GroupProfile& NetworkProfile::at(int group, soc::PuId pu) const {
+  HAX_REQUIRE(group >= 0 && group < group_count_, "group out of range");
+  HAX_REQUIRE(pu >= 0 && pu < pu_count_, "pu out of range");
+  return records_[static_cast<std::size_t>(group) * static_cast<std::size_t>(pu_count_) +
+                  static_cast<std::size_t>(pu)];
+}
+
+GroupProfile& NetworkProfile::at(int group, soc::PuId pu) {
+  return const_cast<GroupProfile&>(std::as_const(*this).at(group, pu));
+}
+
+TimeMs NetworkProfile::total_time(soc::PuId pu) const {
+  TimeMs total = 0.0;
+  for (int g = 0; g < group_count_; ++g) {
+    const GroupProfile& rec = at(g, pu);
+    if (!rec.supported) return std::numeric_limits<TimeMs>::infinity();
+    total += rec.time_ms;
+  }
+  return total;
+}
+
+soc::PuId NetworkProfile::fastest_pu(const std::vector<soc::PuId>& pus) const {
+  HAX_REQUIRE(!pus.empty(), "fastest_pu needs candidates");
+  soc::PuId best = pus.front();
+  TimeMs best_time = total_time(best);
+  for (soc::PuId pu : pus) {
+    const TimeMs t = total_time(pu);
+    if (t < best_time) {
+      best_time = t;
+      best = pu;
+    }
+  }
+  return best;
+}
+
+NetworkProfile Profiler::profile(const grouping::GroupedNetwork& gn) const {
+  const soc::Platform& plat = *platform_;
+  NetworkProfile out(gn.group_count(), gn.network().layer_count(), plat.pu_count());
+  const GBps emc_peak = plat.memory().total_gbps();
+  const soc::PuId gpu = plat.gpu();
+
+  // Multiplicative measurement noise (run-to-run IProfiler jitter).
+  Rng rng(options_.noise_seed);
+  const auto noise = [&]() -> double {
+    if (options_.noise_stdev <= 0.0) return 1.0;
+    return std::max(0.5, rng.normal(1.0, options_.noise_stdev));
+  };
+
+  // ---- per-layer records (IProfiler-style) -------------------------------
+  for (int layer = 0; layer < gn.network().layer_count(); ++layer) {
+    const nn::Layer& l = gn.network().layer(layer);
+    // Profile the GPU first: it anchors the black-box estimation (Sec 3.3).
+    GBps gpu_demand = 0.0;
+    double gpu_util = 0.0;
+
+    std::vector<soc::PuId> order{gpu};
+    for (soc::PuId pu = 0; pu < plat.pu_count(); ++pu) {
+      if (pu != gpu) order.push_back(pu);
+    }
+    for (soc::PuId pu : order) {
+      LayerProfile& rec = out.layer_at(layer, pu);
+      const soc::PuParams& params = plat.pu(pu).params();
+      rec.supported = l.supported_on(params.kind);
+      if (!rec.supported) continue;
+
+      const double f = noise();
+      rec.time_ms = cost_.layer_time(l, pu) * f;
+      // The same traffic volume observed over a jittered duration.
+      const GBps observed = rec.time_ms > 0.0 ? cost_.layer_demand(l, pu) / f : 0.0;
+      if (pu == gpu) {
+        gpu_demand = observed;
+        gpu_util = EmcEstimator::measure_utilization(observed, emc_peak);
+      }
+      if (params.throughput_profilable) {
+        rec.demand_gbps = observed;
+      } else {
+        const double util = EmcEstimator::measure_utilization(observed, emc_peak);
+        rec.demand_gbps = EmcEstimator::estimate_demand(gpu_demand, gpu_util, util);
+      }
+    }
+  }
+
+  // ---- per-group records aggregate the layer records ---------------------
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const grouping::LayerGroup& grp = gn.group(g);
+    for (soc::PuId pu = 0; pu < plat.pu_count(); ++pu) {
+      GroupProfile& rec = out.at(g, pu);
+      const soc::PuParams& params = plat.pu(pu).params();
+      rec.supported = gn.supported(g, params.kind);
+      if (!rec.supported) continue;
+
+      TimeMs time = 0.0;
+      double traffic_gb_ms = 0.0;  // GB/s x ms accumulator == traffic volume
+      for (int layer = grp.first; layer <= grp.last; ++layer) {
+        const LayerProfile& lrec = out.layer_at(layer, pu);
+        time += lrec.time_ms;
+        traffic_gb_ms += lrec.demand_gbps * lrec.time_ms;
+      }
+      rec.time_ms = time;
+      rec.demand_gbps = time > 0.0 ? traffic_gb_ms / time : 0.0;
+      rec.demand_estimated = !params.throughput_profilable;
+      rec.emc_utilization = EmcEstimator::measure_utilization(rec.demand_gbps, emc_peak);
+      rec.tau_in = transition_.in_cost(gn, g, pu) * noise();
+      rec.tau_out = transition_.out_cost(gn, g, pu) * noise();
+    }
+  }
+  return out;
+}
+
+}  // namespace hax::perf

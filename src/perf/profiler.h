@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file profiler.h
+/// Layer-centric offline profiling (paper Sec 3.2/3.3). Produces the
+/// profile database the scheduler consumes: per (layer group, PU)
+/// standalone time, requested memory throughput, and transition costs.
+///
+/// Profiling honors observability limits: a PU whose
+/// `throughput_profilable` flag is false (the DLA / Hexagon DSP) does not
+/// expose its requested throughput; only the coarse EMC-utilization
+/// counter is visible. For those PUs the stored demand is *reconstructed*
+/// with the EmcEstimator (Sec 3.3's four-step method), so the scheduler
+/// works from the same imperfect knowledge the paper's system does.
+
+#include <vector>
+
+#include "grouping/grouping.h"
+#include "perf/cost_model.h"
+#include "perf/transition.h"
+#include "soc/platform.h"
+
+namespace hax::perf {
+
+/// One (layer, PU) profile record — what TensorRT's IProfiler reports per
+/// layer, plus the (possibly estimated) requested memory throughput.
+struct LayerProfile {
+  bool supported = false;
+  TimeMs time_ms = 0.0;
+  GBps demand_gbps = 0.0;
+};
+
+/// One (group, PU) profile record.
+struct GroupProfile {
+  bool supported = false;
+  TimeMs time_ms = 0.0;        ///< standalone execution time
+  GBps demand_gbps = 0.0;      ///< requested memory throughput (possibly estimated)
+  bool demand_estimated = false;  ///< true when reconstructed via EMC ratio
+  double emc_utilization = 0.0;   ///< measured (quantized) fraction of EMC peak
+  TimeMs tau_in = 0.0;   ///< IN transition cost when a transition lands here
+  TimeMs tau_out = 0.0;  ///< OUT transition cost when a transition leaves here
+};
+
+/// Profile of a whole grouped network on one platform.
+class NetworkProfile {
+ public:
+  NetworkProfile(int group_count, int layer_count, int pu_count);
+
+  [[nodiscard]] const GroupProfile& at(int group, soc::PuId pu) const;
+  [[nodiscard]] GroupProfile& at(int group, soc::PuId pu);
+
+  [[nodiscard]] const LayerProfile& layer_at(int layer, soc::PuId pu) const;
+  [[nodiscard]] LayerProfile& layer_at(int layer, soc::PuId pu);
+
+  [[nodiscard]] int group_count() const noexcept { return group_count_; }
+  [[nodiscard]] int layer_count() const noexcept { return layer_count_; }
+  [[nodiscard]] int pu_count() const noexcept { return pu_count_; }
+
+  /// Sum of standalone group times on a single PU (serial lower bound for
+  /// that PU, ignoring transitions and contention).
+  [[nodiscard]] TimeMs total_time(soc::PuId pu) const;
+
+  /// Fastest single-PU assignment among the given PUs.
+  [[nodiscard]] soc::PuId fastest_pu(const std::vector<soc::PuId>& pus) const;
+
+ private:
+  int group_count_;
+  int layer_count_;
+  int pu_count_;
+  std::vector<GroupProfile> records_;        // row-major [group][pu]
+  std::vector<LayerProfile> layer_records_;  // row-major [layer][pu]
+};
+
+struct ProfilerOptions {
+  /// Relative standard deviation of multiplicative measurement noise on
+  /// per-layer times and transition costs (0 = exact). Real IProfiler
+  /// readings jitter by a few percent run-to-run; the scheduler must be
+  /// robust to that (it is what ε ultimately absorbs).
+  double noise_stdev = 0.0;
+  std::uint64_t noise_seed = 0x9D0F11E5ull;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(const soc::Platform& platform, ProfilerOptions options = {})
+      : platform_(&platform), options_(options), cost_(platform), transition_(platform) {}
+
+  /// Profiles every group on every PU of the platform.
+  [[nodiscard]] NetworkProfile profile(const grouping::GroupedNetwork& gn) const;
+
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return cost_; }
+  [[nodiscard]] const TransitionModel& transition_model() const noexcept { return transition_; }
+
+ private:
+  const soc::Platform* platform_;
+  ProfilerOptions options_;
+  CostModel cost_;
+  TransitionModel transition_;
+};
+
+}  // namespace hax::perf

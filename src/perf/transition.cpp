@@ -1,0 +1,52 @@
+#include "perf/transition.h"
+
+#include "common/error.h"
+
+namespace hax::perf {
+namespace {
+
+/// Fixed synchronization cost of draining a PU's pipeline and signalling
+/// through shared memory, per direction.
+constexpr TimeMs kSyncOverheadMs = 0.004;
+
+/// Reformat passes re-walk the tensor once (read + write at stream bw).
+constexpr double kReformatTrafficFactor = 2.0;
+
+}  // namespace
+
+TimeMs TransitionModel::out_cost(const grouping::GroupedNetwork& gn, int group,
+                                 soc::PuId pu) const {
+  const grouping::LayerGroup& g = gn.group(group);
+  const soc::PuParams& p = platform_->pu(pu).params();
+  TimeMs cost = kSyncOverheadMs + ms_for_bytes(g.output_bytes, p.max_stream_gbps);
+  if (p.requires_reformat) {
+    // The DSA's private layout must be converted to the shared linear
+    // layout before other PUs can read the tensor.
+    cost += ms_for_bytes(static_cast<Bytes>(kReformatTrafficFactor *
+                                            static_cast<double>(g.output_bytes)),
+                         p.max_stream_gbps);
+  }
+  return cost;
+}
+
+TimeMs TransitionModel::in_cost(const grouping::GroupedNetwork& gn, int group,
+                                soc::PuId pu) const {
+  const grouping::LayerGroup& g = gn.group(group);
+  const soc::PuParams& p = platform_->pu(pu).params();
+  TimeMs cost = kSyncOverheadMs + ms_for_bytes(g.input_bytes, p.max_stream_gbps);
+  if (p.requires_reformat) {
+    cost += ms_for_bytes(static_cast<Bytes>(kReformatTrafficFactor *
+                                            static_cast<double>(g.input_bytes)),
+                         p.max_stream_gbps);
+  }
+  return cost;
+}
+
+TimeMs TransitionModel::boundary_cost(const grouping::GroupedNetwork& gn, int group,
+                                      soc::PuId from, soc::PuId to) const {
+  HAX_REQUIRE(group + 1 < gn.group_count(), "no boundary after the last group");
+  if (from == to) return 0.0;
+  return out_cost(gn, group, from) + in_cost(gn, group + 1, to);
+}
+
+}  // namespace hax::perf

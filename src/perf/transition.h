@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file transition.h
+/// Inter-DSA transition cost model (paper Sec 3.2, "Inter-DSA layer
+/// transitions"). When execution of a DNN switches PUs at a group
+/// boundary, the producing PU flushes the boundary tensor from its private
+/// cache to shared memory (OUT cost) and the consuming PU loads it, with a
+/// reformat pass if its HW pipeline uses a private tensor layout
+/// (IN cost). Costs scale with the boundary tensor size — which is why the
+/// paper observes pooling-terminated groups transitioning cheaply.
+
+#include "grouping/grouping.h"
+#include "soc/platform.h"
+
+namespace hax::perf {
+
+class TransitionModel {
+ public:
+  explicit TransitionModel(const soc::Platform& platform) : platform_(&platform) {}
+
+  /// Cost of flushing group `group`'s boundary output from `pu` to shared
+  /// memory so another PU can consume it.
+  [[nodiscard]] TimeMs out_cost(const grouping::GroupedNetwork& gn, int group,
+                                soc::PuId pu) const;
+
+  /// Cost of ingesting the predecessor group's output on `pu`
+  /// (load + optional reformat).
+  [[nodiscard]] TimeMs in_cost(const grouping::GroupedNetwork& gn, int group,
+                               soc::PuId pu) const;
+
+  /// Total boundary cost of transitioning between consecutive groups:
+  /// out_cost(group, from) + in_cost(group + 1, to).
+  [[nodiscard]] TimeMs boundary_cost(const grouping::GroupedNetwork& gn, int group,
+                                     soc::PuId from, soc::PuId to) const;
+
+ private:
+  const soc::Platform* platform_;
+};
+
+}  // namespace hax::perf

@@ -1,0 +1,183 @@
+#include "runtime/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace hax::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TimeMs wall_ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// State shared by the per-DNN worker threads.
+struct Shared {
+  const sched::Problem* prob = nullptr;
+  double time_scale = 1.0;
+
+  // EMC demand registry: what each PU's active kernel currently requests.
+  std::mutex demand_mutex;
+  std::vector<GBps> demands;
+
+  // PU exclusivity (one kernel per PU at a time).
+  std::vector<std::unique_ptr<std::mutex>> pu_mutex;
+
+  // Frame-level pipeline dependencies.
+  std::mutex dep_mutex;
+  std::condition_variable dep_cv;
+  std::vector<int> frames_done;
+
+  // Result collection.
+  std::mutex record_mutex;
+  std::vector<FrameRecord> frames;
+
+  // First worker exception (rethrown on the caller's thread after join).
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+};
+
+/// Runs one timed kernel on `pu`: holds the PU, registers its memory
+/// demand, and sleeps for the contention-stretched duration.
+void run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand) {
+  if (duration_ms <= 0.0) return;
+  std::lock_guard<std::mutex> pu_lock(*sh.pu_mutex[static_cast<std::size_t>(pu)]);
+
+  GBps external = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(sh.demand_mutex);
+    sh.demands[static_cast<std::size_t>(pu)] = demand;
+    for (std::size_t p = 0; p < sh.demands.size(); ++p) {
+      if (static_cast<soc::PuId>(p) != pu) external += sh.demands[p];
+    }
+  }
+  const double slowdown = sh.prob->platform->memory().slowdown(demand, external);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(duration_ms * slowdown * sh.time_scale));
+  {
+    std::lock_guard<std::mutex> lock(sh.demand_mutex);
+    sh.demands[static_cast<std::size_t>(pu)] = 0.0;
+  }
+}
+
+void worker(Shared& sh, int dnn, const ScheduleProvider& provider, int frames) {
+  const sched::DnnSpec& spec = sh.prob->dnns[static_cast<std::size_t>(dnn)];
+  const int groups = spec.net->group_count();
+
+  for (int frame = 0; frame < frames && !sh.failed.load(); ++frame) {
+    if (spec.depends_on >= 0) {
+      std::unique_lock<std::mutex> lock(sh.dep_mutex);
+      sh.dep_cv.wait(lock, [&] {
+        return sh.failed.load() ||
+               sh.frames_done[static_cast<std::size_t>(spec.depends_on)] > frame;
+      });
+      if (sh.failed.load()) return;
+    }
+
+    // Hot swap: re-read the live schedule at the frame boundary.
+    const sched::Schedule schedule = provider();
+    HAX_REQUIRE(schedule.dnn_count() == sh.prob->dnn_count(),
+                "provider schedule has wrong DNN count");
+    const auto& asg = schedule.assignment[static_cast<std::size_t>(dnn)];
+    HAX_REQUIRE(static_cast<int>(asg.size()) == groups,
+                "provider schedule has wrong group count");
+
+    const auto frame_start = Clock::now();
+    soc::PuId prev = soc::kInvalidPu;
+    for (int g = 0; g < groups; ++g) {
+      const soc::PuId pu = asg[static_cast<std::size_t>(g)];
+      const perf::GroupProfile& rec = spec.profile->at(g, pu);
+      HAX_REQUIRE(rec.supported, "schedule assigns group to unsupported PU");
+      if (prev != soc::kInvalidPu && prev != pu) {
+        const perf::GroupProfile& prev_rec = spec.profile->at(g - 1, prev);
+        run_kernel(sh, prev, prev_rec.tau_out,
+                   sh.prob->platform->pu(prev).params().max_stream_gbps);
+        run_kernel(sh, pu, rec.tau_in, sh.prob->platform->pu(pu).params().max_stream_gbps);
+      }
+      run_kernel(sh, pu, rec.time_ms, rec.demand_gbps);
+      prev = pu;
+    }
+
+    const TimeMs latency = wall_ms_since(frame_start) / sh.time_scale;
+    {
+      std::lock_guard<std::mutex> lock(sh.record_mutex);
+      sh.frames.push_back({dnn, frame, latency});
+    }
+    {
+      std::lock_guard<std::mutex> lock(sh.dep_mutex);
+      ++sh.frames_done[static_cast<std::size_t>(dnn)];
+    }
+    sh.dep_cv.notify_all();
+  }
+}
+
+}  // namespace
+
+TimeMs RunStats::mean_latency_ms(int dnn) const {
+  TimeMs total = 0.0;
+  int count = 0;
+  for (const FrameRecord& f : frames) {
+    if (f.dnn == dnn) {
+      total += f.latency_ms;
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+Executor::Executor(const soc::Platform& platform, ExecutorOptions options)
+    : platform_(&platform), options_(options) {
+  HAX_REQUIRE(options_.time_scale > 0.0, "time_scale must be positive");
+}
+
+RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& provider,
+                       int frames) const {
+  problem.validate();
+  HAX_REQUIRE(provider != nullptr, "schedule provider required");
+  HAX_REQUIRE(frames >= 1, "frames must be >= 1");
+
+  Shared sh;
+  sh.prob = &problem;
+  sh.time_scale = options_.time_scale;
+  sh.demands.assign(static_cast<std::size_t>(platform_->pu_count()), 0.0);
+  sh.pu_mutex.reserve(static_cast<std::size_t>(platform_->pu_count()));
+  for (int p = 0; p < platform_->pu_count(); ++p) {
+    sh.pu_mutex.push_back(std::make_unique<std::mutex>());
+  }
+  sh.frames_done.assign(problem.dnns.size(), 0);
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(problem.dnns.size());
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    threads.emplace_back([&sh, d, &provider, frames] {
+      try {
+        worker(sh, d, provider, frames);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(sh.error_mutex);
+          if (!sh.error) sh.error = std::current_exception();
+        }
+        sh.failed.store(true);
+        sh.dep_cv.notify_all();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (sh.error) std::rethrow_exception(sh.error);
+
+  RunStats stats;
+  stats.frames = std::move(sh.frames);
+  stats.wall_ms = wall_ms_since(start);
+  return stats;
+}
+
+}  // namespace hax::runtime

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file executor.h
+/// Threaded wall-clock runtime: the stand-in for the paper's TensorRT
+/// plugin that synchronizes concurrently running DNNs through inter-
+/// process shared-memory primitives (Sec 4, "Neural network
+/// synchronization"). One worker thread per DNN executes its layer groups
+/// as timed kernels; PU exclusivity is enforced with per-PU mutexes,
+/// frame-level pipeline dependencies with condition variables, and EMC
+/// contention is applied by stretching kernel durations against a shared
+/// demand registry.
+///
+/// Schedules are *hot-swappable*: the executor re-reads its
+/// ScheduleProvider at every frame boundary, which is what lets
+/// D-HaX-CoNN upgrade the running workload as better schedules arrive.
+
+#include <functional>
+#include <vector>
+
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::runtime {
+
+struct ExecutorOptions {
+  /// Wall milliseconds per simulated millisecond. 1.0 executes kernels at
+  /// their modeled duration; smaller values compress time for tests.
+  double time_scale = 1.0;
+};
+
+/// Returns the schedule to use for the next frame. Called at frame
+/// boundaries from worker threads; must be thread-safe.
+using ScheduleProvider = std::function<sched::Schedule()>;
+
+struct FrameRecord {
+  int dnn = 0;
+  int frame = 0;
+  TimeMs latency_ms = 0.0;  ///< simulated-time span of the frame
+};
+
+struct RunStats {
+  std::vector<FrameRecord> frames;
+  TimeMs wall_ms = 0.0;  ///< wall-clock duration of the whole run
+
+  /// Mean simulated latency of one DNN's frames.
+  [[nodiscard]] TimeMs mean_latency_ms(int dnn) const;
+};
+
+class Executor {
+ public:
+  explicit Executor(const soc::Platform& platform, ExecutorOptions options = {});
+
+  /// Executes `frames` frames of the problem's workload with live
+  /// schedules from `provider`. Blocks until all DNNs finish. Thread-safe
+  /// against concurrent provider updates; not reentrant.
+  [[nodiscard]] RunStats run(const sched::Problem& problem, const ScheduleProvider& provider,
+                             int frames) const;
+
+ private:
+  const soc::Platform* platform_;
+  ExecutorOptions options_;
+};
+
+}  // namespace hax::runtime

@@ -1,0 +1,77 @@
+#include "sched/explain.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "sched/formulation.h"
+
+namespace hax::sched {
+
+std::string explain_schedule(const Problem& problem, const Schedule& schedule) {
+  problem.validate();
+  HAX_REQUIRE(schedule.dnn_count() == problem.dnn_count(),
+              "schedule/problem DNN count mismatch");
+  const soc::Platform& plat = *problem.platform;
+
+  std::ostringstream os;
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    const DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
+    const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
+    HAX_REQUIRE(static_cast<int>(asg.size()) == spec.net->group_count(),
+                "schedule group count mismatch");
+
+    os << "DNN " << d << " (" << spec.net->network().name() << ", "
+       << spec.net->group_count() << " groups";
+    if (spec.depends_on >= 0) os << ", depends on DNN " << spec.depends_on;
+    if (spec.iterations > 1) os << ", x" << spec.iterations << " frames";
+    os << ")\n";
+
+    TextTable table;
+    std::vector<std::string> header{"group"};
+    for (soc::PuId pu : problem.pus) header.push_back(plat.pu(pu).name() + " (ms)");
+    header.push_back("chosen");
+    header.push_back("demand (GB/s)");
+    header.push_back("transition");
+    table.header(std::move(header));
+
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      const soc::PuId chosen = asg[static_cast<std::size_t>(g)];
+      std::vector<std::string> row{spec.net->group(g).label};
+      for (soc::PuId pu : problem.pus) {
+        const perf::GroupProfile& rec = spec.profile->at(g, pu);
+        std::string cell = rec.supported ? fmt(rec.time_ms, 3) : "unsupported";
+        if (pu == chosen) cell = "[" + cell + "]";
+        row.push_back(std::move(cell));
+      }
+      row.push_back(plat.pu(chosen).name());
+      const perf::GroupProfile& chosen_rec = spec.profile->at(g, chosen);
+      row.push_back(fmt(chosen_rec.demand_gbps, 1) +
+                    (chosen_rec.demand_estimated ? " (est)" : ""));
+      if (g > 0 && asg[static_cast<std::size_t>(g - 1)] != chosen) {
+        const soc::PuId prev = asg[static_cast<std::size_t>(g - 1)];
+        const TimeMs cost =
+            spec.profile->at(g - 1, prev).tau_out + chosen_rec.tau_in;
+        row.push_back(plat.pu(prev).name() + "->" + plat.pu(chosen).name() + " " +
+                      fmt(cost, 3) + " ms");
+      } else {
+        row.push_back("");
+      }
+      table.row(std::move(row));
+    }
+    os << table.render();
+  }
+
+  const Formulation formulation(problem);
+  const Prediction p = formulation.predict(
+      schedule, {.enforce_transition_budget = false, .enforce_epsilon = false});
+  os << "prediction: round " << fmt(p.round_ms, 2) << " ms, " << fmt(p.fps, 1)
+     << " fps, cross-DNN queueing " << fmt(p.total_queue_ms, 3) << " ms\n";
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    os << "  DNN " << d << " span " << fmt(p.dnn_span_ms[static_cast<std::size_t>(d)], 2)
+       << " ms\n";
+  }
+  return os.str();
+}
+
+}  // namespace hax::sched

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file explain.h
+/// Human-readable schedule explanation: for each DNN and layer group, the
+/// per-PU profiled times, the chosen assignment, and the transition costs
+/// paid — the report a user reads to understand *why* the solver placed a
+/// group where it did. Exposed through the CLI's `explain` subcommand.
+
+#include <string>
+
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::sched {
+
+/// Renders a per-group explanation table for the schedule. Includes the
+/// prediction summary (per-DNN spans, round latency, fps).
+[[nodiscard]] std::string explain_schedule(const Problem& problem, const Schedule& schedule);
+
+}  // namespace hax::sched

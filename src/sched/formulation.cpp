@@ -1,0 +1,222 @@
+#include "sched/formulation.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace hax::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTimeTolerance = 1e-9;
+
+/// One predicted unit of work: a group's execution or a transition leg.
+struct Item {
+  soc::PuId pu = 0;
+  TimeMs duration = 0.0;
+  GBps demand = 0.0;
+};
+
+enum class Phase : std::uint8_t { Blocked, Waiting, Running, Done };
+
+struct DnnState {
+  std::vector<Item> items;  ///< one iteration
+  int iterations = 1;
+  int depends_on = -1;
+
+  Phase phase = Phase::Blocked;
+  int iter = 0;
+  std::size_t idx = 0;
+  TimeMs remaining = 0.0;
+  int iters_done = 0;
+  TimeMs iter_start = 0.0;
+  bool iter_started = false;
+  TimeMs wait_since = 0.0;   ///< when the DNN entered Waiting
+  TimeMs span_total = 0.0;
+};
+
+}  // namespace
+
+Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& options) const {
+  const Problem& prob = *problem_;
+  Prediction pred;
+  pred.objective_value = kInf;
+
+  HAX_REQUIRE(schedule.dnn_count() == prob.dnn_count(),
+              "schedule/problem DNN count mismatch");
+
+  // ---- build item lists; reject unsupported or over-budget schedules ----
+  std::vector<DnnState> states(prob.dnns.size());
+  for (int d = 0; d < prob.dnn_count(); ++d) {
+    const DnnSpec& spec = prob.dnns[static_cast<std::size_t>(d)];
+    const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
+    HAX_REQUIRE(static_cast<int>(asg.size()) == spec.net->group_count(),
+                "schedule group count mismatch");
+    if (options.enforce_transition_budget &&
+        schedule.transition_count(d) > prob.max_transitions) {
+      return pred;
+    }
+
+    DnnState& st = states[static_cast<std::size_t>(d)];
+    st.iterations = spec.iterations;
+    st.depends_on = spec.depends_on;
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      const soc::PuId pu = asg[static_cast<std::size_t>(g)];
+      const perf::GroupProfile& rec = spec.profile->at(g, pu);
+      if (!rec.supported) return pred;  // infeasible assignment
+      if (g > 0 && asg[static_cast<std::size_t>(g - 1)] != pu) {
+        const soc::PuId prev = asg[static_cast<std::size_t>(g - 1)];
+        const perf::GroupProfile& prev_rec = spec.profile->at(g - 1, prev);
+        const GBps prev_bw = prob.platform->pu(prev).params().max_stream_gbps;
+        const GBps this_bw = prob.platform->pu(pu).params().max_stream_gbps;
+        if (prev_rec.tau_out > 0.0) st.items.push_back({prev, prev_rec.tau_out, prev_bw});
+        if (rec.tau_in > 0.0) st.items.push_back({pu, rec.tau_in, this_bw});
+      }
+      // Layer-granularity items (the paper's profiling is layer-centric;
+      // Table 2's groups aggregate IProfiler's per-layer reports).
+      const grouping::LayerGroup& grp = spec.net->group(g);
+      for (int layer = grp.first; layer <= grp.last; ++layer) {
+        const perf::LayerProfile& lrec = spec.profile->layer_at(layer, pu);
+        if (lrec.time_ms > 0.0) st.items.push_back({pu, lrec.time_ms, lrec.demand_gbps});
+      }
+    }
+    if (st.items.empty()) return pred;
+  }
+
+  // ---- timeline sweep ----------------------------------------------------
+  const int pu_count = prob.platform->pu_count();
+  std::vector<std::deque<int>> queues(static_cast<std::size_t>(pu_count));
+  std::vector<int> running(static_cast<std::size_t>(pu_count), -1);
+  TimeMs now = 0.0;
+  TimeMs total_queue = 0.0;
+
+  const auto all_done = [&] {
+    return std::all_of(states.begin(), states.end(),
+                       [](const DnnState& s) { return s.phase == Phase::Done; });
+  };
+
+  const auto try_unblock = [&] {
+    for (std::size_t d = 0; d < states.size(); ++d) {
+      DnnState& st = states[d];
+      if (st.phase != Phase::Blocked) continue;
+      if (st.depends_on >= 0) {
+        const DnnState& dep = states[static_cast<std::size_t>(st.depends_on)];
+        if (dep.iters_done < std::min(st.iter + 1, dep.iterations)) continue;
+      }
+      st.phase = Phase::Waiting;
+      st.remaining = st.items[st.idx].duration;
+      st.wait_since = now;
+      queues[static_cast<std::size_t>(st.items[st.idx].pu)].push_back(static_cast<int>(d));
+    }
+  };
+
+  const auto grant = [&] {
+    for (std::size_t pu = 0; pu < queues.size(); ++pu) {
+      if (running[pu] >= 0 || queues[pu].empty()) continue;
+      const int d = queues[pu].front();
+      queues[pu].pop_front();
+      DnnState& st = states[static_cast<std::size_t>(d)];
+      st.phase = Phase::Running;
+      running[pu] = d;
+      total_queue += now - st.wait_since;  // cross-DNN same-PU overlap (Eq. 9)
+      if (!st.iter_started) {
+        st.iter_started = true;
+        st.iter_start = now;
+      }
+    }
+  };
+
+  try_unblock();
+  grant();
+
+  std::size_t total_items = 0;
+  for (const DnnState& st : states) {
+    total_items += st.items.size() * static_cast<std::size_t>(st.iterations);
+  }
+  const std::size_t max_events = 8 * total_items + 256;
+
+  for (std::size_t event = 0; event < max_events && !all_done(); ++event) {
+    // Demands of running items; slowdown of each from PCCS against the
+    // cumulative external traffic (Eq. 7's cont_model).
+    GBps demand_sum = 0.0;
+    bool any = false;
+    for (std::size_t pu = 0; pu < running.size(); ++pu) {
+      if (running[pu] < 0) continue;
+      any = true;
+      const DnnState& st = states[static_cast<std::size_t>(running[pu])];
+      demand_sum += st.items[st.idx].demand;
+    }
+    HAX_ASSERT(any);
+
+    std::vector<double> rates(running.size(), 1.0);
+    TimeMs dt = std::numeric_limits<TimeMs>::infinity();
+    for (std::size_t pu = 0; pu < running.size(); ++pu) {
+      if (running[pu] < 0) continue;
+      const DnnState& st = states[static_cast<std::size_t>(running[pu])];
+      const GBps own = st.items[st.idx].demand;
+      double rate = 1.0;
+      if (options.model_contention && own > 0.0) {
+        rate = 1.0 / prob.pccs->slowdown(own, demand_sum - own);
+      }
+      rates[pu] = rate;
+      dt = std::min(dt, st.remaining / rate);
+    }
+    dt = std::max(dt, 0.0);
+    now += dt;
+
+    for (std::size_t pu = 0; pu < running.size(); ++pu) {
+      const int d = running[pu];
+      if (d < 0) continue;
+      DnnState& st = states[static_cast<std::size_t>(d)];
+      st.remaining -= dt * rates[pu];
+      if (st.remaining > kTimeTolerance) continue;
+
+      running[pu] = -1;
+      ++st.idx;
+      if (st.idx < st.items.size()) {
+        st.phase = Phase::Waiting;
+        st.remaining = st.items[st.idx].duration;
+        st.wait_since = now;
+        queues[static_cast<std::size_t>(st.items[st.idx].pu)].push_back(d);
+        continue;
+      }
+      st.span_total += now - st.iter_start;
+      st.iter_started = false;
+      ++st.iters_done;
+      ++st.iter;
+      st.idx = 0;
+      st.phase = st.iter >= st.iterations ? Phase::Done : Phase::Blocked;
+    }
+
+    try_unblock();
+    grant();
+  }
+  if (!all_done()) return pred;  // sweep failed to converge; treat as infeasible
+
+  // ---- metrics -------------------------------------------------------------
+  pred.makespan_ms = now;
+  int rounds = 1;
+  std::size_t total_iters = 0;
+  for (const DnnState& st : states) {
+    rounds = std::max(rounds, st.iterations);
+    total_iters += static_cast<std::size_t>(st.iterations);
+    pred.dnn_span_ms.push_back(st.span_total / static_cast<double>(st.iterations));
+  }
+  pred.round_ms = now / static_cast<double>(rounds);
+  pred.fps = now > 0.0 ? static_cast<double>(total_iters) / now * 1000.0 : 0.0;
+  pred.total_queue_ms = total_queue;
+  // Eq. 9: per-round cross-DNN same-PU overlap must stay within ε.
+  pred.feasible = !options.enforce_epsilon ||
+                  total_queue / static_cast<double>(rounds) <= prob.epsilon_ms;
+  if (!pred.feasible) {
+    pred.objective_value = kInf;
+    return pred;
+  }
+  pred.objective_value =
+      prob.objective == Objective::MinMaxLatency ? pred.round_ms : -pred.fps;
+  return pred;
+}
+
+}  // namespace hax::sched

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file formulation.h
+/// The cost model of Sec 3.4 (Eqs. 2-9): predicts the outcome of a
+/// candidate schedule from profiled data only — standalone group times t,
+/// transition costs τ, requested throughputs, and the PCCS contention
+/// model. This is the objective function the solver optimizes.
+///
+/// Mechanically it sweeps a group-granularity timeline: start/end times
+/// (Eqs. 4-6) emerge from the sweep, contention intervals (Eq. 8) are the
+/// stretches between events, and each group's slowdown (Eq. 7) is the
+/// interval-weighted PCCS estimate given the other PUs' concurrent
+/// demands. Cross-DNN queueing on an over-subscribed PU is modeled
+/// explicitly and doubles as the ε-feasibility check (Eq. 9).
+///
+/// The predictor sees only the NetworkProfile — including the *estimated*
+/// demands for black-box DSAs — never the simulator's ground truth, so its
+/// predictions carry the same kind of error the paper's do.
+
+#include <vector>
+
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::sched {
+
+struct PredictOptions {
+  /// When false, slowdowns are pinned to 1 — the contention-blind
+  /// predictor used by the Herald and H2H baselines (their defining flaw
+  /// per Sec 5.2).
+  bool model_contention = true;
+
+  /// When false, Problem::max_transitions is not enforced (baseline
+  /// schedulers are free to transition as often as they like).
+  bool enforce_transition_budget = true;
+
+  /// When false, Eq. 9's ε overlap constraint is not enforced — used when
+  /// predicting baseline schedules, which serialize DNNs on one PU by
+  /// design. The solver keeps it on: group-granularity predictions are
+  /// only trustworthy when concurrent DNNs do not time-share a PU, since
+  /// real engines interleave kernel-by-kernel in ways Eq. 2 cannot see.
+  bool enforce_epsilon = true;
+};
+
+struct Prediction {
+  bool feasible = false;  ///< supports + transition budget + ε constraint
+
+  TimeMs makespan_ms = 0.0;
+  /// Average per-iteration execution span of each DNN (the T(L, S(L))_n
+  /// of Eq. 2, including transition costs and contention slowdown).
+  std::vector<TimeMs> dnn_span_ms;
+  /// Per-round completion time (makespan / number of rounds).
+  TimeMs round_ms = 0.0;
+  /// Aggregate throughput: total frames / makespan.
+  double fps = 0.0;
+  /// Worst cross-DNN same-PU queueing observed in the sweep (Eq. 9's
+  /// overlap); compared against Problem::epsilon_ms.
+  TimeMs total_queue_ms = 0.0;
+
+  /// Value minimized by the solver: round_ms for MinMaxLatency, -fps for
+  /// MaxThroughput; +infinity when infeasible.
+  double objective_value = 0.0;
+};
+
+class Formulation {
+ public:
+  explicit Formulation(const Problem& problem) : problem_(&problem) { problem.validate(); }
+
+  /// Predicts the outcome of `schedule`. Schedules assigning a group to a
+  /// PU that does not support it are infeasible (not an error).
+  [[nodiscard]] Prediction predict(const Schedule& schedule,
+                                   const PredictOptions& options = {}) const;
+
+  [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
+
+ private:
+  const Problem* problem_;
+};
+
+}  // namespace hax::sched

@@ -1,0 +1,103 @@
+#include "sched/problem.h"
+
+#include "common/error.h"
+
+namespace hax::sched {
+
+const char* to_string(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::MinMaxLatency: return "min-latency";
+    case Objective::MaxThroughput: return "max-fps";
+  }
+  return "?";
+}
+
+std::vector<int> Problem::group_counts() const {
+  std::vector<int> counts;
+  counts.reserve(dnns.size());
+  for (const DnnSpec& d : dnns) counts.push_back(d.net->group_count());
+  return counts;
+}
+
+void Problem::validate() const {
+  HAX_REQUIRE(platform != nullptr, "problem needs a platform");
+  HAX_REQUIRE(pccs != nullptr, "problem needs a contention model");
+  HAX_REQUIRE(!pus.empty(), "problem needs at least one PU");
+  HAX_REQUIRE(!dnns.empty(), "problem needs at least one DNN");
+  HAX_REQUIRE(max_transitions >= 0, "max_transitions must be >= 0");
+  for (soc::PuId pu : pus) {
+    HAX_REQUIRE(pu >= 0 && pu < platform->pu_count(), "PU id out of range");
+  }
+  for (std::size_t i = 0; i < dnns.size(); ++i) {
+    const DnnSpec& d = dnns[i];
+    HAX_REQUIRE(d.net != nullptr && d.profile != nullptr, "DNN spec missing data");
+    HAX_REQUIRE(d.profile->group_count() == d.net->group_count(),
+                "profile does not match grouping");
+    HAX_REQUIRE(d.iterations >= 1, "iterations must be >= 1");
+    HAX_REQUIRE(d.depends_on >= -1 && d.depends_on < static_cast<int>(dnns.size()) &&
+                    d.depends_on != static_cast<int>(i),
+                "bad dependency");
+  }
+}
+
+ProblemInstance::ProblemInstance(const soc::Platform& platform, Objective objective,
+                                 grouping::GroupingOptions grouping_options,
+                                 perf::ProfilerOptions profiler_options)
+    : platform_(&platform),
+      grouping_options_(grouping_options),
+      profiler_(platform, profiler_options),
+      pccs_(contention::PccsModel::calibrate(platform.memory())) {
+  problem_.platform = platform_;
+  problem_.pccs = &pccs_;
+  problem_.pus = platform.schedulable_pus();
+  problem_.objective = objective;
+}
+
+ProblemInstance::ProblemInstance(ProblemInstance&& other) noexcept
+    : platform_(other.platform_),
+      grouping_options_(other.grouping_options_),
+      profiler_(std::move(other.profiler_)),
+      pccs_(std::move(other.pccs_)),
+      nets_(std::move(other.nets_)),
+      profiles_(std::move(other.profiles_)),
+      problem_(std::move(other.problem_)) {
+  problem_.pccs = &pccs_;  // re-anchor the self-referential pointer
+}
+
+ProblemInstance& ProblemInstance::operator=(ProblemInstance&& other) noexcept {
+  if (this != &other) {
+    platform_ = other.platform_;
+    grouping_options_ = other.grouping_options_;
+    profiler_ = std::move(other.profiler_);
+    pccs_ = std::move(other.pccs_);
+    nets_ = std::move(other.nets_);
+    profiles_ = std::move(other.profiles_);
+    problem_ = std::move(other.problem_);
+    problem_.pccs = &pccs_;
+  }
+  return *this;
+}
+
+int ProblemInstance::add_dnn(nn::Network net, int depends_on, int iterations) {
+  auto gn = std::make_unique<grouping::GroupedNetwork>(
+      grouping::build_groups(std::move(net), grouping_options_));
+  auto profile = std::make_unique<perf::NetworkProfile>(profiler_.profile(*gn));
+
+  DnnSpec spec;
+  spec.net = gn.get();
+  spec.profile = profile.get();
+  spec.depends_on = depends_on;
+  spec.iterations = iterations;
+
+  nets_.push_back(std::move(gn));
+  profiles_.push_back(std::move(profile));
+  problem_.dnns.push_back(spec);
+  return static_cast<int>(problem_.dnns.size()) - 1;
+}
+
+const grouping::GroupedNetwork& ProblemInstance::grouped(int dnn) const {
+  HAX_REQUIRE(dnn >= 0 && dnn < static_cast<int>(nets_.size()), "dnn index out of range");
+  return *nets_[static_cast<std::size_t>(dnn)];
+}
+
+}  // namespace hax::sched

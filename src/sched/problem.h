@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file problem.h
+/// The scheduling problem instance: the DNN set, the accelerator set A,
+/// the profile data t/τ, the contention model, and the objective
+/// (Sec 3.4). `Problem` holds non-owning references for cheap passing;
+/// `ProblemInstance` is the owning convenience wrapper used by benchmarks
+/// and examples.
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "contention/pccs.h"
+#include "grouping/grouping.h"
+#include "nn/network.h"
+#include "perf/profiler.h"
+#include "soc/platform.h"
+
+namespace hax::sched {
+
+/// Objective functions of Eqs. 10 and 11.
+enum class Objective {
+  MinMaxLatency,  ///< Eq. 11: minimize the per-round completion time
+  MaxThroughput,  ///< Eq. 10: maximize aggregate frames/second
+};
+
+[[nodiscard]] const char* to_string(Objective objective) noexcept;
+
+/// One DNN in the workload.
+struct DnnSpec {
+  const grouping::GroupedNetwork* net = nullptr;
+  const perf::NetworkProfile* profile = nullptr;
+
+  /// Frame-level producer dependency (Scenario 3/4 pipelines); -1 = none.
+  int depends_on = -1;
+
+  /// Back-to-back frames per round (Table 8 iteration balancing).
+  int iterations = 1;
+};
+
+struct Problem {
+  const soc::Platform* platform = nullptr;
+  const contention::PccsModel* pccs = nullptr;
+  std::vector<soc::PuId> pus;  ///< the accelerator set A (schedulable PUs)
+  std::vector<DnnSpec> dnns;
+  Objective objective = Objective::MinMaxLatency;
+
+  /// Eq. 9's ε: maximum tolerated same-PU cross-DNN queueing per round. A
+  /// schedule whose predicted queueing exceeds this is infeasible.
+  /// Infinity (default) disables the constraint — the predictor models
+  /// queueing explicitly, so over-subscription is already penalized.
+  TimeMs epsilon_ms = std::numeric_limits<TimeMs>::infinity();
+
+  /// Per-DNN cap on inter-PU transitions (keeps the search space at the
+  /// paper's "seconds" scale; every Table 6 schedule uses 1).
+  int max_transitions = 2;
+
+  [[nodiscard]] int dnn_count() const noexcept { return static_cast<int>(dnns.size()); }
+
+  /// Group counts per DNN (for building schedules).
+  [[nodiscard]] std::vector<int> group_counts() const;
+
+  /// Validates pointers and indices; throws PreconditionError.
+  void validate() const;
+};
+
+/// Owns everything a Problem references: grouped networks, profiles, and
+/// the calibrated PCCS model.
+class ProblemInstance {
+ public:
+  ProblemInstance(const soc::Platform& platform, Objective objective,
+                  grouping::GroupingOptions grouping_options = {},
+                  perf::ProfilerOptions profiler_options = {});
+
+  // The owned Problem holds a pointer to the pccs_ member, so moves must
+  // re-anchor it; copying would duplicate owned state for no benefit.
+  ProblemInstance(const ProblemInstance&) = delete;
+  ProblemInstance& operator=(const ProblemInstance&) = delete;
+  ProblemInstance(ProblemInstance&& other) noexcept;
+  ProblemInstance& operator=(ProblemInstance&& other) noexcept;
+
+  /// Adds a DNN (moved in); returns its index.
+  int add_dnn(nn::Network net, int depends_on = -1, int iterations = 1);
+
+  [[nodiscard]] const Problem& problem() const noexcept { return problem_; }
+  [[nodiscard]] Problem& problem() noexcept { return problem_; }
+  [[nodiscard]] const grouping::GroupedNetwork& grouped(int dnn) const;
+  [[nodiscard]] const soc::Platform& platform() const noexcept { return *platform_; }
+
+ private:
+  const soc::Platform* platform_;
+  grouping::GroupingOptions grouping_options_;
+  perf::Profiler profiler_;
+  contention::PccsModel pccs_;
+  // unique_ptr keeps addresses stable across add_dnn() calls.
+  std::vector<std::unique_ptr<grouping::GroupedNetwork>> nets_;
+  std::vector<std::unique_ptr<perf::NetworkProfile>> profiles_;
+  Problem problem_;
+};
+
+}  // namespace hax::sched

@@ -1,0 +1,63 @@
+#include "sched/schedule.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hax::sched {
+
+int Schedule::transition_count(int dnn) const {
+  HAX_REQUIRE(dnn >= 0 && dnn < dnn_count(), "dnn index out of range");
+  const auto& a = assignment[static_cast<std::size_t>(dnn)];
+  int count = 0;
+  for (std::size_t g = 1; g < a.size(); ++g) {
+    if (a[g] != a[g - 1]) ++count;
+  }
+  return count;
+}
+
+int Schedule::total_transitions() const {
+  int count = 0;
+  for (int d = 0; d < dnn_count(); ++d) count += transition_count(d);
+  return count;
+}
+
+std::vector<int> Schedule::transition_points(int dnn) const {
+  HAX_REQUIRE(dnn >= 0 && dnn < dnn_count(), "dnn index out of range");
+  const auto& a = assignment[static_cast<std::size_t>(dnn)];
+  std::vector<int> points;
+  for (std::size_t g = 1; g < a.size(); ++g) {
+    if (a[g] != a[g - 1]) points.push_back(static_cast<int>(g) - 1);
+  }
+  return points;
+}
+
+std::string Schedule::describe(const soc::Platform& platform) const {
+  std::ostringstream os;
+  for (int d = 0; d < dnn_count(); ++d) {
+    const auto& a = assignment[static_cast<std::size_t>(d)];
+    if (d > 0) os << " | ";
+    os << "DNN" << d << ":";
+    std::size_t run_start = 0;
+    for (std::size_t g = 1; g <= a.size(); ++g) {
+      if (g == a.size() || a[g] != a[run_start]) {
+        os << ' ' << platform.pu(a[run_start]).name() << "[g" << run_start << "-g" << (g - 1)
+           << ']';
+        run_start = g;
+      }
+    }
+  }
+  return os.str();
+}
+
+Schedule uniform_schedule(const std::vector<int>& group_counts, soc::PuId pu) {
+  Schedule s;
+  s.assignment.reserve(group_counts.size());
+  for (int count : group_counts) {
+    HAX_REQUIRE(count > 0, "group count must be positive");
+    s.assignment.emplace_back(static_cast<std::size_t>(count), pu);
+  }
+  return s;
+}
+
+}  // namespace hax::sched

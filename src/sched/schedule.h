@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file schedule.h
+/// The schedule S of Eq. 1: a PU assignment for every layer group of every
+/// DNN in the workload. Plain data — produced by the solver or the
+/// baselines, consumed by the predictor and the simulator.
+
+#include <string>
+#include <vector>
+
+#include "soc/platform.h"
+
+namespace hax::sched {
+
+struct Schedule {
+  /// assignment[dnn][group] = PU id.
+  std::vector<std::vector<soc::PuId>> assignment;
+
+  [[nodiscard]] int dnn_count() const noexcept { return static_cast<int>(assignment.size()); }
+
+  /// Number of inter-PU transitions within one DNN's chain.
+  [[nodiscard]] int transition_count(int dnn) const;
+
+  /// Total transitions across all DNNs.
+  [[nodiscard]] int total_transitions() const;
+
+  /// Group boundaries (indices `g` such that group g and g+1 differ) for
+  /// one DNN — the paper's "TR" column in Table 6.
+  [[nodiscard]] std::vector<int> transition_points(int dnn) const;
+
+  /// Human-readable description, e.g. "DNN0: G[0-4] D[5-9] (TR after g4,
+  /// GtoD)". Uses PU names from the platform.
+  [[nodiscard]] std::string describe(const soc::Platform& platform) const;
+
+  bool operator==(const Schedule&) const = default;
+};
+
+/// A schedule assigning every group of every DNN to a single PU.
+[[nodiscard]] Schedule uniform_schedule(const std::vector<int>& group_counts, soc::PuId pu);
+
+}  // namespace hax::sched

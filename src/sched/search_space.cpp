@@ -1,0 +1,198 @@
+#include "sched/search_space.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace hax::sched {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ScheduleSpace::ScheduleSpace(const Problem& problem)
+    : prob_(&problem), formulation_(problem) {
+  const int pus = static_cast<int>(prob_->pus.size());
+  dnn_offset_.reserve(prob_->dnns.size());
+  suffix_supported_.resize(prob_->dnns.size());
+  min_suffix_time_.resize(prob_->dnns.size());
+
+  for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
+    const DnnSpec& spec = prob_->dnns[d];
+    const int groups = spec.net->group_count();
+    dnn_offset_.push_back(var_count_);
+    var_count_ += groups;
+
+    auto& suffix = suffix_supported_[d];
+    suffix.assign(static_cast<std::size_t>((groups + 1) * pus), 1);
+    auto& min_time = min_suffix_time_[d];
+    min_time.assign(static_cast<std::size_t>(groups + 1), 0.0);
+
+    for (int g = groups - 1; g >= 0; --g) {
+      TimeMs best = kInf;
+      for (int p = 0; p < pus; ++p) {
+        const perf::GroupProfile& rec = spec.profile->at(g, prob_->pus[static_cast<std::size_t>(p)]);
+        suffix[static_cast<std::size_t>(g * pus + p)] =
+            rec.supported && suffix[static_cast<std::size_t>((g + 1) * pus + p)] ? 1 : 0;
+        if (rec.supported) best = std::min(best, rec.time_ms);
+      }
+      HAX_REQUIRE(best < kInf, "group supported on no PU");
+      min_time[static_cast<std::size_t>(g)] = min_time[static_cast<std::size_t>(g + 1)] + best;
+    }
+  }
+}
+
+int ScheduleSpace::variable_count() const { return var_count_; }
+
+std::pair<int, int> ScheduleSpace::var_location(int var) const {
+  HAX_ASSERT(var >= 0 && var < var_count_);
+  int dnn = static_cast<int>(dnn_offset_.size()) - 1;
+  while (dnn_offset_[static_cast<std::size_t>(dnn)] > var) --dnn;
+  return {dnn, var - dnn_offset_[static_cast<std::size_t>(dnn)]};
+}
+
+TimeMs ScheduleSpace::group_time(int dnn, int group, int pu_index) const {
+  return prob_->dnns[static_cast<std::size_t>(dnn)]
+      .profile->at(group, prob_->pus[static_cast<std::size_t>(pu_index)])
+      .time_ms;
+}
+
+bool ScheduleSpace::group_supported(int dnn, int group, int pu_index) const {
+  return prob_->dnns[static_cast<std::size_t>(dnn)]
+      .profile->at(group, prob_->pus[static_cast<std::size_t>(pu_index)])
+      .supported;
+}
+
+void ScheduleSpace::candidates(std::span<const int> prefix, std::vector<int>& out) const {
+  out.clear();
+  const int var = static_cast<int>(prefix.size());
+  const auto [dnn, group] = var_location(var);
+  const int pus = static_cast<int>(prob_->pus.size());
+
+  // Transitions already spent within this DNN's prefix.
+  int used = 0;
+  int prev = -1;
+  const int base = dnn_offset_[static_cast<std::size_t>(dnn)];
+  for (int g = 0; g < group; ++g) {
+    const int value = prefix[static_cast<std::size_t>(base + g)];
+    if (prev >= 0 && value != prev) ++used;
+    prev = value;
+  }
+  const int budget_left = prob_->max_transitions - used;
+
+  // Previous group's PU first: it spends no transition and tends to be
+  // part of good schedules, so incumbents improve early.
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(pus));
+  if (prev >= 0) order.push_back(prev);
+  for (int p = 0; p < pus; ++p) {
+    if (p != prev) order.push_back(p);
+  }
+
+  for (int p : order) {
+    if (!group_supported(dnn, group, p)) continue;
+    const bool switches = prev >= 0 && p != prev;
+    const int left_after = budget_left - (switches ? 1 : 0);
+    if (left_after < 0) continue;
+    if (left_after == 0) {
+      // No budget to ever leave p: the whole suffix must support it.
+      const auto& suffix = suffix_supported_[static_cast<std::size_t>(dnn)];
+      if (!suffix[static_cast<std::size_t>(group * pus + p)]) continue;
+    }
+    out.push_back(p);
+  }
+}
+
+double ScheduleSpace::lower_bound(std::span<const int> prefix) const {
+  const int pus = static_cast<int>(prob_->pus.size());
+  std::vector<TimeMs> chain(prob_->dnns.size(), 0.0);      // per-iteration serial chain
+  std::vector<TimeMs> pu_load(static_cast<std::size_t>(pus), 0.0);  // committed work
+
+  for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
+    const DnnSpec& spec = prob_->dnns[d];
+    const int base = dnn_offset_[d];
+    const int groups = spec.net->group_count();
+    const int assigned =
+        std::clamp(static_cast<int>(prefix.size()) - base, 0, groups);
+
+    TimeMs t = 0.0;
+    int prev = -1;
+    for (int g = 0; g < assigned; ++g) {
+      const int p = prefix[static_cast<std::size_t>(base + g)];
+      const soc::PuId pu = prob_->pus[static_cast<std::size_t>(p)];
+      const perf::GroupProfile& rec = spec.profile->at(g, pu);
+      t += rec.time_ms;
+      pu_load[static_cast<std::size_t>(p)] +=
+          rec.time_ms * static_cast<double>(spec.iterations);
+      if (prev >= 0 && prev != p) {
+        const soc::PuId prev_pu = prob_->pus[static_cast<std::size_t>(prev)];
+        t += spec.profile->at(g - 1, prev_pu).tau_out + rec.tau_in;
+      }
+      prev = p;
+    }
+    t += min_suffix_time_[d][static_cast<std::size_t>(assigned)];
+    chain[d] = t;
+  }
+
+  // Makespan lower bound: every DNN's iterations are serial; a dependent
+  // DNN additionally waits for one producer iteration; committed PU load
+  // is exclusive.
+  TimeMs makespan_lb = 0.0;
+  for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
+    const DnnSpec& spec = prob_->dnns[d];
+    TimeMs total = chain[d] * static_cast<double>(spec.iterations);
+    if (spec.depends_on >= 0) total += chain[static_cast<std::size_t>(spec.depends_on)];
+    makespan_lb = std::max(makespan_lb, total);
+  }
+  for (TimeMs load : pu_load) makespan_lb = std::max(makespan_lb, load);
+  if (makespan_lb <= 0.0) return -kInf;
+
+  int rounds = 1;
+  std::size_t total_iters = 0;
+  for (const DnnSpec& spec : prob_->dnns) {
+    rounds = std::max(rounds, spec.iterations);
+    total_iters += static_cast<std::size_t>(spec.iterations);
+  }
+  if (prob_->objective == Objective::MinMaxLatency) {
+    return makespan_lb / static_cast<double>(rounds);
+  }
+  return -(static_cast<double>(total_iters) * 1000.0 / makespan_lb);
+}
+
+double ScheduleSpace::evaluate(std::span<const int> assignment) const {
+  return formulation_.predict(to_schedule(assignment)).objective_value;
+}
+
+Schedule ScheduleSpace::to_schedule(std::span<const int> assignment) const {
+  HAX_REQUIRE(static_cast<int>(assignment.size()) == var_count_,
+              "flat assignment has wrong length");
+  Schedule s;
+  s.assignment.resize(prob_->dnns.size());
+  for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
+    const int base = dnn_offset_[d];
+    const int groups = prob_->dnns[d].net->group_count();
+    auto& asg = s.assignment[d];
+    asg.reserve(static_cast<std::size_t>(groups));
+    for (int g = 0; g < groups; ++g) {
+      asg.push_back(prob_->pus[static_cast<std::size_t>(
+          assignment[static_cast<std::size_t>(base + g)])]);
+    }
+  }
+  return s;
+}
+
+std::vector<int> ScheduleSpace::to_flat(const Schedule& schedule) const {
+  HAX_REQUIRE(schedule.dnn_count() == prob_->dnn_count(), "schedule DNN count mismatch");
+  std::vector<int> flat;
+  flat.reserve(static_cast<std::size_t>(var_count_));
+  for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
+    for (soc::PuId pu : schedule.assignment[d]) {
+      const auto it = std::find(prob_->pus.begin(), prob_->pus.end(), pu);
+      HAX_REQUIRE(it != prob_->pus.end(), "schedule uses a PU outside the problem's set");
+      flat.push_back(static_cast<int>(it - prob_->pus.begin()));
+    }
+  }
+  return flat;
+}
+
+}  // namespace hax::sched

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file search_space.h
+/// Adapter exposing the scheduling problem (Sec 3.4) to the generic
+/// branch-and-bound solver. Variables are the S(L_{i,n}) of Eq. 1 — one
+/// per (DNN, layer group), DNN-major — and values index into the
+/// problem's PU set. Branching enforces Eq. 3's transition budget and
+/// group/PU support; complete assignments are scored by the Formulation.
+
+#include <utility>
+#include <vector>
+
+#include "sched/formulation.h"
+#include "sched/problem.h"
+#include "sched/schedule.h"
+#include "solver/bnb.h"
+
+namespace hax::sched {
+
+class ScheduleSpace : public solver::SearchSpace {
+ public:
+  explicit ScheduleSpace(const Problem& problem);
+
+  // SearchSpace interface.
+  [[nodiscard]] int variable_count() const override;
+  void candidates(std::span<const int> prefix, std::vector<int>& out) const override;
+  [[nodiscard]] double lower_bound(std::span<const int> prefix) const override;
+  [[nodiscard]] double evaluate(std::span<const int> assignment) const override;
+
+  /// Conversions between flat solver vectors and Schedules.
+  [[nodiscard]] Schedule to_schedule(std::span<const int> assignment) const;
+  [[nodiscard]] std::vector<int> to_flat(const Schedule& schedule) const;
+
+  [[nodiscard]] const Formulation& formulation() const noexcept { return formulation_; }
+
+ private:
+  [[nodiscard]] std::pair<int, int> var_location(int var) const;  // (dnn, group)
+  [[nodiscard]] TimeMs group_time(int dnn, int group, int pu_index) const;
+  [[nodiscard]] bool group_supported(int dnn, int group, int pu_index) const;
+
+  const Problem* prob_;
+  Formulation formulation_;
+  std::vector<int> dnn_offset_;  ///< first variable of each DNN
+  int var_count_ = 0;
+  /// suffix_supported_[d][g * pus + p]: groups g..end of DNN d all run on p.
+  std::vector<std::vector<char>> suffix_supported_;
+  /// min_suffix_time_[d][g]: sum over groups g..end of the fastest
+  /// supported PU time (admissible remaining-work bound).
+  std::vector<std::vector<TimeMs>> min_suffix_time_;
+};
+
+}  // namespace hax::sched

@@ -1,0 +1,127 @@
+#include "sched/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hax::sched {
+
+namespace {
+constexpr int kFormatVersion = 1;
+}
+
+json::Value schedule_to_json(const Schedule& schedule) {
+  json::Array dnns;
+  for (const auto& asg : schedule.assignment) {
+    json::Array groups;
+    for (soc::PuId pu : asg) groups.emplace_back(pu);
+    dnns.emplace_back(std::move(groups));
+  }
+  json::Object obj;
+  obj.emplace("version", kFormatVersion);
+  obj.emplace("assignment", std::move(dnns));
+  return json::Value(std::move(obj));
+}
+
+Schedule schedule_from_json(const json::Value& value) {
+  HAX_REQUIRE(value.contains("version") && value.at("version").as_int() == kFormatVersion,
+              "unsupported schedule format version");
+  Schedule s;
+  for (const json::Value& dnn : value.at("assignment").as_array()) {
+    std::vector<soc::PuId> asg;
+    for (const json::Value& pu : dnn.as_array()) {
+      const auto id = static_cast<soc::PuId>(pu.as_int());
+      HAX_REQUIRE(id >= 0, "negative PU id in schedule");
+      asg.push_back(id);
+    }
+    HAX_REQUIRE(!asg.empty(), "empty DNN assignment in schedule");
+    s.assignment.push_back(std::move(asg));
+  }
+  HAX_REQUIRE(s.dnn_count() > 0, "schedule contains no DNNs");
+  return s;
+}
+
+std::string schedule_to_string(const Schedule& schedule) {
+  return schedule_to_json(schedule).dump();
+}
+
+Schedule schedule_from_string(const std::string& text) {
+  return schedule_from_json(json::parse(text));
+}
+
+json::Value profile_to_json(const perf::NetworkProfile& profile) {
+  json::Object obj;
+  obj.emplace("version", kFormatVersion);
+  obj.emplace("groups", profile.group_count());
+  obj.emplace("layers", profile.layer_count());
+  obj.emplace("pus", profile.pu_count());
+
+  json::Array groups;
+  for (int g = 0; g < profile.group_count(); ++g) {
+    json::Array per_pu;
+    for (soc::PuId pu = 0; pu < profile.pu_count(); ++pu) {
+      const perf::GroupProfile& rec = profile.at(g, pu);
+      json::Object r;
+      r.emplace("supported", rec.supported);
+      if (rec.supported) {
+        r.emplace("time_ms", rec.time_ms);
+        r.emplace("demand_gbps", rec.demand_gbps);
+        r.emplace("demand_estimated", rec.demand_estimated);
+        r.emplace("emc_utilization", rec.emc_utilization);
+        r.emplace("tau_in_ms", rec.tau_in);
+        r.emplace("tau_out_ms", rec.tau_out);
+      }
+      per_pu.emplace_back(std::move(r));
+    }
+    groups.emplace_back(std::move(per_pu));
+  }
+  obj.emplace("group_records", std::move(groups));
+
+  json::Array layers;
+  for (int l = 0; l < profile.layer_count(); ++l) {
+    json::Array per_pu;
+    for (soc::PuId pu = 0; pu < profile.pu_count(); ++pu) {
+      const perf::LayerProfile& rec = profile.layer_at(l, pu);
+      json::Object r;
+      r.emplace("supported", rec.supported);
+      if (rec.supported) {
+        r.emplace("time_ms", rec.time_ms);
+        r.emplace("demand_gbps", rec.demand_gbps);
+      }
+      per_pu.emplace_back(std::move(r));
+    }
+    layers.emplace_back(std::move(per_pu));
+  }
+  obj.emplace("layer_records", std::move(layers));
+  return json::Value(std::move(obj));
+}
+
+json::Value prediction_to_json(const Prediction& prediction) {
+  json::Object obj;
+  obj.emplace("feasible", prediction.feasible);
+  obj.emplace("makespan_ms", prediction.makespan_ms);
+  obj.emplace("round_ms", prediction.round_ms);
+  obj.emplace("fps", prediction.fps);
+  obj.emplace("total_queue_ms", prediction.total_queue_ms);
+  json::Array spans;
+  for (TimeMs span : prediction.dnn_span_ms) spans.emplace_back(span);
+  obj.emplace("dnn_span_ms", std::move(spans));
+  return json::Value(std::move(obj));
+}
+
+void save_schedule(const Schedule& schedule, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << schedule_to_json(schedule).dump(2) << '\n';
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return schedule_from_string(ss.str());
+}
+
+}  // namespace hax::sched

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file serialize.h
+/// JSON artifact formats for schedules, profiles, and predictions — the
+/// reproduction's equivalent of the paper artifact's "profiling logs" and
+/// generated engine plans (Appendix A). Static deployments (Sec 3.5) save
+/// the optimal schedule per CFG offline and load it at runtime; these
+/// functions are that load/store path.
+
+#include <string>
+
+#include "common/json.h"
+#include "perf/profiler.h"
+#include "sched/formulation.h"
+#include "sched/schedule.h"
+
+namespace hax::sched {
+
+/// Schedule <-> JSON. The format records one array of PU ids per DNN:
+///   {"version": 1, "assignment": [[0,0,1,1],[1,1,1]]}
+[[nodiscard]] json::Value schedule_to_json(const Schedule& schedule);
+[[nodiscard]] Schedule schedule_from_json(const json::Value& value);
+
+/// Convenience string round trip.
+[[nodiscard]] std::string schedule_to_string(const Schedule& schedule);
+[[nodiscard]] Schedule schedule_from_string(const std::string& text);
+
+/// NetworkProfile -> JSON (per-group and per-layer records). Profiles are
+/// write-only artifacts: they are regenerated from the cost model rather
+/// than parsed back, matching the paper's offline profiling logs.
+[[nodiscard]] json::Value profile_to_json(const perf::NetworkProfile& profile);
+
+/// Prediction -> JSON (for experiment records).
+[[nodiscard]] json::Value prediction_to_json(const Prediction& prediction);
+
+/// File helpers. Throw std::runtime_error on I/O failure.
+void save_schedule(const Schedule& schedule, const std::string& path);
+[[nodiscard]] Schedule load_schedule(const std::string& path);
+
+}  // namespace hax::sched

@@ -1,0 +1,46 @@
+#include "sched/solve.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace hax::sched {
+
+ScheduleSolution solve_schedule(const Problem& problem, const SolveScheduleOptions& options,
+                                const ScheduleCallback& on_incumbent) {
+  problem.validate();
+  ScheduleSpace space(problem);
+
+  solver::SolveOptions solver_options;
+  solver_options.time_budget_ms = options.time_budget_ms;
+  solver_options.node_limit = options.node_limit;
+  solver_options.max_nodes_per_ms = options.max_nodes_per_ms;
+  for (const Schedule& seed : options.seeds) {
+    solver_options.seeds.push_back(space.to_flat(seed));
+  }
+
+  solver::IncumbentCallback cb;
+  if (on_incumbent) {
+    cb = [&](const solver::Incumbent& inc) {
+      const Schedule s = space.to_schedule(inc.assignment);
+      return on_incumbent(s, space.formulation().predict(s), inc.found_at_ms);
+    };
+  }
+
+  const solver::BranchAndBound bnb;
+  const solver::SolveResult result = bnb.solve(space, solver_options, cb);
+
+  ScheduleSolution solution;
+  solution.stats = result.stats;
+  solution.proven_optimal = result.stats.exhausted;
+  solution.prediction.objective_value = std::numeric_limits<double>::infinity();
+  if (result.best.has_value()) {
+    solution.schedule = space.to_schedule(result.best->assignment);
+    solution.prediction = space.formulation().predict(solution.schedule);
+  } else {
+    HAX_LOG_INFO("solve_schedule: no feasible schedule found (nodes="
+                 << result.stats.nodes_explored << ")");
+  }
+  return solution;
+}
+
+}  // namespace hax::sched

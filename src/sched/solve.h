@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file solve.h
+/// Optimal schedule generation (Sec 3.5): wires the scheduling search
+/// space into the anytime branch-and-bound solver. Seed schedules (the
+/// naive baselines) are evaluated first, which realizes the paper's
+/// guarantee that HaX-CoNN never returns a schedule worse than the naive
+/// baselines (Sec 5.2, Scenario 3).
+
+#include <functional>
+
+#include "sched/formulation.h"
+#include "sched/problem.h"
+#include "sched/schedule.h"
+#include "sched/search_space.h"
+#include "solver/bnb.h"
+
+namespace hax::sched {
+
+struct SolveScheduleOptions {
+  TimeMs time_budget_ms = 0.0;   ///< 0 = run to proven optimality
+  std::uint64_t node_limit = 0;  ///< 0 = unbounded
+  /// Emulated solver speed (0 = unthrottled); see solver::SolveOptions.
+  double max_nodes_per_ms = 0.0;
+  std::vector<Schedule> seeds;   ///< evaluated before the search begins
+};
+
+struct ScheduleSolution {
+  Schedule schedule;
+  Prediction prediction;
+  solver::SolveStats stats;
+
+  /// Whether the solver produced any feasible schedule.
+  [[nodiscard]] bool best_found() const noexcept { return !schedule.assignment.empty(); }
+  /// True when the search space was exhausted: `schedule` is the optimum
+  /// of the formulation (Sec 3.4) under the transition budget.
+  bool proven_optimal = false;
+
+  /// True when a naive baseline schedule out-predicted every ε-compliant
+  /// schedule and was returned instead (the paper's Scenario-3 fallback:
+  /// "HaX-CoNN is capable of identifying these cases and utilizing the
+  /// baseline solution instead").
+  bool used_fallback = false;
+};
+
+/// Anytime incumbent callback; return false to stop early.
+using ScheduleCallback =
+    std::function<bool(const Schedule&, const Prediction&, TimeMs found_at_ms)>;
+
+/// Finds the best schedule for the problem. Throws PreconditionError if
+/// the problem is malformed; returns an infeasible-marked solution only if
+/// no feasible schedule exists within budget.
+[[nodiscard]] ScheduleSolution solve_schedule(const Problem& problem,
+                                              const SolveScheduleOptions& options = {},
+                                              const ScheduleCallback& on_incumbent = {});
+
+}  // namespace hax::sched

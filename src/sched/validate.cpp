@@ -1,0 +1,81 @@
+#include "sched/validate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hax::sched {
+
+const char* to_string(IssueKind kind) noexcept {
+  switch (kind) {
+    case IssueKind::ShapeMismatch: return "shape-mismatch";
+    case IssueKind::UnknownPu: return "unknown-pu";
+    case IssueKind::PuNotSchedulable: return "pu-not-schedulable";
+    case IssueKind::UnsupportedGroup: return "unsupported-group";
+    case IssueKind::TransitionBudget: return "transition-budget";
+  }
+  return "?";
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const ValidationIssue& issue : issues) {
+    os << "[" << sched::to_string(issue.kind) << "]";
+    if (issue.dnn >= 0) os << " dnn " << issue.dnn;
+    if (issue.group >= 0) os << " group " << issue.group;
+    os << ": " << issue.message << '\n';
+  }
+  return os.str();
+}
+
+ValidationReport validate_schedule(const Problem& problem, const Schedule& schedule,
+                                   const ValidateOptions& options) {
+  problem.validate();
+  ValidationReport report;
+  const auto add = [&](IssueKind kind, int dnn, int group, std::string message) {
+    report.issues.push_back({kind, dnn, group, std::move(message)});
+  };
+
+  if (schedule.dnn_count() != problem.dnn_count()) {
+    add(IssueKind::ShapeMismatch, -1, -1,
+        "schedule has " + std::to_string(schedule.dnn_count()) + " DNNs, problem has " +
+            std::to_string(problem.dnn_count()));
+    return report;  // nothing else is meaningful
+  }
+
+  for (int d = 0; d < problem.dnn_count(); ++d) {
+    const DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
+    const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
+    if (static_cast<int>(asg.size()) != spec.net->group_count()) {
+      add(IssueKind::ShapeMismatch, d, -1,
+          "assignment has " + std::to_string(asg.size()) + " groups, network has " +
+              std::to_string(spec.net->group_count()));
+      continue;
+    }
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      const soc::PuId pu = asg[static_cast<std::size_t>(g)];
+      if (pu < 0 || pu >= problem.platform->pu_count()) {
+        add(IssueKind::UnknownPu, d, g, "PU id " + std::to_string(pu) + " does not exist");
+        continue;
+      }
+      if (std::find(problem.pus.begin(), problem.pus.end(), pu) == problem.pus.end()) {
+        add(IssueKind::PuNotSchedulable, d, g,
+            problem.platform->pu(pu).name() + " is not in the schedulable set");
+        continue;
+      }
+      if (!spec.profile->at(g, pu).supported) {
+        add(IssueKind::UnsupportedGroup, d, g,
+            "group " + spec.net->group(g).label + " cannot run on " +
+                problem.platform->pu(pu).name());
+      }
+    }
+    const int transitions = schedule.transition_count(d);
+    if (options.enforce_transition_budget && transitions > problem.max_transitions) {
+      add(IssueKind::TransitionBudget, d, -1,
+          std::to_string(transitions) + " transitions exceed the budget of " +
+              std::to_string(problem.max_transitions));
+    }
+  }
+  return report;
+}
+
+}  // namespace hax::sched

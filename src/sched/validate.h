@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file validate.h
+/// Structured schedule validation: checks a (possibly externally
+/// authored) schedule against a problem and reports every violation
+/// rather than throwing at the first. Used when loading deployment
+/// artifacts (CfgManager::load_schedules, the CLI's simulate/explain) so
+/// a hand-edited schedule fails with a readable diagnosis.
+
+#include <string>
+#include <vector>
+
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::sched {
+
+enum class IssueKind {
+  ShapeMismatch,       ///< wrong DNN count or group count
+  UnknownPu,           ///< PU id outside the platform
+  PuNotSchedulable,    ///< PU exists but is not in the problem's set (CPU)
+  UnsupportedGroup,    ///< group assigned to a PU that cannot run it
+  TransitionBudget,    ///< more transitions than Problem::max_transitions
+};
+
+[[nodiscard]] const char* to_string(IssueKind kind) noexcept;
+
+struct ValidationIssue {
+  IssueKind kind = IssueKind::ShapeMismatch;
+  int dnn = -1;    ///< -1 when not DNN-specific
+  int group = -1;  ///< -1 when not group-specific
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+  /// One line per issue.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ValidateOptions {
+  /// The transition budget constrains the *solver's* search space; naive
+  /// and fallback schedules legitimately exceed it (GPU-fallback pinning
+  /// inserts extra transitions), so deployment-artifact validation
+  /// usually disables this check.
+  bool enforce_transition_budget = true;
+};
+
+/// Validates without throwing (the problem itself must be well-formed).
+[[nodiscard]] ValidationReport validate_schedule(const Problem& problem,
+                                                 const Schedule& schedule,
+                                                 const ValidateOptions& options = {});
+
+}  // namespace hax::sched

@@ -1,0 +1,287 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace hax::sim {
+namespace {
+
+/// One schedulable unit of work: a layer's execution or a transition leg.
+struct Segment {
+  SegmentKind kind = SegmentKind::Exec;
+  soc::PuId pu = 0;
+  TimeMs duration = 0.0;  ///< standalone duration
+  GBps demand = 0.0;      ///< requested memory throughput while running
+  int group = 0;
+  int layer = -1;
+};
+
+enum class Phase : std::uint8_t { Blocked, WaitingPu, Running, Done };
+
+struct TaskState {
+  std::vector<Segment> segments;  ///< one iteration's worth
+  int iterations = 1;
+  int depends_on = -1;
+
+  Phase phase = Phase::Blocked;
+  int iter = 0;            ///< current iteration index
+  std::size_t seg = 0;     ///< next/current segment within the iteration
+  TimeMs remaining = 0.0;  ///< standalone-ms left of the running segment
+  int iters_done = 0;
+
+  TimeMs iter_start = 0.0;
+  bool iter_started = false;
+
+  // Trace-stretch coalescing.
+  TimeMs stretch_start = 0.0;
+  double stretch_rate = -1.0;
+
+  std::vector<IterationSpan> spans;
+};
+
+constexpr double kTimeTolerance = 1e-9;
+
+}  // namespace
+
+double SimResult::total_fps() const noexcept {
+  if (makespan_ms <= 0.0) return 0.0;
+  std::size_t total_iters = 0;
+  for (const TaskResult& t : tasks) total_iters += t.iterations.size();
+  return static_cast<double>(total_iters) / makespan_ms * 1000.0;
+}
+
+Engine::Engine(const soc::Platform& platform, SimOptions options)
+    : platform_(&platform), options_(options), cost_(platform), transition_(platform) {
+  HAX_REQUIRE(options_.background_traffic_gbps >= 0.0, "background traffic must be >= 0");
+}
+
+SimResult Engine::run(const std::vector<DnnTask>& tasks) const {
+  HAX_REQUIRE(!tasks.empty(), "workload must contain at least one task");
+  const int n_tasks = static_cast<int>(tasks.size());
+
+  // ---- build per-task segment lists -------------------------------------
+  std::vector<TaskState> states(tasks.size());
+  for (int t = 0; t < n_tasks; ++t) {
+    const DnnTask& task = tasks[static_cast<std::size_t>(t)];
+    HAX_REQUIRE(task.net != nullptr, "task network must be set");
+    HAX_REQUIRE(task.iterations >= 1, "task iterations must be >= 1");
+    HAX_REQUIRE(task.depends_on >= -1 && task.depends_on < n_tasks && task.depends_on != t,
+                "bad task dependency");
+    const grouping::GroupedNetwork& gn = *task.net;
+    HAX_REQUIRE(static_cast<int>(task.assignment.size()) == gn.group_count(),
+                "assignment size must equal group count");
+
+    TaskState& st = states[static_cast<std::size_t>(t)];
+    st.iterations = task.iterations;
+    st.depends_on = task.depends_on;
+
+    for (int g = 0; g < gn.group_count(); ++g) {
+      const soc::PuId pu = task.assignment[static_cast<std::size_t>(g)];
+      HAX_REQUIRE(gn.supported(g, platform_->pu(pu).params().kind),
+                  "group " + gn.group(g).label + " not supported on assigned PU");
+      if (g > 0) {
+        const soc::PuId prev = task.assignment[static_cast<std::size_t>(g - 1)];
+        if (prev != pu) {
+          // Transition legs are pure memory operations at stream bandwidth.
+          const TimeMs out_ms = transition_.out_cost(gn, g - 1, prev);
+          const TimeMs in_ms = transition_.in_cost(gn, g, pu);
+          if (out_ms > 0.0) {
+            st.segments.push_back({SegmentKind::TransitionOut, prev, out_ms,
+                                   platform_->pu(prev).params().max_stream_gbps, g - 1, -1});
+          }
+          if (in_ms > 0.0) {
+            st.segments.push_back({SegmentKind::TransitionIn, pu, in_ms,
+                                   platform_->pu(pu).params().max_stream_gbps, g, -1});
+          }
+        }
+      }
+      const grouping::LayerGroup& grp = gn.group(g);
+      for (int layer = grp.first; layer <= grp.last; ++layer) {
+        const nn::Layer& l = gn.network().layer(layer);
+        const TimeMs dur = cost_.layer_time(l, pu);
+        if (dur <= 0.0) continue;
+        st.segments.push_back({SegmentKind::Exec, pu, dur, cost_.layer_demand(l, pu), g, layer});
+      }
+    }
+    HAX_REQUIRE(!st.segments.empty(), "task has no work");
+  }
+
+  // ---- event loop --------------------------------------------------------
+  SimResult result;
+  result.tasks.resize(tasks.size());
+
+  std::vector<std::deque<int>> pu_queue(static_cast<std::size_t>(platform_->pu_count()));
+  std::vector<int> pu_running(static_cast<std::size_t>(platform_->pu_count()), -1);
+  TimeMs now = 0.0;
+
+  const auto all_done = [&] {
+    return std::all_of(states.begin(), states.end(),
+                       [](const TaskState& s) { return s.phase == Phase::Done; });
+  };
+
+  const auto barrier_ok = [&](const TaskState& st) {
+    if (!options_.loop_barrier) return true;
+    for (const TaskState& other : states) {
+      const int required = std::min(st.iter, other.iterations);
+      if (other.iters_done < required) return false;
+    }
+    return true;
+  };
+
+  const auto try_unblock = [&] {
+    for (int t = 0; t < n_tasks; ++t) {
+      TaskState& st = states[static_cast<std::size_t>(t)];
+      if (st.phase != Phase::Blocked) continue;
+      if (st.depends_on >= 0) {
+        const TaskState& dep = states[static_cast<std::size_t>(st.depends_on)];
+        const int required = std::min(st.iter + 1, dep.iterations);
+        if (dep.iters_done < required) continue;
+      }
+      if (!barrier_ok(st)) continue;
+      st.phase = Phase::WaitingPu;
+      st.remaining = st.segments[st.seg].duration;
+      pu_queue[static_cast<std::size_t>(st.segments[st.seg].pu)].push_back(t);
+    }
+  };
+
+  const auto grant_pus = [&] {
+    for (std::size_t pu = 0; pu < pu_queue.size(); ++pu) {
+      if (pu_running[pu] >= 0 || pu_queue[pu].empty()) continue;
+      const int t = pu_queue[pu].front();
+      pu_queue[pu].pop_front();
+      TaskState& st = states[static_cast<std::size_t>(t)];
+      HAX_ASSERT(st.phase == Phase::WaitingPu);
+      st.phase = Phase::Running;
+      pu_running[pu] = t;
+      if (!st.iter_started) {
+        st.iter_started = true;
+        st.iter_start = now;
+      }
+      st.stretch_start = now;
+      st.stretch_rate = -1.0;  // force a fresh trace stretch
+    }
+  };
+
+  const auto flush_stretch = [&](int t, double rate, TimeMs end) {
+    TaskState& st = states[static_cast<std::size_t>(t)];
+    if (!options_.record_trace) return;
+    const Segment& seg = st.segments[st.seg];
+    if (end > st.stretch_start) {
+      result.trace.add(TraceRecord{t, st.iter, seg.group, seg.layer, seg.kind, seg.pu,
+                                   st.stretch_start, end, rate});
+    }
+    st.stretch_start = end;
+  };
+
+  try_unblock();
+  grant_pus();
+
+  // Safety valve against logic bugs: generous bound on event count.
+  std::size_t total_segments = 0;
+  for (const TaskState& st : states) {
+    total_segments += st.segments.size() * static_cast<std::size_t>(st.iterations);
+  }
+  const std::size_t max_events = 16 * total_segments + 1024;
+
+  for (std::size_t event = 0; event < max_events; ++event) {
+    if (all_done()) break;
+
+    // Collect running segments and their demands.
+    std::vector<GBps> demands(static_cast<std::size_t>(platform_->pu_count()) + 1, 0.0);
+    bool any_running = false;
+    for (std::size_t pu = 0; pu < pu_running.size(); ++pu) {
+      const int t = pu_running[pu];
+      if (t < 0) continue;
+      any_running = true;
+      demands[pu] = states[static_cast<std::size_t>(t)].segments[states[static_cast<std::size_t>(t)].seg].demand;
+    }
+    HAX_ASSERT(any_running);  // otherwise the workload deadlocked
+    demands.back() = options_.background_traffic_gbps;
+
+    const std::vector<GBps> achieved = platform_->memory().arbitrate(demands);
+
+    // Progress rates and the time to the next completion.
+    std::vector<double> rates(pu_running.size(), 1.0);
+    TimeMs dt = std::numeric_limits<TimeMs>::infinity();
+    for (std::size_t pu = 0; pu < pu_running.size(); ++pu) {
+      const int t = pu_running[pu];
+      if (t < 0) continue;
+      const TaskState& st = states[static_cast<std::size_t>(t)];
+      double rate = 1.0;
+      if (demands[pu] > 0.0) rate = achieved[pu] / demands[pu];
+      HAX_ASSERT(rate > 0.0);
+      rates[pu] = rate;
+      dt = std::min(dt, st.remaining / rate);
+    }
+    dt = std::max(dt, 0.0);
+
+    // Advance time; coalesce trace stretches on rate changes.
+    const TimeMs next = now + dt;
+    for (std::size_t pu = 0; pu < pu_running.size(); ++pu) {
+      const int t = pu_running[pu];
+      if (t < 0) continue;
+      TaskState& st = states[static_cast<std::size_t>(t)];
+      if (st.stretch_rate >= 0.0 && st.stretch_rate != rates[pu]) {
+        flush_stretch(t, st.stretch_rate, now);
+      }
+      st.stretch_rate = rates[pu];
+      st.remaining -= dt * rates[pu];
+    }
+    now = next;
+
+    // Handle completions.
+    for (std::size_t pu = 0; pu < pu_running.size(); ++pu) {
+      const int t = pu_running[pu];
+      if (t < 0) continue;
+      TaskState& st = states[static_cast<std::size_t>(t)];
+      if (st.remaining > kTimeTolerance) continue;
+
+      flush_stretch(t, rates[pu], now);
+      pu_running[pu] = -1;
+      ++st.seg;
+      if (st.seg < st.segments.size()) {
+        st.phase = Phase::WaitingPu;
+        st.remaining = st.segments[st.seg].duration;
+        st.stretch_rate = -1.0;
+        pu_queue[static_cast<std::size_t>(st.segments[st.seg].pu)].push_back(t);
+        continue;
+      }
+      // Iteration finished.
+      st.spans.push_back({st.iter_start, now});
+      st.iter_started = false;
+      ++st.iters_done;
+      ++st.iter;
+      st.seg = 0;
+      st.phase = st.iter >= st.iterations ? Phase::Done : Phase::Blocked;
+    }
+
+    try_unblock();
+    grant_pus();
+  }
+  HAX_ASSERT(all_done());
+
+  // ---- results -----------------------------------------------------------
+  result.makespan_ms = now;
+  for (int t = 0; t < n_tasks; ++t) {
+    TaskState& st = states[static_cast<std::size_t>(t)];
+    TaskResult& tr = result.tasks[static_cast<std::size_t>(t)];
+    tr.iterations = std::move(st.spans);
+    tr.finish_ms = tr.iterations.empty() ? 0.0 : tr.iterations.back().end;
+    TimeMs standalone = 0.0;
+    for (const Segment& s : st.segments) standalone += s.duration;
+    tr.standalone_ms = standalone;
+    double slowdown_sum = 0.0;
+    for (const IterationSpan& span : tr.iterations) {
+      slowdown_sum += (span.end - span.start) / standalone;
+    }
+    tr.avg_slowdown = tr.iterations.empty()
+                          ? 1.0
+                          : slowdown_sum / static_cast<double>(tr.iterations.size());
+  }
+  return result;
+}
+
+}  // namespace hax::sim

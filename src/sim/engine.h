@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file engine.h
+/// Discrete-event simulator for concurrent DNN execution on a shared-
+/// memory SoC. This is the repository's ground truth — the stand-in for
+/// the paper's real Jetson/Snapdragon runs.
+///
+/// Semantics:
+///  - Each task executes its layer groups in order on the PUs given by its
+///    assignment; a PU runs one segment at a time (FIFO among ready tasks).
+///  - Crossing to a different PU at a group boundary inserts the
+///    transition OUT (flush+reformat on the source PU) and IN (load on the
+///    destination PU) segments from the TransitionModel.
+///  - While multiple segments run concurrently, the EMC arbitrates their
+///    requested bandwidths (max-min fair, with a multi-requester
+///    efficiency penalty); a segment's progress rate is achieved/requested
+///    bandwidth. Rates are recomputed at every start/finish event — these
+///    stretches are exactly the paper's "contention intervals" (Fig. 4).
+///  - Simulation is at *layer* granularity, so demand varies within a
+///    group and the scheduler's group-averaged predictions are genuinely
+///    approximate, as on real hardware.
+
+#include <optional>
+#include <vector>
+
+#include "grouping/grouping.h"
+#include "perf/cost_model.h"
+#include "perf/transition.h"
+#include "sim/trace.h"
+#include "soc/platform.h"
+
+namespace hax::sim {
+
+/// One DNN instance in the workload.
+struct DnnTask {
+  const grouping::GroupedNetwork* net = nullptr;  ///< non-owning; must outlive the run
+  std::vector<soc::PuId> assignment;              ///< PU per layer group
+
+  /// Frame-level dependency: iteration k of this task starts only after
+  /// iteration k of task `depends_on` finished (pipelined DNNs,
+  /// Scenario 3/4). -1 = independent.
+  int depends_on = -1;
+
+  /// Number of back-to-back frames this task processes (Table 8's
+  /// iteration balancing; throughput scenarios).
+  int iterations = 1;
+};
+
+struct SimOptions {
+  /// All tasks must finish iteration k before any starts k+1 (the
+  /// autonomous-loop barrier of Scenarios 2 and 4).
+  bool loop_barrier = false;
+
+  /// Constant extra EMC traffic from a non-PU agent (the CPU running the
+  /// Z3-equivalent solver in Table 7's overhead experiment).
+  GBps background_traffic_gbps = 0.0;
+
+  bool record_trace = true;
+};
+
+/// Per-iteration execution span.
+struct IterationSpan {
+  TimeMs start = 0.0;
+  TimeMs end = 0.0;
+};
+
+struct TaskResult {
+  std::vector<IterationSpan> iterations;
+  TimeMs finish_ms = 0.0;      ///< completion of the last iteration
+  TimeMs standalone_ms = 0.0;  ///< per-iteration time with no contention/queueing
+  /// Mean over iterations of span / standalone (>= 1 under contention).
+  double avg_slowdown = 1.0;
+};
+
+struct SimResult {
+  TimeMs makespan_ms = 0.0;
+  std::vector<TaskResult> tasks;
+  Trace trace;
+
+  /// Aggregate throughput in frames per second: total iterations across
+  /// tasks / makespan.
+  [[nodiscard]] double total_fps() const noexcept;
+};
+
+class Engine {
+ public:
+  explicit Engine(const soc::Platform& platform, SimOptions options = {});
+
+  /// Runs the workload to completion. Validates that every group's
+  /// assigned PU supports it.
+  [[nodiscard]] SimResult run(const std::vector<DnnTask>& tasks) const;
+
+  [[nodiscard]] const soc::Platform& platform() const noexcept { return *platform_; }
+  [[nodiscard]] const perf::CostModel& cost_model() const noexcept { return cost_; }
+
+ private:
+  const soc::Platform* platform_;
+  SimOptions options_;
+  perf::CostModel cost_;
+  perf::TransitionModel transition_;
+};
+
+}  // namespace hax::sim

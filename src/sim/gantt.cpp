@@ -1,0 +1,65 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace hax::sim {
+
+std::string render_gantt(const Trace& trace, const soc::Platform& platform,
+                         const GanttOptions& options) {
+  HAX_REQUIRE(options.width >= 10, "gantt width must be >= 10");
+  HAX_REQUIRE(!trace.empty(), "gantt needs a recorded trace");
+
+  TimeMs end = 0.0;
+  for (const TraceRecord& r : trace.records()) end = std::max(end, r.end);
+  HAX_REQUIRE(end > 0.0, "trace has zero duration");
+  const double ms_per_col = end / options.width;
+
+  std::ostringstream os;
+  std::size_t name_width = 0;
+  for (const soc::ProcessingUnit& pu : platform.pus()) {
+    name_width = std::max(name_width, pu.name().size());
+  }
+
+  for (const soc::ProcessingUnit& pu : platform.pus()) {
+    std::string row(static_cast<std::size_t>(options.width), ' ');
+    std::string contended(static_cast<std::size_t>(options.width), ' ');
+    bool any = false;
+    bool any_contended = false;
+    for (const TraceRecord& r : trace.records()) {
+      if (r.pu != pu.id()) continue;
+      any = true;
+      const int c0 = std::clamp(static_cast<int>(r.start / ms_per_col), 0, options.width - 1);
+      const int c1 = std::clamp(static_cast<int>((r.end - 1e-12) / ms_per_col), c0,
+                                options.width - 1);
+      const char glyph = r.kind == SegmentKind::Exec
+                             ? static_cast<char>('0' + r.task % 10)
+                             : 't';  // transition legs
+      for (int c = c0; c <= c1; ++c) {
+        row[static_cast<std::size_t>(c)] = glyph;
+        if (r.rate < 1.0 - 1e-9) {
+          contended[static_cast<std::size_t>(c)] = '*';
+          any_contended = true;
+        }
+      }
+    }
+    if (!any) continue;
+    os << pu.name() << std::string(name_width - pu.name().size(), ' ') << " |" << row
+       << "|\n";
+    if (options.show_contention && any_contended) {
+      os << std::string(name_width, ' ') << " |" << contended << "|\n";
+    }
+  }
+
+  char footer[96];
+  std::snprintf(footer, sizeof(footer), "%*s 0%*s%.2f ms", static_cast<int>(name_width), "",
+                options.width - 1, "", end);
+  os << footer << '\n';
+  return os.str();
+}
+
+}  // namespace hax::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file gantt.h
+/// ASCII Gantt rendering of execution traces: one row per PU, time
+/// bucketed into fixed-width columns, each cell showing which DNN held
+/// the PU (and '*' rows marking memory-contended stretches). This is the
+/// terminal-friendly counterpart of the Chrome-trace export and the
+/// visual form of the paper's Fig. 1 timelines.
+
+#include <string>
+
+#include "sim/trace.h"
+#include "soc/platform.h"
+
+namespace hax::sim {
+
+struct GanttOptions {
+  int width = 80;          ///< columns used for the time axis
+  bool show_contention = true;  ///< add a '*' sub-row where rate < 1
+};
+
+/// Renders the trace. Each PU contributes one or two lines:
+///   GPU  |000000111111  00|
+///        |      ****      |   <- contended stretches (rate < 1)
+/// where digits are DNN ids and spaces are idle time.
+[[nodiscard]] std::string render_gantt(const Trace& trace, const soc::Platform& platform,
+                                       const GanttOptions& options = {});
+
+}  // namespace hax::sim

@@ -1,0 +1,114 @@
+#include "sim/intervals.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hax::sim {
+
+IntervalAnalysis::IntervalAnalysis(const Trace& trace) {
+  HAX_REQUIRE(!trace.empty(), "interval analysis needs a recorded trace");
+
+  // Cut points: every record boundary.
+  std::vector<TimeMs> cuts;
+  cuts.reserve(trace.records().size() * 2);
+  for (const TraceRecord& r : trace.records()) {
+    cuts.push_back(r.start);
+    cuts.push_back(r.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](TimeMs a, TimeMs b) { return std::abs(a - b) < 1e-12; }),
+             cuts.end());
+
+  // Records sorted by start let us sweep instead of scanning per interval.
+  std::vector<const TraceRecord*> records;
+  records.reserve(trace.records().size());
+  for (const TraceRecord& r : trace.records()) records.push_back(&r);
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord* a, const TraceRecord* b) { return a->start < b->start; });
+
+  std::size_t next = 0;
+  std::vector<const TraceRecord*> open;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const TimeMs lo = cuts[i];
+    const TimeMs hi = cuts[i + 1];
+    if (hi - lo < 1e-12) continue;
+    while (next < records.size() && records[next]->start <= lo + 1e-12) {
+      open.push_back(records[next]);
+      ++next;
+    }
+    open.erase(std::remove_if(open.begin(), open.end(),
+                              [&](const TraceRecord* r) { return r->end <= lo + 1e-12; }),
+               open.end());
+    if (open.empty()) continue;
+
+    ContentionInterval interval;
+    interval.start = lo;
+    interval.end = hi;
+    // One record per task can be active at a time (a task runs one
+    // segment at once); collect sorted by task id.
+    std::map<int, double> by_task;
+    for (const TraceRecord* r : open) by_task[r->task] = r->rate;
+    for (const auto& [task, rate] : by_task) {
+      interval.active_tasks.push_back(task);
+      interval.rates.push_back(rate);
+    }
+    intervals_.push_back(std::move(interval));
+  }
+}
+
+TaskContentionStats IntervalAnalysis::task_stats(int task) const {
+  TaskContentionStats stats;
+  stats.task = task;
+  for (const ContentionInterval& iv : intervals_) {
+    for (std::size_t i = 0; i < iv.active_tasks.size(); ++i) {
+      if (iv.active_tasks[i] != task) continue;
+      stats.busy_ms += iv.duration();
+      stats.ideal_ms += iv.duration() * iv.rates[i];
+    }
+  }
+  return stats;
+}
+
+TimeMs IntervalAnalysis::time_at_concurrency(int min_concurrency) const {
+  TimeMs total = 0.0;
+  for (const ContentionInterval& iv : intervals_) {
+    if (iv.concurrency() >= min_concurrency) total += iv.duration();
+  }
+  return total;
+}
+
+double IntervalAnalysis::contended_fraction(double tolerance) const {
+  TimeMs busy = 0.0;
+  TimeMs contended = 0.0;
+  for (const ContentionInterval& iv : intervals_) {
+    for (double rate : iv.rates) {
+      busy += iv.duration();
+      if (rate < 1.0 - tolerance) contended += iv.duration();
+    }
+  }
+  return busy > 0.0 ? contended / busy : 0.0;
+}
+
+std::string IntervalAnalysis::render(int max_intervals) const {
+  std::ostringstream os;
+  int shown = 0;
+  for (const ContentionInterval& iv : intervals_) {
+    if (shown++ >= max_intervals) {
+      os << "... (" << intervals_.size() - static_cast<std::size_t>(max_intervals)
+         << " more intervals)\n";
+      break;
+    }
+    os << "[" << iv.start << ", " << iv.end << ")";
+    for (std::size_t i = 0; i < iv.active_tasks.size(); ++i) {
+      os << "  task" << iv.active_tasks[i] << "@" << iv.rates[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hax::sim

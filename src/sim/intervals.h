@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file intervals.h
+/// Contention-interval analysis (the concept Fig. 4 illustrates): the
+/// execution timeline is cut at every layer/segment start or end; within
+/// each interval the set of co-running layers — and therefore each PU's
+/// slowdown — is constant. This module recovers those intervals from a
+/// simulation trace, quantifying how much extra time each task spent due
+/// to shared-memory contention at each concurrency level.
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace hax::sim {
+
+/// One contention interval (t_i, t_{i+1}) of Eq. 8.
+struct ContentionInterval {
+  TimeMs start = 0.0;
+  TimeMs end = 0.0;
+  /// Tasks actively executing during the interval (sorted, unique).
+  std::vector<int> active_tasks;
+  /// Per-active-task progress rate (parallel to active_tasks); 1 = no
+  /// contention, 0.5 = the layer ran at half speed.
+  std::vector<double> rates;
+
+  [[nodiscard]] TimeMs duration() const noexcept { return end - start; }
+  [[nodiscard]] int concurrency() const noexcept {
+    return static_cast<int>(active_tasks.size());
+  }
+};
+
+/// Aggregate contention statistics for one task over a trace.
+struct TaskContentionStats {
+  int task = 0;
+  TimeMs busy_ms = 0.0;       ///< wall time its segments occupied a PU
+  TimeMs ideal_ms = 0.0;      ///< the same work at rate 1 (no contention)
+  /// busy / ideal: the pure memory-contention slowdown, queueing excluded
+  /// (this is the quantity Fig. 6 plots).
+  [[nodiscard]] double contention_slowdown() const noexcept {
+    return ideal_ms > 0.0 ? busy_ms / ideal_ms : 1.0;
+  }
+};
+
+class IntervalAnalysis {
+ public:
+  /// Builds the interval timeline from a trace. Requires the trace to be
+  /// non-empty (run the engine with record_trace = true).
+  explicit IntervalAnalysis(const Trace& trace);
+
+  [[nodiscard]] const std::vector<ContentionInterval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Per-task contention statistics.
+  [[nodiscard]] TaskContentionStats task_stats(int task) const;
+
+  /// Total time during which at least `min_concurrency` tasks co-ran.
+  [[nodiscard]] TimeMs time_at_concurrency(int min_concurrency) const;
+
+  /// Fraction of all busy time spent slowed (rate < 1 - tolerance).
+  [[nodiscard]] double contended_fraction(double tolerance = 1e-9) const;
+
+  /// ASCII rendering of the timeline (one line per interval) — the
+  /// reproduction's version of Fig. 4.
+  [[nodiscard]] std::string render(int max_intervals = 64) const;
+
+ private:
+  std::vector<ContentionInterval> intervals_;
+};
+
+}  // namespace hax::sim

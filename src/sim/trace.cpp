@@ -1,0 +1,35 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace hax::sim {
+
+const char* to_string(SegmentKind kind) noexcept {
+  switch (kind) {
+    case SegmentKind::Exec: return "exec";
+    case SegmentKind::TransitionOut: return "tr-out";
+    case SegmentKind::TransitionIn: return "tr-in";
+  }
+  return "?";
+}
+
+TimeMs Trace::pu_busy_ms(soc::PuId pu) const {
+  TimeMs total = 0.0;
+  for (const TraceRecord& r : records_) {
+    if (r.pu == pu) total += r.end - r.start;
+  }
+  return total;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records_) {
+    os << "t" << r.task << " it" << r.iteration << " g" << r.group;
+    if (r.layer >= 0) os << " L" << r.layer;
+    os << " " << sim::to_string(r.kind) << " pu" << r.pu << " [" << r.start << ", " << r.end
+       << ") rate=" << r.rate << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hax::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file trace.h
+/// Execution trace emitted by the simulator: one record per contiguous
+/// stretch of a segment running at a constant contention rate. Used by the
+/// Fig. 1 case-study bench to visualize schedules and by tests to assert
+/// interval-level properties (PU exclusivity, dependency ordering).
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "soc/processing_unit.h"
+
+namespace hax::sim {
+
+enum class SegmentKind : std::uint8_t { Exec, TransitionOut, TransitionIn };
+
+[[nodiscard]] const char* to_string(SegmentKind kind) noexcept;
+
+struct TraceRecord {
+  int task = 0;        ///< workload task index
+  int iteration = 0;   ///< frame index
+  int group = 0;       ///< layer-group index within the task's network
+  int layer = -1;      ///< network layer index (-1 for transitions)
+  SegmentKind kind = SegmentKind::Exec;
+  soc::PuId pu = 0;
+  TimeMs start = 0.0;
+  TimeMs end = 0.0;
+  double rate = 1.0;   ///< progress rate during this stretch (1 = no contention)
+};
+
+class Trace {
+ public:
+  void add(TraceRecord record) { records_.push_back(record); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Total busy time of a PU over the trace.
+  [[nodiscard]] TimeMs pu_busy_ms(soc::PuId pu) const;
+
+  /// Renders an ASCII summary (one line per record), for debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace hax::sim

@@ -1,0 +1,59 @@
+#include "sim/trace_export.h"
+
+#include <fstream>
+
+#include "common/json.h"
+
+namespace hax::sim {
+
+std::string to_chrome_trace(const Trace& trace, const soc::Platform& platform) {
+  json::Array events;
+
+  // Thread-name metadata: one "thread" per PU.
+  for (const soc::ProcessingUnit& pu : platform.pus()) {
+    json::Object args;
+    args.emplace("name", pu.name());
+    json::Object meta;
+    meta.emplace("ph", "M");
+    meta.emplace("name", "thread_name");
+    meta.emplace("pid", 1);
+    meta.emplace("tid", pu.id());
+    meta.emplace("args", std::move(args));
+    events.emplace_back(std::move(meta));
+  }
+
+  for (const TraceRecord& r : trace.records()) {
+    json::Object args;
+    args.emplace("dnn", r.task);
+    args.emplace("iteration", r.iteration);
+    args.emplace("group", r.group);
+    if (r.layer >= 0) args.emplace("layer", r.layer);
+    args.emplace("rate", r.rate);
+
+    json::Object event;
+    std::string name = "dnn" + std::to_string(r.task) + " g" + std::to_string(r.group);
+    if (r.kind != SegmentKind::Exec) name += std::string(" ") + to_string(r.kind);
+    event.emplace("name", std::move(name));
+    event.emplace("ph", "X");  // complete event
+    event.emplace("pid", 1);
+    event.emplace("tid", r.pu);
+    event.emplace("ts", r.start * 1000.0);                 // ms -> us
+    event.emplace("dur", (r.end - r.start) * 1000.0);
+    event.emplace("args", std::move(args));
+    events.emplace_back(std::move(event));
+  }
+
+  json::Object doc;
+  doc.emplace("traceEvents", std::move(events));
+  doc.emplace("displayTimeUnit", "ms");
+  return json::Value(std::move(doc)).dump();
+}
+
+void write_chrome_trace(const Trace& trace, const soc::Platform& platform,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << to_chrome_trace(trace, platform) << '\n';
+}
+
+}  // namespace hax::sim

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file trace_export.h
+/// Exports simulation traces in the Chrome trace-event format
+/// (chrome://tracing, Perfetto) so schedules can be inspected visually:
+/// one row per PU, one slice per layer-group stretch, with contention
+/// rate and DNN id attached as arguments.
+
+#include <string>
+
+#include "sim/trace.h"
+#include "soc/platform.h"
+
+namespace hax::sim {
+
+/// Renders the trace as a Chrome trace-event JSON document. Timestamps
+/// are microseconds (the format's unit); each PU appears as a "thread"
+/// named after the platform's PU.
+[[nodiscard]] std::string to_chrome_trace(const Trace& trace, const soc::Platform& platform);
+
+/// Writes to `path`; throws std::runtime_error on I/O failure.
+void write_chrome_trace(const Trace& trace, const soc::Platform& platform,
+                        const std::string& path);
+
+}  // namespace hax::sim

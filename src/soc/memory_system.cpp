@@ -1,0 +1,108 @@
+#include "soc/memory_system.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hax::soc {
+
+MemorySystem::MemorySystem(MemoryParams params) : params_(params) {
+  HAX_REQUIRE(params_.total_gbps > 0.0, "EMC bandwidth must be positive");
+  HAX_REQUIRE(params_.contention_penalty >= 0.0 && params_.contention_penalty < 1.0,
+              "contention_penalty in [0,1)");
+  HAX_REQUIRE(params_.min_efficiency > 0.0 && params_.min_efficiency <= 1.0,
+              "min_efficiency in (0,1]");
+}
+
+GBps MemorySystem::effective_capacity(double effective_requesters) const noexcept {
+  if (effective_requesters <= 1.0) return params_.total_gbps;
+  const double eff = std::max(params_.min_efficiency,
+                              1.0 - params_.contention_penalty * (effective_requesters - 1.0));
+  return params_.total_gbps * eff;
+}
+
+double MemorySystem::effective_requesters(std::span<const GBps> demands) noexcept {
+  GBps largest = 0.0;
+  for (GBps d : demands) largest = std::max(largest, d);
+  if (largest <= 0.0) return 0.0;
+  // A stream counts as a full requester once it reaches kFullStream of
+  // the largest stream; below that it contributes proportionally. A
+  // trickle of background traffic (a solver on the CPU, Table 7) thus
+  // costs almost nothing, while two real streams pay the full penalty.
+  constexpr double kFullStream = 0.2;
+  double n = 0.0;
+  for (GBps d : demands) {
+    if (d > 0.0) n += std::min(1.0, d / (kFullStream * largest));
+  }
+  return n;
+}
+
+std::vector<GBps> MemorySystem::arbitrate(std::span<const GBps> demands) const {
+  std::vector<GBps> achieved(demands.size(), 0.0);
+  double total_demand = 0.0;
+  for (GBps d : demands) {
+    HAX_REQUIRE(d >= 0.0, "memory demand must be non-negative");
+    total_demand += d;
+  }
+  if (total_demand <= 0.0) return achieved;
+
+  const GBps capacity = effective_capacity(effective_requesters(demands));
+  if (total_demand <= capacity) {
+    for (std::size_t i = 0; i < demands.size(); ++i) achieved[i] = demands[i];
+    return achieved;
+  }
+
+  // Max-min fair (water-filling) allocation: requesters below the fair
+  // share are satisfied fully, the remainder is split among the rest.
+  // This is what makes the observed slowdown a *piecewise* function of a
+  // requester's own demand, which the PCCS model then fits.
+  std::vector<std::size_t> unsatisfied;
+  unsatisfied.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i] > 0.0) unsatisfied.push_back(i);
+  }
+  GBps remaining = capacity;
+  while (!unsatisfied.empty()) {
+    const GBps share = remaining / static_cast<double>(unsatisfied.size());
+    bool anyone_satisfied = false;
+    for (auto it = unsatisfied.begin(); it != unsatisfied.end();) {
+      if (demands[*it] <= share) {
+        achieved[*it] = demands[*it];
+        remaining -= demands[*it];
+        it = unsatisfied.erase(it);
+        anyone_satisfied = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!anyone_satisfied) {
+      for (std::size_t i : unsatisfied) achieved[i] = share;
+      break;
+    }
+  }
+  return achieved;
+}
+
+double MemorySystem::slowdown(GBps own_demand, GBps external_demand) const noexcept {
+  // With no competing traffic there is effectively one requester: the
+  // multi-requester efficiency penalty does not apply.
+  if (own_demand <= 0.0 || external_demand <= 0.0) return 1.0;
+  const GBps pair[2] = {own_demand, external_demand};
+  const GBps capacity = effective_capacity(effective_requesters(pair));
+  if (own_demand + external_demand <= capacity) return 1.0;
+  // Treat the external traffic as one aggregate competitor (matches Eq. 7's
+  // "cumulative external bandwidth"): max-min fair split between the two.
+  const GBps fair = capacity / 2.0;
+  GBps own_achieved;
+  if (external_demand <= fair) {
+    own_achieved = std::min(own_demand, capacity - external_demand);
+  } else if (own_demand <= fair) {
+    own_achieved = own_demand;
+  } else {
+    own_achieved = fair;
+  }
+  if (own_achieved <= 0.0) return 1.0;
+  return std::max(1.0, own_demand / own_achieved);
+}
+
+}  // namespace hax::soc

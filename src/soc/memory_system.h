@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file memory_system.h
+/// Shared external memory controller (EMC) model. This is the ground truth
+/// the simulator uses to arbitrate bandwidth between concurrently active
+/// PUs; the scheduler never sees it directly (it uses the fitted PCCS model
+/// from `contention/` instead), mirroring the paper's decoupled design.
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hax::soc {
+
+/// Parameters of the shared memory subsystem.
+struct MemoryParams {
+  GBps total_gbps = 0.0;  ///< peak EMC bandwidth (Table 4)
+
+  /// Fractional efficiency lost per additional concurrent requester.
+  /// Interleaved request streams from different PUs cause row-buffer
+  /// misses and arbitration overhead, so two PUs demanding the full
+  /// bandwidth together achieve less than one PU alone would.
+  double contention_penalty = 0.0;
+
+  /// Floor on the efficiency factor, so pathological requester counts
+  /// cannot drive capacity to zero.
+  double min_efficiency = 0.5;
+
+  /// DRAM access energy (LPDDR4 ~45 pJ/B, LPDDR5 ~30 pJ/B), for the
+  /// energy model in core/energy.h.
+  double dram_pj_per_byte = 40.0;
+};
+
+/// Stateless EMC arbitration. Given per-requester demanded bandwidths,
+/// returns the bandwidth each achieves.
+class MemorySystem {
+ public:
+  explicit MemorySystem(MemoryParams params);
+
+  [[nodiscard]] const MemoryParams& params() const noexcept { return params_; }
+  [[nodiscard]] GBps total_gbps() const noexcept { return params_.total_gbps; }
+
+  /// Effective capacity for a (possibly fractional) number of concurrent
+  /// requesters: total * max(min_efficiency, 1 - penalty*(n-1)). The
+  /// fractional "effective requester count" weighs small streams by their
+  /// size relative to the largest, so a trickle of background traffic
+  /// does not pay the full interleaving penalty of a second heavy stream.
+  [[nodiscard]] GBps effective_capacity(double effective_requesters) const noexcept;
+
+  /// Demand-weighted effective requester count for a demand vector.
+  [[nodiscard]] static double effective_requesters(std::span<const GBps> demands) noexcept;
+
+  /// Arbitrates the EMC between requesters with the given demands (GB/s,
+  /// zero entries are idle PUs). If total demand fits in the effective
+  /// capacity everyone achieves what they asked; otherwise bandwidth is
+  /// shared max-min fairly. Result has the same length/order as `demands`.
+  [[nodiscard]] std::vector<GBps> arbitrate(std::span<const GBps> demands) const;
+
+  /// Slowdown factor (>= 1) experienced by a requester demanding
+  /// `own_demand` while others demand `external_demand` in total.
+  /// This is the scalar the PCCS model is fitted against.
+  [[nodiscard]] double slowdown(GBps own_demand, GBps external_demand) const noexcept;
+
+ private:
+  MemoryParams params_;
+};
+
+}  // namespace hax::soc

@@ -1,0 +1,267 @@
+#include "soc/platform.h"
+
+#include "common/error.h"
+
+namespace hax::soc {
+
+Platform::Platform(std::string name, MemoryParams memory, std::vector<PuParams> pus)
+    : name_(std::move(name)), memory_(memory) {
+  HAX_REQUIRE(!pus.empty(), "platform needs at least one PU");
+  pus_.reserve(pus.size());
+  for (std::size_t i = 0; i < pus.size(); ++i) {
+    pus_.emplace_back(static_cast<int>(i), std::move(pus[i]));
+  }
+}
+
+const ProcessingUnit& Platform::pu(PuId id) const {
+  HAX_REQUIRE(id >= 0 && id < pu_count(), "PU id out of range");
+  return pus_[static_cast<std::size_t>(id)];
+}
+
+PuId Platform::find(PuKind kind) const noexcept {
+  for (const ProcessingUnit& p : pus_) {
+    if (p.kind() == kind) return p.id();
+  }
+  return kInvalidPu;
+}
+
+std::vector<PuId> Platform::schedulable_pus() const {
+  std::vector<PuId> out;
+  for (const ProcessingUnit& p : pus_) {
+    if (p.kind() != PuKind::Cpu) out.push_back(p.id());
+  }
+  return out;
+}
+
+PuId Platform::gpu() const {
+  const PuId id = find(PuKind::Gpu);
+  HAX_REQUIRE(id != kInvalidPu, "platform has no GPU");
+  return id;
+}
+
+PuId Platform::dsa() const {
+  const PuId id = find(PuKind::Dsa);
+  HAX_REQUIRE(id != kInvalidPu, "platform has no DSA");
+  return id;
+}
+
+PuId Platform::cpu() const noexcept { return find(PuKind::Cpu); }
+
+namespace {
+
+PuParams orin_gpu() {
+  PuParams p;
+  p.name = "GPU";
+  p.kind = PuKind::Gpu;
+  p.peak_gflops = 85000.0;  // Ampere, 1792 CUDA + 64 tensor cores, fp16
+  p.eff_max = 0.45;
+  p.saturation_flops = 430'000'000;  // needs large layers to fill
+  p.max_stream_gbps = 160.0;
+  p.onchip_buffer_bytes = 4 << 20;  // 4 MiB L2
+  p.conv_eff = 1.0;
+  p.fc_eff = 0.70;
+  p.pool_eff = 0.45;
+  p.elementwise_eff = 0.35;
+  p.per_layer_overhead_ms = 0.0020;
+  p.active_power_w = 25.0;
+  p.idle_power_w = 2.5;
+  p.act_traffic_amplification = 6.0;
+  p.throughput_profilable = true;
+  p.requires_reformat = false;
+  return p;
+}
+
+PuParams orin_dla() {
+  PuParams p;
+  p.name = "DLA";
+  p.kind = PuKind::Dsa;
+  p.peak_gflops = 22500.0;  // NVDLA v2.0
+  p.eff_max = 0.60;
+  p.saturation_flops = 190'000'000;
+  p.max_stream_gbps = 75.0;
+  p.onchip_buffer_bytes = 1 << 20;  // 1 MiB convolution buffer
+  p.conv_eff = 1.0;
+  p.fc_eff = 0.12;  // FC maps poorly onto the conv pipeline
+  p.pool_eff = 0.55;
+  p.elementwise_eff = 0.30;
+  p.per_layer_overhead_ms = 0.0030;
+  p.active_power_w = 6.0;
+  p.idle_power_w = 0.6;
+  p.act_traffic_amplification = 3.5;  // line buffer streams activations ~once
+  p.fc_weight_traffic = 1.8;
+  p.asym_kernel_penalty = 2.5;  // NVDLA v2 pads 1x7/7x1 toward square
+  p.throughput_profilable = false;  // black box: no Nsight counters (Sec 3.3)
+  p.requires_reformat = true;
+  return p;
+}
+
+PuParams orin_cpu() {
+  PuParams p;
+  p.name = "CPU";
+  p.kind = PuKind::Cpu;
+  p.peak_gflops = 400.0;  // 12-core Cortex-A78AE
+  p.eff_max = 0.50;
+  p.saturation_flops = 5'000'000;
+  p.max_stream_gbps = 30.0;
+  p.onchip_buffer_bytes = 3 << 20;
+  p.fc_eff = 0.8;
+  p.per_layer_overhead_ms = 0.004;
+  p.active_power_w = 12.0;
+  p.idle_power_w = 1.5;
+  return p;
+}
+
+PuParams xavier_gpu() {
+  PuParams p;
+  p.name = "GPU";
+  p.kind = PuKind::Gpu;
+  p.peak_gflops = 22000.0;  // Volta, 512 CUDA + 64 tensor cores, fp16
+  p.eff_max = 0.35;
+  p.saturation_flops = 180'000'000;
+  p.max_stream_gbps = 100.0;
+  p.onchip_buffer_bytes = 512 << 10;
+  p.conv_eff = 1.0;
+  p.fc_eff = 0.65;
+  p.pool_eff = 0.45;
+  p.elementwise_eff = 0.35;
+  p.per_layer_overhead_ms = 0.0045;
+  p.active_power_w = 20.0;
+  p.idle_power_w = 2.0;
+  p.act_traffic_amplification = 6.0;
+  p.throughput_profilable = true;
+  return p;
+}
+
+PuParams xavier_dla() {
+  PuParams p;
+  p.name = "DLA";
+  p.kind = PuKind::Dsa;
+  p.peak_gflops = 3550.0;  // NVDLA v1.0
+  p.eff_max = 0.60;
+  p.saturation_flops = 60'000'000;
+  p.max_stream_gbps = 45.0;
+  p.onchip_buffer_bytes = 512 << 10;
+  p.conv_eff = 1.0;
+  p.fc_eff = 0.10;
+  p.pool_eff = 0.50;
+  p.elementwise_eff = 0.28;
+  p.per_layer_overhead_ms = 0.0060;
+  p.active_power_w = 4.5;
+  p.idle_power_w = 0.5;
+  p.act_traffic_amplification = 5.0;
+  p.fc_weight_traffic = 1.7;
+  p.asym_kernel_penalty = 1.5;
+  p.throughput_profilable = false;
+  p.requires_reformat = true;
+  return p;
+}
+
+PuParams xavier_cpu() {
+  PuParams p;
+  p.name = "CPU";
+  p.kind = PuKind::Cpu;
+  p.peak_gflops = 250.0;  // 8-core Carmel
+  p.eff_max = 0.50;
+  p.saturation_flops = 5'000'000;
+  p.max_stream_gbps = 25.0;
+  p.onchip_buffer_bytes = 4 << 20;
+  p.fc_eff = 0.8;
+  p.per_layer_overhead_ms = 0.005;
+  p.active_power_w = 10.0;
+  p.idle_power_w = 1.2;
+  return p;
+}
+
+PuParams sd865_gpu() {
+  PuParams p;
+  p.name = "GPU";
+  p.kind = PuKind::Gpu;
+  p.peak_gflops = 1450.0;  // Adreno 650, fp16
+  p.eff_max = 0.55;
+  p.saturation_flops = 150'000'000;
+  p.max_stream_gbps = 22.0;
+  p.onchip_buffer_bytes = 1 << 20;
+  p.conv_eff = 1.0;
+  p.fc_eff = 0.60;
+  p.pool_eff = 0.45;
+  p.elementwise_eff = 0.35;
+  p.per_layer_overhead_ms = 0.050;  // SNPE dispatch is heavier than TensorRT
+  p.active_power_w = 4.0;
+  p.idle_power_w = 0.4;
+  p.act_traffic_amplification = 4.0;
+  p.throughput_profilable = true;
+  return p;
+}
+
+PuParams sd865_dsp() {
+  PuParams p;
+  p.name = "DSP";
+  p.kind = PuKind::Dsa;
+  p.peak_gflops = 1000.0;  // Hexagon 698 HTA/HVX; close to the GPU on this
+  p.eff_max = 0.60;        // platform (Sec 5.2: "GPU & DSP are more balanced")
+  p.saturation_flops = 40'000'000;
+  p.max_stream_gbps = 16.0;
+  p.onchip_buffer_bytes = 768 << 10;
+  p.conv_eff = 1.0;
+  p.fc_eff = 0.35;
+  p.pool_eff = 0.55;
+  p.elementwise_eff = 0.30;
+  p.per_layer_overhead_ms = 0.060;
+  p.active_power_w = 1.8;
+  p.idle_power_w = 0.2;
+  p.act_traffic_amplification = 4.0;
+  p.fc_weight_traffic = 1.5;
+  p.asym_kernel_penalty = 1.3;
+  p.throughput_profilable = false;
+  p.requires_reformat = true;
+  return p;
+}
+
+PuParams sd865_cpu() {
+  PuParams p;
+  p.name = "CPU";
+  p.kind = PuKind::Cpu;
+  p.peak_gflops = 220.0;  // Kryo 585
+  p.eff_max = 0.50;
+  p.saturation_flops = 5'000'000;
+  p.max_stream_gbps = 12.0;
+  p.onchip_buffer_bytes = 4 << 20;
+  p.fc_eff = 0.8;
+  p.per_layer_overhead_ms = 0.010;
+  p.active_power_w = 3.0;
+  p.idle_power_w = 0.3;
+  return p;
+}
+
+}  // namespace
+
+Platform Platform::orin() {
+  MemoryParams mem;
+  mem.total_gbps = 204.8;  // 32 GB LPDDR5, 256-bit (Table 4)
+  mem.contention_penalty = 0.18;
+  mem.min_efficiency = 0.55;
+  mem.dram_pj_per_byte = 30.0;  // LPDDR5
+  return Platform("NVIDIA AGX Orin", mem, {orin_gpu(), orin_dla(), orin_cpu()});
+}
+
+Platform Platform::xavier() {
+  MemoryParams mem;
+  mem.total_gbps = 136.5;  // 16 GB LPDDR4, 256-bit (Table 4)
+  mem.contention_penalty = 0.22;
+  mem.min_efficiency = 0.50;
+  mem.dram_pj_per_byte = 45.0;  // LPDDR4
+  return Platform("NVIDIA Xavier AGX", mem, {xavier_gpu(), xavier_dla(), xavier_cpu()});
+}
+
+Platform Platform::sd865() {
+  MemoryParams mem;
+  mem.total_gbps = 34.1;  // 6 GB LPDDR5, 64-bit (Table 4)
+  mem.contention_penalty = 0.25;
+  mem.min_efficiency = 0.50;
+  mem.dram_pj_per_byte = 30.0;  // LPDDR5
+  return Platform("Qualcomm Snapdragon 865", mem, {sd865_gpu(), sd865_dsp(), sd865_cpu()});
+}
+
+std::vector<Platform> Platform::all_presets() { return {orin(), xavier(), sd865()}; }
+
+}  // namespace hax::soc

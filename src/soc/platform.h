@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file platform.h
+/// A heterogeneous shared-memory SoC: a set of processing units around one
+/// external memory controller. Presets reproduce the three platforms of the
+/// paper's Table 4 (NVIDIA AGX Orin, NVIDIA Xavier AGX, Qualcomm
+/// Snapdragon 865). Compute parameters are calibrated so that standalone
+/// DNN runtimes match the shape of the paper's Table 5.
+
+#include <string>
+#include <vector>
+
+#include "soc/memory_system.h"
+#include "soc/processing_unit.h"
+
+namespace hax::soc {
+
+class Platform {
+ public:
+  Platform(std::string name, MemoryParams memory, std::vector<PuParams> pus);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const MemorySystem& memory() const noexcept { return memory_; }
+
+  [[nodiscard]] int pu_count() const noexcept { return static_cast<int>(pus_.size()); }
+  [[nodiscard]] const ProcessingUnit& pu(PuId id) const;
+  [[nodiscard]] const std::vector<ProcessingUnit>& pus() const noexcept { return pus_; }
+
+  /// First PU of the given kind, or kInvalidPu.
+  [[nodiscard]] PuId find(PuKind kind) const noexcept;
+
+  /// The PUs DNN layers may be scheduled onto (GPU and DSA). The CPU is
+  /// excluded — on these SoCs it hosts the runtime and the solver, not
+  /// DNN inference (Table 7's overhead experiment).
+  [[nodiscard]] std::vector<PuId> schedulable_pus() const;
+
+  [[nodiscard]] PuId gpu() const;  ///< requires a GPU to exist
+  [[nodiscard]] PuId dsa() const;  ///< requires a DSA to exist
+  [[nodiscard]] PuId cpu() const noexcept;  ///< kInvalidPu if absent
+
+  /// Table 4 presets.
+  [[nodiscard]] static Platform orin();
+  [[nodiscard]] static Platform xavier();
+  [[nodiscard]] static Platform sd865();
+
+  /// All three presets, for exhaustive benchmarks.
+  [[nodiscard]] static std::vector<Platform> all_presets();
+
+ private:
+  std::string name_;
+  MemorySystem memory_;
+  std::vector<ProcessingUnit> pus_;
+};
+
+}  // namespace hax::soc

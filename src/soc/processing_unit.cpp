@@ -1,0 +1,31 @@
+#include "soc/processing_unit.h"
+
+#include "common/error.h"
+
+namespace hax::soc {
+
+const char* to_string(PuKind kind) noexcept {
+  switch (kind) {
+    case PuKind::Gpu: return "GPU";
+    case PuKind::Dsa: return "DSA";
+    case PuKind::Cpu: return "CPU";
+  }
+  return "?";
+}
+
+ProcessingUnit::ProcessingUnit(int id, PuParams params) : id_(id), params_(std::move(params)) {
+  HAX_REQUIRE(id >= 0, "PU id must be non-negative");
+  HAX_REQUIRE(params_.peak_gflops > 0.0, "PU needs positive peak_gflops");
+  HAX_REQUIRE(params_.eff_max > 0.0 && params_.eff_max <= 1.0, "eff_max in (0,1]");
+  HAX_REQUIRE(params_.saturation_flops > 0, "saturation_flops must be positive");
+  HAX_REQUIRE(params_.max_stream_gbps > 0.0, "PU needs positive stream bandwidth");
+}
+
+GFlopsPerSec ProcessingUnit::effective_gflops(Flops work) const noexcept {
+  if (work <= 0) return params_.eff_max * params_.peak_gflops;
+  const double w = static_cast<double>(work);
+  const double s = static_cast<double>(params_.saturation_flops);
+  return params_.eff_max * params_.peak_gflops * (w / (w + s));
+}
+
+}  // namespace hax::soc

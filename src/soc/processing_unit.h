@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file processing_unit.h
+/// Model of one processing unit (PU) on a shared-memory SoC: the GPU, a
+/// domain-specific accelerator (NVDLA / Hexagon DSP), or the CPU complex.
+///
+/// The model is a saturating roofline: a layer with `w` FLOPs achieves
+/// `eff_max * w / (w + saturation_flops)` of `peak_gflops`, so small layers
+/// run at a fraction of peak (they cannot fill the machine) while large
+/// dense layers approach `eff_max * peak`. DSAs have a small
+/// `saturation_flops` (their fixed-function pipelines fill quickly) but a
+/// lower ceiling than the GPU — this is what produces the paper's
+/// per-layer-group DLA/GPU ratios between ~1.4x and ~2x (Table 2).
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace hax::soc {
+
+/// The kind of processing unit. `Dsa` covers both NVDLA and the Hexagon
+/// DSP — the paper treats them uniformly as "the DSA" per platform.
+enum class PuKind : std::uint8_t { Gpu, Dsa, Cpu };
+
+[[nodiscard]] const char* to_string(PuKind kind) noexcept;
+
+/// Static hardware parameters of one PU.
+struct PuParams {
+  std::string name;          ///< e.g. "GPU", "DLA", "DSP"
+  PuKind kind = PuKind::Gpu;
+
+  GFlopsPerSec peak_gflops = 0.0;  ///< nominal peak compute throughput
+  double eff_max = 1.0;            ///< fraction of peak reachable by huge layers
+  Flops saturation_flops = 1;      ///< layer size at which half of eff_max is reached
+
+  GBps max_stream_gbps = 0.0;  ///< max memory bandwidth this PU alone can draw
+
+  Bytes onchip_buffer_bytes = 0;  ///< private SRAM; working sets that fit avoid DRAM re-reads
+
+  /// Per-operator efficiency multipliers. DSAs are built around convolution;
+  /// their fully-connected and elementwise paths are comparatively weak
+  /// (Sec 5.2: "DLA is generally less effective in running fully-connected
+  /// layers").
+  double conv_eff = 1.0;
+  double fc_eff = 1.0;
+  double pool_eff = 1.0;
+  double elementwise_eff = 1.0;
+
+  TimeMs per_layer_overhead_ms = 0.0;  ///< kernel launch / pipeline setup per layer
+
+  /// DRAM traffic amplification on convolution activations. Tiled
+  /// execution re-reads input halos and spills partial sums, so real
+  /// traffic is a multiple of the minimal streaming volume — this is what
+  /// drives the 40-80% EMC utilizations the paper measures (Table 2).
+  /// DSA line-buffer pipelines stream activations nearly once, so their
+  /// factor is lower than the GPU's tiling.
+  double act_traffic_amplification = 1.0;
+
+  /// Extra weight traffic for fully-connected layers. NVDLA executes FC
+  /// as 1x1 convolution with poor weight-streaming utilization, which is
+  /// why FC-heavy networks (VGG, CaffeNet) fare so badly on the DLA
+  /// (Sec 5.2: "DLA is generally less effective in running
+  /// fully-connected layers").
+  double fc_weight_traffic = 1.0;
+
+  /// Compute penalty for asymmetric (1x7 / 7x1) convolutions. DSAs lack
+  /// native asymmetric kernels and pad them toward square, wasting MACs —
+  /// penalizing Inception-family networks on the DLA.
+  double asym_kernel_penalty = 1.0;
+
+  /// Power draw while executing a kernel / while idle-clocked. Used by the
+  /// energy model (core/energy.h) — the quantity the authors' earlier
+  /// AxoNN work optimizes, kept here as a first-class extension.
+  double active_power_w = 10.0;
+  double idle_power_w = 1.0;
+
+  /// Whether requested memory throughput can be read with profiling tools.
+  /// True for GPUs (Nsight Compute); false for black-box DSAs — the
+  /// scheduler must then use the EMC-ratio estimator (Sec 3.3).
+  bool throughput_profilable = true;
+
+  /// Whether an inter-DSA transition into/out of this PU forces tensor
+  /// reformatting (DSA HW pipelines use private layouts; Sec 3.1 item 2).
+  bool requires_reformat = false;
+};
+
+/// A PU instance within a platform. Identified by a dense index so
+/// schedules can be stored as small integer vectors.
+class ProcessingUnit {
+ public:
+  ProcessingUnit(int id, PuParams params);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return params_.name; }
+  [[nodiscard]] PuKind kind() const noexcept { return params_.kind; }
+  [[nodiscard]] const PuParams& params() const noexcept { return params_; }
+
+  /// Achievable GFLOP/s for a layer of `work` FLOPs, before operator-type
+  /// multipliers. Monotone increasing in `work`, bounded by
+  /// eff_max * peak_gflops.
+  [[nodiscard]] GFlopsPerSec effective_gflops(Flops work) const noexcept;
+
+ private:
+  int id_;
+  PuParams params_;
+};
+
+/// Dense PU identifier within a Platform (index into Platform::pus()).
+using PuId = int;
+inline constexpr PuId kInvalidPu = -1;
+
+}  // namespace hax::soc

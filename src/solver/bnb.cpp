@@ -1,0 +1,129 @@
+#include "solver/bnb.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+
+namespace hax::solver {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TimeMs since_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct Frame {
+  std::vector<int> values;  ///< candidate values for this depth
+  std::size_t next = 0;     ///< next candidate to try
+};
+
+}  // namespace
+
+SolveResult BranchAndBound::solve(const SearchSpace& space, const SolveOptions& options,
+                                  const IncumbentCallback& on_incumbent) const {
+  const int n = space.variable_count();
+  HAX_REQUIRE(n > 0, "search space has no variables");
+  const auto start = Clock::now();
+
+  SolveResult result;
+  double best_objective = std::numeric_limits<double>::infinity();
+
+  const auto accept = [&](std::span<const int> assignment, double objective) -> bool {
+    if (objective >= best_objective) return true;
+    best_objective = objective;
+    Incumbent inc;
+    inc.assignment.assign(assignment.begin(), assignment.end());
+    inc.objective = objective;
+    inc.found_at_ms = since_ms(start);
+    ++result.stats.incumbents_found;
+    result.best = inc;
+    if (on_incumbent && !on_incumbent(*result.best)) return false;
+    return true;
+  };
+
+  // Seed incumbents first: the search can then never end below them.
+  for (const std::vector<int>& seed : options.seeds) {
+    HAX_REQUIRE(static_cast<int>(seed.size()) == n, "seed has wrong length");
+    ++result.stats.leaves_evaluated;
+    const double obj = space.evaluate(seed);
+    if (!accept(seed, obj)) {
+      result.stats.elapsed_ms = since_ms(start);
+      return result;
+    }
+  }
+
+  // Iterative DFS so deep spaces cannot overflow the stack.
+  std::vector<int> prefix;
+  prefix.reserve(static_cast<std::size_t>(n));
+  std::vector<Frame> stack;
+  stack.reserve(static_cast<std::size_t>(n));
+
+  stack.emplace_back();
+  space.candidates(prefix, stack.back().values);
+  bool aborted = false;
+
+  const auto out_of_budget = [&] {
+    if (options.node_limit > 0 && result.stats.nodes_explored >= options.node_limit) return true;
+    if (options.time_budget_ms > 0.0 && (result.stats.nodes_explored & 0x3F) == 0 &&
+        since_ms(start) > options.time_budget_ms) {
+      return true;
+    }
+    return false;
+  };
+
+  const auto pace = [&] {
+    if (options.max_nodes_per_ms <= 0.0 || (result.stats.nodes_explored & 0x3F) != 0) return;
+    const TimeMs due =
+        static_cast<double>(result.stats.nodes_explored) / options.max_nodes_per_ms;
+    const TimeMs elapsed = since_ms(start);
+    if (due > elapsed) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(due - elapsed));
+    }
+  };
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.values.size()) {
+      stack.pop_back();
+      if (!prefix.empty()) prefix.pop_back();
+      continue;
+    }
+    if (out_of_budget()) {
+      aborted = true;
+      break;
+    }
+
+    const int value = frame.values[frame.next++];
+    prefix.push_back(value);
+    ++result.stats.nodes_explored;
+    pace();
+
+    if (static_cast<int>(prefix.size()) == n) {
+      ++result.stats.leaves_evaluated;
+      const double obj = space.evaluate(prefix);
+      if (!accept(prefix, obj)) {
+        aborted = true;
+        break;
+      }
+      prefix.pop_back();
+      continue;
+    }
+
+    if (space.lower_bound(prefix) >= best_objective) {
+      ++result.stats.nodes_pruned;
+      prefix.pop_back();
+      continue;
+    }
+
+    stack.emplace_back();
+    space.candidates(prefix, stack.back().values);
+  }
+
+  result.stats.elapsed_ms = since_ms(start);
+  result.stats.exhausted = !aborted && stack.empty();
+  return result;
+}
+
+}  // namespace hax::solver

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file bnb.h
+/// Generic anytime branch-and-bound over integer assignment vectors — the
+/// optimization engine standing in for the paper's Z3/OptiMathSAT use
+/// (Sec 3.5). Like an SMT optimizer it (a) proves optimality when allowed
+/// to exhaust the space and (b) emits monotonically improving incumbents
+/// on the way, which is exactly the contract D-HaX-CoNN depends on.
+///
+/// The search space is abstract: `variable_count` variables take small
+/// integer values; `candidates` enumerates the feasible values of the next
+/// variable given a prefix (best-first order helps find good incumbents
+/// early); `lower_bound` must be admissible (never exceeds the objective
+/// of any completion of the prefix); `evaluate` scores a complete
+/// assignment (+inf = infeasible). Objectives are minimized.
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hax::solver {
+
+class SearchSpace {
+ public:
+  virtual ~SearchSpace() = default;
+
+  [[nodiscard]] virtual int variable_count() const = 0;
+
+  /// Fills `out` with the candidate values of variable `prefix.size()`,
+  /// best-first. An empty result prunes the subtree.
+  virtual void candidates(std::span<const int> prefix, std::vector<int>& out) const = 0;
+
+  /// Admissible lower bound for any completion of `prefix`.
+  [[nodiscard]] virtual double lower_bound(std::span<const int> prefix) const = 0;
+
+  /// Objective of a complete assignment; +infinity if infeasible.
+  [[nodiscard]] virtual double evaluate(std::span<const int> assignment) const = 0;
+};
+
+struct SolveOptions {
+  /// Wall-clock budget; 0 or negative = unbounded. The solver checks the
+  /// clock periodically, so overruns are bounded by one node expansion.
+  TimeMs time_budget_ms = 0.0;
+
+  /// Hard cap on explored nodes; 0 = unbounded.
+  std::uint64_t node_limit = 0;
+
+  /// Throttle to at most this many nodes per wall millisecond
+  /// (0 = unthrottled). Used to emulate slower optimizers — e.g. Z3 on a
+  /// single embedded CPU core, whose multi-second convergence D-HaX-CoNN
+  /// is designed around (Fig. 7).
+  double max_nodes_per_ms = 0.0;
+
+  /// Complete assignments evaluated before the search starts (e.g. naive
+  /// baseline schedules), so the result is never worse than the best seed.
+  std::vector<std::vector<int>> seeds;
+};
+
+struct Incumbent {
+  std::vector<int> assignment;
+  double objective = std::numeric_limits<double>::infinity();
+  TimeMs found_at_ms = 0.0;  ///< wall time since solve() started
+};
+
+struct SolveStats {
+  std::uint64_t nodes_explored = 0;
+  std::uint64_t nodes_pruned = 0;
+  std::uint64_t leaves_evaluated = 0;
+  int incumbents_found = 0;
+  TimeMs elapsed_ms = 0.0;
+  /// True when the space was exhausted: the incumbent is proven optimal.
+  bool exhausted = false;
+};
+
+struct SolveResult {
+  std::optional<Incumbent> best;
+  SolveStats stats;
+};
+
+/// Called on every improving incumbent (anytime interface). Returning
+/// false aborts the search early.
+using IncumbentCallback = std::function<bool(const Incumbent&)>;
+
+class BranchAndBound {
+ public:
+  /// Depth-first B&B with best-first value ordering supplied by the space.
+  /// Deterministic for a fixed space and options (modulo the time budget).
+  [[nodiscard]] SolveResult solve(const SearchSpace& space, const SolveOptions& options = {},
+                                  const IncumbentCallback& on_incumbent = {}) const;
+};
+
+}  // namespace hax::solver

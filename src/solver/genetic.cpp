@@ -1,0 +1,159 @@
+#include "solver/genetic.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+
+namespace hax::solver {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TimeMs since_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct Individual {
+  std::vector<int> genes;
+  double fitness = std::numeric_limits<double>::infinity();  // objective, minimized
+};
+
+}  // namespace
+
+SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions& options,
+                                 const IncumbentCallback& on_incumbent) const {
+  HAX_REQUIRE(options.population >= 4, "population must be >= 4");
+  HAX_REQUIRE(options.generations >= 1, "generations must be >= 1");
+  HAX_REQUIRE(options.tournament >= 1 && options.tournament <= options.population,
+              "tournament size out of range");
+  HAX_REQUIRE(options.elites >= 0 && options.elites < options.population,
+              "elites out of range");
+  const int n = space.variable_count();
+  HAX_REQUIRE(n > 0, "search space has no variables");
+
+  const auto start = Clock::now();
+  Rng rng(options.seed);
+  SolveResult result;
+  double best_objective = std::numeric_limits<double>::infinity();
+
+  std::vector<int> scratch_candidates;
+
+  // Left-to-right repair: every gene must be a member of candidates(prefix)
+  // so structural constraints (support, transition budget) always hold.
+  // Genes outside the feasible set are resampled uniformly.
+  const auto repair = [&](std::vector<int>& genes) {
+    std::vector<int> prefix;
+    prefix.reserve(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      space.candidates(prefix, scratch_candidates);
+      if (scratch_candidates.empty()) return false;  // dead end: invalid individual
+      int gene = v < static_cast<int>(genes.size()) ? genes[static_cast<std::size_t>(v)] : -1;
+      if (std::find(scratch_candidates.begin(), scratch_candidates.end(), gene) ==
+          scratch_candidates.end()) {
+        gene = scratch_candidates[rng.uniform_index(scratch_candidates.size())];
+      }
+      if (v < static_cast<int>(genes.size())) {
+        genes[static_cast<std::size_t>(v)] = gene;
+      } else {
+        genes.push_back(gene);
+      }
+      prefix.push_back(gene);
+    }
+    return true;
+  };
+
+  const auto evaluate = [&](Individual& ind) {
+    ++result.stats.leaves_evaluated;
+    ind.fitness = space.evaluate(ind.genes);
+  };
+
+  const auto accept = [&](const Individual& ind) -> bool {
+    if (ind.fitness >= best_objective) return true;
+    best_objective = ind.fitness;
+    Incumbent inc;
+    inc.assignment = ind.genes;
+    inc.objective = ind.fitness;
+    inc.found_at_ms = since_ms(start);
+    ++result.stats.incumbents_found;
+    result.best = inc;
+    return !on_incumbent || on_incumbent(*result.best);
+  };
+
+  // ---- initial population -------------------------------------------------
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(options.population));
+  for (int i = 0; i < options.population; ++i) {
+    Individual ind;
+    if (!repair(ind.genes)) continue;
+    evaluate(ind);
+    if (!accept(ind)) {
+      result.stats.elapsed_ms = since_ms(start);
+      return result;
+    }
+    population.push_back(std::move(ind));
+  }
+  if (population.empty()) {
+    result.stats.elapsed_ms = since_ms(start);
+    return result;
+  }
+
+  const auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = &population[rng.uniform_index(population.size())];
+    for (int i = 1; i < options.tournament; ++i) {
+      const Individual& challenger = population[rng.uniform_index(population.size())];
+      if (challenger.fitness < best->fitness) best = &challenger;
+    }
+    return *best;
+  };
+
+  // ---- generations ---------------------------------------------------------
+  for (int gen = 0; gen < options.generations; ++gen) {
+    if (options.time_budget_ms > 0.0 && since_ms(start) > options.time_budget_ms) break;
+    ++result.stats.nodes_explored;  // one generation = one "node" for stats
+
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) { return a.fitness < b.fitness; });
+
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (int e = 0; e < options.elites && e < static_cast<int>(population.size()); ++e) {
+      next.push_back(population[static_cast<std::size_t>(e)]);
+    }
+
+    while (next.size() < population.size()) {
+      Individual child;
+      const Individual& a = tournament_pick();
+      if (rng.uniform() < options.crossover_rate) {
+        // Single-point crossover keeps contiguous PU runs mostly intact,
+        // which matches the schedule structure (few transitions).
+        const Individual& b = tournament_pick();
+        const std::size_t cut = 1 + rng.uniform_index(static_cast<std::uint64_t>(n - 1));
+        child.genes.assign(a.genes.begin(), a.genes.begin() + static_cast<std::ptrdiff_t>(cut));
+        child.genes.insert(child.genes.end(), b.genes.begin() + static_cast<std::ptrdiff_t>(cut),
+                           b.genes.end());
+      } else {
+        child.genes = a.genes;
+      }
+      for (int v = 0; v < n; ++v) {
+        if (rng.uniform() < options.mutation_rate) {
+          child.genes[static_cast<std::size_t>(v)] = -1;  // force resample in repair
+        }
+      }
+      if (!repair(child.genes)) continue;
+      evaluate(child);
+      if (!accept(child)) {
+        result.stats.elapsed_ms = since_ms(start);
+        return result;
+      }
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  result.stats.elapsed_ms = since_ms(start);
+  result.stats.exhausted = false;  // heuristic: no optimality proof
+  return result;
+}
+
+}  // namespace hax::solver

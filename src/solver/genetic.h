@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file genetic.h
+/// Genetic-algorithm solver over the same SearchSpace abstraction as the
+/// branch-and-bound engine. This is the optimization style the paper's
+/// related work uses for multi-accelerator mapping (Gamma, Kang et al.,
+/// Sec 2 "Multi-accelerator scheduling") — a heuristic that scales well
+/// but, unlike the B&B/SMT approach, can neither prove optimality nor
+/// guarantee it finds the optimum (bench_solvers quantifies the gap).
+///
+/// Individuals are complete assignments; structural constraints (support,
+/// transition budget) are maintained by a left-to-right repair pass that
+/// resamples any gene outside candidates(prefix).
+
+#include "common/rng.h"
+#include "solver/bnb.h"
+
+namespace hax::solver {
+
+struct GeneticOptions {
+  int population = 64;
+  int generations = 200;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.05;  ///< per-gene mutation probability
+  int tournament = 3;           ///< tournament selection size
+  int elites = 2;               ///< individuals copied unchanged each generation
+  std::uint64_t seed = 0x5EEDull;
+  TimeMs time_budget_ms = 0.0;  ///< 0 = run all generations
+};
+
+class GeneticSolver {
+ public:
+  /// Evolves assignments for the space; reports improving incumbents via
+  /// the callback (same anytime contract as BranchAndBound). The result's
+  /// `exhausted` flag is always false: heuristics prove nothing.
+  [[nodiscard]] SolveResult solve(const SearchSpace& space, const GeneticOptions& options = {},
+                                  const IncumbentCallback& on_incumbent = {}) const;
+};
+
+}  // namespace hax::solver

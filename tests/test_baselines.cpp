@@ -1,0 +1,184 @@
+/// Unit tests for src/baselines: the five comparison schedulers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/baselines.h"
+#include "nn/zoo.h"
+#include "sched/formulation.h"
+#include "sched/problem.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::baselines;
+
+class BaselineFixture : public testing::Test {
+ protected:
+  BaselineFixture()
+      : plat_(soc::Platform::xavier()),
+        inst_(plat_, sched::Objective::MinMaxLatency, {.max_groups = 8}) {
+    inst_.add_dnn(nn::zoo::googlenet());
+    inst_.add_dnn(nn::zoo::resnet50());
+  }
+
+  bool schedule_valid(const sched::Schedule& s) const {
+    const sched::Problem& prob = inst_.problem();
+    if (s.dnn_count() != prob.dnn_count()) return false;
+    for (int d = 0; d < prob.dnn_count(); ++d) {
+      const sched::DnnSpec& spec = prob.dnns[static_cast<std::size_t>(d)];
+      if (static_cast<int>(s.assignment[static_cast<std::size_t>(d)].size()) !=
+          spec.net->group_count()) {
+        return false;
+      }
+      for (int g = 0; g < spec.net->group_count(); ++g) {
+        const soc::PuId pu = s.assignment[static_cast<std::size_t>(d)][static_cast<std::size_t>(g)];
+        if (!spec.profile->at(g, pu).supported) return false;
+      }
+    }
+    return true;
+  }
+
+  soc::Platform plat_;
+  sched::ProblemInstance inst_;
+};
+
+TEST_F(BaselineFixture, AllKindsProduceValidSchedules) {
+  for (Kind kind : all_kinds()) {
+    const sched::Schedule s = make(kind, inst_.problem());
+    EXPECT_TRUE(schedule_valid(s)) << name(kind);
+  }
+}
+
+TEST_F(BaselineFixture, GpuOnlyUsesOnlyGpu) {
+  const sched::Schedule s = gpu_only(inst_.problem());
+  for (const auto& asg : s.assignment) {
+    for (soc::PuId pu : asg) EXPECT_EQ(pu, plat_.gpu());
+  }
+  EXPECT_EQ(s.total_transitions(), 0);
+}
+
+TEST_F(BaselineFixture, NaiveConcurrentPinsWholeDnns) {
+  const sched::Schedule s = naive_concurrent(inst_.problem());
+  for (int d = 0; d < s.dnn_count(); ++d) {
+    // Each DNN uses a single primary PU, plus GPU for unsupported groups.
+    std::set<soc::PuId> used(s.assignment[static_cast<std::size_t>(d)].begin(),
+                             s.assignment[static_cast<std::size_t>(d)].end());
+    used.erase(plat_.gpu());
+    EXPECT_LE(used.size(), 1u) << "dnn " << d;
+  }
+}
+
+TEST_F(BaselineFixture, NaiveConcurrentBalancesLoad) {
+  // GoogleNet + ResNet50 on Xavier: putting one on the DLA beats two
+  // serialized on the GPU, so naive must not return GPU-only here.
+  const sched::Schedule s = naive_concurrent(inst_.problem());
+  bool uses_dsa = false;
+  for (const auto& asg : s.assignment) {
+    for (soc::PuId pu : asg) uses_dsa |= pu == plat_.dsa();
+  }
+  EXPECT_TRUE(uses_dsa);
+}
+
+TEST_F(BaselineFixture, MensaIgnoresCoRunners) {
+  // Mensa is a single-DNN scheme: each DNN's assignment must be identical
+  // whether scheduled alone or with a partner.
+  const sched::Schedule pair = mensa(inst_.problem());
+  sched::ProblemInstance solo(plat_, sched::Objective::MinMaxLatency, {.max_groups = 8});
+  solo.add_dnn(nn::zoo::googlenet());
+  const sched::Schedule alone = mensa(solo.problem());
+  EXPECT_EQ(pair.assignment[0], alone.assignment[0]);
+}
+
+TEST_F(BaselineFixture, MensaPicksFasterPuWithoutPartner) {
+  // For a single DNN with no contention, Mensa's greedy should gravitate
+  // toward the per-group fastest PU (the GPU on NVIDIA platforms).
+  sched::ProblemInstance solo(plat_, sched::Objective::MinMaxLatency, {.max_groups = 8});
+  solo.add_dnn(nn::zoo::vgg19());
+  const sched::Schedule s = mensa(solo.problem());
+  for (soc::PuId pu : s.assignment[0]) EXPECT_EQ(pu, plat_.gpu());
+}
+
+TEST_F(BaselineFixture, HeraldBalancesAcrossPus) {
+  const sched::Schedule s = herald(inst_.problem());
+  std::set<soc::PuId> used;
+  for (const auto& asg : s.assignment) used.insert(asg.begin(), asg.end());
+  EXPECT_EQ(used.size(), 2u);  // both accelerators utilized
+}
+
+TEST_F(BaselineFixture, HeraldIgnoresTransitionCosts) {
+  // Herald's defining flaw: it freely fragments assignments. On a
+  // workload this size it produces more transitions than HaX-CoNN's
+  // budget would ever allow.
+  const sched::Schedule s = herald(inst_.problem());
+  EXPECT_GT(s.total_transitions(), inst_.problem().max_transitions);
+}
+
+TEST_F(BaselineFixture, H2HNoWorseThanHeraldOnItsOwnModel) {
+  const sched::Problem& prob = inst_.problem();
+  const sched::Formulation f(prob);
+  const sched::PredictOptions blind{.model_contention = false,
+                                    .enforce_transition_budget = false,
+                                    .enforce_epsilon = false};
+  const double herald_obj = f.predict(herald(prob), blind).objective_value;
+  const double h2h_obj = f.predict(h2h(prob), blind).objective_value;
+  EXPECT_LE(h2h_obj, herald_obj + 1e-9);
+}
+
+TEST_F(BaselineFixture, H2HReducesTransitionsVsHerald) {
+  const sched::Problem& prob = inst_.problem();
+  EXPECT_LE(h2h(prob).total_transitions(), herald(prob).total_transitions());
+}
+
+TEST_F(BaselineFixture, NamesAreStable) {
+  EXPECT_STREQ(name(Kind::GpuOnly), "GPU-only");
+  EXPECT_STREQ(name(Kind::NaiveConcurrent), "GPU&DSA");
+  EXPECT_STREQ(name(Kind::Mensa), "Mensa");
+  EXPECT_STREQ(name(Kind::Herald), "Herald");
+  EXPECT_STREQ(name(Kind::H2H), "H2H");
+  EXPECT_EQ(all_kinds().size(), 5u);
+}
+
+TEST_F(BaselineFixture, NaiveSeedsAreTwo) {
+  const auto seeds = naive_seeds(inst_.problem());
+  ASSERT_EQ(seeds.size(), 2u);
+  for (const auto& s : seeds) EXPECT_TRUE(schedule_valid(s));
+}
+
+TEST(BaselinesSolo, GpuOnlyHandlesUnsupportedGroups) {
+  // AlexNet's LRN groups cannot run on the DSA; every baseline must still
+  // produce valid schedules.
+  const auto plat = soc::Platform::orin();
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency, {.max_groups = 6});
+  inst.add_dnn(nn::zoo::alexnet());
+  inst.add_dnn(nn::zoo::alexnet());
+  for (Kind kind : all_kinds()) {
+    const sched::Schedule s = make(kind, inst.problem());
+    for (int d = 0; d < s.dnn_count(); ++d) {
+      const sched::DnnSpec& spec = inst.problem().dnns[static_cast<std::size_t>(d)];
+      for (int g = 0; g < spec.net->group_count(); ++g) {
+        EXPECT_TRUE(
+            spec.profile
+                ->at(g, s.assignment[static_cast<std::size_t>(d)][static_cast<std::size_t>(g)])
+                .supported)
+            << name(kind);
+      }
+    }
+  }
+}
+
+TEST(BaselinesSolo, ThreeDnnWorkloads) {
+  // Scenario 4 shape: three DNNs. Baselines must handle > 2 DNNs.
+  const auto plat = soc::Platform::xavier();
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency, {.max_groups = 5});
+  inst.add_dnn(nn::zoo::googlenet());
+  inst.add_dnn(nn::zoo::resnet18(), /*depends_on=*/0);
+  inst.add_dnn(nn::zoo::alexnet());
+  for (Kind kind : all_kinds()) {
+    const sched::Schedule s = make(kind, inst.problem());
+    EXPECT_EQ(s.dnn_count(), 3) << name(kind);
+  }
+}
+
+}  // namespace

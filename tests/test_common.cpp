@@ -1,0 +1,287 @@
+/// Unit tests for src/common: stats, csv, table, rng, strings, errors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace {
+
+using namespace hax;
+
+// ---------------------------------------------------------------- types --
+
+TEST(Types, BytesOverMs) {
+  // 1e9 bytes in 1000 ms == 1 GB/s.
+  EXPECT_DOUBLE_EQ(bytes_over_ms(1'000'000'000, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_over_ms(123, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bytes_over_ms(123, -1.0), 0.0);
+}
+
+TEST(Types, MsForBytes) {
+  EXPECT_DOUBLE_EQ(ms_for_bytes(1'000'000'000, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(ms_for_bytes(1'000'000, 100.0), 0.01);
+  EXPECT_DOUBLE_EQ(ms_for_bytes(123, 0.0), 0.0);
+}
+
+TEST(Types, MsForFlops) {
+  // 1 GFLOP at 1 GFLOP/s = 1000 ms.
+  EXPECT_DOUBLE_EQ(ms_for_flops(1'000'000'000, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(ms_for_flops(500, 0.0), 0.0);
+}
+
+TEST(Types, RoundTripBandwidth) {
+  const Bytes bytes = 42'000'000;
+  const GBps bw = 37.5;
+  const TimeMs t = ms_for_bytes(bytes, bw);
+  EXPECT_NEAR(bytes_over_ms(bytes, t), bw, 1e-9);
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Stats, SumAndMean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+}
+
+TEST(Stats, Stdev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stats::stdev(xs), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stats::stdev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(stats::max(xs), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW((void)stats::percentile({}, 50.0), PreconditionError);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)stats::percentile(xs, -1.0), PreconditionError);
+  EXPECT_THROW((void)stats::percentile(xs, 101.0), PreconditionError);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(stats::geomean(xs), 4.0, 1e-12);
+  EXPECT_THROW((void)stats::geomean(std::vector<double>{1.0, -1.0}), PreconditionError);
+  EXPECT_THROW((void)stats::geomean({}), PreconditionError);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  const std::vector<double> xs{3.1, -2.0, 7.7, 0.0, 5.5};
+  stats::Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), stats::mean(xs), 1e-12);
+  EXPECT_NEAR(acc.stdev(), stats::stdev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.7);
+}
+
+TEST(Stats, AccumulatorEmpty) {
+  const stats::Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stdev(), 0.0);
+}
+
+// ------------------------------------------------------------------ csv --
+
+TEST(Csv, EscapePlain) { EXPECT_EQ(CsvWriter::escape("hello"), "hello"); }
+
+TEST(Csv, EscapeSpecials) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = testing::TempDir() + "/hax_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.row({"a", "b,c"});
+    csv.row({"1", "2"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,\"b,c\"\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(Table, RendersAligned) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_NE(t.render().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, RejectsMisuse) {
+  TextTable t;
+  EXPECT_THROW(t.row({"x"}), PreconditionError);
+  t.header({"a"});
+  EXPECT_THROW(t.row({"1", "2"}), PreconditionError);
+  EXPECT_THROW(t.header({}), PreconditionError);
+}
+
+TEST(Table, SeparatorAndCount) {
+  TextTable t;
+  t.header({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  EXPECT_EQ(t.row_count(), 3u);  // separator counts as a row slot
+  // Four separator lines: top, after header, the explicit one, bottom.
+  const std::string out = t.render();
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("+--"); pos != std::string::npos;
+       pos = out.find("+--", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_pct(0.231, 0), "23%");
+  EXPECT_EQ(fmt_pct(0.2351, 1), "23.5%");
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(5.0, 10.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  stats::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(3);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[rng.uniform_index(5)];
+  for (int h : hits) EXPECT_GT(h, 800);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  stats::Accumulator acc;
+  for (int i = 0; i < 40000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stdev(), 2.0, 0.05);
+}
+
+// -------------------------------------------------------------- strings --
+
+TEST(Strings, Split) {
+  const auto parts = str::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  const auto parts = str::split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(str::trim("  x y \t\n"), "x y");
+  EXPECT_EQ(str::trim("   "), "");
+  EXPECT_EQ(str::trim(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(str::starts_with("hax-conn", "hax"));
+  EXPECT_FALSE(str::starts_with("ha", "hax"));
+  EXPECT_TRUE(str::ends_with("schedule.csv", ".csv"));
+  EXPECT_FALSE(str::ends_with("csv", ".csv"));
+}
+
+TEST(Strings, JoinAndLower) {
+  EXPECT_EQ(str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(str::join({}, ","), "");
+  EXPECT_EQ(str::to_lower("GoogleNet-V2"), "googlenet-v2");
+}
+
+// ---------------------------------------------------------------- error --
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    HAX_REQUIRE(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesQuietly) { EXPECT_NO_THROW(HAX_REQUIRE(1 + 1 == 2, "fine")); }
+
+}  // namespace

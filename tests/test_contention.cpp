@@ -1,0 +1,165 @@
+/// Unit tests for src/contention: piecewise functions and the PCCS model.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "contention/pccs.h"
+#include "contention/piecewise.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::contention;
+
+// ------------------------------------------------------------- piecewise --
+
+TEST(Piecewise, InterpolatesLinearly) {
+  PiecewiseLinear f;
+  f.add_knot(0.0, 1.0);
+  f.add_knot(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(f.eval(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.eval(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.eval(10.0), 3.0);
+}
+
+TEST(Piecewise, ClampsBeyondEnds) {
+  PiecewiseLinear f;
+  f.add_knot(1.0, 2.0);
+  f.add_knot(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(f.eval(-5.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.eval(100.0), 4.0);
+}
+
+TEST(Piecewise, MultiSegment) {
+  const std::vector<double> xs{0.0, 1.0, 3.0};
+  const std::vector<double> ys{0.0, 1.0, 1.0};
+  const PiecewiseLinear f(xs, ys);
+  EXPECT_DOUBLE_EQ(f.eval(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.eval(2.0), 1.0);
+  EXPECT_EQ(f.knot_count(), 3u);
+}
+
+TEST(Piecewise, RejectsNonIncreasingX) {
+  PiecewiseLinear f;
+  f.add_knot(1.0, 0.0);
+  EXPECT_THROW(f.add_knot(1.0, 1.0), PreconditionError);
+  EXPECT_THROW(f.add_knot(0.5, 1.0), PreconditionError);
+}
+
+TEST(Piecewise, RejectsEmptyEval) {
+  const PiecewiseLinear f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_THROW((void)f.eval(0.0), PreconditionError);
+}
+
+TEST(Piecewise, RejectsMismatchedArrays) {
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{0.0};
+  EXPECT_THROW(PiecewiseLinear(xs, ys), PreconditionError);
+}
+
+TEST(Piecewise, SingleKnotConstant) {
+  PiecewiseLinear f;
+  f.add_knot(5.0, 7.0);
+  EXPECT_DOUBLE_EQ(f.eval(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.eval(5.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.eval(9.0), 7.0);
+}
+
+// ------------------------------------------------------------------ pccs --
+
+soc::MemorySystem test_memory() {
+  soc::MemoryParams m;
+  m.total_gbps = 100.0;
+  m.contention_penalty = 0.2;
+  m.min_efficiency = 0.5;
+  return soc::MemorySystem(m);
+}
+
+TEST(Pccs, SlowdownAtLeastOne) {
+  const auto model = PccsModel::calibrate(test_memory());
+  for (double own : {1.0, 20.0, 50.0, 90.0}) {
+    for (double ext : {0.0, 10.0, 60.0, 120.0}) {
+      EXPECT_GE(model.slowdown(own, ext), 1.0) << own << "," << ext;
+    }
+  }
+}
+
+TEST(Pccs, NoSlowdownWithoutTraffic) {
+  const auto model = PccsModel::calibrate(test_memory());
+  EXPECT_DOUBLE_EQ(model.slowdown(50.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.slowdown(0.0, 80.0), 1.0);
+}
+
+TEST(Pccs, MonotoneInExternalTraffic) {
+  const auto model = PccsModel::calibrate(test_memory());
+  double prev = 0.0;
+  for (double ext = 0.0; ext <= 100.0; ext += 5.0) {
+    const double s = model.slowdown(60.0, ext);
+    EXPECT_GE(s, prev - 1e-9);
+    prev = s;
+  }
+}
+
+TEST(Pccs, MatchesGroundTruthOnGrid) {
+  // The fitted model should track the memory system's true slowdown
+  // within a few percent over the calibration range.
+  const auto mem = test_memory();
+  const auto model = PccsModel::calibrate(mem);
+  for (double own = 5.0; own <= 95.0; own += 7.5) {
+    for (double ext = 0.0; ext <= 95.0; ext += 9.5) {
+      const double truth = mem.slowdown(own, ext);
+      const double predicted = model.slowdown(own, ext);
+      EXPECT_NEAR(predicted, truth, 0.05 * truth) << "own=" << own << " ext=" << ext;
+    }
+  }
+}
+
+TEST(Pccs, ReproducesPaperScaleSlowdowns) {
+  // Two heavy streams on Xavier-like memory should show the significant
+  // (tens of percent) slowdowns the paper reports.
+  const auto model = PccsModel::calibrate(soc::Platform::xavier().memory());
+  EXPECT_GT(model.slowdown(90.0, 45.0), 1.2);
+  EXPECT_GT(model.slowdown(100.0, 100.0), 1.5);
+}
+
+TEST(Pccs, TinyOwnDemandScalesTowardOne) {
+  const auto model = PccsModel::calibrate(test_memory());
+  const double tiny = model.slowdown(0.5, 100.0);
+  const double small = model.slowdown(5.0, 100.0);
+  EXPECT_GE(small, tiny);
+  EXPECT_LT(tiny, 1.1);
+}
+
+TEST(Pccs, CalibrationOptionsValidated) {
+  const auto mem = test_memory();
+  EXPECT_THROW((void)PccsModel::calibrate(mem, {.own_levels = 1}), PreconditionError);
+  EXPECT_THROW((void)PccsModel::calibrate(mem, {.traffic_knots = 1}), PreconditionError);
+  EXPECT_THROW((void)PccsModel::calibrate(mem, {.max_fraction = 0.0}), PreconditionError);
+}
+
+TEST(Pccs, FinerGridReducesError) {
+  const auto mem = test_memory();
+  const auto coarse = PccsModel::calibrate(mem, {.own_levels = 3, .traffic_knots = 5});
+  const auto fine = PccsModel::calibrate(mem, {.own_levels = 17, .traffic_knots = 33});
+  double coarse_err = 0.0, fine_err = 0.0;
+  int samples = 0;
+  for (double own = 5.0; own <= 95.0; own += 10.0) {
+    for (double ext = 5.0; ext <= 95.0; ext += 10.0) {
+      const double truth = mem.slowdown(own, ext);
+      coarse_err += std::abs(coarse.slowdown(own, ext) - truth);
+      fine_err += std::abs(fine.slowdown(own, ext) - truth);
+      ++samples;
+    }
+  }
+  EXPECT_LE(fine_err, coarse_err + 1e-9);
+  EXPECT_LT(fine_err / samples, 0.01);
+}
+
+TEST(Pccs, LevelCountMatchesOptions) {
+  const auto model = PccsModel::calibrate(test_memory(), {.own_levels = 7});
+  EXPECT_EQ(model.own_level_count(), 7);
+}
+
+}  // namespace

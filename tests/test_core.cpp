@@ -1,0 +1,166 @@
+/// Unit tests for src/core: the HaxConn facade, ground-truth evaluation,
+/// and the dynamic D-HaX-CoNN scheduler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/dynamic.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::core;
+
+class CoreFixture : public testing::Test {
+ protected:
+  CoreFixture() : plat_(soc::Platform::xavier()), hax_(plat_, options()) {}
+
+  static HaxConnOptions options() {
+    HaxConnOptions o;
+    o.grouping.max_groups = 8;
+    return o;
+  }
+
+  soc::Platform plat_;
+  HaxConn hax_;
+};
+
+TEST_F(CoreFixture, MakeProblemWiresEverything) {
+  const auto inst = hax_.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet18()}});
+  const sched::Problem& prob = inst.problem();
+  EXPECT_NO_THROW(prob.validate());
+  EXPECT_EQ(prob.dnn_count(), 2);
+  EXPECT_EQ(prob.pus.size(), 2u);
+  EXPECT_GT(prob.epsilon_ms, 0.0);
+  EXPECT_TRUE(std::isfinite(prob.epsilon_ms));
+}
+
+TEST_F(CoreFixture, ScheduleNeverWorseThanNaiveBaselinesOnSimulator) {
+  // The paper's guarantee (Sec 5.2 Scenario 3), checked on ground truth.
+  const auto inst = hax_.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  const sched::Problem& prob = inst.problem();
+  const auto sol = hax_.schedule(prob);
+  const TimeMs hax_lat = evaluate(prob, sol.schedule).round_latency_ms;
+  for (auto kind : {baselines::Kind::GpuOnly, baselines::Kind::NaiveConcurrent}) {
+    const TimeMs base_lat =
+        evaluate(prob, baselines::make(kind, prob)).round_latency_ms;
+    EXPECT_LE(hax_lat, base_lat * 1.05) << baselines::name(kind);
+  }
+}
+
+TEST_F(CoreFixture, PredictionTracksSimulator) {
+  const auto inst = hax_.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  const auto sol = hax_.schedule(inst.problem());
+  const EvalResult ev = evaluate(inst.problem(), sol.schedule);
+  if (!sol.used_fallback) {
+    EXPECT_NEAR(sol.prediction.round_ms, ev.round_latency_ms, 0.10 * ev.round_latency_ms);
+  }
+}
+
+TEST_F(CoreFixture, FallbackKicksInWhenDsaUseless) {
+  // Two VGG19s: the DLA is so much slower that GPU-only serialization
+  // wins; HaX-CoNN must identify this (paper Sec 5.4, VGG19 row).
+  const auto inst = hax_.make_problem({{nn::zoo::vgg19()}, {nn::zoo::vgg19()}});
+  const auto sol = hax_.schedule(inst.problem());
+  const TimeMs hax_lat = evaluate(inst.problem(), sol.schedule).round_latency_ms;
+  const TimeMs gpu_lat =
+      evaluate(inst.problem(), baselines::gpu_only(inst.problem())).round_latency_ms;
+  EXPECT_LE(hax_lat, gpu_lat * 1.02);
+}
+
+TEST_F(CoreFixture, EvaluateRoundMetrics) {
+  const auto inst = hax_.make_problem({{nn::zoo::googlenet(), -1, 3}});
+  const sched::Schedule s =
+      sched::uniform_schedule(inst.problem().group_counts(), plat_.gpu());
+  const EvalResult ev = evaluate(inst.problem(), s);
+  EXPECT_NEAR(ev.round_latency_ms, ev.sim.makespan_ms / 3.0, 1e-9);
+  EXPECT_NEAR(ev.fps, 3.0 / ev.sim.makespan_ms * 1000.0, 1e-9);
+}
+
+TEST_F(CoreFixture, EvaluateRejectsMismatch) {
+  const auto inst = hax_.make_problem({{nn::zoo::googlenet()}});
+  sched::Schedule wrong;
+  wrong.assignment = {{plat_.gpu()}, {plat_.gpu()}};
+  EXPECT_THROW((void)evaluate(inst.problem(), wrong), PreconditionError);
+}
+
+TEST_F(CoreFixture, SolverBudgetStillReturnsSchedule) {
+  HaxConnOptions o = options();
+  o.time_budget_ms = 1.0;
+  const HaxConn quick(plat_, o);
+  const auto inst = quick.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet50()}});
+  const auto sol = quick.schedule(inst.problem());
+  EXPECT_FALSE(sol.schedule.assignment.empty());
+}
+
+TEST_F(CoreFixture, OptionsValidated) {
+  HaxConnOptions o;
+  o.max_transitions = -1;
+  EXPECT_THROW(HaxConn(plat_, o), PreconditionError);
+  o = HaxConnOptions{};
+  o.epsilon_fraction = 0.0;
+  EXPECT_THROW(HaxConn(plat_, o), PreconditionError);
+}
+
+// ----------------------------------------------------------- d-hax-conn --
+
+TEST_F(CoreFixture, DynamicStartsWithNaiveThenImproves) {
+  const auto inst = hax_.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  DHaxConn dyn(hax_);
+  dyn.start(inst.problem());
+  // A schedule is available immediately (the naive seed).
+  EXPECT_FALSE(dyn.current_schedule().assignment.empty());
+  ASSERT_TRUE(dyn.wait_converged(30'000.0));
+  EXPECT_TRUE(dyn.converged());
+  // The converged schedule should match the static solver's optimum.
+  const auto static_sol = hax_.schedule(inst.problem());
+  EXPECT_NEAR(dyn.current_prediction().objective_value,
+              std::min(static_sol.prediction.objective_value,
+                       dyn.current_prediction().objective_value),
+              1e-9);
+  dyn.stop();
+}
+
+TEST_F(CoreFixture, DynamicPublishesMonotonicallyImprovingSchedules) {
+  const auto inst = hax_.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet50()}});
+  DHaxConn dyn(hax_);
+  dyn.start(inst.problem());
+  const double initial = dyn.current_prediction().objective_value;
+  ASSERT_TRUE(dyn.wait_converged(30'000.0));
+  EXPECT_LE(dyn.current_prediction().objective_value, initial + 1e-9);
+  EXPECT_GE(dyn.update_count(), 1);
+  dyn.stop();
+}
+
+TEST_F(CoreFixture, DynamicStopIsIdempotentAndRestartable) {
+  const auto inst1 = hax_.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet18()}});
+  const auto inst2 = hax_.make_problem({{nn::zoo::alexnet()}, {nn::zoo::resnet50()}});
+  DHaxConn dyn(hax_);
+  dyn.start(inst1.problem());
+  dyn.stop();
+  dyn.stop();
+  // CFG change: restart on a new problem.
+  dyn.start(inst2.problem());
+  EXPECT_FALSE(dyn.current_schedule().assignment.empty());
+  EXPECT_EQ(dyn.current_schedule().dnn_count(), 2);
+  (void)dyn.wait_converged(30'000.0);
+  dyn.stop();
+}
+
+TEST_F(CoreFixture, DynamicDestructorStopsWorker) {
+  const auto inst = hax_.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet50()}});
+  {
+    DHaxConn dyn(hax_);
+    dyn.start(inst.problem());
+    // Destructor must join the worker without hanging.
+  }
+  SUCCEED();
+}
+
+}  // namespace

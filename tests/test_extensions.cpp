@@ -1,0 +1,302 @@
+/// Tests for the extension modules: schedule serialization, contention
+/// interval analysis, Chrome trace export, the energy model, and
+/// profiling-noise robustness.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "core/energy.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+#include "sched/serialize.h"
+#include "sim/intervals.h"
+#include "sim/trace_export.h"
+
+namespace {
+
+using namespace hax;
+
+class ExtensionFixture : public testing::Test {
+ protected:
+  ExtensionFixture()
+      : plat_(soc::Platform::xavier()),
+        hax_(plat_, [] {
+          core::HaxConnOptions o;
+          o.grouping.max_groups = 6;
+          return o;
+        }()),
+        inst_(hax_.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet18()}})) {}
+
+  soc::Platform plat_;
+  core::HaxConn hax_;
+  sched::ProblemInstance inst_;
+};
+
+// --------------------------------------------------------- serialization --
+
+TEST_F(ExtensionFixture, ScheduleJsonRoundTrip) {
+  const sched::Schedule s = baselines::naive_concurrent(inst_.problem());
+  const sched::Schedule back = sched::schedule_from_string(sched::schedule_to_string(s));
+  EXPECT_EQ(back, s);
+}
+
+TEST_F(ExtensionFixture, ScheduleFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/hax_schedule.json";
+  const sched::Schedule s = baselines::mensa(inst_.problem());
+  sched::save_schedule(s, path);
+  EXPECT_EQ(sched::load_schedule(path), s);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadDocuments) {
+  EXPECT_THROW((void)sched::schedule_from_string("{}"), PreconditionError);
+  EXPECT_THROW((void)sched::schedule_from_string(R"({"version":99,"assignment":[[0]]})"),
+               PreconditionError);
+  EXPECT_THROW((void)sched::schedule_from_string(R"({"version":1,"assignment":[]})"),
+               PreconditionError);
+  EXPECT_THROW((void)sched::schedule_from_string(R"({"version":1,"assignment":[[-1]]})"),
+               PreconditionError);
+  EXPECT_THROW((void)sched::load_schedule("/nonexistent/x.json"), std::runtime_error);
+}
+
+TEST_F(ExtensionFixture, ProfileJsonStructure) {
+  const sched::DnnSpec& spec = inst_.problem().dnns[0];
+  const json::Value v = sched::profile_to_json(*spec.profile);
+  EXPECT_EQ(v.at("groups").as_int(), spec.profile->group_count());
+  EXPECT_EQ(v.at("layers").as_int(), spec.profile->layer_count());
+  EXPECT_EQ(static_cast<int>(v.at("group_records").as_array().size()),
+            spec.profile->group_count());
+  // Must be parseable JSON.
+  EXPECT_NO_THROW((void)json::parse(v.dump(2)));
+}
+
+TEST_F(ExtensionFixture, PredictionJson) {
+  const sched::Formulation f(inst_.problem());
+  const sched::Prediction p = f.predict(baselines::gpu_only(inst_.problem()),
+                                        {.enforce_epsilon = false});
+  const json::Value v = sched::prediction_to_json(p);
+  EXPECT_TRUE(v.at("feasible").as_bool());
+  EXPECT_NEAR(v.at("round_ms").as_number(), p.round_ms, 1e-12);
+  EXPECT_EQ(v.at("dnn_span_ms").as_array().size(), 2u);
+}
+
+// -------------------------------------------------------------- intervals --
+
+TEST_F(ExtensionFixture, IntervalsCoverBusyTime) {
+  const sched::Schedule split = [&] {
+    sched::Schedule s = baselines::gpu_only(inst_.problem());
+    s.assignment[1] = baselines::naive_concurrent(inst_.problem()).assignment[1];
+    return s;
+  }();
+  const auto ev = core::evaluate(inst_.problem(), split, {.record_trace = true});
+  const sim::IntervalAnalysis analysis(ev.sim.trace);
+  ASSERT_FALSE(analysis.intervals().empty());
+
+  // Intervals are ordered, non-overlapping, within the makespan.
+  TimeMs prev_end = 0.0;
+  for (const auto& iv : analysis.intervals()) {
+    EXPECT_GE(iv.start, prev_end - 1e-9);
+    EXPECT_GT(iv.end, iv.start);
+    EXPECT_LE(iv.end, ev.sim.makespan_ms + 1e-9);
+    EXPECT_EQ(iv.active_tasks.size(), iv.rates.size());
+    EXPECT_GE(iv.concurrency(), 1);
+    for (double r : iv.rates) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_LE(r, 1.0 + 1e-9);
+    }
+    prev_end = iv.end;
+  }
+}
+
+TEST_F(ExtensionFixture, IntervalTaskStatsMatchTrace) {
+  const auto ev =
+      core::evaluate(inst_.problem(), baselines::naive_concurrent(inst_.problem()),
+                     {.record_trace = true});
+  const sim::IntervalAnalysis analysis(ev.sim.trace);
+  for (int t = 0; t < 2; ++t) {
+    const auto stats = analysis.task_stats(t);
+    EXPECT_GT(stats.busy_ms, 0.0);
+    EXPECT_GE(stats.contention_slowdown(), 1.0 - 1e-9);
+    // busy time equals the trace's record time for this task.
+    TimeMs trace_busy = 0.0;
+    for (const auto& r : ev.sim.trace.records()) {
+      if (r.task == t) trace_busy += r.end - r.start;
+    }
+    EXPECT_NEAR(stats.busy_ms, trace_busy, 1e-6);
+  }
+}
+
+TEST_F(ExtensionFixture, ConcurrencyTimeMonotone) {
+  const auto ev =
+      core::evaluate(inst_.problem(), baselines::naive_concurrent(inst_.problem()),
+                     {.record_trace = true});
+  const sim::IntervalAnalysis analysis(ev.sim.trace);
+  EXPECT_GE(analysis.time_at_concurrency(1), analysis.time_at_concurrency(2));
+  EXPECT_GE(analysis.time_at_concurrency(2), analysis.time_at_concurrency(3));
+  EXPECT_GE(analysis.contended_fraction(), 0.0);
+  EXPECT_LE(analysis.contended_fraction(), 1.0);
+  EXPECT_FALSE(analysis.render().empty());
+}
+
+TEST(Intervals, EmptyTraceRejected) {
+  const sim::Trace empty;
+  EXPECT_THROW(sim::IntervalAnalysis{empty}, PreconditionError);
+}
+
+// ----------------------------------------------------------- trace export --
+
+TEST_F(ExtensionFixture, ChromeTraceIsValidJson) {
+  const auto ev =
+      core::evaluate(inst_.problem(), baselines::naive_concurrent(inst_.problem()),
+                     {.record_trace = true});
+  const std::string doc = sim::to_chrome_trace(ev.sim.trace, plat_);
+  const json::Value v = json::parse(doc);
+  const auto& events = v.at("traceEvents").as_array();
+  // PU metadata + one event per trace record.
+  EXPECT_EQ(events.size(),
+            ev.sim.trace.records().size() + static_cast<std::size_t>(plat_.pu_count()));
+  // Complete events carry ts/dur in microseconds.
+  bool found_exec = false;
+  for (const auto& e : events) {
+    if (e.at("ph").as_string() != "X") continue;
+    found_exec = true;
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+    EXPECT_TRUE(e.contains("args"));
+  }
+  EXPECT_TRUE(found_exec);
+}
+
+TEST_F(ExtensionFixture, ChromeTraceFileWrite) {
+  const std::string path = testing::TempDir() + "/hax_trace.json";
+  const auto ev = core::evaluate(inst_.problem(), baselines::gpu_only(inst_.problem()),
+                                 {.record_trace = true});
+  sim::write_chrome_trace(ev.sim.trace, plat_, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- energy --
+
+TEST_F(ExtensionFixture, EnergyBreakdownSane) {
+  const auto e = core::evaluate_energy(inst_.problem(),
+                                       baselines::naive_concurrent(inst_.problem()));
+  EXPECT_GT(e.total_mj(), 0.0);
+  EXPECT_GT(e.dram_mj, 0.0);
+  EXPECT_EQ(e.pu_active_mj.size(), static_cast<std::size_t>(plat_.pu_count()));
+  for (double mj : e.pu_active_mj) EXPECT_GE(mj, 0.0);
+  for (double mj : e.pu_idle_mj) EXPECT_GE(mj, 0.0);
+  EXPECT_NEAR(e.per_frame_mj(2) * 2.0, e.total_mj(), 1e-9);
+  EXPECT_THROW((void)e.per_frame_mj(0), PreconditionError);
+}
+
+TEST_F(ExtensionFixture, EnergyNeedsTrace) {
+  const sched::Schedule s = baselines::gpu_only(inst_.problem());
+  const auto ev = core::evaluate(inst_.problem(), s, {.record_trace = false});
+  EXPECT_THROW((void)core::measure_energy(inst_.problem(), s, ev), PreconditionError);
+}
+
+TEST_F(ExtensionFixture, FasterScheduleBurnsLessIdleEnergy) {
+  // HaX-CoNN's shorter makespan must not increase total energy vs the
+  // GPU-only serialization (same work, less idle time).
+  const auto inst = hax_.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  const auto sol = hax_.schedule(inst.problem());
+  const double hax_mj = core::evaluate_energy(inst.problem(), sol.schedule).total_mj();
+  const double gpu_mj =
+      core::evaluate_energy(inst.problem(), baselines::gpu_only(inst.problem())).total_mj();
+  EXPECT_LT(hax_mj, gpu_mj * 1.10);
+}
+
+TEST(Energy, ActiveDominatesIdleForBusySchedules) {
+  const auto plat = soc::Platform::orin();
+  core::HaxConnOptions o;
+  o.grouping.max_groups = 6;
+  const core::HaxConn hax(plat, o);
+  const auto inst = hax.make_problem({{nn::zoo::resnet50()}});
+  const auto e = core::evaluate_energy(inst.problem(),
+                                       baselines::gpu_only(inst.problem()));
+  double active = 0.0, idle = 0.0;
+  for (double x : e.pu_active_mj) active += x;
+  for (double x : e.pu_idle_mj) idle += x;
+  EXPECT_GT(active, idle);  // single busy GPU vs idle DLA+CPU
+}
+
+// ------------------------------------------------------------------ noise --
+
+TEST(Noise, ProfilerJitterBounded) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::resnet18(), {.max_groups = 6});
+  const perf::NetworkProfile exact = perf::Profiler(plat).profile(gn);
+  const perf::NetworkProfile noisy =
+      perf::Profiler(plat, {.noise_stdev = 0.03, .noise_seed = 7}).profile(gn);
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const auto& a = exact.at(g, plat.gpu());
+    const auto& b = noisy.at(g, plat.gpu());
+    EXPECT_NE(a.time_ms, b.time_ms);  // jitter applied
+    EXPECT_NEAR(b.time_ms, a.time_ms, 0.15 * a.time_ms);  // ~3 sigma over members
+  }
+}
+
+TEST(Noise, NoiseIsDeterministicPerSeed) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::alexnet(), {.max_groups = 6});
+  const perf::ProfilerOptions opts{.noise_stdev = 0.05, .noise_seed = 11};
+  const auto a = perf::Profiler(plat, opts).profile(gn);
+  const auto b = perf::Profiler(plat, opts).profile(gn);
+  for (int g = 0; g < gn.group_count(); ++g) {
+    EXPECT_DOUBLE_EQ(a.at(g, plat.gpu()).time_ms, b.at(g, plat.gpu()).time_ms);
+  }
+}
+
+TEST(Noise, SchedulerRobustToMeasurementNoise) {
+  // With a few percent of profiling jitter, HaX-CoNN must still never
+  // lose to the naive baselines on ground truth (ε absorbs the error).
+  const auto plat = soc::Platform::xavier();
+  core::HaxConnOptions o;
+  o.grouping.max_groups = 8;
+  o.profiling.noise_stdev = 0.03;
+  const core::HaxConn hax(plat, o);
+  const auto inst = hax.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  const auto sol = hax.schedule(inst.problem());
+  const TimeMs hax_lat = core::evaluate(inst.problem(), sol.schedule).round_latency_ms;
+  const TimeMs base_lat =
+      core::evaluate(inst.problem(), baselines::gpu_only(inst.problem())).round_latency_ms;
+  EXPECT_LE(hax_lat, base_lat * 1.08);
+}
+
+// ------------------------------------------------------------- new models --
+
+TEST(ZooExtensions, ResNet34AndSqueezeNet) {
+  const nn::Network r34 = nn::zoo::by_name("ResNet34");
+  EXPECT_NO_THROW(r34.validate());
+  EXPECT_NEAR(static_cast<double>(r34.total_flops()) / 1e9, 7.3, 1.2);  // ~3.6 GMACs
+
+  const nn::Network sq = nn::zoo::by_name("SqueezeNet");
+  EXPECT_NO_THROW(sq.validate());
+  const double gflops = static_cast<double>(sq.total_flops()) / 1e9;
+  EXPECT_GT(gflops, 0.5);
+  EXPECT_LT(gflops, 3.0);
+  EXPECT_LT(sq.total_weight_bytes(), 10ll << 20);  // famously few parameters
+}
+
+TEST(ZooExtensions, NewModelsSchedule) {
+  const auto plat = soc::Platform::orin();
+  core::HaxConnOptions o;
+  o.grouping.max_groups = 8;
+  const core::HaxConn hax(plat, o);
+  const auto inst = hax.make_problem({{nn::zoo::squeezenet()}, {nn::zoo::resnet34()}});
+  const auto sol = hax.schedule(inst.problem());
+  EXPECT_FALSE(sol.schedule.assignment.empty());
+  const TimeMs hax_lat = core::evaluate(inst.problem(), sol.schedule).round_latency_ms;
+  const TimeMs base_lat =
+      core::evaluate(inst.problem(), baselines::gpu_only(inst.problem())).round_latency_ms;
+  EXPECT_LE(hax_lat, base_lat * 1.05);
+}
+
+}  // namespace

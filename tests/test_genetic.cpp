@@ -1,0 +1,204 @@
+/// Unit tests for src/solver/genetic.h: the heuristic GA engine, checked
+/// against the exact branch-and-bound on shared search spaces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+#include "sched/search_space.h"
+#include "solver/bnb.h"
+#include "solver/genetic.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::solver;
+
+/// Additively separable space (same as the B&B tests use).
+class TableSpace : public SearchSpace {
+ public:
+  TableSpace(int vars, int values, std::uint64_t seed) : values_(values) {
+    Rng rng(seed);
+    table_.resize(static_cast<std::size_t>(vars));
+    for (auto& row : table_) {
+      row.resize(static_cast<std::size_t>(values));
+      for (double& cell : row) cell = rng.uniform(0.0, 10.0);
+    }
+  }
+
+  int variable_count() const override { return static_cast<int>(table_.size()); }
+
+  void candidates(std::span<const int>, std::vector<int>& out) const override {
+    out.clear();
+    for (int v = 0; v < values_; ++v) out.push_back(v);
+  }
+
+  double lower_bound(std::span<const int> prefix) const override {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      cost += table_[i][static_cast<std::size_t>(prefix[i])];
+    }
+    return cost;  // admissible: remaining vars cost >= 0
+  }
+
+  double evaluate(std::span<const int> assignment) const override {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      cost += table_[i][static_cast<std::size_t>(assignment[i])];
+    }
+    return cost;
+  }
+
+ private:
+  int values_;
+  std::vector<std::vector<double>> table_;
+};
+
+TEST(Genetic, FindsOptimumOnSeparableSpace) {
+  // Separable objectives are easy for a GA; it should match the exact
+  // solver when given enough generations.
+  const TableSpace space(10, 3, 7);
+  const SolveResult exact = BranchAndBound().solve(space);
+  GeneticOptions options;
+  options.generations = 120;
+  const SolveResult ga = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(exact.best && ga.best);
+  EXPECT_NEAR(ga.best->objective, exact.best->objective, 1e-9);
+}
+
+TEST(Genetic, NeverClaimsOptimality) {
+  const TableSpace space(6, 2, 3);
+  const SolveResult ga = GeneticSolver().solve(space, {});
+  EXPECT_FALSE(ga.stats.exhausted);
+}
+
+TEST(Genetic, DeterministicForSeed) {
+  const TableSpace space(8, 3, 5);
+  GeneticOptions options;
+  options.generations = 40;
+  options.seed = 99;
+  const SolveResult a = GeneticSolver().solve(space, options);
+  const SolveResult b = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(a.best && b.best);
+  EXPECT_EQ(a.best->assignment, b.best->assignment);
+  EXPECT_DOUBLE_EQ(a.best->objective, b.best->objective);
+}
+
+TEST(Genetic, MoreGenerationsNeverWorse) {
+  const TableSpace space(12, 4, 11);
+  GeneticOptions small;
+  small.generations = 5;
+  small.seed = 4;
+  GeneticOptions large = small;
+  large.generations = 150;
+  const SolveResult a = GeneticSolver().solve(space, small);
+  const SolveResult b = GeneticSolver().solve(space, large);
+  ASSERT_TRUE(a.best && b.best);
+  EXPECT_LE(b.best->objective, a.best->objective + 1e-12);
+}
+
+TEST(Genetic, IncumbentsImproveMonotonically) {
+  const TableSpace space(10, 3, 13);
+  double last = std::numeric_limits<double>::infinity();
+  int calls = 0;
+  (void)GeneticSolver().solve(space, {}, [&](const Incumbent& inc) {
+    EXPECT_LT(inc.objective, last);
+    last = inc.objective;
+    ++calls;
+    return true;
+  });
+  EXPECT_GT(calls, 0);
+}
+
+TEST(Genetic, CallbackAbortStops) {
+  const TableSpace space(10, 3, 17);
+  int calls = 0;
+  const SolveResult r = GeneticSolver().solve(space, {}, [&](const Incumbent&) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(calls, 1);
+  ASSERT_TRUE(r.best.has_value());
+}
+
+/// Constrained space: value 0 forbidden after value 2 — exercises the
+/// left-to-right repair pass.
+class ConstrainedSpace : public TableSpace {
+ public:
+  using TableSpace::TableSpace;
+  void candidates(std::span<const int> prefix, std::vector<int>& out) const override {
+    TableSpace::candidates(prefix, out);
+    if (!prefix.empty() && prefix.back() == 2) {
+      out.erase(std::remove(out.begin(), out.end(), 0), out.end());
+    }
+  }
+};
+
+TEST(Genetic, RepairMaintainsConstraints) {
+  const ConstrainedSpace space(9, 3, 23);
+  GeneticOptions options;
+  options.generations = 60;
+  options.mutation_rate = 0.2;  // stress the repair path
+  const SolveResult r = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  const auto& genes = r.best->assignment;
+  for (std::size_t i = 1; i < genes.size(); ++i) {
+    EXPECT_FALSE(genes[i - 1] == 2 && genes[i] == 0);
+  }
+}
+
+TEST(Genetic, OptionsValidated) {
+  const TableSpace space(4, 2, 1);
+  GeneticOptions bad;
+  bad.population = 2;
+  EXPECT_THROW((void)GeneticSolver().solve(space, bad), PreconditionError);
+  bad = GeneticOptions{};
+  bad.tournament = 0;
+  EXPECT_THROW((void)GeneticSolver().solve(space, bad), PreconditionError);
+  bad = GeneticOptions{};
+  bad.elites = 1000;
+  EXPECT_THROW((void)GeneticSolver().solve(space, bad), PreconditionError);
+}
+
+TEST(Genetic, TimeBudgetRespected) {
+  const TableSpace space(16, 4, 29);
+  GeneticOptions options;
+  options.generations = 100000;
+  options.time_budget_ms = 20.0;
+  const SolveResult r = GeneticSolver().solve(space, options);
+  EXPECT_LT(r.stats.elapsed_ms, 500.0);
+  ASSERT_TRUE(r.best.has_value());
+}
+
+TEST(Genetic, CompetitiveOnRealScheduleSpace) {
+  // On an actual scheduling instance the GA must respect all structural
+  // constraints (via repair) and land within 10% of the proven optimum.
+  const auto plat = hax::soc::Platform::xavier();
+  hax::core::HaxConnOptions o;
+  o.grouping.max_groups = 8;
+  const hax::core::HaxConn hax(plat, o);
+  auto inst = hax.make_problem({{hax::nn::zoo::googlenet()}, {hax::nn::zoo::resnet50()}});
+  const hax::sched::ScheduleSpace space(inst.problem());
+
+  const SolveResult exact = BranchAndBound().solve(space);
+  ASSERT_TRUE(exact.best.has_value());
+  ASSERT_TRUE(exact.stats.exhausted);
+
+  GeneticOptions options;
+  options.generations = 80;
+  const SolveResult ga = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(ga.best.has_value());
+  EXPECT_LE(ga.best->objective, exact.best->objective * 1.10);
+  EXPECT_GE(ga.best->objective, exact.best->objective - 1e-9);  // never "beats" the optimum
+  // And the GA's best is a valid schedule.
+  const hax::sched::Schedule s = space.to_schedule(ga.best->assignment);
+  for (int d = 0; d < s.dnn_count(); ++d) {
+    EXPECT_LE(s.transition_count(d), inst.problem().max_transitions);
+  }
+}
+
+}  // namespace

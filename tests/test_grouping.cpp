@@ -1,0 +1,201 @@
+/// Unit tests for src/grouping: legal cuts, group construction, coarsening.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "grouping/grouping.h"
+#include "nn/builder.h"
+#include "nn/zoo.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::grouping;
+
+nn::Network small_chain() {
+  nn::NetworkBuilder b("chain", {3, 32, 32});
+  int x = b.conv_relu(b.input(), 16, 3);
+  x = b.pool(x, 2, 2);
+  x = b.conv_relu(x, 32, 3);
+  x = b.global_pool(x);
+  x = b.fc(x, 10);
+  b.softmax(x);
+  return b.build();
+}
+
+TEST(LegalCuts, NeverSplitsFusionChains) {
+  const nn::Network net = small_chain();
+  const auto cuts = legal_cut_points(net);
+  for (int cut : cuts) {
+    const nn::Layer& next = net.layer(cut + 1);
+    // A cut directly before bn/activation would break conv+act fusion.
+    if (net.layer(cut).fuses_with_next()) {
+      EXPECT_NE(next.kind, nn::LayerKind::Activation);
+      EXPECT_NE(next.kind, nn::LayerKind::BatchNorm);
+    }
+    EXPECT_NE(next.kind, nn::LayerKind::Softmax);
+  }
+}
+
+TEST(LegalCuts, ExcludesInputBoundary) {
+  const auto cuts = legal_cut_points(small_chain());
+  for (int cut : cuts) EXPECT_NE(cut, 0);
+}
+
+TEST(LegalCuts, AllAreCleanCuts) {
+  const nn::Network net = nn::zoo::googlenet();
+  for (int cut : legal_cut_points(net)) {
+    EXPECT_TRUE(net.is_clean_cut_after(cut)) << "cut after layer " << cut;
+  }
+}
+
+TEST(LegalCuts, ResidualBlocksAtomic) {
+  // No cut may land inside a residual block (between branch and add).
+  const nn::Network net = nn::zoo::resnet18();
+  for (int cut : legal_cut_points(net)) {
+    EXPECT_NE(net.layer(cut + 1).kind, nn::LayerKind::Add);
+    EXPECT_TRUE(net.is_clean_cut_after(cut));
+  }
+}
+
+TEST(BuildGroups, CoversNetworkContiguously) {
+  const GroupedNetwork gn = build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  EXPECT_LE(gn.group_count(), 10);
+  EXPECT_EQ(gn.group(0).first, 0);
+  EXPECT_EQ(gn.groups().back().last, gn.network().layer_count() - 1);
+  for (int g = 1; g < gn.group_count(); ++g) {
+    EXPECT_EQ(gn.group(g).first, gn.group(g - 1).last + 1);
+  }
+}
+
+TEST(BuildGroups, RespectsMaxGroupsAcrossModels) {
+  for (const char* name : {"AlexNet", "ResNet50", "DenseNet", "Inception"}) {
+    const GroupedNetwork gn = build_groups(nn::zoo::by_name(name), {.max_groups = 8});
+    EXPECT_LE(gn.group_count(), 8) << name;
+    EXPECT_GE(gn.group_count(), 2) << name;
+  }
+}
+
+TEST(BuildGroups, SingleGroupDegenerate) {
+  const GroupedNetwork gn = build_groups(nn::zoo::alexnet(), {.max_groups = 1});
+  EXPECT_EQ(gn.group_count(), 1);
+  EXPECT_EQ(gn.group(0).size(), gn.network().layer_count());
+}
+
+TEST(BuildGroups, RejectsBadOptions) {
+  EXPECT_THROW((void)build_groups(nn::zoo::alexnet(), {.max_groups = 0}), PreconditionError);
+}
+
+TEST(BuildGroups, AggregatesMatchLayerSums) {
+  const GroupedNetwork gn = build_groups(nn::zoo::resnet18(), {.max_groups = 6});
+  Flops total = 0;
+  for (const LayerGroup& g : gn.groups()) {
+    Flops group_flops = 0;
+    for (int i = g.first; i <= g.last; ++i) group_flops += gn.network().layer(i).flops();
+    EXPECT_EQ(g.flops, group_flops);
+    total += g.flops;
+  }
+  EXPECT_EQ(total, gn.network().total_flops());
+}
+
+TEST(BuildGroups, BoundaryBytesMatchTensors) {
+  const GroupedNetwork gn = build_groups(nn::zoo::vgg19(), {.max_groups = 8});
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const LayerGroup& grp = gn.group(g);
+    EXPECT_EQ(grp.output_bytes, gn.network().layer(grp.last).output_bytes());
+    if (g == 0) {
+      EXPECT_EQ(grp.input_bytes, 0);
+    } else {
+      EXPECT_GT(grp.input_bytes, 0);
+    }
+  }
+}
+
+TEST(BuildGroups, LrnPinsGroupToGpu) {
+  const GroupedNetwork gn = build_groups(nn::zoo::alexnet(), {.max_groups = 8});
+  bool any_gpu_only = false;
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const LayerGroup& grp = gn.group(g);
+    bool has_unsupported = false;
+    for (int i = grp.first; i <= grp.last; ++i) {
+      has_unsupported |= !gn.network().layer(i).supported_on(soc::PuKind::Dsa);
+    }
+    EXPECT_EQ(grp.gpu_only, has_unsupported);
+    EXPECT_EQ(gn.supported(g, soc::PuKind::Dsa), !grp.gpu_only);
+    EXPECT_TRUE(gn.supported(g, soc::PuKind::Gpu));
+    any_gpu_only |= grp.gpu_only;
+  }
+  EXPECT_TRUE(any_gpu_only);  // AlexNet's LRN + softmax head
+}
+
+TEST(BuildGroups, PureConvNetFullyDsaCapable) {
+  // A bn/relu/conv/pool-only network has no GPU-pinned group except the
+  // softmax head.
+  const GroupedNetwork gn = build_groups(nn::zoo::resnet50(), {.max_groups = 10});
+  int gpu_only = 0;
+  for (const LayerGroup& g : gn.groups()) gpu_only += g.gpu_only ? 1 : 0;
+  EXPECT_EQ(gpu_only, 1);  // the head group (softmax)
+}
+
+TEST(BuildGroups, LabelsAreRanges) {
+  const GroupedNetwork gn = build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  for (const LayerGroup& g : gn.groups()) {
+    EXPECT_EQ(g.label, std::to_string(g.first) + "-" + std::to_string(g.last));
+  }
+}
+
+TEST(BuildGroups, MergePrefersSmallGroups) {
+  // Coarsening from many to few groups must keep the big conv stages
+  // separated longer than the tiny head layers: the head (smallest flops)
+  // merges first. With max_groups=3 on VGG19 the final group should
+  // contain far less work than the peak group.
+  const GroupedNetwork gn = build_groups(nn::zoo::vgg19(), {.max_groups = 3});
+  EXPECT_EQ(gn.group_count(), 3);
+  Flops max_flops = 0;
+  for (const LayerGroup& g : gn.groups()) max_flops = std::max(max_flops, g.flops);
+  EXPECT_GT(max_flops, gn.network().total_flops() / 4);
+}
+
+TEST(BuildGroups, GroupAccessorBounds) {
+  const GroupedNetwork gn = build_groups(nn::zoo::alexnet(), {.max_groups = 4});
+  EXPECT_THROW((void)gn.group(-1), PreconditionError);
+  EXPECT_THROW((void)gn.group(gn.group_count()), PreconditionError);
+}
+
+TEST(BuildGroups, Inception985LayerScaleSolvable) {
+  // The paper calls out Inception-ResNet-v2's layer count as the solver
+  // stress case; grouping must still compress it to the requested budget.
+  const GroupedNetwork gn = build_groups(nn::zoo::inception_resnet_v2(), {.max_groups = 14});
+  EXPECT_LE(gn.group_count(), 14);
+  EXPECT_GT(gn.network().layer_count(), 700);
+}
+
+class GroupingInvariants : public testing::TestWithParam<const char*> {};
+
+TEST_P(GroupingInvariants, HoldForModel) {
+  const GroupedNetwork gn = build_groups(nn::zoo::by_name(GetParam()), {.max_groups = 12});
+  // Coverage, contiguity, positive sizes, non-negative aggregates.
+  int expected_first = 0;
+  for (const LayerGroup& g : gn.groups()) {
+    EXPECT_EQ(g.first, expected_first);
+    EXPECT_GE(g.size(), 1);
+    EXPECT_GE(g.flops, 0);
+    EXPECT_GE(g.weight_bytes, 0);
+    expected_first = g.last + 1;
+  }
+  EXPECT_EQ(expected_first, gn.network().layer_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, GroupingInvariants,
+                         testing::Values("AlexNet", "CaffeNet", "VGG16", "VGG19", "GoogleNet",
+                                         "ResNet18", "ResNet50", "ResNet101", "ResNet152",
+                                         "Inception", "DenseNet", "MobileNet", "FCN-ResNet18"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace

@@ -1,0 +1,200 @@
+/// Cross-module integration tests: the end-to-end HaX-CoNN pipeline
+/// (group -> profile -> calibrate -> solve -> simulate) against the
+/// paper's claimed properties, across platforms and workloads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::core;
+
+struct Workload {
+  const char* platform;  // "orin" | "xavier" | "sd865"
+  const char* dnn1;
+  const char* dnn2;
+  sched::Objective objective;
+};
+
+soc::Platform make_platform(const std::string& name) {
+  if (name == "orin") return soc::Platform::orin();
+  if (name == "xavier") return soc::Platform::xavier();
+  return soc::Platform::sd865();
+}
+
+class PipelineTest : public testing::TestWithParam<Workload> {};
+
+/// HaX-CoNN must never lose to the naive baselines on ground truth, and
+/// the solver must prove optimality in reasonable time (Sec 3.5:
+/// "optimal schedules in seconds").
+TEST_P(PipelineTest, NeverWorseThanNaiveOnGroundTruth) {
+  const Workload w = GetParam();
+  const soc::Platform plat = make_platform(w.platform);
+  HaxConnOptions o;
+  o.objective = w.objective;
+  o.grouping.max_groups = 10;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem(
+      {{nn::zoo::by_name(w.dnn1)}, {nn::zoo::by_name(w.dnn2)}});
+  const sched::Problem& prob = inst.problem();
+
+  const auto sol = hax.schedule(prob);
+  ASSERT_FALSE(sol.schedule.assignment.empty());
+
+  const EvalResult hax_ev = evaluate(prob, sol.schedule);
+  for (auto kind : {baselines::Kind::GpuOnly, baselines::Kind::NaiveConcurrent}) {
+    const EvalResult base_ev = evaluate(prob, baselines::make(kind, prob));
+    if (w.objective == sched::Objective::MinMaxLatency) {
+      EXPECT_LE(hax_ev.round_latency_ms, base_ev.round_latency_ms * 1.06)
+          << baselines::name(kind);
+    } else {
+      EXPECT_GE(hax_ev.fps, base_ev.fps * 0.94) << baselines::name(kind);
+    }
+  }
+}
+
+/// The solver's prediction must stay close to ground truth for the
+/// schedule it selects — this is the accuracy edge over Herald/H2H that
+/// the paper attributes to contention modeling.
+TEST_P(PipelineTest, SelectedSchedulePredictionAccurate) {
+  const Workload w = GetParam();
+  const soc::Platform plat = make_platform(w.platform);
+  HaxConnOptions o;
+  o.objective = w.objective;
+  o.grouping.max_groups = 10;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem(
+      {{nn::zoo::by_name(w.dnn1)}, {nn::zoo::by_name(w.dnn2)}});
+  const auto sol = hax.schedule(inst.problem());
+  const EvalResult ev = evaluate(inst.problem(), sol.schedule);
+  if (w.objective == sched::Objective::MinMaxLatency) {
+    EXPECT_NEAR(sol.prediction.round_ms, ev.round_latency_ms, 0.12 * ev.round_latency_ms);
+  } else {
+    EXPECT_NEAR(sol.prediction.fps, ev.fps, 0.12 * ev.fps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PipelineTest,
+    testing::Values(
+        Workload{"xavier", "VGG19", "ResNet152", sched::Objective::MinMaxLatency},
+        Workload{"xavier", "ResNet152", "Inception", sched::Objective::MinMaxLatency},
+        Workload{"xavier", "AlexNet", "ResNet101", sched::Objective::MaxThroughput},
+        Workload{"orin", "VGG19", "ResNet152", sched::Objective::MinMaxLatency},
+        Workload{"orin", "GoogleNet", "ResNet101", sched::Objective::MaxThroughput},
+        Workload{"sd865", "GoogleNet", "ResNet101", sched::Objective::MaxThroughput},
+        Workload{"sd865", "Inception", "ResNet152", sched::Objective::MinMaxLatency}),
+    [](const auto& info) {
+      return std::string(info.param.platform) + "_" + info.param.dnn1 + "_" + info.param.dnn2 +
+             (info.param.objective == sched::Objective::MinMaxLatency ? "_lat" : "_fps");
+    });
+
+/// Contention-blind baselines must mispredict: the gap between H2H's own
+/// cost model and ground truth should far exceed HaX-CoNN's gap
+/// (Sec 5.2: "inaccurate latency estimations that are wrong by up to 75%").
+TEST(IntegrationMisprediction, BlindModelsWrongAwareModelsRight) {
+  const soc::Platform plat = soc::Platform::xavier();
+  HaxConnOptions o;
+  o.grouping.max_groups = 10;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  const sched::Problem& prob = inst.problem();
+  const sched::Formulation f(prob);
+  const sched::PredictOptions blind{.model_contention = false,
+                                    .enforce_transition_budget = false,
+                                    .enforce_epsilon = false};
+  const sched::PredictOptions aware{.enforce_transition_budget = false,
+                                    .enforce_epsilon = false};
+
+  double blind_err = 0.0, aware_err = 0.0;
+  for (auto kind : {baselines::Kind::NaiveConcurrent, baselines::Kind::Herald,
+                    baselines::Kind::H2H}) {
+    const sched::Schedule s = baselines::make(kind, prob);
+    const TimeMs truth = evaluate(prob, s).round_latency_ms;
+    blind_err = std::max(blind_err,
+                         std::abs(f.predict(s, blind).round_ms - truth) / truth);
+    aware_err = std::max(aware_err,
+                         std::abs(f.predict(s, aware).round_ms - truth) / truth);
+  }
+  EXPECT_GT(blind_err, 0.03);                 // blind models mispredict
+  EXPECT_LT(aware_err, 0.6 * blind_err);      // contention-awareness helps
+}
+
+/// Scenario-1 shape: two instances of the same DNN, throughput objective.
+TEST(IntegrationSameDnn, TwoGoogleNetsGainFromDualAccelerators) {
+  const soc::Platform plat = soc::Platform::orin();
+  HaxConnOptions o;
+  o.objective = sched::Objective::MaxThroughput;
+  o.grouping.max_groups = 10;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem(
+      {{nn::zoo::googlenet(), -1, 4}, {nn::zoo::googlenet(), -1, 4}});
+  const sched::Problem& prob = inst.problem();
+  const auto sol = hax.schedule(prob);
+  const double hax_fps = evaluate(prob, sol.schedule).fps;
+  const double gpu_fps = evaluate(prob, baselines::gpu_only(prob)).fps;
+  // GoogleNet is the paper's showcase pair: HaX-CoNN must beat GPU-only.
+  EXPECT_GT(hax_fps, gpu_fps * 1.02);
+}
+
+/// Scenario-3 shape: pipelined DNNs with a frame-level dependency.
+TEST(IntegrationPipeline, DependentDnnsScheduleAndRun) {
+  const soc::Platform plat = soc::Platform::orin();
+  HaxConnOptions o;
+  o.objective = sched::Objective::MaxThroughput;
+  o.grouping.max_groups = 8;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem(
+      {{nn::zoo::googlenet(), -1, 4}, {nn::zoo::resnet101(), 0, 4}});
+  const sched::Problem& prob = inst.problem();
+  const auto sol = hax.schedule(prob);
+  const EvalResult ev = evaluate(prob, sol.schedule);
+  // Frame dependency honored on ground truth.
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_GE(ev.sim.tasks[1].iterations[static_cast<std::size_t>(k)].start,
+              ev.sim.tasks[0].iterations[static_cast<std::size_t>(k)].end - 1e-9);
+  }
+  const double gpu_fps = evaluate(prob, baselines::gpu_only(prob)).fps;
+  EXPECT_GE(ev.fps, gpu_fps * 0.94);
+}
+
+/// Scenario-4 shape: three DNNs, one chained pair plus one parallel.
+TEST(IntegrationHybrid, ThreeDnnWorkloadSolves) {
+  const soc::Platform plat = soc::Platform::xavier();
+  HaxConnOptions o;
+  o.grouping.max_groups = 6;
+  o.time_budget_ms = 10'000.0;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem({{nn::zoo::googlenet()},
+                                {nn::zoo::resnet152(), /*depends_on=*/0},
+                                {nn::zoo::fcn_resnet18()}});
+  const sched::Problem& prob = inst.problem();
+  const auto sol = hax.schedule(prob);
+  ASSERT_EQ(sol.schedule.dnn_count(), 3);
+  const EvalResult hax_ev = evaluate(prob, sol.schedule);
+  const EvalResult gpu_ev = evaluate(prob, baselines::gpu_only(prob));
+  EXPECT_LE(hax_ev.round_latency_ms, gpu_ev.round_latency_ms * 1.06);
+}
+
+/// The solver proves optimality within the paper's "seconds" scale even
+/// for the deepest network in the set (Inception-ResNet-v2, Sec 4).
+TEST(IntegrationScale, IncResV2SolvesWithinSeconds) {
+  const soc::Platform plat = soc::Platform::orin();
+  HaxConnOptions o;
+  o.grouping.max_groups = 12;
+  o.time_budget_ms = 20'000.0;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem({{nn::zoo::inception_resnet_v2()}, {nn::zoo::googlenet()}});
+  const auto sol = hax.schedule(inst.problem());
+  EXPECT_FALSE(sol.schedule.assignment.empty());
+  EXPECT_LT(sol.stats.elapsed_ms, 20'000.0);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+/// Unit tests for src/common/json.h: the minimal JSON value type.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace {
+
+using namespace hax;
+using json::Array;
+using json::Object;
+using json::Value;
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(nullptr).is_null());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_DOUBLE_EQ(Value(3.5).as_number(), 3.5);
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v(1.0);
+  EXPECT_THROW((void)v.as_string(), PreconditionError);
+  EXPECT_THROW((void)v.as_bool(), PreconditionError);
+  EXPECT_THROW((void)v.as_array(), PreconditionError);
+  EXPECT_THROW((void)v.at("x"), PreconditionError);
+}
+
+TEST(Json, DumpScalars) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(7).dump(), "7");
+  EXPECT_EQ(Value(-2.5).dump(), "-2.5");
+  EXPECT_EQ(Value("a\"b").dump(), "\"a\\\"b\"");
+}
+
+TEST(Json, DumpCompound) {
+  Object obj;
+  obj.emplace("b", Array{Value(1), Value(2)});
+  obj.emplace("a", "x");
+  // std::map keys are ordered: "a" before "b".
+  EXPECT_EQ(Value(obj).dump(), R"({"a":"x","b":[1,2]})");
+}
+
+TEST(Json, PrettyPrint) {
+  Object obj;
+  obj.emplace("k", Array{Value(1)});
+  const std::string out = Value(obj).dump(2);
+  EXPECT_NE(out.find("{\n  \"k\": [\n    1\n  ]\n}"), std::string::npos);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse(" true ").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(json::parse("\"hey\"").as_string(), "hey");
+}
+
+TEST(Json, ParseCompound) {
+  const Value v = json::parse(R"({"xs": [1, 2, 3], "nested": {"ok": true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("xs").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("xs").as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(v.at("nested").at("ok").as_bool());
+  EXPECT_TRUE(v.contains("xs"));
+  EXPECT_FALSE(v.contains("zz"));
+}
+
+TEST(Json, ParseEscapes) {
+  EXPECT_EQ(json::parse(R"("a\nb\t\"c\"")").as_string(), "a\nb\t\"c\"");
+  EXPECT_EQ(json::parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, ParseEmptyContainers) {
+  EXPECT_TRUE(json::parse("[]").as_array().empty());
+  EXPECT_TRUE(json::parse("{}").as_object().empty());
+}
+
+TEST(Json, RoundTrip) {
+  Object obj;
+  obj.emplace("name", "hax-conn");
+  obj.emplace("version", 1);
+  obj.emplace("values", Array{Value(1.5), Value(true), Value(nullptr), Value("s")});
+  const Value original(obj);
+  EXPECT_EQ(json::parse(original.dump()), original);
+  EXPECT_EQ(json::parse(original.dump(2)), original);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW((void)json::parse(""), PreconditionError);
+  EXPECT_THROW((void)json::parse("{"), PreconditionError);
+  EXPECT_THROW((void)json::parse("[1,]2"), PreconditionError);
+  EXPECT_THROW((void)json::parse("tru"), PreconditionError);
+  EXPECT_THROW((void)json::parse("\"unterminated"), PreconditionError);
+  EXPECT_THROW((void)json::parse("{\"a\" 1}"), PreconditionError);
+  EXPECT_THROW((void)json::parse("1 2"), PreconditionError);  // trailing garbage
+}
+
+TEST(Json, ErrorsCarryOffset) {
+  try {
+    (void)json::parse("[1, oops]");
+    FAIL();
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, NonFiniteRejected) {
+  EXPECT_THROW((void)Value(std::numeric_limits<double>::infinity()).dump(),
+               PreconditionError);
+}
+
+}  // namespace

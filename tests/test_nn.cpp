@@ -1,0 +1,362 @@
+/// Unit tests for src/nn: layer math, network graph, builder, model zoo.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "nn/builder.h"
+#include "nn/layer.h"
+#include "nn/network.h"
+#include "nn/zoo.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::nn;
+
+// ---------------------------------------------------------------- layer --
+
+TEST(Tensor3, ElemsAndBytes) {
+  const Tensor3 t{64, 56, 56};
+  EXPECT_EQ(t.elems(), 64 * 56 * 56);
+  EXPECT_EQ(t.bytes(), t.elems() * kBytesPerElement);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE((Tensor3{0, 1, 1}).valid());
+}
+
+TEST(Layer, ConvFlops) {
+  // 3x3 conv, 64 -> 128 channels, 56x56 output:
+  // 2 * 3*3*64 * 128*56*56.
+  Layer l;
+  l.kind = LayerKind::Conv;
+  l.in = {64, 56, 56};
+  l.out = {128, 56, 56};
+  l.kernel = 3;
+  EXPECT_EQ(l.flops(), 2LL * 9 * 64 * 128 * 56 * 56);
+}
+
+TEST(Layer, AsymmetricConvFlops) {
+  Layer l;
+  l.kind = LayerKind::Conv;
+  l.in = {64, 17, 17};
+  l.out = {64, 17, 17};
+  l.kernel = 1;
+  l.kernel_w = 7;
+  EXPECT_EQ(l.kw(), 7);
+  EXPECT_EQ(l.flops(), 2LL * 1 * 7 * 64 * 64 * 17 * 17);
+}
+
+TEST(Layer, GroupedConvFlops) {
+  Layer l;
+  l.kind = LayerKind::Conv;
+  l.in = {64, 28, 28};
+  l.out = {64, 28, 28};
+  l.kernel = 3;
+  l.groups = 4;
+  EXPECT_EQ(l.flops(), 2LL * 9 * (64 / 4) * 64 * 28 * 28);
+}
+
+TEST(Layer, DepthwiseConvFlops) {
+  Layer l;
+  l.kind = LayerKind::DepthwiseConv;
+  l.in = {32, 112, 112};
+  l.out = {32, 112, 112};
+  l.kernel = 3;
+  l.groups = 32;
+  EXPECT_EQ(l.flops(), 2LL * 9 * 32 * 112 * 112);
+}
+
+TEST(Layer, FullyConnectedFlopsAndWeights) {
+  Layer l;
+  l.kind = LayerKind::FullyConnected;
+  l.in = {512, 1, 1};
+  l.out = {1000, 1, 1};
+  EXPECT_EQ(l.flops(), 2LL * 512 * 1000);
+  EXPECT_EQ(l.weight_bytes(), (512LL * 1000 + 1000) * kBytesPerElement);
+}
+
+TEST(Layer, ConvWeightBytesIncludeBias) {
+  Layer l;
+  l.kind = LayerKind::Conv;
+  l.in = {3, 224, 224};
+  l.out = {64, 112, 112};
+  l.kernel = 7;
+  EXPECT_EQ(l.weight_bytes(), (49LL * 3 * 64 + 64) * kBytesPerElement);
+}
+
+TEST(Layer, PoolFlopsCheap) {
+  Layer l;
+  l.kind = LayerKind::Pool;
+  l.in = {64, 112, 112};
+  l.out = {64, 56, 56};
+  l.kernel = 3;
+  EXPECT_EQ(l.flops(), 9LL * 64 * 56 * 56);
+  EXPECT_EQ(l.weight_bytes(), 0);
+}
+
+TEST(Layer, ConcatMovesDataNoCompute) {
+  Layer l;
+  l.kind = LayerKind::Concat;
+  l.in = {64, 28, 28};
+  l.out = {256, 28, 28};
+  l.inputs = {1, 2, 3, 4};
+  EXPECT_EQ(l.flops(), 0);
+  EXPECT_EQ(l.input_bytes(), l.out.bytes());
+  EXPECT_GT(l.total_bytes(), 0);
+}
+
+TEST(Layer, InputIsFree) {
+  Layer l;
+  l.kind = LayerKind::Input;
+  l.in = l.out = {3, 224, 224};
+  EXPECT_EQ(l.flops(), 0);
+  EXPECT_EQ(l.input_bytes(), 0);
+  EXPECT_EQ(l.output_bytes(), 0);
+}
+
+TEST(Layer, DsaSupportMatrix) {
+  Layer l;
+  l.out = {1, 1, 1};
+  for (LayerKind k : {LayerKind::Lrn, LayerKind::Softmax, LayerKind::Deconv}) {
+    l.kind = k;
+    EXPECT_FALSE(l.supported_on(soc::PuKind::Dsa)) << to_string(k);
+    EXPECT_TRUE(l.supported_on(soc::PuKind::Gpu)) << to_string(k);
+  }
+  for (LayerKind k : {LayerKind::Conv, LayerKind::Pool, LayerKind::FullyConnected,
+                      LayerKind::Concat, LayerKind::Add, LayerKind::BatchNorm}) {
+    l.kind = k;
+    EXPECT_TRUE(l.supported_on(soc::PuKind::Dsa)) << to_string(k);
+  }
+}
+
+// -------------------------------------------------------------- builder --
+
+TEST(Builder, ConvShapeArithmetic) {
+  NetworkBuilder b("t", {3, 224, 224});
+  const int c = b.conv(b.input(), 64, 7, 2, 3);
+  EXPECT_EQ(b.shape(c), (Tensor3{64, 112, 112}));
+  const int c2 = b.conv(c, 128, 3);  // same padding, stride 1
+  EXPECT_EQ(b.shape(c2), (Tensor3{128, 112, 112}));
+  const int c3 = b.conv(c2, 32, 3, 1, 0);  // valid padding
+  EXPECT_EQ(b.shape(c3), (Tensor3{32, 110, 110}));
+}
+
+TEST(Builder, PoolShape) {
+  NetworkBuilder b("t", {64, 112, 112});
+  EXPECT_EQ(b.shape(b.pool(b.input(), 3, 2, 1)), (Tensor3{64, 56, 56}));
+  NetworkBuilder b2("t2", {64, 112, 112});
+  EXPECT_EQ(b2.shape(b2.pool(b2.input(), 2, 2)), (Tensor3{64, 56, 56}));
+}
+
+TEST(Builder, GlobalPoolAndFc) {
+  NetworkBuilder b("t", {512, 7, 7});
+  const int gp = b.global_pool(b.input());
+  EXPECT_EQ(b.shape(gp), (Tensor3{512, 1, 1}));
+  EXPECT_EQ(b.shape(b.fc(gp, 1000)), (Tensor3{1000, 1, 1}));
+}
+
+TEST(Builder, DeconvUpsamples) {
+  NetworkBuilder b("t", {21, 8, 16});
+  EXPECT_EQ(b.shape(b.deconv(b.input(), 21, 4, 2)), (Tensor3{21, 16, 32}));
+}
+
+TEST(Builder, ConcatSumsChannels) {
+  NetworkBuilder b("t", {16, 28, 28});
+  const int a = b.conv(b.input(), 32, 1);
+  const int c = b.conv(b.input(), 64, 3);
+  EXPECT_EQ(b.shape(b.concat({a, c})), (Tensor3{96, 28, 28}));
+}
+
+TEST(Builder, ConcatRejectsMismatchedHw) {
+  NetworkBuilder b("t", {16, 28, 28});
+  const int a = b.conv(b.input(), 32, 1);
+  const int c = b.conv(b.input(), 32, 3, 2);  // 14x14
+  EXPECT_THROW((void)b.concat({a, c}), PreconditionError);
+  EXPECT_THROW((void)b.concat({a}), PreconditionError);
+}
+
+TEST(Builder, AddRejectsMismatchedShape) {
+  NetworkBuilder b("t", {16, 28, 28});
+  const int a = b.conv(b.input(), 32, 1);
+  const int c = b.conv(b.input(), 64, 1);
+  EXPECT_THROW((void)b.add(a, c), PreconditionError);
+}
+
+TEST(Builder, GroupsMustDivide) {
+  NetworkBuilder b("t", {30, 28, 28});
+  EXPECT_THROW((void)b.conv(b.input(), 64, 3, 1, NetworkBuilder::kSame, 4), PreconditionError);
+}
+
+TEST(Builder, BuildValidates) {
+  NetworkBuilder b("t", {3, 32, 32});
+  b.conv_relu(b.input(), 8, 3);
+  const Network net = b.build();
+  EXPECT_EQ(net.layer_count(), 3);  // input, conv, relu
+  EXPECT_EQ(net.name(), "t");
+}
+
+TEST(Builder, MultipleSinksRejected) {
+  NetworkBuilder b("t", {3, 32, 32});
+  b.conv(b.input(), 8, 3);
+  b.conv(b.input(), 8, 3);  // second dangling consumer of input
+  EXPECT_THROW((void)b.build(), PreconditionError);
+}
+
+// -------------------------------------------------------------- network --
+
+TEST(Network, AddValidatesTopology) {
+  Network net("t");
+  Layer input;
+  input.kind = LayerKind::Input;
+  input.in = input.out = {3, 8, 8};
+  net.add(input);
+
+  Layer bad;
+  bad.kind = LayerKind::Activation;
+  bad.in = bad.out = {3, 8, 8};
+  bad.inputs = {5};  // forward reference
+  EXPECT_THROW(net.add(bad), PreconditionError);
+
+  Layer orphan;
+  orphan.kind = LayerKind::Activation;
+  orphan.in = orphan.out = {3, 8, 8};
+  EXPECT_THROW(net.add(orphan), PreconditionError);  // no producers
+}
+
+TEST(Network, InputMustBeFirstAndUnique) {
+  Network net("t");
+  Layer input;
+  input.kind = LayerKind::Input;
+  input.in = input.out = {3, 8, 8};
+  net.add(input);
+  Layer second = input;
+  EXPECT_THROW(net.add(second), PreconditionError);
+}
+
+TEST(Network, CleanCutOnChain) {
+  NetworkBuilder b("t", {3, 32, 32});
+  int x = b.conv_relu(b.input(), 8, 3);
+  x = b.conv_relu(x, 8, 3);
+  const Network net = b.build();
+  // Every boundary in a pure chain is a clean cut.
+  for (int i = 0; i < net.layer_count() - 1; ++i) EXPECT_TRUE(net.is_clean_cut_after(i));
+}
+
+TEST(Network, CleanCutExcludesBranchInterior) {
+  // Diamond: input -> a, input -> c, concat(a, c).
+  NetworkBuilder b("t", {16, 28, 28});
+  const int a = b.conv(b.input(), 16, 1);
+  const int c = b.conv(b.input(), 16, 3);
+  const int cat = b.concat({a, c});
+  (void)cat;
+  const Network net = b.build();
+  // After `a` (index 1): edge input->c crosses, so not a clean cut.
+  EXPECT_FALSE(net.is_clean_cut_after(a));
+  // After `c` (index 2): edge a->concat crosses from a != c, not clean.
+  EXPECT_FALSE(net.is_clean_cut_after(c));
+  // After concat: network end boundary is clean.
+  EXPECT_TRUE(net.is_clean_cut_after(cat));
+}
+
+TEST(Network, ConsumersInverse) {
+  NetworkBuilder b("t", {16, 28, 28});
+  const int a = b.conv(b.input(), 16, 1);
+  const int c = b.conv(b.input(), 16, 3);
+  b.concat({a, c});
+  const Network net = b.build();
+  const auto& cons = net.consumers();
+  EXPECT_EQ(cons[0].size(), 2u);  // input feeds both convs
+  EXPECT_EQ(cons[static_cast<std::size_t>(a)].size(), 1u);
+}
+
+// ------------------------------------------------------------------ zoo --
+
+struct ZooExpectation {
+  const char* name;
+  double min_gflops;
+  double max_gflops;
+  int min_layers;
+  int max_layers;
+};
+
+class ZooTest : public testing::TestWithParam<ZooExpectation> {};
+
+TEST_P(ZooTest, BuildsWithExpectedScale) {
+  const auto& exp = GetParam();
+  const Network net = zoo::by_name(exp.name);
+  EXPECT_NO_THROW(net.validate());
+  const double gflops = static_cast<double>(net.total_flops()) / 1e9;
+  EXPECT_GE(gflops, exp.min_gflops) << exp.name;
+  EXPECT_LE(gflops, exp.max_gflops) << exp.name;
+  EXPECT_GE(net.layer_count(), exp.min_layers) << exp.name;
+  EXPECT_LE(net.layer_count(), exp.max_layers) << exp.name;
+}
+
+// FLOP ranges bracket the published numbers for each architecture.
+INSTANTIATE_TEST_SUITE_P(
+    Models, ZooTest,
+    testing::Values(ZooExpectation{"AlexNet", 1.2, 3.2, 15, 30},
+                    ZooExpectation{"CaffeNet", 1.2, 3.2, 15, 30},
+                    ZooExpectation{"VGG16", 28.0, 34.0, 30, 45},
+                    ZooExpectation{"VGG19", 36.0, 42.0, 38, 50},
+                    ZooExpectation{"GoogleNet", 2.5, 4.5, 120, 160},
+                    ZooExpectation{"ResNet18", 3.0, 4.5, 60, 80},
+                    ZooExpectation{"ResNet50", 7.0, 9.5, 160, 190},
+                    ZooExpectation{"ResNet101", 14.0, 17.5, 320, 370},
+                    ZooExpectation{"ResNet152", 21.0, 25.5, 480, 550},
+                    ZooExpectation{"Inception", 22.0, 28.0, 300, 380},
+                    ZooExpectation{"Inc-res-v2", 24.0, 33.0, 700, 1000},
+                    ZooExpectation{"DenseNet", 5.0, 7.0, 380, 470},
+                    ZooExpectation{"MobileNet", 1.0, 1.4, 70, 100},
+                    ZooExpectation{"FCN-ResNet18", 8.0, 16.0, 60, 90}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Zoo, ByNameAliases) {
+  EXPECT_EQ(zoo::by_name("vgg-19").name(), "VGG19");
+  EXPECT_EQ(zoo::by_name("RESNET52").name(), "ResNet50");  // the paper's "ResNet52"
+  EXPECT_EQ(zoo::by_name("inception").name(), "Inception");
+  EXPECT_EQ(zoo::by_name("FC_ResN18").name(), "FCN-ResNet18");
+  EXPECT_EQ(zoo::by_name("densenet121").name(), "DenseNet");
+}
+
+TEST(Zoo, UnknownNameThrows) {
+  EXPECT_THROW((void)zoo::by_name("transformer"), PreconditionError);
+}
+
+TEST(Zoo, EvaluationSetIsTable5) {
+  const auto set = zoo::evaluation_set();
+  EXPECT_EQ(set.size(), 10u);
+  for (const auto& name : set) EXPECT_NO_THROW((void)zoo::by_name(name));
+}
+
+TEST(Zoo, AllNamesResolve) {
+  for (const auto& name : zoo::all_names()) {
+    EXPECT_NO_THROW((void)zoo::by_name(name)) << name;
+  }
+}
+
+TEST(Zoo, GoogleNetMatchesPaperLayerNumbering) {
+  // Table 2 groups GoogleNet layers 0-140; the model should land there.
+  const Network net = zoo::googlenet();
+  EXPECT_NEAR(net.layer_count(), 141, 5);
+}
+
+TEST(Zoo, VggWeightHeavy) {
+  // VGG19's FC layers dominate its ~143M fp16 parameters.
+  const Network net = zoo::vgg19();
+  EXPECT_GT(net.total_weight_bytes(), 250ll << 20);
+}
+
+TEST(Zoo, AlexNetHasLrn) {
+  const Network net = zoo::alexnet();
+  bool has_lrn = false;
+  for (const Layer& l : net.layers()) has_lrn |= l.kind == LayerKind::Lrn;
+  EXPECT_TRUE(has_lrn);
+}
+
+}  // namespace

@@ -1,0 +1,356 @@
+/// Unit tests for src/perf: cost model, transitions, profiler, EMC estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "grouping/grouping.h"
+#include "nn/builder.h"
+#include "nn/zoo.h"
+#include "perf/cost_model.h"
+#include "perf/emc_estimator.h"
+#include "perf/profiler.h"
+#include "perf/transition.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::perf;
+
+nn::Layer conv_layer(int in_c, int hw, int out_c, int k) {
+  nn::Layer l;
+  l.kind = nn::LayerKind::Conv;
+  l.in = {in_c, hw, hw};
+  l.out = {out_c, hw, hw};
+  l.kernel = k;
+  l.inputs = {0};
+  return l;
+}
+
+// ------------------------------------------------------------ cost model --
+
+TEST(CostModel, TimePositiveAndMonotoneInWork) {
+  const auto plat = soc::Platform::orin();
+  const CostModel cm(plat);
+  const TimeMs small = cm.layer_time(conv_layer(64, 14, 64, 3), plat.gpu());
+  const TimeMs big = cm.layer_time(conv_layer(64, 56, 256, 3), plat.gpu());
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, small);
+}
+
+TEST(CostModel, DlaSlowerOnLargeLayers) {
+  const auto plat = soc::Platform::xavier();
+  const CostModel cm(plat);
+  const nn::Layer l = conv_layer(512, 28, 512, 3);
+  EXPECT_GT(cm.layer_time(l, plat.dsa()), cm.layer_time(l, plat.gpu()));
+}
+
+TEST(CostModel, GoogleNetGroupRatiosInPaperBand) {
+  // Table 2: DLA/GPU per-group ratios between ~1.4x and ~2.0x. Allow a
+  // slightly wider band; the *spread* matters for scheduling.
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  const CostModel cm(plat);
+  double lo = 100.0, hi = 0.0;
+  for (int g = 0; g < gn.group_count(); ++g) {
+    if (!gn.supported(g, soc::PuKind::Dsa)) continue;
+    const double ratio = cm.group_time(gn, g, plat.dsa()) / cm.group_time(gn, g, plat.gpu());
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+    EXPECT_GT(ratio, 1.1) << "group " << gn.group(g).label;
+    EXPECT_LT(ratio, 2.8) << "group " << gn.group(g).label;
+  }
+  EXPECT_GT(hi - lo, 0.3);  // heterogeneity the scheduler can exploit
+}
+
+TEST(CostModel, VggDlaPenaltyLargerThanGoogleNet) {
+  // Sec 5.4: VGG19 runs substantially worse on DLA than GoogleNet does
+  // (relative to GPU), which is why VGG pairs stay GPU-only.
+  const auto plat = soc::Platform::orin();
+  const CostModel cm(plat);
+  const auto ratio = [&](nn::Network net) {
+    return cm.network_time(net, plat.dsa(), plat.gpu()) / cm.network_time(net, plat.gpu());
+  };
+  EXPECT_GT(ratio(nn::zoo::vgg19()), ratio(nn::zoo::googlenet()) + 0.3);
+}
+
+TEST(CostModel, FusedElementwiseNearlyFree) {
+  const auto plat = soc::Platform::orin();
+  const CostModel cm(plat);
+  nn::Layer relu;
+  relu.kind = nn::LayerKind::Activation;
+  relu.in = relu.out = {64, 56, 56};  // fits the 4 MiB L2
+  relu.inputs = {0};
+  const TimeMs t = cm.layer_time(relu, plat.gpu());
+  EXPECT_LT(t, plat.pu(plat.gpu()).params().per_layer_overhead_ms);
+}
+
+TEST(CostModel, LargeElementwiseNotFree) {
+  const auto plat = soc::Platform::orin();
+  const CostModel cm(plat);
+  nn::Layer relu;
+  relu.kind = nn::LayerKind::Activation;
+  relu.in = relu.out = {64, 512, 512};  // 32 MiB: spills to DRAM
+  relu.inputs = {0};
+  EXPECT_GT(cm.layer_time(relu, plat.gpu()),
+            plat.pu(plat.gpu()).params().per_layer_overhead_ms);
+}
+
+TEST(CostModel, DemandNeverExceedsStreamBandwidth) {
+  const auto plat = soc::Platform::xavier();
+  const CostModel cm(plat);
+  for (const auto& name : {"GoogleNet", "VGG19", "ResNet50"}) {
+    const nn::Network net = nn::zoo::by_name(name);
+    for (const nn::Layer& l : net.layers()) {
+      for (soc::PuId pu : plat.schedulable_pus()) {
+        if (!l.supported_on(plat.pu(pu).params().kind)) continue;
+        EXPECT_LE(cm.layer_demand(l, pu),
+                  plat.pu(pu).params().max_stream_gbps * 1.0001)
+            << name << " layer " << l.name;
+      }
+    }
+  }
+}
+
+TEST(CostModel, DemandSubstantialForMemoryHeavyConvs) {
+  // The paper's whole premise: DNN layers demand a large fraction of EMC
+  // bandwidth (Table 2 shows 42-78%).
+  const auto plat = soc::Platform::xavier();
+  const CostModel cm(plat);
+  const nn::Layer stem = conv_layer(64, 112, 64, 3);
+  EXPECT_GT(cm.layer_demand(stem, plat.gpu()), 0.25 * plat.memory().total_gbps());
+}
+
+TEST(CostModel, GroupAggregatesConsistent) {
+  const auto plat = soc::Platform::orin();
+  const auto gn = grouping::build_groups(nn::zoo::resnet18(), {.max_groups = 6});
+  const CostModel cm(plat);
+  for (int g = 0; g < gn.group_count(); ++g) {
+    TimeMs sum = 0.0;
+    for (int i = gn.group(g).first; i <= gn.group(g).last; ++i) {
+      sum += cm.layer_time(gn.network().layer(i), plat.gpu());
+    }
+    EXPECT_NEAR(cm.group_time(gn, g, plat.gpu()), sum, 1e-9);
+    const GBps demand = cm.group_demand(gn, g, plat.gpu());
+    EXPECT_NEAR(demand * cm.group_time(gn, g, plat.gpu()),
+                bytes_over_ms(cm.group_dram_bytes(gn, g, plat.gpu()), 1.0), 1e-6);
+  }
+}
+
+TEST(CostModel, NetworkTimeRequiresFallbackForUnsupported) {
+  const auto plat = soc::Platform::orin();
+  const CostModel cm(plat);
+  const nn::Network net = nn::zoo::googlenet();  // contains LRN
+  EXPECT_THROW((void)cm.network_time(net, plat.dsa()), PreconditionError);
+  EXPECT_GT(cm.network_time(net, plat.dsa(), plat.gpu()), 0.0);
+}
+
+TEST(CostModel, UnsupportedLayerThrows) {
+  const auto plat = soc::Platform::orin();
+  const CostModel cm(plat);
+  nn::Layer lrn;
+  lrn.kind = nn::LayerKind::Lrn;
+  lrn.in = lrn.out = {64, 56, 56};
+  lrn.inputs = {0};
+  EXPECT_THROW((void)cm.layer_time(lrn, plat.dsa()), PreconditionError);
+}
+
+TEST(CostModel, Table5ShapeHolds) {
+  // Standalone runtime ratios DLA/GPU within the paper's observed band
+  // (1.4-3.3) for the evaluation set, on both NVIDIA platforms.
+  for (const auto& plat : {soc::Platform::orin(), soc::Platform::xavier()}) {
+    const CostModel cm(plat);
+    for (const auto& name : nn::zoo::evaluation_set()) {
+      const nn::Network net = nn::zoo::by_name(name);
+      const double ratio =
+          cm.network_time(net, plat.dsa(), plat.gpu()) / cm.network_time(net, plat.gpu());
+      EXPECT_GT(ratio, 1.3) << plat.name() << " " << name;
+      EXPECT_LT(ratio, 3.3) << plat.name() << " " << name;
+    }
+  }
+}
+
+// ------------------------------------------------------------ transitions --
+
+TEST(Transition, SamePuBoundaryFree) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 8});
+  const TransitionModel tm(plat);
+  EXPECT_DOUBLE_EQ(tm.boundary_cost(gn, 0, plat.gpu(), plat.gpu()), 0.0);
+}
+
+TEST(Transition, CrossPuBoundaryIsOutPlusIn) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 8});
+  const TransitionModel tm(plat);
+  const TimeMs cost = tm.boundary_cost(gn, 2, plat.gpu(), plat.dsa());
+  EXPECT_NEAR(cost, tm.out_cost(gn, 2, plat.gpu()) + tm.in_cost(gn, 3, plat.dsa()), 1e-12);
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST(Transition, ReformatMakesDsaLegsDearer) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::vgg19(), {.max_groups = 8});
+  const TransitionModel tm(plat);
+  // The DLA flushes through a reformat pass and has lower bandwidth, so
+  // leaving the DLA costs more than leaving the GPU at the same boundary.
+  for (int g = 0; g + 1 < gn.group_count(); ++g) {
+    EXPECT_GT(tm.out_cost(gn, g, plat.dsa()), tm.out_cost(gn, g, plat.gpu()));
+  }
+}
+
+TEST(Transition, SmallerBoundaryTensorsCheaper) {
+  // Table 2: transition time decreases as the boundary tensor shrinks
+  // deeper in the network. Compare VGG19's first and last boundaries.
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::vgg19(), {.max_groups = 8});
+  const TransitionModel tm(plat);
+  EXPECT_GT(gn.group(0).output_bytes, gn.group(gn.group_count() - 2).output_bytes);
+  EXPECT_GT(tm.out_cost(gn, 0, plat.gpu()),
+            tm.out_cost(gn, gn.group_count() - 2, plat.gpu()));
+}
+
+TEST(Transition, CostsSmallRelativeToExecution) {
+  // Table 2 scale: transitions are 10-100x cheaper than group execution.
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  const TransitionModel tm(plat);
+  const CostModel cm(plat);
+  for (int g = 0; g + 1 < gn.group_count(); ++g) {
+    EXPECT_LT(tm.boundary_cost(gn, g, plat.gpu(), plat.dsa()),
+              cm.group_time(gn, g, plat.gpu()));
+  }
+}
+
+TEST(Transition, NoBoundaryAfterLastGroup) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::alexnet(), {.max_groups = 4});
+  const TransitionModel tm(plat);
+  EXPECT_THROW((void)tm.boundary_cost(gn, gn.group_count() - 1, plat.gpu(), plat.dsa()),
+               PreconditionError);
+}
+
+// ----------------------------------------------------------- emc estimator --
+
+TEST(EmcEstimator, UtilizationQuantizedAndClamped) {
+  EXPECT_DOUBLE_EQ(EmcEstimator::measure_utilization(50.0, 100.0), 0.5);
+  EXPECT_NEAR(EmcEstimator::measure_utilization(33.4, 100.0), 0.33, 1e-12);
+  EXPECT_DOUBLE_EQ(EmcEstimator::measure_utilization(500.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(EmcEstimator::measure_utilization(10.0, 0.0), 0.0);
+}
+
+TEST(EmcEstimator, EstimateScalesByUtilRatio) {
+  EXPECT_DOUBLE_EQ(EmcEstimator::estimate_demand(80.0, 0.40, 0.20), 40.0);
+  EXPECT_DOUBLE_EQ(EmcEstimator::estimate_demand(80.0, 0.0, 0.20), 0.0);
+}
+
+TEST(EmcEstimator, RoundTripAccuracy) {
+  // Reconstruction error is bounded by the counter quantization.
+  const GBps emc = 136.5;
+  const GBps gpu_demand = 72.0;
+  const GBps dsa_true = 38.0;
+  const double gpu_util = EmcEstimator::measure_utilization(gpu_demand, emc);
+  const double dsa_util = EmcEstimator::measure_utilization(dsa_true, emc);
+  const GBps est = EmcEstimator::estimate_demand(gpu_demand, gpu_util, dsa_util);
+  EXPECT_NEAR(est, dsa_true, 0.02 * emc);
+}
+
+// --------------------------------------------------------------- profiler --
+
+TEST(Profiler, RecordsMatchCostModel) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::resnet18(), {.max_groups = 6});
+  const Profiler prof(plat);
+  const NetworkProfile db = prof.profile(gn);
+  const CostModel& cm = prof.cost_model();
+  for (int g = 0; g < gn.group_count(); ++g) {
+    EXPECT_NEAR(db.at(g, plat.gpu()).time_ms, cm.group_time(gn, g, plat.gpu()), 1e-9);
+    EXPECT_NEAR(db.at(g, plat.gpu()).demand_gbps, cm.group_demand(gn, g, plat.gpu()), 1e-9);
+  }
+}
+
+TEST(Profiler, GpuExactDsaEstimated) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::resnet18(), {.max_groups = 6});
+  const NetworkProfile db = Profiler(plat).profile(gn);
+  for (int g = 0; g < gn.group_count(); ++g) {
+    EXPECT_FALSE(db.at(g, plat.gpu()).demand_estimated);
+    if (db.at(g, plat.dsa()).supported) {
+      EXPECT_TRUE(db.at(g, plat.dsa()).demand_estimated);
+    }
+  }
+}
+
+TEST(Profiler, EstimatedDemandCloseToTruth) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::resnet18(), {.max_groups = 6});
+  const Profiler prof(plat);
+  const NetworkProfile db = prof.profile(gn);
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const GroupProfile& rec = db.at(g, plat.dsa());
+    if (!rec.supported) continue;
+    const GBps truth = prof.cost_model().group_demand(gn, g, plat.dsa());
+    // Error bounded by counter quantization (plus ratio amplification).
+    EXPECT_NEAR(rec.demand_gbps, truth, 0.08 * plat.memory().total_gbps())
+        << "group " << gn.group(g).label;
+  }
+}
+
+TEST(Profiler, UnsupportedGroupsMarked) {
+  const auto plat = soc::Platform::orin();
+  const auto gn = grouping::build_groups(nn::zoo::alexnet(), {.max_groups = 8});
+  const NetworkProfile db = Profiler(plat).profile(gn);
+  int unsupported = 0;
+  for (int g = 0; g < gn.group_count(); ++g) {
+    EXPECT_TRUE(db.at(g, plat.gpu()).supported);
+    if (!db.at(g, plat.dsa()).supported) ++unsupported;
+  }
+  EXPECT_GT(unsupported, 0);  // LRN groups
+  EXPECT_TRUE(std::isinf(db.total_time(plat.dsa())));
+}
+
+TEST(Profiler, FastestPuPicksGpuForVgg) {
+  const auto plat = soc::Platform::orin();
+  const auto gn = grouping::build_groups(nn::zoo::vgg19(), {.max_groups = 8});
+  const NetworkProfile db = Profiler(plat).profile(gn);
+  EXPECT_EQ(db.fastest_pu(plat.schedulable_pus()), plat.gpu());
+}
+
+TEST(Profiler, LayerRecordsSumToGroupTimes) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  const NetworkProfile db = Profiler(plat).profile(gn);
+  for (int g = 0; g < gn.group_count(); ++g) {
+    TimeMs sum = 0.0;
+    for (int i = gn.group(g).first; i <= gn.group(g).last; ++i) {
+      sum += db.layer_at(i, plat.gpu()).time_ms;
+    }
+    EXPECT_NEAR(sum, db.at(g, plat.gpu()).time_ms, 1e-9);
+  }
+}
+
+TEST(Profiler, TransitionCostsRecorded) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 10});
+  const Profiler prof(plat);
+  const NetworkProfile db = prof.profile(gn);
+  for (int g = 0; g < gn.group_count(); ++g) {
+    EXPECT_NEAR(db.at(g, plat.gpu()).tau_out, prof.transition_model().out_cost(gn, g, plat.gpu()),
+                1e-12);
+    EXPECT_NEAR(db.at(g, plat.gpu()).tau_in, prof.transition_model().in_cost(gn, g, plat.gpu()),
+                1e-12);
+  }
+}
+
+TEST(Profiler, BoundsChecked) {
+  const auto plat = soc::Platform::xavier();
+  const auto gn = grouping::build_groups(nn::zoo::alexnet(), {.max_groups = 4});
+  const NetworkProfile db = Profiler(plat).profile(gn);
+  EXPECT_THROW((void)db.at(-1, 0), PreconditionError);
+  EXPECT_THROW((void)db.at(0, 99), PreconditionError);
+  EXPECT_THROW((void)db.layer_at(9999, 0), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,294 @@
+/// Property-based tests: randomized sweeps over demand vectors, schedules
+/// and workloads, asserting the invariants the system's correctness rests
+/// on — EMC conservation and fairness, simulator structural invariants,
+/// predictor-vs-simulator agreement, and solver optimality against
+/// exhaustive enumeration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "baselines/baselines.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+#include "sched/formulation.h"
+#include "sched/search_space.h"
+#include "sched/solve.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace hax;
+
+// ------------------------------------------------------- EMC properties --
+
+class EmcProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmcProperty, ArbitrationInvariants) {
+  const auto mem = soc::Platform::xavier().memory();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_index(4));
+    std::vector<GBps> demands;
+    for (int i = 0; i < n; ++i) {
+      demands.push_back(rng.uniform() < 0.2 ? 0.0 : rng.uniform(0.0, 150.0));
+    }
+    const auto got = mem.arbitrate(demands);
+    ASSERT_EQ(got.size(), demands.size());
+
+    GBps total_got = 0.0, total_demand = 0.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      // Never more than asked, never negative.
+      EXPECT_LE(got[i], demands[i] + 1e-9);
+      EXPECT_GE(got[i], 0.0);
+      total_got += got[i];
+      total_demand += demands[i];
+    }
+    // Conservation: total achieved never exceeds the effective capacity.
+    const GBps capacity =
+        mem.effective_capacity(soc::MemorySystem::effective_requesters(demands));
+    EXPECT_LE(total_got, capacity + 1e-9);
+    // Work-conserving: either everyone is satisfied or capacity is full.
+    if (total_got < total_demand - 1e-9) {
+      EXPECT_NEAR(total_got, capacity, 1e-9);
+    }
+    // Max-min fairness: a requester that got less than its demand must
+    // have received at least as much as every other requester's grant.
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (got[i] >= demands[i] - 1e-9) continue;
+      for (std::size_t j = 0; j < demands.size(); ++j) {
+        EXPECT_GE(got[i], std::min(got[j], demands[j]) - 1e-9)
+            << "trial " << trial << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmcProperty, testing::Values(1u, 2u, 3u));
+
+// ------------------------------------------------ random-schedule sweeps --
+
+struct SweepConfig {
+  const char* platform;
+  const char* dnn1;
+  const char* dnn2;
+  std::uint64_t seed;
+};
+
+soc::Platform platform_of(const std::string& name) {
+  if (name == "orin") return soc::Platform::orin();
+  if (name == "xavier") return soc::Platform::xavier();
+  return soc::Platform::sd865();
+}
+
+/// Random schedule with <= 2 transitions per DNN, respecting support.
+sched::Schedule random_schedule(const sched::Problem& prob, Rng& rng) {
+  sched::Schedule s;
+  for (const sched::DnnSpec& spec : prob.dnns) {
+    std::vector<soc::PuId> asg;
+    // Pick up to two cut points and PUs per segment; fall back to GPU
+    // wherever the drawn PU does not support the group.
+    const int n = spec.net->group_count();
+    const int cut1 = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n) + 1));
+    const int cut2 = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n) + 1));
+    const soc::PuId pus[3] = {
+        prob.pus[rng.uniform_index(prob.pus.size())],
+        prob.pus[rng.uniform_index(prob.pus.size())],
+        prob.pus[rng.uniform_index(prob.pus.size())],
+    };
+    for (int g = 0; g < n; ++g) {
+      soc::PuId pick = pus[(g >= std::min(cut1, cut2)) + (g >= std::max(cut1, cut2))];
+      if (!spec.profile->at(g, pick).supported) pick = prob.platform->gpu();
+      asg.push_back(pick);
+    }
+    s.assignment.push_back(std::move(asg));
+  }
+  return s;
+}
+
+class ScheduleSweep : public testing::TestWithParam<SweepConfig> {};
+
+/// The predictor must track the simulator across arbitrary (not just
+/// solver-chosen) schedules — this is the property that makes optimizing
+/// over predictions meaningful.
+TEST_P(ScheduleSweep, PredictionTracksSimulatorOnRandomSchedules) {
+  const SweepConfig cfg = GetParam();
+  const soc::Platform plat = platform_of(cfg.platform);
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency, {.max_groups = 8});
+  inst.add_dnn(nn::zoo::by_name(cfg.dnn1));
+  inst.add_dnn(nn::zoo::by_name(cfg.dnn2));
+  const sched::Problem& prob = inst.problem();
+  const sched::Formulation formulation(prob);
+  Rng rng(cfg.seed);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const sched::Schedule s = random_schedule(prob, rng);
+    const sched::Prediction pred = formulation.predict(
+        s, {.enforce_transition_budget = false, .enforce_epsilon = false});
+    ASSERT_TRUE(pred.feasible);
+    const core::EvalResult ev = core::evaluate(prob, s);
+    EXPECT_NEAR(pred.round_ms, ev.round_latency_ms, 0.08 * ev.round_latency_ms)
+        << "trial " << trial << ": " << s.describe(plat);
+  }
+}
+
+/// Structural simulator invariants under the same random schedules.
+TEST_P(ScheduleSweep, SimulatorInvariants) {
+  const SweepConfig cfg = GetParam();
+  const soc::Platform plat = platform_of(cfg.platform);
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency, {.max_groups = 8});
+  inst.add_dnn(nn::zoo::by_name(cfg.dnn1));
+  inst.add_dnn(nn::zoo::by_name(cfg.dnn2), /*depends_on=*/-1, /*iterations=*/2);
+  const sched::Problem& prob = inst.problem();
+  Rng rng(cfg.seed + 1);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const sched::Schedule s = random_schedule(prob, rng);
+    const core::EvalResult ev = core::evaluate(prob, s, {.record_trace = true});
+
+    // Makespan bounds: at least the longest standalone chain, at most the
+    // fully serialized sum at worst-case stretch.
+    TimeMs longest = 0.0, total = 0.0;
+    for (const auto& task : ev.sim.tasks) {
+      const double iters = static_cast<double>(task.iterations.size());
+      longest = std::max(longest, task.standalone_ms * iters);
+      total += task.standalone_ms * iters;
+    }
+    EXPECT_GE(ev.sim.makespan_ms, longest - 1e-6);
+    EXPECT_LE(ev.sim.makespan_ms, total * 3.0);
+
+    // PU exclusivity in the trace.
+    std::map<int, std::vector<std::pair<TimeMs, TimeMs>>> by_pu;
+    for (const auto& r : ev.sim.trace.records()) by_pu[r.pu].push_back({r.start, r.end});
+    for (auto& [pu, spans] : by_pu) {
+      std::sort(spans.begin(), spans.end());
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        ASSERT_GE(spans[i].first, spans[i - 1].second - 1e-9) << "pu " << pu;
+      }
+    }
+
+    // Iteration spans are ordered and slowdowns >= 1.
+    for (const auto& task : ev.sim.tasks) {
+      EXPECT_GE(task.avg_slowdown, 1.0 - 1e-9);
+      for (std::size_t k = 1; k < task.iterations.size(); ++k) {
+        EXPECT_GE(task.iterations[k].start, task.iterations[k - 1].end - 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ScheduleSweep,
+    testing::Values(SweepConfig{"xavier", "GoogleNet", "ResNet50", 101},
+                    SweepConfig{"xavier", "VGG19", "ResNet152", 202},
+                    SweepConfig{"orin", "AlexNet", "Inception", 303},
+                    SweepConfig{"orin", "DenseNet", "ResNet101", 404},
+                    SweepConfig{"sd865", "GoogleNet", "ResNet18", 505}),
+    [](const auto& info) {
+      return std::string(info.param.platform) + "_" + info.param.dnn1 + "_" +
+             info.param.dnn2;
+    });
+
+// ------------------------------------------------- solver vs exhaustive --
+
+class SolverOptimality : public testing::TestWithParam<const char*> {};
+
+/// On small instances the B&B result must equal brute-force enumeration
+/// of every assignment through the same predictor.
+TEST_P(SolverOptimality, MatchesBruteForce) {
+  const soc::Platform plat = soc::Platform::xavier();
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency, {.max_groups = 4});
+  inst.add_dnn(nn::zoo::by_name(GetParam()));
+  inst.add_dnn(nn::zoo::googlenet());
+  sched::Problem& prob = inst.problem();
+  prob.max_transitions = 4;  // effectively unconstrained at 4 groups
+  const sched::ScheduleSpace space(prob);
+
+  // Brute force over all |pus|^vars assignments.
+  const int vars = space.variable_count();
+  const int values = static_cast<int>(prob.pus.size());
+  std::vector<int> assignment(static_cast<std::size_t>(vars), 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    best = std::min(best, space.evaluate(assignment));
+    int i = 0;
+    while (i < vars && assignment[static_cast<std::size_t>(i)] == values - 1) {
+      assignment[static_cast<std::size_t>(i++)] = 0;
+    }
+    if (i == vars) break;
+    ++assignment[static_cast<std::size_t>(i)];
+  }
+
+  const sched::ScheduleSolution sol = sched::solve_schedule(prob);
+  ASSERT_TRUE(sol.proven_optimal);
+  EXPECT_NEAR(sol.prediction.objective_value, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dnns, SolverOptimality,
+                         testing::Values("AlexNet", "ResNet18", "VGG19"));
+
+// ------------------------------------------------------ grouping sweeps --
+
+class GroupingSweep : public testing::TestWithParam<int> {};
+
+TEST_P(GroupingSweep, EveryGranularityStaysValid) {
+  const int max_groups = GetParam();
+  for (const char* name : {"GoogleNet", "ResNet50", "DenseNet"}) {
+    const auto gn = grouping::build_groups(nn::zoo::by_name(name), {.max_groups = max_groups});
+    EXPECT_LE(gn.group_count(), max_groups);
+    // Total work is preserved at every granularity.
+    Flops total = 0;
+    for (const auto& g : gn.groups()) total += g.flops;
+    EXPECT_EQ(total, gn.network().total_flops()) << name;
+    // Boundaries remain clean cuts of the DAG.
+    for (int g = 0; g + 1 < gn.group_count(); ++g) {
+      EXPECT_TRUE(gn.network().is_clean_cut_after(gn.group(g).last)) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, GroupingSweep, testing::Values(2, 4, 8, 16, 32));
+
+// ------------------------------------------------- fallback guarantee --
+
+class GuaranteeSweep : public testing::TestWithParam<SweepConfig> {};
+
+/// The headline guarantee, across random pairs: HaX-CoNN never loses to
+/// either naive baseline on ground truth.
+TEST_P(GuaranteeSweep, NeverWorseThanNaive) {
+  const SweepConfig cfg = GetParam();
+  const soc::Platform plat = platform_of(cfg.platform);
+  core::HaxConnOptions o;
+  o.grouping.max_groups = 8;
+  o.objective = cfg.seed % 2 == 0 ? sched::Objective::MinMaxLatency
+                                  : sched::Objective::MaxThroughput;
+  const core::HaxConn hax(plat, o);
+  auto inst = hax.make_problem({{nn::zoo::by_name(cfg.dnn1)}, {nn::zoo::by_name(cfg.dnn2)}});
+  const auto sol = hax.schedule(inst.problem());
+  const auto hax_ev = core::evaluate(inst.problem(), sol.schedule);
+  for (auto kind : {baselines::Kind::GpuOnly, baselines::Kind::NaiveConcurrent}) {
+    const auto base_ev =
+        core::evaluate(inst.problem(), baselines::make(kind, inst.problem()));
+    EXPECT_LE(hax_ev.round_latency_ms, base_ev.round_latency_ms * 1.06)
+        << baselines::name(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, GuaranteeSweep,
+    testing::Values(SweepConfig{"orin", "CaffeNet", "DenseNet", 0},
+                    SweepConfig{"orin", "SqueezeNet", "Inception", 1},
+                    SweepConfig{"xavier", "MobileNet", "ResNet101", 2},
+                    SweepConfig{"xavier", "ResNet34", "GoogleNet", 3},
+                    SweepConfig{"sd865", "AlexNet", "ResNet50", 4},
+                    SweepConfig{"sd865", "VGG16", "GoogleNet", 5}),
+    [](const auto& info) {
+      return std::string(info.param.platform) + "_" + info.param.dnn1 + "_" +
+             info.param.dnn2;
+    });
+
+}  // namespace

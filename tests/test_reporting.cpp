@@ -1,0 +1,197 @@
+/// Tests for nn/summary.h, sched/validate.h, and a broad model x platform
+/// profiling sweep asserting basic sanity of every zoo model on every
+/// platform preset.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/haxconn.h"
+#include "grouping/grouping.h"
+#include "nn/summary.h"
+#include "nn/zoo.h"
+#include "perf/profiler.h"
+#include "sched/validate.h"
+
+namespace {
+
+using namespace hax;
+
+// ---------------------------------------------------------------- summary --
+
+TEST(Summary, KindStatisticsCoverNetwork) {
+  const nn::Network net = nn::zoo::resnet18();
+  const auto stats = nn::kind_statistics(net);
+  int count = 0;
+  Flops flops = 0;
+  for (const auto& s : stats) {
+    count += s.count;
+    flops += s.flops;
+  }
+  EXPECT_EQ(count, net.layer_count());
+  EXPECT_EQ(flops, net.total_flops());
+  // Sorted by FLOPs descending; conv dominates a ResNet.
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats.front().kind, nn::LayerKind::Conv);
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_GE(stats[i - 1].flops, stats[i].flops);
+  }
+}
+
+TEST(Summary, LayerTableTruncates) {
+  const nn::Network net = nn::zoo::googlenet();
+  const std::string full = nn::layer_table(net, 0);
+  const std::string truncated = nn::layer_table(net, 10);
+  EXPECT_GT(full.size(), truncated.size());
+  EXPECT_NE(truncated.find("more layers"), std::string::npos);
+  EXPECT_EQ(full.find("more layers"), std::string::npos);
+}
+
+TEST(Summary, SummarizeMentionsNameAndDominantKind) {
+  const std::string s = nn::summarize(nn::zoo::vgg19());
+  EXPECT_NE(s.find("VGG19"), std::string::npos);
+  EXPECT_NE(s.find("conv"), std::string::npos);
+  EXPECT_NE(s.find("GFLOPs"), std::string::npos);
+}
+
+// --------------------------------------------------------------- validate --
+
+class ValidateFixture : public testing::Test {
+ protected:
+  ValidateFixture()
+      : plat_(soc::Platform::xavier()),
+        inst_(plat_, sched::Objective::MinMaxLatency, {.max_groups = 6}) {
+    inst_.add_dnn(nn::zoo::googlenet());
+    inst_.add_dnn(nn::zoo::resnet18());
+  }
+
+  soc::Platform plat_;
+  sched::ProblemInstance inst_;
+};
+
+TEST_F(ValidateFixture, ValidSchedulePasses) {
+  const auto report = sched::validate_schedule(
+      inst_.problem(), baselines::naive_concurrent(inst_.problem()),
+      {.enforce_transition_budget = false});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(ValidateFixture, ReportsEveryIssueKind) {
+  const sched::Problem& prob = inst_.problem();
+
+  sched::Schedule wrong_dnns;
+  wrong_dnns.assignment = {{plat_.gpu()}};
+  auto report = sched::validate_schedule(prob, wrong_dnns);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, sched::IssueKind::ShapeMismatch);
+
+  sched::Schedule bad = baselines::gpu_only(prob);
+  bad.assignment[0][0] = 99;                       // unknown PU
+  bad.assignment[0][1] = plat_.cpu();              // not schedulable
+  bad.assignment[1][0] = plat_.dsa();              // fine (supported)
+  report = sched::validate_schedule(prob, bad, {.enforce_transition_budget = false});
+  ASSERT_FALSE(report.ok());
+  bool saw_unknown = false, saw_not_schedulable = false;
+  for (const auto& issue : report.issues) {
+    saw_unknown |= issue.kind == sched::IssueKind::UnknownPu;
+    saw_not_schedulable |= issue.kind == sched::IssueKind::PuNotSchedulable;
+  }
+  EXPECT_TRUE(saw_unknown);
+  EXPECT_TRUE(saw_not_schedulable);
+
+  // Unsupported group: GoogleNet's LRN group on the DLA.
+  sched::Schedule unsupported = baselines::gpu_only(prob);
+  for (int g = 0; g < prob.dnns[0].net->group_count(); ++g) {
+    if (!prob.dnns[0].profile->at(g, plat_.dsa()).supported) {
+      unsupported.assignment[0][static_cast<std::size_t>(g)] = plat_.dsa();
+      break;
+    }
+  }
+  report = sched::validate_schedule(prob, unsupported, {.enforce_transition_budget = false});
+  bool saw_unsupported = false;
+  for (const auto& issue : report.issues) {
+    saw_unsupported |= issue.kind == sched::IssueKind::UnsupportedGroup;
+  }
+  EXPECT_TRUE(saw_unsupported);
+}
+
+TEST_F(ValidateFixture, TransitionBudgetToggle) {
+  sched::Schedule zigzag = baselines::gpu_only(inst_.problem());
+  const sched::DnnSpec& spec = inst_.problem().dnns[1];
+  for (int g = 0; g < spec.net->group_count(); g += 2) {
+    if (spec.profile->at(g, plat_.dsa()).supported) {
+      zigzag.assignment[1][static_cast<std::size_t>(g)] = plat_.dsa();
+    }
+  }
+  ASSERT_GT(zigzag.transition_count(1), inst_.problem().max_transitions);
+  EXPECT_FALSE(sched::validate_schedule(inst_.problem(), zigzag).ok());
+  EXPECT_TRUE(sched::validate_schedule(inst_.problem(), zigzag,
+                                       {.enforce_transition_budget = false})
+                  .ok());
+}
+
+TEST_F(ValidateFixture, ReportRendering) {
+  sched::Schedule bad = baselines::gpu_only(inst_.problem());
+  bad.assignment[0][0] = 99;
+  const auto report =
+      sched::validate_schedule(inst_.problem(), bad, {.enforce_transition_budget = false});
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("unknown-pu"), std::string::npos);
+  EXPECT_NE(text.find("dnn 0"), std::string::npos);
+}
+
+// -------------------------------------------- model x platform sweeps --
+
+struct SweepCase {
+  const char* model;
+  const char* platform;
+};
+
+class ProfileSweep : public testing::TestWithParam<SweepCase> {};
+
+/// Every zoo model profiles sanely on every platform preset: positive
+/// times, bounded demands, consistent layer/group aggregation, GPU always
+/// a full fallback.
+TEST_P(ProfileSweep, ProfilesSanely) {
+  const auto [model, plat_name] = GetParam();
+  const soc::Platform plat = std::string(plat_name) == "orin"   ? soc::Platform::orin()
+                             : std::string(plat_name) == "xavier" ? soc::Platform::xavier()
+                                                                  : soc::Platform::sd865();
+  const auto gn = grouping::build_groups(nn::zoo::by_name(model), {.max_groups = 10});
+  const perf::NetworkProfile db = perf::Profiler(plat).profile(gn);
+
+  for (int g = 0; g < gn.group_count(); ++g) {
+    const auto& gpu_rec = db.at(g, plat.gpu());
+    ASSERT_TRUE(gpu_rec.supported);
+    EXPECT_GT(gpu_rec.time_ms, 0.0);
+    EXPECT_GE(gpu_rec.demand_gbps, 0.0);
+    EXPECT_LE(gpu_rec.demand_gbps, plat.pu(plat.gpu()).params().max_stream_gbps * 1.001);
+    EXPECT_GE(gpu_rec.tau_out, 0.0);
+    const auto& dsa_rec = db.at(g, plat.dsa());
+    if (dsa_rec.supported) {
+      EXPECT_GT(dsa_rec.time_ms, gpu_rec.time_ms * 0.5);  // DSA never absurdly fast
+      EXPECT_TRUE(dsa_rec.demand_estimated);
+    }
+  }
+  EXPECT_GT(db.total_time(plat.gpu()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooByPlatform, ProfileSweep,
+    testing::Values(SweepCase{"AlexNet", "orin"}, SweepCase{"CaffeNet", "xavier"},
+                    SweepCase{"VGG16", "sd865"}, SweepCase{"VGG19", "orin"},
+                    SweepCase{"GoogleNet", "sd865"}, SweepCase{"ResNet18", "xavier"},
+                    SweepCase{"ResNet34", "orin"}, SweepCase{"ResNet50", "sd865"},
+                    SweepCase{"ResNet101", "orin"}, SweepCase{"ResNet152", "xavier"},
+                    SweepCase{"Inception", "sd865"}, SweepCase{"Inc-res-v2", "xavier"},
+                    SweepCase{"DenseNet", "orin"}, SweepCase{"FCN-ResNet18", "xavier"},
+                    SweepCase{"MobileNet", "sd865"}, SweepCase{"SqueezeNet", "orin"}),
+    [](const auto& info) {
+      std::string n = std::string(info.param.model) + "_" + info.param.platform;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace

@@ -1,0 +1,170 @@
+/// Tests for core/scenarios.h (the paper's four workload shapes) and for
+/// the formulation's generality beyond the paper's 2-accelerator setup
+/// (a synthetic 3-DSA platform).
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "core/scenarios.h"
+#include "nn/zoo.h"
+#include "sched/solve.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::core;
+
+class ScenarioFixture : public testing::Test {
+ protected:
+  ScenarioFixture()
+      : plat_(soc::Platform::orin()), hax_(plat_, [] {
+          HaxConnOptions o;
+          o.grouping.max_groups = 6;
+          return o;
+        }()) {}
+
+  soc::Platform plat_;
+  HaxConn hax_;
+};
+
+TEST_F(ScenarioFixture, Scenario1ShapesWorkload) {
+  const ScenarioWorkload w = scenario1_same_dnn("GoogleNet", 2, 4);
+  EXPECT_EQ(w.dnns.size(), 2u);
+  EXPECT_EQ(w.objective, sched::Objective::MaxThroughput);
+  for (const auto& d : w.dnns) {
+    EXPECT_EQ(d.depends_on, -1);
+    EXPECT_EQ(d.iterations, 4);
+  }
+  const auto inst = make_scenario_problem(hax_, w);
+  EXPECT_EQ(inst.problem().objective, sched::Objective::MaxThroughput);
+  EXPECT_NO_THROW(inst.problem().validate());
+}
+
+TEST_F(ScenarioFixture, Scenario2SynchronizesRounds) {
+  const ScenarioWorkload w = scenario2_parallel({"VGG19", "ResNet152"});
+  EXPECT_TRUE(w.loop_barrier);
+  EXPECT_EQ(w.objective, sched::Objective::MinMaxLatency);
+  const auto inst = make_scenario_problem(hax_, w);
+  const auto sol = hax_.schedule(inst.problem());
+  const auto ev = evaluate(inst.problem(), sol.schedule, {.loop_barrier = w.loop_barrier});
+  EXPECT_GT(ev.round_latency_ms, 0.0);
+}
+
+TEST_F(ScenarioFixture, Scenario3ChainsFrames) {
+  const ScenarioWorkload w = scenario3_pipeline("GoogleNet", "ResNet101", 3);
+  EXPECT_EQ(w.dnns[1].depends_on, 0);
+  const auto inst = make_scenario_problem(hax_, w);
+  const auto sol = hax_.schedule(inst.problem());
+  const auto ev = evaluate(inst.problem(), sol.schedule);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GE(ev.sim.tasks[1].iterations[static_cast<std::size_t>(k)].start,
+              ev.sim.tasks[0].iterations[static_cast<std::size_t>(k)].end - 1e-9);
+  }
+}
+
+TEST_F(ScenarioFixture, Scenario4HasThreeDnns) {
+  const ScenarioWorkload w = scenario4_hybrid("GoogleNet", "ResNet152", "FCN-ResNet18");
+  EXPECT_EQ(w.dnns.size(), 3u);
+  EXPECT_EQ(w.dnns[1].depends_on, 0);
+  EXPECT_EQ(w.dnns[2].depends_on, -1);
+  const auto inst = make_scenario_problem(hax_, w);
+  EXPECT_EQ(inst.problem().dnn_count(), 3);
+}
+
+TEST_F(ScenarioFixture, ScenarioWorkloadReusable) {
+  const ScenarioWorkload w = scenario2_parallel({"AlexNet", "ResNet18"});
+  const auto a = make_scenario_problem(hax_, w);
+  const auto b = make_scenario_problem(hax_, w);  // must not consume `w`
+  EXPECT_EQ(a.problem().dnn_count(), b.problem().dnn_count());
+}
+
+TEST_F(ScenarioFixture, RejectsDegenerateScenarios) {
+  EXPECT_THROW((void)scenario1_same_dnn("GoogleNet", 1), PreconditionError);
+  EXPECT_THROW((void)scenario1_same_dnn("GoogleNet", 2, 0), PreconditionError);
+  EXPECT_THROW((void)scenario2_parallel({"GoogleNet"}), PreconditionError);
+  EXPECT_THROW((void)scenario3_pipeline("GoogleNet", "ResNet18", 0), PreconditionError);
+}
+
+// --------------------------------------------- 3-accelerator generality --
+
+/// The paper caps its evaluation at two DSAs ("no off-the-shelf SoCs offer
+/// more"), but the formulation (Eq. 1) is defined for any accelerator set
+/// A. Exercise a synthetic SoC with GPU + two DSAs end to end.
+soc::Platform three_dsa_platform() {
+  soc::PuParams gpu;
+  gpu.name = "GPU";
+  gpu.kind = soc::PuKind::Gpu;
+  gpu.peak_gflops = 20000.0;
+  gpu.eff_max = 0.4;
+  gpu.saturation_flops = 200'000'000;
+  gpu.max_stream_gbps = 90.0;
+  gpu.onchip_buffer_bytes = 1 << 20;
+  gpu.act_traffic_amplification = 5.0;
+  gpu.per_layer_overhead_ms = 0.004;
+
+  soc::PuParams dla = gpu;
+  dla.name = "DLA";
+  dla.kind = soc::PuKind::Dsa;
+  dla.peak_gflops = 6000.0;
+  dla.eff_max = 0.6;
+  dla.saturation_flops = 60'000'000;
+  dla.max_stream_gbps = 45.0;
+  dla.act_traffic_amplification = 4.0;
+  dla.fc_eff = 0.1;
+  dla.throughput_profilable = false;
+  dla.requires_reformat = true;
+
+  soc::PuParams npu = dla;
+  npu.name = "NPU";
+  npu.peak_gflops = 4000.0;
+  npu.max_stream_gbps = 35.0;
+
+  soc::MemoryParams mem;
+  mem.total_gbps = 120.0;
+  mem.contention_penalty = 0.2;
+  mem.min_efficiency = 0.5;
+  return soc::Platform("Synthetic-3DSA", mem, {gpu, dla, npu});
+}
+
+TEST(ThreeDsaPlatform, SchedulesAcrossAllAccelerators) {
+  const soc::Platform plat = three_dsa_platform();
+  ASSERT_EQ(plat.schedulable_pus().size(), 3u);
+
+  HaxConnOptions o;
+  o.grouping.max_groups = 6;
+  const HaxConn hax(plat, o);
+  auto inst = hax.make_problem(
+      {{nn::zoo::googlenet()}, {nn::zoo::resnet50()}, {nn::zoo::resnet18()}});
+  const auto sol = hax.schedule(inst.problem());
+  ASSERT_TRUE(sol.best_found());
+
+  // Ground truth run succeeds and never loses to GPU-only serialization.
+  const auto hax_ev = evaluate(inst.problem(), sol.schedule);
+  const auto gpu_ev =
+      evaluate(inst.problem(), baselines::gpu_only(inst.problem()));
+  EXPECT_LE(hax_ev.round_latency_ms, gpu_ev.round_latency_ms * 1.05);
+
+  // With three DNNs and three PUs, the optimum should spread the load
+  // beyond the GPU.
+  std::set<soc::PuId> used;
+  for (const auto& asg : sol.schedule.assignment) used.insert(asg.begin(), asg.end());
+  EXPECT_GE(used.size(), 2u);
+}
+
+TEST(ThreeDsaPlatform, BaselinesGeneralize) {
+  const soc::Platform plat = three_dsa_platform();
+  sched::ProblemInstance inst(plat, sched::Objective::MinMaxLatency, {.max_groups = 5});
+  inst.add_dnn(nn::zoo::alexnet());
+  inst.add_dnn(nn::zoo::resnet18());
+  inst.add_dnn(nn::zoo::googlenet());
+  for (auto kind : baselines::all_kinds()) {
+    const sched::Schedule s = baselines::make(kind, inst.problem());
+    EXPECT_EQ(s.dnn_count(), 3) << baselines::name(kind);
+    EXPECT_NO_THROW((void)evaluate(inst.problem(), s)) << baselines::name(kind);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,375 @@
+/// Unit tests for src/sched: schedules, problems, the Eq 2-9 predictor,
+/// the search space, and optimal schedule generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/evaluate.h"
+#include "nn/zoo.h"
+#include "sched/formulation.h"
+#include "sched/problem.h"
+#include "sched/schedule.h"
+#include "sched/search_space.h"
+#include "sched/solve.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::sched;
+
+// -------------------------------------------------------------- schedule --
+
+TEST(Schedule, TransitionCounting) {
+  Schedule s;
+  s.assignment = {{0, 0, 1, 1, 0}, {1, 1, 1}};
+  EXPECT_EQ(s.transition_count(0), 2);
+  EXPECT_EQ(s.transition_count(1), 0);
+  EXPECT_EQ(s.total_transitions(), 2);
+  EXPECT_EQ(s.transition_points(0), (std::vector<int>{1, 3}));
+  EXPECT_TRUE(s.transition_points(1).empty());
+}
+
+TEST(Schedule, UniformFactory) {
+  const Schedule s = uniform_schedule({3, 5}, 1);
+  EXPECT_EQ(s.dnn_count(), 2);
+  EXPECT_EQ(s.assignment[0].size(), 3u);
+  EXPECT_EQ(s.assignment[1].size(), 5u);
+  EXPECT_EQ(s.total_transitions(), 0);
+  EXPECT_THROW((void)uniform_schedule({0}, 1), PreconditionError);
+}
+
+TEST(Schedule, DescribeNamesRuns) {
+  const auto plat = soc::Platform::xavier();
+  Schedule s;
+  s.assignment = {{plat.gpu(), plat.gpu(), plat.dsa()}};
+  const std::string d = s.describe(plat);
+  EXPECT_NE(d.find("GPU[g0-g1]"), std::string::npos);
+  EXPECT_NE(d.find("DLA[g2-g2]"), std::string::npos);
+}
+
+TEST(Schedule, BoundsChecked) {
+  Schedule s;
+  s.assignment = {{0}};
+  EXPECT_THROW((void)s.transition_count(1), PreconditionError);
+  EXPECT_THROW((void)s.transition_points(-1), PreconditionError);
+}
+
+// --------------------------------------------------------------- problem --
+
+class SchedFixture : public testing::Test {
+ protected:
+  SchedFixture()
+      : plat_(soc::Platform::xavier()),
+        inst_(plat_, Objective::MinMaxLatency, {.max_groups = 6}) {
+    inst_.add_dnn(nn::zoo::googlenet());
+    inst_.add_dnn(nn::zoo::resnet18());
+    inst_.problem().epsilon_ms = 0.5;
+  }
+
+  Schedule pin_all(soc::PuId pu) const {
+    const Problem& prob = inst_.problem();
+    Schedule s;
+    for (const DnnSpec& spec : prob.dnns) {
+      std::vector<soc::PuId> asg;
+      for (int g = 0; g < spec.net->group_count(); ++g) {
+        asg.push_back(spec.profile->at(g, pu).supported ? pu : plat_.gpu());
+      }
+      s.assignment.push_back(std::move(asg));
+    }
+    return s;
+  }
+
+  soc::Platform plat_;
+  ProblemInstance inst_;
+};
+
+TEST_F(SchedFixture, ProblemValidates) {
+  EXPECT_NO_THROW(inst_.problem().validate());
+  Problem bad = inst_.problem();
+  bad.pccs = nullptr;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = inst_.problem();
+  bad.pus.clear();
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = inst_.problem();
+  bad.dnns[1].depends_on = 1;  // self-dependency
+  EXPECT_THROW(bad.validate(), PreconditionError);
+}
+
+TEST_F(SchedFixture, GroupCounts) {
+  const auto counts = inst_.problem().group_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], inst_.grouped(0).group_count());
+  EXPECT_LE(counts[0], 6);
+}
+
+TEST(Problem, ObjectiveNames) {
+  EXPECT_STREQ(to_string(Objective::MinMaxLatency), "min-latency");
+  EXPECT_STREQ(to_string(Objective::MaxThroughput), "max-fps");
+}
+
+// ------------------------------------------------------------ formulation --
+
+TEST_F(SchedFixture, SingleDnnPredictionMatchesStandalone) {
+  // Build a one-DNN problem; prediction must equal the profile sum.
+  ProblemInstance single(plat_, Objective::MinMaxLatency, {.max_groups = 6});
+  single.add_dnn(nn::zoo::googlenet());
+  const Problem& prob = single.problem();
+  const Formulation f(prob);
+  const Schedule s = uniform_schedule(prob.group_counts(), plat_.gpu());
+  const Prediction p = f.predict(s);
+  ASSERT_TRUE(p.feasible);
+  EXPECT_NEAR(p.round_ms, prob.dnns[0].profile->total_time(plat_.gpu()), 1e-6);
+  EXPECT_DOUBLE_EQ(p.total_queue_ms, 0.0);
+}
+
+TEST_F(SchedFixture, PredictionMatchesSimulatorForPinnedSchedules) {
+  const Problem& prob = inst_.problem();
+  const Formulation f(prob);
+  const Schedule split = [&] {
+    Schedule s = pin_all(plat_.gpu());
+    s.assignment[1] = pin_all(plat_.dsa()).assignment[1];
+    return s;
+  }();
+  const Prediction p = f.predict(split, {.enforce_epsilon = false});
+  const core::EvalResult ev = core::evaluate(prob, split);
+  EXPECT_NEAR(p.round_ms, ev.round_latency_ms, 0.05 * ev.round_latency_ms);
+}
+
+TEST_F(SchedFixture, ContentionBlindPredictsFaster) {
+  const Problem& prob = inst_.problem();
+  const Formulation f(prob);
+  Schedule split = pin_all(plat_.gpu());
+  split.assignment[1] = pin_all(plat_.dsa()).assignment[1];
+  const Prediction aware = f.predict(split, {.enforce_epsilon = false});
+  const Prediction blind = f.predict(
+      split, {.model_contention = false, .enforce_epsilon = false});
+  EXPECT_LT(blind.round_ms, aware.round_ms);
+}
+
+TEST_F(SchedFixture, TransitionBudgetEnforced) {
+  const Problem& prob = inst_.problem();
+  const Formulation f(prob);
+  // A zig-zag schedule with many transitions on DNN1 (ResNet18 supports
+  // the DSA everywhere except its head).
+  Schedule zigzag = pin_all(plat_.gpu());
+  const DnnSpec& spec = prob.dnns[1];
+  for (int g = 0; g < spec.net->group_count(); g += 2) {
+    if (spec.profile->at(g, plat_.dsa()).supported) {
+      zigzag.assignment[1][static_cast<std::size_t>(g)] = plat_.dsa();
+    }
+  }
+  ASSERT_GT(zigzag.transition_count(1), prob.max_transitions);
+  EXPECT_FALSE(f.predict(zigzag).feasible);
+  EXPECT_TRUE(std::isinf(f.predict(zigzag).objective_value));
+  // Without the budget the same schedule is evaluated on its merits.
+  EXPECT_TRUE(f.predict(zigzag, {.enforce_transition_budget = false,
+                                 .enforce_epsilon = false})
+                  .feasible);
+}
+
+TEST_F(SchedFixture, UnsupportedAssignmentInfeasible) {
+  const Problem& prob = inst_.problem();
+  const Formulation f(prob);
+  const Schedule bad = uniform_schedule(prob.group_counts(), plat_.dsa());
+  // GoogleNet's LRN groups cannot run on the DLA.
+  EXPECT_FALSE(f.predict(bad).feasible);
+}
+
+TEST_F(SchedFixture, EpsilonRejectsOversubscription) {
+  const Problem& prob = inst_.problem();
+  const Formulation f(prob);
+  const Schedule both_gpu = pin_all(plat_.gpu());
+  // Two DNNs time-sharing the GPU queue far beyond ε=0.5ms.
+  const Prediction with_eps = f.predict(both_gpu);
+  EXPECT_FALSE(with_eps.feasible);
+  const Prediction no_eps = f.predict(both_gpu, {.enforce_epsilon = false});
+  EXPECT_TRUE(no_eps.feasible);
+  EXPECT_GT(no_eps.total_queue_ms, prob.epsilon_ms);
+}
+
+TEST_F(SchedFixture, ThroughputObjectiveNegatesFps) {
+  Problem prob = inst_.problem();
+  prob.objective = Objective::MaxThroughput;
+  const Formulation f(prob);
+  Schedule split = pin_all(plat_.gpu());
+  split.assignment[1] = pin_all(plat_.dsa()).assignment[1];
+  const Prediction p = f.predict(split, {.enforce_epsilon = false});
+  EXPECT_NEAR(p.objective_value, -p.fps, 1e-9);
+  EXPECT_GT(p.fps, 0.0);
+}
+
+TEST_F(SchedFixture, PipelineDependencyLengthensRound) {
+  ProblemInstance pipe(plat_, Objective::MinMaxLatency, {.max_groups = 6});
+  pipe.add_dnn(nn::zoo::googlenet());
+  pipe.add_dnn(nn::zoo::resnet18(), /*depends_on=*/0);
+  const Formulation f(pipe.problem());
+  const Schedule s = [&] {
+    Schedule x = uniform_schedule(pipe.problem().group_counts(), plat_.gpu());
+    return x;
+  }();
+  const Prediction p = f.predict(s, {.enforce_epsilon = false});
+  // Serial chain: round time ~ sum of both DNNs.
+  const TimeMs t0 = pipe.problem().dnns[0].profile->total_time(plat_.gpu());
+  const TimeMs t1 = pipe.problem().dnns[1].profile->total_time(plat_.gpu());
+  EXPECT_NEAR(p.round_ms, t0 + t1, 0.05 * (t0 + t1));
+}
+
+TEST_F(SchedFixture, MismatchedScheduleRejected) {
+  const Formulation f(inst_.problem());
+  Schedule wrong;
+  wrong.assignment = {{plat_.gpu()}};
+  EXPECT_THROW((void)f.predict(wrong), PreconditionError);
+}
+
+// ------------------------------------------------------------ search space --
+
+TEST_F(SchedFixture, SpaceVariableCount) {
+  const ScheduleSpace space(inst_.problem());
+  int expected = 0;
+  for (const DnnSpec& spec : inst_.problem().dnns) expected += spec.net->group_count();
+  EXPECT_EQ(space.variable_count(), expected);
+}
+
+TEST_F(SchedFixture, FlatRoundTrip) {
+  const ScheduleSpace space(inst_.problem());
+  Schedule s = pin_all(plat_.gpu());
+  s.assignment[1][2] = plat_.dsa();
+  const auto flat = space.to_flat(s);
+  EXPECT_EQ(space.to_schedule(flat), s);
+}
+
+TEST_F(SchedFixture, CandidatesPreferPreviousPu) {
+  const ScheduleSpace space(inst_.problem());
+  // After assigning group 0 of DNN0 to pus[1], the next variable's first
+  // candidate should be pus[1] (no transition).
+  std::vector<int> prefix{1};
+  std::vector<int> cands;
+  space.candidates(prefix, cands);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front(), 1);
+}
+
+TEST_F(SchedFixture, CandidatesRespectSupport) {
+  const ScheduleSpace space(inst_.problem());
+  const Problem& prob = inst_.problem();
+  // Find a GoogleNet group unsupported on the DSA and check the DSA is
+  // not offered there.
+  const DnnSpec& spec = prob.dnns[0];
+  for (int g = 0; g < spec.net->group_count(); ++g) {
+    if (spec.profile->at(g, plat_.dsa()).supported) continue;
+    std::vector<int> prefix(static_cast<std::size_t>(g), 0);  // all GPU so far
+    std::vector<int> cands;
+    space.candidates(prefix, cands);
+    for (int c : cands) EXPECT_EQ(prob.pus[static_cast<std::size_t>(c)], plat_.gpu());
+    return;
+  }
+  FAIL() << "expected a GPU-only group in GoogleNet";
+}
+
+TEST_F(SchedFixture, LowerBoundAdmissible) {
+  const ScheduleSpace space(inst_.problem());
+  const Problem& prob = inst_.problem();
+  // For several complete schedules, every prefix bound must not exceed
+  // the final objective.
+  std::vector<Schedule> schedules{pin_all(plat_.gpu())};
+  {
+    Schedule s = pin_all(plat_.gpu());
+    s.assignment[1] = pin_all(plat_.dsa()).assignment[1];
+    schedules.push_back(s);
+  }
+  for (const Schedule& s : schedules) {
+    const auto flat = space.to_flat(s);
+    const double objective = space.evaluate(flat);
+    if (std::isinf(objective)) continue;
+    for (std::size_t depth = 0; depth <= flat.size(); ++depth) {
+      EXPECT_LE(space.lower_bound(std::span(flat).first(depth)), objective + 1e-9)
+          << "depth " << depth;
+    }
+  }
+  (void)prob;
+}
+
+// ----------------------------------------------------------------- solve --
+
+TEST_F(SchedFixture, SolveFindsFeasibleOptimal) {
+  const ScheduleSolution sol = solve_schedule(inst_.problem());
+  EXPECT_TRUE(sol.proven_optimal);
+  ASSERT_FALSE(sol.schedule.assignment.empty());
+  EXPECT_TRUE(sol.prediction.feasible);
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_LE(sol.schedule.transition_count(d), inst_.problem().max_transitions);
+  }
+}
+
+TEST_F(SchedFixture, SolveBeatsOrMatchesExhaustiveRestrictedEnumeration) {
+  // Cross-check optimality: enumerate all schedules with <= 1 transition
+  // per DNN through the same predictor and compare.
+  const Problem& prob = inst_.problem();
+  const Formulation f(prob);
+  const ScheduleSolution sol = solve_schedule(prob);
+
+  double best = std::numeric_limits<double>::infinity();
+  const auto counts = prob.group_counts();
+  const auto enumerate_dnn = [&](int dnn) {
+    std::vector<std::vector<soc::PuId>> options;
+    const int n = counts[static_cast<std::size_t>(dnn)];
+    for (soc::PuId a : prob.pus) {
+      for (soc::PuId b : prob.pus) {
+        for (int cut = 0; cut <= n; ++cut) {
+          if (cut == 0 || cut == n) {
+            if (a != b) continue;  // no transition: only uniform
+          }
+          std::vector<soc::PuId> asg;
+          for (int g = 0; g < n; ++g) asg.push_back(g < cut ? a : b);
+          options.push_back(std::move(asg));
+        }
+      }
+    }
+    return options;
+  };
+  for (const auto& a0 : enumerate_dnn(0)) {
+    for (const auto& a1 : enumerate_dnn(1)) {
+      Schedule s;
+      s.assignment = {a0, a1};
+      best = std::min(best, f.predict(s).objective_value);
+    }
+  }
+  EXPECT_LE(sol.prediction.objective_value, best + 1e-9);
+}
+
+TEST_F(SchedFixture, SolveHonorsTimeBudgetAnytime) {
+  SolveScheduleOptions options;
+  options.time_budget_ms = 1.0;
+  const ScheduleSolution sol = solve_schedule(inst_.problem(), options);
+  // May or may not prove optimality in 1ms, but must return something.
+  EXPECT_FALSE(sol.schedule.assignment.empty());
+}
+
+TEST_F(SchedFixture, SolveCallbackSeesImprovingIncumbents) {
+  double last = std::numeric_limits<double>::infinity();
+  int count = 0;
+  (void)solve_schedule(inst_.problem(), {},
+                       [&](const Schedule&, const Prediction& p, TimeMs) {
+                         EXPECT_LT(p.objective_value, last);
+                         last = p.objective_value;
+                         ++count;
+                         return true;
+                       });
+  EXPECT_GT(count, 0);
+}
+
+TEST_F(SchedFixture, MaxTransitionsZeroForcesPinnedSchedules) {
+  Problem prob = inst_.problem();
+  prob.max_transitions = 0;
+  // Both DNNs have GPU-only head groups, so every zero-transition
+  // schedule shares the GPU; lift epsilon so queueing is acceptable.
+  prob.epsilon_ms = std::numeric_limits<TimeMs>::infinity();
+  const ScheduleSolution sol = solve_schedule(prob);
+  ASSERT_FALSE(sol.schedule.assignment.empty());
+  EXPECT_EQ(sol.schedule.total_transitions(), 0);
+}
+
+}  // namespace

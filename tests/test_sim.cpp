@@ -1,0 +1,259 @@
+/// Unit tests for src/sim: the discrete-event concurrent execution engine.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "grouping/grouping.h"
+#include "nn/zoo.h"
+#include "perf/cost_model.h"
+#include "sim/engine.h"
+#include "soc/platform.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::sim;
+
+std::vector<soc::PuId> pin(const grouping::GroupedNetwork& gn, const soc::Platform& plat,
+                           soc::PuId pu) {
+  std::vector<soc::PuId> asg;
+  for (int g = 0; g < gn.group_count(); ++g) {
+    asg.push_back(gn.supported(g, plat.pu(pu).params().kind) ? pu : plat.gpu());
+  }
+  return asg;
+}
+
+class SimTest : public testing::Test {
+ protected:
+  SimTest()
+      : plat_(soc::Platform::xavier()),
+        googlenet_(grouping::build_groups(nn::zoo::googlenet(), {.max_groups = 8})),
+        resnet18_(grouping::build_groups(nn::zoo::resnet18(), {.max_groups = 8})) {}
+
+  soc::Platform plat_;
+  grouping::GroupedNetwork googlenet_;
+  grouping::GroupedNetwork resnet18_;
+};
+
+TEST_F(SimTest, SingleTaskMatchesStandalone) {
+  const Engine eng(plat_);
+  DnnTask t{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 1};
+  const SimResult r = eng.run({t});
+  EXPECT_NEAR(r.makespan_ms, r.tasks[0].standalone_ms, 1e-6);
+  EXPECT_NEAR(r.tasks[0].avg_slowdown, 1.0, 1e-9);
+  ASSERT_EQ(r.tasks[0].iterations.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.tasks[0].iterations[0].start, 0.0);
+}
+
+TEST_F(SimTest, StandaloneMatchesCostModel) {
+  const Engine eng(plat_);
+  DnnTask t{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 1};
+  const SimResult r = eng.run({t});
+  const perf::CostModel cm(plat_);
+  EXPECT_NEAR(r.makespan_ms, cm.network_time(googlenet_.network(), plat_.gpu()), 1e-6);
+}
+
+TEST_F(SimTest, DisjointPusOverlap) {
+  const Engine eng(plat_);
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 1};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.dsa()), -1, 1};
+  const SimResult r = eng.run({a, b});
+  const TimeMs sum = r.tasks[0].standalone_ms + r.tasks[1].standalone_ms;
+  const TimeMs longest = std::max(r.tasks[0].standalone_ms, r.tasks[1].standalone_ms);
+  EXPECT_LT(r.makespan_ms, sum);        // truly concurrent
+  EXPECT_GE(r.makespan_ms, longest - 1e-9);  // cannot beat the longer task
+}
+
+TEST_F(SimTest, ContentionSlowsCoRunningTasks) {
+  const Engine eng(plat_);
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 3};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.dsa()), -1, 3};
+  const SimResult r = eng.run({a, b});
+  // At least one task must experience measurable memory-contention
+  // slowdown (the paper's core phenomenon).
+  EXPECT_GT(std::max(r.tasks[0].avg_slowdown, r.tasks[1].avg_slowdown), 1.02);
+}
+
+TEST_F(SimTest, SamePuSerializes) {
+  const Engine eng(plat_);
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 1};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.gpu()), -1, 1};
+  const SimResult r = eng.run({a, b});
+  // Same-PU workloads cannot overlap: makespan ~= sum of standalone.
+  EXPECT_NEAR(r.makespan_ms, r.tasks[0].standalone_ms + r.tasks[1].standalone_ms,
+              0.02 * r.makespan_ms);
+}
+
+TEST_F(SimTest, DependencyOrdersIterations) {
+  const Engine eng(plat_);
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 3};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.dsa()), 0, 3};
+  const SimResult r = eng.run({a, b});
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GE(r.tasks[1].iterations[static_cast<std::size_t>(k)].start,
+              r.tasks[0].iterations[static_cast<std::size_t>(k)].end - 1e-9)
+        << "frame " << k;
+  }
+}
+
+TEST_F(SimTest, PipelineOverlapsAcrossFrames) {
+  // While the consumer processes frame k, the producer should already be
+  // working on frame k+1 (software pipelining).
+  const Engine eng(plat_);
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 4};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.dsa()), 0, 4};
+  const SimResult r = eng.run({a, b});
+  EXPECT_LT(r.tasks[0].iterations[1].start, r.tasks[1].iterations[0].end);
+}
+
+TEST_F(SimTest, LoopBarrierSynchronizesRounds) {
+  const Engine eng(plat_, {.loop_barrier = true});
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 3};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.dsa()), -1, 3};
+  const SimResult r = eng.run({a, b});
+  for (int k = 1; k < 3; ++k) {
+    const TimeMs round_prev_end =
+        std::max(r.tasks[0].iterations[static_cast<std::size_t>(k - 1)].end,
+                 r.tasks[1].iterations[static_cast<std::size_t>(k - 1)].end);
+    EXPECT_GE(r.tasks[0].iterations[static_cast<std::size_t>(k)].start, round_prev_end - 1e-9);
+    EXPECT_GE(r.tasks[1].iterations[static_cast<std::size_t>(k)].start, round_prev_end - 1e-9);
+  }
+}
+
+TEST_F(SimTest, IterationsProduceSpans) {
+  const Engine eng(plat_);
+  DnnTask t{&resnet18_, pin(resnet18_, plat_, plat_.gpu()), -1, 5};
+  const SimResult r = eng.run({t});
+  ASSERT_EQ(r.tasks[0].iterations.size(), 5u);
+  for (std::size_t k = 1; k < 5; ++k) {
+    EXPECT_GE(r.tasks[0].iterations[k].start, r.tasks[0].iterations[k - 1].end - 1e-9);
+  }
+  EXPECT_NEAR(r.makespan_ms, 5 * r.tasks[0].standalone_ms, 1e-6);
+}
+
+TEST_F(SimTest, TransitionsAppearInTrace) {
+  const Engine eng(plat_);
+  // Split ResNet18 across PUs mid-network.
+  std::vector<soc::PuId> asg = pin(resnet18_, plat_, plat_.dsa());
+  for (int g = resnet18_.group_count() / 2; g < resnet18_.group_count(); ++g) {
+    asg[static_cast<std::size_t>(g)] = plat_.gpu();
+  }
+  DnnTask t{&resnet18_, asg, -1, 1};
+  const SimResult r = eng.run({t});
+  bool saw_out = false, saw_in = false;
+  for (const TraceRecord& rec : r.trace.records()) {
+    saw_out |= rec.kind == SegmentKind::TransitionOut;
+    saw_in |= rec.kind == SegmentKind::TransitionIn;
+  }
+  EXPECT_TRUE(saw_out);
+  EXPECT_TRUE(saw_in);
+}
+
+TEST_F(SimTest, SplitScheduleSlowerStandaloneThanPureDsa) {
+  // Transitions add time: the same assignment with a round trip must have
+  // a larger standalone time than staying on one PU... unless the other
+  // PU is faster; use DSA->DSA vs DSA->GPU->DSA round trip.
+  const Engine eng(plat_);
+  std::vector<soc::PuId> round_trip = pin(resnet18_, plat_, plat_.dsa());
+  const int mid = resnet18_.group_count() / 2;
+  // A single group detour to GPU: pay two transitions.
+  round_trip[static_cast<std::size_t>(mid)] = plat_.gpu();
+  DnnTask pure{&resnet18_, pin(resnet18_, plat_, plat_.dsa()), -1, 1};
+  DnnTask detour{&resnet18_, round_trip, -1, 1};
+  const TimeMs pure_ms = eng.run({pure}).tasks[0].standalone_ms;
+  const TimeMs detour_ms = eng.run({detour}).tasks[0].standalone_ms;
+  const perf::CostModel cm(plat_);
+  const TimeMs gpu_gain = cm.group_time(resnet18_, mid, plat_.dsa()) -
+                          cm.group_time(resnet18_, mid, plat_.gpu());
+  // Detour time = pure - gain + transition costs; transitions are the rest.
+  EXPECT_GT(detour_ms, pure_ms - gpu_gain);
+}
+
+TEST_F(SimTest, TracePuExclusivity) {
+  const Engine eng(plat_);
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 2};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.gpu()), -1, 2};
+  const SimResult r = eng.run({a, b});
+  // No two trace records on the same PU may overlap in time.
+  std::map<int, std::vector<std::pair<TimeMs, TimeMs>>> by_pu;
+  for (const TraceRecord& rec : r.trace.records()) {
+    by_pu[rec.pu].push_back({rec.start, rec.end});
+  }
+  for (auto& [pu, spans] : by_pu) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-9) << "pu " << pu;
+    }
+  }
+}
+
+TEST_F(SimTest, BackgroundTrafficSlowsExecution) {
+  DnnTask t{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 2};
+  const TimeMs clean = Engine(plat_).run({t}).makespan_ms;
+  const TimeMs loaded =
+      Engine(plat_, {.background_traffic_gbps = 60.0}).run({t}).makespan_ms;
+  EXPECT_GT(loaded, clean * 1.01);
+}
+
+TEST_F(SimTest, SmallBackgroundTrafficNegligible) {
+  // Table 7's regime: a solver on the CPU adds ~1 GB/s and costs <2%.
+  DnnTask t{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 2};
+  const TimeMs clean = Engine(plat_).run({t}).makespan_ms;
+  const TimeMs loaded = Engine(plat_, {.background_traffic_gbps = 1.0}).run({t}).makespan_ms;
+  EXPECT_LT(loaded, clean * 1.02);
+}
+
+TEST_F(SimTest, TotalFps) {
+  const Engine eng(plat_);
+  DnnTask a{&resnet18_, pin(resnet18_, plat_, plat_.gpu()), -1, 4};
+  const SimResult r = eng.run({a});
+  EXPECT_NEAR(r.total_fps(), 4.0 / r.makespan_ms * 1000.0, 1e-9);
+}
+
+TEST_F(SimTest, RejectsBadTasks) {
+  const Engine eng(plat_);
+  EXPECT_THROW((void)eng.run({}), PreconditionError);
+
+  DnnTask null_net{nullptr, {}, -1, 1};
+  EXPECT_THROW((void)eng.run({null_net}), PreconditionError);
+
+  DnnTask wrong_size{&googlenet_, {plat_.gpu()}, -1, 1};
+  EXPECT_THROW((void)eng.run({wrong_size}), PreconditionError);
+
+  DnnTask self_dep{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), 0, 1};
+  EXPECT_THROW((void)eng.run({self_dep}), PreconditionError);
+
+  DnnTask zero_iter{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 0};
+  EXPECT_THROW((void)eng.run({zero_iter}), PreconditionError);
+}
+
+TEST_F(SimTest, RejectsUnsupportedAssignment) {
+  const Engine eng(plat_);
+  // GoogleNet has GPU-only groups (LRN); pinning everything to the DSA
+  // without fallback is invalid.
+  DnnTask t{&googlenet_,
+            std::vector<soc::PuId>(static_cast<std::size_t>(googlenet_.group_count()),
+                                   plat_.dsa()),
+            -1, 1};
+  EXPECT_THROW((void)eng.run({t}), PreconditionError);
+}
+
+TEST_F(SimTest, TraceDisabledWhenRequested) {
+  const Engine eng(plat_, {.record_trace = false});
+  DnnTask t{&resnet18_, pin(resnet18_, plat_, plat_.gpu()), -1, 1};
+  EXPECT_TRUE(eng.run({t}).trace.empty());
+}
+
+TEST_F(SimTest, DeterministicAcrossRuns) {
+  const Engine eng(plat_);
+  DnnTask a{&googlenet_, pin(googlenet_, plat_, plat_.gpu()), -1, 2};
+  DnnTask b{&resnet18_, pin(resnet18_, plat_, plat_.dsa()), -1, 2};
+  const SimResult r1 = eng.run({a, b});
+  const SimResult r2 = eng.run({a, b});
+  EXPECT_DOUBLE_EQ(r1.makespan_ms, r2.makespan_ms);
+  EXPECT_EQ(r1.trace.records().size(), r2.trace.records().size());
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+/// Unit tests for src/soc: processing units, EMC arbitration, platforms.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "soc/memory_system.h"
+#include "soc/platform.h"
+#include "soc/processing_unit.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::soc;
+
+PuParams basic_pu(const char* name = "GPU", PuKind kind = PuKind::Gpu) {
+  PuParams p;
+  p.name = name;
+  p.kind = kind;
+  p.peak_gflops = 1000.0;
+  p.eff_max = 0.5;
+  p.saturation_flops = 100'000'000;
+  p.max_stream_gbps = 50.0;
+  return p;
+}
+
+// ------------------------------------------------------- processing unit --
+
+TEST(ProcessingUnit, EffectiveGflopsMonotone) {
+  const ProcessingUnit pu(0, basic_pu());
+  double prev = 0.0;
+  for (Flops w : {Flops{1'000}, Flops{1'000'000}, Flops{100'000'000}, Flops{10'000'000'000}}) {
+    const double g = pu.effective_gflops(w);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(ProcessingUnit, EffectiveGflopsBoundedByCeiling) {
+  const ProcessingUnit pu(0, basic_pu());
+  EXPECT_LE(pu.effective_gflops(Flops{1} << 60), 500.0 + 1e-9);
+  // At w == saturation_flops, exactly half of the ceiling.
+  EXPECT_NEAR(pu.effective_gflops(100'000'000), 250.0, 1e-9);
+}
+
+TEST(ProcessingUnit, ValidatesParams) {
+  PuParams p = basic_pu();
+  p.peak_gflops = 0.0;
+  EXPECT_THROW(ProcessingUnit(0, p), PreconditionError);
+  p = basic_pu();
+  p.eff_max = 1.5;
+  EXPECT_THROW(ProcessingUnit(0, p), PreconditionError);
+  p = basic_pu();
+  p.saturation_flops = 0;
+  EXPECT_THROW(ProcessingUnit(0, p), PreconditionError);
+  p = basic_pu();
+  EXPECT_THROW(ProcessingUnit(-1, p), PreconditionError);
+}
+
+TEST(ProcessingUnit, KindNames) {
+  EXPECT_STREQ(to_string(PuKind::Gpu), "GPU");
+  EXPECT_STREQ(to_string(PuKind::Dsa), "DSA");
+  EXPECT_STREQ(to_string(PuKind::Cpu), "CPU");
+}
+
+// ---------------------------------------------------------- memory system --
+
+MemoryParams mem_params(GBps total = 100.0, double penalty = 0.2) {
+  MemoryParams m;
+  m.total_gbps = total;
+  m.contention_penalty = penalty;
+  m.min_efficiency = 0.5;
+  return m;
+}
+
+TEST(MemorySystem, ValidatesParams) {
+  MemoryParams m = mem_params();
+  m.total_gbps = 0.0;
+  EXPECT_THROW(MemorySystem{m}, PreconditionError);
+  m = mem_params();
+  m.contention_penalty = 1.0;
+  EXPECT_THROW(MemorySystem{m}, PreconditionError);
+  m = mem_params();
+  m.min_efficiency = 0.0;
+  EXPECT_THROW(MemorySystem{m}, PreconditionError);
+}
+
+TEST(MemorySystem, EffectiveCapacityShrinksWithRequesters) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  EXPECT_DOUBLE_EQ(mem.effective_capacity(0), 100.0);
+  EXPECT_DOUBLE_EQ(mem.effective_capacity(1), 100.0);
+  EXPECT_DOUBLE_EQ(mem.effective_capacity(2), 80.0);
+  EXPECT_DOUBLE_EQ(mem.effective_capacity(3), 60.0);
+  // Clamped by min_efficiency.
+  EXPECT_DOUBLE_EQ(mem.effective_capacity(10), 50.0);
+}
+
+TEST(MemorySystem, ArbitrateUnderCapacityGrantsAll) {
+  const MemorySystem mem(mem_params());
+  const std::vector<GBps> demands{20.0, 30.0, 0.0};
+  const auto got = mem.arbitrate(demands);
+  EXPECT_DOUBLE_EQ(got[0], 20.0);
+  EXPECT_DOUBLE_EQ(got[1], 30.0);
+  EXPECT_DOUBLE_EQ(got[2], 0.0);
+}
+
+TEST(MemorySystem, ArbitrateConservesCapacity) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  const std::vector<GBps> demands{70.0, 70.0};
+  const auto got = mem.arbitrate(demands);
+  EXPECT_NEAR(got[0] + got[1], 80.0, 1e-9);  // capacity with 2 requesters
+}
+
+TEST(MemorySystem, ArbitrateMaxMinProtectsLightRequester) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  // Light requester below the fair share gets its full demand; the heavy
+  // one receives the remaining effective capacity. Effective requesters:
+  // 1 + 10/(0.2*90) = 1.556 -> capacity 88.9.
+  const std::vector<GBps> demands{10.0, 90.0};
+  const auto got = mem.arbitrate(demands);
+  EXPECT_DOUBLE_EQ(got[0], 10.0);
+  EXPECT_NEAR(got[1], 78.889, 1e-3);
+}
+
+TEST(MemorySystem, ArbitrateEqualHeavySplitsEvenly) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  const std::vector<GBps> demands{60.0, 60.0};
+  const auto got = mem.arbitrate(demands);
+  EXPECT_NEAR(got[0], 40.0, 1e-9);
+  EXPECT_NEAR(got[1], 40.0, 1e-9);
+}
+
+TEST(MemorySystem, ArbitrateNeverExceedsDemand) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  const std::vector<GBps> demands{15.0, 45.0, 90.0};
+  const auto got = mem.arbitrate(demands);
+  for (std::size_t i = 0; i < demands.size(); ++i) EXPECT_LE(got[i], demands[i] + 1e-9);
+}
+
+TEST(MemorySystem, ArbitrateRejectsNegative) {
+  const MemorySystem mem(mem_params());
+  const std::vector<GBps> demands{-1.0};
+  EXPECT_THROW((void)mem.arbitrate(demands), PreconditionError);
+}
+
+TEST(MemorySystem, ArbitrateAllZero) {
+  const MemorySystem mem(mem_params());
+  const std::vector<GBps> demands{0.0, 0.0};
+  const auto got = mem.arbitrate(demands);
+  EXPECT_DOUBLE_EQ(got[0], 0.0);
+  EXPECT_DOUBLE_EQ(got[1], 0.0);
+}
+
+TEST(MemorySystem, SlowdownOneWhenFits) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  EXPECT_DOUBLE_EQ(mem.slowdown(30.0, 40.0), 1.0);
+  EXPECT_DOUBLE_EQ(mem.slowdown(0.0, 500.0), 1.0);
+}
+
+TEST(MemorySystem, SlowdownAtLeastOneAndMonotoneInExternal) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  double prev = 0.0;
+  for (GBps ext : {0.0, 20.0, 40.0, 60.0, 80.0, 100.0}) {
+    const double s = mem.slowdown(50.0, ext);
+    EXPECT_GE(s, 1.0);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(MemorySystem, SlowdownProtectedBelowFairShare) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  // Own demand below the fair share (capacity/2 = 40) is fully served
+  // regardless of the rival's appetite.
+  EXPECT_DOUBLE_EQ(mem.slowdown(35.0, 1000.0), 1.0);
+  // Above the fair share, the requester is squeezed down to it
+  // (effective requesters 1.4 -> capacity 92 -> fair share 46).
+  EXPECT_NEAR(mem.slowdown(80.0, 1000.0), 80.0 / 46.0, 1e-9);
+}
+
+TEST(MemorySystem, TinyBackgroundTrafficBarelyPenalizes) {
+  // Table 7's regime: a ~1 GB/s solver stream next to a heavy DNN stream
+  // must cost ~the bandwidth it takes, not a full co-runner penalty.
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  const std::vector<GBps> demands{90.0, 1.0};
+  const auto got = mem.arbitrate(demands);
+  EXPECT_GT(got[0], 88.0);
+  EXPECT_DOUBLE_EQ(got[1], 1.0);
+}
+
+TEST(MemorySystem, SlowdownMatchesArbitrate) {
+  const MemorySystem mem(mem_params(100.0, 0.2));
+  for (GBps own : {10.0, 30.0, 50.0, 70.0, 95.0}) {
+    for (GBps ext : {10.0, 45.0, 75.0}) {
+      const std::vector<GBps> demands{own, ext};
+      const auto got = mem.arbitrate(demands);
+      const double expected = own / got[0];
+      EXPECT_NEAR(mem.slowdown(own, ext), std::max(1.0, expected), 1e-9)
+          << "own=" << own << " ext=" << ext;
+    }
+  }
+}
+
+// -------------------------------------------------------------- platform --
+
+class PlatformPresetTest : public testing::TestWithParam<int> {
+ protected:
+  Platform platform() const {
+    switch (GetParam()) {
+      case 0: return Platform::orin();
+      case 1: return Platform::xavier();
+      default: return Platform::sd865();
+    }
+  }
+};
+
+TEST_P(PlatformPresetTest, HasGpuDsaCpu) {
+  const Platform p = platform();
+  EXPECT_NE(p.find(PuKind::Gpu), kInvalidPu);
+  EXPECT_NE(p.find(PuKind::Dsa), kInvalidPu);
+  EXPECT_NE(p.find(PuKind::Cpu), kInvalidPu);
+  EXPECT_EQ(p.pu(p.gpu()).kind(), PuKind::Gpu);
+  EXPECT_EQ(p.pu(p.dsa()).kind(), PuKind::Dsa);
+}
+
+TEST_P(PlatformPresetTest, SchedulablePusExcludeCpu) {
+  const Platform p = platform();
+  const auto pus = p.schedulable_pus();
+  EXPECT_EQ(pus.size(), 2u);
+  for (PuId id : pus) EXPECT_NE(p.pu(id).kind(), PuKind::Cpu);
+}
+
+TEST_P(PlatformPresetTest, GpuFasterCeilingThanDsa) {
+  const Platform p = platform();
+  const auto& gpu = p.pu(p.gpu()).params();
+  const auto& dsa = p.pu(p.dsa()).params();
+  EXPECT_GT(gpu.peak_gflops * gpu.eff_max, dsa.peak_gflops * dsa.eff_max);
+  // DSAs saturate on smaller layers than the GPU (Sec 3.2's observation).
+  EXPECT_LT(dsa.saturation_flops, gpu.saturation_flops);
+}
+
+TEST_P(PlatformPresetTest, DsaIsBlackBox) {
+  const Platform p = platform();
+  EXPECT_TRUE(p.pu(p.gpu()).params().throughput_profilable);
+  EXPECT_FALSE(p.pu(p.dsa()).params().throughput_profilable);
+  EXPECT_TRUE(p.pu(p.dsa()).params().requires_reformat);
+}
+
+TEST_P(PlatformPresetTest, StreamBandwidthBelowEmc) {
+  const Platform p = platform();
+  for (const ProcessingUnit& pu : p.pus()) {
+    EXPECT_LT(pu.params().max_stream_gbps, p.memory().total_gbps());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PlatformPresetTest, testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0: return "Orin";
+                             case 1: return "Xavier";
+                             default: return "Sd865";
+                           }
+                         });
+
+TEST(Platform, Table4Bandwidths) {
+  EXPECT_DOUBLE_EQ(Platform::orin().memory().total_gbps(), 204.8);
+  EXPECT_DOUBLE_EQ(Platform::xavier().memory().total_gbps(), 136.5);
+  EXPECT_DOUBLE_EQ(Platform::sd865().memory().total_gbps(), 34.1);
+}
+
+TEST(Platform, PuIdsAreDense) {
+  const Platform p = Platform::orin();
+  for (int i = 0; i < p.pu_count(); ++i) EXPECT_EQ(p.pu(i).id(), i);
+  EXPECT_THROW((void)p.pu(p.pu_count()), PreconditionError);
+  EXPECT_THROW((void)p.pu(-1), PreconditionError);
+}
+
+TEST(Platform, AllPresetsReturnsThree) { EXPECT_EQ(Platform::all_presets().size(), 3u); }
+
+TEST(Platform, RequiresAtLeastOnePu) {
+  EXPECT_THROW(Platform("empty", mem_params(), {}), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+/// Unit tests for src/solver: the anytime branch-and-bound engine, using
+/// small synthetic search spaces with brute-force cross-checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "solver/bnb.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::solver;
+
+/// Minimize sum of table[var][value] over `vars` variables with `values`
+/// values each; an admissible bound adds the per-variable minima of the
+/// remaining suffix.
+class TableSpace : public SearchSpace {
+ public:
+  TableSpace(int vars, int values, std::uint64_t seed) : values_(values) {
+    Rng rng(seed);
+    table_.resize(static_cast<std::size_t>(vars));
+    for (auto& row : table_) {
+      row.resize(static_cast<std::size_t>(values));
+      for (double& cell : row) cell = rng.uniform(0.0, 10.0);
+    }
+    suffix_min_.assign(static_cast<std::size_t>(vars) + 1, 0.0);
+    for (int v = vars - 1; v >= 0; --v) {
+      suffix_min_[static_cast<std::size_t>(v)] =
+          suffix_min_[static_cast<std::size_t>(v) + 1] +
+          *std::min_element(table_[static_cast<std::size_t>(v)].begin(),
+                            table_[static_cast<std::size_t>(v)].end());
+    }
+  }
+
+  int variable_count() const override { return static_cast<int>(table_.size()); }
+
+  void candidates(std::span<const int> /*prefix*/, std::vector<int>& out) const override {
+    out.clear();
+    for (int v = 0; v < values_; ++v) out.push_back(v);
+  }
+
+  double lower_bound(std::span<const int> prefix) const override {
+    return partial_cost(prefix) + suffix_min_[prefix.size()];
+  }
+
+  double evaluate(std::span<const int> assignment) const override {
+    return partial_cost(assignment);
+  }
+
+  double brute_force_optimum() const {
+    std::vector<int> assignment(table_.size(), 0);
+    double best = std::numeric_limits<double>::infinity();
+    while (true) {
+      best = std::min(best, evaluate(assignment));
+      std::size_t i = 0;
+      while (i < assignment.size() && assignment[i] == values_ - 1) assignment[i++] = 0;
+      if (i == assignment.size()) return best;
+      ++assignment[i];
+    }
+  }
+
+ private:
+  double partial_cost(std::span<const int> prefix) const {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      cost += table_[i][static_cast<std::size_t>(prefix[i])];
+    }
+    return cost;
+  }
+
+  int values_;
+  std::vector<std::vector<double>> table_;
+  std::vector<double> suffix_min_;
+};
+
+TEST(Bnb, FindsOptimumAndProvesIt) {
+  const TableSpace space(8, 3, 1);
+  const SolveResult r = BranchAndBound().solve(space);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_TRUE(r.stats.exhausted);
+  EXPECT_NEAR(r.best->objective, space.brute_force_optimum(), 1e-12);
+}
+
+TEST(Bnb, OptimumMatchesBruteForceAcrossSeeds) {
+  for (std::uint64_t seed = 2; seed < 12; ++seed) {
+    const TableSpace space(6, 4, seed);
+    const SolveResult r = BranchAndBound().solve(space);
+    ASSERT_TRUE(r.best.has_value()) << "seed " << seed;
+    EXPECT_NEAR(r.best->objective, space.brute_force_optimum(), 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(Bnb, PruningSkipsWork) {
+  const TableSpace space(10, 3, 7);
+  const SolveResult r = BranchAndBound().solve(space);
+  // With an exact additive bound the solver should explore a tiny
+  // fraction of the 3^10 = 59049 leaves.
+  EXPECT_LT(r.stats.leaves_evaluated, 2000u);
+  EXPECT_GT(r.stats.nodes_pruned, 0u);
+}
+
+TEST(Bnb, SeedsCapTheResult) {
+  const TableSpace space(6, 3, 3);
+  // Seed with the brute-force optimum: search can only confirm it.
+  std::vector<int> best_seed;
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::vector<int> assignment(6, 0);
+  while (true) {
+    const double obj = space.evaluate(assignment);
+    if (obj < best_obj) {
+      best_obj = obj;
+      best_seed = assignment;
+    }
+    std::size_t i = 0;
+    while (i < assignment.size() && assignment[i] == 2) assignment[i++] = 0;
+    if (i == assignment.size()) break;
+    ++assignment[i];
+  }
+  SolveOptions options;
+  options.seeds = {best_seed};
+  const SolveResult r = BranchAndBound().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->objective, best_obj, 1e-12);
+}
+
+TEST(Bnb, SeedRejectsWrongLength) {
+  const TableSpace space(6, 3, 3);
+  SolveOptions options;
+  options.seeds = {{0, 1}};
+  EXPECT_THROW((void)BranchAndBound().solve(space, options), PreconditionError);
+}
+
+TEST(Bnb, IncumbentsImproveMonotonically) {
+  const TableSpace space(10, 3, 11);
+  double last = std::numeric_limits<double>::infinity();
+  int calls = 0;
+  (void)BranchAndBound().solve(space, {}, [&](const Incumbent& inc) {
+    EXPECT_LT(inc.objective, last);
+    last = inc.objective;
+    ++calls;
+    return true;
+  });
+  EXPECT_GT(calls, 0);
+}
+
+TEST(Bnb, CallbackAbortStopsSearch) {
+  const TableSpace space(10, 3, 5);
+  int calls = 0;
+  const SolveResult r = BranchAndBound().solve(space, {}, [&](const Incumbent&) {
+    ++calls;
+    return false;  // stop after the first incumbent
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(r.stats.exhausted);
+  ASSERT_TRUE(r.best.has_value());  // best-so-far is still returned
+}
+
+TEST(Bnb, NodeLimitBoundsExploration) {
+  const TableSpace space(12, 3, 13);
+  SolveOptions options;
+  options.node_limit = 50;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  EXPECT_LE(r.stats.nodes_explored, 50u);
+  EXPECT_FALSE(r.stats.exhausted);
+}
+
+TEST(Bnb, DeterministicWithoutTimeBudget) {
+  const TableSpace space(9, 3, 17);
+  const SolveResult a = BranchAndBound().solve(space);
+  const SolveResult b = BranchAndBound().solve(space);
+  ASSERT_TRUE(a.best && b.best);
+  EXPECT_EQ(a.best->assignment, b.best->assignment);
+  EXPECT_EQ(a.stats.nodes_explored, b.stats.nodes_explored);
+}
+
+TEST(Bnb, StatsAccounting) {
+  const TableSpace space(5, 2, 19);
+  const SolveResult r = BranchAndBound().solve(space);
+  EXPECT_GT(r.stats.nodes_explored, 0u);
+  EXPECT_GT(r.stats.leaves_evaluated, 0u);
+  EXPECT_GE(r.stats.elapsed_ms, 0.0);
+  EXPECT_GT(r.stats.incumbents_found, 0);
+}
+
+/// A space whose candidates() can prune values — used to verify dead-end
+/// subtrees (no candidates) are handled.
+class ConstrainedSpace : public TableSpace {
+ public:
+  using TableSpace::TableSpace;
+  void candidates(std::span<const int> prefix, std::vector<int>& out) const override {
+    TableSpace::candidates(prefix, out);
+    // Forbid value 0 after any value 2 (arbitrary structural constraint).
+    if (!prefix.empty() && prefix.back() == 2) {
+      out.erase(std::remove(out.begin(), out.end(), 0), out.end());
+    }
+  }
+};
+
+TEST(Bnb, HonorsCandidateConstraints) {
+  const ConstrainedSpace space(7, 3, 23);
+  const SolveResult r = BranchAndBound().solve(space);
+  ASSERT_TRUE(r.best.has_value());
+  const auto& a = r.best->assignment;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_FALSE(a[i - 1] == 2 && a[i] == 0);
+  }
+}
+
+/// All-infeasible space: evaluate always returns infinity.
+class InfeasibleSpace : public TableSpace {
+ public:
+  using TableSpace::TableSpace;
+  double evaluate(std::span<const int>) const override {
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+TEST(Bnb, NoFeasibleSolutionYieldsEmptyBest) {
+  const InfeasibleSpace space(4, 2, 29);
+  const SolveResult r = BranchAndBound().solve(space);
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_TRUE(r.stats.exhausted);
+}
+
+TEST(Bnb, NodePacingThrottlesSearch) {
+  // Pacing emulates slower optimizers (Z3 on an embedded core, Fig. 7):
+  // the same search must take proportionally longer wall time.
+  const TableSpace space(8, 3, 37);
+  const SolveResult fast = BranchAndBound().solve(space);
+  SolveOptions paced_options;
+  paced_options.max_nodes_per_ms = 10.0;
+  const SolveResult paced = BranchAndBound().solve(space, paced_options);
+  ASSERT_TRUE(fast.best && paced.best);
+  // Identical result (pacing changes timing, not the search)...
+  EXPECT_EQ(paced.best->assignment, fast.best->assignment);
+  EXPECT_EQ(paced.stats.nodes_explored, fast.stats.nodes_explored);
+  // ...but at least nodes/rate milliseconds of wall time.
+  const double expected_ms =
+      static_cast<double>(paced.stats.nodes_explored) / paced_options.max_nodes_per_ms;
+  EXPECT_GE(paced.stats.elapsed_ms, 0.8 * expected_ms);
+  EXPECT_GT(paced.stats.elapsed_ms, fast.stats.elapsed_ms);
+}
+
+TEST(Bnb, TimeBudgetReturnsQuickly) {
+  const TableSpace space(18, 4, 31);
+  SolveOptions options;
+  options.time_budget_ms = 5.0;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  // Generous bound: the check granularity is 64 nodes.
+  EXPECT_LT(r.stats.elapsed_ms, 500.0);
+  ASSERT_TRUE(r.best.has_value());  // anytime: something was found
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+/// Tests for the user-facing tooling layers: CFG mode management
+/// (Sec 3.5 static scheduling), Gantt rendering, and schedule explanation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/cfg.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+#include "sched/explain.h"
+#include "sim/gantt.h"
+
+namespace {
+
+using namespace hax;
+
+class ToolsFixture : public testing::Test {
+ protected:
+  ToolsFixture()
+      : plat_(soc::Platform::xavier()), hax_(plat_, [] {
+          core::HaxConnOptions o;
+          o.grouping.max_groups = 6;
+          return o;
+        }()) {}
+
+  soc::Platform plat_;
+  core::HaxConn hax_;
+};
+
+// -------------------------------------------------------------------- cfg --
+
+TEST_F(ToolsFixture, CfgModesPrecomputeSchedules) {
+  core::CfgManager cfg(hax_);
+  const auto& discovery = cfg.add_mode(
+      {"discovery", {{nn::zoo::googlenet()}, {nn::zoo::resnet18()}}});
+  EXPECT_TRUE(discovery.best_found());
+  cfg.add_mode({"tracking", {{nn::zoo::vgg19()}, {nn::zoo::resnet152()}}});
+
+  EXPECT_TRUE(cfg.has_mode("discovery"));
+  EXPECT_TRUE(cfg.has_mode("tracking"));
+  EXPECT_FALSE(cfg.has_mode("landing"));
+  EXPECT_EQ(cfg.mode_names().size(), 2u);
+
+  // Runtime toggling: schedules are valid for their problems.
+  for (const std::string& mode : cfg.mode_names()) {
+    const auto ev = core::evaluate(cfg.problem(mode), cfg.schedule(mode));
+    EXPECT_GT(ev.round_latency_ms, 0.0) << mode;
+  }
+}
+
+TEST_F(ToolsFixture, CfgScheduleAtLeastAsGoodAsNaive) {
+  core::CfgManager cfg(hax_);
+  cfg.add_mode({"m", {{nn::zoo::vgg19()}, {nn::zoo::resnet152()}}});
+  const TimeMs hax_lat = core::evaluate(cfg.problem("m"), cfg.schedule("m")).round_latency_ms;
+  const TimeMs base_lat =
+      core::evaluate(cfg.problem("m"), baselines::gpu_only(cfg.problem("m"))).round_latency_ms;
+  EXPECT_LE(hax_lat, base_lat * 1.05);
+}
+
+TEST_F(ToolsFixture, CfgRejectsMisuse) {
+  core::CfgManager cfg(hax_);
+  cfg.add_mode({"a", {{nn::zoo::alexnet()}}});
+  EXPECT_THROW(cfg.add_mode({"a", {{nn::zoo::alexnet()}}}), PreconditionError);
+  EXPECT_THROW(cfg.add_mode({"", {{nn::zoo::alexnet()}}}), PreconditionError);
+  EXPECT_THROW(cfg.add_mode({"b", {}}), PreconditionError);
+  EXPECT_THROW((void)cfg.problem("zzz"), PreconditionError);
+  EXPECT_THROW((void)cfg.schedule("zzz"), PreconditionError);
+}
+
+TEST_F(ToolsFixture, CfgSaveLoadRoundTrip) {
+  const std::string dir = testing::TempDir() + "/hax_cfg_test";
+  std::filesystem::create_directories(dir);
+
+  core::CfgManager cfg(hax_);
+  cfg.add_mode({"m1", {{nn::zoo::googlenet()}, {nn::zoo::resnet18()}}});
+  const sched::Schedule original = cfg.schedule("m1");
+  cfg.save_schedules(dir);
+  cfg.load_schedules(dir);
+  EXPECT_EQ(cfg.schedule("m1"), original);
+  EXPECT_FALSE(cfg.solution("m1").proven_optimal);  // external = no proof
+
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------------ gantt --
+
+TEST_F(ToolsFixture, GanttRendersAllBusyPus) {
+  auto inst = hax_.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet18()}});
+  const auto ev = core::evaluate(inst.problem(), baselines::naive_concurrent(inst.problem()),
+                                 {.record_trace = true});
+  const std::string g = sim::render_gantt(ev.sim.trace, plat_, {.width = 60});
+  EXPECT_NE(g.find("GPU"), std::string::npos);
+  EXPECT_NE(g.find("DLA"), std::string::npos);
+  EXPECT_NE(g.find('0'), std::string::npos);  // DNN 0 slices
+  EXPECT_NE(g.find('1'), std::string::npos);  // DNN 1 slices
+  EXPECT_NE(g.find("ms"), std::string::npos);  // time axis footer
+}
+
+TEST_F(ToolsFixture, GanttMarksTransitionsAndContention) {
+  auto inst = hax_.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  const auto sol = hax_.schedule(inst.problem());
+  ASSERT_GT(sol.schedule.total_transitions(), 0);
+  const auto ev = core::evaluate(inst.problem(), sol.schedule, {.record_trace = true});
+  const std::string g = sim::render_gantt(ev.sim.trace, plat_, {.width = 120});
+  EXPECT_NE(g.find('t'), std::string::npos);  // transition leg
+  EXPECT_NE(g.find('*'), std::string::npos);  // contended stretch
+  // Contention sub-rows can be disabled.
+  const std::string quiet =
+      sim::render_gantt(ev.sim.trace, plat_, {.width = 120, .show_contention = false});
+  EXPECT_EQ(quiet.find('*'), std::string::npos);
+}
+
+TEST(Gantt, RejectsBadInput) {
+  const sim::Trace empty;
+  const auto plat = soc::Platform::orin();
+  EXPECT_THROW((void)sim::render_gantt(empty, plat), PreconditionError);
+}
+
+// ---------------------------------------------------------------- explain --
+
+TEST_F(ToolsFixture, ExplainListsEveryGroup) {
+  auto inst = hax_.make_problem({{nn::zoo::googlenet()}, {nn::zoo::resnet18()}});
+  const auto sol = hax_.schedule(inst.problem());
+  const std::string text = sched::explain_schedule(inst.problem(), sol.schedule);
+  // Every group label appears.
+  for (int d = 0; d < inst.problem().dnn_count(); ++d) {
+    const auto& gn = *inst.problem().dnns[static_cast<std::size_t>(d)].net;
+    for (int g = 0; g < gn.group_count(); ++g) {
+      EXPECT_NE(text.find(gn.group(g).label), std::string::npos) << gn.group(g).label;
+    }
+  }
+  // The chosen assignment is bracketed and the prediction summarized.
+  EXPECT_NE(text.find('['), std::string::npos);
+  EXPECT_NE(text.find("prediction:"), std::string::npos);
+  EXPECT_NE(text.find("GoogleNet"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, ExplainShowsTransitionCosts) {
+  auto inst = hax_.make_problem({{nn::zoo::vgg19()}, {nn::zoo::resnet152()}});
+  const auto sol = hax_.schedule(inst.problem());
+  ASSERT_GT(sol.schedule.total_transitions(), 0);
+  const std::string text = sched::explain_schedule(inst.problem(), sol.schedule);
+  EXPECT_NE(text.find("->"), std::string::npos);  // a PU->PU transition row
+}
+
+TEST_F(ToolsFixture, ExplainValidatesShape) {
+  auto inst = hax_.make_problem({{nn::zoo::alexnet()}});
+  sched::Schedule wrong;
+  wrong.assignment = {{plat_.gpu()}, {plat_.gpu()}};
+  EXPECT_THROW((void)sched::explain_schedule(inst.problem(), wrong), PreconditionError);
+}
+
+// ----------------------------------------------- problem instance moves --
+
+TEST(ProblemInstanceMove, PointersReanchoredAfterMove) {
+  const auto plat = soc::Platform::xavier();
+  core::HaxConnOptions o;
+  o.grouping.max_groups = 5;
+  const core::HaxConn hax(plat, o);
+  // Force a move into heap storage (what CfgManager does).
+  auto holder = std::make_unique<sched::ProblemInstance>(
+      hax.make_problem({{nn::zoo::alexnet()}, {nn::zoo::resnet18()}}));
+  const sched::Problem& prob = holder->problem();
+  EXPECT_NO_THROW(prob.validate());
+  // The contention model pointer must target the moved-to instance: using
+  // it through the formulation would crash/corrupt otherwise.
+  const auto sol = hax.schedule(prob);
+  EXPECT_TRUE(sol.best_found());
+
+  // Move-assign as well.
+  sched::ProblemInstance other = hax.make_problem({{nn::zoo::googlenet()}});
+  other = std::move(*holder);
+  EXPECT_NO_THROW(other.problem().validate());
+  EXPECT_EQ(other.problem().dnn_count(), 2);
+}
+
+}  // namespace
