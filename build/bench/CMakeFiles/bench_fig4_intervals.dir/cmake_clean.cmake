@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_intervals.dir/bench_fig4_intervals.cpp.o"
+  "CMakeFiles/bench_fig4_intervals.dir/bench_fig4_intervals.cpp.o.d"
+  "bench_fig4_intervals"
+  "bench_fig4_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

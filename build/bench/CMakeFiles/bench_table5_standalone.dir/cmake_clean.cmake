@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_standalone.dir/bench_table5_standalone.cpp.o"
+  "CMakeFiles/bench_table5_standalone.dir/bench_table5_standalone.cpp.o.d"
+  "bench_table5_standalone"
+  "bench_table5_standalone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_exhaustive.dir/bench_table8_exhaustive.cpp.o"
+  "CMakeFiles/bench_table8_exhaustive.dir/bench_table8_exhaustive.cpp.o.d"
+  "bench_table8_exhaustive"
+  "bench_table8_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/hax_bench_util.dir/bench_util.cpp.o.d"
+  "libhax_bench_util.a"
+  "libhax_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_pipeline.dir/autonomous_pipeline.cpp.o"
+  "CMakeFiles/autonomous_pipeline.dir/autonomous_pipeline.cpp.o.d"
+  "autonomous_pipeline"
+  "autonomous_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

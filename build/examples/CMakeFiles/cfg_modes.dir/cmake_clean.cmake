@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_modes.dir/cfg_modes.cpp.o"
+  "CMakeFiles/cfg_modes.dir/cfg_modes.cpp.o.d"
+  "cfg_modes"
+  "cfg_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

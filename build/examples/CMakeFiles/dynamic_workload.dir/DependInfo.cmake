@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_workload.cpp" "examples/CMakeFiles/dynamic_workload.dir/dynamic_workload.cpp.o" "gcc" "examples/CMakeFiles/dynamic_workload.dir/dynamic_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hax_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hax_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hax_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/hax_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/contention/CMakeFiles/hax_contention.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hax_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/grouping/CMakeFiles/hax_grouping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hax_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/hax_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_pairs.dir/explore_pairs.cpp.o"
+  "CMakeFiles/explore_pairs.dir/explore_pairs.cpp.o.d"
+  "explore_pairs"
+  "explore_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

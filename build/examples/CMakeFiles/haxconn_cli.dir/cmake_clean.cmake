@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/haxconn_cli.dir/haxconn_cli.cpp.o"
+  "CMakeFiles/haxconn_cli.dir/haxconn_cli.cpp.o.d"
+  "haxconn_cli"
+  "haxconn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/haxconn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("soc")
+subdirs("nn")
+subdirs("grouping")
+subdirs("perf")
+subdirs("contention")
+subdirs("sim")
+subdirs("solver")
+subdirs("sched")
+subdirs("baselines")
+subdirs("core")
+subdirs("runtime")

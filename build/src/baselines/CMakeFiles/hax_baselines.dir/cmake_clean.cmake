@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/hax_baselines.dir/baselines.cpp.o.d"
+  "libhax_baselines.a"
+  "libhax_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

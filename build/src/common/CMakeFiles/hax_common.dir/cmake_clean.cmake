@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_common.dir/csv.cpp.o"
+  "CMakeFiles/hax_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hax_common.dir/json.cpp.o"
+  "CMakeFiles/hax_common.dir/json.cpp.o.d"
+  "CMakeFiles/hax_common.dir/logging.cpp.o"
+  "CMakeFiles/hax_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hax_common.dir/rng.cpp.o"
+  "CMakeFiles/hax_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hax_common.dir/stats.cpp.o"
+  "CMakeFiles/hax_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hax_common.dir/string_util.cpp.o"
+  "CMakeFiles/hax_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/hax_common.dir/table.cpp.o"
+  "CMakeFiles/hax_common.dir/table.cpp.o.d"
+  "libhax_common.a"
+  "libhax_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_contention.dir/pccs.cpp.o"
+  "CMakeFiles/hax_contention.dir/pccs.cpp.o.d"
+  "CMakeFiles/hax_contention.dir/piecewise.cpp.o"
+  "CMakeFiles/hax_contention.dir/piecewise.cpp.o.d"
+  "libhax_contention.a"
+  "libhax_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

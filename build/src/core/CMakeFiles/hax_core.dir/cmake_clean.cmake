@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_core.dir/cfg.cpp.o"
+  "CMakeFiles/hax_core.dir/cfg.cpp.o.d"
+  "CMakeFiles/hax_core.dir/dynamic.cpp.o"
+  "CMakeFiles/hax_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/hax_core.dir/energy.cpp.o"
+  "CMakeFiles/hax_core.dir/energy.cpp.o.d"
+  "CMakeFiles/hax_core.dir/evaluate.cpp.o"
+  "CMakeFiles/hax_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/hax_core.dir/haxconn.cpp.o"
+  "CMakeFiles/hax_core.dir/haxconn.cpp.o.d"
+  "CMakeFiles/hax_core.dir/scenarios.cpp.o"
+  "CMakeFiles/hax_core.dir/scenarios.cpp.o.d"
+  "libhax_core.a"
+  "libhax_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

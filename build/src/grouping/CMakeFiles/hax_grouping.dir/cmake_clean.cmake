@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_grouping.dir/grouping.cpp.o"
+  "CMakeFiles/hax_grouping.dir/grouping.cpp.o.d"
+  "libhax_grouping.a"
+  "libhax_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

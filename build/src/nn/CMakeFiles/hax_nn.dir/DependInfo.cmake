@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/builder.cpp" "src/nn/CMakeFiles/hax_nn.dir/builder.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/builder.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/hax_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/hax_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/summary.cpp" "src/nn/CMakeFiles/hax_nn.dir/summary.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/summary.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/hax_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/zoo.cpp.o.d"
+  "/root/repo/src/nn/zoo_classic.cpp" "src/nn/CMakeFiles/hax_nn.dir/zoo_classic.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/zoo_classic.cpp.o.d"
+  "/root/repo/src/nn/zoo_dense_mobile.cpp" "src/nn/CMakeFiles/hax_nn.dir/zoo_dense_mobile.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/zoo_dense_mobile.cpp.o.d"
+  "/root/repo/src/nn/zoo_googlenet.cpp" "src/nn/CMakeFiles/hax_nn.dir/zoo_googlenet.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/zoo_googlenet.cpp.o.d"
+  "/root/repo/src/nn/zoo_inception.cpp" "src/nn/CMakeFiles/hax_nn.dir/zoo_inception.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/zoo_inception.cpp.o.d"
+  "/root/repo/src/nn/zoo_resnet.cpp" "src/nn/CMakeFiles/hax_nn.dir/zoo_resnet.cpp.o" "gcc" "src/nn/CMakeFiles/hax_nn.dir/zoo_resnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hax_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/hax_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_nn.dir/builder.cpp.o"
+  "CMakeFiles/hax_nn.dir/builder.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/layer.cpp.o"
+  "CMakeFiles/hax_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/network.cpp.o"
+  "CMakeFiles/hax_nn.dir/network.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/summary.cpp.o"
+  "CMakeFiles/hax_nn.dir/summary.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/zoo.cpp.o"
+  "CMakeFiles/hax_nn.dir/zoo.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/zoo_classic.cpp.o"
+  "CMakeFiles/hax_nn.dir/zoo_classic.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/zoo_dense_mobile.cpp.o"
+  "CMakeFiles/hax_nn.dir/zoo_dense_mobile.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/zoo_googlenet.cpp.o"
+  "CMakeFiles/hax_nn.dir/zoo_googlenet.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/zoo_inception.cpp.o"
+  "CMakeFiles/hax_nn.dir/zoo_inception.cpp.o.d"
+  "CMakeFiles/hax_nn.dir/zoo_resnet.cpp.o"
+  "CMakeFiles/hax_nn.dir/zoo_resnet.cpp.o.d"
+  "libhax_nn.a"
+  "libhax_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

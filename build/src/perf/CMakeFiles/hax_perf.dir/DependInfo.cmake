@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/cost_model.cpp" "src/perf/CMakeFiles/hax_perf.dir/cost_model.cpp.o" "gcc" "src/perf/CMakeFiles/hax_perf.dir/cost_model.cpp.o.d"
+  "/root/repo/src/perf/emc_estimator.cpp" "src/perf/CMakeFiles/hax_perf.dir/emc_estimator.cpp.o" "gcc" "src/perf/CMakeFiles/hax_perf.dir/emc_estimator.cpp.o.d"
+  "/root/repo/src/perf/profiler.cpp" "src/perf/CMakeFiles/hax_perf.dir/profiler.cpp.o" "gcc" "src/perf/CMakeFiles/hax_perf.dir/profiler.cpp.o.d"
+  "/root/repo/src/perf/transition.cpp" "src/perf/CMakeFiles/hax_perf.dir/transition.cpp.o" "gcc" "src/perf/CMakeFiles/hax_perf.dir/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hax_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/hax_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/grouping/CMakeFiles/hax_grouping.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/hax_perf.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hax_perf.dir/emc_estimator.cpp.o"
+  "CMakeFiles/hax_perf.dir/emc_estimator.cpp.o.d"
+  "CMakeFiles/hax_perf.dir/profiler.cpp.o"
+  "CMakeFiles/hax_perf.dir/profiler.cpp.o.d"
+  "CMakeFiles/hax_perf.dir/transition.cpp.o"
+  "CMakeFiles/hax_perf.dir/transition.cpp.o.d"
+  "libhax_perf.a"
+  "libhax_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_runtime.dir/executor.cpp.o"
+  "CMakeFiles/hax_runtime.dir/executor.cpp.o.d"
+  "libhax_runtime.a"
+  "libhax_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

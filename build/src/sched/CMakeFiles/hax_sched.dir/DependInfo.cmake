@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/explain.cpp" "src/sched/CMakeFiles/hax_sched.dir/explain.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/explain.cpp.o.d"
+  "/root/repo/src/sched/formulation.cpp" "src/sched/CMakeFiles/hax_sched.dir/formulation.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/formulation.cpp.o.d"
+  "/root/repo/src/sched/problem.cpp" "src/sched/CMakeFiles/hax_sched.dir/problem.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/problem.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/hax_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/search_space.cpp" "src/sched/CMakeFiles/hax_sched.dir/search_space.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/search_space.cpp.o.d"
+  "/root/repo/src/sched/serialize.cpp" "src/sched/CMakeFiles/hax_sched.dir/serialize.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/serialize.cpp.o.d"
+  "/root/repo/src/sched/solve.cpp" "src/sched/CMakeFiles/hax_sched.dir/solve.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/solve.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/hax_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/hax_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/hax_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/contention/CMakeFiles/hax_contention.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hax_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/grouping/CMakeFiles/hax_grouping.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/hax_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hax_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hax_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

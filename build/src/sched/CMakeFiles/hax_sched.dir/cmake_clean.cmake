@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_sched.dir/explain.cpp.o"
+  "CMakeFiles/hax_sched.dir/explain.cpp.o.d"
+  "CMakeFiles/hax_sched.dir/formulation.cpp.o"
+  "CMakeFiles/hax_sched.dir/formulation.cpp.o.d"
+  "CMakeFiles/hax_sched.dir/problem.cpp.o"
+  "CMakeFiles/hax_sched.dir/problem.cpp.o.d"
+  "CMakeFiles/hax_sched.dir/schedule.cpp.o"
+  "CMakeFiles/hax_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/hax_sched.dir/search_space.cpp.o"
+  "CMakeFiles/hax_sched.dir/search_space.cpp.o.d"
+  "CMakeFiles/hax_sched.dir/serialize.cpp.o"
+  "CMakeFiles/hax_sched.dir/serialize.cpp.o.d"
+  "CMakeFiles/hax_sched.dir/solve.cpp.o"
+  "CMakeFiles/hax_sched.dir/solve.cpp.o.d"
+  "CMakeFiles/hax_sched.dir/validate.cpp.o"
+  "CMakeFiles/hax_sched.dir/validate.cpp.o.d"
+  "libhax_sched.a"
+  "libhax_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/hax_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/hax_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/hax_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/hax_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/intervals.cpp" "src/sim/CMakeFiles/hax_sim.dir/intervals.cpp.o" "gcc" "src/sim/CMakeFiles/hax_sim.dir/intervals.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/hax_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/hax_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/hax_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/hax_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/hax_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/grouping/CMakeFiles/hax_grouping.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/hax_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hax_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hax_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_sim.dir/engine.cpp.o"
+  "CMakeFiles/hax_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hax_sim.dir/gantt.cpp.o"
+  "CMakeFiles/hax_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/hax_sim.dir/intervals.cpp.o"
+  "CMakeFiles/hax_sim.dir/intervals.cpp.o.d"
+  "CMakeFiles/hax_sim.dir/trace.cpp.o"
+  "CMakeFiles/hax_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/hax_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/hax_sim.dir/trace_export.cpp.o.d"
+  "libhax_sim.a"
+  "libhax_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_soc.dir/memory_system.cpp.o"
+  "CMakeFiles/hax_soc.dir/memory_system.cpp.o.d"
+  "CMakeFiles/hax_soc.dir/platform.cpp.o"
+  "CMakeFiles/hax_soc.dir/platform.cpp.o.d"
+  "CMakeFiles/hax_soc.dir/processing_unit.cpp.o"
+  "CMakeFiles/hax_soc.dir/processing_unit.cpp.o.d"
+  "libhax_soc.a"
+  "libhax_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/bnb.cpp" "src/solver/CMakeFiles/hax_solver.dir/bnb.cpp.o" "gcc" "src/solver/CMakeFiles/hax_solver.dir/bnb.cpp.o.d"
+  "/root/repo/src/solver/genetic.cpp" "src/solver/CMakeFiles/hax_solver.dir/genetic.cpp.o" "gcc" "src/solver/CMakeFiles/hax_solver.dir/genetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hax_solver.dir/bnb.cpp.o"
+  "CMakeFiles/hax_solver.dir/bnb.cpp.o.d"
+  "CMakeFiles/hax_solver.dir/genetic.cpp.o"
+  "CMakeFiles/hax_solver.dir/genetic.cpp.o.d"
+  "libhax_solver.a"
+  "libhax_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hax_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

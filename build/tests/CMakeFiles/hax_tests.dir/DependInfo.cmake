@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/hax_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/hax_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_contention.cpp" "tests/CMakeFiles/hax_tests.dir/test_contention.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_contention.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/hax_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/hax_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_genetic.cpp" "tests/CMakeFiles/hax_tests.dir/test_genetic.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_genetic.cpp.o.d"
+  "/root/repo/tests/test_grouping.cpp" "tests/CMakeFiles/hax_tests.dir/test_grouping.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_grouping.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hax_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/hax_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/hax_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_perf.cpp" "tests/CMakeFiles/hax_tests.dir/test_perf.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_perf.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hax_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reporting.cpp" "tests/CMakeFiles/hax_tests.dir/test_reporting.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_reporting.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/hax_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/hax_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_sched.cpp" "tests/CMakeFiles/hax_tests.dir/test_sched.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_sched.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hax_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_soc.cpp" "tests/CMakeFiles/hax_tests.dir/test_soc.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_soc.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/hax_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/hax_tests.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/hax_tests.dir/test_tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hax_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hax_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hax_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/hax_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hax_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/contention/CMakeFiles/hax_contention.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/hax_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/grouping/CMakeFiles/hax_grouping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hax_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/hax_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hax_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
