@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/error.h"
+
 namespace hax {
 namespace {
 
@@ -42,7 +44,10 @@ double Rng::uniform() noexcept {
 
 double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
 
-std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // n == 0 would divide by zero below (UINT64_MAX / n) — there is no
+  // uniform draw from an empty range, so reject it at the API boundary.
+  HAX_REQUIRE(n > 0, "uniform_index requires a non-empty range");
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = n * (UINT64_MAX / n);
   std::uint64_t x = next();

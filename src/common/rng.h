@@ -23,8 +23,8 @@ class Rng {
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) noexcept;
 
-  /// Uniform integer in [0, n). Requires n > 0.
-  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Uniform integer in [0, n). Throws PreconditionError when n == 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
 
   /// Standard normal via Box-Muller.
   [[nodiscard]] double normal() noexcept;

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file thread_pool.h
+/// Minimal fixed-size worker pool for host-side parallelism: solver
+/// subtree search, per-generation fitness evaluation, and any future
+/// embarrassingly parallel sweep. Tasks are plain std::function<void()>
+/// values consumed FIFO by a fixed set of workers; `parallel_for` layers a
+/// dynamically scheduled index loop on top (work items are claimed with an
+/// atomic counter, so unevenly sized iterations balance automatically).
+///
+/// The pool is intentionally dumb — no futures, no priorities, no work
+/// stealing — because every current use is "fan out N independent chunks,
+/// wait for all of them". Exceptions thrown by a parallel_for body are
+/// captured and rethrown on the calling thread (first one wins).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hax {
+
+/// Resolves a user-facing `threads` knob: values >= 1 are taken literally,
+/// 0 or negative mean "one worker per hardware thread" (at least 1).
+[[nodiscard]] int resolve_thread_count(int requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (resolved via resolve_thread_count).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues a task. Tasks must not throw (use parallel_for for bodies
+  /// that may throw).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;  ///< signals workers: work or shutdown
+  std::condition_variable idle_cv_;  ///< signals wait_idle: fully drained
+  std::size_t in_flight_ = 0;        ///< tasks currently executing
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for every i in [0, count) across the pool and blocks until
+/// all iterations finish. Iterations are claimed dynamically, so long and
+/// short items mix freely. If any iteration throws, the first captured
+/// exception is rethrown here after the loop drains.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace hax

@@ -12,6 +12,7 @@ HaxConn::HaxConn(const soc::Platform& platform, HaxConnOptions options)
     : platform_(&platform), options_(std::move(options)) {
   HAX_REQUIRE(options_.max_transitions >= 0, "max_transitions must be >= 0");
   HAX_REQUIRE(options_.epsilon_fraction > 0.0, "epsilon_fraction must be positive");
+  HAX_REQUIRE(options_.solver_threads >= 0, "solver_threads must be >= 0");
 }
 
 sched::ProblemInstance HaxConn::make_problem(std::vector<WorkloadDnn> dnns) const {
@@ -38,6 +39,8 @@ sched::ScheduleSolution HaxConn::schedule(const sched::Problem& problem,
                                           const sched::ScheduleCallback& on_incumbent) const {
   sched::SolveScheduleOptions solve_options;
   solve_options.time_budget_ms = options_.time_budget_ms;
+  solve_options.threads = options_.solver_threads;
+  solve_options.portfolio = options_.solver_portfolio;
   sched::ScheduleSolution solution =
       sched::solve_schedule(problem, solve_options, on_incumbent);
 

@@ -37,6 +37,17 @@ struct HaxConnOptions {
   /// Wall-clock budget for the solver; 0 = run to proven optimality.
   TimeMs time_budget_ms = 0.0;
 
+  /// Worker threads handed to the schedule solver: 1 = the serial engine
+  /// (default, reproduces the historical behavior exactly), 0 = one per
+  /// hardware thread, n = exactly n. See solver::SolveOptions::threads.
+  int solver_threads = 1;
+
+  /// Race the exact B&B against the genetic heuristic inside
+  /// solve_schedule (solver::PortfolioSolver): the GA's early incumbents
+  /// tighten B&B pruning, and the B&B cancels the GA once it proves
+  /// optimality. Best for large spaces under a time budget.
+  bool solver_portfolio = false;
+
   /// Compare the solver's best ε-compliant schedule against the naive
   /// baselines and return whichever predicts better, guaranteeing the
   /// result is never worse than naive execution (Sec 5.2, Scenario 3).

@@ -19,6 +19,11 @@ ScheduleSpace::ScheduleSpace(const Problem& problem)
 
   for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
     const DnnSpec& spec = prob_->dnns[d];
+    // Materialize Network's lazy consumers cache now, while we are still
+    // single-threaded: evaluate() must stay const-thread-safe, and a lazy
+    // cache filling under concurrent workers would be a data race waiting
+    // for a future caller.
+    (void)spec.net->network().consumers();
     const int groups = spec.net->group_count();
     dnn_offset_.push_back(var_count_);
     var_count_ += groups;

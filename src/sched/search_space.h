@@ -6,6 +6,12 @@
 /// per (DNN, layer group), DNN-major — and values index into the
 /// problem's PU set. Branching enforces Eq. 3's transition budget and
 /// group/PU support; complete assignments are scored by the Formulation.
+///
+/// Thread-safety: candidates() / lower_bound() / evaluate() are
+/// const-thread-safe (the parallel solvers call them from many workers).
+/// All scratch is per-call; the constructor eagerly materializes every
+/// lazy cache reachable from the evaluate path (Network::consumers) so no
+/// hidden mutation happens after construction.
 
 #include <utility>
 #include <vector>

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "solver/portfolio.h"
 
 namespace hax::sched {
 
@@ -14,6 +15,8 @@ ScheduleSolution solve_schedule(const Problem& problem, const SolveScheduleOptio
   solver_options.time_budget_ms = options.time_budget_ms;
   solver_options.node_limit = options.node_limit;
   solver_options.max_nodes_per_ms = options.max_nodes_per_ms;
+  solver_options.threads = options.threads;
+  solver_options.stop = options.stop;
   for (const Schedule& seed : options.seeds) {
     solver_options.seeds.push_back(space.to_flat(seed));
   }
@@ -26,8 +29,16 @@ ScheduleSolution solve_schedule(const Problem& problem, const SolveScheduleOptio
     };
   }
 
-  const solver::BranchAndBound bnb;
-  const solver::SolveResult result = bnb.solve(space, solver_options, cb);
+  solver::SolveResult result;
+  if (options.portfolio) {
+    solver::PortfolioOptions portfolio_options;
+    portfolio_options.bnb = solver_options;
+    portfolio_options.genetic = options.genetic;
+    portfolio_options.threads = options.threads;
+    result = solver::PortfolioSolver().solve(space, portfolio_options, cb).best;
+  } else {
+    result = solver::BranchAndBound().solve(space, solver_options, cb);
+  }
 
   ScheduleSolution solution;
   solution.stats = result.stats;

@@ -14,6 +14,7 @@
 #include "sched/schedule.h"
 #include "sched/search_space.h"
 #include "solver/bnb.h"
+#include "solver/genetic.h"
 
 namespace hax::sched {
 
@@ -23,6 +24,23 @@ struct SolveScheduleOptions {
   /// Emulated solver speed (0 = unthrottled); see solver::SolveOptions.
   double max_nodes_per_ms = 0.0;
   std::vector<Schedule> seeds;   ///< evaluated before the search begins
+
+  /// Solver worker threads: 1 = the serial engine (default), 0 = one per
+  /// hardware thread, n = exactly n. See solver::SolveOptions::threads.
+  int threads = 1;
+
+  /// Race the exact B&B against the genetic heuristic (PortfolioSolver):
+  /// GA incumbents tighten B&B pruning; B&B completion cancels the GA.
+  /// The returned schedule is still proven optimal whenever the exact
+  /// half exhausted the space.
+  bool portfolio = false;
+
+  /// GA half of the portfolio (ignored unless `portfolio`). Its
+  /// stop/shared_bound fields are managed by the portfolio.
+  solver::GeneticOptions genetic;
+
+  /// Optional cooperative cancellation from outside the solver.
+  const solver::StopToken* stop = nullptr;
 };
 
 struct ScheduleSolution {

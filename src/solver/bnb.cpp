@@ -1,9 +1,12 @@
 #include "solver/bnb.h"
 
+#include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace hax::solver {
 namespace {
@@ -19,110 +22,262 @@ struct Frame {
   std::size_t next = 0;     ///< next candidate to try
 };
 
+/// Incumbent + budgets shared by every worker of one solve() call. The
+/// best objective is mirrored in an atomic so the hot pruning check never
+/// takes the mutex; the mutex serializes incumbent storage and callback
+/// invocation (keeping callbacks strictly improving across threads).
+struct SharedSearch {
+  const SolveOptions* options = nullptr;
+  Clock::time_point start;
+
+  std::atomic<double> best{std::numeric_limits<double>::infinity()};
+  std::mutex mutex;  ///< guards incumbent, incumbents_found, callback
+  std::optional<Incumbent> incumbent;
+  int incumbents_found = 0;
+
+  std::atomic<std::uint64_t> nodes{0};  ///< global count, enforces node_limit
+  std::atomic<bool> abort{false};       ///< callback returned false / stop token
+  std::atomic<bool> out_of_budget{false};
+
+  /// Current pruning bound: own best tightened by the cross-solver bound.
+  [[nodiscard]] double bound() const noexcept {
+    double b = best.load(std::memory_order_relaxed);
+    if (options->shared_bound != nullptr) {
+      b = std::min(b, options->shared_bound->load());
+    }
+    return b;
+  }
+
+  /// Records a complete assignment. Returns false when the search must
+  /// abort (user callback vetoed).
+  bool offer(std::span<const int> assignment, double objective,
+             const IncumbentCallback& on_incumbent) {
+    if (objective >= bound()) return true;  // cheap lock-free reject
+    std::lock_guard<std::mutex> lock(mutex);
+    double current = best.load(std::memory_order_relaxed);
+    if (options->shared_bound != nullptr) {
+      current = std::min(current, options->shared_bound->load());
+    }
+    if (objective >= current) return true;  // lost the race to a better one
+    best.store(objective, std::memory_order_relaxed);
+    if (options->shared_bound != nullptr) options->shared_bound->tighten(objective);
+    Incumbent inc;
+    inc.assignment.assign(assignment.begin(), assignment.end());
+    inc.objective = objective;
+    inc.found_at_ms = since_ms(start);
+    ++incumbents_found;
+    incumbent = std::move(inc);
+    if (on_incumbent && !on_incumbent(*incumbent)) {
+      abort.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Reserves one node id against node_limit. Returns false (and restores
+  /// the count, keeping nodes_explored <= node_limit exact) when the
+  /// budget is spent.
+  bool reserve_node() noexcept {
+    const std::uint64_t id = nodes.fetch_add(1, std::memory_order_relaxed);
+    if (options->node_limit > 0 && id >= options->node_limit) {
+      nodes.fetch_sub(1, std::memory_order_relaxed);
+      out_of_budget.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool stopped() const noexcept {
+    return abort.load(std::memory_order_relaxed) ||
+           out_of_budget.load(std::memory_order_relaxed) ||
+           (options->stop != nullptr && options->stop->stop_requested());
+  }
+};
+
+/// Periodic (every-64-local-nodes) wall-clock budget check and pacing.
+/// Returns true when the time budget is exhausted.
+bool check_clock_and_pace(SharedSearch& shared, std::uint64_t local_nodes) {
+  if ((local_nodes & 0x3F) != 0) return false;
+  const SolveOptions& options = *shared.options;
+  if (options.time_budget_ms > 0.0 && since_ms(shared.start) > options.time_budget_ms) {
+    shared.out_of_budget.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  if (options.max_nodes_per_ms > 0.0) {
+    // Throttle on the *global* node count so the aggregate rate matches
+    // the knob regardless of worker count (emulated-Z3 semantics).
+    const TimeMs due = static_cast<double>(shared.nodes.load(std::memory_order_relaxed)) /
+                       options.max_nodes_per_ms;
+    const TimeMs elapsed = since_ms(shared.start);
+    if (due > elapsed) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(due - elapsed));
+    }
+  }
+  return false;
+}
+
+/// Iterative DFS over the subtree rooted at `prefix` (already counted by
+/// the caller). Accumulates into `local`; incumbents and budgets go
+/// through `shared`.
+void dfs_subtree(const SearchSpace& space, int n, std::vector<int> prefix,
+                 SharedSearch& shared, const IncumbentCallback& on_incumbent,
+                 SolveStats& local) {
+  // Check the clock on entry too: under strong bounds a subtree can be
+  // tiny, and per-node checks alone (every 64) would let many small work
+  // items run without ever looking at the budget.
+  if (check_clock_and_pace(shared, 0)) return;
+  std::vector<Frame> stack;
+  stack.reserve(static_cast<std::size_t>(n) - prefix.size());
+  stack.emplace_back();
+  space.candidates(prefix, stack.back().values);
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.values.size()) {
+      stack.pop_back();
+      if (stack.empty()) break;  // subtree done; leave the root prefix alone
+      prefix.pop_back();
+      continue;
+    }
+    if (shared.stopped()) return;
+    if (!shared.reserve_node()) return;
+    const int value = frame.values[frame.next++];
+    prefix.push_back(value);
+    ++local.nodes_explored;
+    if (check_clock_and_pace(shared, local.nodes_explored)) return;
+
+    if (static_cast<int>(prefix.size()) == n) {
+      ++local.leaves_evaluated;
+      const double obj = space.evaluate(prefix);
+      if (!shared.offer(prefix, obj, on_incumbent)) return;
+      prefix.pop_back();
+      continue;
+    }
+    if (space.lower_bound(prefix) >= shared.bound()) {
+      ++local.nodes_pruned;
+      prefix.pop_back();
+      continue;
+    }
+    stack.emplace_back();
+    space.candidates(prefix, stack.back().values);
+  }
+}
+
+/// Expands the root of the search tree into subtree work items: BFS over
+/// the first assignment levels until at least `target` items exist (so
+/// dynamic claiming can balance uneven subtrees). Leaves met on the way
+/// are evaluated immediately; obviously-pruned children are dropped.
+/// Items come back sorted by lower bound, most promising first — workers
+/// then tend to find strong incumbents early, tightening the shared
+/// bound for everyone else.
+std::vector<std::vector<int>> build_frontier(const SearchSpace& space, int n,
+                                             std::size_t target, SharedSearch& shared,
+                                             const IncumbentCallback& on_incumbent,
+                                             SolveStats& local) {
+  std::vector<std::vector<int>> level;
+  level.emplace_back();  // the empty prefix (the DFS root, never counted)
+  std::vector<int> values;
+
+  // Never expand the last level: items must be strict prefixes so the
+  // subtree DFS has something to do.
+  for (int depth = 0; depth < n - 1 && !level.empty(); ++depth) {
+    if (level.size() >= target) break;
+    std::vector<std::vector<int>> next_level;
+    for (std::vector<int>& prefix : level) {
+      space.candidates(prefix, values);
+      for (int value : values) {
+        if (shared.stopped()) return {};
+        if (!shared.reserve_node()) return {};
+        ++local.nodes_explored;
+        std::vector<int> child = prefix;
+        child.push_back(value);
+        if (static_cast<int>(child.size()) == n) {
+          ++local.leaves_evaluated;
+          const double obj = space.evaluate(child);
+          if (!shared.offer(child, obj, on_incumbent)) return {};
+          continue;
+        }
+        if (space.lower_bound(child) >= shared.bound()) {
+          ++local.nodes_pruned;
+          continue;
+        }
+        next_level.push_back(std::move(child));
+      }
+    }
+    level = std::move(next_level);
+  }
+
+  std::vector<double> bounds(level.size());
+  for (std::size_t i = 0; i < level.size(); ++i) bounds[i] = space.lower_bound(level[i]);
+  std::vector<std::size_t> order(level.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return bounds[a] < bounds[b]; });
+  std::vector<std::vector<int>> sorted;
+  sorted.reserve(level.size());
+  for (std::size_t i : order) sorted.push_back(std::move(level[i]));
+  return sorted;
+}
+
 }  // namespace
 
 SolveResult BranchAndBound::solve(const SearchSpace& space, const SolveOptions& options,
                                   const IncumbentCallback& on_incumbent) const {
   const int n = space.variable_count();
   HAX_REQUIRE(n > 0, "search space has no variables");
-  const auto start = Clock::now();
+  const int threads = resolve_thread_count(options.threads);
+
+  SharedSearch shared;
+  shared.options = &options;
+  shared.start = Clock::now();
 
   SolveResult result;
-  double best_objective = std::numeric_limits<double>::infinity();
-
-  const auto accept = [&](std::span<const int> assignment, double objective) -> bool {
-    if (objective >= best_objective) return true;
-    best_objective = objective;
-    Incumbent inc;
-    inc.assignment.assign(assignment.begin(), assignment.end());
-    inc.objective = objective;
-    inc.found_at_ms = since_ms(start);
-    ++result.stats.incumbents_found;
-    result.best = inc;
-    if (on_incumbent && !on_incumbent(*result.best)) return false;
-    return true;
-  };
 
   // Seed incumbents first: the search can then never end below them.
+  // (Evaluated serially — callbacks must improve monotonically.)
+  bool seed_abort = false;
   for (const std::vector<int>& seed : options.seeds) {
     HAX_REQUIRE(static_cast<int>(seed.size()) == n, "seed has wrong length");
     ++result.stats.leaves_evaluated;
     const double obj = space.evaluate(seed);
-    if (!accept(seed, obj)) {
-      result.stats.elapsed_ms = since_ms(start);
-      return result;
-    }
-  }
-
-  // Iterative DFS so deep spaces cannot overflow the stack.
-  std::vector<int> prefix;
-  prefix.reserve(static_cast<std::size_t>(n));
-  std::vector<Frame> stack;
-  stack.reserve(static_cast<std::size_t>(n));
-
-  stack.emplace_back();
-  space.candidates(prefix, stack.back().values);
-  bool aborted = false;
-
-  const auto out_of_budget = [&] {
-    if (options.node_limit > 0 && result.stats.nodes_explored >= options.node_limit) return true;
-    if (options.time_budget_ms > 0.0 && (result.stats.nodes_explored & 0x3F) == 0 &&
-        since_ms(start) > options.time_budget_ms) {
-      return true;
-    }
-    return false;
-  };
-
-  const auto pace = [&] {
-    if (options.max_nodes_per_ms <= 0.0 || (result.stats.nodes_explored & 0x3F) != 0) return;
-    const TimeMs due =
-        static_cast<double>(result.stats.nodes_explored) / options.max_nodes_per_ms;
-    const TimeMs elapsed = since_ms(start);
-    if (due > elapsed) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(due - elapsed));
-    }
-  };
-
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    if (frame.next >= frame.values.size()) {
-      stack.pop_back();
-      if (!prefix.empty()) prefix.pop_back();
-      continue;
-    }
-    if (out_of_budget()) {
-      aborted = true;
+    if (!shared.offer(seed, obj, on_incumbent)) {
+      seed_abort = true;
       break;
     }
-
-    const int value = frame.values[frame.next++];
-    prefix.push_back(value);
-    ++result.stats.nodes_explored;
-    pace();
-
-    if (static_cast<int>(prefix.size()) == n) {
-      ++result.stats.leaves_evaluated;
-      const double obj = space.evaluate(prefix);
-      if (!accept(prefix, obj)) {
-        aborted = true;
-        break;
-      }
-      prefix.pop_back();
-      continue;
-    }
-
-    if (space.lower_bound(prefix) >= best_objective) {
-      ++result.stats.nodes_pruned;
-      prefix.pop_back();
-      continue;
-    }
-
-    stack.emplace_back();
-    space.candidates(prefix, stack.back().values);
   }
 
-  result.stats.elapsed_ms = since_ms(start);
-  result.stats.exhausted = !aborted && stack.empty();
+  if (!seed_abort && !shared.stopped()) {
+    if (threads <= 1) {
+      dfs_subtree(space, n, {}, shared, on_incumbent, result.stats);
+    } else {
+      const std::size_t target =
+          std::max<std::size_t>(4 * static_cast<std::size_t>(threads), 16);
+      std::vector<std::vector<int>> frontier =
+          build_frontier(space, n, target, shared, on_incumbent, result.stats);
+      if (!frontier.empty()) {
+        ThreadPool pool(threads);
+        std::vector<SolveStats> worker_stats(frontier.size());
+        parallel_for(pool, frontier.size(), [&](std::size_t i) {
+          if (shared.stopped()) return;
+          dfs_subtree(space, n, std::move(frontier[i]), shared, on_incumbent,
+                      worker_stats[i]);
+        });
+        for (const SolveStats& ws : worker_stats) {
+          result.stats.nodes_explored += ws.nodes_explored;
+          result.stats.nodes_pruned += ws.nodes_pruned;
+          result.stats.leaves_evaluated += ws.leaves_evaluated;
+        }
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    result.best = shared.incumbent;
+    result.stats.incumbents_found = shared.incumbents_found;
+  }
+  result.stats.elapsed_ms = since_ms(shared.start);
+  result.stats.exhausted = !seed_abort && !shared.stopped();
   return result;
 }
 

@@ -14,6 +14,7 @@
 /// of any completion of the prefix); `evaluate` scores a complete
 /// assignment (+inf = infeasible). Objectives are minimized.
 
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -24,6 +25,11 @@
 
 namespace hax::solver {
 
+/// Search spaces must be const-thread-safe: the multi-threaded solvers
+/// call candidates() / lower_bound() / evaluate() concurrently from many
+/// workers on the same instance. Implementations must keep all scratch
+/// per-call (stack-local) — no mutable members, no lazy caches populated
+/// after construction.
 class SearchSpace {
  public:
   virtual ~SearchSpace() = default;
@@ -41,13 +47,79 @@ class SearchSpace {
   [[nodiscard]] virtual double evaluate(std::span<const int> assignment) const = 0;
 };
 
+/// Cooperative cancellation flag shared between solver threads (and, in
+/// the portfolio, between whole solvers). Requesting a stop is sticky.
+/// A token may chain to a parent (the portfolio links its internal token
+/// to the caller's), in which case the parent's stop is inherited.
+class StopToken {
+ public:
+  StopToken() = default;
+  explicit StopToken(const StopToken* parent) noexcept : parent_(parent) {}
+
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->stop_requested());
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  const StopToken* parent_ = nullptr;
+};
+
+/// Monotonically tightening best-objective bound shared across solver
+/// engines: the portfolio feeds GA incumbents into B&B pruning through
+/// one of these. Lock-free CAS-min; reads are safe from any thread.
+class SharedBound {
+ public:
+  [[nodiscard]] double load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Lowers the bound to `objective` if it improves it; returns whether
+  /// this call tightened the bound.
+  bool tighten(double objective) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (objective < current) {
+      if (value_.compare_exchange_weak(current, objective, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<double> value_{std::numeric_limits<double>::infinity()};
+};
+
 struct SolveOptions {
   /// Wall-clock budget; 0 or negative = unbounded. The solver checks the
   /// clock periodically, so overruns are bounded by one node expansion.
   TimeMs time_budget_ms = 0.0;
 
-  /// Hard cap on explored nodes; 0 = unbounded.
+  /// Hard cap on explored nodes; 0 = unbounded. Honored exactly even in
+  /// the multi-threaded search (workers reserve node ids atomically).
   std::uint64_t node_limit = 0;
+
+  /// Worker threads for the subtree-parallel search: 1 = the serial
+  /// engine (default, bit-for-bit identical to the historical solver),
+  /// 0 = one worker per hardware thread, n = exactly n workers. The root
+  /// frontier (first one or two assignment levels) is partitioned into
+  /// subtree work items consumed by the pool; the incumbent is shared, so
+  /// pruning tightens globally. The proven optimum is thread-count
+  /// independent; node/prune counts are not (pruning races the search).
+  int threads = 1;
+
+  /// Optional cooperative cancellation (e.g. the portfolio race). Checked
+  /// at the same cadence as the time budget; a stopped search returns its
+  /// best-so-far with exhausted == false.
+  const StopToken* stop = nullptr;
+
+  /// Optional cross-solver incumbent bound. Pruning uses
+  /// min(own best, shared bound); every new incumbent tightens it. The
+  /// solver never *reports* an incumbent that does not beat the shared
+  /// bound (the other engine already has something at least as good).
+  SharedBound* shared_bound = nullptr;
 
   /// Throttle to at most this many nodes per wall millisecond
   /// (0 = unthrottled). Used to emulate slower optimizers — e.g. Z3 on a
@@ -88,7 +160,13 @@ using IncumbentCallback = std::function<bool(const Incumbent&)>;
 class BranchAndBound {
  public:
   /// Depth-first B&B with best-first value ordering supplied by the space.
-  /// Deterministic for a fixed space and options (modulo the time budget).
+  /// With options.threads == 1 (default) the search is deterministic for
+  /// a fixed space and options (modulo the time budget). With more
+  /// workers the root frontier is partitioned into subtrees searched
+  /// concurrently against a shared incumbent: the optimum found at
+  /// exhaustion is identical, but node counts vary run-to-run because
+  /// pruning depends on incumbent timing. Incumbent callbacks are
+  /// serialized and strictly improving in all modes.
   [[nodiscard]] SolveResult solve(const SearchSpace& space, const SolveOptions& options = {},
                                   const IncumbentCallback& on_incumbent = {}) const;
 };

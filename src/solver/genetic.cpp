@@ -1,9 +1,11 @@
 #include "solver/genetic.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace hax::solver {
 namespace {
@@ -19,6 +21,50 @@ struct Individual {
   double fitness = std::numeric_limits<double>::infinity();  // objective, minimized
 };
 
+/// Per-individual attempts at producing a repairable child before falling
+/// back to cloning an elite. Bounds a generation's repair work to
+/// kMaxRepairAttempts * population even on spaces where repair keeps
+/// dead-ending (the unbounded retry loop used to spin forever there).
+constexpr int kMaxRepairAttempts = 100;
+
+/// Deterministic per-(generation, slot) stream seed: every individual's
+/// randomness is a pure function of (options.seed, generation, slot), so
+/// results do not depend on thread scheduling at all.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t generation,
+                          std::uint64_t slot) noexcept {
+  std::uint64_t x = seed;
+  x ^= (generation + 1) * 0x9E3779B97F4A7C15ull;
+  x ^= (x >> 29);
+  x ^= (slot + 1) * 0xBF58476D1CE4E5B9ull;
+  x ^= (x >> 32);
+  return x;
+}
+
+/// Left-to-right repair: every gene must be a member of candidates(prefix)
+/// so structural constraints (support, transition budget) always hold.
+/// Genes outside the feasible set are resampled uniformly. Returns false
+/// when a prefix dead-ends (no candidates).
+bool repair(const SearchSpace& space, int n, std::vector<int>& genes, Rng& rng,
+            std::vector<int>& scratch) {
+  std::vector<int> prefix;
+  prefix.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    space.candidates(prefix, scratch);
+    if (scratch.empty()) return false;  // dead end: invalid individual
+    int gene = v < static_cast<int>(genes.size()) ? genes[static_cast<std::size_t>(v)] : -1;
+    if (std::find(scratch.begin(), scratch.end(), gene) == scratch.end()) {
+      gene = scratch[rng.uniform_index(scratch.size())];
+    }
+    if (v < static_cast<int>(genes.size())) {
+      genes[static_cast<std::size_t>(v)] = gene;
+    } else {
+      genes.push_back(gene);
+    }
+    prefix.push_back(gene);
+  }
+  return true;
+}
+
 }  // namespace
 
 SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions& options,
@@ -33,44 +79,28 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
   HAX_REQUIRE(n > 0, "search space has no variables");
 
   const auto start = Clock::now();
-  Rng rng(options.seed);
   SolveResult result;
   double best_objective = std::numeric_limits<double>::infinity();
+  std::atomic<std::uint64_t> evaluations{0};
+  ThreadPool pool(options.threads);
 
-  std::vector<int> scratch_candidates;
-
-  // Left-to-right repair: every gene must be a member of candidates(prefix)
-  // so structural constraints (support, transition budget) always hold.
-  // Genes outside the feasible set are resampled uniformly.
-  const auto repair = [&](std::vector<int>& genes) {
-    std::vector<int> prefix;
-    prefix.reserve(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v) {
-      space.candidates(prefix, scratch_candidates);
-      if (scratch_candidates.empty()) return false;  // dead end: invalid individual
-      int gene = v < static_cast<int>(genes.size()) ? genes[static_cast<std::size_t>(v)] : -1;
-      if (std::find(scratch_candidates.begin(), scratch_candidates.end(), gene) ==
-          scratch_candidates.end()) {
-        gene = scratch_candidates[rng.uniform_index(scratch_candidates.size())];
-      }
-      if (v < static_cast<int>(genes.size())) {
-        genes[static_cast<std::size_t>(v)] = gene;
-      } else {
-        genes.push_back(gene);
-      }
-      prefix.push_back(gene);
-    }
-    return true;
+  const auto stopped = [&] {
+    if (options.stop != nullptr && options.stop->stop_requested()) return true;
+    return options.time_budget_ms > 0.0 && since_ms(start) > options.time_budget_ms;
   };
 
   const auto evaluate = [&](Individual& ind) {
-    ++result.stats.leaves_evaluated;
+    evaluations.fetch_add(1, std::memory_order_relaxed);
     ind.fitness = space.evaluate(ind.genes);
   };
 
+  // Serial, slot-ordered acceptance keeps incumbents (and callbacks)
+  // strictly improving and deterministic even though fitness evaluation
+  // runs on many threads.
   const auto accept = [&](const Individual& ind) -> bool {
     if (ind.fitness >= best_objective) return true;
     best_objective = ind.fitness;
+    if (options.shared_bound != nullptr) options.shared_bound->tighten(ind.fitness);
     Incumbent inc;
     inc.assignment = ind.genes;
     inc.objective = ind.fitness;
@@ -80,80 +110,116 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
     return !on_incumbent || on_incumbent(*result.best);
   };
 
-  // ---- initial population -------------------------------------------------
-  std::vector<Individual> population;
-  population.reserve(static_cast<std::size_t>(options.population));
-  for (int i = 0; i < options.population; ++i) {
-    Individual ind;
-    if (!repair(ind.genes)) continue;
-    evaluate(ind);
-    if (!accept(ind)) {
-      result.stats.elapsed_ms = since_ms(start);
-      return result;
-    }
-    population.push_back(std::move(ind));
-  }
-  if (population.empty()) {
+  const auto finalize = [&]() -> SolveResult {
+    result.stats.leaves_evaluated = evaluations.load(std::memory_order_relaxed);
     result.stats.elapsed_ms = since_ms(start);
+    result.stats.exhausted = false;  // heuristic: no optimality proof
     return result;
-  }
-
-  const auto tournament_pick = [&]() -> const Individual& {
-    const Individual* best = &population[rng.uniform_index(population.size())];
-    for (int i = 1; i < options.tournament; ++i) {
-      const Individual& challenger = population[rng.uniform_index(population.size())];
-      if (challenger.fitness < best->fitness) best = &challenger;
-    }
-    return *best;
   };
 
+  if (stopped()) return finalize();  // cancelled before any work
+
+  // ---- initial population (generation 0 streams) --------------------------
+  std::vector<Individual> population(static_cast<std::size_t>(options.population));
+  std::vector<char> valid(static_cast<std::size_t>(options.population), 0);
+  parallel_for(pool, population.size(), [&](std::size_t slot) {
+    Rng rng(stream_seed(options.seed, 0, slot));
+    std::vector<int> scratch;
+    Individual& ind = population[slot];
+    for (int attempt = 0; attempt < kMaxRepairAttempts; ++attempt) {
+      ind.genes.clear();
+      if (repair(space, n, ind.genes, rng, scratch)) {
+        evaluate(ind);
+        valid[slot] = 1;
+        return;
+      }
+    }
+  });
+  {
+    std::size_t kept = 0;
+    for (std::size_t slot = 0; slot < population.size(); ++slot) {
+      if (!valid[slot]) continue;
+      if (!accept(population[slot])) return finalize();
+      if (kept != slot) population[kept] = std::move(population[slot]);
+      ++kept;
+    }
+    population.resize(kept);
+  }
+  if (population.empty()) return finalize();
+
   // ---- generations ---------------------------------------------------------
-  for (int gen = 0; gen < options.generations; ++gen) {
-    if (options.time_budget_ms > 0.0 && since_ms(start) > options.time_budget_ms) break;
+  for (int gen = 1; gen <= options.generations; ++gen) {
+    if (stopped()) break;
     ++result.stats.nodes_explored;  // one generation = one "node" for stats
 
-    std::sort(population.begin(), population.end(),
-              [](const Individual& a, const Individual& b) { return a.fitness < b.fitness; });
+    std::stable_sort(population.begin(), population.end(),
+                     [](const Individual& a, const Individual& b) {
+                       return a.fitness < b.fitness;
+                     });
+
+    const std::size_t elite_count =
+        std::min(static_cast<std::size_t>(std::max(options.elites, 0)), population.size());
+    const std::size_t child_count = population.size() - elite_count;
+    std::vector<Individual> children(child_count);
+
+    parallel_for(pool, child_count, [&](std::size_t slot) {
+      Rng rng(stream_seed(options.seed, static_cast<std::uint64_t>(gen), slot));
+      std::vector<int> scratch;
+
+      const auto tournament_pick = [&]() -> const Individual& {
+        const Individual* best = &population[rng.uniform_index(population.size())];
+        for (int i = 1; i < options.tournament; ++i) {
+          const Individual& challenger = population[rng.uniform_index(population.size())];
+          if (challenger.fitness < best->fitness) best = &challenger;
+        }
+        return *best;
+      };
+
+      Individual& child = children[slot];
+      for (int attempt = 0; attempt < kMaxRepairAttempts; ++attempt) {
+        const Individual& a = tournament_pick();
+        // Single-point crossover keeps contiguous PU runs mostly intact,
+        // which matches the schedule structure (few transitions). It
+        // needs an interior cut point, so single-variable problems
+        // (one DNN, one layer group) fall through to cloning.
+        if (n >= 2 && rng.uniform() < options.crossover_rate) {
+          const Individual& b = tournament_pick();
+          const std::size_t cut = 1 + rng.uniform_index(static_cast<std::uint64_t>(n - 1));
+          child.genes.assign(a.genes.begin(),
+                             a.genes.begin() + static_cast<std::ptrdiff_t>(cut));
+          child.genes.insert(child.genes.end(),
+                             b.genes.begin() + static_cast<std::ptrdiff_t>(cut),
+                             b.genes.end());
+        } else {
+          child.genes = a.genes;
+        }
+        for (int v = 0; v < n; ++v) {
+          if (rng.uniform() < options.mutation_rate) {
+            child.genes[static_cast<std::size_t>(v)] = -1;  // force resample in repair
+          }
+        }
+        if (repair(space, n, child.genes, rng, scratch)) {
+          evaluate(child);
+          return;
+        }
+      }
+      // Repair kept dead-ending: clone the best individual (already
+      // evaluated) so the generation always fills up.
+      child = population.front();
+    });
+
+    for (const Individual& child : children) {
+      if (!accept(child)) return finalize();
+    }
 
     std::vector<Individual> next;
     next.reserve(population.size());
-    for (int e = 0; e < options.elites && e < static_cast<int>(population.size()); ++e) {
-      next.push_back(population[static_cast<std::size_t>(e)]);
-    }
-
-    while (next.size() < population.size()) {
-      Individual child;
-      const Individual& a = tournament_pick();
-      if (rng.uniform() < options.crossover_rate) {
-        // Single-point crossover keeps contiguous PU runs mostly intact,
-        // which matches the schedule structure (few transitions).
-        const Individual& b = tournament_pick();
-        const std::size_t cut = 1 + rng.uniform_index(static_cast<std::uint64_t>(n - 1));
-        child.genes.assign(a.genes.begin(), a.genes.begin() + static_cast<std::ptrdiff_t>(cut));
-        child.genes.insert(child.genes.end(), b.genes.begin() + static_cast<std::ptrdiff_t>(cut),
-                           b.genes.end());
-      } else {
-        child.genes = a.genes;
-      }
-      for (int v = 0; v < n; ++v) {
-        if (rng.uniform() < options.mutation_rate) {
-          child.genes[static_cast<std::size_t>(v)] = -1;  // force resample in repair
-        }
-      }
-      if (!repair(child.genes)) continue;
-      evaluate(child);
-      if (!accept(child)) {
-        result.stats.elapsed_ms = since_ms(start);
-        return result;
-      }
-      next.push_back(std::move(child));
-    }
+    for (std::size_t e = 0; e < elite_count; ++e) next.push_back(population[e]);
+    for (Individual& child : children) next.push_back(std::move(child));
     population = std::move(next);
   }
 
-  result.stats.elapsed_ms = since_ms(start);
-  result.stats.exhausted = false;  // heuristic: no optimality proof
-  return result;
+  return finalize();
 }
 
 }  // namespace hax::solver

@@ -20,12 +20,28 @@ namespace hax::solver {
 struct GeneticOptions {
   int population = 64;
   int generations = 200;
-  double crossover_rate = 0.8;
+  double crossover_rate = 0.8;  ///< ignored when variable_count() < 2
   double mutation_rate = 0.05;  ///< per-gene mutation probability
   int tournament = 3;           ///< tournament selection size
   int elites = 2;               ///< individuals copied unchanged each generation
   std::uint64_t seed = 0x5EEDull;
   TimeMs time_budget_ms = 0.0;  ///< 0 = run all generations
+
+  /// Worker threads for per-generation construction + fitness evaluation
+  /// (1 = serial, 0 = one per hardware thread). Every individual draws
+  /// from its own Rng stream seeded deterministically from `seed` and its
+  /// (generation, slot) coordinates, so the result is identical for a
+  /// fixed seed regardless of thread count.
+  int threads = 1;
+
+  /// Optional cooperative cancellation (portfolio race); checked at
+  /// generation granularity.
+  const StopToken* stop = nullptr;
+
+  /// Optional cross-solver bound: every GA incumbent tightens it (feeding
+  /// B&B pruning in the portfolio). The GA itself does not prune, so it
+  /// only writes.
+  SharedBound* shared_bound = nullptr;
 };
 
 class GeneticSolver {
@@ -33,6 +49,7 @@ class GeneticSolver {
   /// Evolves assignments for the space; reports improving incumbents via
   /// the callback (same anytime contract as BranchAndBound). The result's
   /// `exhausted` flag is always false: heuristics prove nothing.
+  /// Deterministic for a fixed seed (independent of thread count).
   [[nodiscard]] SolveResult solve(const SearchSpace& space, const GeneticOptions& options = {},
                                   const IncumbentCallback& on_incumbent = {}) const;
 };

@@ -1,0 +1,111 @@
+#include "solver/portfolio.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace hax::solver {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TimeMs since_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+PortfolioResult PortfolioSolver::solve(const SearchSpace& space,
+                                       const PortfolioOptions& options,
+                                       const IncumbentCallback& on_incumbent) const {
+  const auto start = Clock::now();
+  const int total_threads = resolve_thread_count(options.threads);
+
+  // Chain to the caller's token (if any) so external cancellation reaches
+  // both engines through the portfolio's own race token.
+  StopToken stop(options.bnb.stop != nullptr ? options.bnb.stop : options.genetic.stop);
+  SharedBound bound;
+
+  // Cross-engine monotonic callback filter: both engines report through
+  // here; only strict global improvements reach the caller. A veto stops
+  // both engines.
+  std::mutex cb_mutex;
+  double cb_best = std::numeric_limits<double>::infinity();
+  int cb_improvements = 0;
+  bool cb_closed = false;  // sticky after a veto: the user never hears again
+  const IncumbentCallback funnel = [&](const Incumbent& inc) -> bool {
+    std::lock_guard<std::mutex> lock(cb_mutex);
+    if (cb_closed) return false;
+    if (inc.objective >= cb_best) return true;
+    cb_best = inc.objective;
+    ++cb_improvements;
+    if (on_incumbent && !on_incumbent(inc)) {
+      cb_closed = true;
+      stop.request_stop();
+      return false;
+    }
+    return true;
+  };
+
+  SolveOptions bnb_options = options.bnb;
+  bnb_options.threads = std::max(1, total_threads - 1);  // one thread drives the GA
+  bnb_options.stop = &stop;
+  bnb_options.shared_bound = &bound;
+
+  GeneticOptions ga_options = options.genetic;
+  ga_options.stop = &stop;
+  ga_options.shared_bound = &bound;
+  // A portfolio bounded on the exact side should not leave the GA
+  // spinning afterwards: mirror the budget when the GA has none.
+  if (ga_options.time_budget_ms <= 0.0 && bnb_options.time_budget_ms > 0.0) {
+    ga_options.time_budget_ms = bnb_options.time_budget_ms;
+  }
+
+  SolveResult ga_result;
+  std::thread ga_thread([&] {
+    ga_result = GeneticSolver().solve(space, ga_options, funnel);
+  });
+
+  // The exact engine runs on the calling thread; its completion — proof
+  // or budget exhaustion — decides the race, so cancel the GA.
+  SolveResult bnb_result = BranchAndBound().solve(space, bnb_options, funnel);
+  stop.request_stop();
+  ga_thread.join();
+
+  PortfolioResult portfolio;
+  portfolio.bnb_stats = bnb_result.stats;
+  portfolio.genetic_stats = ga_result.stats;
+
+  const double bnb_obj = bnb_result.best
+                             ? bnb_result.best->objective
+                             : std::numeric_limits<double>::infinity();
+  const double ga_obj = ga_result.best ? ga_result.best->objective
+                                       : std::numeric_limits<double>::infinity();
+  if (bnb_result.best && bnb_obj <= ga_obj) {
+    portfolio.best.best = bnb_result.best;
+    portfolio.winner = "bnb";
+  } else if (ga_result.best) {
+    portfolio.best.best = ga_result.best;
+    portfolio.winner = "genetic";
+  }
+
+  portfolio.best.stats.nodes_explored =
+      bnb_result.stats.nodes_explored + ga_result.stats.nodes_explored;
+  portfolio.best.stats.nodes_pruned =
+      bnb_result.stats.nodes_pruned + ga_result.stats.nodes_pruned;
+  portfolio.best.stats.leaves_evaluated =
+      bnb_result.stats.leaves_evaluated + ga_result.stats.leaves_evaluated;
+  // The funnel sees both engines, so this is the cross-engine count of
+  // strict global improvements.
+  portfolio.best.stats.incumbents_found = cb_improvements;
+  // Exhaustion transfers even when the GA's incumbent won the tie: the
+  // B&B proved no assignment beats the shared bound the GA supplied.
+  portfolio.best.stats.exhausted = bnb_result.stats.exhausted;
+  portfolio.best.stats.elapsed_ms = since_ms(start);
+  return portfolio;
+}
+
+}  // namespace hax::solver

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file portfolio.h
+/// Parallel solver portfolio: races the exact branch-and-bound against
+/// the genetic heuristic on separate threads over the same SearchSpace.
+/// The engines cooperate instead of merely racing —
+///   * every GA incumbent tightens the B&B's pruning bound through a
+///     SharedBound (the GA finds good schedules early; the B&B turns
+///     them into stronger cuts),
+///   * every B&B incumbent raises the bar the GA must beat before it
+///     reports anything,
+///   * when the B&B exhausts the space the proof is in and the GA is
+///     cancelled through a shared StopToken (nothing can beat a proven
+///     optimum).
+/// The GA finishing first does NOT cancel the B&B: the exact engine is
+/// the only one that can produce an optimality proof, so it runs to its
+/// own budget. Bounded runs should therefore set time_budget_ms on the
+/// B&B half (the portfolio mirrors it onto the GA when the GA has none).
+///
+/// Incumbent callbacks from both engines are funneled through one
+/// monotonic filter: the caller observes a single strictly improving
+/// stream, exactly like the single-engine solvers.
+
+#include "solver/bnb.h"
+#include "solver/genetic.h"
+
+namespace hax::solver {
+
+struct PortfolioOptions {
+  /// Knobs for the exact half. `stop` and `shared_bound` are owned by the
+  /// portfolio and overwritten.
+  SolveOptions bnb;
+
+  /// Knobs for the heuristic half; same caveat on `stop`/`shared_bound`.
+  GeneticOptions genetic;
+
+  /// Total worker threads across both engines (0 = one per hardware
+  /// thread). One thread drives the GA (plus its own `genetic.threads`
+  /// evaluation workers); the rest search B&B subtrees.
+  int threads = 0;
+};
+
+struct PortfolioResult {
+  /// Merged result: the better incumbent of the two engines, summed work
+  /// stats, `exhausted` iff the B&B proved optimality.
+  SolveResult best;
+
+  SolveStats bnb_stats;
+  SolveStats genetic_stats;
+
+  /// Engine that produced `best.best` ("bnb" | "genetic"); ties go to the
+  /// exact engine. "none" when neither found a feasible assignment.
+  const char* winner = "none";
+};
+
+class PortfolioSolver {
+ public:
+  [[nodiscard]] PortfolioResult solve(const SearchSpace& space,
+                                      const PortfolioOptions& options = {},
+                                      const IncumbentCallback& on_incumbent = {}) const;
+};
+
+}  // namespace hax::solver

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -12,6 +14,7 @@
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 
 namespace {
@@ -227,6 +230,13 @@ TEST(Rng, UniformIndexCoversRange) {
   for (int h : hits) EXPECT_GT(h, 800);
 }
 
+TEST(Rng, UniformIndexZeroThrows) {
+  // Regression: n == 0 used to compute UINT64_MAX / 0 (undefined
+  // behaviour). The empty range is now rejected as a precondition.
+  Rng rng(17);
+  EXPECT_THROW((void)rng.uniform_index(0), PreconditionError);
+}
+
 TEST(Rng, NormalMoments) {
   Rng rng(13);
   stats::Accumulator acc;
@@ -283,5 +293,52 @@ TEST(Error, RequireThrowsWithContext) {
 }
 
 TEST(Error, RequirePassesQuietly) { EXPECT_NO_THROW(HAX_REQUIRE(1 + 1 == 2, "fine")); }
+
+// ---------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(resolve_thread_count(1), 1);
+  EXPECT_EQ(resolve_thread_count(7), 7);
+  EXPECT_GE(resolve_thread_count(0), 1);
+  EXPECT_GE(resolve_thread_count(-3), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 64,
+                            [&](std::size_t i) {
+                              if (i == 13) HAX_REQUIRE(false, "boom from worker");
+                            }),
+               PreconditionError);
+  // The pool survives a throwing loop and remains usable.
+  std::atomic<int> sum{0};
+  parallel_for(pool, 10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
 
 }  // namespace

@@ -174,6 +174,87 @@ TEST(Genetic, TimeBudgetRespected) {
   ASSERT_TRUE(r.best.has_value());
 }
 
+TEST(Genetic, SingleVariableSpaceDoesNotCrash) {
+  // Regression: with variable_count() == 1, crossover used to call
+  // uniform_index(n - 1) == uniform_index(0) — undefined (div by zero).
+  // Crossover is now skipped below two variables; force the old path
+  // with crossover_rate = 1.
+  const TableSpace space(1, 5, 31);
+  double optimum = std::numeric_limits<double>::infinity();
+  for (int v = 0; v < 5; ++v) optimum = std::min(optimum, space.evaluate(std::vector<int>{v}));
+  GeneticOptions options;
+  options.generations = 20;
+  options.crossover_rate = 1.0;
+  const SolveResult r = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->objective, optimum, 1e-12);
+}
+
+TEST(Genetic, ResultIndependentOfThreadCount) {
+  // Every individual's randomness is a pure function of (seed,
+  // generation, slot), so the solve is deterministic across thread
+  // counts — not just for a fixed one.
+  const TableSpace space(10, 3, 37);
+  GeneticOptions base;
+  base.generations = 30;
+  base.seed = 1234;
+  base.threads = 1;
+  const SolveResult serial = GeneticSolver().solve(space, base);
+  ASSERT_TRUE(serial.best.has_value());
+  for (int threads : {2, 4, 8}) {
+    GeneticOptions options = base;
+    options.threads = threads;
+    const SolveResult r = GeneticSolver().solve(space, options);
+    ASSERT_TRUE(r.best.has_value());
+    EXPECT_EQ(r.best->assignment, serial.best->assignment) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.best->objective, serial.best->objective) << "threads=" << threads;
+  }
+}
+
+/// Space where repair dead-ends with high probability: the last variable
+/// has no candidates unless every earlier gene is 0. The optimizer is
+/// pulled the other way (0 is the most expensive value), so mutation and
+/// crossover keep producing unrepairable children.
+class TrapSpace : public TableSpace {
+ public:
+  using TableSpace::TableSpace;
+  void candidates(std::span<const int> prefix, std::vector<int>& out) const override {
+    TableSpace::candidates(prefix, out);
+    if (static_cast<int>(prefix.size()) == variable_count() - 1 &&
+        std::any_of(prefix.begin(), prefix.end(), [](int g) { return g != 0; })) {
+      out.clear();
+    }
+  }
+};
+
+TEST(Genetic, TerminatesOnRepairHeavySpace) {
+  // Regression: the generation builder used to retry repair forever
+  // ("while (next.size() < population.size())"), hanging on spaces like
+  // this. Repair attempts are now bounded, with an elite-clone fallback.
+  const TrapSpace space(6, 3, 41);
+  GeneticOptions options;
+  options.generations = 30;
+  options.mutation_rate = 0.3;  // keep pushing children off the feasible ridge
+  const SolveResult r = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  const auto& genes = r.best->assignment;
+  for (std::size_t i = 0; i + 1 < genes.size(); ++i) EXPECT_EQ(genes[i], 0);
+}
+
+TEST(Genetic, StopTokenCancelsBeforeWork) {
+  const TableSpace space(10, 3, 43);
+  StopToken stop;
+  stop.request_stop();
+  GeneticOptions options;
+  options.generations = 1000000;
+  options.stop = &stop;
+  const SolveResult r = GeneticSolver().solve(space, options);
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_EQ(r.stats.leaves_evaluated, 0u);
+  EXPECT_EQ(r.stats.nodes_explored, 0u);
+  EXPECT_FALSE(r.stats.exhausted);
+}
+
 TEST(Genetic, CompetitiveOnRealScheduleSpace) {
   // On an actual scheduling instance the GA must respect all structural
   // constraints (via repair) and land within 10% of the proven optimum.

@@ -1,14 +1,20 @@
-/// Unit tests for src/solver: the anytime branch-and-bound engine, using
-/// small synthetic search spaces with brute-force cross-checks.
+/// Unit tests for src/solver: the anytime branch-and-bound engine (serial
+/// and subtree-parallel), the solver portfolio, and the budget/abort
+/// semantics both depend on — using small synthetic search spaces with
+/// brute-force cross-checks.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "solver/bnb.h"
+#include "solver/genetic.h"
+#include "solver/portfolio.h"
 
 namespace {
 
@@ -63,7 +69,7 @@ class TableSpace : public SearchSpace {
     }
   }
 
- private:
+ protected:
   double partial_cost(std::span<const int> prefix) const {
     double cost = 0.0;
     for (std::size_t i = 0; i < prefix.size(); ++i) {
@@ -72,9 +78,23 @@ class TableSpace : public SearchSpace {
     return cost;
   }
 
+ private:
   int values_;
   std::vector<std::vector<double>> table_;
   std::vector<double> suffix_min_;
+};
+
+/// TableSpace with a deliberately weak (but still admissible) bound:
+/// only the committed prefix cost, no suffix estimate. Pruning barely
+/// fires, so big instances genuinely cannot be exhausted — what the
+/// time-budget tests need (the exact-bound TableSpace closes even 4^20
+/// spaces in milliseconds).
+class WeakBoundTableSpace : public TableSpace {
+ public:
+  using TableSpace::TableSpace;
+  double lower_bound(std::span<const int> prefix) const override {
+    return partial_cost(prefix);
+  }
 };
 
 TEST(Bnb, FindsOptimumAndProvesIt) {
@@ -253,6 +273,323 @@ TEST(Bnb, TimeBudgetReturnsQuickly) {
   // Generous bound: the check granularity is 64 nodes.
   EXPECT_LT(r.stats.elapsed_ms, 500.0);
   ASSERT_TRUE(r.best.has_value());  // anytime: something was found
+}
+
+// ------------------------------------------- budget / abort semantics --
+// These paths gate the portfolio's cancellation logic: `exhausted` must
+// be false whenever any budget or abort cut the search short, for both
+// engines.
+
+TEST(Bnb, ExhaustedFalseOnEveryEarlyExit) {
+  const TableSpace space(12, 3, 41);
+  {
+    SolveOptions options;
+    options.node_limit = 30;
+    EXPECT_FALSE(BranchAndBound().solve(space, options).stats.exhausted);
+  }
+  {
+    // Weak bound: the search cannot finish before the first clock check.
+    const WeakBoundTableSpace big(18, 4, 42);
+    SolveOptions options;
+    options.time_budget_ms = 1e-6;  // expires immediately at first check
+    EXPECT_FALSE(BranchAndBound().solve(big, options).stats.exhausted);
+  }
+  {
+    const SolveResult r = BranchAndBound().solve(space, {}, [](const Incumbent&) {
+      return false;  // abort on first incumbent
+    });
+    EXPECT_FALSE(r.stats.exhausted);
+  }
+  // And with no budgets at all, the space is exhausted (optimality proof).
+  EXPECT_TRUE(BranchAndBound().solve(space).stats.exhausted);
+}
+
+TEST(Genetic, ExhaustedAlwaysFalseEvenOnFullRun) {
+  const TableSpace space(5, 2, 43);
+  GeneticOptions options;
+  options.generations = 3;
+  const SolveResult r = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_FALSE(r.stats.exhausted);  // heuristics never prove optimality
+  EXPECT_EQ(r.stats.nodes_explored, 3u);  // one "node" per generation
+}
+
+TEST(Bnb, SeedAbortReturnsSeedIncumbent) {
+  // IncumbentCallback returning false during seed evaluation must still
+  // return the seed as best, with exhausted == false.
+  const TableSpace space(6, 3, 47);
+  SolveOptions options;
+  options.seeds = {{0, 0, 0, 0, 0, 0}};
+  int calls = 0;
+  const SolveResult r = BranchAndBound().solve(space, options, [&](const Incumbent&) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(calls, 1);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_EQ(r.best->assignment, options.seeds[0]);
+  EXPECT_FALSE(r.stats.exhausted);
+  EXPECT_EQ(r.stats.nodes_explored, 0u);  // aborted before the search began
+}
+
+TEST(Bnb, StopTokenCancelsBeforeSearch) {
+  const TableSpace space(10, 3, 53);
+  StopToken stop;
+  stop.request_stop();
+  SolveOptions options;
+  options.stop = &stop;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  EXPECT_FALSE(r.stats.exhausted);
+  EXPECT_EQ(r.stats.nodes_explored, 0u);
+  EXPECT_FALSE(r.best.has_value());
+}
+
+TEST(Bnb, StopTokenChainsToParent) {
+  StopToken parent;
+  StopToken child(&parent);
+  EXPECT_FALSE(child.stop_requested());
+  parent.request_stop();
+  EXPECT_TRUE(child.stop_requested());
+}
+
+TEST(Bnb, SharedBoundSuppressesWorseIncumbents) {
+  const TableSpace space(8, 3, 59);
+  const double optimum = space.brute_force_optimum();
+  SharedBound bound;
+  // Another engine already holds the optimum: B&B must prove it without
+  // ever reporting a (necessarily non-improving) incumbent of its own.
+  bound.tighten(optimum);
+  SolveOptions options;
+  options.shared_bound = &bound;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  EXPECT_TRUE(r.stats.exhausted);
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_EQ(r.stats.incumbents_found, 0);
+  EXPECT_DOUBLE_EQ(bound.load(), optimum);
+}
+
+// ------------------------------------------------------- parallel B&B --
+
+TEST(ParallelBnb, MatchesSerialOptimum) {
+  const TableSpace space(9, 3, 61);
+  const SolveResult serial = BranchAndBound().solve(space);
+  SolveOptions options;
+  options.threads = 4;
+  const SolveResult parallel = BranchAndBound().solve(space, options);
+  ASSERT_TRUE(serial.best && parallel.best);
+  EXPECT_TRUE(parallel.stats.exhausted);
+  EXPECT_DOUBLE_EQ(parallel.best->objective, serial.best->objective);
+}
+
+TEST(ParallelBnb, QualityParityAcrossThreadCounts) {
+  for (std::uint64_t seed = 71; seed < 76; ++seed) {
+    const TableSpace space(8, 3, seed);
+    const double optimum = space.brute_force_optimum();
+    for (int threads : {1, 2, 4, 8}) {
+      SolveOptions options;
+      options.threads = threads;
+      const SolveResult r = BranchAndBound().solve(space, options);
+      ASSERT_TRUE(r.best.has_value()) << "seed " << seed << " threads " << threads;
+      EXPECT_TRUE(r.stats.exhausted);
+      EXPECT_NEAR(r.best->objective, optimum, 1e-12)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelBnb, NodeLimitExactUnderConcurrency) {
+  const TableSpace space(12, 3, 67);
+  SolveOptions options;
+  options.threads = 8;
+  options.node_limit = 100;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  EXPECT_LE(r.stats.nodes_explored, 100u);  // reservation keeps it exact
+  EXPECT_FALSE(r.stats.exhausted);
+}
+
+TEST(ParallelBnb, CallbacksSerializedAndMonotonic) {
+  const TableSpace space(11, 3, 73);
+  std::mutex mutex;  // the solver must already serialize; this guards `last`
+  double last = std::numeric_limits<double>::infinity();
+  int calls = 0;
+  SolveOptions options;
+  options.threads = 4;
+  const SolveResult r = BranchAndBound().solve(space, options, [&](const Incumbent& inc) {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_LT(inc.objective, last);
+    last = inc.objective;
+    ++calls;
+    return true;
+  });
+  EXPECT_GT(calls, 0);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.best->objective, last);  // final incumbent = last callback
+}
+
+TEST(ParallelBnb, CallbackAbortStopsAllWorkers) {
+  const TableSpace space(12, 3, 79);
+  std::atomic<int> calls{0};
+  SolveOptions options;
+  options.threads = 4;
+  const SolveResult r = BranchAndBound().solve(space, options, [&](const Incumbent&) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  });
+  EXPECT_EQ(calls.load(), 1);  // serialized: only the first improvement fires
+  EXPECT_FALSE(r.stats.exhausted);
+  ASSERT_TRUE(r.best.has_value());
+}
+
+TEST(ParallelBnb, TimeBudgetReturnsQuickly) {
+  const WeakBoundTableSpace space(18, 4, 83);
+  SolveOptions options;
+  options.threads = 4;
+  options.time_budget_ms = 5.0;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  EXPECT_LT(r.stats.elapsed_ms, 1000.0);
+  EXPECT_FALSE(r.stats.exhausted);
+  ASSERT_TRUE(r.best.has_value());
+}
+
+TEST(ParallelBnb, SeedsStillCapTheResult) {
+  const TableSpace space(7, 3, 89);
+  std::vector<int> best_seed;
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::vector<int> assignment(7, 0);
+  while (true) {
+    const double obj = space.evaluate(assignment);
+    if (obj < best_obj) {
+      best_obj = obj;
+      best_seed = assignment;
+    }
+    std::size_t i = 0;
+    while (i < assignment.size() && assignment[i] == 2) assignment[i++] = 0;
+    if (i == assignment.size()) break;
+    ++assignment[i];
+  }
+  SolveOptions options;
+  options.threads = 4;
+  options.seeds = {best_seed};
+  const SolveResult r = BranchAndBound().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_NEAR(r.best->objective, best_obj, 1e-12);
+  EXPECT_TRUE(r.stats.exhausted);
+}
+
+TEST(ParallelBnb, ConstrainedSpaceStillHonored) {
+  const ConstrainedSpace space(8, 3, 97);
+  SolveOptions options;
+  options.threads = 4;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  const auto& a = r.best->assignment;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_FALSE(a[i - 1] == 2 && a[i] == 0);
+  }
+  // Parity with the serial engine on the constrained space too.
+  const SolveResult serial = BranchAndBound().solve(space);
+  ASSERT_TRUE(serial.best.has_value());
+  EXPECT_DOUBLE_EQ(r.best->objective, serial.best->objective);
+}
+
+TEST(ParallelBnb, SingleVariableSpace) {
+  const TableSpace space(1, 4, 101);
+  SolveOptions options;
+  options.threads = 4;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_TRUE(r.stats.exhausted);
+  EXPECT_NEAR(r.best->objective, space.brute_force_optimum(), 1e-12);
+}
+
+// ---------------------------------------------------------- portfolio --
+
+TEST(Portfolio, FindsProvenOptimumAndCancelsGa) {
+  const TableSpace space(9, 3, 103);
+  PortfolioOptions options;
+  options.threads = 4;
+  options.genetic.generations = 1000000;  // would run ~forever if not cancelled
+  const PortfolioResult r = PortfolioSolver().solve(space, options);
+  ASSERT_TRUE(r.best.best.has_value());
+  EXPECT_TRUE(r.best.stats.exhausted);  // the B&B half proved it
+  EXPECT_NEAR(r.best.best->objective, space.brute_force_optimum(), 1e-12);
+  // The GA was cancelled well short of its million generations.
+  EXPECT_LT(r.genetic_stats.nodes_explored, 1000000u);
+}
+
+TEST(Portfolio, CallbackMonotonicAcrossEngines) {
+  const TableSpace space(10, 3, 107);
+  PortfolioOptions options;
+  options.threads = 4;
+  std::mutex mutex;
+  double last = std::numeric_limits<double>::infinity();
+  int calls = 0;
+  const PortfolioResult r = PortfolioSolver().solve(space, options, [&](const Incumbent& inc) {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_LT(inc.objective, last);  // both engines funnel through one filter
+    last = inc.objective;
+    ++calls;
+    return true;
+  });
+  EXPECT_GT(calls, 0);
+  ASSERT_TRUE(r.best.best.has_value());
+  EXPECT_DOUBLE_EQ(r.best.best->objective, last);
+  EXPECT_EQ(r.best.stats.incumbents_found, calls);
+}
+
+TEST(Portfolio, UserAbortStopsBothEngines) {
+  const TableSpace space(12, 3, 109);
+  PortfolioOptions options;
+  options.threads = 4;
+  options.genetic.generations = 1000000;
+  std::atomic<int> calls{0};
+  const PortfolioResult r = PortfolioSolver().solve(space, options, [&](const Incumbent&) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_FALSE(r.best.stats.exhausted);
+  ASSERT_TRUE(r.best.best.has_value());
+}
+
+TEST(Portfolio, ExternalStopTokenCancelsTheRace) {
+  const TableSpace space(14, 3, 113);
+  StopToken stop;
+  stop.request_stop();
+  PortfolioOptions options;
+  options.threads = 2;
+  options.bnb.stop = &stop;
+  options.genetic.generations = 1000000;
+  const PortfolioResult r = PortfolioSolver().solve(space, options);
+  EXPECT_FALSE(r.best.stats.exhausted);
+  EXPECT_EQ(r.bnb_stats.nodes_explored, 0u);
+}
+
+TEST(Portfolio, GaIncumbentTightensBnbBound) {
+  // On a space where the GA lands the optimum quickly, the B&B must
+  // still exhaust and the merged result must carry the optimum — via
+  // either engine (ties go to the exact one).
+  const TableSpace space(6, 3, 127);
+  PortfolioOptions options;
+  options.threads = 2;
+  options.genetic.generations = 50;
+  const PortfolioResult r = PortfolioSolver().solve(space, options);
+  ASSERT_TRUE(r.best.best.has_value());
+  EXPECT_TRUE(r.best.stats.exhausted);
+  EXPECT_NEAR(r.best.best->objective, space.brute_force_optimum(), 1e-12);
+  EXPECT_TRUE(std::string(r.winner) == "bnb" || std::string(r.winner) == "genetic");
+}
+
+TEST(Portfolio, TimeBudgetMirroredOntoGa) {
+  const WeakBoundTableSpace space(20, 4, 131);  // weak bound: cannot exhaust
+  PortfolioOptions options;
+  options.threads = 2;
+  options.bnb.time_budget_ms = 10.0;
+  options.genetic.generations = 1000000;
+  const PortfolioResult r = PortfolioSolver().solve(space, options);
+  EXPECT_FALSE(r.best.stats.exhausted);
+  EXPECT_LT(r.best.stats.elapsed_ms, 2000.0);  // neither engine ran away
+  ASSERT_TRUE(r.best.best.has_value());        // anytime: something was found
 }
 
 }  // namespace
