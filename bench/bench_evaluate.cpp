@@ -1,0 +1,252 @@
+/// \file bench_evaluate.cpp
+/// Evaluator throughput: the zero-allocation flat fast path (precomputed
+/// item tables + reusable EvalWorkspace) and the sharded memo cache
+/// against the retained reference predictor, on the Table-6 scenario set.
+/// Also times the end-to-end B&B solver at 1/2/4/8 workers with each
+/// evaluator, since evaluate() dominates solver wall time.
+///
+/// Emits results/BENCH_evaluate.json (run from the repo root).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "sched/search_space.h"
+#include "solver/bnb.h"
+
+using namespace hax;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScenarioDef {
+  const char* name;
+  const char* platform;
+  sched::Objective objective;
+  std::vector<const char*> dnns;
+  std::vector<int> deps;
+  std::vector<int> iters;
+};
+
+/// Table 6 representatives: a parallel pair (exp 1), a pipelined
+/// streaming pair (exp 3) and the 3-DNN hybrid (exp 8).
+const std::vector<ScenarioDef>& scenarios() {
+  static const std::vector<ScenarioDef> defs = {
+      {"exp1-xavier-vgg19+resnet152", "xavier", sched::Objective::MinMaxLatency,
+       {"VGG19", "ResNet152"}, {-1, -1}, {1, 1}},
+      {"exp3-xavier-alexnet>resnet101", "xavier", sched::Objective::MaxThroughput,
+       {"AlexNet", "ResNet101"}, {-1, 0}, {4, 4}},
+      {"exp8-orin-3dnn-hybrid", "orin", sched::Objective::MinMaxLatency,
+       {"ResNet101", "GoogleNet", "Inception"}, {-1, 0, -1}, {2, 2, 1}},
+  };
+  return defs;
+}
+
+sched::ProblemInstance make_instance(const soc::Platform& plat, const ScenarioDef& def,
+                                     int max_groups) {
+  sched::ProblemInstance inst(plat, def.objective, {.max_groups = max_groups});
+  for (std::size_t i = 0; i < def.dnns.size(); ++i) {
+    inst.add_dnn(nn::zoo::by_name(def.dnns[i]), def.deps[i], def.iters[i]);
+  }
+  return inst;
+}
+
+std::vector<int> random_flat(const sched::ScheduleSpace& space, Rng& rng) {
+  std::vector<int> flat;
+  std::vector<int> cands;
+  const int n = space.variable_count();
+  for (int v = 0; v < n; ++v) {
+    space.candidates(flat, cands);
+    if (cands.empty()) {
+      flat.clear();
+      v = -1;
+      continue;
+    }
+    flat.push_back(cands[rng.uniform_index(cands.size())]);
+  }
+  return flat;
+}
+
+/// Runs `body(i)` over the sample stream until ~`min_ms` elapsed (at least
+/// one full pass) and returns evaluations per second.
+template <typename Body>
+double measure_evals_per_sec(std::size_t stream_size, double min_ms, const Body& body) {
+  std::size_t evals = 0;
+  const auto start = Clock::now();
+  double elapsed_ms = 0.0;
+  do {
+    for (std::size_t i = 0; i < stream_size; ++i) body(i);
+    evals += stream_size;
+    elapsed_ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  } while (elapsed_ms < min_ms);
+  return static_cast<double>(evals) / (elapsed_ms / 1000.0);
+}
+
+/// The pre-change evaluator as a drop-in SearchSpace: every evaluate()
+/// materializes a nested Schedule and runs the retained reference
+/// predictor (per-layer profile lookups, per-call allocations).
+class ReferenceSpace final : public sched::ScheduleSpace {
+ public:
+  explicit ReferenceSpace(const sched::Problem& problem)
+      : ScheduleSpace(problem, {.memo_cache = false}) {}
+
+  [[nodiscard]] double evaluate(std::span<const int> assignment) const override {
+    return formulation().predict_reference(to_schedule(assignment)).objective_value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr double kMinMs = 300.0;   // per-mode measurement floor
+  constexpr std::size_t kStream = 256;  // sampled schedules per scenario
+  constexpr std::size_t kDistinct = 32; // distinct schedules in the cached stream
+
+  TextTable table;
+  table.header({"scenario", "vars", "reference/s", "flat/s", "cached/s",
+                "flat speedup", "cached speedup", "hit rate"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"scenario", "variables", "reference_evals_per_sec", "flat_evals_per_sec",
+                 "cached_evals_per_sec", "flat_speedup", "cached_speedup",
+                 "cache_hit_rate"});
+
+  json::Array scenario_json;
+  double speedup_log_sum = 0.0;
+
+  for (const ScenarioDef& def : scenarios()) {
+    const soc::Platform plat = bench::platform_by_name(def.platform);
+    const auto inst = make_instance(plat, def, 8);
+    const sched::Problem& prob = inst.problem();
+
+    const sched::ScheduleSpace space(prob, {.memo_cache = false});
+    const sched::ScheduleSpace cached_space(prob, {.memo_cache = true});
+    const sched::Formulation& f = space.formulation();
+
+    // Shared sample streams: identical inputs for every mode.
+    Rng rng(0xBEEFull);
+    std::vector<std::vector<int>> stream;
+    stream.reserve(kStream);
+    for (std::size_t i = 0; i < kStream; ++i) stream.push_back(random_flat(space, rng));
+    std::vector<sched::Schedule> schedules;
+    schedules.reserve(kStream);
+    for (const auto& flat : stream) schedules.push_back(space.to_schedule(flat));
+
+    // Pre-change path: nested Schedule + reference sweep. Conversion cost
+    // is included — that is what ScheduleSpace::evaluate used to pay.
+    const double ref_rate = measure_evals_per_sec(kStream, kMinMs, [&](std::size_t i) {
+      (void)f.predict_reference(space.to_schedule(stream[i])).objective_value;
+    });
+
+    // Optimized flat path, one reused workspace (a solver worker's view).
+    sched::EvalWorkspace ws;
+    const double flat_rate = measure_evals_per_sec(kStream, kMinMs, [&](std::size_t i) {
+      (void)f.evaluate_flat(stream[i], ws);
+    });
+
+    // Duplicate-heavy stream through the memo cache: the GA's
+    // re-evaluation pattern (few distinct genomes, many repeats).
+    const double cached_rate = measure_evals_per_sec(kStream, kMinMs, [&](std::size_t i) {
+      (void)cached_space.evaluate(stream[i % kDistinct]);
+    });
+    const MemoCacheStats cache = cached_space.cache_stats();
+
+    const double flat_speedup = flat_rate / ref_rate;
+    const double cached_speedup = cached_rate / ref_rate;
+    speedup_log_sum += std::log(flat_speedup);
+
+    table.row({def.name, std::to_string(space.variable_count()), fmt(ref_rate, 0),
+               fmt(flat_rate, 0), fmt(cached_rate, 0), fmt(flat_speedup, 2) + "x",
+               fmt(cached_speedup, 1) + "x", fmt(cache.hit_rate() * 100.0, 1) + "%"});
+    csv.push_back({def.name, std::to_string(space.variable_count()), fmt(ref_rate, 1),
+                   fmt(flat_rate, 1), fmt(cached_rate, 1), fmt(flat_speedup, 3),
+                   fmt(cached_speedup, 3), fmt(cache.hit_rate(), 4)});
+
+    json::Object s;
+    s["name"] = def.name;
+    s["platform"] = def.platform;
+    s["objective"] = sched::to_string(def.objective);
+    s["variables"] = space.variable_count();
+    s["evals_per_sec"] = json::Object{{"reference", ref_rate},
+                                      {"flat", flat_rate},
+                                      {"cached_duplicate_stream", cached_rate}};
+    s["speedup"] = json::Object{{"flat", flat_speedup}, {"cached", cached_speedup}};
+    s["cache_hit_rate"] = cache.hit_rate();
+    scenario_json.push_back(std::move(s));
+  }
+
+  const double geomean =
+      std::exp(speedup_log_sum / static_cast<double>(scenarios().size()));
+  bench::emit("Evaluator throughput - reference vs flat fast path vs memo cache "
+              "(Table-6 scenario set, evaluations per second)",
+              table, "bench_evaluate", csv);
+  std::printf("Geomean flat-path speedup over the reference evaluator: %.2fx\n"
+              "(acceptance floor: 3x). Cached rows measure a duplicate-heavy\n"
+              "stream of %zu distinct schedules.\n\n",
+              geomean, kDistinct);
+
+  // ---- end-to-end solver effect -------------------------------------------
+  // B&B on the parallel-pair scenario with the old and new evaluators; the
+  // objective must be identical, only the wall time moves.
+  const ScenarioDef& solver_def = scenarios()[0];
+  const soc::Platform solver_plat = bench::platform_by_name(solver_def.platform);
+  const auto solver_inst = make_instance(solver_plat, solver_def, 8);
+
+  TextTable solver_table;
+  solver_table.header({"threads", "reference (ms)", "optimized (ms)", "speedup", "same obj?"});
+  std::vector<std::vector<std::string>> solver_csv;
+  solver_csv.push_back({"threads", "reference_ms", "optimized_ms", "speedup",
+                        "objective_match"});
+  json::Array solver_json;
+
+  for (int threads : {1, 2, 4, 8}) {
+    solver::SolveOptions so;
+    so.threads = threads;
+
+    const ReferenceSpace ref_space(solver_inst.problem());
+    const auto ref_result = solver::BranchAndBound().solve(ref_space, so);
+    const sched::ScheduleSpace opt_space(solver_inst.problem());
+    const auto opt_result = solver::BranchAndBound().solve(opt_space, so);
+
+    const double ref_obj =
+        ref_result.best ? ref_result.best->objective : -1.0;
+    const double opt_obj =
+        opt_result.best ? opt_result.best->objective : -1.0;
+    const bool match = ref_obj == opt_obj;
+    const double speedup = ref_result.stats.elapsed_ms / opt_result.stats.elapsed_ms;
+
+    solver_table.row({std::to_string(threads), fmt(ref_result.stats.elapsed_ms, 1),
+                      fmt(opt_result.stats.elapsed_ms, 1), fmt(speedup, 2) + "x",
+                      match ? "yes" : "NO"});
+    solver_csv.push_back({std::to_string(threads), fmt(ref_result.stats.elapsed_ms, 2),
+                          fmt(opt_result.stats.elapsed_ms, 2), fmt(speedup, 3),
+                          match ? "1" : "0"});
+    json::Object row;
+    row["threads"] = threads;
+    row["reference_ms"] = ref_result.stats.elapsed_ms;
+    row["optimized_ms"] = opt_result.stats.elapsed_ms;
+    row["speedup"] = speedup;
+    row["objective_match"] = match;
+    solver_json.push_back(std::move(row));
+    if (!match) {
+      std::printf("WARNING: objective mismatch at %d threads (%.9f vs %.9f)\n", threads,
+                  ref_obj, opt_obj);
+    }
+  }
+
+  bench::emit(std::string("End-to-end B&B wall time - ") + solver_def.name +
+                  " (reference vs optimized evaluator)",
+              solver_table, "bench_evaluate_solver", solver_csv);
+
+  json::Object doc;
+  doc["bench"] = "evaluate";
+  doc["scenario_set"] = "table6-representatives";
+  doc["geomean_flat_speedup"] = geomean;
+  doc["acceptance_floor"] = 3.0;
+  doc["scenarios"] = std::move(scenario_json);
+  doc["solver_scaling"] = std::move(solver_json);
+  bench::write_json("BENCH_evaluate", doc);
+  return 0;
+}

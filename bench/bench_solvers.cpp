@@ -22,8 +22,9 @@ namespace {
 
 /// Thread-scaling sweep on the Table-8 exhaustive scenario (AGX Orin,
 /// max-throughput objective, iteration-balanced pair): the same proven
-/// optimum must come out at every worker count, only faster.
-void thread_scaling_sweep() {
+/// optimum must come out at every worker count, only faster. Returns the
+/// measured rows for the machine-readable artifact.
+json::Value thread_scaling_sweep() {
   const soc::Platform plat = bench::platform_by_name("orin");
   core::HaxConnOptions options;
   options.objective = sched::Objective::MaxThroughput;
@@ -106,6 +107,7 @@ void thread_scaling_sweep() {
               ">=4 cores). Measured speedup is capped by available cores: this\n"
               "machine reports hardware_concurrency = %u.\n",
               std::thread::hardware_concurrency());
+  return bench::rows_to_json(csv);
 }
 
 }  // namespace
@@ -179,6 +181,10 @@ int main() {
               "with many generations and can stall on the 3-DNN space — the\n"
               "paper's case for SAT-style optimal schedule generation.\n");
 
-  thread_scaling_sweep();
+  json::Object doc;
+  doc["bench"] = "solvers";
+  doc["comparison"] = bench::rows_to_json(csv);
+  doc["thread_scaling"] = thread_scaling_sweep();
+  bench::write_json("BENCH_solvers", doc);
   return 0;
 }

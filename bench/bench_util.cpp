@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "common/error.h"
 
@@ -66,6 +68,28 @@ void emit(const std::string& title, const TextTable& table,
     for (const auto& row : csv_rows) csv.row(row);
     std::printf("(rows written to %s.csv)\n\n", csv_name->c_str());
   }
+}
+
+void write_json(const std::string& name, const json::Value& doc) {
+  std::filesystem::create_directories("results");
+  const std::string path = "results/" + name + ".json";
+  std::ofstream out(path);
+  HAX_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << doc.dump(2) << '\n';
+  std::printf("(json written to %s)\n\n", path.c_str());
+}
+
+json::Value rows_to_json(const std::vector<std::vector<std::string>>& rows) {
+  HAX_REQUIRE(!rows.empty(), "rows_to_json needs a header row");
+  const std::vector<std::string>& header = rows.front();
+  json::Array out;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    HAX_REQUIRE(rows[r].size() == header.size(), "row width differs from header");
+    json::Object obj;
+    for (std::size_t c = 0; c < header.size(); ++c) obj[header[c]] = rows[r][c];
+    out.push_back(std::move(obj));
+  }
+  return out;
 }
 
 }  // namespace hax::bench

@@ -11,6 +11,7 @@
 
 #include "baselines/baselines.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "core/evaluate.h"
 #include "core/haxconn.h"
@@ -56,5 +57,15 @@ struct ComparisonResult {
 void emit(const std::string& title, const TextTable& table,
           const std::optional<std::string>& csv_name,
           const std::vector<std::vector<std::string>>& csv_rows);
+
+/// Writes a machine-readable result document to `results/<name>.json`
+/// relative to the working directory (the directory is created if
+/// missing), pretty-printed for diff-ability. Run benches from the repo
+/// root so the artifacts land next to the committed CSVs.
+void write_json(const std::string& name, const json::Value& doc);
+
+/// Converts header-first string rows (the same shape `emit` takes for CSV)
+/// into a JSON array of objects keyed by the header row.
+[[nodiscard]] json::Value rows_to_json(const std::vector<std::vector<std::string>>& rows);
 
 }  // namespace hax::bench

@@ -1,0 +1,129 @@
+#include "common/memo_cache.h"
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace hax {
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Key 0 marks an empty slot; remap a genuinely-zero hash to a fixed
+/// non-zero constant (harmless extra collision chance of 2^-64).
+constexpr std::uint64_t kEmpty = 0;
+constexpr std::uint64_t kZeroAlias = 0x9E3779B97F4A7C15ull;
+
+constexpr std::size_t kProbeWindow = 8;
+
+constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t hash_span(std::span<const int> values) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull ^ (static_cast<std::uint64_t>(values.size()) *
+                                             0x100000001B3ull);
+  for (const int v : values) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) + 0x9E3779B97F4A7C15ull;
+    h = mix64(h);
+  }
+  // Guarantee a non-empty sentinel-safe key.
+  return h == kEmpty ? kZeroAlias : h;
+}
+
+struct alignas(64) MemoCache::Shard {
+  std::mutex mutex;
+  std::vector<std::uint64_t> keys;
+  std::vector<double> values;
+};
+
+MemoCache::MemoCache(std::size_t capacity, std::size_t shards) {
+  HAX_REQUIRE(shards > 0 && (shards & (shards - 1)) == 0,
+              "memo cache shard count must be a power of two");
+  shard_count_ = shards;
+  slots_per_shard_ = round_up_pow2(std::max<std::size_t>(capacity / shards, kProbeWindow));
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    shards_[s].keys.assign(slots_per_shard_, kEmpty);
+    shards_[s].values.assign(slots_per_shard_, 0.0);
+  }
+}
+
+MemoCache::~MemoCache() = default;
+
+MemoCache::Shard& MemoCache::shard_for(std::uint64_t key) const noexcept {
+  // Shard selection uses high bits, probe position low bits, so the two
+  // indices stay uncorrelated.
+  return shards_[(key >> 48) & (shard_count_ - 1)];
+}
+
+bool MemoCache::lookup(std::uint64_t key, double& value) const {
+  if (key == kEmpty) key = kZeroAlias;
+  Shard& shard = shard_for(key);
+  const std::size_t mask = slots_per_shard_ - 1;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+      const std::size_t slot = (key + i) & mask;
+      if (shard.keys[slot] == key) {
+        value = shard.values[slot];
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (shard.keys[slot] == kEmpty) break;  // never stored past first gap
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void MemoCache::insert(std::uint64_t key, double value) {
+  if (key == kEmpty) key = kZeroAlias;
+  Shard& shard = shard_for(key);
+  const std::size_t mask = slots_per_shard_ - 1;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::size_t victim = (key + kProbeWindow - 1) & mask;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    const std::size_t slot = (key + i) & mask;
+    if (shard.keys[slot] == key || shard.keys[slot] == kEmpty) {
+      victim = slot;
+      break;
+    }
+  }
+  shard.keys[victim] = key;
+  shard.values[victim] = value;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MemoCache::clear() {
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.keys.assign(slots_per_shard_, kEmpty);
+    shard.values.assign(slots_per_shard_, 0.0);
+  }
+}
+
+MemoCacheStats MemoCache::stats() const noexcept {
+  MemoCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t MemoCache::capacity() const noexcept { return shard_count_ * slots_per_shard_; }
+
+}  // namespace hax

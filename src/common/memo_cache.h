@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file memo_cache.h
+/// Sharded, lock-striped memoization cache for hot evaluation loops.
+///
+/// The schedule solvers re-score the same assignment over and over — the
+/// GA re-evaluates duplicate genomes every generation, and the portfolio
+/// engines revisit each other's incumbents — so a small key→value cache in
+/// front of the predictor converts repeated full timeline sweeps into one
+/// hash probe. The cache is keyed by a caller-supplied 64-bit hash (see
+/// hash_span), holds doubles, and is safe for concurrent lookup/insert
+/// from many threads: keys are striped across independently locked shards
+/// so workers rarely contend on the same mutex.
+///
+/// Each shard is a fixed-capacity open-addressing table with a bounded
+/// linear probe; when a probe window is full the last slot is overwritten
+/// (cheap random-ish replacement — stale entries only cost a recompute).
+/// Hit/miss totals are relaxed atomics, cheap enough to leave on.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+namespace hax {
+
+/// Mixes a span of small integers into a well-distributed 64-bit key
+/// (splitmix64 finalizer over an FNV-style accumulation). Used to key
+/// memoized evaluations by flat assignment vector.
+[[nodiscard]] std::uint64_t hash_span(std::span<const int> values) noexcept;
+
+struct MemoCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return hits + misses; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = lookups();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class MemoCache {
+ public:
+  /// `capacity` is the total slot count across all shards (rounded up so
+  /// each shard is a power of two); `shards` must be a power of two.
+  explicit MemoCache(std::size_t capacity = 1u << 16, std::size_t shards = 16);
+  ~MemoCache();  // out-of-line: Shard is an implementation detail
+
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  /// Probes for `key`; on a hit stores the value in `value` and returns
+  /// true. Counts toward hits/misses.
+  [[nodiscard]] bool lookup(std::uint64_t key, double& value) const;
+
+  /// Inserts (or refreshes) `key`. Overwrites a colliding window slot when
+  /// the probe window is full.
+  void insert(std::uint64_t key, double value);
+
+  /// Drops every entry; stats are preserved.
+  void clear();
+
+  [[nodiscard]] MemoCacheStats stats() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shard_count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+ private:
+  struct Shard;
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) const noexcept;
+
+  std::size_t shard_count_;
+  std::size_t slots_per_shard_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace hax

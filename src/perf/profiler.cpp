@@ -41,6 +41,19 @@ GroupProfile& NetworkProfile::at(int group, soc::PuId pu) {
   return const_cast<GroupProfile&>(std::as_const(*this).at(group, pu));
 }
 
+std::span<const GroupProfile> NetworkProfile::group_row(int group) const {
+  HAX_REQUIRE(group >= 0 && group < group_count_, "group out of range");
+  return {records_.data() + static_cast<std::size_t>(group) * static_cast<std::size_t>(pu_count_),
+          static_cast<std::size_t>(pu_count_)};
+}
+
+std::span<const LayerProfile> NetworkProfile::layer_row(int layer) const {
+  HAX_REQUIRE(layer >= 0 && layer < layer_count_, "layer out of range");
+  return {layer_records_.data() +
+              static_cast<std::size_t>(layer) * static_cast<std::size_t>(pu_count_),
+          static_cast<std::size_t>(pu_count_)};
+}
+
 TimeMs NetworkProfile::total_time(soc::PuId pu) const {
   TimeMs total = 0.0;
   for (int g = 0; g < group_count_; ++g) {

@@ -12,6 +12,7 @@
 /// with the EmcEstimator (Sec 3.3's four-step method), so the scheduler
 /// works from the same imperfect knowledge the paper's system does.
 
+#include <span>
 #include <vector>
 
 #include "grouping/grouping.h"
@@ -50,6 +51,13 @@ class NetworkProfile {
 
   [[nodiscard]] const LayerProfile& layer_at(int layer, soc::PuId pu) const;
   [[nodiscard]] LayerProfile& layer_at(int layer, soc::PuId pu);
+
+  /// Contiguous per-PU records of one group / one layer (pu_count()
+  /// entries, indexed by PuId). Lets batch consumers — the schedule
+  /// evaluator's item-table construction — walk rows without a
+  /// bounds-checked call per cell.
+  [[nodiscard]] std::span<const GroupProfile> group_row(int group) const;
+  [[nodiscard]] std::span<const LayerProfile> layer_row(int layer) const;
 
   [[nodiscard]] int group_count() const noexcept { return group_count_; }
   [[nodiscard]] int layer_count() const noexcept { return layer_count_; }

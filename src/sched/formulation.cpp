@@ -1,10 +1,12 @@
 #include "sched/formulation.h"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
 #include <limits>
 
 #include "common/error.h"
+#include "common/logging.h"
 
 namespace hax::sched {
 namespace {
@@ -12,17 +14,577 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kTimeTolerance = 1e-9;
 
+enum class Phase : std::uint8_t { Blocked, Waiting, Running, Done };
+
+/// Contention-rate memo geometry. The sentinel is an all-ones bit pattern
+/// (a NaN), which no stored own-demand can take: rates are only memoized
+/// for finite positive demands.
+/// The table starts small (initializing it must not dent a 1 ms solver
+/// budget) and quadruples whenever a lookup window shows it earning its
+/// keep but missing on capacity, up to ~1.5 MB per workspace.
+constexpr std::size_t kRateSlotsMin = 1u << 12;  // powers of two
+constexpr std::size_t kRateSlotsMax = 1u << 16;
+constexpr std::size_t kRateProbes = 4;
+constexpr std::uint64_t kRateEmpty = ~0ull;
+
+/// Process-unique Formulation ids (0 is the workspace's "never met one"
+/// default, so the counter starts at 1).
+std::uint64_t next_eval_epoch() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ===========================================================================
+// Construction: precomputed item tables
+// ===========================================================================
+
+Formulation::Formulation(const Problem& problem)
+    : problem_(&problem), eval_epoch_(next_eval_epoch()) {
+  problem.validate();
+  build_tables();
+}
+
+Formulation::Formulation(const Formulation& other)
+    : problem_(other.problem_),
+      pu_count_(other.pu_count_),
+      eval_epoch_(next_eval_epoch()),
+      items_(other.items_),
+      segments_(other.segments_) {}
+
+Formulation& Formulation::operator=(const Formulation& other) {
+  if (this != &other) {
+    problem_ = other.problem_;
+    pu_count_ = other.pu_count_;
+    eval_epoch_ = next_eval_epoch();
+    items_ = other.items_;
+    segments_ = other.segments_;
+    sweep_caps_.store(0, std::memory_order_relaxed);
+    sweep_cap_logged_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void Formulation::build_tables() {
+  const Problem& prob = *problem_;
+  pu_count_ = prob.platform->pu_count();
+  segments_.resize(prob.dnns.size());
+
+  for (std::size_t d = 0; d < prob.dnns.size(); ++d) {
+    const DnnSpec& spec = prob.dnns[d];
+    const int groups = spec.net->group_count();
+    auto& segs = segments_[d];
+    segs.resize(static_cast<std::size_t>(groups) * static_cast<std::size_t>(pu_count_));
+
+    for (int g = 0; g < groups; ++g) {
+      const grouping::LayerGroup& grp = spec.net->group(g);
+      const std::span<const perf::GroupProfile> row = spec.profile->group_row(g);
+      for (int pu = 0; pu < pu_count_; ++pu) {
+        Segment& seg = segs[static_cast<std::size_t>(g * pu_count_ + pu)];
+        const perf::GroupProfile& rec = row[static_cast<std::size_t>(pu)];
+        seg.supported = rec.supported;
+        if (!rec.supported) continue;
+        seg.tau_in = rec.tau_in;
+        seg.tau_out = rec.tau_out;
+        seg.stream_gbps = prob.platform->pu(pu).params().max_stream_gbps;
+        seg.begin = static_cast<std::uint32_t>(items_.size());
+        for (int layer = grp.first; layer <= grp.last; ++layer) {
+          const perf::LayerProfile& lrec =
+              spec.profile->layer_row(layer)[static_cast<std::size_t>(pu)];
+          if (lrec.time_ms > 0.0) items_.push_back({pu, lrec.time_ms, lrec.demand_gbps});
+        }
+        seg.count = static_cast<std::uint32_t>(items_.size()) - seg.begin;
+      }
+    }
+  }
+}
+
+// ===========================================================================
+// Item assembly into the workspace
+// ===========================================================================
+
+bool Formulation::assemble_dnn(int d, std::span<const soc::PuId> assignment, EvalWorkspace& ws,
+                               const PredictOptions& options) const {
+  const Problem& prob = *problem_;
+  const DnnSpec& spec = prob.dnns[static_cast<std::size_t>(d)];
+  const int groups = spec.net->group_count();
+  HAX_REQUIRE(static_cast<int>(assignment.size()) == groups, "schedule group count mismatch");
+  const auto& segs = segments_[static_cast<std::size_t>(d)];
+
+  EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
+  st = EvalWorkspace::DnnState{};
+  st.items_begin = static_cast<std::uint32_t>(ws.items.size());
+  st.iterations = spec.iterations;
+  st.depends_on = spec.depends_on;
+
+  int transitions = 0;
+  soc::PuId prev = soc::kInvalidPu;
+  for (int g = 0; g < groups; ++g) {
+    const soc::PuId pu = assignment[static_cast<std::size_t>(g)];
+    HAX_ASSERT(pu >= 0 && pu < pu_count_);
+    const Segment& seg = segs[static_cast<std::size_t>(g * pu_count_ + pu)];
+    if (!seg.supported) return false;  // infeasible assignment
+    if (g > 0 && pu != prev) {
+      if (options.enforce_transition_budget && ++transitions > prob.max_transitions) {
+        return false;
+      }
+      const Segment& prev_seg = segs[static_cast<std::size_t>((g - 1) * pu_count_ + prev)];
+      if (prev_seg.tau_out > 0.0) {
+        ws.items.push_back({prev, prev_seg.tau_out, prev_seg.stream_gbps});
+      }
+      if (seg.tau_in > 0.0) ws.items.push_back({pu, seg.tau_in, seg.stream_gbps});
+    }
+    ws.items.insert(ws.items.end(), items_.begin() + seg.begin,
+                    items_.begin() + seg.begin + seg.count);
+    prev = pu;
+  }
+  st.items_end = static_cast<std::uint32_t>(ws.items.size());
+  return st.items_end > st.items_begin;
+}
+
+// ===========================================================================
+// The timeline sweep (allocation-free)
+// ===========================================================================
+
+struct Formulation::SweepResult {
+  bool feasible = false;
+  bool capped = false;
+  TimeMs makespan = 0.0;
+  TimeMs round_ms = 0.0;
+  double fps = 0.0;
+  TimeMs total_queue = 0.0;
+  double objective = kInf;
+};
+
+void Formulation::note_sweep_cap() const {
+  sweep_caps_.fetch_add(1, std::memory_order_relaxed);
+  if (!sweep_cap_logged_.exchange(true, std::memory_order_relaxed)) {
+    HAX_LOG_WARN("Formulation::predict: event sweep exhausted max_events without "
+                 "converging; schedule reported infeasible (further occurrences "
+                 "counted silently; see sweep_cap_count())");
+  }
+}
+
+Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
+                                            const PredictOptions& options) const {
+  const Problem& prob = *problem_;
+  SweepResult res;
+  const std::size_t dnn_count = ws.states.size();
+  const std::uint32_t dnn_count32 = static_cast<std::uint32_t>(dnn_count);
+
+  // Ascending list of PUs this assembly references: only these can ever
+  // run an item, so the per-event scans iterate them instead of every
+  // platform PU. Skipped PUs are idle throughout, so the accumulations
+  // below see the identical operand sequence.
+  ws.active_pus.clear();
+  for (const EvalItem& it : ws.items) {
+    const auto pos = std::lower_bound(ws.active_pus.begin(), ws.active_pus.end(), it.pu);
+    if (pos == ws.active_pus.end() || *pos != it.pu) ws.active_pus.insert(pos, it.pu);
+  }
+  const std::span<const soc::PuId> pus = ws.active_pus;
+
+  std::fill(ws.queue_head.begin(), ws.queue_head.end(), 0u);
+  std::fill(ws.queue_len.begin(), ws.queue_len.end(), 0u);
+  std::fill(ws.running.begin(), ws.running.end(), -1);
+
+  TimeMs now = 0.0;
+  TimeMs total_queue = 0.0;
+  // Phase census instead of per-event scans: `done` DNNs never leave Done,
+  // `blocked` tracks how many try_unblock could possibly advance, and
+  // `running_count` how many PUs are busy.
+  std::size_t done = 0;
+  std::size_t blocked = dnn_count;
+  std::size_t running_count = 0;
+
+  const auto queue_push = [&](std::size_t pu, int d) {
+    std::uint32_t slot = ws.queue_head[pu] + ws.queue_len[pu];
+    if (slot >= dnn_count32) slot -= dnn_count32;
+    ws.queue_buf[pu * dnn_count + slot] = d;
+    ++ws.queue_len[pu];
+  };
+  const auto queue_pop = [&](std::size_t pu) {
+    const int d = ws.queue_buf[pu * dnn_count + ws.queue_head[pu]];
+    if (++ws.queue_head[pu] == dnn_count32) ws.queue_head[pu] = 0;
+    --ws.queue_len[pu];
+    return d;
+  };
+
+  /// 1 / slowdown(own, external), memoized by exact argument bit patterns
+  /// (the model is pure, so a hit is bit-identical to a fresh call). A
+  /// lone runner has no external traffic and slowdown() pins that case to
+  /// exactly 1.0, so it short-circuits before the table.
+  const auto contention_rate = [&](GBps own, GBps external) -> double {
+    if (external <= 0.0) return 1.0;
+    if (!ws.rate_enabled) return 1.0 / prob.pccs->slowdown(own, external);
+    // Window check first: a healthy memo slides its counters along, a
+    // capacity-starved one quadruples (stale entries just refill), and one
+    // whose pair cardinality beats the largest table switches itself off.
+    if (++ws.rate_lookups >= 4 * ws.rate_key_own.size()) {
+      const bool healthy = 8 * ws.rate_hits >= 7 * ws.rate_lookups;  // >= 87.5 %
+      if (!healthy && ws.rate_key_own.size() < kRateSlotsMax) {
+        const std::size_t slots = ws.rate_key_own.size() * 4;
+        ws.rate_key_own.assign(slots, kRateEmpty);
+        ws.rate_key_ext.resize(slots);
+        ws.rate_val.resize(slots);
+        ws.rate_lookups = 0;
+        ws.rate_hits = 0;
+      } else if (!healthy && 2 * ws.rate_hits < ws.rate_lookups) {
+        ws.rate_enabled = false;
+        return 1.0 / prob.pccs->slowdown(own, external);
+      } else {  // keep adapting: decay so the window keeps sliding
+        ws.rate_lookups >>= 1;
+        ws.rate_hits >>= 1;
+      }
+    }
+    const std::uint64_t own_bits = std::bit_cast<std::uint64_t>(own);
+    const std::uint64_t ext_bits = std::bit_cast<std::uint64_t>(external);
+    std::uint64_t h = (own_bits ^ (ext_bits * 0x9E3779B97F4A7C15ull));
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    const std::size_t mask = ws.rate_key_own.size() - 1;
+    std::size_t insert = static_cast<std::size_t>(h) & mask;
+    for (std::size_t probe = 0; probe < kRateProbes; ++probe) {
+      const std::size_t s = (static_cast<std::size_t>(h) + probe) & mask;
+      if (ws.rate_key_own[s] == own_bits && ws.rate_key_ext[s] == ext_bits) {
+        ++ws.rate_hits;
+        return ws.rate_val[s];
+      }
+      insert = s;
+      if (ws.rate_key_own[s] == kRateEmpty) break;  // never stored past a gap
+    }
+    const double rate = 1.0 / prob.pccs->slowdown(own, external);
+    ws.rate_key_own[insert] = own_bits;
+    ws.rate_key_ext[insert] = ext_bits;
+    ws.rate_val[insert] = rate;
+    return rate;
+  };
+
+  const auto try_unblock = [&] {
+    for (std::size_t d = 0; d < dnn_count; ++d) {
+      EvalWorkspace::DnnState& st = ws.states[d];
+      if (static_cast<Phase>(st.phase) != Phase::Blocked) continue;
+      if (st.depends_on >= 0) {
+        const EvalWorkspace::DnnState& dep = ws.states[static_cast<std::size_t>(st.depends_on)];
+        if (dep.iters_done < std::min(st.iter + 1, dep.iterations)) continue;
+      }
+      st.phase = static_cast<std::uint8_t>(Phase::Waiting);
+      st.idx = st.items_begin;
+      st.remaining = ws.items[st.idx].duration;
+      st.wait_since = now;
+      --blocked;
+      queue_push(static_cast<std::size_t>(ws.items[st.idx].pu), static_cast<int>(d));
+    }
+  };
+
+  const auto grant = [&] {
+    for (const soc::PuId pu_id : pus) {
+      const std::size_t pu = static_cast<std::size_t>(pu_id);
+      if (ws.running[pu] >= 0 || ws.queue_len[pu] == 0) continue;
+      const int d = queue_pop(pu);
+      EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
+      st.phase = static_cast<std::uint8_t>(Phase::Running);
+      ws.running[pu] = d;
+      ++running_count;
+      total_queue += now - st.wait_since;  // cross-DNN same-PU overlap (Eq. 9)
+      if (!st.iter_started) {
+        st.iter_started = true;
+        st.iter_start = now;
+      }
+    }
+  };
+
+  try_unblock();
+  grant();
+
+  std::size_t total_items = 0;
+  for (const EvalWorkspace::DnnState& st : ws.states) {
+    total_items += static_cast<std::size_t>(st.items_end - st.items_begin) *
+                   static_cast<std::size_t>(st.iterations);
+  }
+  const std::size_t max_events =
+      options.max_events > 0 ? options.max_events : 8 * total_items + 256;
+
+  std::size_t event = 0;
+  while (event < max_events && done < dnn_count) {
+    // Single-runner fast path. With one PU busy and nothing queued behind
+    // it, every other DNN is Blocked or Done (a Waiting DNN's idle PU
+    // would have granted it at the last grant()), so mid-iteration
+    // completions cannot unblock anyone and the lone runner's external
+    // traffic is exactly zero — its rate is pinned to exactly 1.0 and
+    // dt/1.0 == dt. Each turn below performs the FP operations of one
+    // generic event verbatim (the skipped total_queue updates add an
+    // exact +0.0), so results stay bit-identical while the per-event
+    // scans, queue traffic and rate lookups all collapse.
+    if (running_count == 1) {
+      std::size_t pu = 0;
+      int d = -1;
+      for (const soc::PuId pu_id : pus) {
+        const std::size_t p = static_cast<std::size_t>(pu_id);
+        if (ws.running[p] >= 0) {
+          pu = p;
+          d = ws.running[p];
+          break;
+        }
+      }
+      EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
+      if (ws.queue_len[pu] == 0) {
+        while (event < max_events) {
+          ++event;
+          TimeMs dt = st.remaining;  // remaining / 1.0
+          dt = std::max(dt, 0.0);
+          now += dt;
+          st.remaining -= dt;  // dt * 1.0 — exactly 0.0 for finite items
+          if (st.remaining > kTimeTolerance) continue;
+          ++st.idx;
+          if (st.idx < st.items_end) {
+            // Waiting → immediate grant on an idle PU: phase and running
+            // slot end up where they started, wait_since is dead until
+            // the next enqueue, total_queue gains an exact 0.0.
+            const EvalItem& it = ws.items[st.idx];
+            st.remaining = it.duration;
+            const std::size_t next_pu = static_cast<std::size_t>(it.pu);
+            if (next_pu != pu) {
+              ws.running[pu] = -1;
+              ws.running[next_pu] = d;
+              pu = next_pu;
+            }
+            continue;
+          }
+          // Iteration boundary: iters_done changes, which is the one
+          // transition that can unblock a dependent — back to the
+          // generic machinery.
+          ws.running[pu] = -1;
+          --running_count;
+          st.span_total += now - st.iter_start;
+          st.iter_started = false;
+          ++st.iters_done;
+          ++st.iter;
+          st.idx = st.items_begin;
+          if (st.iter >= st.iterations) {
+            st.phase = static_cast<std::uint8_t>(Phase::Done);
+            ++done;
+          } else {
+            st.phase = static_cast<std::uint8_t>(Phase::Blocked);
+            ++blocked;
+          }
+          if (blocked > 0) try_unblock();
+          grant();
+          break;
+        }
+        continue;
+      }
+    }
+    ++event;
+
+    // Demands of running items; slowdown of each from PCCS against the
+    // cumulative external traffic (Eq. 7's cont_model).
+    GBps demand_sum = 0.0;
+    bool any = false;
+    for (const soc::PuId pu_id : pus) {
+      const std::size_t pu = static_cast<std::size_t>(pu_id);
+      if (ws.running[pu] < 0) continue;
+      any = true;
+      const EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(ws.running[pu])];
+      demand_sum += ws.items[st.idx].demand;
+    }
+    HAX_ASSERT(any);
+
+    TimeMs dt = std::numeric_limits<TimeMs>::infinity();
+    for (const soc::PuId pu_id : pus) {
+      const std::size_t pu = static_cast<std::size_t>(pu_id);
+      if (ws.running[pu] < 0) continue;
+      const EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(ws.running[pu])];
+      const GBps own = ws.items[st.idx].demand;
+      double rate = 1.0;
+      if (options.model_contention && own > 0.0) {
+        rate = contention_rate(own, demand_sum - own);
+      }
+      ws.rates[pu] = rate;
+      dt = std::min(dt, st.remaining / rate);
+    }
+    dt = std::max(dt, 0.0);
+    now += dt;
+
+    for (const soc::PuId pu_id : pus) {
+      const std::size_t pu = static_cast<std::size_t>(pu_id);
+      const int d = ws.running[pu];
+      if (d < 0) continue;
+      EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
+      st.remaining -= dt * ws.rates[pu];
+      if (st.remaining > kTimeTolerance) continue;
+
+      ws.running[pu] = -1;
+      --running_count;
+      ++st.idx;
+      if (st.idx < st.items_end) {
+        st.phase = static_cast<std::uint8_t>(Phase::Waiting);
+        st.remaining = ws.items[st.idx].duration;
+        st.wait_since = now;
+        queue_push(static_cast<std::size_t>(ws.items[st.idx].pu), d);
+        continue;
+      }
+      st.span_total += now - st.iter_start;
+      st.iter_started = false;
+      ++st.iters_done;
+      ++st.iter;
+      st.idx = st.items_begin;
+      if (st.iter >= st.iterations) {
+        st.phase = static_cast<std::uint8_t>(Phase::Done);
+        ++done;
+      } else {
+        st.phase = static_cast<std::uint8_t>(Phase::Blocked);
+        ++blocked;
+      }
+    }
+
+    if (blocked > 0) try_unblock();
+    grant();
+  }
+  if (done < dnn_count) {  // sweep failed to converge; treat as infeasible
+    res.capped = true;
+    note_sweep_cap();
+    return res;
+  }
+
+  // ---- metrics ------------------------------------------------------------
+  res.makespan = now;
+  int rounds = 1;
+  std::size_t total_iters = 0;
+  for (std::size_t d = 0; d < dnn_count; ++d) {
+    const EvalWorkspace::DnnState& st = ws.states[d];
+    rounds = std::max(rounds, st.iterations);
+    total_iters += static_cast<std::size_t>(st.iterations);
+    ws.spans[d] = st.span_total / static_cast<double>(st.iterations);
+  }
+  res.round_ms = now / static_cast<double>(rounds);
+  res.fps = now > 0.0 ? static_cast<double>(total_iters) / now * 1000.0 : 0.0;
+  res.total_queue = total_queue;
+  // Eq. 9: per-round cross-DNN same-PU overlap must stay within ε.
+  res.feasible = !options.enforce_epsilon ||
+                 total_queue / static_cast<double>(rounds) <= prob.epsilon_ms;
+  if (res.feasible) {
+    res.objective = prob.objective == Objective::MinMaxLatency ? res.round_ms : -res.fps;
+  }
+  return res;
+}
+
+Prediction Formulation::finish(const SweepResult& result, const EvalWorkspace& ws) const {
+  Prediction pred;
+  pred.objective_value = kInf;
+  pred.sweep_capped = result.capped;
+  if (result.capped) return pred;
+  pred.makespan_ms = result.makespan;
+  pred.dnn_span_ms.assign(ws.spans.begin(), ws.spans.end());
+  pred.round_ms = result.round_ms;
+  pred.fps = result.fps;
+  pred.total_queue_ms = result.total_queue;
+  pred.feasible = result.feasible;
+  if (result.feasible) pred.objective_value = result.objective;
+  return pred;
+}
+
+// ===========================================================================
+// Public predict paths
+// ===========================================================================
+
+void Formulation::prepare_workspace(EvalWorkspace& ws) const {
+  const std::size_t dnn_count = problem_->dnns.size();
+  const std::size_t pu_count = static_cast<std::size_t>(pu_count_);
+  ws.items.clear();
+  ws.states.resize(dnn_count);
+  ws.queue_buf.resize(pu_count * dnn_count);
+  ws.queue_head.resize(pu_count);
+  ws.queue_len.resize(pu_count);
+  ws.running.resize(pu_count);
+  ws.rates.resize(pu_count);
+  ws.spans.resize(dnn_count);
+  if (ws.rate_epoch != eval_epoch_) {
+    ws.rate_epoch = eval_epoch_;
+    ws.rate_key_own.assign(kRateSlotsMin, kRateEmpty);
+    ws.rate_key_ext.resize(kRateSlotsMin);
+    ws.rate_val.resize(kRateSlotsMin);
+    ws.rate_lookups = 0;
+    ws.rate_hits = 0;
+    ws.rate_enabled = true;
+  }
+}
+
+Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& options) const {
+  EvalWorkspace ws;
+  return predict(schedule, ws, options);
+}
+
+Prediction Formulation::predict(const Schedule& schedule, EvalWorkspace& ws,
+                                const PredictOptions& options) const {
+  const Problem& prob = *problem_;
+  HAX_REQUIRE(schedule.dnn_count() == prob.dnn_count(), "schedule/problem DNN count mismatch");
+  prepare_workspace(ws);
+  for (int d = 0; d < prob.dnn_count(); ++d) {
+    const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
+    if (!assemble_dnn(d, asg, ws, options)) {
+      Prediction pred;
+      pred.objective_value = kInf;
+      return pred;
+    }
+  }
+  return finish(sweep(ws, options), ws);
+}
+
+Prediction Formulation::predict_flat(std::span<const int> assignment, EvalWorkspace& ws,
+                                     const PredictOptions& options) const {
+  if (!assemble_flat(assignment, ws, options)) {
+    Prediction pred;
+    pred.objective_value = kInf;
+    return pred;
+  }
+  return finish(sweep(ws, options), ws);
+}
+
+double Formulation::evaluate_flat(std::span<const int> assignment, EvalWorkspace& ws,
+                                  const PredictOptions& options) const {
+  if (!assemble_flat(assignment, ws, options)) return kInf;
+  return sweep(ws, options).objective;
+}
+
+bool Formulation::assemble_flat(std::span<const int> assignment, EvalWorkspace& ws,
+                                const PredictOptions& options) const {
+  const Problem& prob = *problem_;
+  prepare_workspace(ws);
+  std::size_t offset = 0;
+  for (int d = 0; d < prob.dnn_count(); ++d) {
+    const std::size_t groups =
+        static_cast<std::size_t>(prob.dnns[static_cast<std::size_t>(d)].net->group_count());
+    HAX_REQUIRE(offset + groups <= assignment.size(), "flat assignment has wrong length");
+    ws.pu_scratch.resize(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const int p = assignment[offset + g];
+      HAX_ASSERT(p >= 0 && p < static_cast<int>(prob.pus.size()));
+      ws.pu_scratch[g] = prob.pus[static_cast<std::size_t>(p)];
+    }
+    if (!assemble_dnn(d, ws.pu_scratch, ws, options)) return false;
+    offset += groups;
+  }
+  HAX_REQUIRE(offset == assignment.size(), "flat assignment has wrong length");
+  return true;
+}
+
+// ===========================================================================
+// Reference implementation (retained verbatim for parity testing)
+// ===========================================================================
+
+namespace {
+
 /// One predicted unit of work: a group's execution or a transition leg.
-struct Item {
+struct RefItem {
   soc::PuId pu = 0;
   TimeMs duration = 0.0;
   GBps demand = 0.0;
 };
 
-enum class Phase : std::uint8_t { Blocked, Waiting, Running, Done };
-
-struct DnnState {
-  std::vector<Item> items;  ///< one iteration
+struct RefDnnState {
+  std::vector<RefItem> items;  ///< one iteration
   int iterations = 1;
   int depends_on = -1;
 
@@ -39,7 +601,8 @@ struct DnnState {
 
 }  // namespace
 
-Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& options) const {
+Prediction Formulation::predict_reference(const Schedule& schedule,
+                                          const PredictOptions& options) const {
   const Problem& prob = *problem_;
   Prediction pred;
   pred.objective_value = kInf;
@@ -48,7 +611,7 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
               "schedule/problem DNN count mismatch");
 
   // ---- build item lists; reject unsupported or over-budget schedules ----
-  std::vector<DnnState> states(prob.dnns.size());
+  std::vector<RefDnnState> states(prob.dnns.size());
   for (int d = 0; d < prob.dnn_count(); ++d) {
     const DnnSpec& spec = prob.dnns[static_cast<std::size_t>(d)];
     const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
@@ -59,7 +622,7 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
       return pred;
     }
 
-    DnnState& st = states[static_cast<std::size_t>(d)];
+    RefDnnState& st = states[static_cast<std::size_t>(d)];
     st.iterations = spec.iterations;
     st.depends_on = spec.depends_on;
     for (int g = 0; g < spec.net->group_count(); ++g) {
@@ -94,15 +657,15 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
 
   const auto all_done = [&] {
     return std::all_of(states.begin(), states.end(),
-                       [](const DnnState& s) { return s.phase == Phase::Done; });
+                       [](const RefDnnState& s) { return s.phase == Phase::Done; });
   };
 
   const auto try_unblock = [&] {
     for (std::size_t d = 0; d < states.size(); ++d) {
-      DnnState& st = states[d];
+      RefDnnState& st = states[d];
       if (st.phase != Phase::Blocked) continue;
       if (st.depends_on >= 0) {
-        const DnnState& dep = states[static_cast<std::size_t>(st.depends_on)];
+        const RefDnnState& dep = states[static_cast<std::size_t>(st.depends_on)];
         if (dep.iters_done < std::min(st.iter + 1, dep.iterations)) continue;
       }
       st.phase = Phase::Waiting;
@@ -117,7 +680,7 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
       if (running[pu] >= 0 || queues[pu].empty()) continue;
       const int d = queues[pu].front();
       queues[pu].pop_front();
-      DnnState& st = states[static_cast<std::size_t>(d)];
+      RefDnnState& st = states[static_cast<std::size_t>(d)];
       st.phase = Phase::Running;
       running[pu] = d;
       total_queue += now - st.wait_since;  // cross-DNN same-PU overlap (Eq. 9)
@@ -132,20 +695,19 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
   grant();
 
   std::size_t total_items = 0;
-  for (const DnnState& st : states) {
+  for (const RefDnnState& st : states) {
     total_items += st.items.size() * static_cast<std::size_t>(st.iterations);
   }
-  const std::size_t max_events = 8 * total_items + 256;
+  const std::size_t max_events =
+      options.max_events > 0 ? options.max_events : 8 * total_items + 256;
 
   for (std::size_t event = 0; event < max_events && !all_done(); ++event) {
-    // Demands of running items; slowdown of each from PCCS against the
-    // cumulative external traffic (Eq. 7's cont_model).
     GBps demand_sum = 0.0;
     bool any = false;
     for (std::size_t pu = 0; pu < running.size(); ++pu) {
       if (running[pu] < 0) continue;
       any = true;
-      const DnnState& st = states[static_cast<std::size_t>(running[pu])];
+      const RefDnnState& st = states[static_cast<std::size_t>(running[pu])];
       demand_sum += st.items[st.idx].demand;
     }
     HAX_ASSERT(any);
@@ -154,7 +716,7 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
     TimeMs dt = std::numeric_limits<TimeMs>::infinity();
     for (std::size_t pu = 0; pu < running.size(); ++pu) {
       if (running[pu] < 0) continue;
-      const DnnState& st = states[static_cast<std::size_t>(running[pu])];
+      const RefDnnState& st = states[static_cast<std::size_t>(running[pu])];
       const GBps own = st.items[st.idx].demand;
       double rate = 1.0;
       if (options.model_contention && own > 0.0) {
@@ -169,7 +731,7 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
     for (std::size_t pu = 0; pu < running.size(); ++pu) {
       const int d = running[pu];
       if (d < 0) continue;
-      DnnState& st = states[static_cast<std::size_t>(d)];
+      RefDnnState& st = states[static_cast<std::size_t>(d)];
       st.remaining -= dt * rates[pu];
       if (st.remaining > kTimeTolerance) continue;
 
@@ -193,13 +755,17 @@ Prediction Formulation::predict(const Schedule& schedule, const PredictOptions& 
     try_unblock();
     grant();
   }
-  if (!all_done()) return pred;  // sweep failed to converge; treat as infeasible
+  if (!all_done()) {  // sweep failed to converge; treat as infeasible
+    pred.sweep_capped = true;
+    note_sweep_cap();
+    return pred;
+  }
 
   // ---- metrics -------------------------------------------------------------
   pred.makespan_ms = now;
   int rounds = 1;
   std::size_t total_iters = 0;
-  for (const DnnState& st : states) {
+  for (const RefDnnState& st : states) {
     rounds = std::max(rounds, st.iterations);
     total_iters += static_cast<std::size_t>(st.iterations);
     pred.dnn_span_ms.push_back(st.span_total / static_cast<double>(st.iterations));

@@ -8,9 +8,17 @@
 namespace hax::sched {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
 
-ScheduleSpace::ScheduleSpace(const Problem& problem)
+/// Per-thread scratch for lower_bound(): hoists the per-call vectors out
+/// of the hot pruning path (lower_bound runs once per interior node).
+struct BoundScratch {
+  std::vector<TimeMs> chain;    ///< per-DNN per-iteration serial chain
+  std::vector<TimeMs> pu_load;  ///< committed work per PU
+};
+
+}  // namespace
+
+ScheduleSpace::ScheduleSpace(const Problem& problem, ScheduleSpaceOptions options)
     : prob_(&problem), formulation_(problem) {
   const int pus = static_cast<int>(prob_->pus.size());
   dnn_offset_.reserve(prob_->dnns.size());
@@ -26,6 +34,10 @@ ScheduleSpace::ScheduleSpace(const Problem& problem)
     (void)spec.net->network().consumers();
     const int groups = spec.net->group_count();
     dnn_offset_.push_back(var_count_);
+    for (int g = 0; g < groups; ++g) {
+      var_dnn_.push_back(static_cast<int>(d));
+      var_group_.push_back(g);
+    }
     var_count_ += groups;
 
     auto& suffix = suffix_supported_[d];
@@ -45,15 +57,25 @@ ScheduleSpace::ScheduleSpace(const Problem& problem)
       min_time[static_cast<std::size_t>(g)] = min_time[static_cast<std::size_t>(g + 1)] + best;
     }
   }
+
+  pu_index_.assign(static_cast<std::size_t>(prob_->platform->pu_count()), -1);
+  for (std::size_t p = 0; p < prob_->pus.size(); ++p) {
+    const soc::PuId pu = prob_->pus[p];
+    HAX_REQUIRE(pu >= 0 && pu < static_cast<int>(pu_index_.size()),
+                "problem PU set references a PU outside the platform");
+    pu_index_[static_cast<std::size_t>(pu)] = static_cast<int>(p);
+  }
+
+  if (options.memo_cache) {
+    cache_ = std::make_unique<MemoCache>(options.memo_capacity);
+  }
 }
 
 int ScheduleSpace::variable_count() const { return var_count_; }
 
 std::pair<int, int> ScheduleSpace::var_location(int var) const {
   HAX_ASSERT(var >= 0 && var < var_count_);
-  int dnn = static_cast<int>(dnn_offset_.size()) - 1;
-  while (dnn_offset_[static_cast<std::size_t>(dnn)] > var) --dnn;
-  return {dnn, var - dnn_offset_[static_cast<std::size_t>(dnn)]};
+  return {var_dnn_[static_cast<std::size_t>(var)], var_group_[static_cast<std::size_t>(var)]};
 }
 
 TimeMs ScheduleSpace::group_time(int dnn, int group, int pu_index) const {
@@ -86,32 +108,33 @@ void ScheduleSpace::candidates(std::span<const int> prefix, std::vector<int>& ou
   const int budget_left = prob_->max_transitions - used;
 
   // Previous group's PU first: it spends no transition and tends to be
-  // part of good schedules, so incumbents improve early.
-  std::vector<int> order;
-  order.reserve(static_cast<std::size_t>(pus));
-  if (prev >= 0) order.push_back(prev);
-  for (int p = 0; p < pus; ++p) {
-    if (p != prev) order.push_back(p);
-  }
-
-  for (int p : order) {
-    if (!group_supported(dnn, group, p)) continue;
+  // part of good schedules, so incumbents improve early. (Emitted inline
+  // in that order — no temporary ordering vector.)
+  const auto consider = [&](int p) {
+    if (!group_supported(dnn, group, p)) return;
     const bool switches = prev >= 0 && p != prev;
     const int left_after = budget_left - (switches ? 1 : 0);
-    if (left_after < 0) continue;
+    if (left_after < 0) return;
     if (left_after == 0) {
       // No budget to ever leave p: the whole suffix must support it.
       const auto& suffix = suffix_supported_[static_cast<std::size_t>(dnn)];
-      if (!suffix[static_cast<std::size_t>(group * pus + p)]) continue;
+      if (!suffix[static_cast<std::size_t>(group * pus + p)]) return;
     }
     out.push_back(p);
+  };
+  if (prev >= 0) consider(prev);
+  for (int p = 0; p < pus; ++p) {
+    if (p != prev) consider(p);
   }
 }
 
 double ScheduleSpace::lower_bound(std::span<const int> prefix) const {
   const int pus = static_cast<int>(prob_->pus.size());
-  std::vector<TimeMs> chain(prob_->dnns.size(), 0.0);      // per-iteration serial chain
-  std::vector<TimeMs> pu_load(static_cast<std::size_t>(pus), 0.0);  // committed work
+  thread_local BoundScratch scratch;
+  scratch.chain.assign(prob_->dnns.size(), 0.0);
+  scratch.pu_load.assign(static_cast<std::size_t>(pus), 0.0);
+  std::vector<TimeMs>& chain = scratch.chain;
+  std::vector<TimeMs>& pu_load = scratch.pu_load;
 
   for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
     const DnnSpec& spec = prob_->dnns[d];
@@ -165,7 +188,25 @@ double ScheduleSpace::lower_bound(std::span<const int> prefix) const {
 }
 
 double ScheduleSpace::evaluate(std::span<const int> assignment) const {
-  return formulation_.predict(to_schedule(assignment)).objective_value;
+  HAX_REQUIRE(static_cast<int>(assignment.size()) == var_count_,
+              "flat assignment has wrong length");
+  std::uint64_t key = 0;
+  if (cache_ != nullptr) {
+    key = hash_span(assignment);
+    double cached = 0.0;
+    if (cache_->lookup(key, cached)) return cached;
+  }
+  // One workspace per worker thread, reused across every evaluation the
+  // thread performs (also across ScheduleSpace instances: the workspace
+  // re-sizes itself to whichever formulation it is handed).
+  thread_local EvalWorkspace ws;
+  const double objective = formulation_.evaluate_flat(assignment, ws);
+  if (cache_ != nullptr) cache_->insert(key, objective);
+  return objective;
+}
+
+MemoCacheStats ScheduleSpace::cache_stats() const noexcept {
+  return cache_ != nullptr ? cache_->stats() : MemoCacheStats{};
 }
 
 Schedule ScheduleSpace::to_schedule(std::span<const int> assignment) const {
@@ -192,9 +233,11 @@ std::vector<int> ScheduleSpace::to_flat(const Schedule& schedule) const {
   flat.reserve(static_cast<std::size_t>(var_count_));
   for (std::size_t d = 0; d < prob_->dnns.size(); ++d) {
     for (soc::PuId pu : schedule.assignment[d]) {
-      const auto it = std::find(prob_->pus.begin(), prob_->pus.end(), pu);
-      HAX_REQUIRE(it != prob_->pus.end(), "schedule uses a PU outside the problem's set");
-      flat.push_back(static_cast<int>(it - prob_->pus.begin()));
+      const int index = pu >= 0 && pu < static_cast<int>(pu_index_.size())
+                            ? pu_index_[static_cast<std::size_t>(pu)]
+                            : -1;
+      HAX_REQUIRE(index >= 0, "schedule uses a PU outside the problem's set");
+      flat.push_back(index);
     }
   }
   return flat;

@@ -9,13 +9,25 @@
 ///
 /// Thread-safety: candidates() / lower_bound() / evaluate() are
 /// const-thread-safe (the parallel solvers call them from many workers).
-/// All scratch is per-call; the constructor eagerly materializes every
-/// lazy cache reachable from the evaluate path (Network::consumers) so no
-/// hidden mutation happens after construction.
+/// Per-call scratch is thread_local (one evaluation workspace per worker
+/// thread); the only cross-thread mutable state is the sharded memo cache,
+/// which is internally lock-striped. The constructor eagerly materializes
+/// every lazy cache reachable from the evaluate path (Network::consumers)
+/// so no hidden mutation happens after construction.
+///
+/// evaluate() runs the Formulation's flat fast path directly — no nested
+/// Schedule is materialized — and memoizes objectives by assignment hash:
+/// the GA re-evaluates duplicate genomes every generation and the
+/// portfolio engines revisit each other's incumbents, so duplicate sweeps
+/// collapse into one cache probe. Cached and uncached evaluation are
+/// bit-identical (the predictor is deterministic); cache_stats() exposes
+/// the hit/miss counters that solve_schedule surfaces through SolveStats.
 
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/memo_cache.h"
 #include "sched/formulation.h"
 #include "sched/problem.h"
 #include "sched/schedule.h"
@@ -23,9 +35,16 @@
 
 namespace hax::sched {
 
+struct ScheduleSpaceOptions {
+  /// Memoize evaluate() results keyed by assignment hash.
+  bool memo_cache = true;
+  /// Total cached objectives across all shards.
+  std::size_t memo_capacity = 1u << 16;
+};
+
 class ScheduleSpace : public solver::SearchSpace {
  public:
-  explicit ScheduleSpace(const Problem& problem);
+  explicit ScheduleSpace(const Problem& problem, ScheduleSpaceOptions options = {});
 
   // SearchSpace interface.
   [[nodiscard]] int variable_count() const override;
@@ -39,6 +58,9 @@ class ScheduleSpace : public solver::SearchSpace {
 
   [[nodiscard]] const Formulation& formulation() const noexcept { return formulation_; }
 
+  /// Hit/miss totals of the evaluation memo cache (zeros when disabled).
+  [[nodiscard]] MemoCacheStats cache_stats() const noexcept;
+
  private:
   [[nodiscard]] std::pair<int, int> var_location(int var) const;  // (dnn, group)
   [[nodiscard]] TimeMs group_time(int dnn, int group, int pu_index) const;
@@ -48,11 +70,22 @@ class ScheduleSpace : public solver::SearchSpace {
   Formulation formulation_;
   std::vector<int> dnn_offset_;  ///< first variable of each DNN
   int var_count_ = 0;
+  /// var → (dnn, group) lookup tables (var_location used to linear-scan
+  /// dnn_offset_ on every candidates() call).
+  std::vector<int> var_dnn_;
+  std::vector<int> var_group_;
+  /// PuId → index into prob_->pus (-1 = not schedulable); replaces the
+  /// std::find scan to_flat used to run per group.
+  std::vector<int> pu_index_;
   /// suffix_supported_[d][g * pus + p]: groups g..end of DNN d all run on p.
   std::vector<std::vector<char>> suffix_supported_;
   /// min_suffix_time_[d][g]: sum over groups g..end of the fastest
   /// supported PU time (admissible remaining-work bound).
   std::vector<std::vector<TimeMs>> min_suffix_time_;
+  /// Memoized evaluate() objectives; null when disabled. The cache is the
+  /// one mutable member touched from const methods — it is internally
+  /// synchronized (lock-striped shards, atomic counters).
+  std::unique_ptr<MemoCache> cache_;
 };
 
 }  // namespace hax::sched

@@ -9,7 +9,7 @@ namespace hax::sched {
 ScheduleSolution solve_schedule(const Problem& problem, const SolveScheduleOptions& options,
                                 const ScheduleCallback& on_incumbent) {
   problem.validate();
-  ScheduleSpace space(problem);
+  ScheduleSpace space(problem, {.memo_cache = options.memo_cache});
 
   solver::SolveOptions solver_options;
   solver_options.time_budget_ms = options.time_budget_ms;
@@ -42,6 +42,9 @@ ScheduleSolution solve_schedule(const Problem& problem, const SolveScheduleOptio
 
   ScheduleSolution solution;
   solution.stats = result.stats;
+  const MemoCacheStats cache = space.cache_stats();
+  solution.stats.cache_hits = cache.hits;
+  solution.stats.cache_misses = cache.misses;
   solution.proven_optimal = result.stats.exhausted;
   solution.prediction.objective_value = std::numeric_limits<double>::infinity();
   if (result.best.has_value()) {

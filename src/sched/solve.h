@@ -41,6 +41,12 @@ struct SolveScheduleOptions {
 
   /// Optional cooperative cancellation from outside the solver.
   const solver::StopToken* stop = nullptr;
+
+  /// Evaluation memoization for the search space (see ScheduleSpaceOptions):
+  /// duplicate candidate evaluations — GA re-visits, portfolio cross-talk —
+  /// become cache probes. Results are bit-identical either way; hit/miss
+  /// totals land in ScheduleSolution::stats.
+  bool memo_cache = true;
 };
 
 struct ScheduleSolution {

@@ -28,8 +28,9 @@ namespace hax::solver {
 /// Search spaces must be const-thread-safe: the multi-threaded solvers
 /// call candidates() / lower_bound() / evaluate() concurrently from many
 /// workers on the same instance. Implementations must keep all scratch
-/// per-call (stack-local) — no mutable members, no lazy caches populated
-/// after construction.
+/// per-call or per-thread (stack-local / thread_local); mutable shared
+/// state is allowed only when it is internally synchronized and
+/// result-transparent (e.g. ScheduleSpace's lock-striped memo cache).
 class SearchSpace {
  public:
   virtual ~SearchSpace() = default;
@@ -146,6 +147,11 @@ struct SolveStats {
   TimeMs elapsed_ms = 0.0;
   /// True when the space was exhausted: the incumbent is proven optimal.
   bool exhausted = false;
+  /// Evaluation memo-cache totals, when the search space memoizes
+  /// evaluate() (see ScheduleSpace). Filled by the solve_schedule layer —
+  /// the cache lives in the space, not the engine — and zero otherwise.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 struct SolveResult {

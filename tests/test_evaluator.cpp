@@ -1,0 +1,390 @@
+/// Tests for the zero-allocation schedule evaluator: golden parity of the
+/// precomputed-item-table / EvalWorkspace fast paths against the retained
+/// reference predictor, the evaluation memo cache (on/off, concurrent),
+/// the sweep-cap accounting, and the MemoCache utility itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+#include "common/memo_cache.h"
+#include "common/rng.h"
+#include "nn/zoo.h"
+#include "sched/formulation.h"
+#include "sched/problem.h"
+#include "sched/search_space.h"
+#include "sched/solve.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::sched;
+
+/// Table 6-style workloads (Sec 5): parallel pairs, a pipelined pair with
+/// streaming iterations, and a 3-DNN hybrid, across two platforms. Small
+/// max_groups keeps the profile build fast; the evaluator sees the same
+/// structural variety (transitions, dependencies, iteration imbalance).
+struct WorkloadDef {
+  const char* name;
+  soc::Platform (*platform)();
+  Objective objective;
+  std::vector<const char*> dnns;
+  std::vector<int> deps;
+  std::vector<int> iters;
+};
+
+const std::vector<WorkloadDef>& workloads() {
+  static const std::vector<WorkloadDef> defs = {
+      // Table 6 exp 1 (Scenario 2): parallel pair, latency.
+      {"xavier-vgg19+resnet152", &soc::Platform::xavier, Objective::MinMaxLatency,
+       {"VGG19", "ResNet152"}, {-1, -1}, {1, 1}},
+      // Table 6 exp 3 (Scenario 3): pipelined streaming pair, throughput.
+      {"xavier-alexnet>resnet101", &soc::Platform::xavier, Objective::MaxThroughput,
+       {"AlexNet", "ResNet101"}, {-1, 0}, {4, 4}},
+      // Table 6 exp 8 (Scenario 4): 3-DNN hybrid on Orin, latency.
+      {"orin-resnet101>googlenet+inception", &soc::Platform::orin, Objective::MinMaxLatency,
+       {"ResNet101", "GoogleNet", "Inception"}, {-1, 0, -1}, {2, 2, 1}},
+  };
+  return defs;
+}
+
+/// ProblemInstance keeps a pointer to the platform, so the caller must
+/// keep the Platform object alive for the instance's lifetime.
+ProblemInstance make_instance(const soc::Platform& platform, const WorkloadDef& def) {
+  ProblemInstance inst(platform, def.objective, {.max_groups = 5});
+  for (std::size_t i = 0; i < def.dnns.size(); ++i) {
+    inst.add_dnn(nn::zoo::by_name(def.dnns[i]), def.deps[i], def.iters[i]);
+  }
+  return inst;
+}
+
+/// Samples a structurally valid flat assignment by walking the variables
+/// and drawing uniformly from candidates() — the same construction the
+/// GA's repair pass uses, so transition budget and support always hold.
+std::vector<int> random_flat(const ScheduleSpace& space, Rng& rng) {
+  std::vector<int> flat;
+  std::vector<int> cands;
+  const int n = space.variable_count();
+  flat.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    space.candidates(flat, cands);
+    if (cands.empty()) {  // dead end: restart (rare under small budgets)
+      flat.clear();
+      v = -1;
+      continue;
+    }
+    flat.push_back(cands[rng.uniform_index(cands.size())]);
+  }
+  return flat;
+}
+
+void expect_identical(const Prediction& ref, const Prediction& got, const char* what) {
+  EXPECT_EQ(ref.feasible, got.feasible) << what;
+  EXPECT_EQ(ref.sweep_capped, got.sweep_capped) << what;
+  // Bit-identical, not approximately equal: the fast path must perform the
+  // same float operations in the same order as the reference.
+  EXPECT_EQ(ref.objective_value, got.objective_value) << what;
+  EXPECT_EQ(ref.makespan_ms, got.makespan_ms) << what;
+  EXPECT_EQ(ref.round_ms, got.round_ms) << what;
+  EXPECT_EQ(ref.fps, got.fps) << what;
+  EXPECT_EQ(ref.total_queue_ms, got.total_queue_ms) << what;
+  ASSERT_EQ(ref.dnn_span_ms.size(), got.dnn_span_ms.size()) << what;
+  for (std::size_t i = 0; i < ref.dnn_span_ms.size(); ++i) {
+    EXPECT_EQ(ref.dnn_span_ms[i], got.dnn_span_ms[i]) << what << " span " << i;
+  }
+}
+
+// ------------------------------------------------------------- parity ----
+
+TEST(EvaluatorParity, FlatAndWorkspacePathsMatchReference) {
+  for (const WorkloadDef& def : workloads()) {
+    const soc::Platform plat = def.platform();
+    const ProblemInstance inst = make_instance(plat, def);
+    const ScheduleSpace space(inst.problem(), {.memo_cache = false});
+    const Formulation& f = space.formulation();
+    EvalWorkspace ws;  // reused across every evaluation below
+    Rng rng(0xC0FFEEull);
+
+    for (int i = 0; i < 40; ++i) {
+      const std::vector<int> flat = random_flat(space, rng);
+      const Schedule schedule = space.to_schedule(flat);
+      const Prediction ref = f.predict_reference(schedule);
+
+      expect_identical(ref, f.predict_flat(flat, ws), def.name);
+      expect_identical(ref, f.predict(schedule, ws), def.name);
+      expect_identical(ref, f.predict(schedule), def.name);
+      EXPECT_EQ(ref.objective_value, f.evaluate_flat(flat, ws)) << def.name;
+      EXPECT_EQ(ref.objective_value, space.evaluate(flat)) << def.name;
+    }
+  }
+}
+
+TEST(EvaluatorParity, OptionVariantsMatchReference) {
+  const soc::Platform plat = workloads()[0].platform();
+  const ProblemInstance inst = make_instance(plat, workloads()[0]);
+  Problem prob = inst.problem();
+  prob.epsilon_ms = 0.25;  // make the ε constraint bite sometimes
+  const Formulation f(prob);
+  const ScheduleSpace space(prob, {.memo_cache = false});
+  EvalWorkspace ws;
+  Rng rng(7);
+
+  const PredictOptions variants[] = {
+      {},
+      {.model_contention = false},
+      {.enforce_epsilon = false},
+      {.model_contention = false, .enforce_transition_budget = false, .enforce_epsilon = false},
+  };
+  for (int i = 0; i < 12; ++i) {
+    const std::vector<int> flat = random_flat(space, rng);
+    const Schedule schedule = space.to_schedule(flat);
+    for (const PredictOptions& opt : variants) {
+      expect_identical(f.predict_reference(schedule, opt), f.predict_flat(flat, ws, opt),
+                       "option variant");
+    }
+  }
+}
+
+TEST(EvaluatorParity, InfeasibleSchedulesMatchReference) {
+  const soc::Platform plat = workloads()[0].platform();
+  const ProblemInstance inst = make_instance(plat, workloads()[0]);
+  const Problem& prob = inst.problem();
+  const Formulation f(prob);
+  EvalWorkspace ws;
+
+  // Over-budget zigzag: alternates PUs every group.
+  Schedule zigzag;
+  for (const DnnSpec& spec : prob.dnns) {
+    std::vector<soc::PuId> asg;
+    for (int g = 0; g < spec.net->group_count(); ++g) {
+      asg.push_back(prob.pus[static_cast<std::size_t>(g % 2)]);
+    }
+    zigzag.assignment.push_back(std::move(asg));
+  }
+  expect_identical(f.predict_reference(zigzag), f.predict(zigzag, ws), "zigzag");
+  EXPECT_FALSE(f.predict(zigzag, ws).feasible);
+}
+
+// ------------------------------------------------------- memo caching ----
+
+TEST(EvaluatorCache, CachedAndUncachedAgreeAndCountHits) {
+  const soc::Platform plat = workloads()[1].platform();
+  const ProblemInstance inst = make_instance(plat, workloads()[1]);
+  const ScheduleSpace cached(inst.problem(), {.memo_cache = true});
+  const ScheduleSpace uncached(inst.problem(), {.memo_cache = false});
+  Rng rng(42);
+
+  // Sample distinct schedules so the first pass is all misses.
+  std::vector<std::vector<int>> flats;
+  while (flats.size() < 20) {
+    std::vector<int> flat = random_flat(cached, rng);
+    if (std::find(flats.begin(), flats.end(), flat) == flats.end()) {
+      flats.push_back(std::move(flat));
+    }
+  }
+
+  for (const auto& flat : flats) {
+    EXPECT_EQ(uncached.evaluate(flat), cached.evaluate(flat));
+  }
+  const MemoCacheStats first_pass = cached.cache_stats();
+  EXPECT_EQ(first_pass.hits, 0u);
+  EXPECT_EQ(first_pass.misses, flats.size());
+
+  // Second pass: every evaluation is a duplicate (the GA's re-evaluation
+  // pattern); all must hit and return identical objectives.
+  for (const auto& flat : flats) {
+    EXPECT_EQ(uncached.evaluate(flat), cached.evaluate(flat));
+  }
+  const MemoCacheStats second_pass = cached.cache_stats();
+  EXPECT_EQ(second_pass.hits, flats.size());
+  EXPECT_EQ(second_pass.misses, flats.size());
+  EXPECT_EQ(uncached.cache_stats().lookups(), 0u);
+}
+
+TEST(EvaluatorCache, ConcurrentEvaluationIsConsistent) {
+  const soc::Platform plat = workloads()[0].platform();
+  const ProblemInstance inst = make_instance(plat, workloads()[0]);
+  const ScheduleSpace space(inst.problem(), {.memo_cache = true});
+  const ScheduleSpace reference(inst.problem(), {.memo_cache = false});
+  Rng rng(3);
+
+  std::vector<std::vector<int>> flats;
+  std::vector<double> expected;
+  for (int i = 0; i < 16; ++i) {
+    flats.push_back(random_flat(space, rng));
+    expected.push_back(reference.evaluate(flats.back()));
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<double>> results(kThreads,
+                                           std::vector<double>(flats.size(), 0.0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < flats.size(); ++i) {
+        results[static_cast<std::size_t>(t)][i] = space.evaluate(flats[i]);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < flats.size(); ++i) {
+      EXPECT_EQ(expected[i], results[static_cast<std::size_t>(t)][i]);
+    }
+  }
+  const MemoCacheStats stats = space.cache_stats();
+  EXPECT_EQ(stats.lookups(), static_cast<std::uint64_t>(kThreads) * flats.size());
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(EvaluatorCache, SolveScheduleSurfacesCacheCounters) {
+  const soc::Platform plat = workloads()[0].platform();
+  const ProblemInstance inst = make_instance(plat, workloads()[0]);
+  SolveScheduleOptions options;
+  options.portfolio = true;  // GA half generates duplicate genomes
+  options.genetic.population = 16;
+  options.genetic.generations = 10;
+  // Duplicate seed: the second pre-search evaluation is a guaranteed cache
+  // hit, independent of how the portfolio race is scheduled.
+  const Schedule seed =
+      uniform_schedule(inst.problem().group_counts(), plat.gpu());
+  options.seeds = {seed, seed};
+  const ScheduleSolution sol = solve_schedule(inst.problem(), options);
+  ASSERT_TRUE(sol.best_found());
+  EXPECT_GT(sol.stats.cache_misses, 0u);
+  EXPECT_GT(sol.stats.cache_hits, 0u);  // duplicates must have been memoized
+
+  SolveScheduleOptions no_cache = options;
+  no_cache.memo_cache = false;
+  const ScheduleSolution sol2 = solve_schedule(inst.problem(), no_cache);
+  ASSERT_TRUE(sol2.best_found());
+  EXPECT_EQ(sol.prediction.objective_value, sol2.prediction.objective_value);
+  EXPECT_EQ(sol2.stats.cache_hits, 0u);
+  EXPECT_EQ(sol2.stats.cache_misses, 0u);
+}
+
+// ----------------------------------------------------------- sweep cap ----
+
+TEST(EvaluatorSweepCap, CapIsCountedAndDistinguishable) {
+  const soc::Platform plat = workloads()[0].platform();
+  const ProblemInstance inst = make_instance(plat, workloads()[0]);
+  const Problem& prob = inst.problem();
+  const Formulation f(prob);
+  EvalWorkspace ws;
+  const Schedule all_gpu = uniform_schedule(prob.group_counts(), inst.platform().gpu());
+
+  // Sanity: with the automatic cap the sweep converges.
+  const Prediction ok = f.predict(all_gpu, ws, {.enforce_epsilon = false});
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_FALSE(ok.sweep_capped);
+  EXPECT_EQ(f.sweep_cap_count(), 0u);
+
+  // A one-event budget cannot finish any multi-item schedule: the result
+  // must be flagged as a convergence failure, not a plain infeasibility.
+  const Prediction capped = f.predict(all_gpu, ws, {.enforce_epsilon = false, .max_events = 1});
+  EXPECT_FALSE(capped.feasible);
+  EXPECT_TRUE(capped.sweep_capped);
+  EXPECT_TRUE(std::isinf(capped.objective_value));
+  EXPECT_EQ(f.sweep_cap_count(), 1u);
+
+  // The reference path shares the accounting.
+  const Prediction ref_capped =
+      f.predict_reference(all_gpu, {.enforce_epsilon = false, .max_events = 1});
+  EXPECT_TRUE(ref_capped.sweep_capped);
+  EXPECT_EQ(f.sweep_cap_count(), 2u);
+
+  // A genuinely infeasible schedule is NOT sweep-capped.
+  Schedule zigzag = all_gpu;
+  for (auto& asg : zigzag.assignment) {
+    for (std::size_t g = 0; g < asg.size(); ++g) {
+      asg[g] = prob.pus[g % 2];
+    }
+  }
+  const Prediction infeasible = f.predict(zigzag, ws);
+  EXPECT_FALSE(infeasible.feasible);
+  EXPECT_FALSE(infeasible.sweep_capped);
+  EXPECT_EQ(f.sweep_cap_count(), 2u);
+}
+
+// ------------------------------------------------------------ to_flat ----
+
+TEST(ScheduleSpaceMaps, ToFlatRejectsForeignPu) {
+  const soc::Platform plat = workloads()[0].platform();
+  const ProblemInstance inst = make_instance(plat, workloads()[0]);
+  const ScheduleSpace space(inst.problem());
+  Schedule s = uniform_schedule(inst.problem().group_counts(), inst.problem().pus[0]);
+  const std::vector<int> flat = space.to_flat(s);
+  EXPECT_EQ(static_cast<int>(flat.size()), space.variable_count());
+  for (int v : flat) EXPECT_EQ(v, 0);
+
+  s.assignment[0][0] = 99;  // not a platform PU at all
+  EXPECT_THROW((void)space.to_flat(s), PreconditionError);
+}
+
+// ---------------------------------------------------------- MemoCache ----
+
+TEST(MemoCache, BasicInsertLookupAndStats) {
+  MemoCache cache(1024, 4);
+  double value = 0.0;
+  EXPECT_FALSE(cache.lookup(123, value));
+  cache.insert(123, 4.5);
+  ASSERT_TRUE(cache.lookup(123, value));
+  EXPECT_EQ(value, 4.5);
+  cache.insert(123, 6.5);  // refresh overwrites
+  ASSERT_TRUE(cache.lookup(123, value));
+  EXPECT_EQ(value, 6.5);
+
+  const MemoCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_NEAR(stats.hit_rate(), 2.0 / 3.0, 1e-12);
+
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(123, value));
+}
+
+TEST(MemoCache, ZeroKeyIsStorable) {
+  MemoCache cache(64, 2);
+  double value = 0.0;
+  cache.insert(0, 1.25);
+  ASSERT_TRUE(cache.lookup(0, value));
+  EXPECT_EQ(value, 1.25);
+}
+
+TEST(MemoCache, EvictionNeverReturnsWrongValue) {
+  // Tiny cache, heavy overflow: stale entries may be evicted, but a hit
+  // must always return the value inserted for that exact key.
+  MemoCache cache(32, 2);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next();
+    const double expect = static_cast<double>(key % 977);
+    cache.insert(key, expect);
+    double got = 0.0;
+    ASSERT_TRUE(cache.lookup(key, got));  // just inserted: still resident
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(MemoCache, HashSpanIsStableAndDiscriminating) {
+  const std::vector<int> a = {0, 1, 2, 1};
+  const std::vector<int> b = {0, 1, 2, 2};
+  const std::vector<int> c = {0, 1, 2};
+  EXPECT_EQ(hash_span(a), hash_span(a));
+  EXPECT_NE(hash_span(a), hash_span(b));
+  EXPECT_NE(hash_span(a), hash_span(c));
+  EXPECT_NE(hash_span(b), hash_span(c));
+  EXPECT_NE(hash_span({}), 0u);  // empty span still yields a sentinel-safe key
+}
+
+TEST(MemoCache, RejectsNonPowerOfTwoShards) {
+  EXPECT_THROW(MemoCache(1024, 3), PreconditionError);
+}
+
+}  // namespace
