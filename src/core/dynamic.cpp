@@ -26,7 +26,7 @@ void DHaxConn::publish(const sched::Schedule& schedule, const sched::Prediction&
   cv_.notify_all();
 }
 
-void DHaxConn::start(const sched::Problem& problem) {
+void DHaxConn::start(const sched::Problem& problem, const sched::Schedule* initial_seed) {
   stop();
   problem.validate();
   stop_requested_.store(false);
@@ -46,7 +46,11 @@ void DHaxConn::start(const sched::Problem& problem) {
   sched::Schedule initial;
   sched::Prediction initial_pred;
   initial_pred.objective_value = std::numeric_limits<double>::infinity();
-  for (sched::Schedule& seed : baselines::naive_seeds(problem)) {
+  std::vector<sched::Schedule> seeds = baselines::naive_seeds(problem);
+  if (initial_seed != nullptr && !initial_seed->assignment.empty()) {
+    seeds.push_back(*initial_seed);
+  }
+  for (sched::Schedule& seed : seeds) {
     const sched::Prediction p = formulation.predict(
         seed, {.enforce_transition_budget = false, .enforce_epsilon = false});
     if (p.objective_value < initial_pred.objective_value) {
@@ -59,12 +63,24 @@ void DHaxConn::start(const sched::Problem& problem) {
   worker_ = std::thread([this, &problem] {
     sched::SolveScheduleOptions options;
     options.max_nodes_per_ms = solver_nodes_per_ms_;
-    const sched::ScheduleSolution solution = sched::solve_schedule(
-        problem, options,
-        [this](const sched::Schedule& s, const sched::Prediction& p, TimeMs) {
-          publish(s, p);
-          return !stop_requested_.load();
-        });
+    const auto on_incumbent = [this](const sched::Schedule& s, const sched::Prediction& p,
+                                     TimeMs) {
+      publish(s, p);
+      return !stop_requested_.load();
+    };
+    sched::ScheduleSolution solution = sched::solve_schedule(problem, options, on_incumbent);
+    // Adaptive ε, mirroring HaxConn::schedule (Sec 3.4): a degraded or
+    // throttled platform can make every schedule ε-infeasible under the
+    // nominal ε — relax and retry instead of silently never publishing
+    // (the self-healing runtime depends on incumbents to hot-swap).
+    if (!solution.best_found()) {
+      sched::Problem relaxed = problem;
+      for (int attempt = 0; attempt < 3 && !solution.best_found() && !stop_requested_.load();
+           ++attempt) {
+        relaxed.epsilon_ms *= 4.0;
+        solution = sched::solve_schedule(relaxed, options, on_incumbent);
+      }
+    }
     if (!stop_requested_.load() && solution.proven_optimal) {
       converged_.store(true);
       cv_.notify_all();

@@ -35,8 +35,11 @@ class DHaxConn {
   /// Starts (or restarts, on a CFG change) background solving for
   /// `problem`, which must outlive the solve. The current schedule is
   /// immediately set to the best naive baseline — the paper's step (1) —
-  /// so inference can proceed while the solver improves it.
-  void start(const sched::Problem& problem);
+  /// so inference can proceed while the solver improves it. The
+  /// self-healing runtime passes its already-running fallback as
+  /// `initial`; it competes with the naive seeds so a restart never
+  /// publishes something worse than what the runtime already executes.
+  void start(const sched::Problem& problem, const sched::Schedule* initial = nullptr);
 
   /// Stops the background solver (idempotent).
   void stop();

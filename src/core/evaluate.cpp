@@ -16,6 +16,7 @@ EvalResult evaluate(const sched::Problem& problem, const sched::Schedule& schedu
   sim_options.loop_barrier = options.loop_barrier;
   sim_options.background_traffic_gbps = options.background_traffic_gbps;
   sim_options.record_trace = options.record_trace;
+  sim_options.faults = options.faults;
   const sim::Engine engine(*problem.platform, sim_options);
 
   std::vector<sim::DnnTask> tasks;

@@ -20,6 +20,9 @@ struct EvalOptions {
   GBps background_traffic_gbps = 0.0;
 
   bool record_trace = false;
+
+  /// Optional fault-injection timeline (see sim::SimOptions::faults).
+  const faults::FaultPlan* faults = nullptr;
 };
 
 struct EvalResult {

@@ -1,0 +1,271 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "soc/platform.h"
+
+namespace hax::faults {
+namespace {
+
+constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+
+/// splitmix64 finalizer: the jitter hash must be a pure function of the
+/// key so both backends (and repeated runs) draw identical factors.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::Throttle: return "throttle";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Failure: return "failure";
+    case FaultKind::Bandwidth: return "bandwidth";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(const FaultPlan& other)
+    : seed_(other.seed_), jitter_(other.jitter_), events_(other.events_) {}
+
+FaultPlan& FaultPlan::operator=(const FaultPlan& other) {
+  if (this == &other) return *this;
+  seed_ = other.seed_;
+  jitter_ = other.jitter_;
+  events_ = other.events_;
+  compiled_.store(false, std::memory_order_release);
+  change_times_.clear();
+  return *this;
+}
+
+FaultPlan::FaultPlan(FaultPlan&& other) noexcept
+    : seed_(other.seed_), jitter_(other.jitter_), events_(std::move(other.events_)) {}
+
+FaultPlan& FaultPlan::operator=(FaultPlan&& other) noexcept {
+  if (this == &other) return *this;
+  seed_ = other.seed_;
+  jitter_ = other.jitter_;
+  events_ = std::move(other.events_);
+  compiled_.store(false, std::memory_order_release);
+  change_times_.clear();
+  return *this;
+}
+
+void FaultPlan::add(FaultEvent event) {
+  HAX_REQUIRE(!compiled_.load(std::memory_order_acquire),
+              "FaultPlan is sealed after the first query");
+  events_.push_back(event);
+}
+
+FaultPlan& FaultPlan::throttle(soc::PuId pu, TimeMs start, TimeMs end, double factor,
+                               TimeMs ramp_ms) {
+  HAX_REQUIRE(pu >= 0, "throttle needs a valid PU");
+  HAX_REQUIRE(start >= 0.0 && end > start, "throttle window must be ordered");
+  HAX_REQUIRE(factor >= 1.0, "throttle slowdown must be >= 1");
+  HAX_REQUIRE(ramp_ms >= 0.0 && start + ramp_ms <= end, "ramp must fit in the window");
+  add({FaultKind::Throttle, pu, start, end, factor, ramp_ms});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(soc::PuId pu, TimeMs start, TimeMs end) {
+  HAX_REQUIRE(pu >= 0, "stall needs a valid PU");
+  HAX_REQUIRE(start >= 0.0 && end > start, "stall window must be ordered");
+  add({FaultKind::Stall, pu, start, end, 1.0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail(soc::PuId pu, TimeMs at) {
+  HAX_REQUIRE(pu >= 0, "fail needs a valid PU");
+  HAX_REQUIRE(at >= 0.0, "failure time must be >= 0");
+  add({FaultKind::Failure, pu, at, kInf, 1.0, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_bandwidth(TimeMs start, TimeMs end, double factor) {
+  HAX_REQUIRE(start >= 0.0 && end > start, "bandwidth window must be ordered");
+  HAX_REQUIRE(factor > 0.0 && factor <= 1.0, "bandwidth factor must be in (0, 1]");
+  add({FaultKind::Bandwidth, soc::kInvalidPu, start, end, factor, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::jitter(double amplitude) {
+  HAX_REQUIRE(!compiled_.load(std::memory_order_acquire),
+              "FaultPlan is sealed after the first query");
+  HAX_REQUIRE(amplitude >= 0.0 && amplitude < 1.0, "jitter amplitude must be in [0, 1)");
+  jitter_ = amplitude;
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const soc::Platform& platform,
+                            const RandomOptions& options) {
+  HAX_REQUIRE(options.horizon_ms > 0.0, "horizon must be positive");
+  HAX_REQUIRE(options.max_slowdown >= 1.2, "max_slowdown must be >= 1.2");
+  const std::vector<soc::PuId> pus = platform.schedulable_pus();
+  HAX_REQUIRE(!pus.empty(), "platform has no schedulable PUs");
+
+  FaultPlan plan(seed);
+  Rng rng(seed);
+  const auto pick_pu = [&] { return pus[rng.uniform_index(pus.size())]; };
+  const auto window = [&](TimeMs max_len) {
+    const TimeMs start = rng.uniform(0.0, options.horizon_ms * 0.9);
+    const TimeMs len = rng.uniform(0.05 * max_len + 1e-3, max_len);
+    return std::pair<TimeMs, TimeMs>(start, start + len);
+  };
+
+  for (int i = 0; i < options.throttle_events; ++i) {
+    const auto [start, end] = window(options.horizon_ms * 0.5);
+    const double factor = rng.uniform(1.2, options.max_slowdown);
+    const TimeMs ramp = rng.uniform(0.0, (end - start) * 0.5);
+    plan.throttle(pick_pu(), start, end, factor, ramp);
+  }
+  for (int i = 0; i < options.stall_events; ++i) {
+    const auto [start, end] = window(options.max_stall_ms);
+    plan.stall(pick_pu(), start, end);
+  }
+  if (options.bandwidth_floor < 1.0) {
+    const auto [start, end] = window(options.horizon_ms * 0.5);
+    plan.degrade_bandwidth(start, end, rng.uniform(options.bandwidth_floor, 1.0));
+  }
+  plan.jitter(options.jitter_amplitude);
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const soc::Platform& platform) {
+  return random(seed, platform, RandomOptions());
+}
+
+void FaultPlan::compile() const {
+  // Double-checked seal: executor workers query a shared plan
+  // concurrently from t=0, so first-query compilation must be atomic.
+  if (compiled_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(compile_mu_);
+  if (compiled_.load(std::memory_order_relaxed)) return;
+  change_times_.clear();
+  for (const FaultEvent& e : events_) {
+    change_times_.push_back(e.start);
+    if (std::isfinite(e.end)) change_times_.push_back(e.end);
+    if (e.kind == FaultKind::Throttle && e.ramp_ms > 0.0) {
+      for (int s = 1; s < kRampSteps; ++s) {
+        change_times_.push_back(e.start + e.ramp_ms * static_cast<double>(s) /
+                                              static_cast<double>(kRampSteps));
+      }
+    }
+  }
+  std::sort(change_times_.begin(), change_times_.end());
+  change_times_.erase(std::unique(change_times_.begin(), change_times_.end()),
+                      change_times_.end());
+  compiled_.store(true, std::memory_order_release);
+}
+
+PuFaultState FaultPlan::pu_state(soc::PuId pu, TimeMs t) const {
+  compile();
+  PuFaultState state;
+  for (const FaultEvent& e : events_) {
+    if (e.pu != pu) continue;
+    switch (e.kind) {
+      case FaultKind::Failure:
+        if (t >= e.start) state.alive = false;
+        break;
+      case FaultKind::Stall:
+        if (t >= e.start && t < e.end) state.stalled = true;
+        break;
+      case FaultKind::Throttle:
+        if (t >= e.start && t < e.end) {
+          double factor = e.factor;
+          if (e.ramp_ms > 0.0 && t < e.start + e.ramp_ms) {
+            // Piecewise-constant ramp: step k of kRampSteps applies
+            // 1 + (factor-1) * (k+1)/steps, so the final step reaches the
+            // full factor exactly where the ramp ends.
+            const double step = std::floor((t - e.start) / e.ramp_ms *
+                                           static_cast<double>(kRampSteps));
+            factor = 1.0 + (e.factor - 1.0) * (step + 1.0) / static_cast<double>(kRampSteps);
+          }
+          state.slowdown *= factor;
+        }
+        break;
+      case FaultKind::Bandwidth:
+        break;
+    }
+  }
+  return state;
+}
+
+double FaultPlan::bandwidth_factor(TimeMs t) const {
+  compile();
+  double factor = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::Bandwidth && t >= e.start && t < e.end) factor *= e.factor;
+  }
+  return factor;
+}
+
+double FaultPlan::jitter_factor(int task, int iteration, int group, int layer,
+                                int kind_tag) const noexcept {
+  if (jitter_ <= 0.0) return 1.0;
+  std::uint64_t h = seed_;
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(task)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(iteration)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(group)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(layer)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(kind_tag)));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return 1.0 + jitter_ * (2.0 * u - 1.0);
+}
+
+TimeMs FaultPlan::next_change_after(TimeMs t) const {
+  compile();
+  const auto it = std::upper_bound(change_times_.begin(), change_times_.end(), t);
+  return it == change_times_.end() ? kInf : *it;
+}
+
+bool FaultPlan::has_permanent_failure() const noexcept {
+  return std::any_of(events_.begin(), events_.end(),
+                     [](const FaultEvent& e) { return e.kind == FaultKind::Failure; });
+}
+
+bool FaultPlan::failed_forever(soc::PuId pu, TimeMs t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::Failure && e.pu == pu && t >= e.start) return true;
+  }
+  return false;
+}
+
+std::size_t FaultPlan::change_count() const {
+  compile();
+  return change_times_.size();
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << to_string(e.kind);
+    if (e.pu >= 0) os << " pu" << e.pu;
+    os << " @[" << e.start << ", ";
+    if (std::isfinite(e.end)) {
+      os << e.end;
+    } else {
+      os << "inf";
+    }
+    os << ")";
+    if (e.kind == FaultKind::Throttle) {
+      os << " x" << e.factor;
+      if (e.ramp_ms > 0.0) os << " ramp " << e.ramp_ms << "ms";
+    }
+    if (e.kind == FaultKind::Bandwidth) os << " x" << e.factor;
+    os << '\n';
+  }
+  if (jitter_ > 0.0) os << "jitter +-" << jitter_ * 100.0 << "%\n";
+  return os.str();
+}
+
+}  // namespace hax::faults

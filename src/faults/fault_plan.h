@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file fault_plan.h
+/// Deterministic fault injection for the ground-truth backends. A
+/// FaultPlan is a scripted timeline of hardware misbehaviour — per-PU
+/// slowdown ramps (thermal throttling / DVFS steps), transient stalls,
+/// hard PU failures, EMC bandwidth degradation, and per-layer timing
+/// jitter — that perturbs execution identically wherever it is applied:
+/// the discrete-event simulator recomputes progress rates at every fault
+/// boundary, and the wall-clock executor stretches its timed kernels by
+/// the same factors. Replaying the same (seed, plan) is bit-identical in
+/// the simulator and applies identical perturbation factors in the
+/// runtime (whose wall-clock sleeps keep their usual OS jitter).
+///
+/// Plans are immutable once sealed by the first query: build the script
+/// with the chainable mutators (or FaultPlan::random), then hand a const
+/// pointer to SimOptions / ExecutorOptions. All times are simulated
+/// milliseconds from the start of the run the plan is attached to.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "soc/processing_unit.h"
+
+namespace hax::soc {
+class Platform;
+}
+
+namespace hax::faults {
+
+enum class FaultKind : std::uint8_t {
+  Throttle,   ///< PU compute slowdown (>= 1), optionally ramped in
+  Stall,      ///< PU makes no progress during the window
+  Failure,    ///< PU dead from `start` on (no recovery)
+  Bandwidth,  ///< EMC capacity scaled by `factor` (<= 1) during the window
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// One scripted fault. Plain data; see the FaultPlan mutators for the
+/// field contracts per kind.
+struct FaultEvent {
+  FaultKind kind = FaultKind::Throttle;
+  soc::PuId pu = soc::kInvalidPu;  ///< target PU (ignored for Bandwidth)
+  TimeMs start = 0.0;
+  TimeMs end = 0.0;      ///< exclusive; Failure ignores it
+  double factor = 1.0;   ///< Throttle: slowdown >= 1; Bandwidth: scale in (0, 1]
+  TimeMs ramp_ms = 0.0;  ///< Throttle: linear ramp-in span (discretized)
+};
+
+/// Instantaneous condition of one PU under a plan.
+struct PuFaultState {
+  bool alive = true;       ///< false once a Failure fired
+  bool stalled = false;    ///< inside a Stall window
+  double slowdown = 1.0;   ///< combined compute slowdown (>= 1)
+
+  /// Progress rate multiplier: 0 when dead or stalled, else 1/slowdown.
+  [[nodiscard]] double rate() const noexcept {
+    return (alive && !stalled) ? 1.0 / slowdown : 0.0;
+  }
+};
+
+class FaultPlan {
+ public:
+  /// `seed` drives the per-layer jitter stream (and random()); two plans
+  /// with equal scripts and seeds are indistinguishable.
+  explicit FaultPlan(std::uint64_t seed = 0x5EEDF4017ull) noexcept : seed_(seed) {}
+
+  /// Copies/moves transfer the script only; the new plan is unsealed and
+  /// recompiles (deterministically, to the identical timeline) on its
+  /// first query. Needed because the seal is guarded by a mutex.
+  FaultPlan(const FaultPlan& other);
+  FaultPlan& operator=(const FaultPlan& other);
+  FaultPlan(FaultPlan&& other) noexcept;
+  FaultPlan& operator=(FaultPlan&& other) noexcept;
+
+  // ---- script builders (chainable; must precede the first query) --------
+  /// Compute slowdown `factor` (>= 1) on `pu` during [start, end). A
+  /// positive `ramp_ms` ramps the slowdown in linearly over that span,
+  /// discretized into kRampSteps piecewise-constant steps so both
+  /// backends see identical factors; recovery at `end` is instant.
+  FaultPlan& throttle(soc::PuId pu, TimeMs start, TimeMs end, double factor,
+                      TimeMs ramp_ms = 0.0);
+  /// `pu` makes zero progress during [start, end) (transient wedge).
+  FaultPlan& stall(soc::PuId pu, TimeMs start, TimeMs end);
+  /// `pu` dies at `at` and never recovers.
+  FaultPlan& fail(soc::PuId pu, TimeMs at);
+  /// EMC capacity is scaled by `factor` (0 < factor <= 1) during [start, end).
+  FaultPlan& degrade_bandwidth(TimeMs start, TimeMs end, double factor);
+  /// Multiplicative per-layer timing jitter: each (task, iteration,
+  /// segment) draws a deterministic factor uniform in [1-a, 1+a] from the
+  /// plan seed. 0 <= amplitude < 1.
+  FaultPlan& jitter(double amplitude);
+
+  /// Knobs for random plan generation.
+  struct RandomOptions {
+    int throttle_events = 2;
+    int stall_events = 1;
+    TimeMs horizon_ms = 1000.0;      ///< events are placed inside [0, horizon)
+    double max_slowdown = 3.0;       ///< throttle factors drawn from [1.2, max]
+    TimeMs max_stall_ms = 50.0;
+    double bandwidth_floor = 0.6;    ///< one bandwidth dip to [floor, 1)
+    double jitter_amplitude = 0.05;
+  };
+
+  /// Seed-deterministic random plan over the platform's schedulable PUs.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, const soc::Platform& platform,
+                                        const RandomOptions& options);
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, const soc::Platform& platform);
+
+  // ---- queries (seal the plan) ------------------------------------------
+  [[nodiscard]] PuFaultState pu_state(soc::PuId pu, TimeMs t) const;
+  /// EMC capacity scale at `t` (product of active Bandwidth windows).
+  [[nodiscard]] double bandwidth_factor(TimeMs t) const;
+  /// Deterministic per-segment duration multiplier. `kind_tag`
+  /// disambiguates segments sharing (group, layer) keys (exec vs.
+  /// transition legs).
+  [[nodiscard]] double jitter_factor(int task, int iteration, int group, int layer,
+                                     int kind_tag = 0) const noexcept;
+  /// Earliest scripted state change strictly after `t`; +infinity when
+  /// the plan is constant from `t` on. Backends use this to bound event
+  /// steps / kernel sleep chunks so ramps and windows take effect.
+  [[nodiscard]] TimeMs next_change_after(TimeMs t) const;
+
+  /// True when some PU dies and never recovers — runs against such a plan
+  /// need a frame timeout or they can block forever.
+  [[nodiscard]] bool has_permanent_failure() const noexcept;
+  /// True when `pu` is dead at `t` with no recovery ever scheduled.
+  [[nodiscard]] bool failed_forever(soc::PuId pu, TimeMs t) const;
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty() && jitter_ <= 0.0; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] double jitter_amplitude() const noexcept { return jitter_; }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  /// Number of breakpoints in the compiled timeline (event-budget sizing).
+  [[nodiscard]] std::size_t change_count() const;
+
+  /// One line per event, for logs and the recovery demo.
+  [[nodiscard]] std::string describe() const;
+
+  /// Ramp discretization granularity (steps per ramp).
+  static constexpr int kRampSteps = 8;
+
+ private:
+  void add(FaultEvent event);
+  /// Builds + sorts change_times_ once (lazy, const). Thread-safe:
+  /// executor workers query a shared plan concurrently from the start,
+  /// so the seal is a double-checked atomic behind compile_mu_.
+  void compile() const;
+
+  std::uint64_t seed_;
+  double jitter_ = 0.0;
+  std::vector<FaultEvent> events_;
+
+  mutable std::mutex compile_mu_;
+  mutable std::atomic<bool> compiled_{false};
+  mutable std::vector<TimeMs> change_times_;  ///< sorted, unique
+};
+
+}  // namespace hax::faults

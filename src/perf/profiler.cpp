@@ -1,6 +1,7 @@
 #include "perf/profiler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -76,6 +77,23 @@ soc::PuId NetworkProfile::fastest_pu(const std::vector<soc::PuId>& pus) const {
     }
   }
   return best;
+}
+
+void NetworkProfile::scale_pu_time(soc::PuId pu, double factor) {
+  HAX_REQUIRE(pu >= 0 && pu < pu_count_, "PU id out of range");
+  HAX_REQUIRE(factor > 0.0 && std::isfinite(factor), "scale factor must be positive");
+  for (int g = 0; g < group_count_; ++g) {
+    GroupProfile& rec = at(g, pu);
+    if (!rec.supported) continue;
+    rec.time_ms *= factor;
+    rec.tau_in *= factor;
+    rec.tau_out *= factor;
+  }
+  for (int l = 0; l < layer_count_; ++l) {
+    LayerProfile& rec = layer_at(l, pu);
+    if (!rec.supported) continue;
+    rec.time_ms *= factor;
+  }
 }
 
 NetworkProfile Profiler::profile(const grouping::GroupedNetwork& gn) const {

@@ -70,6 +70,16 @@ class NetworkProfile {
   /// Fastest single-PU assignment among the given PUs.
   [[nodiscard]] soc::PuId fastest_pu(const std::vector<soc::PuId>& pus) const;
 
+  /// Rescales every timing of one PU — group and layer execution times
+  /// and the transition legs touching it — by `factor` (> 0). This is how
+  /// the self-healing runtime folds an observed slowdown (thermal
+  /// throttle, DVFS step) back into the scheduler's beliefs without
+  /// re-profiling: the drift watchdog measures observed/expected per PU
+  /// and the degradation manager applies the ratio here before
+  /// re-solving. Demands are left untouched (a throttled PU still moves
+  /// the same bytes, just over a longer window).
+  void scale_pu_time(soc::PuId pu, double factor);
+
  private:
   int group_count_;
   int layer_count_;

@@ -2,17 +2,26 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 
 #include "common/error.h"
+#include "sched/validate.h"
 
 namespace hax::runtime {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+
+/// Floor on one fault-chunk sleep (simulated ms) so a kernel crossing
+/// many plan boundaries cannot degenerate into a spin loop.
+constexpr TimeMs kMinChunkMs = 0.02;
 
 TimeMs wall_ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
@@ -22,6 +31,13 @@ TimeMs wall_ms_since(Clock::time_point start) {
 struct Shared {
   const sched::Problem* prob = nullptr;
   double time_scale = 1.0;
+  const faults::FaultPlan* plan = nullptr;
+  TimeMs frame_timeout_ms = 0.0;
+  const FrameObserver* observer = nullptr;
+  Clock::time_point run_start;
+
+  /// Simulated time since run() began (the fault plan's time base).
+  [[nodiscard]] TimeMs sim_now() const { return wall_ms_since(run_start) / time_scale; }
 
   // EMC demand registry: what each PU's active kernel currently requests.
   std::mutex demand_mutex;
@@ -38,6 +54,7 @@ struct Shared {
   // Result collection.
   std::mutex record_mutex;
   std::vector<FrameRecord> frames;
+  int timed_out_frames = 0;
 
   // First worker exception (rethrown on the caller's thread after join).
   std::mutex error_mutex;
@@ -45,10 +62,22 @@ struct Shared {
   std::atomic<bool> failed{false};
 };
 
+/// Per-frame kernel bookkeeping for the timeout and the observer.
+struct FrameCtx {
+  TimeMs deadline_sim = kInf;  ///< absolute simulated deadline (inf = none)
+  soc::PuId stuck_pu = soc::kInvalidPu;
+  std::vector<TimeMs> pu_observed;
+  std::vector<TimeMs> pu_expected;
+};
+
 /// Runs one timed kernel on `pu`: holds the PU, registers its memory
-/// demand, and sleeps for the contention-stretched duration.
-void run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand) {
-  if (duration_ms <= 0.0) return;
+/// demand, and sleeps for the contention-stretched duration. Under a
+/// fault plan the sleep proceeds in chunks bounded by the plan's next
+/// state change, so throttle ramps stretch the kernel, stalls pause it,
+/// and a failed PU stops it cold until the frame deadline expires.
+/// Returns false when the deadline cut the kernel short.
+bool run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand, FrameCtx& ctx) {
+  if (duration_ms <= 0.0) return true;
   std::lock_guard<std::mutex> pu_lock(*sh.pu_mutex[static_cast<std::size_t>(pu)]);
 
   GBps external = 0.0;
@@ -59,18 +88,73 @@ void run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand) {
       if (static_cast<soc::PuId>(p) != pu) external += sh.demands[p];
     }
   }
-  const double slowdown = sh.prob->platform->memory().slowdown(demand, external);
-  std::this_thread::sleep_for(
-      std::chrono::duration<double, std::milli>(duration_ms * slowdown * sh.time_scale));
+  const double contention = sh.prob->platform->memory().slowdown(demand, external);
+  const TimeMs expected = duration_ms * contention;
+  const TimeMs kernel_start = sh.sim_now();
+
+  bool ok = true;
+  if (sh.plan == nullptr) {
+    if (kernel_start + expected > ctx.deadline_sim) {
+      // The deadline lands mid-kernel: sleep only to the deadline.
+      const TimeMs till = std::max(ctx.deadline_sim - kernel_start, 0.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(till * sh.time_scale));
+      ctx.stuck_pu = pu;
+      ok = false;
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(expected * sh.time_scale));
+    }
+  } else {
+    // Chunked sleep: `work` is the remaining contention-stretched span at
+    // nominal PU speed; the fault rate scales how much of it one chunk of
+    // elapsed simulated time retires.
+    TimeMs work = expected;
+    TimeMs now = sh.sim_now();
+    while (work > 1e-9) {
+      if (now >= ctx.deadline_sim) {
+        ctx.stuck_pu = pu;
+        ok = false;
+        break;
+      }
+      const double rate = sh.plan->pu_state(pu, now).rate();
+      const TimeMs next_change = sh.plan->next_change_after(now);
+      TimeMs chunk = rate > 0.0 ? work / rate : kInf;
+      if (std::isfinite(next_change)) chunk = std::min(chunk, next_change - now);
+      chunk = std::min(chunk, ctx.deadline_sim - now);
+      if (!std::isfinite(chunk)) {
+        // Dead PU, constant plan, no deadline: nothing will ever change.
+        // run() forbids this combination, but never spin regardless.
+        ctx.stuck_pu = pu;
+        ok = false;
+        break;
+      }
+      chunk = std::max(chunk, kMinChunkMs);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(chunk * sh.time_scale));
+      // Credit the time actually elapsed, not the intended chunk: OS
+      // sleep overshoot then counts as progress instead of compounding
+      // into the observed busy time the drift watchdog measures.
+      const TimeMs after = sh.sim_now();
+      work -= (after - now) * rate;
+      now = after;
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(sh.demand_mutex);
     sh.demands[static_cast<std::size_t>(pu)] = 0.0;
   }
+  ctx.pu_observed[static_cast<std::size_t>(pu)] += sh.sim_now() - kernel_start;
+  ctx.pu_expected[static_cast<std::size_t>(pu)] += expected;
+  return ok;
 }
 
 void worker(Shared& sh, int dnn, const ScheduleProvider& provider, int frames) {
   const sched::DnnSpec& spec = sh.prob->dnns[static_cast<std::size_t>(dnn)];
   const int groups = spec.net->group_count();
+  const std::size_t pu_count = static_cast<std::size_t>(sh.prob->platform->pu_count());
+  const faults::FaultPlan* plan = sh.plan;
 
   for (int frame = 0; frame < frames && !sh.failed.load(); ++frame) {
     if (spec.depends_on >= 0) {
@@ -82,50 +166,81 @@ void worker(Shared& sh, int dnn, const ScheduleProvider& provider, int frames) {
       if (sh.failed.load()) return;
     }
 
-    // Hot swap: re-read the live schedule at the frame boundary.
+    // Hot swap: re-read the live schedule at the frame boundary. The
+    // structured validator replaces the old point asserts — with PU
+    // quarantine shrinking the platform mid-run, a bad schedule must
+    // fail with a diagnosis, not an internal invariant.
     const sched::Schedule schedule = provider();
-    HAX_REQUIRE(schedule.dnn_count() == sh.prob->dnn_count(),
-                "provider schedule has wrong DNN count");
+    sched::ensure_valid(*sh.prob, schedule, {.enforce_transition_budget = false});
     const auto& asg = schedule.assignment[static_cast<std::size_t>(dnn)];
-    HAX_REQUIRE(static_cast<int>(asg.size()) == groups,
-                "provider schedule has wrong group count");
 
+    FrameCtx ctx;
+    ctx.pu_observed.assign(pu_count, 0.0);
+    ctx.pu_expected.assign(pu_count, 0.0);
     const auto frame_start = Clock::now();
+    if (sh.frame_timeout_ms > 0.0) {
+      ctx.deadline_sim = sh.sim_now() + sh.frame_timeout_ms;
+    }
+
+    // Deterministic per-kernel jitter, keyed at the runtime's kernel
+    // granularity (group), mirroring the simulator's per-segment keys.
+    const auto jitter = [&](int group, int kind_tag) {
+      return plan != nullptr ? plan->jitter_factor(dnn, frame, group, -1, kind_tag) : 1.0;
+    };
+
+    bool ok = true;
     soc::PuId prev = soc::kInvalidPu;
-    for (int g = 0; g < groups; ++g) {
+    for (int g = 0; g < groups && ok; ++g) {
       const soc::PuId pu = asg[static_cast<std::size_t>(g)];
       const perf::GroupProfile& rec = spec.profile->at(g, pu);
-      HAX_REQUIRE(rec.supported, "schedule assigns group to unsupported PU");
       if (prev != soc::kInvalidPu && prev != pu) {
         const perf::GroupProfile& prev_rec = spec.profile->at(g - 1, prev);
-        run_kernel(sh, prev, prev_rec.tau_out,
-                   sh.prob->platform->pu(prev).params().max_stream_gbps);
-        run_kernel(sh, pu, rec.tau_in, sh.prob->platform->pu(pu).params().max_stream_gbps);
+        ok = run_kernel(sh, prev, prev_rec.tau_out * jitter(g - 1, 1),
+                        sh.prob->platform->pu(prev).params().max_stream_gbps, ctx) &&
+             run_kernel(sh, pu, rec.tau_in * jitter(g, 2),
+                        sh.prob->platform->pu(pu).params().max_stream_gbps, ctx);
       }
-      run_kernel(sh, pu, rec.time_ms, rec.demand_gbps);
+      if (ok) {
+        ok = run_kernel(sh, pu, rec.time_ms * jitter(g, 0), rec.demand_gbps, ctx);
+      }
       prev = pu;
     }
 
     const TimeMs latency = wall_ms_since(frame_start) / sh.time_scale;
     {
       std::lock_guard<std::mutex> lock(sh.record_mutex);
-      sh.frames.push_back({dnn, frame, latency});
+      sh.frames.push_back({dnn, frame, latency, !ok});
+      if (!ok) ++sh.timed_out_frames;
     }
     {
+      // A dropped frame still advances the pipeline: the consumer works
+      // on stale output rather than stalling behind a wedged producer.
       std::lock_guard<std::mutex> lock(sh.dep_mutex);
       ++sh.frames_done[static_cast<std::size_t>(dnn)];
     }
     sh.dep_cv.notify_all();
+
+    if (sh.observer != nullptr && *sh.observer) {
+      FrameObservation obs;
+      obs.dnn = dnn;
+      obs.frame = frame;
+      obs.latency_ms = latency;
+      obs.timed_out = !ok;
+      obs.stuck_pu = ctx.stuck_pu;
+      obs.pu_observed_ms = std::move(ctx.pu_observed);
+      obs.pu_expected_ms = std::move(ctx.pu_expected);
+      (*sh.observer)(obs);
+    }
   }
 }
 
 }  // namespace
 
-TimeMs RunStats::mean_latency_ms(int dnn) const {
+TimeMs RunStats::mean_latency_ms(int dnn, int from_frame) const {
   TimeMs total = 0.0;
   int count = 0;
   for (const FrameRecord& f : frames) {
-    if (f.dnn == dnn) {
+    if (f.dnn == dnn && f.frame >= from_frame && !f.timed_out) {
       total += f.latency_ms;
       ++count;
     }
@@ -133,9 +248,22 @@ TimeMs RunStats::mean_latency_ms(int dnn) const {
   return count > 0 ? total / count : 0.0;
 }
 
+int RunStats::completed_frames(int dnn) const {
+  int count = 0;
+  for (const FrameRecord& f : frames) {
+    if (f.dnn == dnn && !f.timed_out) ++count;
+  }
+  return count;
+}
+
 Executor::Executor(const soc::Platform& platform, ExecutorOptions options)
-    : platform_(&platform), options_(options) {
+    : platform_(&platform), options_(std::move(options)) {
   HAX_REQUIRE(options_.time_scale > 0.0, "time_scale must be positive");
+  HAX_REQUIRE(options_.frame_timeout_ms >= 0.0, "frame_timeout_ms must be >= 0");
+  if (options_.faults != nullptr && options_.faults->has_permanent_failure()) {
+    HAX_REQUIRE(options_.frame_timeout_ms > 0.0,
+                "a fault plan with a permanent PU failure requires a frame timeout");
+  }
 }
 
 RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& provider,
@@ -147,14 +275,17 @@ RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& pr
   Shared sh;
   sh.prob = &problem;
   sh.time_scale = options_.time_scale;
+  sh.plan = options_.faults;
+  sh.frame_timeout_ms = options_.frame_timeout_ms;
+  sh.observer = &options_.observer;
   sh.demands.assign(static_cast<std::size_t>(platform_->pu_count()), 0.0);
   sh.pu_mutex.reserve(static_cast<std::size_t>(platform_->pu_count()));
   for (int p = 0; p < platform_->pu_count(); ++p) {
     sh.pu_mutex.push_back(std::make_unique<std::mutex>());
   }
   sh.frames_done.assign(problem.dnns.size(), 0);
+  sh.run_start = Clock::now();
 
-  const auto start = Clock::now();
   std::vector<std::thread> threads;
   threads.reserve(problem.dnns.size());
   for (int d = 0; d < problem.dnn_count(); ++d) {
@@ -176,7 +307,8 @@ RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& pr
 
   RunStats stats;
   stats.frames = std::move(sh.frames);
-  stats.wall_ms = wall_ms_since(start);
+  stats.timed_out_frames = sh.timed_out_frames;
+  stats.wall_ms = wall_ms_since(sh.run_start);
   return stats;
 }
 

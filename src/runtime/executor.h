@@ -13,19 +13,61 @@
 /// Schedules are *hot-swappable*: the executor re-reads its
 /// ScheduleProvider at every frame boundary, which is what lets
 /// D-HaX-CoNN upgrade the running workload as better schedules arrive.
+///
+/// The executor is also the self-healing stack's sensor and actuator:
+/// an optional FaultPlan stretches kernels by the same factors the
+/// simulator applies (throttle ramps, stalls, failures, bandwidth dips),
+/// a per-frame timeout guarantees a wedged worker can never block run()
+/// forever, and a FrameObserver streams per-frame, per-PU observed vs.
+/// expected timings to the drift watchdog.
 
 #include <functional>
 #include <vector>
 
+#include "faults/fault_plan.h"
 #include "sched/problem.h"
 #include "sched/schedule.h"
 
 namespace hax::runtime {
 
+/// Per-frame measurement handed to ExecutorOptions::observer. All times
+/// are simulated milliseconds (wall / time_scale).
+struct FrameObservation {
+  int dnn = 0;
+  int frame = 0;
+  TimeMs latency_ms = 0.0;
+  bool timed_out = false;
+  /// PU whose kernel was executing (or wedged) when the deadline hit.
+  soc::PuId stuck_pu = soc::kInvalidPu;
+  /// Indexed by PuId: busy time observed this frame / the profile's
+  /// contention-adjusted expectation. The ratio per PU is the watchdog's
+  /// symptom-classification signal.
+  std::vector<TimeMs> pu_observed_ms;
+  std::vector<TimeMs> pu_expected_ms;
+};
+
+/// Called after every frame (completed or timed out) from the worker
+/// thread that ran it. Must be thread-safe; keep it cheap.
+using FrameObserver = std::function<void(const FrameObservation&)>;
+
 struct ExecutorOptions {
   /// Wall milliseconds per simulated millisecond. 1.0 executes kernels at
   /// their modeled duration; smaller values compress time for tests.
   double time_scale = 1.0;
+
+  /// Optional fault timeline (non-owning; must outlive the run). Kernels
+  /// stretch by the plan's throttle factors, pause through stall windows,
+  /// and stop progressing on a failed PU. Plans with a permanent failure
+  /// require a positive frame_timeout_ms, or a run could block forever.
+  const faults::FaultPlan* faults = nullptr;
+
+  /// Abandon a frame whose span exceeds this many simulated ms; the frame
+  /// is recorded as timed out (dropped) and the worker moves on to the
+  /// next frame with a freshly read schedule. 0 disables the timeout.
+  TimeMs frame_timeout_ms = 0.0;
+
+  /// Per-frame measurement stream (drift watchdog hook). May be empty.
+  FrameObserver observer;
 };
 
 /// Returns the schedule to use for the next frame. Called at frame
@@ -35,15 +77,23 @@ using ScheduleProvider = std::function<sched::Schedule()>;
 struct FrameRecord {
   int dnn = 0;
   int frame = 0;
-  TimeMs latency_ms = 0.0;  ///< simulated-time span of the frame
+  TimeMs latency_ms = 0.0;   ///< simulated-time span of the frame
+  bool timed_out = false;    ///< frame hit the deadline and was dropped
 };
 
 struct RunStats {
   std::vector<FrameRecord> frames;
   TimeMs wall_ms = 0.0;  ///< wall-clock duration of the whole run
+  int timed_out_frames = 0;  ///< dropped/late frames across all DNNs
 
-  /// Mean simulated latency of one DNN's frames.
-  [[nodiscard]] TimeMs mean_latency_ms(int dnn) const;
+  /// Mean simulated latency of one DNN's completed frames (timed-out
+  /// frames are excluded; their latency is the timeout, not a
+  /// measurement). `from_frame` skips the warmup/transient prefix — the
+  /// steady-state window the recovery experiments compare.
+  [[nodiscard]] TimeMs mean_latency_ms(int dnn, int from_frame = 0) const;
+
+  /// Completed (non-dropped) frames of one DNN.
+  [[nodiscard]] int completed_frames(int dnn) const;
 };
 
 class Executor {
@@ -52,7 +102,10 @@ class Executor {
 
   /// Executes `frames` frames of the problem's workload with live
   /// schedules from `provider`. Blocks until all DNNs finish. Thread-safe
-  /// against concurrent provider updates; not reentrant.
+  /// against concurrent provider updates; not reentrant. Every schedule
+  /// the provider returns is structurally validated (sched::ensure_valid)
+  /// before use, so a stale or hand-made schedule fails with a diagnosis
+  /// instead of tripping internal asserts.
   [[nodiscard]] RunStats run(const sched::Problem& problem, const ScheduleProvider& provider,
                              int frames) const;
 

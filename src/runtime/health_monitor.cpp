@@ -1,0 +1,175 @@
+#include "runtime/health_monitor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hax::runtime {
+namespace {
+
+/// Ignore PU busy-time samples below this expectation (ms): the ratio of
+/// two near-zero numbers is noise, not a throttle signal.
+constexpr TimeMs kMinPuExpectedMs = 0.05;
+
+}  // namespace
+
+const char* to_string(DriftSymptom symptom) noexcept {
+  switch (symptom) {
+    case DriftSymptom::None: return "none";
+    case DriftSymptom::SinglePu: return "single-pu";
+    case DriftSymptom::Global: return "global";
+    case DriftSymptom::PuFailure: return "pu-failure";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(int dnn_count, int pu_count, TimeMs epsilon_ms,
+                             HealthOptions options)
+    : options_(options), epsilon_ms_(epsilon_ms) {
+  HAX_REQUIRE(dnn_count >= 1, "health monitor needs at least one DNN");
+  HAX_REQUIRE(pu_count >= 1, "health monitor needs at least one PU");
+  HAX_REQUIRE(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0,
+              "ewma_alpha must be in (0, 1]");
+  HAX_REQUIRE(options_.drift_tolerance >= 0.0, "drift_tolerance must be >= 0");
+  HAX_REQUIRE(options_.timeout_quarantine >= 1, "timeout_quarantine must be >= 1");
+  dnns_.resize(static_cast<std::size_t>(dnn_count));
+  pus_.resize(static_cast<std::size_t>(pu_count));
+}
+
+void HealthMonitor::set_expectation(int dnn, TimeMs predicted_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DnnState& s = dnns_.at(static_cast<std::size_t>(dnn));
+  s.predicted_ms = predicted_ms;
+  s.ewma_ms = 0.0;
+  s.samples = 0;
+}
+
+void HealthMonitor::observe(const FrameObservation& obs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (obs.timed_out) {
+    // A dropped frame's latency is the timeout, not a measurement — it
+    // feeds the failure streak of the PU it wedged on, nothing else.
+    if (obs.stuck_pu != soc::kInvalidPu &&
+        obs.stuck_pu < static_cast<soc::PuId>(pus_.size())) {
+      ++pus_[static_cast<std::size_t>(obs.stuck_pu)].timeout_streak;
+    }
+    return;
+  }
+
+  DnnState& s = dnns_.at(static_cast<std::size_t>(obs.dnn));
+  s.ewma_ms = s.samples == 0
+                  ? obs.latency_ms
+                  : options_.ewma_alpha * obs.latency_ms +
+                        (1.0 - options_.ewma_alpha) * s.ewma_ms;
+  ++s.samples;
+
+  const std::size_t n = std::min({pus_.size(), obs.pu_observed_ms.size(),
+                                  obs.pu_expected_ms.size()});
+  for (std::size_t p = 0; p < n; ++p) {
+    PuState& pu = pus_[p];
+    pu.timeout_streak = 0;  // the PU completed work this frame
+    if (obs.pu_expected_ms[p] < kMinPuExpectedMs) continue;
+    const double ratio = obs.pu_observed_ms[p] / obs.pu_expected_ms[p];
+    pu.ewma_ratio = pu.samples == 0
+                        ? ratio
+                        : options_.ewma_alpha * ratio +
+                              (1.0 - options_.ewma_alpha) * pu.ewma_ratio;
+    ++pu.samples;
+  }
+}
+
+bool HealthMonitor::drifting(const DnnState& s) const {
+  if (s.samples < options_.warmup_frames || s.predicted_ms <= 0.0) return false;
+  TimeMs tol = options_.drift_tolerance * s.predicted_ms;
+  if (std::isfinite(epsilon_ms_)) tol += options_.epsilon_multiple * epsilon_ms_;
+  return s.ewma_ms > s.predicted_ms + tol;
+}
+
+DriftReport HealthMonitor::check() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DriftReport report;
+
+  // Failure outranks everything: a wedged PU keeps dropping frames no
+  // matter how the completed ones look.
+  for (std::size_t p = 0; p < pus_.size(); ++p) {
+    if (pus_[p].timeout_streak >= options_.timeout_quarantine) {
+      report.symptom = DriftSymptom::PuFailure;
+      report.pu = static_cast<soc::PuId>(p);
+      report.severity = static_cast<double>(pus_[p].timeout_streak);
+      return report;
+    }
+  }
+
+  TimeMs worst_rel = 0.0;
+  for (std::size_t d = 0; d < dnns_.size(); ++d) {
+    const DnnState& s = dnns_[d];
+    if (!drifting(s)) continue;
+    const double rel = s.ewma_ms / s.predicted_ms;
+    if (rel > worst_rel) {
+      worst_rel = rel;
+      report.dnn = static_cast<int>(d);
+    }
+  }
+  if (report.dnn < 0) return report;  // no DNN past tolerance
+
+  // Symptom classification from the per-PU ratio profile: one outlier PU
+  // means a local throttle; a uniform rise means a shared cause.
+  double max_ratio = 0.0, second_ratio = 0.0, ratio_sum = 0.0;
+  int rated = 0;
+  soc::PuId max_pu = soc::kInvalidPu;
+  for (std::size_t p = 0; p < pus_.size(); ++p) {
+    if (pus_[p].samples == 0) continue;
+    const double r = pus_[p].ewma_ratio;
+    ratio_sum += r;
+    ++rated;
+    if (r > max_ratio) {
+      second_ratio = max_ratio;
+      max_ratio = r;
+      max_pu = static_cast<soc::PuId>(p);
+    } else if (r > second_ratio) {
+      second_ratio = r;
+    }
+  }
+
+  if (max_pu != soc::kInvalidPu && max_ratio >= options_.pu_ratio_threshold &&
+      (rated == 1 || max_ratio >= options_.pu_margin * std::max(second_ratio, 1.0))) {
+    report.symptom = DriftSymptom::SinglePu;
+    report.pu = max_pu;
+    report.severity = max_ratio;
+  } else {
+    report.symptom = DriftSymptom::Global;
+    report.severity = rated > 0 ? ratio_sum / rated : worst_rel;
+  }
+  return report;
+}
+
+void HealthMonitor::reset_pu(soc::PuId pu) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pus_.at(static_cast<std::size_t>(pu)) = PuState{};
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (DnnState& s : dnns_) {
+    s.ewma_ms = 0.0;
+    s.samples = 0;
+  }
+  for (PuState& p : pus_) p = PuState{};
+}
+
+TimeMs HealthMonitor::ewma_latency_ms(int dnn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dnns_.at(static_cast<std::size_t>(dnn)).ewma_ms;
+}
+
+TimeMs HealthMonitor::expectation_ms(int dnn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dnns_.at(static_cast<std::size_t>(dnn)).predicted_ms;
+}
+
+double HealthMonitor::pu_ratio(soc::PuId pu) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pus_.at(static_cast<std::size_t>(pu)).ewma_ratio;
+}
+
+}  // namespace hax::runtime

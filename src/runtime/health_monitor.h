@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file health_monitor.h
+/// Drift watchdog: the sensor half of the self-healing runtime. Consumes
+/// the executor's per-frame FrameObservations, keeps an EWMA of observed
+/// frame latency per DNN and of the observed/expected busy-time ratio per
+/// PU, and classifies sustained divergence from the scheduler's
+/// predictions into a symptom the degradation manager can act on:
+///
+///  - SinglePu: one PU runs consistently slower than its profile while
+///    the others track it (thermal throttle, DVFS cap) — rescale that
+///    PU's profile and re-solve.
+///  - Global: every PU drifted together (EMC bandwidth degradation,
+///    systemic model error) — rescale all, re-solve.
+///  - PuFailure: frames keep timing out wedged on the same PU — it is
+///    gone; quarantine and fall back.
+///
+/// The monitor never inspects the fault plan: like the paper's runtime it
+/// sees only timings, so detection latency and misclassification are
+/// honest properties of the thresholds, not oracle knowledge.
+
+#include <mutex>
+#include <vector>
+
+#include "runtime/executor.h"
+
+namespace hax::runtime {
+
+struct HealthOptions {
+  /// EWMA smoothing for frame latencies and PU ratios (weight of the
+  /// newest sample). Higher reacts faster but is noisier.
+  double ewma_alpha = 0.35;
+
+  /// Relative drift tolerance: a DNN drifts when its EWMA latency exceeds
+  /// predicted * (1 + drift_tolerance) + epsilon_multiple * epsilon. The
+  /// floor tracks the problem's ε (Eq. 9's tolerated queueing) because
+  /// queueing the predictor deemed acceptable shows up as latency here.
+  double drift_tolerance = 0.25;
+  double epsilon_multiple = 2.0;
+
+  /// Frames observed per DNN before its drift verdict counts (the first
+  /// frames carry cold-start noise: thread spin-up, cold PU mutexes).
+  int warmup_frames = 2;
+
+  /// A PU is the single-PU culprit when its observed/expected EWMA ratio
+  /// exceeds this AND stands out from the next-worst PU by pu_margin.
+  double pu_ratio_threshold = 1.5;
+  double pu_margin = 1.3;
+
+  /// Consecutive timed-out frames wedged on the same PU that escalate to
+  /// PuFailure.
+  int timeout_quarantine = 2;
+};
+
+enum class DriftSymptom { None, SinglePu, Global, PuFailure };
+
+[[nodiscard]] const char* to_string(DriftSymptom symptom) noexcept;
+
+struct DriftReport {
+  DriftSymptom symptom = DriftSymptom::None;
+  /// Culprit PU (SinglePu / PuFailure), else soc::kInvalidPu.
+  soc::PuId pu = soc::kInvalidPu;
+  /// Observed/expected ratio backing the verdict (the culprit PU's ratio
+  /// for SinglePu, the mean PU ratio for Global, >= 1).
+  double severity = 1.0;
+  /// Worst-drifting DNN (diagnostic; -1 when none).
+  int dnn = -1;
+};
+
+/// Thread-safe: observe() is called from executor worker threads,
+/// check()/set_expectation()/reset*() from the manager.
+class HealthMonitor {
+ public:
+  HealthMonitor(int dnn_count, int pu_count, TimeMs epsilon_ms, HealthOptions options = {});
+
+  /// Installs the predicted steady-state frame latency of one DNN (from
+  /// the active schedule's Prediction). Resets that DNN's EWMA — a new
+  /// expectation means a new schedule, so old samples are stale.
+  void set_expectation(int dnn, TimeMs predicted_ms);
+
+  /// Feeds one frame measurement (executor observer hook).
+  void observe(const FrameObservation& obs);
+
+  /// Current symptom classification. Pure query; state is only cleared by
+  /// set_expectation / reset_pu / reset.
+  [[nodiscard]] DriftReport check() const;
+
+  /// Clears one PU's ratio EWMA and failure streak (after the manager
+  /// rescaled its profile or re-admitted it — old samples describe the
+  /// pre-intervention world).
+  void reset_pu(soc::PuId pu);
+
+  /// Clears all observation state, keeping expectations.
+  void reset();
+
+  /// Smoothed observed frame latency of one DNN (0 until observed).
+  [[nodiscard]] TimeMs ewma_latency_ms(int dnn) const;
+  [[nodiscard]] TimeMs expectation_ms(int dnn) const;
+  /// Smoothed observed/expected busy-time ratio of one PU (1 until observed).
+  [[nodiscard]] double pu_ratio(soc::PuId pu) const;
+
+ private:
+  struct DnnState {
+    TimeMs predicted_ms = 0.0;
+    TimeMs ewma_ms = 0.0;
+    int samples = 0;
+  };
+  struct PuState {
+    double ewma_ratio = 1.0;
+    int samples = 0;
+    int timeout_streak = 0;
+  };
+
+  [[nodiscard]] bool drifting(const DnnState& s) const;
+
+  HealthOptions options_;
+  TimeMs epsilon_ms_;
+  mutable std::mutex mutex_;
+  std::vector<DnnState> dnns_;
+  std::vector<PuState> pus_;
+};
+
+}  // namespace hax::runtime

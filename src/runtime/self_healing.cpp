@@ -1,0 +1,309 @@
+#include "runtime/self_healing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "sched/formulation.h"
+#include "sched/validate.h"
+
+namespace hax::runtime {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr sched::PredictOptions kRelaxed{
+    .model_contention = true, .enforce_transition_budget = false, .enforce_epsilon = false};
+
+/// Treat rescale factors this close to 1 as "back to nominal".
+constexpr double kNominalBand = 0.05;
+
+core::HaxConnOptions hax_options(const sched::Problem& problem) {
+  core::HaxConnOptions options;
+  options.objective = problem.objective;
+  return options;
+}
+
+}  // namespace
+
+SelfHealingRuntime::SelfHealingRuntime(const sched::Problem& problem,
+                                       SelfHealingOptions options)
+    : original_(&problem),
+      options_(options),
+      condition_(problem.platform->pu_count()),
+      monitor_(problem.dnn_count(), problem.platform->pu_count(), problem.epsilon_ms,
+               options.health),
+      hax_(*problem.platform, hax_options(problem)),
+      solver_(hax_, options.solver_nodes_per_ms) {
+  problem.validate();
+  HAX_REQUIRE(options_.time_scale > 0.0, "time_scale must be positive");
+  HAX_REQUIRE(options_.backoff_growth >= 1.0, "backoff_growth must be >= 1");
+
+  applied_scale_.assign(static_cast<std::size_t>(problem.platform->pu_count()), 1.0);
+  scaled_profiles_.reserve(problem.dnns.size());
+  for (const sched::DnnSpec& spec : problem.dnns) {
+    scaled_profiles_.push_back(*spec.profile);
+  }
+  rebuild_degraded_locked();
+  backoff_ = options_.resolve_backoff_ms;
+
+  // Seed the loop before any frame runs: DHaxConn publishes the best
+  // naive schedule synchronously in start(), then improves in background.
+  solver_.start(degraded_);
+  solver_stale_ = false;
+  active_ = solver_.current_schedule();
+  active_pred_ = solver_.current_prediction();
+  last_update_seen_ = solver_.update_count();
+  set_expectations_locked();
+  ++stats_.resolves;
+}
+
+SelfHealingRuntime::~SelfHealingRuntime() { solver_.stop(); }
+
+TimeMs SelfHealingRuntime::now_ms_locked() {
+  if (!anchored_) {
+    anchor_ = std::chrono::steady_clock::now();
+    anchored_ = true;
+  }
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   anchor_)
+             .count() /
+         options_.time_scale;
+}
+
+ScheduleProvider SelfHealingRuntime::provider() {
+  return [this]() -> sched::Schedule {
+    std::lock_guard<std::mutex> lock(mu_);
+    adopt_locked(now_ms_locked());
+    return active_;
+  };
+}
+
+FrameObserver SelfHealingRuntime::observer() {
+  return [this](const FrameObservation& obs) {
+    monitor_.observe(obs);
+    tick();
+  };
+}
+
+sched::Schedule SelfHealingRuntime::current_schedule() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+HealStats SelfHealingRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool SelfHealingRuntime::wait_converged(TimeMs timeout_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A deferred (backoff-gated) or never-kicked re-solve would leave the
+    // solver stopped forever once frames cease; an explicit convergence
+    // request overrides the pacing.
+    if (solver_stale_ || pending_resolve_) do_resolve_locked(now_ms_locked());
+  }
+  const bool ok = solver_.wait_converged(timeout_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  adopt_locked(now_ms_locked());
+  return ok;
+}
+
+/// One control tick: non-blocking so observer calls from several worker
+/// threads never pile up behind a slow intervention (one worker's tick
+/// covers for the others — the loop is periodic, not per-frame-exact).
+void SelfHealingRuntime::tick() {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  const TimeMs now = now_ms_locked();
+
+  adopt_locked(now);
+  readmit_locked(now);
+  if (pending_resolve_ && now >= next_resolve_ok_) do_resolve_locked(now);
+
+  if (now < cooldown_until_) return;
+  const DriftReport report = monitor_.check();
+  if (report.symptom == DriftSymptom::None) {
+    // Quiet loop: decay the re-solve backoff so the next incident reacts
+    // at first-incident speed again.
+    if (!pending_resolve_ && solver_.converged()) backoff_ = options_.resolve_backoff_ms;
+    return;
+  }
+  intervene_locked(report, now);
+}
+
+/// Hot-swaps the solver's incumbent in when it beats the active schedule.
+void SelfHealingRuntime::adopt_locked(TimeMs now) {
+  if (solver_stale_ || solver_.update_count() == last_update_seen_) return;
+  last_update_seen_ = solver_.update_count();
+  const sched::Prediction pred = solver_.current_prediction();
+  if (pred.objective_value >= active_pred_.objective_value) return;
+  active_ = solver_.current_schedule();
+  active_pred_ = pred;
+  // Measurements taken under the old schedule say nothing about the new
+  // one — restart the watchdog's EWMAs from scratch.
+  monitor_.reset();
+  set_expectations_locked();
+  ++stats_.adoptions;
+  std::ostringstream os;
+  os << "adopted solver incumbent (objective " << pred.objective_value << ")";
+  note_locked(now, os.str());
+}
+
+void SelfHealingRuntime::readmit_locked(TimeMs now) {
+  for (soc::PuId pu = 0; pu < condition_.pu_count(); ++pu) {
+    const soc::PuCondition& cond = condition_.pu(pu);
+    if (cond.health == soc::PuHealth::Quarantined && options_.readmit_after_ms > 0.0) {
+      const TimeMs window =
+          options_.readmit_after_ms *
+          static_cast<double>(1 << std::min(cond.quarantine_count - 1, 8));
+      if (now - cond.since_ms < window) continue;
+      // The solver reads degraded_; stop it before the rebuild mutates it.
+      solver_.stop();
+      solver_stale_ = true;
+      condition_.set(pu, soc::PuHealth::Probation, cond.frequency_scale, now);
+      monitor_.reset_pu(pu);
+      rebuild_degraded_locked();
+      ++stats_.readmissions;
+      note_locked(now, original_->platform->pu(pu).name() +
+                           " re-admitted on probation; probing via re-solve");
+      kick_resolve_locked(now);
+    } else if (cond.health == soc::PuHealth::Probation &&
+               now - cond.since_ms >= options_.probation_ms) {
+      condition_.set(pu, soc::PuHealth::Online, cond.frequency_scale, now);
+      note_locked(now, original_->platform->pu(pu).name() + " probation cleared");
+    }
+  }
+}
+
+void SelfHealingRuntime::intervene_locked(const DriftReport& report, TimeMs now) {
+  // Stop the background solver before touching the problem it reads.
+  solver_.stop();
+  solver_stale_ = true;
+  ++stats_.interventions;
+
+  if (report.symptom == DriftSymptom::PuFailure) {
+    condition_.set(report.pu, soc::PuHealth::Quarantined,
+                   condition_.pu(report.pu).frequency_scale, now);
+    ++stats_.quarantines;
+    note_locked(now, original_->platform->pu(report.pu).name() +
+                         " quarantined after repeated frame timeouts");
+    rebuild_degraded_locked();
+    monitor_.reset();
+    install_fallback_locked(now);
+  } else {
+    // Rescale toward the observed per-PU slowdown. The watchdog's ratios
+    // are measured against the NOMINAL profile (the executor runs the
+    // original problem), so `applied_scale_` converts the desired total
+    // into the increment for the already-rescaled copies.
+    const bool single = report.symptom == DriftSymptom::SinglePu;
+    for (soc::PuId pu = 0; pu < static_cast<soc::PuId>(applied_scale_.size()); ++pu) {
+      if (single && pu != report.pu) continue;
+      if (!single &&
+          std::find(degraded_.pus.begin(), degraded_.pus.end(), pu) == degraded_.pus.end()) {
+        continue;
+      }
+      const double desired = std::clamp(single ? report.severity : monitor_.pu_ratio(pu),
+                                        options_.min_scale, options_.max_scale);
+      const double increment = desired / applied_scale_[static_cast<std::size_t>(pu)];
+      if (std::abs(increment - 1.0) < kNominalBand) continue;
+      for (perf::NetworkProfile& profile : scaled_profiles_) {
+        profile.scale_pu_time(pu, increment);
+      }
+      applied_scale_[static_cast<std::size_t>(pu)] = desired;
+      const bool nominal = std::abs(desired - 1.0) < kNominalBand;
+      condition_.set(pu, nominal ? soc::PuHealth::Online : soc::PuHealth::Throttled,
+                     1.0 / desired, now);
+      monitor_.reset_pu(pu);
+      ++stats_.rescales;
+      std::ostringstream os;
+      os << original_->platform->pu(pu).name() << " profile rescaled x" << desired
+         << " (" << to_string(report.symptom) << " drift)";
+      note_locked(now, os.str());
+    }
+    // Re-judge the still-running schedule against the corrected model so
+    // the watchdog stops comparing observations to stale predictions.
+    const sched::Formulation formulation(degraded_);
+    const sched::Prediction repred = formulation.predict(active_, kRelaxed);
+    if (repred.feasible) active_pred_ = repred;
+    monitor_.reset();
+    set_expectations_locked();
+  }
+
+  kick_resolve_locked(now);
+  cooldown_until_ = now + options_.cooldown_ms;
+}
+
+void SelfHealingRuntime::rebuild_degraded_locked() {
+  degraded_ = original_->without_pus(condition_.quarantined());
+  for (std::size_t d = 0; d < degraded_.dnns.size(); ++d) {
+    degraded_.dnns[d].profile = &scaled_profiles_[d];
+  }
+}
+
+/// The paper's fallback guarantee, under faults: the instant a PU is
+/// quarantined the runtime switches to the best naive schedule that is
+/// still valid on the shrunken accelerator set — never waiting for the
+/// solver — and lets the background re-solve improve from there.
+void SelfHealingRuntime::install_fallback_locked(TimeMs now) {
+  const sched::Formulation formulation(degraded_);
+  sched::Schedule best;
+  sched::Prediction best_pred;
+  best_pred.objective_value = kInf;
+  for (sched::Schedule& seed : baselines::naive_seeds(degraded_)) {
+    if (!sched::validate_schedule(degraded_, seed, {.enforce_transition_budget = false})
+             .ok()) {
+      continue;
+    }
+    const sched::Prediction p = formulation.predict(seed, kRelaxed);
+    if (p.feasible && p.objective_value < best_pred.objective_value) {
+      best = std::move(seed);
+      best_pred = p;
+    }
+  }
+  HAX_REQUIRE(!best.assignment.empty(),
+              "no valid fallback schedule exists on the degraded platform");
+  active_ = std::move(best);
+  active_pred_ = best_pred;
+  set_expectations_locked();
+  note_locked(now, "fell back to best naive schedule on degraded platform");
+}
+
+void SelfHealingRuntime::set_expectations_locked() {
+  for (int d = 0; d < degraded_.dnn_count(); ++d) {
+    const std::size_t i = static_cast<std::size_t>(d);
+    const TimeMs span =
+        i < active_pred_.dnn_span_ms.size() ? active_pred_.dnn_span_ms[i] : 0.0;
+    monitor_.set_expectation(d, span);
+  }
+}
+
+void SelfHealingRuntime::kick_resolve_locked(TimeMs now) {
+  if (now < next_resolve_ok_) {
+    pending_resolve_ = true;
+    return;
+  }
+  do_resolve_locked(now);
+}
+
+void SelfHealingRuntime::do_resolve_locked(TimeMs now) {
+  pending_resolve_ = false;
+  solver_.stop();
+  solver_.start(degraded_, &active_);
+  solver_stale_ = false;
+  last_update_seen_ = 0;  // adopt the restart's seed publication too
+  next_resolve_ok_ = now + backoff_;
+  backoff_ = std::min(backoff_ * options_.backoff_growth, options_.backoff_max_ms);
+  ++stats_.resolves;
+  note_locked(now, "background re-solve started on degraded problem");
+}
+
+void SelfHealingRuntime::note_locked(TimeMs now, std::string what) {
+  stats_.events.push_back({now, std::move(what)});
+}
+
+}  // namespace hax::runtime

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file self_healing.h
+/// Degradation manager: the actuator half of the self-healing runtime.
+/// Wires the executor, the drift watchdog (HealthMonitor), the dynamic
+/// solver (DHaxConn) and the platform-condition ledger into a closed
+/// loop:
+///
+///   executor frames ──observer──▶ HealthMonitor ──check()──▶ symptom
+///                                                              │
+///   provider ◀── active schedule ◀── intervention ◀────────────┘
+///                                      │
+///                    SinglePu/Global: rescale profile copies, re-solve
+///                    PuFailure:       quarantine PU, naive fallback,
+///                                     re-solve on the shrunken set
+///
+/// The executor keeps running the ORIGINAL problem — its profiles are the
+/// nominal ground truth the watchdog measures against. The rescaled
+/// profile copies feed only the degraded Problem the solver re-solves,
+/// so the scheduler's beliefs track the observed hardware while the
+/// measurement baseline stays fixed.
+///
+/// Re-solves are gated by an exponential backoff plus a post-intervention
+/// cooldown (a drifting EWMA needs frames to settle before it can be
+/// trusted again); quarantined PUs are probationally re-admitted after a
+/// window that doubles with every repeat offense.
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/dynamic.h"
+#include "core/haxconn.h"
+#include "runtime/executor.h"
+#include "runtime/health_monitor.h"
+#include "soc/condition.h"
+
+namespace hax::runtime {
+
+struct SelfHealingOptions {
+  HealthOptions health;
+
+  /// Must match the executor's time_scale: the manager timestamps events
+  /// in simulated ms by rescaling its own wall clock.
+  double time_scale = 1.0;
+
+  /// Background solver pacing (see DHaxConn); 0 = full speed.
+  double solver_nodes_per_ms = 0.0;
+
+  /// Minimum simulated ms between interventions — the EWMA needs frames
+  /// under the new regime before its verdict means anything.
+  TimeMs cooldown_ms = 40.0;
+
+  /// Re-solve spacing: first kick waits resolve_backoff_ms after the
+  /// previous one, growing by backoff_growth up to backoff_max_ms.
+  /// A kick arriving inside the window is deferred, not dropped.
+  TimeMs resolve_backoff_ms = 20.0;
+  double backoff_growth = 2.0;
+  TimeMs backoff_max_ms = 500.0;
+
+  /// Quarantined PU is probationally re-admitted after this window,
+  /// doubled per prior quarantine of the same PU. 0 disables re-admission.
+  TimeMs readmit_after_ms = 400.0;
+  /// Probation -> Online after this long without a new incident.
+  TimeMs probation_ms = 200.0;
+
+  /// Clamp on the cumulative per-PU profile rescale factor.
+  double min_scale = 0.25;
+  double max_scale = 8.0;
+};
+
+/// One timestamped intervention (the example's recovery staircase).
+struct HealEvent {
+  TimeMs t_ms = 0.0;  ///< simulated ms since the run started
+  std::string what;
+};
+
+struct HealStats {
+  int interventions = 0;  ///< drift verdicts acted upon
+  int rescales = 0;       ///< profile-rescale interventions (SinglePu/Global)
+  int quarantines = 0;    ///< PUs pulled from the schedulable set
+  int readmissions = 0;   ///< probational re-admissions
+  int resolves = 0;       ///< background re-solves kicked
+  int adoptions = 0;      ///< solver incumbents hot-swapped in
+  std::vector<HealEvent> events;
+};
+
+/// Owns the degraded problem view, the rescaled profile copies, the
+/// platform condition ledger, the watchdog and the background solver.
+/// Hand provider() and observer() to Executor::run; everything else is
+/// introspection. The original problem must outlive this object.
+class SelfHealingRuntime {
+ public:
+  explicit SelfHealingRuntime(const sched::Problem& problem, SelfHealingOptions options = {});
+  ~SelfHealingRuntime();
+
+  SelfHealingRuntime(const SelfHealingRuntime&) = delete;
+  SelfHealingRuntime& operator=(const SelfHealingRuntime&) = delete;
+
+  /// Schedule source for Executor::run. First call anchors the manager's
+  /// simulated clock; every call returns the current active schedule
+  /// (solver incumbents are adopted here and in the observer).
+  [[nodiscard]] ScheduleProvider provider();
+
+  /// Measurement sink for ExecutorOptions::observer: feeds the watchdog,
+  /// then runs one non-blocking control tick (adopt / readmit / heal).
+  [[nodiscard]] FrameObserver observer();
+
+  [[nodiscard]] sched::Schedule current_schedule() const;
+  [[nodiscard]] const soc::PlatformCondition& condition() const noexcept { return condition_; }
+  [[nodiscard]] const HealthMonitor& monitor() const noexcept { return monitor_; }
+  [[nodiscard]] const sched::Problem& degraded_problem() const noexcept { return degraded_; }
+  [[nodiscard]] HealStats stats() const;
+
+  /// Blocks until the background solver proves optimality for the current
+  /// degraded problem (tests / examples; see DHaxConn::wait_converged).
+  /// Flushes any backoff-deferred re-solve first and adopts the final
+  /// incumbent, so current_schedule() afterwards is the converged answer.
+  bool wait_converged(TimeMs timeout_ms);
+
+ private:
+  [[nodiscard]] TimeMs now_ms_locked();
+  void tick();
+  void adopt_locked(TimeMs now);
+  void readmit_locked(TimeMs now);
+  void intervene_locked(const DriftReport& report, TimeMs now);
+  void rebuild_degraded_locked();
+  void install_fallback_locked(TimeMs now);
+  void set_expectations_locked();
+  void kick_resolve_locked(TimeMs now);
+  void do_resolve_locked(TimeMs now);
+  void note_locked(TimeMs now, std::string what);
+
+  const sched::Problem* original_;
+  SelfHealingOptions options_;
+
+  /// Rescaled copies of the original profiles (one per DNN; addresses
+  /// stable — reserved up front). degraded_.dnns[*].profile point here.
+  std::vector<perf::NetworkProfile> scaled_profiles_;
+  std::vector<double> applied_scale_;  ///< cumulative rescale per PU (vs nominal)
+  sched::Problem degraded_;
+
+  soc::PlatformCondition condition_;
+  HealthMonitor monitor_;
+  core::HaxConn hax_;
+  core::DHaxConn solver_;
+
+  mutable std::mutex mu_;
+  bool anchored_ = false;
+  std::chrono::steady_clock::time_point anchor_;
+  sched::Schedule active_;
+  sched::Prediction active_pred_;
+  int last_update_seen_ = 0;
+  bool solver_stale_ = true;  ///< stopped or pointed at an outdated problem
+  TimeMs cooldown_until_ = 0.0;
+  TimeMs next_resolve_ok_ = 0.0;
+  TimeMs backoff_ = 0.0;
+  bool pending_resolve_ = false;
+  HealStats stats_;
+};
+
+}  // namespace hax::runtime

@@ -49,6 +49,7 @@ Formulation::Formulation(const Problem& problem)
 Formulation::Formulation(const Formulation& other)
     : problem_(other.problem_),
       pu_count_(other.pu_count_),
+      pu_allowed_(other.pu_allowed_),
       eval_epoch_(next_eval_epoch()),
       items_(other.items_),
       segments_(other.segments_) {}
@@ -57,6 +58,7 @@ Formulation& Formulation::operator=(const Formulation& other) {
   if (this != &other) {
     problem_ = other.problem_;
     pu_count_ = other.pu_count_;
+    pu_allowed_ = other.pu_allowed_;
     eval_epoch_ = next_eval_epoch();
     items_ = other.items_;
     segments_ = other.segments_;
@@ -69,6 +71,8 @@ Formulation& Formulation::operator=(const Formulation& other) {
 void Formulation::build_tables() {
   const Problem& prob = *problem_;
   pu_count_ = prob.platform->pu_count();
+  pu_allowed_.assign(static_cast<std::size_t>(pu_count_), 0);
+  for (const soc::PuId pu : prob.pus) pu_allowed_[static_cast<std::size_t>(pu)] = 1;
   segments_.resize(prob.dnns.size());
 
   for (std::size_t d = 0; d < prob.dnns.size(); ++d) {
@@ -123,6 +127,7 @@ bool Formulation::assemble_dnn(int d, std::span<const soc::PuId> assignment, Eva
   for (int g = 0; g < groups; ++g) {
     const soc::PuId pu = assignment[static_cast<std::size_t>(g)];
     HAX_ASSERT(pu >= 0 && pu < pu_count_);
+    if (!pu_allowed_[static_cast<std::size_t>(pu)]) return false;  // masked PU
     const Segment& seg = segs[static_cast<std::size_t>(g * pu_count_ + pu)];
     if (!seg.supported) return false;  // infeasible assignment
     if (g > 0 && pu != prev) {
@@ -627,6 +632,9 @@ Prediction Formulation::predict_reference(const Schedule& schedule,
     st.depends_on = spec.depends_on;
     for (int g = 0; g < spec.net->group_count(); ++g) {
       const soc::PuId pu = asg[static_cast<std::size_t>(g)];
+      if (std::find(prob.pus.begin(), prob.pus.end(), pu) == prob.pus.end()) {
+        return pred;  // masked PU (parity with assemble_dnn's pu_allowed_)
+      }
       const perf::GroupProfile& rec = spec.profile->at(g, pu);
       if (!rec.supported) return pred;  // infeasible assignment
       if (g > 0 && asg[static_cast<std::size_t>(g - 1)] != pu) {

@@ -251,6 +251,11 @@ class Formulation {
 
   const Problem* problem_;
   int pu_count_ = 0;  ///< platform PU count (segments are indexed by PuId)
+  /// pu_allowed_[pu] is true when the PU is in problem().pus. Assignments
+  /// referencing a masked PU (quarantined, or never schedulable like the
+  /// CPU) are infeasible, so a shrunken accelerator set is honored by
+  /// every predict path, not just the solver's encoding.
+  std::vector<char> pu_allowed_;
   /// Process-unique id stamped at construction (and on copy); workspaces
   /// use it to detect that their rate memo belongs to another instance.
   std::uint64_t eval_epoch_ = 0;

@@ -1,5 +1,7 @@
 #include "sched/problem.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace hax::sched {
@@ -17,6 +19,18 @@ std::vector<int> Problem::group_counts() const {
   counts.reserve(dnns.size());
   for (const DnnSpec& d : dnns) counts.push_back(d.net->group_count());
   return counts;
+}
+
+Problem Problem::without_pus(const std::vector<soc::PuId>& excluded) const {
+  Problem masked = *this;
+  masked.pus.clear();
+  for (const soc::PuId pu : pus) {
+    if (std::find(excluded.begin(), excluded.end(), pu) == excluded.end()) {
+      masked.pus.push_back(pu);
+    }
+  }
+  HAX_REQUIRE(!masked.pus.empty(), "PU mask would leave no schedulable PUs");
+  return masked;
 }
 
 void Problem::validate() const {

@@ -61,6 +61,12 @@ struct Problem {
   /// Group counts per DNN (for building schedules).
   [[nodiscard]] std::vector<int> group_counts() const;
 
+  /// Copy of this problem with `excluded` PUs masked out of the
+  /// accelerator set A — the PU-quarantine view the self-healing runtime
+  /// re-solves against. Non-owning pointers are shared with the original;
+  /// throws when the mask would empty the set.
+  [[nodiscard]] Problem without_pus(const std::vector<soc::PuId>& excluded) const;
+
   /// Validates pointers and indices; throws PreconditionError.
   void validate() const;
 };

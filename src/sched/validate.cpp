@@ -8,6 +8,7 @@ namespace hax::sched {
 const char* to_string(IssueKind kind) noexcept {
   switch (kind) {
     case IssueKind::ShapeMismatch: return "shape-mismatch";
+    case IssueKind::MissingCoverage: return "missing-coverage";
     case IssueKind::UnknownPu: return "unknown-pu";
     case IssueKind::PuNotSchedulable: return "pu-not-schedulable";
     case IssueKind::UnsupportedGroup: return "unsupported-group";
@@ -45,6 +46,10 @@ ValidationReport validate_schedule(const Problem& problem, const Schedule& sched
   for (int d = 0; d < problem.dnn_count(); ++d) {
     const DnnSpec& spec = problem.dnns[static_cast<std::size_t>(d)];
     const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
+    if (asg.empty()) {
+      add(IssueKind::MissingCoverage, d, -1, "DNN has no group assignments");
+      continue;
+    }
     if (static_cast<int>(asg.size()) != spec.net->group_count()) {
       add(IssueKind::ShapeMismatch, d, -1,
           "assignment has " + std::to_string(asg.size()) + " groups, network has " +
@@ -53,6 +58,10 @@ ValidationReport validate_schedule(const Problem& problem, const Schedule& sched
     }
     for (int g = 0; g < spec.net->group_count(); ++g) {
       const soc::PuId pu = asg[static_cast<std::size_t>(g)];
+      if (pu == soc::kInvalidPu) {
+        add(IssueKind::MissingCoverage, d, g, "group left unassigned (invalid PU)");
+        continue;
+      }
       if (pu < 0 || pu >= problem.platform->pu_count()) {
         add(IssueKind::UnknownPu, d, g, "PU id " + std::to_string(pu) + " does not exist");
         continue;
@@ -76,6 +85,12 @@ ValidationReport validate_schedule(const Problem& problem, const Schedule& sched
     }
   }
   return report;
+}
+
+void ensure_valid(const Problem& problem, const Schedule& schedule,
+                  const ValidateOptions& options) {
+  ValidationReport report = validate_schedule(problem, schedule, options);
+  if (!report.ok()) throw ValidationError(std::move(report));
 }
 
 }  // namespace hax::sched

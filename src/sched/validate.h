@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "sched/problem.h"
 #include "sched/schedule.h"
 
@@ -17,8 +18,9 @@ namespace hax::sched {
 
 enum class IssueKind {
   ShapeMismatch,       ///< wrong DNN count or group count
+  MissingCoverage,     ///< a DNN has no assignment, or a group is unassigned
   UnknownPu,           ///< PU id outside the platform
-  PuNotSchedulable,    ///< PU exists but is not in the problem's set (CPU)
+  PuNotSchedulable,    ///< PU exists but is not in the problem's set (CPU, quarantined)
   UnsupportedGroup,    ///< group assigned to a PU that cannot run it
   TransitionBudget,    ///< more transitions than Problem::max_transitions
 };
@@ -51,5 +53,28 @@ struct ValidateOptions {
 [[nodiscard]] ValidationReport validate_schedule(const Problem& problem,
                                                  const Schedule& schedule,
                                                  const ValidateOptions& options = {});
+
+/// Structured validation failure: carries the full report so callers can
+/// react per issue (e.g. the self-healing runtime distinguishing a
+/// quarantine-shrunken platform from a malformed artifact). Derives from
+/// PreconditionError so legacy catch sites keep working.
+class ValidationError : public PreconditionError {
+ public:
+  explicit ValidationError(ValidationReport report)
+      : PreconditionError("schedule validation failed:\n" + report.to_string()),
+        report_(std::move(report)) {}
+
+  [[nodiscard]] const ValidationReport& report() const noexcept { return report_; }
+
+ private:
+  ValidationReport report_;
+};
+
+/// Throws ValidationError when the schedule does not fit the problem.
+/// Replaces the runtime's former point asserts: once PU quarantine can
+/// shrink the platform mid-run, a stale schedule must fail with a
+/// diagnosis instead of tripping a downstream invariant.
+void ensure_valid(const Problem& problem, const Schedule& schedule,
+                  const ValidateOptions& options = {});
 
 }  // namespace hax::sched

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 
@@ -131,6 +132,18 @@ SimResult Engine::run(const std::vector<DnnTask>& tasks) const {
     return true;
   };
 
+  const faults::FaultPlan* plan = options_.faults;
+
+  // Segment standalone duration with the plan's deterministic per-layer
+  // jitter applied (keyed so the same segment of the same iteration draws
+  // the same factor on every replay).
+  const auto jittered = [&](int t, const TaskState& st) {
+    const Segment& seg = st.segments[st.seg];
+    if (plan == nullptr) return seg.duration;
+    return seg.duration * plan->jitter_factor(t, st.iter, seg.group, seg.layer,
+                                              static_cast<int>(seg.kind));
+  };
+
   const auto try_unblock = [&] {
     for (int t = 0; t < n_tasks; ++t) {
       TaskState& st = states[static_cast<std::size_t>(t)];
@@ -142,7 +155,7 @@ SimResult Engine::run(const std::vector<DnnTask>& tasks) const {
       }
       if (!barrier_ok(st)) continue;
       st.phase = Phase::WaitingPu;
-      st.remaining = st.segments[st.seg].duration;
+      st.remaining = jittered(t, st);
       pu_queue[static_cast<std::size_t>(st.segments[st.seg].pu)].push_back(t);
     }
   };
@@ -184,7 +197,8 @@ SimResult Engine::run(const std::vector<DnnTask>& tasks) const {
   for (const TaskState& st : states) {
     total_segments += st.segments.size() * static_cast<std::size_t>(st.iterations);
   }
-  const std::size_t max_events = 16 * total_segments + 1024;
+  const std::size_t max_events =
+      16 * total_segments + 1024 + (plan != nullptr ? 16 * plan->change_count() : 0);
 
   for (std::size_t event = 0; event < max_events; ++event) {
     if (all_done()) break;
@@ -201,9 +215,22 @@ SimResult Engine::run(const std::vector<DnnTask>& tasks) const {
     HAX_ASSERT(any_running);  // otherwise the workload deadlocked
     demands.back() = options_.background_traffic_gbps;
 
-    const std::vector<GBps> achieved = platform_->memory().arbitrate(demands);
+    // EMC arbitration, against a degraded controller when the plan says
+    // bandwidth is down at this instant.
+    const double bw_factor = plan != nullptr ? plan->bandwidth_factor(now) : 1.0;
+    std::vector<GBps> achieved;
+    if (bw_factor < 1.0) {
+      soc::MemoryParams degraded = platform_->memory().params();
+      degraded.total_gbps *= bw_factor;
+      achieved = soc::MemorySystem(degraded).arbitrate(demands);
+    } else {
+      achieved = platform_->memory().arbitrate(demands);
+    }
 
-    // Progress rates and the time to the next completion.
+    // Progress rates and the time to the next completion. A faulted PU
+    // contributes rate 0 (stall/failure) or a throttled rate; the next
+    // fault boundary is an event like any completion, so piecewise fault
+    // states integrate exactly.
     std::vector<double> rates(pu_running.size(), 1.0);
     TimeMs dt = std::numeric_limits<TimeMs>::infinity();
     for (std::size_t pu = 0; pu < pu_running.size(); ++pu) {
@@ -212,9 +239,19 @@ SimResult Engine::run(const std::vector<DnnTask>& tasks) const {
       const TaskState& st = states[static_cast<std::size_t>(t)];
       double rate = 1.0;
       if (demands[pu] > 0.0) rate = achieved[pu] / demands[pu];
-      HAX_ASSERT(rate > 0.0);
+      if (plan != nullptr) {
+        rate *= plan->pu_state(static_cast<soc::PuId>(pu), now).rate();
+      }
+      HAX_ASSERT(rate >= 0.0);
       rates[pu] = rate;
-      dt = std::min(dt, st.remaining / rate);
+      if (rate > 0.0) dt = std::min(dt, st.remaining / rate);
+    }
+    if (plan != nullptr) {
+      const TimeMs next_change = plan->next_change_after(now);
+      if (std::isfinite(next_change)) dt = std::min(dt, next_change - now);
+      HAX_REQUIRE(std::isfinite(dt),
+                  "simulation stalled: running work makes no progress and the fault plan "
+                  "schedules no future change (schedule uses a failed PU?)");
     }
     dt = std::max(dt, 0.0);
 
@@ -244,7 +281,7 @@ SimResult Engine::run(const std::vector<DnnTask>& tasks) const {
       ++st.seg;
       if (st.seg < st.segments.size()) {
         st.phase = Phase::WaitingPu;
-        st.remaining = st.segments[st.seg].duration;
+        st.remaining = jittered(t, st);
         st.stretch_rate = -1.0;
         pu_queue[static_cast<std::size_t>(st.segments[st.seg].pu)].push_back(t);
         continue;

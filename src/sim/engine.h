@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "faults/fault_plan.h"
 #include "grouping/grouping.h"
 #include "perf/cost_model.h"
 #include "perf/transition.h"
@@ -56,6 +57,16 @@ struct SimOptions {
   GBps background_traffic_gbps = 0.0;
 
   bool record_trace = true;
+
+  /// Optional fault-injection timeline (non-owning; must outlive the
+  /// run). Progress rates are recomputed at every fault boundary exactly
+  /// like at start/finish events, so the perturbed run stays a proper
+  /// discrete-event simulation and replays bit-identically for the same
+  /// (seed, plan). A schedule whose work lands on a permanently failed PU
+  /// makes the run throw PreconditionError ("stalled with no future fault
+  /// change") rather than spin — the self-healing layer exists to keep
+  /// such schedules out of execution.
+  const faults::FaultPlan* faults = nullptr;
 };
 
 /// Per-iteration execution span.

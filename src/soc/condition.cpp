@@ -1,0 +1,87 @@
+#include "soc/condition.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "soc/platform.h"
+
+namespace hax::soc {
+
+const char* to_string(PuHealth health) noexcept {
+  switch (health) {
+    case PuHealth::Online: return "online";
+    case PuHealth::Throttled: return "throttled";
+    case PuHealth::Quarantined: return "quarantined";
+    case PuHealth::Probation: return "probation";
+  }
+  return "?";
+}
+
+PlatformCondition::PlatformCondition(int pu_count) {
+  HAX_REQUIRE(pu_count >= 1, "pu_count must be >= 1");
+  pus_.resize(static_cast<std::size_t>(pu_count));
+}
+
+const PuCondition& PlatformCondition::pu(PuId id) const {
+  HAX_REQUIRE(id >= 0 && id < pu_count(), "PU id out of range");
+  return pus_[static_cast<std::size_t>(id)];
+}
+
+PuCondition& PlatformCondition::pu(PuId id) {
+  HAX_REQUIRE(id >= 0 && id < pu_count(), "PU id out of range");
+  return pus_[static_cast<std::size_t>(id)];
+}
+
+std::vector<PuId> PlatformCondition::available(const std::vector<PuId>& from) const {
+  std::vector<PuId> result;
+  result.reserve(from.size());
+  for (const PuId id : from) {
+    if (pu(id).available()) result.push_back(id);
+  }
+  return result;
+}
+
+std::vector<PuId> PlatformCondition::quarantined() const {
+  std::vector<PuId> result;
+  for (int p = 0; p < pu_count(); ++p) {
+    if (!pus_[static_cast<std::size_t>(p)].available()) result.push_back(p);
+  }
+  return result;
+}
+
+bool PlatformCondition::all_online() const noexcept {
+  return std::all_of(pus_.begin(), pus_.end(), [](const PuCondition& c) {
+    return c.health == PuHealth::Online;
+  });
+}
+
+void PlatformCondition::set(PuId id, PuHealth health, double frequency_scale, TimeMs now_ms) {
+  HAX_REQUIRE(frequency_scale > 0.0, "frequency_scale must be positive");
+  PuCondition& c = pu(id);
+  if (health == PuHealth::Quarantined && c.health != PuHealth::Quarantined) {
+    ++c.quarantine_count;
+  }
+  if (c.health != health) c.since_ms = now_ms;
+  c.health = health;
+  c.frequency_scale = frequency_scale;
+}
+
+std::string PlatformCondition::describe(const Platform& platform) const {
+  HAX_REQUIRE(platform.pu_count() == pu_count(), "condition/platform size mismatch");
+  std::ostringstream os;
+  for (int p = 0; p < pu_count(); ++p) {
+    if (p > 0) os << " | ";
+    const PuCondition& c = pus_[static_cast<std::size_t>(p)];
+    os << platform.pu(p).name() << ": " << to_string(c.health);
+    if (c.health == PuHealth::Throttled || c.health == PuHealth::Probation) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " x%.2f", c.frequency_scale);
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hax::soc

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file condition.h
+/// Dynamic platform condition: the runtime-observed availability and
+/// effective-frequency state of every PU, layered over the immutable
+/// Platform description. The self-healing runtime maintains one of these
+/// as its canonical record of what the hardware is currently doing —
+/// which PUs are quarantined, which run throttled and by how much — and
+/// derives degraded scheduling problems from it.
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "soc/processing_unit.h"
+
+namespace hax::soc {
+
+class Platform;
+
+enum class PuHealth : std::uint8_t {
+  Online,       ///< behaving per its profile
+  Throttled,    ///< alive but slower; see frequency_scale
+  Quarantined,  ///< masked out of scheduling (failed or repeatedly wedged)
+  Probation,    ///< re-admitted after quarantine, under watch
+};
+
+[[nodiscard]] const char* to_string(PuHealth health) noexcept;
+
+/// Mutable per-PU condition record.
+struct PuCondition {
+  PuHealth health = PuHealth::Online;
+  /// Observed speed relative to the profile (1 = nominal, 0.5 = running
+  /// at half speed). Meaningful for Throttled/Probation.
+  double frequency_scale = 1.0;
+  /// When the current health state was entered (caller's clock, ms).
+  TimeMs since_ms = 0.0;
+  /// Times this PU has been quarantined (drives re-admission backoff).
+  int quarantine_count = 0;
+
+  [[nodiscard]] bool available() const noexcept { return health != PuHealth::Quarantined; }
+};
+
+/// Condition of a whole platform: one PuCondition per PU.
+class PlatformCondition {
+ public:
+  PlatformCondition() = default;
+  explicit PlatformCondition(int pu_count);
+
+  [[nodiscard]] int pu_count() const noexcept { return static_cast<int>(pus_.size()); }
+  [[nodiscard]] const PuCondition& pu(PuId id) const;
+  [[nodiscard]] PuCondition& pu(PuId id);
+
+  /// Subset of `from` currently available (not quarantined), order kept.
+  [[nodiscard]] std::vector<PuId> available(const std::vector<PuId>& from) const;
+  [[nodiscard]] std::vector<PuId> quarantined() const;
+  [[nodiscard]] bool all_online() const noexcept;
+
+  void set(PuId id, PuHealth health, double frequency_scale, TimeMs now_ms);
+
+  /// e.g. "GPU: throttled x0.50 | DLA: online".
+  [[nodiscard]] std::string describe(const Platform& platform) const;
+
+ private:
+  std::vector<PuCondition> pus_;
+};
+
+}  // namespace hax::soc

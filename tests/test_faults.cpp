@@ -1,0 +1,571 @@
+/// Tests for the fault-injection subsystem (src/faults) and the
+/// self-healing runtime stack built on it: plan determinism, simulator
+/// integration, the drift watchdog, schedule-validation hardening, the
+/// executor's frame timeout, and the end-to-end throttle/failure
+/// recovery scenarios from the robustness experiments.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/evaluate.h"
+#include "core/haxconn.h"
+#include "faults/fault_plan.h"
+#include "nn/zoo.h"
+#include "runtime/executor.h"
+#include "runtime/health_monitor.h"
+#include "runtime/self_healing.h"
+#include "sched/formulation.h"
+#include "sched/validate.h"
+
+namespace {
+
+using namespace hax;
+
+constexpr TimeMs kForever = 1e9;
+
+// ---------------------------------------------------------------- plans ----
+
+TEST(FaultPlan, StateQueriesFollowTheScript) {
+  faults::FaultPlan plan;
+  plan.throttle(0, 10.0, 20.0, 2.0).stall(1, 5.0, 8.0).fail(2, 30.0);
+  plan.degrade_bandwidth(12.0, 14.0, 0.5);
+
+  EXPECT_DOUBLE_EQ(plan.pu_state(0, 0.0).rate(), 1.0);
+  EXPECT_DOUBLE_EQ(plan.pu_state(0, 15.0).rate(), 0.5);
+  EXPECT_DOUBLE_EQ(plan.pu_state(0, 25.0).rate(), 1.0);
+
+  EXPECT_DOUBLE_EQ(plan.pu_state(1, 6.0).rate(), 0.0);
+  EXPECT_TRUE(plan.pu_state(1, 6.0).stalled);
+  EXPECT_DOUBLE_EQ(plan.pu_state(1, 9.0).rate(), 1.0);
+
+  EXPECT_TRUE(plan.pu_state(2, 29.0).alive);
+  EXPECT_FALSE(plan.pu_state(2, 31.0).alive);
+  EXPECT_DOUBLE_EQ(plan.pu_state(2, 1e6).rate(), 0.0);
+  EXPECT_TRUE(plan.has_permanent_failure());
+  EXPECT_TRUE(plan.failed_forever(2, 31.0));
+  EXPECT_FALSE(plan.failed_forever(0, 15.0));
+
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(13.0), 0.5);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(15.0), 1.0);
+}
+
+TEST(FaultPlan, RampIsMonotoneAndDiscretized) {
+  faults::FaultPlan plan;
+  plan.throttle(0, 100.0, 300.0, 3.0, /*ramp_ms=*/80.0);
+  double prev = 1.0;
+  for (TimeMs t = 95.0; t < 200.0; t += 5.0) {
+    const double slow = plan.pu_state(0, t).slowdown;
+    EXPECT_GE(slow, prev - 1e-12) << "t=" << t;
+    prev = slow;
+  }
+  // After the ramp the full factor applies; before the window, none.
+  EXPECT_DOUBLE_EQ(plan.pu_state(0, 99.0).slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(plan.pu_state(0, 181.0).slowdown, 3.0);
+}
+
+TEST(FaultPlan, SealedAfterFirstQuery) {
+  faults::FaultPlan plan;
+  plan.throttle(0, 0.0, 10.0, 2.0);
+  (void)plan.pu_state(0, 1.0);
+  EXPECT_THROW(plan.stall(0, 1.0, 2.0), PreconditionError);
+}
+
+TEST(FaultPlan, NextChangeAfterWalksBoundaries) {
+  faults::FaultPlan plan;
+  plan.stall(0, 5.0, 8.0);
+  EXPECT_DOUBLE_EQ(plan.next_change_after(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(plan.next_change_after(5.0), 8.0);
+  EXPECT_TRUE(std::isinf(plan.next_change_after(8.0)));
+}
+
+TEST(FaultPlan, JitterIsDeterministicAndBounded) {
+  faults::FaultPlan a(123), b(123), c(456);
+  a.jitter(0.1);
+  b.jitter(0.1);
+  c.jitter(0.1);
+  bool any_diff_seed = false;
+  for (int g = 0; g < 16; ++g) {
+    const double fa = a.jitter_factor(0, 0, g, -1);
+    EXPECT_DOUBLE_EQ(fa, b.jitter_factor(0, 0, g, -1));
+    EXPECT_GE(fa, 0.9);
+    EXPECT_LE(fa, 1.1);
+    if (fa != c.jitter_factor(0, 0, g, -1)) any_diff_seed = true;
+  }
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(FaultPlan, RandomPlansAreSeedDeterministic) {
+  const soc::Platform plat = soc::Platform::xavier();
+  const faults::FaultPlan a = faults::FaultPlan::random(7, plat);
+  const faults::FaultPlan b = faults::FaultPlan::random(7, plat);
+  const faults::FaultPlan c = faults::FaultPlan::random(8, plat);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_NE(a.describe(), c.describe());
+}
+
+// ------------------------------------------------------ sim integration ----
+
+class FaultSim : public testing::Test {
+ protected:
+  FaultSim()
+      : plat_(soc::Platform::xavier()),
+        hax_(plat_, [] {
+          core::HaxConnOptions o;
+          o.grouping.max_groups = 5;
+          return o;
+        }()),
+        inst_(hax_.make_problem({{nn::zoo::alexnet()}, {nn::zoo::resnet18()}})) {}
+
+  sched::Schedule pinned(soc::PuId a, soc::PuId b) const {
+    const sched::Problem& prob = inst_.problem();
+    sched::Schedule s;
+    for (int d = 0; d < prob.dnn_count(); ++d) {
+      const soc::PuId pu = d == 0 ? a : b;
+      const sched::DnnSpec& spec = prob.dnns[static_cast<std::size_t>(d)];
+      std::vector<soc::PuId> asg;
+      for (int g = 0; g < spec.net->group_count(); ++g) {
+        asg.push_back(spec.profile->at(g, pu).supported ? pu : plat_.gpu());
+      }
+      s.assignment.push_back(std::move(asg));
+    }
+    return s;
+  }
+
+  soc::Platform plat_;
+  core::HaxConn hax_;
+  sched::ProblemInstance inst_;
+};
+
+TEST_F(FaultSim, ReplayIsBitIdentical) {
+  const sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
+  const faults::FaultPlan plan1 = faults::FaultPlan::random(42, plat_);
+  const faults::FaultPlan plan2 = faults::FaultPlan::random(42, plat_);
+
+  const core::EvalResult r1 =
+      core::evaluate(inst_.problem(), s, {.record_trace = true, .faults = &plan1});
+  const core::EvalResult r2 =
+      core::evaluate(inst_.problem(), s, {.record_trace = true, .faults = &plan2});
+
+  ASSERT_EQ(r1.sim.trace.records().size(), r2.sim.trace.records().size());
+  for (std::size_t i = 0; i < r1.sim.trace.records().size(); ++i) {
+    const sim::TraceRecord& a = r1.sim.trace.records()[i];
+    const sim::TraceRecord& b = r2.sim.trace.records()[i];
+    EXPECT_EQ(a.task, b.task);
+    EXPECT_EQ(a.pu, b.pu);
+    EXPECT_EQ(a.start, b.start);  // bitwise: no tolerance
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.rate, b.rate);
+  }
+  EXPECT_EQ(r1.sim.makespan_ms, r2.sim.makespan_ms);
+
+  // A different seed perturbs the timeline.
+  const faults::FaultPlan other = faults::FaultPlan::random(43, plat_);
+  const core::EvalResult r3 = core::evaluate(inst_.problem(), s, {.faults = &other});
+  EXPECT_NE(r1.sim.makespan_ms, r3.sim.makespan_ms);
+}
+
+TEST_F(FaultSim, SteadyThrottleDoublesSingleTaskMakespan) {
+  // One DNN alone on the GPU: a 2x compute throttle over the whole run
+  // must double the makespan exactly (no contention, no transitions).
+  auto solo = hax_.make_problem({{nn::zoo::alexnet()}});
+  sched::Schedule s;
+  const sched::DnnSpec& spec = solo.problem().dnns[0];
+  s.assignment.push_back(
+      std::vector<soc::PuId>(static_cast<std::size_t>(spec.net->group_count()), plat_.gpu()));
+
+  const core::EvalResult base = core::evaluate(solo.problem(), s);
+  faults::FaultPlan plan;
+  plan.throttle(plat_.gpu(), 0.0, kForever, 2.0);
+  const core::EvalResult slow = core::evaluate(solo.problem(), s, {.faults = &plan});
+  EXPECT_NEAR(slow.sim.makespan_ms / base.sim.makespan_ms, 2.0, 1e-9);
+}
+
+TEST_F(FaultSim, StallAddsItsWindowLength) {
+  auto solo = hax_.make_problem({{nn::zoo::alexnet()}});
+  sched::Schedule s;
+  const sched::DnnSpec& spec = solo.problem().dnns[0];
+  s.assignment.push_back(
+      std::vector<soc::PuId>(static_cast<std::size_t>(spec.net->group_count()), plat_.gpu()));
+
+  const TimeMs base = core::evaluate(solo.problem(), s).sim.makespan_ms;
+  const TimeMs from = 0.25 * base;
+  const TimeMs len = 0.4 * base;
+  faults::FaultPlan plan;
+  plan.stall(plat_.gpu(), from, from + len);
+  const TimeMs stalled = core::evaluate(solo.problem(), s, {.faults = &plan}).sim.makespan_ms;
+  EXPECT_NEAR(stalled - base, len, 1e-9 * base);
+}
+
+TEST_F(FaultSim, BandwidthDegradationSlowsContendedRun) {
+  const sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
+  const TimeMs base = core::evaluate(inst_.problem(), s).sim.makespan_ms;
+  faults::FaultPlan plan;
+  plan.degrade_bandwidth(0.0, kForever, 0.4);
+  const TimeMs degraded =
+      core::evaluate(inst_.problem(), s, {.faults = &plan}).sim.makespan_ms;
+  EXPECT_GT(degraded, base * 1.02);
+}
+
+TEST_F(FaultSim, ScheduleOnFailedPuThrowsInsteadOfSpinning) {
+  const sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
+  faults::FaultPlan plan;
+  plan.fail(plat_.dsa(), 0.0);
+  EXPECT_THROW((void)core::evaluate(inst_.problem(), s, {.faults = &plan}),
+               PreconditionError);
+}
+
+// ------------------------------------------------- validation hardening ----
+
+TEST_F(FaultSim, ValidateFlagsMissingCoverage) {
+  sched::Schedule s;
+  s.assignment.resize(2);  // both DNNs present but empty
+  const sched::ValidationReport report = sched::validate_schedule(inst_.problem(), s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].kind, sched::IssueKind::MissingCoverage);
+
+  sched::Schedule t = pinned(plat_.gpu(), plat_.dsa());
+  t.assignment[1][0] = soc::kInvalidPu;
+  const sched::ValidationReport r2 = sched::validate_schedule(inst_.problem(), t);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.issues[0].kind, sched::IssueKind::MissingCoverage);
+  EXPECT_EQ(r2.issues[0].dnn, 1);
+}
+
+TEST_F(FaultSim, EnsureValidThrowsStructuredError) {
+  sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
+  s.assignment[0][0] = 99;  // nonexistent PU
+  try {
+    sched::ensure_valid(inst_.problem(), s);
+    FAIL() << "expected ValidationError";
+  } catch (const sched::ValidationError& e) {
+    ASSERT_FALSE(e.report().ok());
+    EXPECT_EQ(e.report().issues[0].kind, sched::IssueKind::UnknownPu);
+    EXPECT_NE(std::string(e.what()).find("does not exist"), std::string::npos);
+  }
+  // ValidationError is a PreconditionError: existing catch sites keep working.
+  sched::Schedule t = pinned(plat_.gpu(), plat_.dsa());
+  t.assignment[0][0] = soc::kInvalidPu;
+  EXPECT_THROW(sched::ensure_valid(inst_.problem(), t), PreconditionError);
+  EXPECT_NO_THROW(sched::ensure_valid(inst_.problem(), pinned(plat_.gpu(), plat_.dsa())));
+}
+
+TEST_F(FaultSim, WithoutPusMasksTheFormulation) {
+  const sched::Problem degraded = inst_.problem().without_pus({plat_.dsa()});
+  EXPECT_EQ(degraded.pus.size(), inst_.problem().pus.size() - 1);
+  EXPECT_TRUE(std::find(degraded.pus.begin(), degraded.pus.end(), plat_.dsa()) ==
+              degraded.pus.end());
+
+  // A schedule using the masked PU is infeasible on the degraded
+  // formulation — in both the optimized and the golden reference path.
+  const sched::Schedule uses_dsa = pinned(plat_.gpu(), plat_.dsa());
+  const sched::Formulation f(degraded);
+  const sched::PredictOptions relaxed{.enforce_transition_budget = false,
+                                      .enforce_epsilon = false};
+  EXPECT_FALSE(f.predict(uses_dsa, relaxed).feasible);
+  EXPECT_FALSE(f.predict_reference(uses_dsa, relaxed).feasible);
+  EXPECT_TRUE(f.predict(pinned(plat_.gpu(), plat_.gpu()), relaxed).feasible);
+
+  // Naive seeds generated from the degraded problem avoid the masked PU.
+  for (const sched::Schedule& seed : baselines::naive_seeds(degraded)) {
+    EXPECT_TRUE(sched::validate_schedule(degraded, seed,
+                                         {.enforce_transition_budget = false})
+                    .ok());
+  }
+
+  // Masking everything is an error, not an empty problem.
+  EXPECT_THROW((void)inst_.problem().without_pus(inst_.problem().pus), PreconditionError);
+}
+
+// ---------------------------------------------------------- watchdog ----
+
+TEST(FaultHealth, NoTriggerBelowThreshold) {
+  runtime::HealthOptions opts;
+  opts.drift_tolerance = 0.25;
+  runtime::HealthMonitor mon(1, 2, std::numeric_limits<TimeMs>::infinity(), opts);
+  mon.set_expectation(0, 10.0);
+  for (int f = 0; f < 50; ++f) {
+    runtime::FrameObservation obs;
+    obs.dnn = 0;
+    obs.frame = f;
+    obs.latency_ms = 11.5;  // 15% over: inside the 25% band
+    obs.pu_observed_ms = {6.0, 5.5};
+    obs.pu_expected_ms = {5.0, 5.0};
+    mon.observe(obs);
+    EXPECT_EQ(mon.check().symptom, runtime::DriftSymptom::None) << "frame " << f;
+  }
+}
+
+TEST(FaultHealth, SinglePuThrottleTriggersWithinFewFrames) {
+  runtime::HealthOptions opts;
+  opts.drift_tolerance = 0.25;
+  opts.warmup_frames = 2;
+  runtime::HealthMonitor mon(1, 2, std::numeric_limits<TimeMs>::infinity(), opts);
+  mon.set_expectation(0, 10.0);
+  int triggered_at = -1;
+  for (int f = 0; f < 10; ++f) {
+    runtime::FrameObservation obs;
+    obs.dnn = 0;
+    obs.frame = f;
+    obs.latency_ms = 20.0;  // 2x the prediction
+    obs.pu_observed_ms = {10.0, 5.0};  // PU0 at ratio 2, PU1 nominal
+    obs.pu_expected_ms = {5.0, 5.0};
+    mon.observe(obs);
+    const runtime::DriftReport r = mon.check();
+    if (r.symptom != runtime::DriftSymptom::None) {
+      EXPECT_EQ(r.symptom, runtime::DriftSymptom::SinglePu);
+      EXPECT_EQ(r.pu, 0);
+      EXPECT_NEAR(r.severity, 2.0, 0.2);
+      triggered_at = f;
+      break;
+    }
+  }
+  ASSERT_GE(triggered_at, 0) << "watchdog never fired";
+  EXPECT_LE(triggered_at, 4) << "detection latency too high";
+}
+
+TEST(FaultHealth, UniformDriftClassifiesGlobal) {
+  runtime::HealthMonitor mon(1, 2, std::numeric_limits<TimeMs>::infinity(), {});
+  mon.set_expectation(0, 10.0);
+  for (int f = 0; f < 6; ++f) {
+    runtime::FrameObservation obs;
+    obs.dnn = 0;
+    obs.frame = f;
+    obs.latency_ms = 20.0;
+    obs.pu_observed_ms = {10.0, 9.5};  // both PUs ~2x
+    obs.pu_expected_ms = {5.0, 5.0};
+    mon.observe(obs);
+  }
+  const runtime::DriftReport r = mon.check();
+  EXPECT_EQ(r.symptom, runtime::DriftSymptom::Global);
+  EXPECT_GT(r.severity, 1.5);
+}
+
+TEST(FaultHealth, RepeatedTimeoutsEscalateToFailure) {
+  runtime::HealthOptions opts;
+  opts.timeout_quarantine = 2;
+  runtime::HealthMonitor mon(2, 2, std::numeric_limits<TimeMs>::infinity(), opts);
+  mon.set_expectation(0, 10.0);
+
+  runtime::FrameObservation timeout;
+  timeout.dnn = 0;
+  timeout.timed_out = true;
+  timeout.stuck_pu = 1;
+  mon.observe(timeout);
+  EXPECT_EQ(mon.check().symptom, runtime::DriftSymptom::None);  // streak of 1
+
+  // A completed frame on that PU clears the streak…
+  runtime::FrameObservation good;
+  good.dnn = 1;
+  good.latency_ms = 10.0;
+  good.pu_observed_ms = {0.0, 5.0};
+  good.pu_expected_ms = {0.0, 5.0};
+  mon.observe(good);
+  mon.observe(timeout);
+  EXPECT_EQ(mon.check().symptom, runtime::DriftSymptom::None);
+
+  // …but consecutive timeouts escalate, and outrank latency drift.
+  mon.observe(timeout);
+  const runtime::DriftReport r = mon.check();
+  EXPECT_EQ(r.symptom, runtime::DriftSymptom::PuFailure);
+  EXPECT_EQ(r.pu, 1);
+}
+
+// ---------------------------------------------------------- executor ----
+
+TEST_F(FaultSim, ExecutorRequiresTimeoutForPermanentFailure) {
+  faults::FaultPlan plan;
+  plan.fail(plat_.dsa(), 1.0);
+  runtime::ExecutorOptions opts;
+  opts.time_scale = 0.2;
+  opts.faults = &plan;
+  EXPECT_THROW(runtime::Executor(plat_, opts), PreconditionError);
+  opts.frame_timeout_ms = 100.0;
+  EXPECT_NO_THROW(runtime::Executor(plat_, opts));
+}
+
+TEST_F(FaultSim, ExecutorDropsFramesWedgedOnDeadPu) {
+  faults::FaultPlan plan;
+  plan.fail(plat_.dsa(), 0.0);
+  runtime::ExecutorOptions opts;
+  opts.time_scale = 0.1;
+  opts.faults = &plan;
+  opts.frame_timeout_ms = 40.0;
+  const runtime::Executor exec(plat_, opts);
+
+  const sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
+  const int frames = 3;
+  const runtime::RunStats stats =
+      exec.run(inst_.problem(), [&] { return s; }, frames);
+
+  // The run completed (no hang); the DSA-pinned DNN dropped every frame,
+  // the GPU-pinned one completed all of its frames.
+  EXPECT_EQ(static_cast<int>(stats.frames.size()), 2 * frames);
+  EXPECT_EQ(stats.completed_frames(1), 0);
+  EXPECT_EQ(stats.completed_frames(0), frames);
+  EXPECT_EQ(stats.timed_out_frames, frames);
+  for (const runtime::FrameRecord& f : stats.frames) {
+    if (f.dnn == 1) {
+      EXPECT_TRUE(f.timed_out);
+    }
+  }
+}
+
+TEST_F(FaultSim, ExecutorStretchesKernelsUnderThrottle) {
+  const sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
+  runtime::ExecutorOptions clean;
+  // Kernels must dwarf the OS sleep quantum: the executor credits sleep
+  // overshoot as progress, so at heavy time compression a throttled
+  // kernel finishes in one overshoot-dominated sleep and barely stretches.
+  clean.time_scale = 1.0;
+  const runtime::RunStats base =
+      runtime::Executor(plat_, clean).run(inst_.problem(), [&] { return s; }, 3);
+
+  faults::FaultPlan plan;
+  plan.throttle(plat_.gpu(), 0.0, kForever, 3.0);
+  runtime::ExecutorOptions faulty = clean;
+  faulty.faults = &plan;
+  const runtime::RunStats slow =
+      runtime::Executor(plat_, faulty).run(inst_.problem(), [&] { return s; }, 3);
+
+  // DNN 0 is pinned to the throttled GPU: its frames must stretch
+  // markedly (3x modulo sleep jitter; demand only 1.5x so machine-load
+  // spikes, which inflate both runs by the same absolute amount, cannot
+  // compress the ratio below the bar).
+  EXPECT_GT(slow.mean_latency_ms(0), 1.5 * base.mean_latency_ms(0));
+}
+
+// ------------------------------------------------------- self-healing ----
+
+namespace heal {
+
+runtime::SelfHealingOptions tuned(double time_scale) {
+  runtime::SelfHealingOptions o;
+  o.time_scale = time_scale;
+  o.health.warmup_frames = 2;
+  o.health.drift_tolerance = 0.25;
+  o.health.epsilon_multiple = 0.5;
+  o.cooldown_ms = 30.0;
+  o.resolve_backoff_ms = 10.0;
+  o.readmit_after_ms = 0.0;  // keep quarantines sticky for assertions
+  return o;
+}
+
+}  // namespace heal
+
+TEST_F(FaultSim, SelfHealingRecoversFromGpuThrottle) {
+  const sched::Problem& prob = inst_.problem();
+  const sched::ScheduleSolution fresh_clean = hax_.schedule(prob);
+  ASSERT_TRUE(fresh_clean.best_found());
+
+  faults::FaultPlan plan;
+  plan.throttle(plat_.gpu(), 0.0, kForever, 3.0);
+
+  // --- no mitigation: static pristine-optimal schedule under throttle ---
+  // Ground truth (deterministic): the un-healed schedule degrades badly
+  // versus its own fault-free performance.
+  const TimeMs clean_ms = core::evaluate(prob, fresh_clean.schedule).sim.makespan_ms;
+  const TimeMs faulty_ms =
+      core::evaluate(prob, fresh_clean.schedule, {.faults = &plan}).sim.makespan_ms;
+  EXPECT_GT(faulty_ms, 1.35 * clean_ms) << "throttle too mild for this scenario";
+
+  // --- self-healing run -------------------------------------------------
+  // Slower than real time: kernels must dwarf the OS sleep quantum or the
+  // watchdog's observed/expected ratios measure wakeup latency, not the
+  // injected slowdown.
+  const double scale = 2.0;
+  runtime::SelfHealingRuntime healer(prob, heal::tuned(scale));
+  runtime::ExecutorOptions opts;
+  opts.time_scale = scale;
+  opts.faults = &plan;
+  opts.observer = healer.observer();
+  const runtime::Executor exec(plat_, opts);
+  const runtime::RunStats stats = exec.run(prob, healer.provider(), 30);
+  EXPECT_EQ(static_cast<int>(stats.frames.size()), 60);
+
+  const runtime::HealStats hs = healer.stats();
+  EXPECT_GE(hs.interventions, 1) << "watchdog never reacted to the throttle";
+  EXPECT_GE(hs.rescales, 1);
+  EXPECT_GE(hs.resolves, 2);  // initial solve + at least one re-solve
+
+  // The learned model should be close to the injected 3x slowdown
+  // (sleep overshoot biases the estimate upward slightly).
+  const soc::PuCondition& gpu_cond = healer.condition().pu(plat_.gpu());
+  EXPECT_EQ(gpu_cond.health, soc::PuHealth::Throttled);
+  EXPECT_NEAR(1.0 / gpu_cond.frequency_scale, 3.0, 1.0);
+
+  // --- recovered schedule vs. fresh solve on the throttled platform ----
+  // Both judged on the deterministic simulator under the same fault plan.
+  healer.wait_converged(5000.0);  // flushes deferred re-solves, adopts
+  const sched::Schedule healed = healer.current_schedule();
+
+  std::vector<perf::NetworkProfile> throttled_profiles;
+  sched::Problem throttled = prob;
+  throttled_profiles.reserve(prob.dnns.size());
+  for (std::size_t d = 0; d < prob.dnns.size(); ++d) {
+    throttled_profiles.push_back(*prob.dnns[d].profile);
+    throttled_profiles.back().scale_pu_time(plat_.gpu(), 3.0);
+    throttled.dnns[d].profile = &throttled_profiles[d];
+  }
+  const sched::ScheduleSolution fresh_throttled = hax_.schedule(throttled);
+  ASSERT_TRUE(fresh_throttled.best_found());
+
+  const TimeMs healed_ms = core::evaluate(prob, healed, {.faults = &plan}).sim.makespan_ms;
+  const TimeMs fresh_ms =
+      core::evaluate(prob, fresh_throttled.schedule, {.faults = &plan}).sim.makespan_ms;
+  std::cout << "[heal] clean=" << clean_ms << " no-mitigation=" << faulty_ms
+            << " fresh-throttled=" << fresh_ms << " healed=" << healed_ms << '\n';
+  EXPECT_LE(healed_ms, 1.15 * fresh_ms)
+      << "steady-state schedule not within 15% of a fresh solve";
+  EXPECT_LE(healed_ms, faulty_ms * 1.001) << "healing worse than no-mitigation";
+}
+
+TEST_F(FaultSim, SelfHealingSurvivesHardPuFailure) {
+  const sched::Problem& prob = inst_.problem();
+  faults::FaultPlan plan;
+  plan.fail(plat_.dsa(), 30.0);  // DSA dies shortly into the run
+
+  const double scale = 0.1;
+  runtime::SelfHealingOptions hopts = heal::tuned(scale);
+  hopts.health.timeout_quarantine = 2;
+  runtime::SelfHealingRuntime healer(prob, hopts);
+
+  runtime::ExecutorOptions opts;
+  opts.time_scale = scale;
+  opts.faults = &plan;
+  opts.frame_timeout_ms = 120.0;
+  opts.observer = healer.observer();
+  const runtime::Executor exec(plat_, opts);
+
+  // Completes instead of hanging: the watchdog quarantines the dead PU
+  // and the fallback keeps both DNNs flowing on what remains.
+  const int frames = 14;
+  const runtime::RunStats stats = exec.run(prob, healer.provider(), frames);
+  EXPECT_EQ(static_cast<int>(stats.frames.size()), 2 * frames);
+
+  const runtime::HealStats hs = healer.stats();
+  EXPECT_GE(hs.quarantines, 1);
+  EXPECT_EQ(healer.condition().pu(plat_.dsa()).health, soc::PuHealth::Quarantined);
+  const std::vector<soc::PuId>& pus = healer.degraded_problem().pus;
+  EXPECT_TRUE(std::find(pus.begin(), pus.end(), plat_.dsa()) == pus.end());
+
+  // Some frames died on the way down, but both DNNs finished the tail of
+  // the workload on the degraded platform.
+  EXPECT_GE(stats.timed_out_frames, 1);
+  EXPECT_LT(stats.timed_out_frames, frames);
+  EXPECT_GT(stats.completed_frames(0), frames / 2);
+  EXPECT_GT(stats.completed_frames(1), frames / 2);
+
+  // The final active schedule is valid on the degraded platform (no
+  // work on the dead DSA).
+  EXPECT_NO_THROW(
+      sched::ensure_valid(healer.degraded_problem(), healer.current_schedule(),
+                          {.enforce_transition_budget = false}));
+}
+
+}  // namespace

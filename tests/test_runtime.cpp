@@ -42,9 +42,15 @@ class RuntimeFixture : public testing::Test {
     return s;
   }
 
+  static ExecutorOptions scaled(double time_scale) {
+    ExecutorOptions o;
+    o.time_scale = time_scale;
+    return o;
+  }
+
   // Compressed time so tests stay fast: 1 simulated ms = 0.2 wall ms.
   // (Sleep granularity is ~0.1 wall-ms, so kernels must stay well above.)
-  static ExecutorOptions fast() { return {.time_scale = 0.2}; }
+  static ExecutorOptions fast() { return scaled(0.2); }
 
   soc::Platform plat_;
   core::HaxConn hax_;
@@ -64,7 +70,7 @@ TEST_F(RuntimeFixture, RunsAllFrames) {
 
 TEST_F(RuntimeFixture, LatencyTracksModeledTime) {
   // Real-time scale for latency fidelity (sleep jitter is additive).
-  const Executor exec(plat_, {.time_scale = 1.0});
+  const Executor exec(plat_, scaled(1.0));
   const sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
   const RunStats stats = exec.run(inst_.problem(), [&] { return s; }, 3);
   const sched::Problem& prob = inst_.problem();
@@ -163,7 +169,7 @@ TEST_F(RuntimeFixture, SamePuSerializesInWallClock) {
   };
   // Real-time scale: sleep quantization (~0.1 ms/kernel) must stay small
   // relative to the kernels, or it washes out the serialization signal.
-  const Executor exec(orin, {.time_scale = 1.0});
+  const Executor exec(orin, scaled(1.0));
   const sched::Schedule shared = pin_pair(orin.gpu(), orin.gpu());
   const sched::Schedule split = pin_pair(orin.gpu(), orin.dsa());
   const RunStats serial = exec.run(prob, [&] { return shared; }, 3);
@@ -178,7 +184,7 @@ TEST_F(RuntimeFixture, RejectsBadArguments) {
   const sched::Schedule s = pinned(plat_.gpu(), plat_.dsa());
   EXPECT_THROW((void)exec.run(inst_.problem(), nullptr, 1), PreconditionError);
   EXPECT_THROW((void)exec.run(inst_.problem(), [&] { return s; }, 0), PreconditionError);
-  EXPECT_THROW(Executor(plat_, {.time_scale = 0.0}), PreconditionError);
+  EXPECT_THROW(Executor(plat_, scaled(0.0)), PreconditionError);
 }
 
 TEST_F(RuntimeFixture, ProviderScheduleValidated) {
