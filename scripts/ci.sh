@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo CI entry point: tier-1 build + tests, then every analysis gate.
+#
+#   scripts/ci.sh [build-dir]
+#
+# Gates that need tooling the machine lacks (clang++ for thread-safety
+# analysis, clang-tidy) degrade to a printed skip notice inside their
+# CMake targets — the script still exercises everything available:
+# hax_lint always runs (it is also a ctest), and check_asan race-checks
+# the evaluator/fault slices with GCC sanitizers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== tier 1: configure + build =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+echo "== tier 1: ctest (includes the hax_lint scan) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "== analysis gate: check_all_analysis =="
+cmake --build "$BUILD_DIR" --target check_all_analysis
+
+echo "ci.sh: all gates passed"

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file annotated.h
+/// Clang Thread Safety Analysis support: capability macros and the
+/// annotated synchronization primitives the whole repo is required to use
+/// (hax_lint's `raw-mutex` rule forbids `std::mutex` & friends anywhere
+/// else in src/). Under Clang with `-Wthread-safety` every `HAX_GUARDED_BY`
+/// / `HAX_REQUIRES` contract in the concurrent core is checked at compile
+/// time; under GCC the macros expand to nothing and the wrappers are
+/// zero-overhead shims over the std primitives.
+///
+/// Design notes:
+///  - `CondVar` takes the annotated `Mutex` directly (plus an explicit
+///    while-loop at the call site instead of a predicate lambda). Clang's
+///    analysis cannot see through a predicate callable invoked inside
+///    `std::condition_variable::wait`, so guarded reads inside such a
+///    lambda would need escape hatches; an explicit loop keeps the reads
+///    in the annotated caller's scope where the capability is provably
+///    held.
+///  - `LockGuard(mu, kAdoptLock)` adopts an already-held mutex (annotated
+///    `HAX_REQUIRES`), which is how try-lock call sites stay analyzable:
+///        if (!mu_.try_lock()) return;
+///        LockGuard lock(mu_, kAdoptLock);
+///  - Data published via release/acquire (e.g. FaultPlan's compiled
+///    timeline) is intentionally *not* `HAX_GUARDED_BY`: readers touch it
+///    without the mutex by design. Such fields carry a comment naming the
+///    publication protocol instead.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HAX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HAX_THREAD_ANNOTATION
+#define HAX_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Type declares a capability (e.g. "mutex") the analysis tracks.
+#define HAX_CAPABILITY(x) HAX_THREAD_ANNOTATION(capability(x))
+/// RAII type that acquires a capability in its constructor and releases it
+/// in its destructor.
+#define HAX_SCOPED_CAPABILITY HAX_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be touched while holding `x`.
+#define HAX_GUARDED_BY(x) HAX_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field whose *pointee* is guarded by `x`.
+#define HAX_PT_GUARDED_BY(x) HAX_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held on entry (and
+/// still held on exit).
+#define HAX_REQUIRES(...) HAX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on exit, not entry).
+#define HAX_ACQUIRE(...) HAX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define HAX_RELEASE(...) HAX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `ret`.
+#define HAX_TRY_ACQUIRE(ret, ...) \
+  HAX_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// Function must NOT be called with the listed capabilities held
+/// (self-deadlock guard on public methods of internally-locked types).
+#define HAX_EXCLUDES(...) HAX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define HAX_RETURN_CAPABILITY(x) HAX_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch. Every use MUST carry a comment justifying why the
+/// analysis cannot see the invariant (check_thread_safety's acceptance
+/// bar; hax_lint does not police this, reviewers do).
+#define HAX_NO_THREAD_SAFETY_ANALYSIS \
+  HAX_THREAD_ANNOTATION(no_thread_safety_analysis)
+/// Runtime-checked assertion that the capability is held (for call chains
+/// the analysis cannot follow).
+#define HAX_ASSERT_CAPABILITY(x) HAX_THREAD_ANNOTATION(assert_capability(x))
+
+namespace hax {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Same semantics as std::mutex; the capability
+/// annotations make `-Wthread-safety` enforce the HAX_GUARDED_BY contracts
+/// of everything it protects.
+class HAX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HAX_ACQUIRE() { mu_.lock(); }
+  void unlock() HAX_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() HAX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Tag type for LockGuard's adopting constructor (mirrors std::adopt_lock
+/// without pulling the unannotated std lock types into call sites).
+struct AdoptLockT {
+  explicit AdoptLockT() = default;
+};
+inline constexpr AdoptLockT kAdoptLock{};
+
+/// Annotated RAII guard over Mutex (the repo's std::lock_guard /
+/// std::unique_lock replacement — CondVar re-acquires before returning
+/// from wait, so one guard type covers both uses).
+class HAX_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) HAX_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  /// Adopts a mutex the caller already holds (e.g. via try_lock).
+  LockGuard(Mutex& mu, AdoptLockT) HAX_REQUIRES(mu) : mu_(mu) {}
+  ~LockGuard() HAX_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated condition variable. Waits take the Mutex itself and require
+/// it held; call sites supply the classic `while (!predicate) wait(...)`
+/// loop so every guarded read stays inside the annotated critical section
+/// (see the file comment for why predicate lambdas are avoided).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously
+  /// woken), and re-acquires `mu` before returning.
+  void wait(Mutex& mu) HAX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's guard keeps ownership
+  }
+
+  /// As wait(), but also returns (false) once `deadline` passes.
+  template <class Clock, class Duration>
+  bool wait_until(Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      HAX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hax

@@ -2,15 +2,18 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/annotated.h"
 
 namespace hax::log {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(Level::Warn)};
 
-std::mutex& write_mutex() {
-  static std::mutex m;
+/// Serializes sink writes. Function-local static so logging from other
+/// globals' constructors/destructors is init-order-safe.
+Mutex& write_mutex() {
+  static Mutex m;
   return m;
 }
 
@@ -33,7 +36,7 @@ const char* level_name(Level level) noexcept {
 }
 
 void write(Level lvl, const std::string& message) {
-  std::lock_guard<std::mutex> lock(write_mutex());
+  LockGuard lock(write_mutex());
   std::cerr << "[hax:" << level_name(lvl) << "] " << message << '\n';
 }
 

@@ -20,8 +20,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
+
+#include "common/annotated.h"
 
 namespace hax {
 
@@ -60,9 +61,22 @@ class MemoCache {
   /// the probe window is full.
   void insert(std::uint64_t key, double value);
 
-  /// Drops every entry; stats are preserved.
+  /// Drops every entry. Contract: the hit/miss/insertion counters are
+  /// explicitly NOT reset — stats() totals are cumulative over the cache's
+  /// lifetime, so callers measuring a phase must difference two snapshots
+  /// rather than clear() between phases. (Shards are cleared one lock at a
+  /// time; concurrent lookups may still hit not-yet-cleared shards.)
   void clear();
 
+  /// Snapshot of the counters. Torn-read tolerance: the three totals are
+  /// independent relaxed atomics read one after another, so a snapshot
+  /// taken while other threads probe may be mutually inconsistent — e.g.
+  /// an insertion counted whose miss is not yet visible, or hits+misses
+  /// disagreeing with the lookups another thread has completed. Each
+  /// counter is individually exact and monotonic; only cross-counter
+  /// identities are approximate while the cache is hot. The stats are
+  /// telemetry (hit-rate reporting), so this is tolerated by design —
+  /// quiesce the cache first when exact identities matter (tests do).
   [[nodiscard]] MemoCacheStats stats() const noexcept;
   [[nodiscard]] std::size_t shard_count() const noexcept { return shard_count_; }
   [[nodiscard]] std::size_t capacity() const noexcept;

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 
 #include "common/error.h"
@@ -23,7 +25,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   task_cv_.notify_all();
@@ -33,7 +35,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   HAX_REQUIRE(task != nullptr, "cannot submit an empty task");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     HAX_REQUIRE(!stopping_, "submit on a stopping pool");
     queue_.push_back(std::move(task));
   }
@@ -41,24 +43,41 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  LockGuard lock(mutex_);
+  while (!(queue_.empty() && in_flight_ == 0)) idle_cv_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      LockGuard lock(mutex_);
+      while (!(stopping_ || !queue_.empty())) task_cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    // Enforce the submit() contract ("tasks must not throw"): letting the
+    // exception unwind through this noexcept-by-convention loop would end
+    // in std::terminate with no context. Abort with a diagnostic instead
+    // so the offending task is identifiable from the message.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[hax] fatal: ThreadPool task threw (tasks must not throw; "
+                   "use parallel_for for throwing bodies): %s\n",
+                   e.what());
+      std::abort();
+    } catch (...) {
+      std::fprintf(stderr,
+                   "[hax] fatal: ThreadPool task threw a non-std exception "
+                   "(tasks must not throw; use parallel_for)\n");
+      std::abort();
+    }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
@@ -71,8 +90,8 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   HAX_REQUIRE(fn != nullptr, "parallel_for requires a body");
 
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  Mutex error_mutex;
+  std::exception_ptr error;  // guarded by error_mutex (local, unannotatable)
 
   const auto drain = [&] {
     for (;;) {
@@ -81,7 +100,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        LockGuard lock(error_mutex);
         if (!error) error = std::current_exception();
         // Claim everything left so the loop winds down quickly.
         next.store(count, std::memory_order_relaxed);

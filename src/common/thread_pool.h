@@ -13,13 +13,13 @@
 /// wait for all of them". Exceptions thrown by a parallel_for body are
 /// captured and rethrown on the calling thread (first one wins).
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated.h"
 
 namespace hax {
 
@@ -41,22 +41,24 @@ class ThreadPool {
   }
 
   /// Enqueues a task. Tasks must not throw (use parallel_for for bodies
-  /// that may throw).
-  void submit(std::function<void()> task);
+  /// that may throw) — the contract is enforced: an exception escaping a
+  /// submitted task aborts the process with a diagnostic rather than
+  /// unwinding through worker_loop into std::terminate's opaque message.
+  void submit(std::function<void()> task) HAX_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no task is executing.
-  void wait_idle();
+  void wait_idle() HAX_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() HAX_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_cv_;  ///< signals workers: work or shutdown
-  std::condition_variable idle_cv_;  ///< signals wait_idle: fully drained
-  std::size_t in_flight_ = 0;        ///< tasks currently executing
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ HAX_GUARDED_BY(mutex_);
+  CondVar task_cv_;  ///< signals workers: work or shutdown
+  CondVar idle_cv_;  ///< signals wait_idle: fully drained
+  std::size_t in_flight_ HAX_GUARDED_BY(mutex_) = 0;  ///< tasks executing
+  bool stopping_ HAX_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for every i in [0, count) across the pool and blocks until

@@ -11,7 +11,7 @@ DHaxConn::~DHaxConn() { stop(); }
 
 void DHaxConn::publish(const sched::Schedule& schedule, const sched::Prediction& prediction) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     // Solver incumbents improve monotonically against each other, but the
     // first few may still predict worse than the initial naive schedule —
     // never regress the published one.
@@ -33,7 +33,7 @@ void DHaxConn::start(const sched::Problem& problem, const sched::Schedule* initi
   converged_.store(false);
   updates_.store(0);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     schedule_ = {};
     prediction_ = {};
     prediction_.objective_value = std::numeric_limits<double>::infinity();
@@ -82,7 +82,14 @@ void DHaxConn::start(const sched::Problem& problem, const sched::Schedule* initi
       }
     }
     if (!stop_requested_.load() && solution.proven_optimal) {
-      converged_.store(true);
+      // Store under the waiters' mutex: a bare store+notify could land
+      // entirely inside a waiter's checked-false-but-not-yet-blocked
+      // window (it holds mutex_ until the wait atomically releases it),
+      // losing the wakeup and stalling wait_converged to its timeout.
+      {
+        LockGuard lock(mutex_);
+        converged_.store(true);
+      }
       cv_.notify_all();
     }
   });
@@ -94,19 +101,24 @@ void DHaxConn::stop() {
 }
 
 sched::Schedule DHaxConn::current_schedule() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return schedule_;
 }
 
 sched::Prediction DHaxConn::current_prediction() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return prediction_;
 }
 
 bool DHaxConn::wait_converged(TimeMs timeout_ms) const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait_for(lock, std::chrono::duration<double, std::milli>(timeout_ms),
-               [this] { return converged_.load(); });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  LockGuard lock(mutex_);
+  while (!converged_.load()) {
+    if (!cv_.wait_until(mutex_, deadline)) break;  // timed out
+  }
   return converged_.load();
 }
 

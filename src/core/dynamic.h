@@ -9,10 +9,9 @@
 /// schedules, and eventually converging to the optimum.
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
+#include "common/annotated.h"
 #include "core/haxconn.h"
 #include "sched/formulation.h"
 #include "sched/schedule.h"
@@ -68,10 +67,10 @@ class DHaxConn {
   std::atomic<bool> converged_{false};
   std::atomic<int> updates_{0};
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;
-  sched::Schedule schedule_;
-  sched::Prediction prediction_;
+  mutable Mutex mutex_;
+  mutable CondVar cv_;
+  sched::Schedule schedule_ HAX_GUARDED_BY(mutex_);
+  sched::Prediction prediction_ HAX_GUARDED_BY(mutex_);
 };
 
 }  // namespace hax::core

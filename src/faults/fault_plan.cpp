@@ -148,7 +148,7 @@ void FaultPlan::compile() const {
   // Double-checked seal: executor workers query a shared plan
   // concurrently from t=0, so first-query compilation must be atomic.
   if (compiled_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(compile_mu_);
+  LockGuard lock(compile_mu_);
   if (compiled_.load(std::memory_order_relaxed)) return;
   change_times_.clear();
   for (const FaultEvent& e : events_) {

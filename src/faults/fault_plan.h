@@ -19,10 +19,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated.h"
 #include "common/types.h"
 #include "soc/processing_unit.h"
 
@@ -156,9 +156,15 @@ class FaultPlan {
   double jitter_ = 0.0;
   std::vector<FaultEvent> events_;
 
-  mutable std::mutex compile_mu_;
+  mutable Mutex compile_mu_;
   mutable std::atomic<bool> compiled_{false};
-  mutable std::vector<TimeMs> change_times_;  ///< sorted, unique
+  /// Sorted, unique. Deliberately NOT HAX_GUARDED_BY(compile_mu_): after
+  /// the seal, readers access it without the mutex. The publication
+  /// protocol makes this safe — compile() writes change_times_ and then
+  /// release-stores compiled_; every reader acquire-loads compiled_ first
+  /// (either the fast path in compile() or the HAX_REQUIRE seal checks),
+  /// so the vector is immutable by the time any thread sees it.
+  mutable std::vector<TimeMs> change_times_;
 };
 
 }  // namespace hax::faults

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <exception>
 #include <limits>
-#include <mutex>
+#include <memory>
 #include <thread>
 
+#include "common/annotated.h"
 #include "common/error.h"
 #include "sched/validate.h"
 
@@ -40,25 +40,27 @@ struct Shared {
   [[nodiscard]] TimeMs sim_now() const { return wall_ms_since(run_start) / time_scale; }
 
   // EMC demand registry: what each PU's active kernel currently requests.
-  std::mutex demand_mutex;
-  std::vector<GBps> demands;
+  Mutex demand_mutex;
+  std::vector<GBps> demands HAX_GUARDED_BY(demand_mutex);
 
-  // PU exclusivity (one kernel per PU at a time).
-  std::vector<std::unique_ptr<std::mutex>> pu_mutex;
+  // PU exclusivity (one kernel per PU at a time). Each element is its own
+  // capability; nothing is HAX_GUARDED_BY them — holding one *is* the
+  // resource (the PU), not a guard over data.
+  std::vector<std::unique_ptr<Mutex>> pu_mutex;
 
   // Frame-level pipeline dependencies.
-  std::mutex dep_mutex;
-  std::condition_variable dep_cv;
-  std::vector<int> frames_done;
+  Mutex dep_mutex;
+  CondVar dep_cv;
+  std::vector<int> frames_done HAX_GUARDED_BY(dep_mutex);
 
   // Result collection.
-  std::mutex record_mutex;
-  std::vector<FrameRecord> frames;
-  int timed_out_frames = 0;
+  Mutex record_mutex;
+  std::vector<FrameRecord> frames HAX_GUARDED_BY(record_mutex);
+  int timed_out_frames HAX_GUARDED_BY(record_mutex) = 0;
 
   // First worker exception (rethrown on the caller's thread after join).
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  Mutex error_mutex;
+  std::exception_ptr error HAX_GUARDED_BY(error_mutex);
   std::atomic<bool> failed{false};
 };
 
@@ -78,11 +80,11 @@ struct FrameCtx {
 /// Returns false when the deadline cut the kernel short.
 bool run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand, FrameCtx& ctx) {
   if (duration_ms <= 0.0) return true;
-  std::lock_guard<std::mutex> pu_lock(*sh.pu_mutex[static_cast<std::size_t>(pu)]);
+  LockGuard pu_lock(*sh.pu_mutex[static_cast<std::size_t>(pu)]);
 
   GBps external = 0.0;
   {
-    std::lock_guard<std::mutex> lock(sh.demand_mutex);
+    LockGuard lock(sh.demand_mutex);
     sh.demands[static_cast<std::size_t>(pu)] = demand;
     for (std::size_t p = 0; p < sh.demands.size(); ++p) {
       if (static_cast<soc::PuId>(p) != pu) external += sh.demands[p];
@@ -142,7 +144,7 @@ bool run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand, Frame
   }
 
   {
-    std::lock_guard<std::mutex> lock(sh.demand_mutex);
+    LockGuard lock(sh.demand_mutex);
     sh.demands[static_cast<std::size_t>(pu)] = 0.0;
   }
   ctx.pu_observed[static_cast<std::size_t>(pu)] += sh.sim_now() - kernel_start;
@@ -158,11 +160,11 @@ void worker(Shared& sh, int dnn, const ScheduleProvider& provider, int frames) {
 
   for (int frame = 0; frame < frames && !sh.failed.load(); ++frame) {
     if (spec.depends_on >= 0) {
-      std::unique_lock<std::mutex> lock(sh.dep_mutex);
-      sh.dep_cv.wait(lock, [&] {
-        return sh.failed.load() ||
-               sh.frames_done[static_cast<std::size_t>(spec.depends_on)] > frame;
-      });
+      LockGuard lock(sh.dep_mutex);
+      while (!(sh.failed.load() ||
+               sh.frames_done[static_cast<std::size_t>(spec.depends_on)] > frame)) {
+        sh.dep_cv.wait(sh.dep_mutex);
+      }
       if (sh.failed.load()) return;
     }
 
@@ -208,14 +210,14 @@ void worker(Shared& sh, int dnn, const ScheduleProvider& provider, int frames) {
 
     const TimeMs latency = wall_ms_since(frame_start) / sh.time_scale;
     {
-      std::lock_guard<std::mutex> lock(sh.record_mutex);
+      LockGuard lock(sh.record_mutex);
       sh.frames.push_back({dnn, frame, latency, !ok});
       if (!ok) ++sh.timed_out_frames;
     }
     {
       // A dropped frame still advances the pipeline: the consumer works
       // on stale output rather than stalling behind a wedged producer.
-      std::lock_guard<std::mutex> lock(sh.dep_mutex);
+      LockGuard lock(sh.dep_mutex);
       ++sh.frames_done[static_cast<std::size_t>(dnn)];
     }
     sh.dep_cv.notify_all();
@@ -278,12 +280,20 @@ RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& pr
   sh.plan = options_.faults;
   sh.frame_timeout_ms = options_.frame_timeout_ms;
   sh.observer = &options_.observer;
-  sh.demands.assign(static_cast<std::size_t>(platform_->pu_count()), 0.0);
+  {
+    // Workers do not exist yet; locking keeps the guarded-by contracts
+    // analyzable without escape hatches.
+    LockGuard lock(sh.demand_mutex);
+    sh.demands.assign(static_cast<std::size_t>(platform_->pu_count()), 0.0);
+  }
   sh.pu_mutex.reserve(static_cast<std::size_t>(platform_->pu_count()));
   for (int p = 0; p < platform_->pu_count(); ++p) {
-    sh.pu_mutex.push_back(std::make_unique<std::mutex>());
+    sh.pu_mutex.push_back(std::make_unique<Mutex>());
   }
-  sh.frames_done.assign(problem.dnns.size(), 0);
+  {
+    LockGuard lock(sh.dep_mutex);
+    sh.frames_done.assign(problem.dnns.size(), 0);
+  }
   sh.run_start = Clock::now();
 
   std::vector<std::thread> threads;
@@ -294,7 +304,7 @@ RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& pr
         worker(sh, d, provider, frames);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(sh.error_mutex);
+          LockGuard lock(sh.error_mutex);
           if (!sh.error) sh.error = std::current_exception();
         }
         sh.failed.store(true);
@@ -303,11 +313,17 @@ RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& pr
     });
   }
   for (std::thread& t : threads) t.join();
-  if (sh.error) std::rethrow_exception(sh.error);
+  {
+    LockGuard lock(sh.error_mutex);
+    if (sh.error) std::rethrow_exception(sh.error);
+  }
 
   RunStats stats;
-  stats.frames = std::move(sh.frames);
-  stats.timed_out_frames = sh.timed_out_frames;
+  {
+    LockGuard lock(sh.record_mutex);
+    stats.frames = std::move(sh.frames);
+    stats.timed_out_frames = sh.timed_out_frames;
+  }
   stats.wall_ms = wall_ms_since(sh.run_start);
   return stats;
 }

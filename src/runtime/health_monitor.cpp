@@ -32,12 +32,15 @@ HealthMonitor::HealthMonitor(int dnn_count, int pu_count, TimeMs epsilon_ms,
               "ewma_alpha must be in (0, 1]");
   HAX_REQUIRE(options_.drift_tolerance >= 0.0, "drift_tolerance must be >= 0");
   HAX_REQUIRE(options_.timeout_quarantine >= 1, "timeout_quarantine must be >= 1");
+  // No concurrent access exists during construction; locking keeps the
+  // guarded-by contract analyzable without an escape hatch.
+  LockGuard lock(mutex_);
   dnns_.resize(static_cast<std::size_t>(dnn_count));
   pus_.resize(static_cast<std::size_t>(pu_count));
 }
 
 void HealthMonitor::set_expectation(int dnn, TimeMs predicted_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   DnnState& s = dnns_.at(static_cast<std::size_t>(dnn));
   s.predicted_ms = predicted_ms;
   s.ewma_ms = 0.0;
@@ -45,7 +48,7 @@ void HealthMonitor::set_expectation(int dnn, TimeMs predicted_ms) {
 }
 
 void HealthMonitor::observe(const FrameObservation& obs) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (obs.timed_out) {
     // A dropped frame's latency is the timeout, not a measurement — it
     // feeds the failure streak of the PU it wedged on, nothing else.
@@ -86,7 +89,7 @@ bool HealthMonitor::drifting(const DnnState& s) const {
 }
 
 DriftReport HealthMonitor::check() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   DriftReport report;
 
   // Failure outranks everything: a wedged PU keeps dropping frames no
@@ -144,12 +147,12 @@ DriftReport HealthMonitor::check() const {
 }
 
 void HealthMonitor::reset_pu(soc::PuId pu) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   pus_.at(static_cast<std::size_t>(pu)) = PuState{};
 }
 
 void HealthMonitor::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (DnnState& s : dnns_) {
     s.ewma_ms = 0.0;
     s.samples = 0;
@@ -158,17 +161,17 @@ void HealthMonitor::reset() {
 }
 
 TimeMs HealthMonitor::ewma_latency_ms(int dnn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return dnns_.at(static_cast<std::size_t>(dnn)).ewma_ms;
 }
 
 TimeMs HealthMonitor::expectation_ms(int dnn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return dnns_.at(static_cast<std::size_t>(dnn)).predicted_ms;
 }
 
 double HealthMonitor::pu_ratio(soc::PuId pu) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return pus_.at(static_cast<std::size_t>(pu)).ewma_ratio;
 }
 

@@ -19,9 +19,9 @@
 /// sees only timings, so detection latency and misclassification are
 /// honest properties of the thresholds, not oracle knowledge.
 
-#include <mutex>
 #include <vector>
 
+#include "common/annotated.h"
 #include "runtime/executor.h"
 
 namespace hax::runtime {
@@ -113,11 +113,11 @@ class HealthMonitor {
 
   [[nodiscard]] bool drifting(const DnnState& s) const;
 
-  HealthOptions options_;
-  TimeMs epsilon_ms_;
-  mutable std::mutex mutex_;
-  std::vector<DnnState> dnns_;
-  std::vector<PuState> pus_;
+  HealthOptions options_;  ///< immutable after construction
+  TimeMs epsilon_ms_;      ///< immutable after construction
+  mutable Mutex mutex_;
+  std::vector<DnnState> dnns_ HAX_GUARDED_BY(mutex_);
+  std::vector<PuState> pus_ HAX_GUARDED_BY(mutex_);
 };
 
 }  // namespace hax::runtime

@@ -42,6 +42,9 @@ SelfHealingRuntime::SelfHealingRuntime(const sched::Problem& problem,
   HAX_REQUIRE(options_.time_scale > 0.0, "time_scale must be positive");
   HAX_REQUIRE(options_.backoff_growth >= 1.0, "backoff_growth must be >= 1");
 
+  // No frames are running yet, but the guarded-by contracts are cheapest
+  // to keep analyzable by simply holding the lock through setup.
+  LockGuard lock(mu_);
   applied_scale_.assign(static_cast<std::size_t>(problem.platform->pu_count()), 1.0);
   scaled_profiles_.reserve(problem.dnns.size());
   for (const sched::DnnSpec& spec : problem.dnns) {
@@ -76,7 +79,7 @@ TimeMs SelfHealingRuntime::now_ms_locked() {
 
 ScheduleProvider SelfHealingRuntime::provider() {
   return [this]() -> sched::Schedule {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     adopt_locked(now_ms_locked());
     return active_;
   };
@@ -90,25 +93,35 @@ FrameObserver SelfHealingRuntime::observer() {
 }
 
 sched::Schedule SelfHealingRuntime::current_schedule() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return active_;
 }
 
+soc::PlatformCondition SelfHealingRuntime::condition() const {
+  LockGuard lock(mu_);
+  return condition_;
+}
+
+sched::Problem SelfHealingRuntime::degraded_problem() const {
+  LockGuard lock(mu_);
+  return degraded_;
+}
+
 HealStats SelfHealingRuntime::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return stats_;
 }
 
 bool SelfHealingRuntime::wait_converged(TimeMs timeout_ms) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     // A deferred (backoff-gated) or never-kicked re-solve would leave the
     // solver stopped forever once frames cease; an explicit convergence
     // request overrides the pacing.
     if (solver_stale_ || pending_resolve_) do_resolve_locked(now_ms_locked());
   }
   const bool ok = solver_.wait_converged(timeout_ms);
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   adopt_locked(now_ms_locked());
   return ok;
 }
@@ -117,8 +130,8 @@ bool SelfHealingRuntime::wait_converged(TimeMs timeout_ms) {
 /// threads never pile up behind a slow intervention (one worker's tick
 /// covers for the others — the loop is periodic, not per-frame-exact).
 void SelfHealingRuntime::tick() {
-  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) return;
+  if (!mu_.try_lock()) return;
+  LockGuard lock(mu_, kAdoptLock);
   const TimeMs now = now_ms_locked();
 
   adopt_locked(now);

@@ -26,10 +26,10 @@
 /// window that doubles with every repeat offense.
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated.h"
 #include "core/dynamic.h"
 #include "core/haxconn.h"
 #include "runtime/executor.h"
@@ -108,9 +108,16 @@ class SelfHealingRuntime {
   [[nodiscard]] FrameObserver observer();
 
   [[nodiscard]] sched::Schedule current_schedule() const;
-  [[nodiscard]] const soc::PlatformCondition& condition() const noexcept { return condition_; }
+  /// Snapshot of the condition ledger. By value: the ledger is mutated
+  /// under the manager's lock while frames run, so handing out a reference
+  /// would leak unguarded state (found by the -Wthread-safety retrofit).
+  [[nodiscard]] soc::PlatformCondition condition() const;
   [[nodiscard]] const HealthMonitor& monitor() const noexcept { return monitor_; }
-  [[nodiscard]] const sched::Problem& degraded_problem() const noexcept { return degraded_; }
+  /// Snapshot of the degraded problem view (same rationale as condition();
+  /// rebuild_degraded_locked() reassigns it on quarantine/re-admission).
+  /// The snapshot's profile pointers stay valid: they reference
+  /// scaled_profiles_, whose addresses are stable for this object's life.
+  [[nodiscard]] sched::Problem degraded_problem() const;
   [[nodiscard]] HealStats stats() const;
 
   /// Blocks until the background solver proves optimality for the current
@@ -120,44 +127,50 @@ class SelfHealingRuntime {
   bool wait_converged(TimeMs timeout_ms);
 
  private:
-  [[nodiscard]] TimeMs now_ms_locked();
-  void tick();
-  void adopt_locked(TimeMs now);
-  void readmit_locked(TimeMs now);
-  void intervene_locked(const DriftReport& report, TimeMs now);
-  void rebuild_degraded_locked();
-  void install_fallback_locked(TimeMs now);
-  void set_expectations_locked();
-  void kick_resolve_locked(TimeMs now);
-  void do_resolve_locked(TimeMs now);
-  void note_locked(TimeMs now, std::string what);
+  [[nodiscard]] TimeMs now_ms_locked() HAX_REQUIRES(mu_);
+  void tick() HAX_EXCLUDES(mu_);
+  void adopt_locked(TimeMs now) HAX_REQUIRES(mu_);
+  void readmit_locked(TimeMs now) HAX_REQUIRES(mu_);
+  void intervene_locked(const DriftReport& report, TimeMs now) HAX_REQUIRES(mu_);
+  void rebuild_degraded_locked() HAX_REQUIRES(mu_);
+  void install_fallback_locked(TimeMs now) HAX_REQUIRES(mu_);
+  void set_expectations_locked() HAX_REQUIRES(mu_);
+  void kick_resolve_locked(TimeMs now) HAX_REQUIRES(mu_);
+  void do_resolve_locked(TimeMs now) HAX_REQUIRES(mu_);
+  void note_locked(TimeMs now, std::string what) HAX_REQUIRES(mu_);
 
   const sched::Problem* original_;
   SelfHealingOptions options_;
 
+  mutable Mutex mu_;
+
   /// Rescaled copies of the original profiles (one per DNN; addresses
   /// stable — reserved up front). degraded_.dnns[*].profile point here.
-  std::vector<perf::NetworkProfile> scaled_profiles_;
-  std::vector<double> applied_scale_;  ///< cumulative rescale per PU (vs nominal)
-  sched::Problem degraded_;
+  /// Guarded-by caveat shared with degraded_: the background solver reads
+  /// these WITHOUT mu_ through the const Problem& handed to
+  /// DHaxConn::start — the protocol is "mutate only under mu_ AND with the
+  /// solver stopped", which the annotations cannot express beyond the
+  /// direct accesses in this class.
+  std::vector<perf::NetworkProfile> scaled_profiles_ HAX_GUARDED_BY(mu_);
+  std::vector<double> applied_scale_ HAX_GUARDED_BY(mu_);  ///< cumulative rescale per PU
+  sched::Problem degraded_ HAX_GUARDED_BY(mu_);
 
-  soc::PlatformCondition condition_;
-  HealthMonitor monitor_;
-  core::HaxConn hax_;
-  core::DHaxConn solver_;
+  soc::PlatformCondition condition_ HAX_GUARDED_BY(mu_);
+  HealthMonitor monitor_;   ///< internally synchronized
+  core::HaxConn hax_;       ///< immutable after construction
+  core::DHaxConn solver_;   ///< internally synchronized; start/stop under mu_
 
-  mutable std::mutex mu_;
-  bool anchored_ = false;
-  std::chrono::steady_clock::time_point anchor_;
-  sched::Schedule active_;
-  sched::Prediction active_pred_;
-  int last_update_seen_ = 0;
-  bool solver_stale_ = true;  ///< stopped or pointed at an outdated problem
-  TimeMs cooldown_until_ = 0.0;
-  TimeMs next_resolve_ok_ = 0.0;
-  TimeMs backoff_ = 0.0;
-  bool pending_resolve_ = false;
-  HealStats stats_;
+  bool anchored_ HAX_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point anchor_ HAX_GUARDED_BY(mu_);
+  sched::Schedule active_ HAX_GUARDED_BY(mu_);
+  sched::Prediction active_pred_ HAX_GUARDED_BY(mu_);
+  int last_update_seen_ HAX_GUARDED_BY(mu_) = 0;
+  bool solver_stale_ HAX_GUARDED_BY(mu_) = true;  ///< stopped or outdated problem
+  TimeMs cooldown_until_ HAX_GUARDED_BY(mu_) = 0.0;
+  TimeMs next_resolve_ok_ HAX_GUARDED_BY(mu_) = 0.0;
+  TimeMs backoff_ HAX_GUARDED_BY(mu_) = 0.0;
+  bool pending_resolve_ HAX_GUARDED_BY(mu_) = false;
+  HealStats stats_ HAX_GUARDED_BY(mu_);
 };
 
 }  // namespace hax::runtime

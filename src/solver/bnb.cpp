@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
+#include "common/annotated.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 
@@ -31,9 +31,9 @@ struct SharedSearch {
   Clock::time_point start;
 
   std::atomic<double> best{std::numeric_limits<double>::infinity()};
-  std::mutex mutex;  ///< guards incumbent, incumbents_found, callback
-  std::optional<Incumbent> incumbent;
-  int incumbents_found = 0;
+  Mutex mutex;  ///< serializes incumbent storage and callback invocation
+  std::optional<Incumbent> incumbent HAX_GUARDED_BY(mutex);
+  int incumbents_found HAX_GUARDED_BY(mutex) = 0;
 
   std::atomic<std::uint64_t> nodes{0};  ///< global count, enforces node_limit
   std::atomic<bool> abort{false};       ///< callback returned false / stop token
@@ -53,7 +53,7 @@ struct SharedSearch {
   bool offer(std::span<const int> assignment, double objective,
              const IncumbentCallback& on_incumbent) {
     if (objective >= bound()) return true;  // cheap lock-free reject
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     double current = best.load(std::memory_order_relaxed);
     if (options->shared_bound != nullptr) {
       current = std::min(current, options->shared_bound->load());
@@ -272,7 +272,7 @@ SolveResult BranchAndBound::solve(const SearchSpace& space, const SolveOptions& 
   }
 
   {
-    std::lock_guard<std::mutex> lock(shared.mutex);
+    LockGuard lock(shared.mutex);
     result.best = shared.incumbent;
     result.stats.incumbents_found = shared.incumbents_found;
   }

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
+#include "common/annotated.h"
 #include "common/thread_pool.h"
 
 namespace hax::solver {
@@ -32,12 +32,12 @@ PortfolioResult PortfolioSolver::solve(const SearchSpace& space,
   // Cross-engine monotonic callback filter: both engines report through
   // here; only strict global improvements reach the caller. A veto stops
   // both engines.
-  std::mutex cb_mutex;
+  Mutex cb_mutex;  // guards cb_best / cb_improvements / cb_closed (locals)
   double cb_best = std::numeric_limits<double>::infinity();
   int cb_improvements = 0;
   bool cb_closed = false;  // sticky after a veto: the user never hears again
   const IncumbentCallback funnel = [&](const Incumbent& inc) -> bool {
-    std::lock_guard<std::mutex> lock(cb_mutex);
+    LockGuard lock(cb_mutex);
     if (cb_closed) return false;
     if (inc.objective >= cb_best) return true;
     cb_best = inc.objective;

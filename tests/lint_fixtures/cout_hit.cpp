@@ -1,0 +1,9 @@
+// Fixture: std::cout in library code. Flagged under src/, fine under
+// tools/ (stdout is the product there).
+#include <iostream>
+
+namespace fixture {
+
+void report(int frames) { std::cout << "frames=" << frames << '\n'; }
+
+}  // namespace fixture

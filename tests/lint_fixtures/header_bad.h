@@ -1,0 +1,12 @@
+// Fixture: header missing #pragma once (an include guard is not enough
+// for this codebase's convention) and leaking a using-namespace.
+#ifndef FIXTURE_HEADER_BAD_H
+#define FIXTURE_HEADER_BAD_H
+
+#include <vector>
+
+using namespace std;
+
+inline vector<int> three() { return {1, 2, 3}; }
+
+#endif

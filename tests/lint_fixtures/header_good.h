@@ -1,0 +1,11 @@
+// Fixture: a hygienic header — leading comment, then #pragma once,
+// qualified names only.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+inline std::vector<int> three() { return {1, 2, 3}; }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: nondeterminism tokens appear only in comments and strings —
+// the scanner strips both before matching, so this file is clean even
+// in the deterministic core.
+//
+// Unlike rand() or std::random_device, hax::Rng replays bit-identically.
+/* Block comments mentioning system_clock must not trip the rule. */
+
+namespace fixture {
+
+const char* docs() {
+  return "never call srand(time(nullptr)) here; std::random_device is banned";
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: three nondeterminism sources. All flagged inside the
+// deterministic core (src/sim, src/solver, ...), none elsewhere.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int noisy() {
+  std::random_device rd;
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<int>(rd()) + rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a raw std::mutex in production code. Flagged under src/,
+// legal under tests/ (the rule is scoped to src/).
+#include <mutex>
+
+namespace fixture {
+
+struct Counter {
+  std::mutex mu;
+  int value = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++value;
+  }
+};
+
+}  // namespace fixture

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/csv.h"
 #include "common/error.h"
@@ -339,6 +340,22 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   }
   pool.wait_idle();
   EXPECT_EQ(done.load(), 16);
+}
+
+using ThreadPoolDeathTest = ::testing::Test;
+
+TEST(ThreadPoolDeathTest, ThrowingSubmittedTaskAborts) {
+  // submit() tasks must not throw — parallel_for is the channel for
+  // throwing bodies. An escaping exception is a contract violation and
+  // must abort with a diagnostic instead of unwinding a worker thread.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.submit([] { throw std::runtime_error("contract violation"); });
+        pool.wait_idle();
+      },
+      "ThreadPool task threw");
 }
 
 }  // namespace

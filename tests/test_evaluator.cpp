@@ -349,6 +349,34 @@ TEST(MemoCache, BasicInsertLookupAndStats) {
   EXPECT_FALSE(cache.lookup(123, value));
 }
 
+TEST(MemoCache, ClearDropsEntriesButPreservesStats) {
+  // clear() empties the table but the hit/miss/insertion counters are
+  // cumulative lifetime totals — phase-local rates come from differencing
+  // two stats() snapshots, so clear() must not reset them.
+  MemoCache cache(256, 4);
+  double value = 0.0;
+  cache.insert(7, 1.0);
+  cache.insert(8, 2.0);
+  ASSERT_TRUE(cache.lookup(7, value));
+  EXPECT_FALSE(cache.lookup(99, value));
+
+  const MemoCacheStats before = cache.stats();
+  EXPECT_EQ(before.insertions, 2u);
+  EXPECT_EQ(before.hits, 1u);
+  EXPECT_EQ(before.misses, 1u);
+
+  cache.clear();
+
+  // Entries gone...
+  EXPECT_FALSE(cache.lookup(7, value));
+  EXPECT_FALSE(cache.lookup(8, value));
+  // ...but counters carried over (plus the two misses just recorded).
+  const MemoCacheStats after = cache.stats();
+  EXPECT_EQ(after.insertions, before.insertions);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses + 2u);
+}
+
 TEST(MemoCache, ZeroKeyIsStorable) {
   MemoCache cache(64, 2);
   double value = 0.0;

@@ -495,7 +495,8 @@ TEST_F(FaultSim, SelfHealingRecoversFromGpuThrottle) {
 
   // The learned model should be close to the injected 3x slowdown
   // (sleep overshoot biases the estimate upward slightly).
-  const soc::PuCondition& gpu_cond = healer.condition().pu(plat_.gpu());
+  const soc::PlatformCondition cond = healer.condition();  // by-value snapshot
+  const soc::PuCondition& gpu_cond = cond.pu(plat_.gpu());
   EXPECT_EQ(gpu_cond.health, soc::PuHealth::Throttled);
   EXPECT_NEAR(1.0 / gpu_cond.frequency_scale, 3.0, 1.0);
 
@@ -551,7 +552,7 @@ TEST_F(FaultSim, SelfHealingSurvivesHardPuFailure) {
   const runtime::HealStats hs = healer.stats();
   EXPECT_GE(hs.quarantines, 1);
   EXPECT_EQ(healer.condition().pu(plat_.dsa()).health, soc::PuHealth::Quarantined);
-  const std::vector<soc::PuId>& pus = healer.degraded_problem().pus;
+  const std::vector<soc::PuId> pus = healer.degraded_problem().pus;  // snapshot copy
   EXPECT_TRUE(std::find(pus.begin(), pus.end(), plat_.dsa()) == pus.end());
 
   // Some frames died on the way down, but both DNNs finished the tail of

@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "baselines/baselines.h"
 #include "common/error.h"
@@ -14,6 +16,8 @@
 #include "nn/zoo.h"
 #include "sched/explain.h"
 #include "sim/gantt.h"
+
+#include "lint/lint.h"
 
 namespace {
 
@@ -177,6 +181,101 @@ TEST(ProblemInstanceMove, PointersReanchoredAfterMove) {
   other = std::move(*holder);
   EXPECT_NO_THROW(other.problem().validate());
   EXPECT_EQ(other.problem().dnn_count(), 2);
+}
+
+// ------------------------------------------------------------- hax_lint --
+
+/// Loads a deliberate-violation fixture from tests/lint_fixtures/.
+std::string read_fixture(const std::string& name) {
+  const std::filesystem::path path = std::filesystem::path(HAX_LINT_FIXTURE_DIR) / name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> rules_of(const std::vector<lint::Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const lint::Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(HaxLint, RawMutexFlaggedInSrcOnly) {
+  const std::string src = read_fixture("raw_mutex_hit.cpp");
+  const auto in_src = lint::scan_source("src/core/foo.cpp", src);
+  ASSERT_FALSE(in_src.empty());
+  for (const lint::Finding& f : in_src) EXPECT_EQ(f.rule, "raw-mutex");
+  // std::mutex member + std::lock_guard<std::mutex> line -> 3 token hits.
+  EXPECT_EQ(in_src.size(), 3u);
+
+  // The same content is legal in tests (raw primitives allowed there)...
+  EXPECT_TRUE(lint::scan_source("tests/foo.cpp", src).empty());
+  // ...and in the one sanctioned src file, the wrapper itself.
+  EXPECT_TRUE(lint::scan_source("src/common/annotated.h",
+                                "#pragma once\n" + src)
+                  .empty());
+}
+
+TEST(HaxLint, LineSuppressionSilencesExactRule) {
+  const std::string src = read_fixture("raw_mutex_suppressed.cpp");
+  EXPECT_TRUE(lint::scan_source("src/core/foo.cpp", src).empty());
+  // The suppression names raw-mutex only; an unrelated rule still fires.
+  const auto nondet = lint::scan_source(
+      "src/solver/foo.cpp", "int x = rand();  // hax-lint: allow(raw-mutex)\n");
+  ASSERT_EQ(nondet.size(), 1u);
+  EXPECT_EQ(nondet[0].rule, "nondet");
+}
+
+TEST(HaxLint, NondetFlaggedInDeterministicCoreOnly) {
+  const std::string src = read_fixture("nondet_hit.cpp");
+  const auto findings = lint::scan_source("src/solver/foo.cpp", src);
+  ASSERT_EQ(findings.size(), 3u);  // random_device, system_clock, rand(
+  for (const lint::Finding& f : findings) EXPECT_EQ(f.rule, "nondet");
+  // Outside the deterministic core (e.g. model zoo) the rule is off.
+  EXPECT_TRUE(lint::scan_source("src/nn/foo.cpp", src).empty());
+}
+
+TEST(HaxLint, CommentsAndStringsNeverMatch) {
+  const std::string src = read_fixture("nondet_comment_only.cpp");
+  EXPECT_TRUE(lint::scan_source("src/sim/foo.cpp", src).empty());
+}
+
+TEST(HaxLint, FileSuppressionCoversWholeFile) {
+  const std::string src = read_fixture("allow_file.cpp");
+  EXPECT_TRUE(lint::scan_source("src/faults/foo.cpp", src).empty());
+}
+
+TEST(HaxLint, CoutFlaggedInSrcNotTools) {
+  const std::string src = read_fixture("cout_hit.cpp");
+  const auto findings = lint::scan_source("src/sched/foo.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "cout");
+  EXPECT_TRUE(lint::scan_source("tools/report/foo.cpp", src).empty());
+  EXPECT_TRUE(lint::scan_source("bench/foo.cpp", src).empty());
+}
+
+TEST(HaxLint, HeaderHygiene) {
+  const auto bad = lint::scan_source("src/soc/bad.h", read_fixture("header_bad.h"));
+  EXPECT_EQ(rules_of(bad), (std::vector<std::string>{"pragma-once", "using-namespace"}));
+  EXPECT_TRUE(lint::scan_source("src/soc/good.h", read_fixture("header_good.h")).empty());
+  // The pragma-once rule only applies to headers.
+  EXPECT_TRUE(lint::scan_source("tests/no_pragma.cpp", "int x = 0;\n").empty());
+}
+
+TEST(HaxLint, SrandTokenDoesNotDoubleCountRand) {
+  const auto findings =
+      lint::scan_source("src/sim/foo.cpp", "void f() { srand(42); }\n");
+  ASSERT_EQ(findings.size(), 1u);  // srand( only; "rand(" is embedded in an identifier
+  EXPECT_NE(findings[0].message.find("srand("), std::string::npos);
+}
+
+TEST(HaxLint, FormatIsFileLineRuleMessage) {
+  const auto findings = lint::scan_source("src/core/x.cpp", "std::mutex m;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string line = lint::format(findings);
+  EXPECT_EQ(line.rfind("src/core/x.cpp:1: [raw-mutex]", 0), 0u) << line;
 }
 
 }  // namespace

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file lint.h
+/// hax_lint: a domain-specific source scanner enforcing the repo's
+/// concurrency and determinism discipline. It is deliberately a token
+/// scanner, not a parser — the rules are chosen so that a line-level
+/// match after comment/string stripping has essentially no false
+/// positives, and the escape hatch covers the rest.
+///
+/// Rules (scoped by repo-relative path, forward slashes):
+///   raw-mutex        std::mutex / std::lock_guard / std::unique_lock /
+///                    std::scoped_lock / std::condition_variable anywhere
+///                    under src/ except src/common/annotated.h. Production
+///                    code must use the annotated hax wrappers so Clang
+///                    Thread Safety Analysis sees every lock.
+///   nondet           std::random_device, rand(, srand(, system_clock in
+///                    src/{sim,solver,sched,contention,faults}/ — the
+///                    deterministic core. Seeded hax::Rng and steady_clock
+///                    are the sanctioned sources of randomness and time.
+///   cout             std::cout under src/. Library code reports through
+///                    hax::log; stdout belongs to tools/bench/examples.
+///   pragma-once      a .h file whose first non-comment line is not
+///                    `#pragma once`.
+///   using-namespace  `using namespace` at any line of a .h file.
+///
+/// Suppressions (written inside comments, parsed before stripping):
+///   // hax-lint: allow(<rule>)        — this line only
+///   // hax-lint: allow-file(<rule>)   — the whole file
+///
+/// The scanner strips // and /* */ comments and string/char literals
+/// before matching, so prose about rand() or std::mutex never trips it.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace hax::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative path, forward slashes
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Scans one file's `contents` as if it lived at `rel_path` (repo-relative,
+/// forward slashes). Pure: path scoping, stripping and matching only —
+/// no filesystem access, so tests can replay fixtures under any path.
+[[nodiscard]] std::vector<Finding> scan_source(const std::string& rel_path,
+                                               const std::string& contents);
+
+/// Walks `repo_root` scanning every .h/.cpp under src/, tests/, bench/,
+/// examples/ and tools/. Skips tests/lint_fixtures/ (deliberate
+/// violations used by the lint self-test).
+[[nodiscard]] std::vector<Finding> scan_tree(const std::filesystem::path& repo_root);
+
+/// "file:line: [rule] message" per finding, newline-terminated.
+[[nodiscard]] std::string format(const std::vector<Finding>& findings);
+
+}  // namespace hax::lint

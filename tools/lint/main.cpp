@@ -1,0 +1,31 @@
+/// hax_lint CLI: scan a repo tree and fail (exit 1) on any finding.
+/// Usage: hax_lint <repo-root>
+/// Wired as a ctest (`ctest -R hax_lint`) so the discipline rules in
+/// lint.h gate every test run, clang or not.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: hax_lint <repo-root>\n");
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  if (!std::filesystem::exists(root)) {
+    std::fprintf(stderr, "hax_lint: no such directory: %s\n", argv[1]);
+    return 2;
+  }
+  const std::vector<hax::lint::Finding> findings = hax::lint::scan_tree(root);
+  if (!findings.empty()) {
+    const std::string report = hax::lint::format(findings);
+    std::fprintf(stderr, "%s", report.c_str());
+    std::fprintf(stderr, "hax_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("hax_lint: clean\n");
+  return 0;
+}
