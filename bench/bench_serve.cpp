@@ -1,0 +1,275 @@
+/// \file bench_serve.cpp
+/// Serving-layer benchmark: the scheduling-as-a-service broker under an
+/// open-loop load generator. Three sections:
+///
+///   1. cold-vs-hit: one cold solve of a scenario, then repeated
+///      submissions of the same scenario (including a permuted DNN
+///      ordering, which the canonical fingerprint folds onto the same
+///      cache entry). Acceptance: the cache-hit path answers >= 10x
+///      faster than the cold solve.
+///   2. open-loop: a deterministic arrival trace (hax::Rng-seeded
+///      inter-arrivals, mixed priority classes, duplicate-heavy scenario
+///      mix) submitted to an async 2-worker service at the scheduled
+///      instants regardless of completion. Reports throughput, hit rate,
+///      backpressure rejections, and per-class P2 latency quantiles.
+///   3. virtual-replay: the same generator replayed twice through the
+///      deterministic virtual-time service. Acceptance: bit-identical
+///      ServiceStats JSON across the two runs.
+///
+/// Emits results/BENCH_serve.json (run from the repo root).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "serve/service.h"
+
+using namespace hax;
+using serve::Priority;
+using serve::ScenarioRequest;
+using serve::SchedulerService;
+using serve::ScheduleTicket;
+using serve::ServeOutcome;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+
+namespace {
+
+/// Scenario pool: distinct workloads plus permuted orderings of the same
+/// workload (the permutations must land on the same cache entry).
+std::vector<sched::ProblemInstance> make_pool(const core::HaxConn& hax) {
+  std::vector<sched::ProblemInstance> pool;
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet()}, {nn::zoo::resnet18()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::resnet18()}, {nn::zoo::alexnet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet()}, {nn::zoo::googlenet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::googlenet()}, {nn::zoo::alexnet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::resnet18()}, {nn::zoo::googlenet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::resnet18()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet(), -1, 2}, {nn::zoo::resnet18()}}));
+  return pool;
+}
+
+struct TraceEntry {
+  std::size_t scenario = 0;
+  Priority priority = Priority::kNormal;
+  TimeMs arrival_ms = 0.0;
+};
+
+/// Deterministic open-loop trace. `duplicate_ratio` of the requests draw
+/// from the first `hot` scenarios of the pool (recurring workloads that
+/// should become cache hits); the rest sweep the whole pool.
+std::vector<TraceEntry> make_trace(std::uint64_t seed, std::size_t n, std::size_t pool_size,
+                                   std::size_t hot, double duplicate_ratio,
+                                   double mean_gap_ms) {
+  Rng rng(seed);
+  std::vector<TraceEntry> trace(n);
+  TimeMs clock = 0.0;
+  for (TraceEntry& e : trace) {
+    clock += rng.uniform(0.2 * mean_gap_ms, 1.8 * mean_gap_ms);
+    e.arrival_ms = clock;
+    const bool dup = rng.uniform() < duplicate_ratio;
+    e.scenario = dup ? rng.uniform_index(hot) : rng.uniform_index(pool_size);
+    e.priority = static_cast<Priority>(rng.uniform_index(3));
+  }
+  return trace;
+}
+
+json::Value class_stats_json(const serve::ClassStats& c) {
+  json::Object o;
+  o["submitted"] = static_cast<double>(c.submitted);
+  o["cache_hits"] = static_cast<double>(c.cache_hits);
+  o["solved"] = static_cast<double>(c.solved);
+  o["rejected"] = static_cast<double>(c.rejected);
+  o["p50_ms"] = c.p50_ms;
+  o["p95_ms"] = c.p95_ms;
+  o["p99_ms"] = c.p99_ms;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const soc::Platform plat = bench::platform_by_name("xavier");
+  core::HaxConnOptions hopts;
+  hopts.grouping.max_groups = 5;
+  const core::HaxConn hax(plat, hopts);
+  std::vector<sched::ProblemInstance> pool = make_pool(hax);
+
+  json::Object doc;
+  doc["bench"] = "serve";
+  doc["platform"] = "xavier";
+  doc["pool_size"] = static_cast<double>(pool.size());
+  bool all_ok = true;
+
+  // ------------------------------------------------------------ section 1 --
+  // Cold solve vs cache hit, inline service so the timings are pure
+  // request-path cost. The solver is throttled so the cold solve has a
+  // stable, representative duration instead of racing an empty machine.
+  {
+    ServiceOptions opts;
+    opts.workers = 0;
+    opts.default_budget_ms = 0.0;
+    opts.default_node_limit = 4000;
+    opts.max_nodes_per_ms = 200.0;
+    SchedulerService svc(opts);
+
+    ScenarioRequest cold;
+    cold.problem = &pool[0].problem();
+    const serve::ServeReply first = svc.submit(cold).reply();
+    if (first.outcome != ServeOutcome::kSolved) {
+      std::printf("FAIL: cold request outcome %s\n", to_string(first.outcome));
+      return 1;
+    }
+
+    // Repeat the scenario and its permuted twin; every one must hit.
+    constexpr int kHits = 50;
+    std::vector<double> hit_ms;
+    hit_ms.reserve(kHits);
+    for (int i = 0; i < kHits; ++i) {
+      ScenarioRequest again;
+      again.problem = &pool[i % 2].problem();  // original + permuted ordering
+      const serve::ServeReply r = svc.submit(again).reply();
+      if (r.outcome != ServeOutcome::kHit) {
+        std::printf("FAIL: repeat %d outcome %s\n", i, to_string(r.outcome));
+        return 1;
+      }
+      hit_ms.push_back(r.latency_ms);
+    }
+    const double hit_p50 = stats::percentile(hit_ms, 50.0);
+    const double speedup = first.latency_ms / std::max(hit_p50, 1e-6);
+    const bool ok = speedup >= 10.0;
+    all_ok = all_ok && ok;
+
+    TextTable table;
+    table.header({"path", "latency (ms)", "speedup"});
+    table.row({"cold solve", fmt(first.latency_ms, 3), "1x"});
+    table.row({"cache hit (p50)", fmt(hit_p50, 4), fmt(speedup, 1) + "x"});
+    bench::emit("Serve - cold solve vs cache hit (inline service)", table, std::nullopt, {});
+    std::printf("Acceptance: hit >= 10x faster than cold solve -> %s\n\n",
+                ok ? "PASS" : "FAIL");
+
+    json::Object sec;
+    sec["cold_ms"] = first.latency_ms;
+    sec["hit_p50_ms"] = hit_p50;
+    sec["hit_p99_ms"] = stats::percentile(hit_ms, 99.0);
+    sec["speedup"] = speedup;
+    sec["acceptance_min_speedup"] = 10.0;
+    sec["pass"] = ok;
+    doc["cold_vs_hit"] = std::move(sec);
+  }
+
+  // ------------------------------------------------------------ section 2 --
+  // Open-loop load: submit at the trace's instants no matter how far the
+  // service has fallen behind; backpressure rejections are part of the
+  // result, not an error.
+  {
+    constexpr std::uint64_t kSeed = 20240217;
+    constexpr std::size_t kRequests = 120;
+    constexpr double kDuplicateRatio = 0.7;
+    const std::vector<TraceEntry> trace =
+        make_trace(kSeed, kRequests, pool.size(), 2, kDuplicateRatio, 2.0);
+
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = 16;
+    opts.default_budget_ms = 0.0;
+    opts.default_node_limit = 4000;
+    opts.max_nodes_per_ms = 200.0;
+    SchedulerService svc(opts);
+
+    std::vector<ScheduleTicket> tickets;
+    tickets.reserve(trace.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (const TraceEntry& e : trace) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(e.arrival_ms)));
+      ScenarioRequest req;
+      req.problem = &pool[e.scenario].problem();
+      req.priority = e.priority;
+      tickets.push_back(svc.submit(req));
+    }
+    for (const ScheduleTicket& t : tickets) t.wait();
+    const ServiceStats st = svc.stats();
+
+    TextTable table;
+    table.header({"class", "submitted", "hits", "solved", "rejected", "p50 (ms)", "p95 (ms)"});
+    const char* names[] = {"high", "normal", "low"};
+    for (int c = 0; c < serve::kPriorityClassCount; ++c) {
+      const serve::ClassStats& cs = st.by_class[c];
+      table.row({names[c], std::to_string(cs.submitted), std::to_string(cs.cache_hits),
+                 std::to_string(cs.solved), std::to_string(cs.rejected), fmt(cs.p50_ms, 3),
+                 fmt(cs.p95_ms, 3)});
+    }
+    bench::emit("Serve - open-loop load, 2 workers (" + std::to_string(kRequests) +
+                    " requests, duplicate ratio " + fmt(kDuplicateRatio, 2) + ")",
+                table, std::nullopt, {});
+    std::printf("throughput %.1f req/s, hit rate %.0f%%, peak queue depth %llu\n\n",
+                st.throughput_rps, st.cache.hit_rate() * 100.0,
+                static_cast<unsigned long long>(st.peak_queue_depth));
+
+    json::Object sec;
+    sec["seed"] = static_cast<double>(kSeed);
+    sec["requests"] = static_cast<double>(kRequests);
+    sec["duplicate_ratio"] = kDuplicateRatio;
+    sec["throughput_rps"] = st.throughput_rps;
+    sec["cache_hit_rate"] = st.cache.hit_rate();
+    sec["peak_queue_depth"] = static_cast<double>(st.peak_queue_depth);
+    sec["rejected"] = static_cast<double>(st.total.rejected);
+    json::Object classes;
+    classes["high"] = class_stats_json(st.by_class[0]);
+    classes["normal"] = class_stats_json(st.by_class[1]);
+    classes["low"] = class_stats_json(st.by_class[2]);
+    sec["classes"] = std::move(classes);
+    doc["open_loop"] = std::move(sec);
+  }
+
+  // ------------------------------------------------------------ section 3 --
+  // Deterministic virtual-time replay: identical trace + seed must yield
+  // bit-identical ServiceStats JSON (the reproducibility acceptance).
+  {
+    constexpr std::uint64_t kSeed = 7;
+    const std::vector<TraceEntry> trace = make_trace(kSeed, 80, pool.size(), 2, 0.6, 1.0);
+
+    const auto run_once = [&]() -> std::string {
+      ServiceOptions opts;
+      opts.workers = 0;
+      opts.virtual_time = true;
+      opts.virtual_nodes_per_ms = 500.0;
+      opts.default_node_limit = 4000;
+      SchedulerService svc(opts);
+      for (const TraceEntry& e : trace) {
+        ScenarioRequest req;
+        req.problem = &pool[e.scenario].problem();
+        req.priority = e.priority;
+        req.deadline_ms = 40.0;
+        (void)svc.submit_at(req, e.arrival_ms);
+      }
+      return svc.stats().to_json().dump(2);
+    };
+
+    const std::string run_a = run_once();
+    const std::string run_b = run_once();
+    const bool identical = run_a == run_b;
+    all_ok = all_ok && identical;
+    std::printf("Virtual-time replay (80 requests, seed %llu): %s\n\n",
+                static_cast<unsigned long long>(kSeed),
+                identical ? "bit-identical ServiceStats - PASS" : "DIVERGED - FAIL");
+
+    json::Object sec;
+    sec["seed"] = static_cast<double>(kSeed);
+    sec["requests"] = 80;
+    sec["bit_identical"] = identical;
+    sec["stats"] = json::parse(run_a);
+    doc["virtual_replay"] = std::move(sec);
+  }
+
+  bench::write_json("BENCH_serve", doc);
+  return all_ok ? 0 : 1;
+}

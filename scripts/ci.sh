@@ -23,4 +23,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 echo "== analysis gate: check_all_analysis =="
 cmake --build "$BUILD_DIR" --target check_all_analysis
 
+echo "== serving layer under TSan: check_serve =="
+cmake --build "$BUILD_DIR" --target check_serve
+
 echo "ci.sh: all gates passed"

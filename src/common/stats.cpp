@@ -60,6 +60,95 @@ double geomean(std::span<const double> xs) {
   return std::exp(acc / static_cast<double>(xs.size()));
 }
 
+P2Quantile::P2Quantile(double quantile) : p_(quantile) {
+  HAX_REQUIRE(quantile > 0.0 && quantile < 1.0, "P2Quantile quantile out of (0,1)");
+  // Desired positions grow by these per observation (Jain & Chlamtac,
+  // Table I): the middle marker tracks the quantile, its neighbours the
+  // midpoints toward the extremes.
+  dwant_[0] = 0.0;
+  dwant_[1] = p_ / 2.0;
+  dwant_[2] = p_;
+  dwant_[3] = (1.0 + p_) / 2.0;
+  dwant_[4] = 1.0;
+}
+
+double P2Quantile::parabolic(int i, double d) const noexcept {
+  // Piecewise-parabolic (P²) height adjustment of marker i by d = ±1.
+  return heights_[i] +
+         d / (pos_[i + 1] - pos_[i - 1]) *
+             ((pos_[i] - pos_[i - 1] + d) * (heights_[i + 1] - heights_[i]) /
+                  (pos_[i + 1] - pos_[i]) +
+              (pos_[i + 1] - pos_[i] - d) * (heights_[i] - heights_[i - 1]) /
+                  (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::linear(int i, int d) const noexcept {
+  return heights_[i] + static_cast<double>(d) * (heights_[i + d] - heights_[i]) /
+                           (pos_[i + d] - pos_[i]);
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (n_ < 5) {
+    heights_[n_] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        pos_[i] = static_cast<double>(i + 1);
+        want_[i] = 1.0 + 4.0 * dwant_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell containing x, clamping the extreme markers.
+  int cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+  }
+
+  for (int i = cell + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) want_[i] += dwant_[i];
+  ++n_;
+
+  // Nudge the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double gap = want_[i] - pos_[i];
+    if ((gap >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (gap <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const int d = gap >= 1.0 ? 1 : -1;
+      double candidate = parabolic(i, static_cast<double>(d));
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, d);  // parabola left the bracket: fall back
+      }
+      pos_[i] += static_cast<double>(d);
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (n_ >= 5) return heights_[2];
+  // Exact order statistic over the few observations seen so far.
+  double sorted[5];
+  std::copy(heights_, heights_ + n_, sorted);
+  std::sort(sorted, sorted + n_);
+  const double rank = p_ * static_cast<double>(n_ - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, n_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 void Accumulator::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;

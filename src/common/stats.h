@@ -24,6 +24,45 @@ namespace hax::stats {
 /// Geometric mean; requires all elements > 0.
 [[nodiscard]] double geomean(std::span<const double> xs);
 
+/// Streaming quantile estimator (Jain & Chlamtac's P² algorithm, CACM
+/// 1985): tracks one quantile of an unbounded stream in constant memory —
+/// five markers whose heights are adjusted with a piecewise-parabolic
+/// interpolation as observations arrive. The serving layer's latency
+/// percentiles (p50/p95/p99 per priority class) use one of these per
+/// quantile instead of buffering every latency for the sort-based
+/// `percentile` above.
+///
+/// Exact for the first five observations (it sorts them); afterwards an
+/// estimate whose error shrinks as the stream grows (tests bound it
+/// against the exact percentile on known distributions). Deterministic:
+/// the state is a pure function of the observation sequence, so replaying
+/// a trace reproduces bit-identical estimates.
+class P2Quantile {
+ public:
+  /// `quantile` in (0, 1) — e.g. 0.5, 0.95, 0.99.
+  explicit P2Quantile(double quantile);
+
+  void add(double x) noexcept;
+
+  /// Current estimate; NaN before the first observation. With fewer than
+  /// five observations, the exact order statistic of what has been seen.
+  [[nodiscard]] double value() const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double quantile() const noexcept { return p_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const noexcept;
+  [[nodiscard]] double linear(int i, int d) const noexcept;
+
+  double p_;
+  std::size_t n_ = 0;       ///< observations seen
+  double heights_[5] = {};  ///< marker heights q_i
+  double pos_[5] = {};      ///< actual marker positions n_i (1-based)
+  double want_[5] = {};     ///< desired marker positions n'_i
+  double dwant_[5] = {};    ///< desired-position increments dn'_i
+};
+
 /// Streaming accumulator (Welford) for mean/variance without storing samples.
 class Accumulator {
  public:

@@ -1,0 +1,54 @@
+#include "runtime/schedule_handle.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace hax::runtime {
+
+bool ScheduleHandle::publish(const sched::Schedule& schedule, double objective) {
+  LockGuard lock(mu_);
+  if (has_ && objective >= objective_) return false;
+  schedule_ = schedule;
+  objective_ = objective;
+  has_ = true;
+  ++version_;
+  return true;
+}
+
+void ScheduleHandle::force(const sched::Schedule& schedule, double objective) {
+  LockGuard lock(mu_);
+  schedule_ = schedule;
+  objective_ = objective;
+  has_ = true;
+  ++version_;
+}
+
+bool ScheduleHandle::has_schedule() const {
+  LockGuard lock(mu_);
+  return has_;
+}
+
+sched::Schedule ScheduleHandle::snapshot() const {
+  LockGuard lock(mu_);
+  HAX_REQUIRE(has_, "ScheduleHandle::snapshot before any publish");
+  return schedule_;
+}
+
+double ScheduleHandle::objective() const {
+  LockGuard lock(mu_);
+  HAX_REQUIRE(has_, "ScheduleHandle::objective before any publish");
+  return objective_;
+}
+
+std::uint64_t ScheduleHandle::version() const {
+  LockGuard lock(mu_);
+  return version_;
+}
+
+ScheduleProvider ScheduleHandle::provider(std::shared_ptr<const ScheduleHandle> handle) {
+  HAX_REQUIRE(handle != nullptr, "ScheduleHandle::provider on null handle");
+  return [handle = std::move(handle)]() { return handle->snapshot(); };
+}
+
+}  // namespace hax::runtime

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file schedule_handle.h
+/// Hot-swappable schedule slot connecting the serving layer to a running
+/// Executor. The executor re-reads its ScheduleProvider at every frame
+/// boundary (see executor.h); a ScheduleHandle is the publish side of that
+/// contract: the SchedulerService (or any background re-solver) publishes
+/// improving schedules into the handle, and every provider minted from it
+/// hands the newest one to the next frame. This is the same
+/// publish-then-poll pattern D-HaX-CoNN uses internally, factored out so
+/// *external* schedule sources — the schedule cache, a warm-started
+/// re-solve, a schedule loaded from disk — can drive a live executor.
+///
+/// Publishes keep only improvements: `publish` installs a schedule iff its
+/// objective beats the incumbent's, so a stale solver finishing late can
+/// never downgrade a running workload. `force` exists for the initial
+/// seed (there is nothing to compare against yet) and for tests.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/annotated.h"
+#include "runtime/executor.h"
+#include "sched/schedule.h"
+
+namespace hax::runtime {
+
+class ScheduleHandle {
+ public:
+  ScheduleHandle() = default;
+  ScheduleHandle(const ScheduleHandle&) = delete;
+  ScheduleHandle& operator=(const ScheduleHandle&) = delete;
+
+  /// Installs `schedule` iff `objective` strictly beats the current one
+  /// (ties keep the incumbent — swapping schedules has a cost). Returns
+  /// whether the handle changed; the version bumps on every change.
+  bool publish(const sched::Schedule& schedule, double objective);
+
+  /// Unconditional install (initial seed / explicit override).
+  void force(const sched::Schedule& schedule, double objective);
+
+  [[nodiscard]] bool has_schedule() const;
+  [[nodiscard]] sched::Schedule snapshot() const;
+  [[nodiscard]] double objective() const;
+  /// Monotonic change counter (0 = never published). Executor tests use
+  /// it to assert a swap landed at a frame boundary.
+  [[nodiscard]] std::uint64_t version() const;
+
+  /// Frame-boundary provider for Executor::run. The handle is kept alive
+  /// by the returned callable; it must hold a schedule before the first
+  /// frame asks (Executor validates what it receives).
+  [[nodiscard]] static ScheduleProvider provider(std::shared_ptr<const ScheduleHandle> handle);
+
+ private:
+  mutable Mutex mu_;
+  sched::Schedule schedule_ HAX_GUARDED_BY(mu_);
+  double objective_ HAX_GUARDED_BY(mu_) = 0.0;
+  bool has_ HAX_GUARDED_BY(mu_) = false;
+  std::uint64_t version_ HAX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hax::runtime

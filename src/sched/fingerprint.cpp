@@ -1,0 +1,172 @@
+#include "sched/fingerprint.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace hax::sched {
+namespace {
+
+/// splitmix64 finalizer — the same mixer hash_span uses, reused here so
+/// fingerprint quality matches the memo cache's key distribution.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive accumulator over 64-bit words. Doubles are hashed by
+/// bit pattern: the profiler is deterministic, so equal scenarios produce
+/// bit-equal profiles, and hashing bits avoids any quantization choice.
+class Hasher {
+ public:
+  void word(std::uint64_t w) noexcept { state_ = mix64(state_ ^ w); }
+  void number(double d) noexcept {
+    // Normalize -0.0 so the two zero encodings hash identically.
+    word(std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d));
+  }
+  void boolean(bool b) noexcept { word(b ? 0x9E37ull : 0x79B9ull); }
+  void text(const std::string& s) noexcept {
+    word(s.size());
+    for (char c : s) word(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x5CE9A21D0ull;
+};
+
+/// Content hash of one DNN: grouped structure + full profile table over
+/// the problem's PU set + iteration count. Deliberately excludes
+/// depends_on (folded in by a separate refinement round) and the request
+/// index (which would break permutation invariance).
+std::uint64_t dnn_content_hash(const Problem& problem, const DnnSpec& spec) {
+  Hasher h;
+  const grouping::GroupedNetwork& net = *spec.net;
+  const perf::NetworkProfile& profile = *spec.profile;
+  h.word(static_cast<std::uint64_t>(net.group_count()));
+  for (const grouping::LayerGroup& g : net.groups()) {
+    h.word(static_cast<std::uint64_t>(g.size()));
+    h.boolean(g.gpu_only);
+    h.word(static_cast<std::uint64_t>(g.flops));
+    h.word(static_cast<std::uint64_t>(g.weight_bytes));
+  }
+  h.word(static_cast<std::uint64_t>(spec.iterations));
+  // Profile cells in (group, problem-PU) order: everything the predictor
+  // reads. PUs outside problem.pus never influence a schedule's score, so
+  // they stay out of the identity.
+  for (int g = 0; g < profile.group_count(); ++g) {
+    for (soc::PuId pu : problem.pus) {
+      const perf::GroupProfile& cell = profile.at(g, pu);
+      h.boolean(cell.supported);
+      h.number(cell.time_ms);
+      h.number(cell.demand_gbps);
+      h.number(cell.tau_in);
+      h.number(cell.tau_out);
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+std::string ScenarioFingerprint::to_string() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = digits[(hi >> (4 * i)) & 0xF];
+    out[static_cast<std::size_t>(31 - i)] = digits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+CanonicalScenario canonicalize(const Problem& problem) {
+  problem.validate();
+  const auto dnn_count = problem.dnns.size();
+
+  // Round 1: pure content hashes. Round 2 folds in the dependency
+  // target's round-1 hash, so "A feeding B" and "B feeding A" landing in
+  // the same sorted slot still fingerprint differently.
+  std::vector<std::uint64_t> content(dnn_count);
+  for (std::size_t d = 0; d < dnn_count; ++d) {
+    content[d] = dnn_content_hash(problem, problem.dnns[d]);
+  }
+  std::vector<std::uint64_t> refined(dnn_count);
+  for (std::size_t d = 0; d < dnn_count; ++d) {
+    const int dep = problem.dnns[d].depends_on;
+    const std::uint64_t dep_hash =
+        dep >= 0 ? content[static_cast<std::size_t>(dep)] : 0x0D5Eull;
+    refined[d] = mix64(content[d] ^ mix64(dep_hash));
+  }
+
+  CanonicalScenario canon;
+  canon.order.resize(dnn_count);
+  std::iota(canon.order.begin(), canon.order.end(), 0);
+  std::stable_sort(canon.order.begin(), canon.order.end(), [&](int a, int b) {
+    return refined[static_cast<std::size_t>(a)] < refined[static_cast<std::size_t>(b)];
+  });
+  canon.inverse.resize(dnn_count);
+  for (std::size_t i = 0; i < dnn_count; ++i) {
+    canon.inverse[static_cast<std::size_t>(canon.order[i])] = static_cast<int>(i);
+  }
+
+  // Scenario-level words shared by fingerprint and shape key: the exact
+  // PU set (assignment values index it — order matters), the objective,
+  // and the solver constraints.
+  Hasher scenario;
+  scenario.text(problem.platform->name());
+  scenario.word(problem.pus.size());
+  for (soc::PuId pu : problem.pus) scenario.word(static_cast<std::uint64_t>(pu));
+  scenario.word(static_cast<std::uint64_t>(problem.objective));
+  scenario.word(static_cast<std::uint64_t>(problem.max_transitions));
+
+  Hasher shape = scenario;  // shape key: structure only, no profile bits
+  scenario.number(problem.epsilon_ms);
+
+  // DNNs in canonical order. The dependency edge is encoded as the
+  // canonical position of the producer (a permutation-invariant index).
+  for (std::size_t i = 0; i < dnn_count; ++i) {
+    const auto d = static_cast<std::size_t>(canon.order[i]);
+    scenario.word(refined[d]);
+    const int dep = problem.dnns[d].depends_on;
+    scenario.word(dep >= 0
+                      ? static_cast<std::uint64_t>(canon.inverse[static_cast<std::size_t>(dep)])
+                      : 0xFEEDull);
+    shape.word(static_cast<std::uint64_t>(problem.dnns[d].net->group_count()));
+  }
+
+  canon.shape_key = shape.digest();
+  canon.fingerprint.lo = scenario.digest();
+  // Second lane: re-mix the first digest with an independent constant so
+  // the two words are not trivially correlated.
+  canon.fingerprint.hi = mix64(scenario.digest() ^ 0xA24BAED4963EE407ull);
+  return canon;
+}
+
+namespace {
+
+Schedule permute(const Schedule& schedule, const std::vector<int>& order) {
+  HAX_REQUIRE(schedule.dnn_count() == static_cast<int>(order.size()),
+              "schedule/permutation DNN count mismatch");
+  Schedule out;
+  out.assignment.reserve(order.size());
+  for (int src : order) {
+    out.assignment.push_back(schedule.assignment[static_cast<std::size_t>(src)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule to_canonical(const Schedule& schedule, const CanonicalScenario& canon) {
+  return permute(schedule, canon.order);
+}
+
+Schedule from_canonical(const Schedule& schedule, const CanonicalScenario& canon) {
+  return permute(schedule, canon.inverse);
+}
+
+}  // namespace hax::sched

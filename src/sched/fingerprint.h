@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file fingerprint.h
+/// Scenario canonicalization for the serving layer: collapses a scheduling
+/// Problem into a permutation-invariant 128-bit fingerprint so the
+/// schedule cache recognizes recurring scenarios no matter how the client
+/// ordered its DNN list. Two requests whose DNN sets, profiles, platform
+/// view and solver constraints are identical map to the same fingerprint;
+/// the canonical permutation lets a schedule cached under one ordering be
+/// served verbatim to every other ordering.
+///
+/// Canonical order: DNNs are sorted by a content hash covering the grouped
+/// structure, the full profile table (bit-exact double hashing — profiles
+/// come from the deterministic profiler, so equal scenarios hash equal),
+/// iteration counts, and one refinement round folding in the *content*
+/// hash of the dependency target (so `depends_on` edges survive
+/// permutation without leaking request-order indices). Ties are broken by
+/// request index, which is sound: tied DNNs have identical content, so
+/// either order yields the same canonical scenario. The one blind spot is
+/// dependency cycles among content-identical DNNs, which a single
+/// refinement round cannot distinguish — such scenarios still fingerprint
+/// deterministically, they merely share a bucket (a stale warm-start seed
+/// at worst, never a wrong answer, since cache replies are re-predicted by
+/// the service before use).
+///
+/// The shape key is a coarser hash (PU set, objective, transition budget,
+/// per-canonical-DNN group counts) identifying scenarios whose flat solver
+/// assignments are interchangeable — the warm-start index: a miss with a
+/// same-shape neighbour seeds the solver from the neighbour's schedule.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/problem.h"
+#include "sched/schedule.h"
+
+namespace hax::sched {
+
+/// 128-bit scenario identity (two independent 64-bit mixes of the same
+/// canonical word stream — collision odds are negligible at cache scale).
+struct ScenarioFingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const ScenarioFingerprint&, const ScenarioFingerprint&) = default;
+  friend auto operator<=>(const ScenarioFingerprint&, const ScenarioFingerprint&) = default;
+
+  /// 32 hex digits, for logs and JSON artifacts.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A Problem reduced to canonical form: the fingerprint, the warm-start
+/// shape key, and the permutation connecting request order to canonical
+/// order (schedules cross the cache boundary in canonical order).
+struct CanonicalScenario {
+  ScenarioFingerprint fingerprint;
+  std::uint64_t shape_key = 0;
+
+  /// canonical position i holds request DNN order[i].
+  std::vector<int> order;
+  /// request DNN d sits at canonical position inverse[d].
+  std::vector<int> inverse;
+
+  [[nodiscard]] int dnn_count() const noexcept { return static_cast<int>(order.size()); }
+};
+
+/// Canonicalizes a validated problem. Pure and deterministic: equal
+/// scenarios (up to DNN permutation) produce equal fingerprints and
+/// equivalent permutations.
+[[nodiscard]] CanonicalScenario canonicalize(const Problem& problem);
+
+/// Reorders a request-order schedule into canonical DNN order (the form
+/// schedules are cached in).
+[[nodiscard]] Schedule to_canonical(const Schedule& schedule, const CanonicalScenario& canon);
+
+/// Inverse of to_canonical: maps a cached canonical-order schedule back to
+/// the requesting problem's DNN order.
+[[nodiscard]] Schedule from_canonical(const Schedule& schedule, const CanonicalScenario& canon);
+
+}  // namespace hax::sched

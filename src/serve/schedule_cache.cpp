@@ -1,0 +1,147 @@
+#include "serve/schedule_cache.h"
+
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+
+namespace hax::serve {
+
+namespace {
+using FpKey = std::pair<std::uint64_t, std::uint64_t>;
+
+FpKey key_of(const sched::ScenarioFingerprint& fp) noexcept { return {fp.hi, fp.lo}; }
+}  // namespace
+
+/// One lock-striped slice of the fingerprint → schedule map. std::map
+/// keeps iteration (and therefore eviction) order deterministic, which the
+/// serving layer's bit-identical-replay guarantee leans on.
+struct ScheduleCache::Shard {
+  mutable Mutex mu;
+  std::map<FpKey, CachedSchedule> entries HAX_GUARDED_BY(mu);
+};
+
+/// Warm-start index: shape_key → latest exemplar of that shape. Bounded
+/// like the shards; stores a full copy so a warm start survives the
+/// underlying entry's eviction.
+struct ScheduleCache::ShapeIndex {
+  mutable Mutex mu;
+  std::size_t capacity HAX_GUARDED_BY(mu) = 64;
+  std::map<std::uint64_t, std::pair<sched::ScenarioFingerprint, CachedSchedule>> entries
+      HAX_GUARDED_BY(mu);
+};
+
+ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
+    : shard_count_(options.shards), capacity_per_shard_(options.capacity_per_shard) {
+  HAX_REQUIRE(shard_count_ > 0 && (shard_count_ & (shard_count_ - 1)) == 0,
+              "ScheduleCache shards must be a power of two");
+  HAX_REQUIRE(capacity_per_shard_ > 0, "ScheduleCache capacity_per_shard must be > 0");
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  shapes_ = std::make_unique<ShapeIndex>();
+  LockGuard lock(shapes_->mu);
+  shapes_->capacity = options.shape_capacity > 0 ? options.shape_capacity : 1;
+}
+
+ScheduleCache::~ScheduleCache() = default;
+
+ScheduleCache::Shard& ScheduleCache::shard_for(const sched::ScenarioFingerprint& fp) const noexcept {
+  return shards_[fp.lo & (shard_count_ - 1)];
+}
+
+std::optional<CachedSchedule> ScheduleCache::lookup(const sched::ScenarioFingerprint& fp) const {
+  Shard& shard = shard_for(fp);
+  LockGuard lock(shard.mu);
+  const auto it = shard.entries.find(key_of(fp));
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::optional<CachedSchedule> ScheduleCache::peek(const sched::ScenarioFingerprint& fp) const {
+  Shard& shard = shard_for(fp);
+  LockGuard lock(shard.mu);
+  const auto it = shard.entries.find(key_of(fp));
+  if (it == shard.entries.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ScheduleCache::publish(const sched::ScenarioFingerprint& fp, std::uint64_t shape_key,
+                            const sched::Schedule& canonical_schedule, double objective,
+                            bool proven_optimal) {
+  CachedSchedule installed;
+  {
+    Shard& shard = shard_for(fp);
+    LockGuard lock(shard.mu);
+    auto it = shard.entries.find(key_of(fp));
+    if (it != shard.entries.end()) {
+      if (objective >= it->second.objective) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      it->second.schedule = canonical_schedule;
+      it->second.objective = objective;
+      it->second.proven_optimal = proven_optimal;
+      ++it->second.version;
+      installed = it->second;
+      improvements_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (shard.entries.size() >= capacity_per_shard_) {
+        shard.entries.erase(shard.entries.begin());  // deterministic victim
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      CachedSchedule entry;
+      entry.schedule = canonical_schedule;
+      entry.objective = objective;
+      entry.proven_optimal = proven_optimal;
+      entry.version = 1;
+      installed = shard.entries.emplace(key_of(fp), std::move(entry)).first->second;
+      insertions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  {
+    LockGuard lock(shapes_->mu);
+    auto it = shapes_->entries.find(shape_key);
+    if (it == shapes_->entries.end() && shapes_->entries.size() >= shapes_->capacity) {
+      shapes_->entries.erase(shapes_->entries.begin());
+    }
+    shapes_->entries[shape_key] = {fp, std::move(installed)};
+  }
+  return true;
+}
+
+std::optional<CachedSchedule> ScheduleCache::nearest(
+    std::uint64_t shape_key, const sched::ScenarioFingerprint& exclude) const {
+  LockGuard lock(shapes_->mu);
+  const auto it = shapes_->entries.find(shape_key);
+  if (it == shapes_->entries.end() || it->second.first == exclude) return std::nullopt;
+  warm_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.second;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    LockGuard lock(shards_[s].mu);
+    total += shards_[s].entries.size();
+  }
+  return total;
+}
+
+ScheduleCacheStats ScheduleCache::stats() const noexcept {
+  // Same torn-read tolerance as MemoCache::stats: each counter is exact
+  // and monotonic, cross-counter identities are approximate while hot.
+  ScheduleCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.improvements = improvements_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.warm_hits = warm_hits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace hax::serve

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file schedule_cache.h
+/// Sharded schedule cache for the serving layer: maps scenario
+/// fingerprints (see sched/fingerprint.h) to the best schedule known for
+/// that scenario. The SchedulerService answers duplicate scenario
+/// requests from here — the paper's solver runs once per scenario, but a
+/// production request stream is dominated by recurring scenarios, and a
+/// hit turns a multi-millisecond solve into a hash probe.
+///
+/// Concurrency follows MemoCache's recipe: fingerprints are striped
+/// across independently locked shards so concurrent solver workers rarely
+/// contend. Publishes keep only improvements (a late, worse solve can
+/// never downgrade a cached answer); each shard is bounded and evicts its
+/// smallest key when full — a deterministic cheap-replacement policy, in
+/// the spirit of MemoCache's overwrite-on-collision (an evicted scenario
+/// only costs a re-solve).
+///
+/// A secondary shape index powers warm starts: publishing also records
+/// the schedule as the latest exemplar of its *shape* (same PU set,
+/// objective, transition budget and per-DNN group counts — see
+/// CanonicalScenario::shape_key). A cache miss with a same-shape
+/// neighbour seeds the solver from the neighbour's schedule instead of
+/// starting cold; objectives are not comparable across scenarios, so
+/// "nearest" means most recently published, banking on temporal locality
+/// of recurring workloads.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/annotated.h"
+#include "sched/fingerprint.h"
+#include "sched/schedule.h"
+
+namespace hax::serve {
+
+/// One cached answer. Schedules are stored (and returned) in canonical
+/// DNN order; callers permute with from_canonical for their request order.
+struct CachedSchedule {
+  sched::Schedule schedule;
+  double objective = 0.0;      ///< predicted objective under the owning scenario
+  bool proven_optimal = false;
+  std::uint64_t version = 0;   ///< improvement count for this fingerprint
+};
+
+struct ScheduleCacheOptions {
+  std::size_t shards = 8;             ///< power of two
+  std::size_t capacity_per_shard = 128;
+  std::size_t shape_capacity = 64;    ///< bounded warm-start index
+};
+
+struct ScheduleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;   ///< new fingerprints installed
+  std::uint64_t improvements = 0; ///< existing entries upgraded
+  std::uint64_t rejected = 0;     ///< publishes that did not beat the incumbent
+  std::uint64_t evictions = 0;
+  std::uint64_t warm_hits = 0;    ///< nearest() calls that found a neighbour
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(ScheduleCacheOptions options = {});
+  ~ScheduleCache();  // out-of-line: Shard is an implementation detail
+
+  ScheduleCache(const ScheduleCache&) = delete;
+  ScheduleCache& operator=(const ScheduleCache&) = delete;
+
+  /// Exact-fingerprint probe; counts toward hits/misses.
+  [[nodiscard]] std::optional<CachedSchedule> lookup(const sched::ScenarioFingerprint& fp) const;
+
+  /// As lookup(), but invisible to the hit/miss counters — internal
+  /// probes (refresh warm starts, provider seeding) that should not skew
+  /// the request-path hit rate.
+  [[nodiscard]] std::optional<CachedSchedule> peek(const sched::ScenarioFingerprint& fp) const;
+
+  /// Installs `schedule` for `fp` iff it is new or strictly beats the
+  /// cached objective, and records it as the shape's latest exemplar.
+  /// Returns whether the cache changed.
+  bool publish(const sched::ScenarioFingerprint& fp, std::uint64_t shape_key,
+               const sched::Schedule& canonical_schedule, double objective,
+               bool proven_optimal);
+
+  /// Warm-start probe: the most recently published schedule of the same
+  /// shape, excluding `exclude` itself (that exact entry is a hit, not a
+  /// warm start). Counts warm_hits on success.
+  [[nodiscard]] std::optional<CachedSchedule> nearest(
+      std::uint64_t shape_key, const sched::ScenarioFingerprint& exclude) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] ScheduleCacheStats stats() const noexcept;
+
+ private:
+  struct Shard;
+  struct ShapeIndex;
+
+  [[nodiscard]] Shard& shard_for(const sched::ScenarioFingerprint& fp) const noexcept;
+
+  std::size_t shard_count_;
+  std::size_t capacity_per_shard_;
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<ShapeIndex> shapes_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> improvements_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> warm_hits_{0};
+};
+
+}  // namespace hax::serve

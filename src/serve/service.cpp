@@ -1,0 +1,686 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "runtime/schedule_handle.h"
+#include "sched/formulation.h"
+
+namespace hax::serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+[[nodiscard]] int class_index(Priority priority) {
+  const int c = static_cast<int>(priority);
+  HAX_REQUIRE(c >= 0 && c < kPriorityClassCount, "invalid Priority");
+  return c;
+}
+
+/// Belt-and-braces check that a cached canonical schedule fits this
+/// problem's canonical group structure. The shape key already encodes
+/// exactly this, so a mismatch means a shape-key collision — drop the
+/// seed rather than feed the solver an invalid warm start.
+[[nodiscard]] bool seed_compatible(const sched::Schedule& canonical,
+                                   const sched::Problem& problem,
+                                   const sched::CanonicalScenario& canon) {
+  if (canonical.dnn_count() != canon.dnn_count()) return false;
+  const std::vector<int> counts = problem.group_counts();
+  for (int i = 0; i < canon.dnn_count(); ++i) {
+    if (static_cast<int>(canonical.assignment[i].size()) != counts[canon.order[i]]) return false;
+  }
+  return true;
+}
+
+void record_outcome(ClassStats& stats, const ServeReply& reply) {
+  ++stats.completed;
+  switch (reply.outcome) {
+    case ServeOutcome::kHit: ++stats.cache_hits; break;
+    case ServeOutcome::kSolved: ++stats.solved; break;
+    case ServeOutcome::kInfeasible: ++stats.infeasible; break;
+    case ServeOutcome::kRejected: ++stats.rejected; break;
+    case ServeOutcome::kCancelled: ++stats.cancelled; break;
+    case ServeOutcome::kExpired: ++stats.expired; break;
+    case ServeOutcome::kPending: HAX_REQUIRE(false, "finish with kPending"); break;
+  }
+  if (reply.deadline_limited) ++stats.deadline_limited;
+  if (reply.warm_started) ++stats.warm_started;
+}
+
+[[nodiscard]] json::Value class_to_json(const ClassStats& c) {
+  json::Object o;
+  o["submitted"] = static_cast<std::int64_t>(c.submitted);
+  o["completed"] = static_cast<std::int64_t>(c.completed);
+  o["cache_hits"] = static_cast<std::int64_t>(c.cache_hits);
+  o["solved"] = static_cast<std::int64_t>(c.solved);
+  o["infeasible"] = static_cast<std::int64_t>(c.infeasible);
+  o["rejected"] = static_cast<std::int64_t>(c.rejected);
+  o["cancelled"] = static_cast<std::int64_t>(c.cancelled);
+  o["expired"] = static_cast<std::int64_t>(c.expired);
+  o["deadline_limited"] = static_cast<std::int64_t>(c.deadline_limited);
+  o["warm_started"] = static_cast<std::int64_t>(c.warm_started);
+  o["p50_ms"] = c.p50_ms;
+  o["p95_ms"] = c.p95_ms;
+  o["p99_ms"] = c.p99_ms;
+  o["latency_samples"] = static_cast<std::int64_t>(c.latency_samples);
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+const char* to_string(ServeOutcome outcome) noexcept {
+  switch (outcome) {
+    case ServeOutcome::kPending: return "pending";
+    case ServeOutcome::kHit: return "hit";
+    case ServeOutcome::kSolved: return "solved";
+    case ServeOutcome::kInfeasible: return "infeasible";
+    case ServeOutcome::kRejected: return "rejected";
+    case ServeOutcome::kCancelled: return "cancelled";
+    case ServeOutcome::kExpired: return "expired";
+  }
+  return "?";
+}
+
+namespace detail {
+
+/// Shared completion state of one submitted request: the future side of a
+/// ScheduleTicket and the work item the queue/workers pass around.
+struct RequestControl {
+  explicit RequestControl(const solver::StopToken* parent) noexcept : stop(parent) {}
+
+  ScenarioRequest request;
+  sched::CanonicalScenario canon;
+  TimeMs submit_ms = 0.0;  ///< wall offset, or virtual arrival in virtual mode
+
+  /// Child of the service's shutdown token: one request_stop() here (or a
+  /// service shutdown) stops an in-flight solve at its next poll.
+  solver::StopToken stop;
+  std::atomic<bool> cancel_requested{false};
+
+  mutable Mutex mu;
+  CondVar cv;
+  /// Claimed by the first finish() so a shutdown racing a worker can't
+  /// double-count; stats are recorded between claiming and `done` so an
+  /// observer woken by the ticket always sees its outcome in stats().
+  bool claimed HAX_GUARDED_BY(mu) = false;
+  bool done HAX_GUARDED_BY(mu) = false;
+  ServeReply reply HAX_GUARDED_BY(mu);
+};
+
+}  // namespace detail
+
+bool ScheduleTicket::done() const {
+  if (ctl_ == nullptr) return false;
+  LockGuard lock(ctl_->mu);
+  return ctl_->done;
+}
+
+bool ScheduleTicket::wait(TimeMs timeout_ms) const {
+  HAX_REQUIRE(ctl_ != nullptr, "ScheduleTicket::wait on an invalid ticket");
+  if (timeout_ms <= 0.0) {
+    LockGuard lock(ctl_->mu);
+    while (!ctl_->done) ctl_->cv.wait(ctl_->mu);
+    return true;
+  }
+  const auto deadline =
+      SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                               std::chrono::duration<double, std::milli>(timeout_ms));
+  LockGuard lock(ctl_->mu);
+  while (!ctl_->done) {
+    if (!ctl_->cv.wait_until(ctl_->mu, deadline)) break;  // timed out; recheck once
+  }
+  return ctl_->done;
+}
+
+ServeReply ScheduleTicket::reply() const {
+  (void)wait();
+  LockGuard lock(ctl_->mu);
+  return ctl_->reply;
+}
+
+void ScheduleTicket::cancel() const {
+  if (ctl_ == nullptr) return;
+  ctl_->cancel_requested.store(true, std::memory_order_relaxed);
+  ctl_->stop.request_stop();
+}
+
+/// Streaming latency digest of one priority class (and the aggregate).
+struct SchedulerService::State {
+  struct LatencyDigest {
+    stats::P2Quantile p50{0.50};
+    stats::P2Quantile p95{0.95};
+    stats::P2Quantile p99{0.99};
+    std::uint64_t samples = 0;
+
+    void add(double x) noexcept {
+      p50.add(x);
+      p95.add(x);
+      p99.add(x);
+      ++samples;
+    }
+    void snapshot_into(ClassStats& out) const noexcept {
+      out.latency_samples = samples;
+      out.p50_ms = samples > 0 ? p50.value() : 0.0;
+      out.p95_ms = samples > 0 ? p95.value() : 0.0;
+      out.p99_ms = samples > 0 ? p99.value() : 0.0;
+    }
+  };
+
+  mutable Mutex mu;
+  CondVar work_cv;
+  std::deque<std::shared_ptr<detail::RequestControl>> queues[kPriorityClassCount]
+      HAX_GUARDED_BY(mu);
+  bool stopping HAX_GUARDED_BY(mu) = false;
+  bool shut_down HAX_GUARDED_BY(mu) = false;
+
+  /// Written by the constructor, swapped out once by shutdown() (guarded
+  /// by `shut_down`); worker threads never touch the vector itself.
+  std::vector<std::thread> workers;
+
+  /// Parent of every per-request StopToken; fired once at shutdown.
+  solver::StopToken shutdown_stop;
+
+  /// Live per-scenario publish slots backing make_provider().
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::shared_ptr<runtime::ScheduleHandle>>
+      handles HAX_GUARDED_BY(mu);
+
+  ClassStats counters[kPriorityClassCount] HAX_GUARDED_BY(mu);
+  ClassStats total HAX_GUARDED_BY(mu);
+  LatencyDigest latency[kPriorityClassCount] HAX_GUARDED_BY(mu);
+  LatencyDigest latency_total HAX_GUARDED_BY(mu);
+  std::uint64_t solves_started HAX_GUARDED_BY(mu) = 0;
+  std::uint64_t peak_queue_depth HAX_GUARDED_BY(mu) = 0;
+
+  const SteadyClock::time_point start = SteadyClock::now();
+  bool saw_submit HAX_GUARDED_BY(mu) = false;
+  TimeMs first_submit_ms HAX_GUARDED_BY(mu) = 0.0;
+  /// Latest completion instant (submit + latency), wall or virtual — the
+  /// deterministic elapsed-time anchor of virtual mode.
+  TimeMs last_event_ms HAX_GUARDED_BY(mu) = 0.0;
+
+  // Virtual clock (single-server queue): arrivals must be non-decreasing,
+  // the server is busy until v_busy_until.
+  TimeMs v_last_arrival HAX_GUARDED_BY(mu) = 0.0;
+  TimeMs v_busy_until HAX_GUARDED_BY(mu) = 0.0;
+};
+
+SchedulerService::SchedulerService(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_unique<ScheduleCache>(options_.cache)),
+      state_(std::make_unique<State>()) {
+  HAX_REQUIRE(options_.workers >= 0, "ServiceOptions.workers must be >= 0");
+  HAX_REQUIRE(options_.queue_capacity > 0, "ServiceOptions.queue_capacity must be > 0");
+  if (options_.virtual_time) {
+    HAX_REQUIRE(options_.workers == 0, "virtual_time requires inline mode (workers == 0)");
+    HAX_REQUIRE(options_.solver_threads == 1 && !options_.portfolio,
+                "virtual_time requires the serial exact solver (threads == 1, no portfolio)");
+    HAX_REQUIRE(options_.virtual_nodes_per_ms > 0.0,
+                "ServiceOptions.virtual_nodes_per_ms must be > 0");
+  }
+  for (int w = 0; w < options_.workers; ++w) {
+    state_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+TimeMs SchedulerService::wall_now_ms() const {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - state_->start).count();
+}
+
+ScheduleTicket SchedulerService::submit(const ScenarioRequest& request) {
+  HAX_REQUIRE(!options_.virtual_time, "virtual_time services take submit_at()");
+  HAX_REQUIRE(request.problem != nullptr, "ScenarioRequest.problem is null");
+  request.problem->validate();
+
+  auto ctl = std::make_shared<detail::RequestControl>(&state_->shutdown_stop);
+  ctl->request = request;
+  ctl->canon = sched::canonicalize(*request.problem);
+  ctl->submit_ms = wall_now_ms();
+  const int cls = class_index(request.priority);
+
+  {
+    LockGuard lock(state_->mu);
+    if (!state_->saw_submit) {
+      state_->saw_submit = true;
+      state_->first_submit_ms = ctl->submit_ms;
+    }
+    ++state_->counters[cls].submitted;
+    ++state_->total.submitted;
+  }
+
+  // Cache fast path: recurring scenarios never touch the queue.
+  if (!request.refresh) {
+    if (const auto hit = cache_->lookup(ctl->canon.fingerprint)) {
+      ServeReply reply;
+      reply.outcome = ServeOutcome::kHit;
+      reply.schedule = sched::from_canonical(hit->schedule, ctl->canon);
+      reply.objective = hit->objective;
+      reply.proven_optimal = hit->proven_optimal;
+      reply.latency_ms = wall_now_ms() - ctl->submit_ms;
+      finish(ctl, std::move(reply));
+      return ScheduleTicket(std::move(ctl));
+    }
+  }
+
+  if (options_.workers == 0) {  // inline mode: solve on the caller's thread
+    process(ctl);
+    return ScheduleTicket(std::move(ctl));
+  }
+
+  bool rejected = false;
+  {
+    LockGuard lock(state_->mu);
+    if (state_->stopping || state_->queues[cls].size() >= options_.queue_capacity) {
+      rejected = true;
+    } else {
+      state_->queues[cls].push_back(ctl);
+      std::uint64_t depth = 0;
+      for (const auto& q : state_->queues) depth += q.size();
+      state_->peak_queue_depth = std::max(state_->peak_queue_depth, depth);
+      state_->work_cv.notify_one();
+    }
+  }
+  if (rejected) {
+    ServeReply reply;
+    reply.outcome = ServeOutcome::kRejected;
+    reply.latency_ms = wall_now_ms() - ctl->submit_ms;
+    finish(ctl, std::move(reply));
+  }
+  return ScheduleTicket(std::move(ctl));
+}
+
+ScheduleTicket SchedulerService::submit_at(const ScenarioRequest& request, TimeMs arrival_ms) {
+  HAX_REQUIRE(options_.virtual_time, "submit_at requires ServiceOptions.virtual_time");
+  HAX_REQUIRE(request.problem != nullptr, "ScenarioRequest.problem is null");
+  HAX_REQUIRE(arrival_ms >= 0.0, "submit_at arrival must be >= 0");
+  request.problem->validate();
+
+  auto ctl = std::make_shared<detail::RequestControl>(&state_->shutdown_stop);
+  ctl->request = request;
+  ctl->canon = sched::canonicalize(*request.problem);
+  ctl->submit_ms = arrival_ms;
+  const int cls = class_index(request.priority);
+
+  TimeMs service_start = 0.0;
+  {
+    LockGuard lock(state_->mu);
+    HAX_REQUIRE(arrival_ms >= state_->v_last_arrival, "submit_at arrivals must be non-decreasing");
+    state_->v_last_arrival = arrival_ms;
+    if (!state_->saw_submit) {
+      state_->saw_submit = true;
+      state_->first_submit_ms = arrival_ms;
+    }
+    ++state_->counters[cls].submitted;
+    ++state_->total.submitted;
+    service_start = std::max(arrival_ms, state_->v_busy_until);
+  }
+
+  ServeReply reply;
+  const TimeMs deadline = request.deadline_ms;
+
+  // Still "queued" behind the virtual server at its deadline: expires
+  // without consuming any server time — the queued-expiry path of the
+  // deterministic mode.
+  if (deadline > 0.0 && service_start - arrival_ms >= deadline) {
+    reply.outcome = ServeOutcome::kExpired;
+    reply.latency_ms = deadline;
+    finish(ctl, std::move(reply));
+    return ScheduleTicket(std::move(ctl));
+  }
+
+  if (!request.refresh) {
+    if (const auto hit = cache_->lookup(ctl->canon.fingerprint)) {
+      const TimeMs completion = service_start + options_.virtual_hit_cost_ms;
+      {
+        LockGuard lock(state_->mu);
+        state_->v_busy_until = completion;
+      }
+      reply.outcome = ServeOutcome::kHit;
+      reply.schedule = sched::from_canonical(hit->schedule, ctl->canon);
+      reply.objective = hit->objective;
+      reply.proven_optimal = hit->proven_optimal;
+      reply.latency_ms = completion - arrival_ms;
+      finish(ctl, std::move(reply));
+      return ScheduleTicket(std::move(ctl));
+    }
+  }
+
+  {
+    LockGuard lock(state_->mu);
+    ++state_->solves_started;
+  }
+  const SolveRun run = run_solve(*ctl, /*budget_ms=*/0.0);
+  const double cost_ms =
+      static_cast<double>(run.solution.stats.nodes_explored + run.solution.stats.leaves_evaluated) /
+      options_.virtual_nodes_per_ms;
+  const TimeMs completion = service_start + cost_ms;
+  {
+    LockGuard lock(state_->mu);
+    state_->v_busy_until = completion;
+  }
+  reply.latency_ms = completion - arrival_ms;
+  reply.warm_started = run.warm;
+  if (!run.solution.best_found()) {
+    reply.outcome = ServeOutcome::kInfeasible;
+  } else {
+    reply.outcome = ServeOutcome::kSolved;
+    reply.schedule = run.solution.schedule;
+    reply.objective = run.solution.prediction.objective_value;
+    reply.proven_optimal = run.solution.proven_optimal;
+    reply.deadline_limited =
+        !run.solution.proven_optimal || (deadline > 0.0 && reply.latency_ms > deadline);
+    reply.published =
+        publish_result(ctl->canon, run.solution.schedule, reply.objective, reply.proven_optimal);
+  }
+  finish(ctl, std::move(reply));
+  return ScheduleTicket(std::move(ctl));
+}
+
+void SchedulerService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::RequestControl> ctl;
+    {
+      LockGuard lock(state_->mu);
+      while (!state_->stopping && state_->queues[0].empty() && state_->queues[1].empty() &&
+             state_->queues[2].empty()) {
+        state_->work_cv.wait(state_->mu);
+      }
+      if (state_->stopping) return;
+      for (auto& q : state_->queues) {  // High ≻ Normal ≻ Low, FIFO within
+        if (!q.empty()) {
+          ctl = std::move(q.front());
+          q.pop_front();
+          break;
+        }
+      }
+    }
+    if (ctl != nullptr) process(ctl);
+  }
+}
+
+void SchedulerService::process(const std::shared_ptr<detail::RequestControl>& ctl) {
+  const TimeMs picked_up_ms = wall_now_ms();
+  const TimeMs waited_ms = picked_up_ms - ctl->submit_ms;
+  ServeReply reply;
+  reply.latency_ms = waited_ms;
+
+  // Cancelled or expired while queued: complete without ever starting a
+  // solver (the end-to-end cancellation guarantee).
+  if (ctl->cancel_requested.load(std::memory_order_relaxed) || ctl->stop.stop_requested()) {
+    reply.outcome = ServeOutcome::kCancelled;
+    finish(ctl, std::move(reply));
+    return;
+  }
+  const TimeMs deadline = ctl->request.deadline_ms;
+  if (deadline > 0.0 && waited_ms >= deadline) {
+    reply.outcome = ServeOutcome::kExpired;
+    finish(ctl, std::move(reply));
+    return;
+  }
+
+  // A duplicate scenario may have been solved while this one queued;
+  // peek (uncounted — submit already recorded this request's miss).
+  if (!ctl->request.refresh) {
+    if (const auto hit = cache_->peek(ctl->canon.fingerprint)) {
+      reply.outcome = ServeOutcome::kHit;
+      reply.schedule = sched::from_canonical(hit->schedule, ctl->canon);
+      reply.objective = hit->objective;
+      reply.proven_optimal = hit->proven_optimal;
+      reply.latency_ms = wall_now_ms() - ctl->submit_ms;
+      finish(ctl, std::move(reply));
+      return;
+    }
+  }
+
+  {
+    LockGuard lock(state_->mu);
+    ++state_->solves_started;
+  }
+
+  // Remaining-deadline slice caps the configured budget.
+  TimeMs budget = ctl->request.limits.budget_ms > 0.0 ? ctl->request.limits.budget_ms
+                                                      : options_.default_budget_ms;
+  if (deadline > 0.0) {
+    const TimeMs remaining = deadline - waited_ms;
+    budget = budget > 0.0 ? std::min(budget, remaining) : remaining;
+  }
+
+  const SolveRun run = run_solve(*ctl, budget);
+  reply.warm_started = run.warm;
+  reply.latency_ms = wall_now_ms() - ctl->submit_ms;
+
+  if (ctl->cancel_requested.load(std::memory_order_relaxed) || ctl->stop.stop_requested()) {
+    reply.outcome = ServeOutcome::kCancelled;
+    finish(ctl, std::move(reply));
+    return;
+  }
+  if (!run.solution.best_found()) {
+    reply.outcome = ServeOutcome::kInfeasible;
+    finish(ctl, std::move(reply));
+    return;
+  }
+  reply.outcome = ServeOutcome::kSolved;
+  reply.schedule = run.solution.schedule;
+  reply.objective = run.solution.prediction.objective_value;
+  reply.proven_optimal = run.solution.proven_optimal;
+  reply.deadline_limited = !run.solution.proven_optimal;
+  reply.published =
+      publish_result(ctl->canon, run.solution.schedule, reply.objective, reply.proven_optimal);
+  finish(ctl, std::move(reply));
+}
+
+SchedulerService::SolveRun SchedulerService::run_solve(detail::RequestControl& ctl,
+                                                       TimeMs budget_ms) {
+  const sched::Problem& problem = *ctl.request.problem;
+  sched::SolveScheduleOptions opts;
+  opts.time_budget_ms = options_.virtual_time ? 0.0 : budget_ms;
+  opts.node_limit = ctl.request.limits.node_limit != 0 ? ctl.request.limits.node_limit
+                                                       : options_.default_node_limit;
+  opts.threads = options_.solver_threads;
+  opts.max_nodes_per_ms = options_.virtual_time ? 0.0 : options_.max_nodes_per_ms;
+  opts.portfolio = options_.portfolio;
+  opts.genetic = options_.genetic;
+  opts.stop = &ctl.stop;
+
+  if (options_.seed_baselines) opts.seeds = baselines::naive_seeds(problem);
+
+  SolveRun run;
+  if (options_.warm_start) {
+    // Refresh requests find their own stale entry; cold misses fall back
+    // to the latest same-shape neighbour. Both seed B&B's incumbent and
+    // (via the portfolio's seed mirroring) the GA's generation 0.
+    std::optional<CachedSchedule> seed = cache_->peek(ctl.canon.fingerprint);
+    if (!seed.has_value()) seed = cache_->nearest(ctl.canon.shape_key, ctl.canon.fingerprint);
+    if (seed.has_value() && seed_compatible(seed->schedule, problem, ctl.canon)) {
+      opts.seeds.push_back(sched::from_canonical(seed->schedule, ctl.canon));
+      run.warm = true;
+    }
+  }
+  run.solution = sched::solve_schedule(problem, opts);
+  return run;
+}
+
+bool SchedulerService::publish_result(const sched::CanonicalScenario& canon,
+                                      const sched::Schedule& request_order_schedule,
+                                      double objective, bool proven_optimal) {
+  const sched::Schedule canonical = sched::to_canonical(request_order_schedule, canon);
+  const bool changed =
+      cache_->publish(canon.fingerprint, canon.shape_key, canonical, objective, proven_optimal);
+  std::shared_ptr<runtime::ScheduleHandle> handle;
+  {
+    LockGuard lock(state_->mu);
+    const auto it = state_->handles.find({canon.fingerprint.hi, canon.fingerprint.lo});
+    if (it != state_->handles.end()) handle = it->second;
+  }
+  if (handle != nullptr) handle->publish(canonical, objective);  // improvement-filtered
+  return changed;
+}
+
+void SchedulerService::finish(const std::shared_ptr<detail::RequestControl>& ctl,
+                              ServeReply reply) {
+  reply.fingerprint = ctl->canon.fingerprint;
+  const bool served =
+      reply.outcome == ServeOutcome::kHit || reply.outcome == ServeOutcome::kSolved;
+  {
+    LockGuard lock(ctl->mu);
+    if (ctl->claimed) return;  // first completion wins (e.g. shutdown races)
+    ctl->claimed = true;
+  }
+  // Record the outcome before signalling the ticket: a caller woken by
+  // reply() must find this request already counted in stats().
+  {
+    const int cls = class_index(ctl->request.priority);
+    LockGuard lock(state_->mu);
+    record_outcome(state_->counters[cls], reply);
+    record_outcome(state_->total, reply);
+    if (served) {
+      state_->latency[cls].add(reply.latency_ms);
+      state_->latency_total.add(reply.latency_ms);
+    }
+    state_->last_event_ms = std::max(state_->last_event_ms, ctl->submit_ms + reply.latency_ms);
+  }
+  LockGuard lock(ctl->mu);
+  ctl->reply = reply;
+  ctl->done = true;
+  ctl->cv.notify_all();
+}
+
+bool SchedulerService::publish_external(const sched::Problem& problem,
+                                        const sched::Schedule& schedule) {
+  problem.validate();
+  const sched::CanonicalScenario canon = sched::canonicalize(problem);
+  const sched::Prediction pred = sched::Formulation(problem).predict(schedule);
+  if (!pred.feasible) return false;
+  return publish_result(canon, schedule, pred.objective_value, /*proven_optimal=*/false);
+}
+
+runtime::ScheduleProvider SchedulerService::make_provider(const sched::Problem& problem) {
+  problem.validate();
+  sched::CanonicalScenario canon = sched::canonicalize(problem);
+  std::shared_ptr<runtime::ScheduleHandle> handle;
+  {
+    LockGuard lock(state_->mu);
+    auto& slot = state_->handles[{canon.fingerprint.hi, canon.fingerprint.lo}];
+    if (slot == nullptr) slot = std::make_shared<runtime::ScheduleHandle>();
+    handle = slot;
+  }
+  if (!handle->has_schedule()) {
+    // Seed so the provider always has a valid schedule: the cache if the
+    // scenario was ever solved, else the naive-concurrent baseline (the
+    // paper's fallback). publish() keeps the better one if two providers
+    // race to seed.
+    if (const auto cached = cache_->peek(canon.fingerprint)) {
+      handle->publish(cached->schedule, cached->objective);
+    } else {
+      const sched::Schedule naive = baselines::naive_concurrent(problem);
+      const sched::Prediction pred = sched::Formulation(problem).predict(naive);
+      const double objective =
+          pred.feasible ? pred.objective_value : std::numeric_limits<double>::infinity();
+      handle->publish(sched::to_canonical(naive, canon), objective);
+    }
+  }
+  return [handle = std::shared_ptr<const runtime::ScheduleHandle>(handle),
+          canon = std::move(canon)]() {
+    return sched::from_canonical(handle->snapshot(), canon);
+  };
+}
+
+ServiceStats SchedulerService::stats() const {
+  ServiceStats out;
+  LockGuard lock(state_->mu);
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    out.by_class[c] = state_->counters[c];
+    state_->latency[c].snapshot_into(out.by_class[c]);
+  }
+  out.total = state_->total;
+  state_->latency_total.snapshot_into(out.total);
+  out.solves_started = state_->solves_started;
+  for (const auto& q : state_->queues) out.queue_depth += q.size();
+  out.peak_queue_depth = state_->peak_queue_depth;
+  if (options_.virtual_time) {
+    out.elapsed_ms = state_->last_event_ms;
+  } else {
+    out.elapsed_ms = state_->saw_submit ? wall_now_ms() - state_->first_submit_ms : 0.0;
+  }
+  const std::uint64_t served = out.total.cache_hits + out.total.solved;
+  out.throughput_rps =
+      out.elapsed_ms > 0.0 ? static_cast<double>(served) / (out.elapsed_ms / 1000.0) : 0.0;
+  out.cache = cache_->stats();
+  return out;
+}
+
+json::Value ServiceStats::to_json() const {
+  json::Object classes;
+  for (int c = 0; c < kPriorityClassCount; ++c) {
+    classes[to_string(static_cast<Priority>(c))] = class_to_json(by_class[c]);
+  }
+  json::Object cache_o;
+  cache_o["hits"] = static_cast<std::int64_t>(cache.hits);
+  cache_o["misses"] = static_cast<std::int64_t>(cache.misses);
+  cache_o["insertions"] = static_cast<std::int64_t>(cache.insertions);
+  cache_o["improvements"] = static_cast<std::int64_t>(cache.improvements);
+  cache_o["rejected"] = static_cast<std::int64_t>(cache.rejected);
+  cache_o["evictions"] = static_cast<std::int64_t>(cache.evictions);
+  cache_o["warm_hits"] = static_cast<std::int64_t>(cache.warm_hits);
+  cache_o["hit_rate"] = cache.hit_rate();
+
+  json::Object o;
+  o["classes"] = std::move(classes);
+  o["total"] = class_to_json(total);
+  o["solves_started"] = static_cast<std::int64_t>(solves_started);
+  o["queue_depth"] = static_cast<std::int64_t>(queue_depth);
+  o["peak_queue_depth"] = static_cast<std::int64_t>(peak_queue_depth);
+  o["elapsed_ms"] = elapsed_ms;
+  o["throughput_rps"] = throughput_rps;
+  o["cache"] = std::move(cache_o);
+  return json::Value(std::move(o));
+}
+
+void SchedulerService::shutdown() {
+  std::vector<std::thread> workers;
+  std::vector<std::shared_ptr<detail::RequestControl>> drained;
+  {
+    LockGuard lock(state_->mu);
+    if (state_->shut_down) return;
+    state_->shut_down = true;
+    state_->stopping = true;
+    for (auto& q : state_->queues) {
+      for (auto& ctl : q) drained.push_back(std::move(ctl));
+      q.clear();
+    }
+    workers.swap(state_->workers);
+    state_->work_cv.notify_all();
+  }
+  state_->shutdown_stop.request_stop();  // stops in-flight solves at next poll
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  for (const auto& ctl : drained) {
+    ServeReply reply;
+    reply.outcome = ServeOutcome::kCancelled;
+    reply.latency_ms = wall_now_ms() - ctl->submit_ms;
+    finish(ctl, std::move(reply));
+  }
+}
+
+}  // namespace hax::serve

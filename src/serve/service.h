@@ -1,0 +1,290 @@
+#pragma once
+
+/// \file service.h
+/// Scheduling-as-a-service: a thread-safe broker that accepts scenario
+/// requests (DNN set + platform + objective + deadline + priority),
+/// answers recurring scenarios from the ScheduleCache, and dispatches
+/// misses to a pool of solver workers running the existing solver stack
+/// (solve_schedule → PortfolioSolver/B&B) under the request's deadline.
+/// This is the layer that turns the repo from a library invoked once per
+/// scenario (the paper's usage) into a service absorbing many concurrent
+/// near-duplicate requests:
+///
+///   submit ─ canonicalize ─► cache hit? ──yes──► reply (~µs)
+///                │ no
+///                ▼
+///          bounded priority queue  ── full? ──► reject (backpressure)
+///                │ pop (High ≻ Normal ≻ Low, FIFO within class)
+///                ▼
+///          cancelled / deadline-expired while queued? ──► reply, no solve
+///                │ no
+///                ▼
+///          solver worker: warm-start seeds (cache neighbour + naive
+///          baselines) → solve under min(deadline, budget) via StopToken
+///                │
+///                ▼
+///          publish improvement → cache + live ScheduleHandles → reply
+///
+/// Warm starts: a miss whose shape (PU set, objective, per-DNN group
+/// counts) matches a cached neighbour seeds both solver engines from the
+/// neighbour's schedule — B&B starts with an incumbent to prune against,
+/// the GA plants it in generation 0 — amortizing search across recurring
+/// workloads. Cancellation is end-to-end: a request cancelled (or
+/// deadline-expired) while queued never reaches a worker, and an
+/// in-flight solve stops within one StopToken poll.
+///
+/// Live upgrades reuse the D-HaX-CoNN publish-then-poll path:
+/// make_provider() returns a frame-boundary ScheduleProvider backed by a
+/// per-scenario ScheduleHandle; when a later (re-)solve improves the
+/// scenario's schedule, every executor polling that handle swaps at its
+/// next frame boundary.
+///
+/// Determinism: with workers == 0 the service processes requests inline,
+/// and with virtual_time it meters latency on a deterministic virtual
+/// clock (single-server queue, solve cost = solver work / a configured
+/// rate) — a fixed arrival trace plus solver seed then reproduces
+/// bit-identical ServiceStats, which bench_serve asserts.
+
+#include <memory>
+#include <vector>
+
+#include "common/json.h"
+#include "runtime/executor.h"
+#include "sched/fingerprint.h"
+#include "sched/problem.h"
+#include "sched/schedule.h"
+#include "sched/solve.h"
+#include "serve/schedule_cache.h"
+#include "solver/genetic.h"
+
+namespace hax::serve {
+
+/// Admission classes, highest first. Workers always drain High before
+/// Normal before Low; within a class, FIFO.
+enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr int kPriorityClassCount = 3;
+
+[[nodiscard]] const char* to_string(Priority priority) noexcept;
+
+/// Per-request solver overrides (0 = service default).
+struct SolveLimits {
+  TimeMs budget_ms = 0.0;
+  std::uint64_t node_limit = 0;
+};
+
+struct ScenarioRequest {
+  /// Must outlive the request's completion (the reply references nothing
+  /// from it, but the solve reads it from a worker thread).
+  const sched::Problem* problem = nullptr;
+
+  Priority priority = Priority::kNormal;
+
+  /// Total latency budget measured from submission; 0 = none. A request
+  /// still queued at its deadline expires without ever reaching a solver;
+  /// an in-flight solve gets only the remaining slice as its time budget.
+  TimeMs deadline_ms = 0.0;
+
+  /// Skip the cache-hit fast path and re-solve (background refresh). The
+  /// result still publishes through the improvement filter, so a refresh
+  /// can only upgrade what executors see.
+  bool refresh = false;
+
+  SolveLimits limits;
+};
+
+enum class ServeOutcome {
+  kPending,     ///< not finished yet (never appears in a final reply)
+  kHit,         ///< answered from the schedule cache
+  kSolved,      ///< fresh solve completed
+  kInfeasible,  ///< solver found no feasible schedule within its budget
+  kRejected,    ///< admission queue full (backpressure)
+  kCancelled,   ///< cancelled before completion
+  kExpired,     ///< deadline passed while still queued
+};
+
+[[nodiscard]] const char* to_string(ServeOutcome outcome) noexcept;
+
+struct ServeReply {
+  ServeOutcome outcome = ServeOutcome::kPending;
+  /// Request DNN order (cache entries are canonical; the service permutes
+  /// back). Empty unless outcome is kHit or kSolved.
+  sched::Schedule schedule;
+  double objective = 0.0;
+  bool proven_optimal = false;
+  bool warm_started = false;    ///< a cached neighbour seeded this solve
+  bool deadline_limited = false;  ///< solve cut by deadline/budget before proof
+  bool published = false;       ///< this result installed/improved the cache entry
+  TimeMs latency_ms = 0.0;      ///< submit → completion (virtual in virtual_time mode)
+  sched::ScenarioFingerprint fingerprint;
+};
+
+namespace detail {
+struct RequestControl;
+}
+
+/// Future-like handle to a submitted request. Cheap to copy; all copies
+/// share one completion state.
+class ScheduleTicket {
+ public:
+  ScheduleTicket() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return ctl_ != nullptr; }
+  [[nodiscard]] bool done() const;
+
+  /// Blocks until completion; `timeout_ms` 0 waits forever. Returns done().
+  bool wait(TimeMs timeout_ms = 0.0) const;
+
+  /// Blocks until completion, then returns the reply by value.
+  [[nodiscard]] ServeReply reply() const;
+
+  /// Cooperative cancel: a queued request completes as kCancelled without
+  /// reaching a solver; an in-flight solve is stopped through its
+  /// StopToken and completes as kCancelled. Completed requests ignore it.
+  void cancel() const;
+
+ private:
+  friend class SchedulerService;
+  explicit ScheduleTicket(std::shared_ptr<detail::RequestControl> ctl) : ctl_(std::move(ctl)) {}
+  std::shared_ptr<detail::RequestControl> ctl_;
+};
+
+struct ServiceOptions {
+  /// Solver worker threads. 0 = inline mode: submit() processes the
+  /// request synchronously on the calling thread (no queue, no
+  /// backpressure) — the deterministic configuration bench_serve replays.
+  int workers = 2;
+
+  /// Admission bound per priority class; a submit finding its class full
+  /// is rejected immediately (backpressure to the caller).
+  std::size_t queue_capacity = 64;
+
+  ScheduleCacheOptions cache;
+
+  /// Default per-solve wall budget when the request carries no deadline
+  /// (0 = unbounded — fine for node_limit-bounded configurations).
+  TimeMs default_budget_ms = 50.0;
+  /// Default node cap (0 = unbounded). The deterministic mode bounds
+  /// solves with nodes, not wall time.
+  std::uint64_t default_node_limit = 0;
+
+  int solver_threads = 1;
+  /// Emulated solver speed (0 = unthrottled), passed through to the
+  /// solver; tests and benches use it to make solve durations predictable.
+  double max_nodes_per_ms = 0.0;
+  bool portfolio = false;
+  /// GA half when `portfolio` (stop/bound/seeds managed per solve).
+  solver::GeneticOptions genetic;
+
+  /// Seed every solve with the naive baselines (the paper's never-worse-
+  /// than-naive guarantee, now per request).
+  bool seed_baselines = true;
+  /// Seed solves from the cache: the scenario's own stale entry on a
+  /// refresh, or a same-shape neighbour on a cold miss.
+  bool warm_start = true;
+
+  /// Deterministic virtual clock (requires workers == 0): latency is
+  /// metered on a single-server queue where a solve costs
+  /// (nodes explored + leaves evaluated) / virtual_nodes_per_ms and a
+  /// cache hit costs virtual_hit_cost_ms. Wall time never enters the
+  /// stats, so a fixed trace replays bit-identically.
+  bool virtual_time = false;
+  double virtual_nodes_per_ms = 500.0;
+  TimeMs virtual_hit_cost_ms = 0.05;
+};
+
+/// Counter block of one priority class (and of the aggregate).
+struct ClassStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< reached a final outcome, any kind
+  std::uint64_t cache_hits = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t deadline_limited = 0;
+  std::uint64_t warm_started = 0;
+
+  /// Streaming latency quantiles over served requests (hits + solves),
+  /// from the P² estimators; 0 when no samples.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t latency_samples = 0;
+};
+
+struct ServiceStats {
+  ClassStats by_class[kPriorityClassCount];
+  ClassStats total;
+  std::uint64_t solves_started = 0;  ///< requests that actually reached a solver
+  std::uint64_t queue_depth = 0;     ///< current, across classes
+  std::uint64_t peak_queue_depth = 0;
+  TimeMs elapsed_ms = 0.0;           ///< since first submit (virtual in virtual mode)
+  /// Served requests (hits + solves) per elapsed second — rejections and
+  /// cancellations complete but do not count as service.
+  double throughput_rps = 0.0;
+  ScheduleCacheStats cache;
+
+  /// Deterministic serialization (std::map-ordered keys, fixed layout) —
+  /// bench_serve's bit-identical-replay artifact.
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class SchedulerService {
+ public:
+  explicit SchedulerService(ServiceOptions options = {});
+  ~SchedulerService();  // shutdown(): cancels queued work, joins workers
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Admits a request (wall-clock arrival). Rejections and inline-mode
+  /// requests return an already-completed ticket.
+  [[nodiscard]] ScheduleTicket submit(const ScenarioRequest& request);
+
+  /// Virtual-time arrival (requires virtual_time; arrivals must be
+  /// non-decreasing). Processes inline on the deterministic clock.
+  [[nodiscard]] ScheduleTicket submit_at(const ScenarioRequest& request, TimeMs arrival_ms);
+
+  /// Pre-warms the cache (and any live handle) with an externally
+  /// produced schedule — a baseline, a schedule loaded from disk, or a
+  /// previous deployment's answer. Evaluated through the scenario's
+  /// Formulation; infeasible schedules are refused (returns false).
+  bool publish_external(const sched::Problem& problem, const sched::Schedule& schedule);
+
+  /// Frame-boundary ScheduleProvider for running this scenario under an
+  /// Executor with live upgrades. Seeded (in order of preference) from
+  /// the scenario's live handle, the cache, or the naive-concurrent
+  /// baseline, so the provider always has a valid schedule. Safe to call
+  /// before or after requests for the scenario.
+  [[nodiscard]] runtime::ScheduleProvider make_provider(const sched::Problem& problem);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ScheduleCache& cache() const noexcept { return *cache_; }
+
+  /// Stops workers and completes every queued request as kCancelled.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct State;
+  struct SolveRun {
+    sched::ScheduleSolution solution;
+    bool warm = false;  ///< a cache-derived seed joined the solve
+  };
+
+  void worker_loop();
+  void process(const std::shared_ptr<detail::RequestControl>& ctl);
+  [[nodiscard]] SolveRun run_solve(detail::RequestControl& ctl, TimeMs budget_ms);
+  bool publish_result(const sched::CanonicalScenario& canon,
+                      const sched::Schedule& request_order_schedule, double objective,
+                      bool proven_optimal);
+  void finish(const std::shared_ptr<detail::RequestControl>& ctl, ServeReply reply);
+  [[nodiscard]] TimeMs wall_now_ms() const;
+
+  ServiceOptions options_;
+  std::unique_ptr<ScheduleCache> cache_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace hax::serve

@@ -123,9 +123,25 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
   std::vector<Individual> population(static_cast<std::size_t>(options.population));
   std::vector<char> valid(static_cast<std::size_t>(options.population), 0);
   parallel_for(pool, population.size(), [&](std::size_t slot) {
+    if (options.stop != nullptr && options.stop->stop_requested()) return;
     Rng rng(stream_seed(options.seed, 0, slot));
     std::vector<int> scratch;
     Individual& ind = population[slot];
+    // Warm-start slots: the seed's genes go through the same repair pass
+    // as random individuals, so seeds from a *similar* scenario (serving
+    // layer warm start) degrade gracefully — any gene the new space
+    // rejects is resampled, the rest of the schedule survives.
+    if (slot < options.seeds.size()) {
+      ind.genes = options.seeds[slot];
+      if (ind.genes.size() > static_cast<std::size_t>(n)) {
+        ind.genes.resize(static_cast<std::size_t>(n));
+      }
+      if (repair(space, n, ind.genes, rng, scratch)) {
+        evaluate(ind);
+        valid[slot] = 1;
+        return;
+      }
+    }
     for (int attempt = 0; attempt < kMaxRepairAttempts; ++attempt) {
       ind.genes.clear();
       if (repair(space, n, ind.genes, rng, scratch)) {
@@ -163,6 +179,15 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
     std::vector<Individual> children(child_count);
 
     parallel_for(pool, child_count, [&](std::size_t slot) {
+      Individual& child = children[slot];
+      // Per-individual stop poll: a cancelled solve abandons the rest of
+      // the generation within one individual's work. The clone below is
+      // never *accepted* as an improvement (fitness equals an existing
+      // individual), so cancellation cannot perturb the incumbent stream.
+      if (options.stop != nullptr && options.stop->stop_requested()) {
+        child = population.front();
+        return;
+      }
       Rng rng(stream_seed(options.seed, static_cast<std::uint64_t>(gen), slot));
       std::vector<int> scratch;
 
@@ -175,7 +200,6 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
         return *best;
       };
 
-      Individual& child = children[slot];
       for (int attempt = 0; attempt < kMaxRepairAttempts; ++attempt) {
         const Individual& a = tournament_pick();
         // Single-point crossover keeps contiguous PU runs mostly intact,

@@ -34,9 +34,20 @@ struct GeneticOptions {
   /// fixed seed regardless of thread count.
   int threads = 1;
 
-  /// Optional cooperative cancellation (portfolio race); checked at
-  /// generation granularity.
+  /// Optional cooperative cancellation (portfolio race / serving-layer
+  /// request cancel). Polled between generations AND before every
+  /// individual's construction+evaluation, so an in-flight solve halts
+  /// within one individual of the stop request (the serving layer's
+  /// cancellation latency bound), not one full generation.
   const StopToken* stop = nullptr;
+
+  /// Warm-start seeds: complete assignments injected into generation 0 in
+  /// place of random individuals (first min(seeds, population) slots).
+  /// Each seed is run through the repair pass, so structurally invalid
+  /// genes (e.g. a seed from a similar-but-different scenario via the
+  /// serving layer's schedule cache) are resampled instead of rejected.
+  /// Seeding preserves the fixed-seed determinism guarantee.
+  std::vector<std::vector<int>> seeds;
 
   /// Optional cross-solver bound: every GA incumbent tightens it (feeding
   /// B&B pruning in the portfolio). The GA itself does not prune, so it

@@ -63,6 +63,13 @@ PortfolioResult PortfolioSolver::solve(const SearchSpace& space,
   if (ga_options.time_budget_ms <= 0.0 && bnb_options.time_budget_ms > 0.0) {
     ga_options.time_budget_ms = bnb_options.time_budget_ms;
   }
+  // Warm starts flow to both engines: B&B evaluates the seeds as initial
+  // incumbents, the GA plants them in generation 0. Callers therefore set
+  // seeds once, on the exact half (mirrored only when the GA has none of
+  // its own).
+  if (ga_options.seeds.empty() && !bnb_options.seeds.empty()) {
+    ga_options.seeds = bnb_options.seeds;
+  }
 
   SolveResult ga_result;
   std::thread ga_thread([&] {

@@ -32,6 +32,9 @@ struct PortfolioOptions {
   SolveOptions bnb;
 
   /// Knobs for the heuristic half; same caveat on `stop`/`shared_bound`.
+  /// When `genetic.seeds` is empty, `bnb.seeds` is mirrored onto it so a
+  /// single warm-start list (serving-layer schedule cache, baseline
+  /// schedules) primes both engines.
   GeneticOptions genetic;
 
   /// Total worker threads across both engines (0 = one per hardware

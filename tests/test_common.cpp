@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 
 #include <cstdio>
 #include <fstream>
@@ -108,6 +109,80 @@ TEST(Stats, AccumulatorEmpty) {
   EXPECT_EQ(acc.count(), 0u);
   EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
   EXPECT_DOUBLE_EQ(acc.stdev(), 0.0);
+}
+
+// ------------------------------------------------------------ p2quantile --
+
+TEST(P2Quantile, EmptyIsNaN) {
+  const stats::P2Quantile q(0.5);
+  EXPECT_TRUE(std::isnan(q.value()));
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.quantile(), 0.5);
+}
+
+TEST(P2Quantile, ExactUnderFiveObservations) {
+  stats::P2Quantile q(0.5);
+  q.add(9.0);
+  EXPECT_DOUBLE_EQ(q.value(), 9.0);
+  q.add(1.0);
+  q.add(5.0);
+  // Median order statistic of {1, 5, 9}.
+  EXPECT_DOUBLE_EQ(q.value(), 5.0);
+}
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(stats::P2Quantile(0.0), PreconditionError);
+  EXPECT_THROW(stats::P2Quantile(1.0), PreconditionError);
+  EXPECT_THROW(stats::P2Quantile(-0.3), PreconditionError);
+}
+
+TEST(P2Quantile, TracksUniformStream) {
+  // Against the exact sort-based percentile on a uniform stream: the
+  // classic P² accuracy regime (relative error well under a few percent
+  // at this stream length).
+  Rng rng(42);
+  stats::P2Quantile p50(0.50), p95(0.95), p99(0.99);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(10.0, 110.0);
+    xs.push_back(x);
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), stats::percentile(xs, 50.0), 2.0);
+  EXPECT_NEAR(p95.value(), stats::percentile(xs, 95.0), 2.0);
+  EXPECT_NEAR(p99.value(), stats::percentile(xs, 99.0), 2.0);
+  EXPECT_LT(p50.value(), p95.value());
+  EXPECT_LT(p95.value(), p99.value());
+}
+
+TEST(P2Quantile, TracksBimodalStream) {
+  // Latency-like shape: a fast mode with a heavy slow tail. The p99 must
+  // land in the slow mode, the p50 in the fast one.
+  Rng rng(7);
+  stats::P2Quantile p50(0.50), p99(0.99);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x =
+        rng.uniform() < 0.95 ? rng.uniform(1.0, 2.0) : rng.uniform(50.0, 60.0);
+    xs.push_back(x);
+    p50.add(x);
+    p99.add(x);
+  }
+  EXPECT_NEAR(p50.value(), stats::percentile(xs, 50.0), 0.1);
+  EXPECT_NEAR(p99.value(), stats::percentile(xs, 99.0), 3.0);
+}
+
+TEST(P2Quantile, DeterministicReplay) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(20.0, 5.0));
+  stats::P2Quantile a(0.95), b(0.95);
+  for (double x : xs) a.add(x);
+  for (double x : xs) b.add(x);
+  EXPECT_EQ(a.value(), b.value());  // bit-identical, not just close
+  EXPECT_EQ(a.count(), b.count());
 }
 
 // ------------------------------------------------------------------ csv --

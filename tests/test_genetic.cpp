@@ -255,6 +255,81 @@ TEST(Genetic, StopTokenCancelsBeforeWork) {
   EXPECT_FALSE(r.stats.exhausted);
 }
 
+TEST(Genetic, SeedWarmStartsGenerationZero) {
+  // A seeded optimum must survive into the result even with zero
+  // generations of evolution: seeds are planted in generation 0.
+  const TableSpace space(10, 3, 7);
+  const SolveResult exact = BranchAndBound().solve(space);
+  ASSERT_TRUE(exact.best.has_value());
+
+  GeneticOptions options;
+  options.generations = 1;
+  options.population = 8;
+  options.seed = 5;
+  options.seeds = {exact.best->assignment};
+  const SolveResult ga = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(ga.best.has_value());
+  EXPECT_NEAR(ga.best->objective, exact.best->objective, 1e-12);
+}
+
+TEST(Genetic, SeedsAreRepairedNotRejected) {
+  // Structurally invalid seeds (wrong length, out-of-range genes — what a
+  // cross-scenario warm start can produce) are repaired into valid
+  // individuals instead of crashing or poisoning the population.
+  const TableSpace space(8, 3, 13);
+  GeneticOptions options;
+  options.generations = 5;
+  options.population = 8;
+  options.seeds = {
+      {99, -1, 99, -1, 99, -1, 99, -1},          // out-of-range genes
+      {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},   // too long
+      {2},                                       // too short
+  };
+  const SolveResult r = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_EQ(r.best->assignment.size(), 8u);
+  for (int g : r.best->assignment) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, 3);
+  }
+}
+
+TEST(Genetic, SeedingPreservesDeterminism) {
+  // Same seeds + same RNG seed → bit-identical outcome; and unseeded runs
+  // are unaffected by the feature existing.
+  const TableSpace space(8, 3, 17);
+  GeneticOptions options;
+  options.generations = 30;
+  options.seed = 21;
+  options.seeds = {{0, 1, 2, 0, 1, 2, 0, 1}};
+  const SolveResult a = GeneticSolver().solve(space, options);
+  const SolveResult b = GeneticSolver().solve(space, options);
+  ASSERT_TRUE(a.best && b.best);
+  EXPECT_EQ(a.best->assignment, b.best->assignment);
+  EXPECT_DOUBLE_EQ(a.best->objective, b.best->objective);
+}
+
+TEST(Genetic, SeedNeverWorsensResult) {
+  // Monotonicity of warm starts: adding a seed can only improve (or
+  // match) the unseeded result for the same options, because the seed
+  // competes in generation 0 and selection is elitist.
+  const TableSpace space(12, 4, 23);
+  GeneticOptions cold;
+  cold.generations = 10;
+  cold.seed = 31;
+  const SolveResult unseeded = GeneticSolver().solve(space, cold);
+  ASSERT_TRUE(unseeded.best.has_value());
+
+  const SolveResult exact = BranchAndBound().solve(space);
+  ASSERT_TRUE(exact.best.has_value());
+  GeneticOptions warm = cold;
+  warm.seeds = {exact.best->assignment};
+  const SolveResult seeded = GeneticSolver().solve(space, warm);
+  ASSERT_TRUE(seeded.best.has_value());
+  EXPECT_LE(seeded.best->objective, unseeded.best->objective + 1e-12);
+  EXPECT_NEAR(seeded.best->objective, exact.best->objective, 1e-12);
+}
+
 TEST(Genetic, CompetitiveOnRealScheduleSpace) {
   // On an actual scheduling instance the GA must respect all structural
   // constraints (via repair) and land within 10% of the proven optimum.

@@ -1,0 +1,564 @@
+/// Tests for the scheduling-as-a-service layer (src/serve): scenario
+/// fingerprinting, the sharded schedule cache, the SchedulerService
+/// broker (admission, priorities, backpressure, cancellation, deadlines,
+/// warm starts), the deterministic virtual-time replay mode, and the
+/// provider hot-swap path into a live Executor.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "common/error.h"
+#include "core/haxconn.h"
+#include "nn/zoo.h"
+#include "runtime/executor.h"
+#include "sched/fingerprint.h"
+#include "sched/formulation.h"
+#include "serve/schedule_cache.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::serve;
+
+class ServeFixture : public testing::Test {
+ protected:
+  ServeFixture()
+      : plat_(soc::Platform::xavier()),
+        hax_(plat_,
+             [] {
+               core::HaxConnOptions o;
+               o.grouping.max_groups = 5;
+               return o;
+             }()),
+        inst_a_(hax_.make_problem({{nn::zoo::alexnet()}, {nn::zoo::resnet18()}})),
+        inst_b_(hax_.make_problem({{nn::zoo::resnet18()}, {nn::zoo::alexnet()}})),
+        solo_(hax_.make_problem({{nn::zoo::alexnet()}})),
+        solo_iter_(hax_.make_problem({{nn::zoo::alexnet(), -1, 2}})) {
+    // Relax the ε queueing constraint: these tests publish serialized
+    // baselines (gpu_only) as cache seeds, which ε would reject. The
+    // predictor still penalizes queueing, so optima are unchanged in kind.
+    const double inf = std::numeric_limits<double>::infinity();
+    inst_a_.problem().epsilon_ms = inf;
+    inst_b_.problem().epsilon_ms = inf;
+    solo_.problem().epsilon_ms = inf;
+    solo_iter_.problem().epsilon_ms = inf;
+  }
+
+  [[nodiscard]] static ScenarioRequest request_for(const sched::Problem& problem,
+                                                   Priority priority = Priority::kNormal) {
+    ScenarioRequest r;
+    r.problem = &problem;
+    r.priority = priority;
+    return r;
+  }
+
+  /// Inline deterministic service: no workers, node-bounded solves.
+  [[nodiscard]] static ServiceOptions inline_options() {
+    ServiceOptions o;
+    o.workers = 0;
+    o.default_budget_ms = 0.0;  // run to proof; spaces here are small
+    return o;
+  }
+
+  /// One async worker with deterministically slow solves: ~node_limit /
+  /// max_nodes_per_ms milliseconds each, long enough for queue assertions.
+  [[nodiscard]] static ServiceOptions slow_async_options() {
+    ServiceOptions o;
+    o.workers = 1;
+    o.queue_capacity = 1;
+    o.default_budget_ms = 60000.0;
+    o.default_node_limit = 2000;
+    o.max_nodes_per_ms = 2.0;  // paces this fixture's ~100-node solves to ~50 ms
+    return o;
+  }
+
+  soc::Platform plat_;
+  core::HaxConn hax_;
+  sched::ProblemInstance inst_a_;  // {alexnet, resnet18}
+  sched::ProblemInstance inst_b_;  // same scenario, permuted DNN order
+  sched::ProblemInstance solo_;    // {alexnet}
+  sched::ProblemInstance solo_iter_;  // {alexnet ×2 iterations}: same shape, new scenario
+};
+
+// ------------------------------------------------------------ fingerprint --
+
+TEST_F(ServeFixture, FingerprintIsPermutationInvariant) {
+  const auto canon_a = sched::canonicalize(inst_a_.problem());
+  const auto canon_b = sched::canonicalize(inst_b_.problem());
+  EXPECT_EQ(canon_a.fingerprint, canon_b.fingerprint);
+  EXPECT_EQ(canon_a.shape_key, canon_b.shape_key);
+  // The permutations are inverses of each other through canonical space.
+  ASSERT_EQ(canon_a.dnn_count(), 2);
+  ASSERT_EQ(canon_b.dnn_count(), 2);
+  EXPECT_EQ(canon_a.fingerprint.to_string().size(), 32u);
+}
+
+TEST_F(ServeFixture, FingerprintDistinguishesScenarios) {
+  const auto canon_a = sched::canonicalize(inst_a_.problem());
+  const auto canon_solo = sched::canonicalize(solo_.problem());
+  EXPECT_NE(canon_a.fingerprint, canon_solo.fingerprint);
+
+  // Same networks, different iteration counts: a different scenario...
+  const auto canon_s1 = sched::canonicalize(solo_.problem());
+  const auto canon_s2 = sched::canonicalize(solo_iter_.problem());
+  EXPECT_NE(canon_s1.fingerprint, canon_s2.fingerprint);
+  // ...but the same warm-start shape (same PU set and group structure).
+  EXPECT_EQ(canon_s1.shape_key, canon_s2.shape_key);
+
+  // Solver constraints are part of the scenario identity.
+  sched::Problem tightened = solo_.problem();
+  tightened.max_transitions = 1;
+  const auto canon_t = sched::canonicalize(tightened);
+  EXPECT_NE(canon_t.fingerprint, canon_s1.fingerprint);
+  EXPECT_NE(canon_t.shape_key, canon_s1.shape_key);
+}
+
+TEST_F(ServeFixture, CanonicalRoundTripAndCrossPermutationServing) {
+  const auto canon_a = sched::canonicalize(inst_a_.problem());
+  const auto canon_b = sched::canonicalize(inst_b_.problem());
+  // gpu_only is transition-free and fully supported, so predict() accepts it
+  // under any max_transitions budget (naive_concurrent's GPU fallback can
+  // exceed the budget and be structurally rejected).
+  const sched::Schedule s_a = baselines::gpu_only(inst_a_.problem());
+
+  // Round trip through canonical space is the identity.
+  const sched::Schedule round =
+      sched::from_canonical(sched::to_canonical(s_a, canon_a), canon_a);
+  EXPECT_EQ(round, s_a);
+
+  // A schedule cached under A's ordering serves B's ordering with the
+  // same predicted objective.
+  const sched::Schedule s_b =
+      sched::from_canonical(sched::to_canonical(s_a, canon_a), canon_b);
+  const double obj_a =
+      sched::Formulation(inst_a_.problem()).predict(s_a).objective_value;
+  const double obj_b =
+      sched::Formulation(inst_b_.problem()).predict(s_b).objective_value;
+  EXPECT_NEAR(obj_a, obj_b, 1e-9);
+}
+
+// ------------------------------------------------------------------ cache --
+
+TEST(ScheduleCache, PublishImprovementFilterAndStats) {
+  ScheduleCache cache;
+  const sched::ScenarioFingerprint fp{1, 2};
+  sched::Schedule s;
+  s.assignment = {{0, 0}};
+
+  EXPECT_TRUE(cache.publish(fp, 77, s, 10.0, false));
+  EXPECT_FALSE(cache.publish(fp, 77, s, 12.0, false));  // worse: rejected
+  EXPECT_TRUE(cache.publish(fp, 77, s, 8.0, true));     // better: upgraded
+
+  const auto hit = cache.lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->objective, 8.0);
+  EXPECT_TRUE(hit->proven_optimal);
+  EXPECT_EQ(hit->version, 2u);
+
+  EXPECT_FALSE(cache.lookup({9, 9}).has_value());
+
+  const ScheduleCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.insertions, 1u);
+  EXPECT_EQ(st.improvements, 1u);
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScheduleCache, PeekDoesNotCountAndNearestExcludesSelf) {
+  ScheduleCache cache;
+  const sched::ScenarioFingerprint fp1{1, 1};
+  const sched::ScenarioFingerprint fp2{2, 2};
+  sched::Schedule s;
+  s.assignment = {{0}};
+  ASSERT_TRUE(cache.publish(fp1, 5, s, 3.0, false));
+
+  EXPECT_TRUE(cache.peek(fp1).has_value());
+  EXPECT_FALSE(cache.peek(fp2).has_value());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+
+  // The only same-shape entry is fp1 itself: no warm start for fp1.
+  EXPECT_FALSE(cache.nearest(5, fp1).has_value());
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+
+  // A second same-shape scenario becomes fp1's neighbour (and vice versa).
+  ASSERT_TRUE(cache.publish(fp2, 5, s, 4.0, false));
+  const auto warm = cache.nearest(5, fp1);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_DOUBLE_EQ(warm->objective, 4.0);
+  EXPECT_EQ(cache.stats().warm_hits, 1u);
+}
+
+TEST(ScheduleCache, BoundedShardsEvictDeterministically) {
+  ScheduleCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity_per_shard = 2;
+  ScheduleCache cache(opts);
+  sched::Schedule s;
+  s.assignment = {{0}};
+  ASSERT_TRUE(cache.publish({0, 1}, 1, s, 1.0, false));
+  ASSERT_TRUE(cache.publish({0, 2}, 1, s, 1.0, false));
+  ASSERT_TRUE(cache.publish({0, 3}, 1, s, 1.0, false));  // evicts smallest key
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.peek({0, 1}).has_value());
+  EXPECT_TRUE(cache.peek({0, 2}).has_value());
+  EXPECT_TRUE(cache.peek({0, 3}).has_value());
+}
+
+// ---------------------------------------------------------------- service --
+
+TEST_F(ServeFixture, SolveThenHitAcrossPermutation) {
+  SchedulerService svc(inline_options());
+
+  const ScheduleTicket first = svc.submit(request_for(inst_a_.problem()));
+  const ServeReply solved = first.reply();
+  ASSERT_EQ(solved.outcome, ServeOutcome::kSolved);
+  EXPECT_TRUE(solved.proven_optimal);
+  EXPECT_TRUE(solved.published);
+  EXPECT_FALSE(solved.deadline_limited);
+  EXPECT_GT(solved.objective, 0.0);
+
+  // The permuted problem is the same scenario: a cache hit, answered in
+  // B's DNN order with the same objective.
+  const ScheduleTicket second = svc.submit(request_for(inst_b_.problem()));
+  const ServeReply hit = second.reply();
+  ASSERT_EQ(hit.outcome, ServeOutcome::kHit);
+  EXPECT_EQ(hit.fingerprint, solved.fingerprint);
+  EXPECT_NEAR(hit.objective, solved.objective, 1e-12);
+  const double replayed =
+      sched::Formulation(inst_b_.problem()).predict(hit.schedule).objective_value;
+  EXPECT_NEAR(replayed, solved.objective, 1e-9);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.total.submitted, 2u);
+  EXPECT_EQ(st.total.solved, 1u);
+  EXPECT_EQ(st.total.cache_hits, 1u);
+  EXPECT_EQ(st.solves_started, 1u);
+  EXPECT_EQ(st.cache.hits, 1u);
+  EXPECT_EQ(st.cache.misses, 1u);
+  EXPECT_EQ(st.total.latency_samples, 2u);
+  EXPECT_GT(st.total.p50_ms, 0.0);
+}
+
+TEST_F(ServeFixture, RefreshResolvesAndWarmStartsFromOwnEntry) {
+  SchedulerService svc(inline_options());
+  ASSERT_EQ(svc.submit(request_for(solo_.problem())).reply().outcome, ServeOutcome::kSolved);
+
+  ScenarioRequest refresh = request_for(solo_.problem());
+  refresh.refresh = true;
+  const ServeReply reply = svc.submit(refresh).reply();
+  ASSERT_EQ(reply.outcome, ServeOutcome::kSolved);  // bypassed the hit path
+  EXPECT_TRUE(reply.warm_started);                  // seeded by its own stale entry
+  EXPECT_FALSE(reply.published);  // re-solve of a proven optimum cannot improve it
+  EXPECT_EQ(svc.stats().solves_started, 2u);
+}
+
+TEST_F(ServeFixture, WarmStartsFromSameShapeNeighbour) {
+  SchedulerService svc(inline_options());
+  const ServeReply cold = svc.submit(request_for(solo_.problem())).reply();
+  ASSERT_EQ(cold.outcome, ServeOutcome::kSolved);
+  EXPECT_FALSE(cold.warm_started);  // empty cache: nothing to seed from
+
+  // A different scenario of the same shape: a miss, but the neighbour's
+  // schedule seeds the solve.
+  const ServeReply warm = svc.submit(request_for(solo_iter_.problem())).reply();
+  ASSERT_EQ(warm.outcome, ServeOutcome::kSolved);
+  EXPECT_NE(warm.fingerprint, cold.fingerprint);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_GE(svc.stats().cache.warm_hits, 1u);
+  EXPECT_EQ(svc.stats().total.warm_started, 1u);
+}
+
+TEST_F(ServeFixture, BackpressureRejectsWhenQueueFull) {
+  SchedulerService svc(slow_async_options());  // 1 worker, capacity 1
+  std::vector<ScheduleTicket> tickets;
+  for (int i = 0; i < 4; ++i) tickets.push_back(svc.submit(request_for(inst_a_.problem())));
+  // At most one in flight and one queued while the blocker solves (~80 ms
+  // against sub-millisecond submits): at least two rejections.
+  int rejected = 0;
+  for (const auto& t : tickets) {
+    const ServeReply r = t.reply();
+    if (r.outcome == ServeOutcome::kRejected) {
+      ++rejected;
+      EXPECT_TRUE(r.schedule.assignment.empty());
+    } else {
+      EXPECT_TRUE(r.outcome == ServeOutcome::kSolved || r.outcome == ServeOutcome::kHit);
+    }
+  }
+  EXPECT_GE(rejected, 2);
+  EXPECT_EQ(svc.stats().total.rejected, static_cast<std::uint64_t>(rejected));
+}
+
+TEST_F(ServeFixture, QueuedCancelNeverReachesASolver) {
+  SchedulerService svc([] {
+    ServiceOptions o = slow_async_options();
+    o.queue_capacity = 4;
+    return o;
+  }());
+  const ScheduleTicket blocker = svc.submit(request_for(inst_a_.problem()));
+  ScenarioRequest queued_req = request_for(inst_a_.problem());
+  queued_req.refresh = true;  // would definitely solve if it reached a worker
+  const ScheduleTicket queued = svc.submit(queued_req);
+  queued.cancel();
+
+  EXPECT_EQ(queued.reply().outcome, ServeOutcome::kCancelled);
+  ASSERT_TRUE(blocker.wait(30000.0));
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.solves_started, 1u);  // only the blocker ever solved
+  EXPECT_EQ(st.total.cancelled, 1u);
+}
+
+TEST_F(ServeFixture, QueuedDeadlineExpiresWithoutSolving) {
+  SchedulerService svc([] {
+    ServiceOptions o = slow_async_options();
+    o.queue_capacity = 4;
+    return o;
+  }());
+  const ScheduleTicket blocker = svc.submit(request_for(inst_a_.problem()));
+  ScenarioRequest hurried = request_for(inst_a_.problem());
+  hurried.refresh = true;
+  hurried.deadline_ms = 5.0;  // far less than the blocker's ~80 ms solve
+  const ScheduleTicket late = svc.submit(hurried);
+
+  EXPECT_EQ(late.reply().outcome, ServeOutcome::kExpired);
+  ASSERT_TRUE(blocker.wait(30000.0));
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.solves_started, 1u);
+  EXPECT_EQ(st.total.expired, 1u);
+}
+
+TEST_F(ServeFixture, InFlightCancelStopsWithinAPoll) {
+  SchedulerService svc([] {
+    ServiceOptions o;
+    o.workers = 1;
+    o.default_budget_ms = 600000.0;  // would run for minutes...
+    o.default_node_limit = 0;
+    o.max_nodes_per_ms = 1.0;  // ...at 1 node/ms
+    return o;
+  }());
+  const ScheduleTicket t = svc.submit(request_for(inst_a_.problem()));
+  // Wait until the solve is actually in flight.
+  for (int i = 0; i < 1000 && svc.stats().solves_started == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(svc.stats().solves_started, 1u);
+  t.cancel();
+  // The B&B polls its StopToken per node: completion must be prompt, not
+  // after the multi-minute budget.
+  ASSERT_TRUE(t.wait(10000.0));
+  EXPECT_EQ(t.reply().outcome, ServeOutcome::kCancelled);
+}
+
+TEST_F(ServeFixture, ShutdownCancelsQueuedWork) {
+  SchedulerService svc([] {
+    ServiceOptions o = slow_async_options();
+    o.queue_capacity = 4;
+    return o;
+  }());
+  const ScheduleTicket blocker = svc.submit(request_for(inst_a_.problem()));
+  ScenarioRequest queued_req = request_for(inst_a_.problem());
+  queued_req.refresh = true;
+  const ScheduleTicket queued = svc.submit(queued_req);
+  svc.shutdown();
+  EXPECT_TRUE(blocker.done());
+  EXPECT_EQ(queued.reply().outcome, ServeOutcome::kCancelled);
+  // Submits after shutdown are refused, not lost.
+  EXPECT_EQ(svc.submit(request_for(inst_a_.problem())).reply().outcome,
+            ServeOutcome::kRejected);
+}
+
+TEST_F(ServeFixture, PriorityClassesDrainHighFirst) {
+  SchedulerService svc([] {
+    ServiceOptions o = slow_async_options();
+    o.queue_capacity = 4;
+    return o;
+  }());
+  // Blocker occupies the worker; then one low and one high request queue
+  // up. The worker must pick the high one first, which shows up as
+  // strictly smaller latency (both are refreshes of the same scenario).
+  const ScheduleTicket blocker = svc.submit(request_for(inst_a_.problem()));
+  ScenarioRequest low = request_for(inst_a_.problem(), Priority::kLow);
+  low.refresh = true;
+  ScenarioRequest high = request_for(inst_a_.problem(), Priority::kHigh);
+  high.refresh = true;
+  const ScheduleTicket t_low = svc.submit(low);  // submitted BEFORE high
+  const ScheduleTicket t_high = svc.submit(high);
+  const ServeReply r_low = t_low.reply();
+  const ServeReply r_high = t_high.reply();
+  ASSERT_EQ(r_low.outcome, ServeOutcome::kSolved);
+  ASSERT_EQ(r_high.outcome, ServeOutcome::kSolved);
+  EXPECT_LT(r_high.latency_ms, r_low.latency_ms);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.by_class[static_cast<int>(Priority::kHigh)].solved, 1u);
+  EXPECT_EQ(st.by_class[static_cast<int>(Priority::kLow)].solved, 1u);
+}
+
+// ----------------------------------------------------------- virtual time --
+
+TEST_F(ServeFixture, VirtualTimeReplayIsBitIdentical) {
+  const auto run_trace = [&](SchedulerService& svc) {
+    const sched::Problem* problems[] = {&solo_.problem(), &solo_iter_.problem(),
+                                        &solo_.problem(), &inst_a_.problem(),
+                                        &solo_.problem(), &inst_b_.problem()};
+    const Priority prios[] = {Priority::kNormal, Priority::kHigh,  Priority::kLow,
+                              Priority::kNormal, Priority::kNormal, Priority::kHigh};
+    TimeMs arrival = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      ScenarioRequest r;
+      r.problem = problems[i];
+      r.priority = prios[i];
+      const ServeReply reply = svc.submit_at(r, arrival).reply();
+      EXPECT_NE(reply.outcome, ServeOutcome::kPending);
+      arrival += 3.0;
+    }
+  };
+  const auto options = [] {
+    ServiceOptions o;
+    o.workers = 0;
+    o.virtual_time = true;
+    o.default_node_limit = 800;
+    o.virtual_nodes_per_ms = 200.0;
+    return o;
+  }();
+
+  SchedulerService first(options);
+  run_trace(first);
+  const ServiceStats st = first.stats();
+  EXPECT_GT(st.total.cache_hits, 0u);  // inst_b_ repeats inst_a_; solo_ repeats
+  EXPECT_GT(st.total.solved, 0u);
+  EXPECT_GT(st.elapsed_ms, 0.0);
+  EXPECT_GT(st.throughput_rps, 0.0);
+  EXPECT_GT(st.total.p50_ms, 0.0);
+
+  SchedulerService second(options);
+  run_trace(second);
+  // The whole stats document — counters, P² latency quantiles, virtual
+  // elapsed/throughput, cache counters — replays bit-identically.
+  EXPECT_EQ(st.to_json().dump(), second.stats().to_json().dump());
+}
+
+TEST_F(ServeFixture, VirtualTimeDeadlineExpiresInQueue) {
+  ServiceOptions o;
+  o.workers = 0;
+  o.virtual_time = true;
+  o.default_node_limit = 800;
+  o.virtual_nodes_per_ms = 1.0;  // first solve keeps the server busy many virtual ms
+  SchedulerService svc(o);
+
+  ASSERT_EQ(svc.submit_at(request_for(inst_a_.problem()), 0.0).reply().outcome,
+            ServeOutcome::kSolved);
+  ScenarioRequest hurried = request_for(solo_iter_.problem());
+  hurried.deadline_ms = 2.0;  // expires while the virtual server is still busy
+  const ServeReply late = svc.submit_at(hurried, 1.0).reply();
+  EXPECT_EQ(late.outcome, ServeOutcome::kExpired);
+  EXPECT_DOUBLE_EQ(late.latency_ms, 2.0);
+  EXPECT_EQ(svc.stats().solves_started, 1u);
+}
+
+// ------------------------------------------------- provider / integration --
+
+TEST_F(ServeFixture, PublishExternalPrewarmsTheCache) {
+  SchedulerService svc(inline_options());
+  const sched::Schedule seed = baselines::gpu_only(inst_a_.problem());
+  ASSERT_TRUE(svc.publish_external(inst_a_.problem(), seed));
+  EXPECT_FALSE(svc.publish_external(inst_a_.problem(), seed));  // no improvement
+
+  const ServeReply hit = svc.submit(request_for(inst_a_.problem())).reply();
+  ASSERT_EQ(hit.outcome, ServeOutcome::kHit);
+  EXPECT_EQ(hit.schedule, seed);
+  EXPECT_EQ(svc.stats().solves_started, 0u);
+}
+
+TEST_F(ServeFixture, ExecutorPicksUpImprovedScheduleAtFrameBoundary) {
+  // The integration loop: serve a (deliberately weak) cached schedule,
+  // run an Executor on the provider, re-solve in the background, and the
+  // executor adopts the published improvement at its next frame boundary.
+  SchedulerService svc(inline_options());
+  const sched::Problem& problem = inst_a_.problem();
+  const sched::Schedule weak = baselines::gpu_only(problem);
+  ASSERT_TRUE(svc.publish_external(problem, weak));
+
+  const runtime::ScheduleProvider provider = svc.make_provider(problem);
+  EXPECT_EQ(provider(), weak);
+
+  runtime::ExecutorOptions eo;
+  eo.time_scale = 0.2;  // compressed time (see test_runtime.cpp)
+  const runtime::Executor exec(plat_, eo);
+  // The provider runs on every per-DNN executor thread: the recording
+  // wrapper must synchronize its log.
+  std::mutex seen_mu;
+  std::vector<sched::Schedule> seen;
+  const runtime::ScheduleProvider recording = [&] {
+    sched::Schedule s = provider();
+    const std::lock_guard<std::mutex> lock(seen_mu);
+    seen.push_back(s);
+    return s;
+  };
+  (void)exec.run(problem, recording, 2);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front(), weak);
+
+  // Background re-solve: the optimum beats GPU-only (the paper's core
+  // claim), so the publish upgrades both cache and live handle.
+  ScenarioRequest refresh = request_for(problem);
+  refresh.refresh = true;
+  const ServeReply improved = svc.submit(refresh).reply();
+  ASSERT_EQ(improved.outcome, ServeOutcome::kSolved);
+  ASSERT_TRUE(improved.published);
+  const double weak_obj =
+      sched::Formulation(problem).predict(weak).objective_value;
+  EXPECT_LT(improved.objective, weak_obj);
+
+  seen.clear();
+  (void)exec.run(problem, recording, 2);
+  ASSERT_FALSE(seen.empty());
+  for (const sched::Schedule& s : seen) {
+    EXPECT_EQ(s, improved.schedule);  // every frame ran the upgraded schedule
+  }
+}
+
+TEST_F(ServeFixture, ProviderSeedsFromBaselineWhenCacheIsCold) {
+  SchedulerService svc(inline_options());
+  const runtime::ScheduleProvider provider = svc.make_provider(inst_a_.problem());
+  // Nothing solved or published yet: the provider still hands out a valid
+  // schedule (the naive-concurrent baseline).
+  EXPECT_EQ(provider(), baselines::naive_concurrent(inst_a_.problem()));
+}
+
+TEST_F(ServeFixture, ServiceOptionsValidated) {
+  ServiceOptions bad;
+  bad.virtual_time = true;
+  bad.workers = 2;
+  EXPECT_THROW(SchedulerService{bad}, PreconditionError);
+
+  ServiceOptions bad2;
+  bad2.queue_capacity = 0;
+  EXPECT_THROW(SchedulerService{bad2}, PreconditionError);
+
+  ServiceOptions inline_wall;
+  inline_wall.workers = 0;
+  SchedulerService wall(inline_wall);
+  EXPECT_THROW((void)wall.submit_at(request_for(solo_.problem()), 0.0), PreconditionError);
+
+  ServiceOptions vt;
+  vt.workers = 0;
+  vt.virtual_time = true;
+  SchedulerService virt(vt);
+  EXPECT_THROW((void)virt.submit(request_for(solo_.problem())), PreconditionError);
+  (void)virt.submit_at(request_for(solo_.problem()), 5.0);
+  // Arrivals must be non-decreasing on the virtual clock.
+  EXPECT_THROW((void)virt.submit_at(request_for(solo_.problem()), 4.0), PreconditionError);
+}
+
+}  // namespace

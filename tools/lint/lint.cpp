@@ -151,8 +151,8 @@ constexpr std::array<TokenRule, 4> kNondetTokens{{
 }};
 
 /// The deterministic-core directories for the nondet rule.
-constexpr std::array<const char*, 5> kDeterministicDirs{
-    "src/sim/", "src/solver/", "src/sched/", "src/contention/", "src/faults/"};
+constexpr std::array<const char*, 6> kDeterministicDirs{
+    "src/sim/", "src/solver/", "src/sched/", "src/contention/", "src/faults/", "src/serve/"};
 
 bool is_header(const std::string& rel_path) {
   return rel_path.size() >= 2 && rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
