@@ -70,12 +70,96 @@ void emit(const std::string& title, const TextTable& table,
   }
 }
 
+namespace {
+
+/// Trims trailing whitespace/newlines in place.
+void rtrim(std::string& s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' || s.back() == ' ')) s.pop_back();
+}
+
+/// First line of a file, or nullopt.
+std::optional<std::string> read_line(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  std::string line;
+  std::getline(in, line);
+  rtrim(line);
+  if (line.empty()) return std::nullopt;
+  return line;
+}
+
+/// Commit SHA of the repository containing the working directory, by
+/// walking up to the nearest .git and resolving HEAD by hand (no git
+/// subprocess: benches must run in minimal containers). "unknown" when
+/// the tree is not a checkout or HEAD cannot be resolved.
+std::string git_sha() {
+  std::error_code ec;
+  for (std::filesystem::path dir = std::filesystem::current_path(ec); !dir.empty();
+       dir = dir.parent_path()) {
+    const std::filesystem::path git = dir / ".git";
+    if (!std::filesystem::exists(git, ec)) {
+      if (dir == dir.parent_path()) break;
+      continue;
+    }
+    const std::optional<std::string> head = read_line(git / "HEAD");
+    if (!head.has_value()) break;
+    if (head->rfind("ref: ", 0) != 0) return *head;  // detached HEAD
+    const std::optional<std::string> sha = read_line(git / head->substr(5));
+    if (sha.has_value()) return *sha;
+    // Packed ref: scan .git/packed-refs for "<sha> <ref>".
+    const std::string ref = head->substr(5);
+    std::ifstream packed(git / "packed-refs");
+    std::string line;
+    while (std::getline(packed, line)) {
+      rtrim(line);
+      if (line.size() > ref.size() + 1 && line.compare(line.size() - ref.size(), ref.size(), ref) == 0 &&
+          line[line.size() - ref.size() - 1] == ' ') {
+        return line.substr(0, line.find(' '));
+      }
+    }
+    break;
+  }
+  return "unknown";
+}
+
+/// Build/compiler/source provenance stamped into every BENCH_*.json so
+/// perf numbers stay attributable across PRs (same scenario, different
+/// flags or commit → different trajectory).
+json::Value provenance_json() {
+  json::Object p;
+#if defined(__clang__)
+  p["compiler"] = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  p["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+  p["compiler"] = "unknown";
+#endif
+#ifdef HAX_BENCH_CXX_FLAGS
+  p["cxx_flags"] = std::string(HAX_BENCH_CXX_FLAGS);
+#else
+  p["cxx_flags"] = "unknown";
+#endif
+#ifdef HAX_BENCH_BUILD_TYPE
+  p["build_type"] = std::string(HAX_BENCH_BUILD_TYPE);
+#else
+  p["build_type"] = "unknown";
+#endif
+  p["git_sha"] = git_sha();
+  return p;
+}
+
+}  // namespace
+
 void write_json(const std::string& name, const json::Value& doc) {
   std::filesystem::create_directories("results");
   const std::string path = "results/" + name + ".json";
   std::ofstream out(path);
   HAX_REQUIRE(out.good(), "cannot open " + path + " for writing");
-  out << doc.dump(2) << '\n';
+  // Stamp provenance into object-shaped documents (every bench emits an
+  // object; the copy is cheap next to the benchmark itself).
+  json::Value stamped = doc;
+  if (stamped.is_object()) stamped.as_object()["provenance"] = provenance_json();
+  out << stamped.dump(2) << '\n';
   std::printf("(json written to %s)\n\n", path.c_str());
 }
 

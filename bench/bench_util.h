@@ -62,6 +62,9 @@ void emit(const std::string& title, const TextTable& table,
 /// relative to the working directory (the directory is created if
 /// missing), pretty-printed for diff-ability. Run benches from the repo
 /// root so the artifacts land next to the committed CSVs.
+/// Object-shaped documents get a "provenance" member stamped in —
+/// compiler version, CXX flags, build type and git SHA — so the perf
+/// trajectory across PRs stays attributable to a specific build.
 void write_json(const std::string& name, const json::Value& doc);
 
 /// Converts header-first string rows (the same shape `emit` takes for CSV)

@@ -26,4 +26,7 @@ cmake --build "$BUILD_DIR" --target check_all_analysis
 echo "== serving layer under TSan: check_serve =="
 cmake --build "$BUILD_DIR" --target check_serve
 
+echo "== batch evaluator under ASan/UBSan: check_batch =="
+cmake --build "$BUILD_DIR" --target check_batch
+
 echo "ci.sh: all gates passed"

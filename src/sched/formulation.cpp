@@ -37,6 +37,39 @@ std::uint64_t next_eval_epoch() {
 }  // namespace
 
 // ===========================================================================
+// SoA sweep-state lanes
+// ===========================================================================
+
+void SweepSoa::resize(std::size_t n) {
+  items_begin.resize(n);
+  items_end.resize(n);
+  phase.resize(n);
+  iter_started.resize(n);
+  iter.resize(n);
+  iters_done.resize(n);
+  idx.resize(n);
+  remaining.resize(n);
+  iter_start.resize(n);
+  wait_since.resize(n);
+  span_total.resize(n);
+}
+
+void SweepSoa::reset(std::size_t base, std::size_t count) {
+  const auto end = static_cast<std::ptrdiff_t>(base + count);
+  const auto b = static_cast<std::ptrdiff_t>(base);
+  std::fill(phase.begin() + b, phase.begin() + end,
+            static_cast<std::uint8_t>(Phase::Blocked));
+  std::fill(iter_started.begin() + b, iter_started.begin() + end, std::uint8_t{0});
+  std::fill(iter.begin() + b, iter.begin() + end, 0);
+  std::fill(iters_done.begin() + b, iters_done.begin() + end, 0);
+  std::fill(idx.begin() + b, idx.begin() + end, 0u);
+  std::fill(remaining.begin() + b, remaining.begin() + end, 0.0);
+  std::fill(iter_start.begin() + b, iter_start.begin() + end, 0.0);
+  std::fill(wait_since.begin() + b, wait_since.begin() + end, 0.0);
+  std::fill(span_total.begin() + b, span_total.begin() + end, 0.0);
+}
+
+// ===========================================================================
 // Construction: precomputed item tables
 // ===========================================================================
 
@@ -49,6 +82,7 @@ Formulation::Formulation(const Problem& problem)
 Formulation::Formulation(const Formulation& other)
     : problem_(other.problem_),
       pu_count_(other.pu_count_),
+      flat_vars_(other.flat_vars_),
       pu_allowed_(other.pu_allowed_),
       eval_epoch_(next_eval_epoch()),
       items_(other.items_),
@@ -58,6 +92,7 @@ Formulation& Formulation::operator=(const Formulation& other) {
   if (this != &other) {
     problem_ = other.problem_;
     pu_count_ = other.pu_count_;
+    flat_vars_ = other.flat_vars_;
     pu_allowed_ = other.pu_allowed_;
     eval_epoch_ = next_eval_epoch();
     items_ = other.items_;
@@ -74,10 +109,12 @@ void Formulation::build_tables() {
   pu_allowed_.assign(static_cast<std::size_t>(pu_count_), 0);
   for (const soc::PuId pu : prob.pus) pu_allowed_[static_cast<std::size_t>(pu)] = 1;
   segments_.resize(prob.dnns.size());
+  flat_vars_ = 0;
 
   for (std::size_t d = 0; d < prob.dnns.size(); ++d) {
     const DnnSpec& spec = prob.dnns[d];
     const int groups = spec.net->group_count();
+    flat_vars_ += groups;
     auto& segs = segments_[d];
     segs.resize(static_cast<std::size_t>(groups) * static_cast<std::size_t>(pu_count_));
 
@@ -105,10 +142,11 @@ void Formulation::build_tables() {
 }
 
 // ===========================================================================
-// Item assembly into the workspace
+// Item assembly into a sweep lane
 // ===========================================================================
 
-bool Formulation::assemble_dnn(int d, std::span<const soc::PuId> assignment, EvalWorkspace& ws,
+bool Formulation::assemble_dnn(int d, std::span<const soc::PuId> assignment,
+                               std::vector<EvalItem>& items, SweepSoa& soa, std::size_t base,
                                const PredictOptions& options) const {
   const Problem& prob = *problem_;
   const DnnSpec& spec = prob.dnns[static_cast<std::size_t>(d)];
@@ -116,11 +154,8 @@ bool Formulation::assemble_dnn(int d, std::span<const soc::PuId> assignment, Eva
   HAX_REQUIRE(static_cast<int>(assignment.size()) == groups, "schedule group count mismatch");
   const auto& segs = segments_[static_cast<std::size_t>(d)];
 
-  EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
-  st = EvalWorkspace::DnnState{};
-  st.items_begin = static_cast<std::uint32_t>(ws.items.size());
-  st.iterations = spec.iterations;
-  st.depends_on = spec.depends_on;
+  const std::size_t lane = base + static_cast<std::size_t>(d);
+  const std::uint32_t begin = static_cast<std::uint32_t>(items.size());
 
   int transitions = 0;
   soc::PuId prev = soc::kInvalidPu;
@@ -136,31 +171,22 @@ bool Formulation::assemble_dnn(int d, std::span<const soc::PuId> assignment, Eva
       }
       const Segment& prev_seg = segs[static_cast<std::size_t>((g - 1) * pu_count_ + prev)];
       if (prev_seg.tau_out > 0.0) {
-        ws.items.push_back({prev, prev_seg.tau_out, prev_seg.stream_gbps});
+        items.push_back({prev, prev_seg.tau_out, prev_seg.stream_gbps});
       }
-      if (seg.tau_in > 0.0) ws.items.push_back({pu, seg.tau_in, seg.stream_gbps});
+      if (seg.tau_in > 0.0) items.push_back({pu, seg.tau_in, seg.stream_gbps});
     }
-    ws.items.insert(ws.items.end(), items_.begin() + seg.begin,
-                    items_.begin() + seg.begin + seg.count);
+    items.insert(items.end(), items_.begin() + seg.begin, items_.begin() + seg.begin + seg.count);
     prev = pu;
   }
-  st.items_end = static_cast<std::uint32_t>(ws.items.size());
-  return st.items_end > st.items_begin;
+  soa.items_begin[lane] = begin;
+  soa.items_end[lane] = static_cast<std::uint32_t>(items.size());
+  soa.reset(lane, 1);
+  return soa.items_end[lane] > begin;
 }
 
 // ===========================================================================
 // The timeline sweep (allocation-free)
 // ===========================================================================
-
-struct Formulation::SweepResult {
-  bool feasible = false;
-  bool capped = false;
-  TimeMs makespan = 0.0;
-  TimeMs round_ms = 0.0;
-  double fps = 0.0;
-  TimeMs total_queue = 0.0;
-  double objective = kInf;
-};
 
 void Formulation::note_sweep_cap() const {
   sweep_caps_.fetch_add(1, std::memory_order_relaxed);
@@ -171,21 +197,26 @@ void Formulation::note_sweep_cap() const {
   }
 }
 
-Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
+Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws, std::span<const EvalItem> items,
+                                            SweepSoa& soa, std::size_t base,
                                             const PredictOptions& options) const {
   const Problem& prob = *problem_;
   SweepResult res;
-  const std::size_t dnn_count = ws.states.size();
+  const std::size_t dnn_count = prob.dnns.size();
   const std::uint32_t dnn_count32 = static_cast<std::uint32_t>(dnn_count);
 
-  // Ascending list of PUs this assembly references: only these can ever
-  // run an item, so the per-event scans iterate them instead of every
+  // Ascending list of PUs this lane's assembly references: only these can
+  // ever run an item, so the per-event scans iterate them instead of every
   // platform PU. Skipped PUs are idle throughout, so the accumulations
   // below see the identical operand sequence.
   ws.active_pus.clear();
-  for (const EvalItem& it : ws.items) {
-    const auto pos = std::lower_bound(ws.active_pus.begin(), ws.active_pus.end(), it.pu);
-    if (pos == ws.active_pus.end() || *pos != it.pu) ws.active_pus.insert(pos, it.pu);
+  for (std::size_t d = 0; d < dnn_count; ++d) {
+    const std::uint32_t end = soa.items_end[base + d];
+    for (std::uint32_t i = soa.items_begin[base + d]; i < end; ++i) {
+      const soc::PuId pu = items[i].pu;
+      const auto pos = std::lower_bound(ws.active_pus.begin(), ws.active_pus.end(), pu);
+      if (pos == ws.active_pus.end() || *pos != pu) ws.active_pus.insert(pos, pu);
+    }
   }
   const std::span<const soc::PuId> pus = ws.active_pus;
 
@@ -268,18 +299,20 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
 
   const auto try_unblock = [&] {
     for (std::size_t d = 0; d < dnn_count; ++d) {
-      EvalWorkspace::DnnState& st = ws.states[d];
-      if (static_cast<Phase>(st.phase) != Phase::Blocked) continue;
-      if (st.depends_on >= 0) {
-        const EvalWorkspace::DnnState& dep = ws.states[static_cast<std::size_t>(st.depends_on)];
-        if (dep.iters_done < std::min(st.iter + 1, dep.iterations)) continue;
+      const std::size_t lane = base + d;
+      if (static_cast<Phase>(soa.phase[lane]) != Phase::Blocked) continue;
+      const int dep = prob.dnns[d].depends_on;
+      if (dep >= 0) {
+        const std::size_t dep_lane = base + static_cast<std::size_t>(dep);
+        const int dep_iters = prob.dnns[static_cast<std::size_t>(dep)].iterations;
+        if (soa.iters_done[dep_lane] < std::min(soa.iter[lane] + 1, dep_iters)) continue;
       }
-      st.phase = static_cast<std::uint8_t>(Phase::Waiting);
-      st.idx = st.items_begin;
-      st.remaining = ws.items[st.idx].duration;
-      st.wait_since = now;
+      soa.phase[lane] = static_cast<std::uint8_t>(Phase::Waiting);
+      soa.idx[lane] = soa.items_begin[lane];
+      soa.remaining[lane] = items[soa.idx[lane]].duration;
+      soa.wait_since[lane] = now;
       --blocked;
-      queue_push(static_cast<std::size_t>(ws.items[st.idx].pu), static_cast<int>(d));
+      queue_push(static_cast<std::size_t>(items[soa.idx[lane]].pu), static_cast<int>(d));
     }
   };
 
@@ -288,14 +321,14 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
       const std::size_t pu = static_cast<std::size_t>(pu_id);
       if (ws.running[pu] >= 0 || ws.queue_len[pu] == 0) continue;
       const int d = queue_pop(pu);
-      EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
-      st.phase = static_cast<std::uint8_t>(Phase::Running);
+      const std::size_t lane = base + static_cast<std::size_t>(d);
+      soa.phase[lane] = static_cast<std::uint8_t>(Phase::Running);
       ws.running[pu] = d;
       ++running_count;
-      total_queue += now - st.wait_since;  // cross-DNN same-PU overlap (Eq. 9)
-      if (!st.iter_started) {
-        st.iter_started = true;
-        st.iter_start = now;
+      total_queue += now - soa.wait_since[lane];  // cross-DNN same-PU overlap (Eq. 9)
+      if (!soa.iter_started[lane]) {
+        soa.iter_started[lane] = 1;
+        soa.iter_start[lane] = now;
       }
     }
   };
@@ -304,9 +337,9 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
   grant();
 
   std::size_t total_items = 0;
-  for (const EvalWorkspace::DnnState& st : ws.states) {
-    total_items += static_cast<std::size_t>(st.items_end - st.items_begin) *
-                   static_cast<std::size_t>(st.iterations);
+  for (std::size_t d = 0; d < dnn_count; ++d) {
+    total_items += static_cast<std::size_t>(soa.items_end[base + d] - soa.items_begin[base + d]) *
+                   static_cast<std::size_t>(prob.dnns[d].iterations);
   }
   const std::size_t max_events =
       options.max_events > 0 ? options.max_events : 8 * total_items + 256;
@@ -333,22 +366,23 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
           break;
         }
       }
-      EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
+      const std::size_t lane = base + static_cast<std::size_t>(d);
+      const int lane_iters = prob.dnns[static_cast<std::size_t>(d)].iterations;
       if (ws.queue_len[pu] == 0) {
         while (event < max_events) {
           ++event;
-          TimeMs dt = st.remaining;  // remaining / 1.0
+          TimeMs dt = soa.remaining[lane];  // remaining / 1.0
           dt = std::max(dt, 0.0);
           now += dt;
-          st.remaining -= dt;  // dt * 1.0 — exactly 0.0 for finite items
-          if (st.remaining > kTimeTolerance) continue;
-          ++st.idx;
-          if (st.idx < st.items_end) {
+          soa.remaining[lane] -= dt;  // dt * 1.0 — exactly 0.0 for finite items
+          if (soa.remaining[lane] > kTimeTolerance) continue;
+          ++soa.idx[lane];
+          if (soa.idx[lane] < soa.items_end[lane]) {
             // Waiting → immediate grant on an idle PU: phase and running
             // slot end up where they started, wait_since is dead until
             // the next enqueue, total_queue gains an exact 0.0.
-            const EvalItem& it = ws.items[st.idx];
-            st.remaining = it.duration;
+            const EvalItem& it = items[soa.idx[lane]];
+            soa.remaining[lane] = it.duration;
             const std::size_t next_pu = static_cast<std::size_t>(it.pu);
             if (next_pu != pu) {
               ws.running[pu] = -1;
@@ -362,16 +396,16 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
           // generic machinery.
           ws.running[pu] = -1;
           --running_count;
-          st.span_total += now - st.iter_start;
-          st.iter_started = false;
-          ++st.iters_done;
-          ++st.iter;
-          st.idx = st.items_begin;
-          if (st.iter >= st.iterations) {
-            st.phase = static_cast<std::uint8_t>(Phase::Done);
+          soa.span_total[lane] += now - soa.iter_start[lane];
+          soa.iter_started[lane] = 0;
+          ++soa.iters_done[lane];
+          ++soa.iter[lane];
+          soa.idx[lane] = soa.items_begin[lane];
+          if (soa.iter[lane] >= lane_iters) {
+            soa.phase[lane] = static_cast<std::uint8_t>(Phase::Done);
             ++done;
           } else {
-            st.phase = static_cast<std::uint8_t>(Phase::Blocked);
+            soa.phase[lane] = static_cast<std::uint8_t>(Phase::Blocked);
             ++blocked;
           }
           if (blocked > 0) try_unblock();
@@ -391,8 +425,8 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
       const std::size_t pu = static_cast<std::size_t>(pu_id);
       if (ws.running[pu] < 0) continue;
       any = true;
-      const EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(ws.running[pu])];
-      demand_sum += ws.items[st.idx].demand;
+      const std::size_t lane = base + static_cast<std::size_t>(ws.running[pu]);
+      demand_sum += items[soa.idx[lane]].demand;
     }
     HAX_ASSERT(any);
 
@@ -400,14 +434,14 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
     for (const soc::PuId pu_id : pus) {
       const std::size_t pu = static_cast<std::size_t>(pu_id);
       if (ws.running[pu] < 0) continue;
-      const EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(ws.running[pu])];
-      const GBps own = ws.items[st.idx].demand;
+      const std::size_t lane = base + static_cast<std::size_t>(ws.running[pu]);
+      const GBps own = items[soa.idx[lane]].demand;
       double rate = 1.0;
       if (options.model_contention && own > 0.0) {
         rate = contention_rate(own, demand_sum - own);
       }
       ws.rates[pu] = rate;
-      dt = std::min(dt, st.remaining / rate);
+      dt = std::min(dt, soa.remaining[lane] / rate);
     }
     dt = std::max(dt, 0.0);
     now += dt;
@@ -416,30 +450,30 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
       const std::size_t pu = static_cast<std::size_t>(pu_id);
       const int d = ws.running[pu];
       if (d < 0) continue;
-      EvalWorkspace::DnnState& st = ws.states[static_cast<std::size_t>(d)];
-      st.remaining -= dt * ws.rates[pu];
-      if (st.remaining > kTimeTolerance) continue;
+      const std::size_t lane = base + static_cast<std::size_t>(d);
+      soa.remaining[lane] -= dt * ws.rates[pu];
+      if (soa.remaining[lane] > kTimeTolerance) continue;
 
       ws.running[pu] = -1;
       --running_count;
-      ++st.idx;
-      if (st.idx < st.items_end) {
-        st.phase = static_cast<std::uint8_t>(Phase::Waiting);
-        st.remaining = ws.items[st.idx].duration;
-        st.wait_since = now;
-        queue_push(static_cast<std::size_t>(ws.items[st.idx].pu), d);
+      ++soa.idx[lane];
+      if (soa.idx[lane] < soa.items_end[lane]) {
+        soa.phase[lane] = static_cast<std::uint8_t>(Phase::Waiting);
+        soa.remaining[lane] = items[soa.idx[lane]].duration;
+        soa.wait_since[lane] = now;
+        queue_push(static_cast<std::size_t>(items[soa.idx[lane]].pu), d);
         continue;
       }
-      st.span_total += now - st.iter_start;
-      st.iter_started = false;
-      ++st.iters_done;
-      ++st.iter;
-      st.idx = st.items_begin;
-      if (st.iter >= st.iterations) {
-        st.phase = static_cast<std::uint8_t>(Phase::Done);
+      soa.span_total[lane] += now - soa.iter_start[lane];
+      soa.iter_started[lane] = 0;
+      ++soa.iters_done[lane];
+      ++soa.iter[lane];
+      soa.idx[lane] = soa.items_begin[lane];
+      if (soa.iter[lane] >= prob.dnns[static_cast<std::size_t>(d)].iterations) {
+        soa.phase[lane] = static_cast<std::uint8_t>(Phase::Done);
         ++done;
       } else {
-        st.phase = static_cast<std::uint8_t>(Phase::Blocked);
+        soa.phase[lane] = static_cast<std::uint8_t>(Phase::Blocked);
         ++blocked;
       }
     }
@@ -458,10 +492,10 @@ Formulation::SweepResult Formulation::sweep(EvalWorkspace& ws,
   int rounds = 1;
   std::size_t total_iters = 0;
   for (std::size_t d = 0; d < dnn_count; ++d) {
-    const EvalWorkspace::DnnState& st = ws.states[d];
-    rounds = std::max(rounds, st.iterations);
-    total_iters += static_cast<std::size_t>(st.iterations);
-    ws.spans[d] = st.span_total / static_cast<double>(st.iterations);
+    const int iters = prob.dnns[d].iterations;
+    rounds = std::max(rounds, iters);
+    total_iters += static_cast<std::size_t>(iters);
+    ws.spans[d] = soa.span_total[base + d] / static_cast<double>(iters);
   }
   res.round_ms = now / static_cast<double>(rounds);
   res.fps = now > 0.0 ? static_cast<double>(total_iters) / now * 1000.0 : 0.0;
@@ -498,7 +532,7 @@ void Formulation::prepare_workspace(EvalWorkspace& ws) const {
   const std::size_t dnn_count = problem_->dnns.size();
   const std::size_t pu_count = static_cast<std::size_t>(pu_count_);
   ws.items.clear();
-  ws.states.resize(dnn_count);
+  ws.soa.resize(dnn_count);
   ws.queue_buf.resize(pu_count * dnn_count);
   ws.queue_head.resize(pu_count);
   ws.queue_len.resize(pu_count);
@@ -528,13 +562,13 @@ Prediction Formulation::predict(const Schedule& schedule, EvalWorkspace& ws,
   prepare_workspace(ws);
   for (int d = 0; d < prob.dnn_count(); ++d) {
     const auto& asg = schedule.assignment[static_cast<std::size_t>(d)];
-    if (!assemble_dnn(d, asg, ws, options)) {
+    if (!assemble_dnn(d, asg, ws.items, ws.soa, 0, options)) {
       Prediction pred;
       pred.objective_value = kInf;
       return pred;
     }
   }
-  return finish(sweep(ws, options), ws);
+  return finish(sweep(ws, ws.items, ws.soa, 0, options), ws);
 }
 
 Prediction Formulation::predict_flat(std::span<const int> assignment, EvalWorkspace& ws,
@@ -544,13 +578,13 @@ Prediction Formulation::predict_flat(std::span<const int> assignment, EvalWorksp
     pred.objective_value = kInf;
     return pred;
   }
-  return finish(sweep(ws, options), ws);
+  return finish(sweep(ws, ws.items, ws.soa, 0, options), ws);
 }
 
 double Formulation::evaluate_flat(std::span<const int> assignment, EvalWorkspace& ws,
                                   const PredictOptions& options) const {
   if (!assemble_flat(assignment, ws, options)) return kInf;
-  return sweep(ws, options).objective;
+  return sweep(ws, ws.items, ws.soa, 0, options).objective;
 }
 
 bool Formulation::assemble_flat(std::span<const int> assignment, EvalWorkspace& ws,
@@ -568,7 +602,7 @@ bool Formulation::assemble_flat(std::span<const int> assignment, EvalWorkspace& 
       HAX_ASSERT(p >= 0 && p < static_cast<int>(prob.pus.size()));
       ws.pu_scratch[g] = prob.pus[static_cast<std::size_t>(p)];
     }
-    if (!assemble_dnn(d, ws.pu_scratch, ws, options)) return false;
+    if (!assemble_dnn(d, ws.pu_scratch, ws.items, ws.soa, 0, options)) return false;
     offset += groups;
   }
   HAX_REQUIRE(offset == assignment.size(), "flat assignment has wrong length");

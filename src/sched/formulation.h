@@ -22,15 +22,31 @@
 /// constructor precomputes, per (DNN, group, PU), the layer-item segment
 /// and the transition legs (τ_in/τ_out plus the PU's streaming bandwidth),
 /// so evaluation concatenates precomputed spans instead of re-reading the
-/// profile per layer. All per-call scratch — DNN sweep states, index-based
-/// ring-buffer run queues, the contention-rate array, the flat item
-/// buffer — lives in an EvalWorkspace the caller (typically one per solver
-/// worker thread) reuses across calls. predict_reference() retains the
-/// original implementation as the golden model for parity tests and
+/// profile per layer. All per-call scratch — SoA sweep-state lanes,
+/// index-based ring-buffer run queues, the contention-rate array, the flat
+/// item buffer — lives in an EvalWorkspace the caller (typically one per
+/// solver worker thread) reuses across calls. predict_reference() retains
+/// the original implementation as the golden model for parity tests and
 /// before/after benchmarks.
+///
+/// Batch evaluation: population-shaped consumers (GA generations, B&B
+/// sibling expansions, serve warm-start ranking) score thousands of
+/// candidates at once through predict_batch()/evaluate_batch() and a
+/// BatchEvalWorkspace. Candidate state is structure-of-arrays (one lane of
+/// sweep cursors per *unique* candidate, laid out lane-major per field);
+/// one pass over the batch dedupes whole candidates and per-(DNN, row)
+/// item assemblies so the segment tables are walked once per distinct row
+/// instead of once per candidate, and every lane shares the contention-
+/// rate memo. The per-candidate results are bit-identical to calling
+/// predict_flat()/evaluate_flat() one assignment at a time: lanes are
+/// independent, sharing is restricted to pure functions (item assembly,
+/// the PCCS rate), and each lane's sweep performs the identical FP
+/// operations in the identical order. (Telemetry differs benignly: a
+/// capped sweep is counted once per unique lane, not once per duplicate.)
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -99,6 +115,33 @@ struct EvalItem {
   GBps demand = 0.0;
 };
 
+/// Structure-of-arrays sweep state: each field is a flat array indexed
+/// lane-major as [lane * dnn_count + dnn]. A single-candidate workspace is
+/// one lane; a BatchEvalWorkspace holds one lane per unique candidate so
+/// the batch sweep streams over contiguous per-field arrays instead of
+/// pointer-chasing per-candidate structs. (iterations / depends_on are
+/// problem constants, read from the Problem rather than duplicated per
+/// lane.)
+struct SweepSoa {
+  std::vector<std::uint32_t> items_begin;  ///< lane's first item, per DNN
+  std::vector<std::uint32_t> items_end;    ///< half-open end, per DNN
+  std::vector<std::uint8_t> phase;         ///< Phase enum (formulation.cpp)
+  std::vector<std::uint8_t> iter_started;
+  std::vector<int> iter;
+  std::vector<int> iters_done;
+  std::vector<std::uint32_t> idx;          ///< absolute index into items
+  std::vector<TimeMs> remaining;
+  std::vector<TimeMs> iter_start;
+  std::vector<TimeMs> wait_since;          ///< when the DNN entered Waiting
+  std::vector<TimeMs> span_total;
+
+  /// Resizes every field array to `n` entries (lanes * dnn_count).
+  void resize(std::size_t n);
+  /// Resets the sweep cursors of `count` entries starting at `base` to
+  /// their initial (Blocked) state. Item ranges are left untouched.
+  void reset(std::size_t base, std::size_t count);
+};
+
 /// Reusable scratch for the allocation-free predict paths. Intended
 /// ownership is one workspace per solver worker thread, reused across
 /// every evaluation that thread performs; after the first call on a given
@@ -113,27 +156,8 @@ class EvalWorkspace {
  private:
   friend class Formulation;
 
-  /// Sweep state of one DNN (the item list lives in `items`, as the
-  /// half-open range [items_begin, items_end)).
-  struct DnnState {
-    std::uint32_t items_begin = 0;
-    std::uint32_t items_end = 0;
-    int iterations = 1;
-    int depends_on = -1;
-
-    std::uint8_t phase = 0;  ///< Phase enum (formulation.cpp)
-    int iter = 0;
-    std::uint32_t idx = 0;  ///< absolute index into `items`
-    TimeMs remaining = 0.0;
-    int iters_done = 0;
-    TimeMs iter_start = 0.0;
-    bool iter_started = false;
-    TimeMs wait_since = 0.0;  ///< when the DNN entered Waiting
-    TimeMs span_total = 0.0;
-  };
-
   std::vector<EvalItem> items;   ///< flat per-call item buffer (all DNNs)
-  std::vector<DnnState> states;  ///< one per DNN
+  SweepSoa soa;                  ///< one lane: sweep state per DNN
   /// Index-based ring-buffer run queues, one per PU: each DNN is enqueued
   /// on at most one PU at a time, so capacity dnn_count per PU suffices.
   std::vector<int> queue_buf;    ///< [pu * dnn_count + slot]
@@ -171,6 +195,77 @@ class EvalWorkspace {
   bool rate_enabled = true;
 };
 
+/// Reusable scratch for the batch predict paths: structure-of-arrays
+/// candidate state plus the shared item arena and dedup tables. Intended
+/// ownership mirrors EvalWorkspace (one per worker thread, reused across
+/// batches; adapts itself to whichever Formulation it is passed to). Not
+/// thread-safe: never share one instance between concurrent callers.
+class BatchEvalWorkspace {
+ public:
+  BatchEvalWorkspace() = default;
+
+  /// Telemetry of the most recent batch: how many candidates collapsed
+  /// onto an already-assembled identical candidate, and how many per-(DNN,
+  /// row) assemblies were served from the dedup table instead of walking
+  /// the segment tables again. Exposed so benches and tests can observe
+  /// batch sharing efficacy.
+  [[nodiscard]] std::uint64_t last_batch_candidates() const noexcept { return stat_candidates; }
+  [[nodiscard]] std::uint64_t last_batch_unique() const noexcept { return stat_unique; }
+  [[nodiscard]] std::uint64_t last_batch_row_walks() const noexcept { return stat_row_walks; }
+  [[nodiscard]] std::uint64_t last_batch_row_hits() const noexcept { return stat_row_hits; }
+
+ private:
+  friend class Formulation;
+
+  // ---- shared per-batch item arena + SoA lanes (unique candidates) ----
+  std::vector<EvalItem> items;  ///< deduped item arena for the whole batch
+  SweepSoa soa;                 ///< one lane per unique live candidate
+
+  // ---- per-lane results, one array per field (lane = unique candidate) --
+  std::vector<double> objective;
+  std::vector<std::uint8_t> lane_dead;  ///< structurally infeasible (no sweep)
+  std::vector<std::uint8_t> lane_feasible;
+  std::vector<std::uint8_t> lane_capped;
+  std::vector<TimeMs> makespan;
+  std::vector<TimeMs> round_ms;
+  std::vector<double> lane_fps;
+  std::vector<TimeMs> total_queue;
+  std::vector<TimeMs> lane_spans;  ///< [lane * dnn_count + d], predict only
+
+  /// Candidate → lane map: lane_of[i] is the SoA lane evaluated for
+  /// candidate i (duplicates share their representative's lane).
+  std::vector<std::int32_t> lane_of;
+
+  // ---- whole-candidate dedup (open addressing, cleared per batch) ----
+  std::vector<std::int32_t> cand_slot;  ///< slot → first candidate index, -1 empty
+
+  // ---- per-(DNN, row) assembly dedup (cleared per batch) ----
+  /// Append-only row entries; slots index into them. A row is one DNN's
+  /// per-group PU assignment; its items are a pure function of (dnn, row),
+  /// so a dedup hit reuses the arena range the first walk produced.
+  struct RowEntry {
+    int dnn = 0;
+    std::uint32_t key_begin = 0;  ///< row values in row_pool
+    std::uint32_t key_len = 0;
+    std::uint32_t items_begin = 0;
+    std::uint32_t items_end = 0;
+    std::uint8_t ok = 0;  ///< row assembles (supported, within budget)
+  };
+  std::vector<RowEntry> row_entries;
+  std::vector<std::int32_t> row_slot;  ///< slot → row_entries index, -1 empty
+  std::vector<int> row_pool;           ///< stored row keys, back to back
+
+  /// Sweep scratch shared across lanes: run queues, contention-rate array,
+  /// active-PU list and the persistent contention-rate memo. Lanes are
+  /// swept one at a time, so a single scratch suffices for any batch size.
+  EvalWorkspace scratch;
+
+  std::uint64_t stat_candidates = 0;
+  std::uint64_t stat_unique = 0;
+  std::uint64_t stat_row_walks = 0;
+  std::uint64_t stat_row_hits = 0;
+};
+
 class Formulation {
  public:
   explicit Formulation(const Problem& problem);
@@ -203,6 +298,22 @@ class Formulation {
   [[nodiscard]] double evaluate_flat(std::span<const int> assignment, EvalWorkspace& ws,
                                      const PredictOptions& options = {}) const;
 
+  /// Batch objective path: `assignments` is `n` back-to-back flat
+  /// assignments (each flat_variable_count() values, the same encoding as
+  /// evaluate_flat); `out` receives one objective per candidate,
+  /// bit-identical to calling evaluate_flat on each. One pass dedupes
+  /// whole candidates and per-(DNN, row) assemblies, then sweeps each
+  /// unique lane against the shared contention-rate memo. This is what
+  /// ScheduleSpace::evaluate_batch calls.
+  void evaluate_batch(std::span<const int> assignments, int n, std::span<double> out,
+                      BatchEvalWorkspace& ws, const PredictOptions& options = {}) const;
+
+  /// Batch prediction path: as evaluate_batch, but materializes a full
+  /// Prediction (metrics + per-DNN spans) per candidate, each bit-identical
+  /// to predict_flat on that candidate.
+  void predict_batch(std::span<const int> assignments, int n, std::span<Prediction> out,
+                     BatchEvalWorkspace& ws, const PredictOptions& options = {}) const;
+
   /// The original (pre-item-table) predictor, retained verbatim as the
   /// golden reference: rebuilds item lists from the profile and allocates
   /// its scratch per call. Parity tests assert the optimized paths return
@@ -211,10 +322,14 @@ class Formulation {
                                              const PredictOptions& options = {}) const;
 
   /// Number of predictions that hit the event-sweep cap since
-  /// construction (across all threads).
+  /// construction (across all threads). Batch paths count capped sweeps
+  /// once per unique lane (duplicates share their representative's sweep).
   [[nodiscard]] std::uint64_t sweep_cap_count() const noexcept {
     return sweep_caps_.load(std::memory_order_relaxed);
   }
+
+  /// Length of one flat assignment (total layer groups over all DNNs).
+  [[nodiscard]] int flat_variable_count() const noexcept { return flat_vars_; }
 
   [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
 
@@ -229,28 +344,46 @@ class Formulation {
     GBps stream_gbps = 0.0;   ///< the PU's max streaming bandwidth
   };
 
-  struct SweepResult;
+  /// Raw sweep outcome (metrics before Prediction materialization).
+  struct SweepResult {
+    bool feasible = false;
+    bool capped = false;
+    TimeMs makespan = 0.0;
+    TimeMs round_ms = 0.0;
+    double fps = 0.0;
+    TimeMs total_queue = 0.0;
+    double objective = std::numeric_limits<double>::infinity();
+  };
 
   void build_tables();
   /// Sizes `ws` for this problem's dimensions and clears the item buffer.
   /// Containers keep their capacity, so repeated calls do not allocate.
   void prepare_workspace(EvalWorkspace& ws) const;
   /// Appends DNN `d`'s items for the given per-group PU assignment into
-  /// ws.items and fills ws.states[d]; returns false when the assignment is
-  /// structurally infeasible (unsupported cell, transition budget, empty).
-  bool assemble_dnn(int d, std::span<const soc::PuId> assignment, EvalWorkspace& ws,
-                    const PredictOptions& options) const;
+  /// `items` and initializes the sweep lane entry at soa[base + d];
+  /// returns false when the assignment is structurally infeasible
+  /// (unsupported cell, transition budget, empty).
+  bool assemble_dnn(int d, std::span<const soc::PuId> assignment, std::vector<EvalItem>& items,
+                    SweepSoa& soa, std::size_t base, const PredictOptions& options) const;
   /// Assembles every DNN from a flat solver assignment (values index
   /// problem().pus); same return contract as assemble_dnn.
   bool assemble_flat(std::span<const int> assignment, EvalWorkspace& ws,
                      const PredictOptions& options) const;
-  /// Runs the timeline sweep over the assembled workspace.
-  SweepResult sweep(EvalWorkspace& ws, const PredictOptions& options) const;
+  /// Runs the timeline sweep over one SoA lane: `soa[base .. base+dnns)`
+  /// with items resolved against `items`. `ws` supplies the run queues,
+  /// rate scratch and the contention-rate memo.
+  SweepResult sweep(EvalWorkspace& ws, std::span<const EvalItem> items, SweepSoa& soa,
+                    std::size_t base, const PredictOptions& options) const;
+  /// Shared batch driver: assembles + dedupes + sweeps `n` candidates into
+  /// `ws`'s lane arrays (lane_spans filled only when `want_spans`).
+  void run_batch(std::span<const int> assignments, int n, BatchEvalWorkspace& ws,
+                 const PredictOptions& options, bool want_spans) const;
   void note_sweep_cap() const;
   [[nodiscard]] Prediction finish(const SweepResult& result, const EvalWorkspace& ws) const;
 
   const Problem* problem_;
   int pu_count_ = 0;  ///< platform PU count (segments are indexed by PuId)
+  int flat_vars_ = 0; ///< total layer groups over all DNNs
   /// pu_allowed_[pu] is true when the PU is in problem().pus. Assignments
   /// referencing a masked PU (quarantined, or never schedulable like the
   /// CPU) are infeasible, so a shrunken accelerator set is honored by

@@ -1,0 +1,275 @@
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/error.h"
+#include "common/memo_cache.h"
+#include "sched/formulation.h"
+
+/// \file formulation_batch.cpp
+/// Batch predict paths: evaluate_batch / predict_batch over a
+/// BatchEvalWorkspace. The batch driver makes one pass over `n` flat
+/// assignments, collapsing duplicate candidates onto a shared SoA lane and
+/// duplicate per-(DNN, row) assemblies onto a shared item-arena range, then
+/// sweeps each unique lane with the same sweep() the scalar paths use (so
+/// parity is by construction) against the workspace's persistent
+/// contention-rate memo. Sharing is restricted to pure functions — item
+/// assembly is a function of (DNN, row, options) and the rate memo is a
+/// function of demand bit patterns — so every candidate's result is
+/// bit-identical to an isolated evaluate_flat/predict_flat call.
+
+namespace hax::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::int32_t kEmptySlot = -1;
+
+/// Smallest power of two >= 2 * want (load factor <= 0.5), floor 16.
+std::size_t table_slots(std::size_t want) {
+  std::size_t slots = 16;
+  while (slots < 2 * want) slots *= 2;
+  return slots;
+}
+
+/// splitmix-style finalizer used to mix the row's DNN id into its hash.
+std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+bool spans_equal(std::span<const int> a, std::span<const int> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(int)) == 0);
+}
+
+}  // namespace
+
+void Formulation::run_batch(std::span<const int> assignments, int n, BatchEvalWorkspace& ws,
+                            const PredictOptions& options, bool want_spans) const {
+  const Problem& prob = *problem_;
+  const std::size_t dnn_count = prob.dnns.size();
+  const std::size_t vars = static_cast<std::size_t>(flat_vars_);
+  HAX_REQUIRE(n >= 0, "batch size must be non-negative");
+  const std::size_t count = static_cast<std::size_t>(n);
+  HAX_REQUIRE(assignments.size() == count * vars, "batch assignment buffer has wrong length");
+
+  // Sizes the shared sweep scratch (queues, rates, spans, active-PU list)
+  // and re-initializes the contention-rate memo if the workspace last met
+  // a different Formulation. The memo then persists across the batch and
+  // across batches: it caches a pure function, so hits are bit-identical.
+  prepare_workspace(ws.scratch);
+
+  ws.items.clear();
+  ws.soa.resize(count * dnn_count);
+  ws.lane_of.assign(count, kEmptySlot);
+  ws.objective.resize(count);
+  ws.lane_dead.resize(count);
+  ws.lane_feasible.resize(count);
+  ws.lane_capped.resize(count);
+  ws.makespan.resize(count);
+  ws.round_ms.resize(count);
+  ws.lane_fps.resize(count);
+  ws.total_queue.resize(count);
+  if (want_spans) ws.lane_spans.resize(count * dnn_count);
+
+  ws.stat_candidates = static_cast<std::uint64_t>(count);
+  ws.stat_unique = 0;
+  ws.stat_row_walks = 0;
+  ws.stat_row_hits = 0;
+  if (n == 0) return;
+
+  ws.cand_slot.assign(table_slots(count), kEmptySlot);
+  ws.row_slot.assign(table_slots(count * dnn_count), kEmptySlot);
+  ws.row_entries.clear();
+  ws.row_pool.clear();
+
+  const std::size_t cand_mask = ws.cand_slot.size() - 1;
+  const std::size_t row_mask = ws.row_slot.size() - 1;
+
+  // ---- pass 1: dedup + assembly -----------------------------------------
+  std::size_t lanes = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::span<const int> cand = assignments.subspan(i * vars, vars);
+
+    // Whole-candidate dedup: identical assignment slices share one lane.
+    // Keys are the exact flat values — candidates that differ only by a
+    // permutation of identical DNNs are distinct keys and keep distinct
+    // lanes (their sweeps are still bit-equal, which the property tests
+    // assert, but the dedup never has to know that).
+    const std::uint64_t cand_hash = hash_span(cand);
+    std::size_t slot = static_cast<std::size_t>(cand_hash) & cand_mask;
+    std::int32_t rep = kEmptySlot;
+    while (true) {
+      const std::int32_t occupant = ws.cand_slot[slot];
+      if (occupant == kEmptySlot) {
+        ws.cand_slot[slot] = static_cast<std::int32_t>(i);
+        break;
+      }
+      const std::span<const int> other =
+          assignments.subspan(static_cast<std::size_t>(occupant) * vars, vars);
+      if (spans_equal(cand, other)) {
+        rep = occupant;
+        break;
+      }
+      slot = (slot + 1) & cand_mask;
+    }
+    if (rep != kEmptySlot) {
+      ws.lane_of[i] = ws.lane_of[static_cast<std::size_t>(rep)];
+      continue;
+    }
+
+    // New unique candidate: assemble one lane, sharing per-(DNN, row)
+    // item ranges already walked for earlier candidates in this batch.
+    const std::size_t lane_base = lanes * dnn_count;
+    bool dead = false;
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < dnn_count; ++d) {
+      const std::size_t groups =
+          static_cast<std::size_t>(prob.dnns[d].net->group_count());
+      const std::span<const int> row = cand.subspan(offset, groups);
+      offset += groups;
+
+      const std::uint64_t row_hash =
+          hash_span(row) ^ mix64(static_cast<std::uint64_t>(d) + 1);
+      std::size_t rslot = static_cast<std::size_t>(row_hash) & row_mask;
+      std::int32_t entry_index = kEmptySlot;
+      while (true) {
+        const std::int32_t occupant = ws.row_slot[rslot];
+        if (occupant == kEmptySlot) break;
+        const BatchEvalWorkspace::RowEntry& e =
+            ws.row_entries[static_cast<std::size_t>(occupant)];
+        if (e.dnn == static_cast<int>(d) &&
+            spans_equal(row, std::span<const int>(ws.row_pool)
+                                 .subspan(e.key_begin, e.key_len))) {
+          entry_index = occupant;
+          break;
+        }
+        rslot = (rslot + 1) & row_mask;
+      }
+
+      const std::size_t lane = lane_base + d;
+      if (entry_index != kEmptySlot) {
+        // Dedup hit: reuse the arena range the first walk produced. Item
+        // assembly is a pure function of (DNN, row, options), so this is
+        // the byte-identical item sequence assemble_dnn would append.
+        ++ws.stat_row_hits;
+        const BatchEvalWorkspace::RowEntry& e =
+            ws.row_entries[static_cast<std::size_t>(entry_index)];
+        if (!e.ok) {
+          dead = true;
+          break;
+        }
+        ws.soa.items_begin[lane] = e.items_begin;
+        ws.soa.items_end[lane] = e.items_end;
+        ws.soa.reset(lane, 1);
+        continue;
+      }
+
+      // Miss: walk the segment tables once for this (DNN, row) and record
+      // the outcome — including structural infeasibility, so duplicate
+      // bad rows are rejected without re-walking.
+      ++ws.stat_row_walks;
+      ws.scratch.pu_scratch.resize(groups);
+      for (std::size_t g = 0; g < groups; ++g) {
+        const int p = row[g];
+        HAX_ASSERT(p >= 0 && p < static_cast<int>(prob.pus.size()));
+        ws.scratch.pu_scratch[g] = prob.pus[static_cast<std::size_t>(p)];
+      }
+      const std::uint32_t arena_before = static_cast<std::uint32_t>(ws.items.size());
+      const bool ok = assemble_dnn(static_cast<int>(d), ws.scratch.pu_scratch, ws.items,
+                                   ws.soa, lane_base, options);
+      BatchEvalWorkspace::RowEntry entry;
+      entry.dnn = static_cast<int>(d);
+      entry.key_begin = static_cast<std::uint32_t>(ws.row_pool.size());
+      entry.key_len = static_cast<std::uint32_t>(groups);
+      ws.row_pool.insert(ws.row_pool.end(), row.begin(), row.end());
+      entry.ok = ok ? 1 : 0;
+      if (ok) {
+        entry.items_begin = ws.soa.items_begin[lane];
+        entry.items_end = ws.soa.items_end[lane];
+      } else {
+        ws.items.resize(arena_before);  // drop the partial assembly
+        dead = true;
+      }
+      ws.row_slot[rslot] = static_cast<std::int32_t>(ws.row_entries.size());
+      ws.row_entries.push_back(entry);
+      if (dead) break;
+    }
+
+    ws.lane_dead[lanes] = dead ? 1 : 0;
+    ws.lane_of[i] = static_cast<std::int32_t>(lanes);
+    ++lanes;
+  }
+  ws.stat_unique = static_cast<std::uint64_t>(lanes);
+
+  // ---- pass 2: one sweep per unique lane ---------------------------------
+  // Each unique candidate is swept exactly once — the "one contention-sweep
+  // pass" over the batch — re-using the shared run-queue/rate scratch and
+  // the persistent rate memo (pure, so memo hits stay bit-exact). Capped
+  // sweeps are counted once per unique lane, not once per duplicate.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (ws.lane_dead[l]) {
+      ws.objective[l] = kInf;
+      ws.lane_feasible[l] = 0;
+      ws.lane_capped[l] = 0;
+      continue;
+    }
+    const SweepResult r =
+        sweep(ws.scratch, ws.items, ws.soa, l * dnn_count, options);
+    ws.objective[l] = r.objective;
+    ws.lane_feasible[l] = r.feasible ? 1 : 0;
+    ws.lane_capped[l] = r.capped ? 1 : 0;
+    ws.makespan[l] = r.makespan;
+    ws.round_ms[l] = r.round_ms;
+    ws.lane_fps[l] = r.fps;
+    ws.total_queue[l] = r.total_queue;
+    if (want_spans && !r.capped) {
+      std::copy(ws.scratch.spans.begin(), ws.scratch.spans.end(),
+                ws.lane_spans.begin() + static_cast<std::ptrdiff_t>(l * dnn_count));
+    }
+  }
+}
+
+void Formulation::evaluate_batch(std::span<const int> assignments, int n, std::span<double> out,
+                                 BatchEvalWorkspace& ws, const PredictOptions& options) const {
+  HAX_REQUIRE(out.size() >= static_cast<std::size_t>(n), "batch output buffer too small");
+  run_batch(assignments, n, ws, options, /*want_spans=*/false);
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        ws.objective[static_cast<std::size_t>(ws.lane_of[static_cast<std::size_t>(i)])];
+  }
+}
+
+void Formulation::predict_batch(std::span<const int> assignments, int n,
+                                std::span<Prediction> out, BatchEvalWorkspace& ws,
+                                const PredictOptions& options) const {
+  HAX_REQUIRE(out.size() >= static_cast<std::size_t>(n), "batch output buffer too small");
+  const std::size_t dnn_count = problem_->dnns.size();
+  run_batch(assignments, n, ws, options, /*want_spans=*/true);
+  for (int i = 0; i < n; ++i) {
+    const std::size_t lane = static_cast<std::size_t>(ws.lane_of[static_cast<std::size_t>(i)]);
+    Prediction& pred = out[static_cast<std::size_t>(i)];
+    pred = Prediction{};
+    pred.objective_value = kInf;
+    // Structural infeasibility and capped sweeps mirror predict_flat's
+    // early returns: default metrics, empty span vector.
+    if (ws.lane_dead[lane]) continue;
+    pred.sweep_capped = ws.lane_capped[lane] != 0;
+    if (pred.sweep_capped) continue;
+    pred.makespan_ms = ws.makespan[lane];
+    pred.dnn_span_ms.assign(ws.lane_spans.begin() + static_cast<std::ptrdiff_t>(lane * dnn_count),
+                            ws.lane_spans.begin() +
+                                static_cast<std::ptrdiff_t>((lane + 1) * dnn_count));
+    pred.round_ms = ws.round_ms[lane];
+    pred.fps = ws.lane_fps[lane];
+    pred.total_queue_ms = ws.total_queue[lane];
+    pred.feasible = ws.lane_feasible[lane] != 0;
+    if (pred.feasible) pred.objective_value = ws.objective[lane];
+  }
+}
+
+}  // namespace hax::sched

@@ -205,6 +205,61 @@ double ScheduleSpace::evaluate(std::span<const int> assignment) const {
   return objective;
 }
 
+void ScheduleSpace::evaluate_batch(std::span<const int> assignments, int n,
+                                   std::span<double> out) const {
+  const std::size_t vars = static_cast<std::size_t>(var_count_);
+  HAX_REQUIRE(assignments.size() == static_cast<std::size_t>(n) * vars,
+              "batch assignment buffer has wrong length");
+  HAX_REQUIRE(out.size() >= static_cast<std::size_t>(n), "batch output buffer too small");
+
+  // Per-thread batch scratch, reused across calls (and across spaces —
+  // the batch workspace re-sizes itself to whichever formulation it is
+  // handed, like the scalar EvalWorkspace).
+  thread_local BatchEvalWorkspace batch_ws;
+  struct MissScratch {
+    std::vector<std::uint64_t> keys;
+    std::vector<int> assignments;  ///< concatenated memo misses
+    std::vector<int> index;        ///< miss slot -> candidate index
+    std::vector<double> objectives;
+  };
+  thread_local MissScratch miss;
+
+  if (cache_ == nullptr) {
+    formulation_.evaluate_batch(assignments, n, out, batch_ws);
+    return;
+  }
+
+  // Probe the memo for every candidate, gathering misses contiguously so
+  // the formulation sees one dense batch. Hits are bit-identical to fresh
+  // sweeps (the predictor is deterministic), so any hit/miss interleaving
+  // yields the same objectives as n independent evaluate() calls.
+  miss.keys.resize(static_cast<std::size_t>(n));
+  miss.assignments.clear();
+  miss.index.clear();
+  for (int i = 0; i < n; ++i) {
+    const std::span<const int> cand = assignments.subspan(static_cast<std::size_t>(i) * vars, vars);
+    const std::uint64_t key = hash_span(cand);
+    miss.keys[static_cast<std::size_t>(i)] = key;
+    double cached = 0.0;
+    if (cache_->lookup(key, cached)) {
+      out[static_cast<std::size_t>(i)] = cached;
+    } else {
+      miss.index.push_back(i);
+      miss.assignments.insert(miss.assignments.end(), cand.begin(), cand.end());
+    }
+  }
+  if (miss.index.empty()) return;
+
+  miss.objectives.resize(miss.index.size());
+  formulation_.evaluate_batch(miss.assignments, static_cast<int>(miss.index.size()),
+                              miss.objectives, batch_ws);
+  for (std::size_t m = 0; m < miss.index.size(); ++m) {
+    const std::size_t i = static_cast<std::size_t>(miss.index[m]);
+    cache_->insert(miss.keys[i], miss.objectives[m]);
+    out[i] = miss.objectives[m];
+  }
+}
+
 MemoCacheStats ScheduleSpace::cache_stats() const noexcept {
   return cache_ != nullptr ? cache_->stats() : MemoCacheStats{};
 }

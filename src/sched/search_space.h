@@ -52,6 +52,16 @@ class ScheduleSpace : public solver::SearchSpace {
   [[nodiscard]] double lower_bound(std::span<const int> prefix) const override;
   [[nodiscard]] double evaluate(std::span<const int> assignment) const override;
 
+  /// Population path: memo-probes all `n` assignments first, then runs the
+  /// misses through the Formulation's SoA batch evaluator in one call
+  /// (shared segment-table walks, shared contention-rate memo) and inserts
+  /// the fresh objectives back into the memo. Bit-identical to n
+  /// evaluate() calls in any hit/miss interleaving — both the memo and the
+  /// batch evaluator cache pure functions. Const-thread-safe: scratch is
+  /// thread_local, the memo is internally synchronized.
+  void evaluate_batch(std::span<const int> assignments, int n,
+                      std::span<double> out) const override;
+
   /// Conversions between flat solver vectors and Schedules.
   [[nodiscard]] Schedule to_schedule(std::span<const int> assignment) const;
   [[nodiscard]] std::vector<int> to_flat(const Schedule& schedule) const;
@@ -59,7 +69,7 @@ class ScheduleSpace : public solver::SearchSpace {
   [[nodiscard]] const Formulation& formulation() const noexcept { return formulation_; }
 
   /// Hit/miss totals of the evaluation memo cache (zeros when disabled).
-  [[nodiscard]] MemoCacheStats cache_stats() const noexcept;
+  [[nodiscard]] MemoCacheStats cache_stats() const noexcept override;
 
  private:
   [[nodiscard]] std::pair<int, int> var_location(int var) const;  // (dnn, group)

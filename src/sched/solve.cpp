@@ -1,5 +1,7 @@
 #include "sched/solve.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/logging.h"
 #include "solver/portfolio.h"
@@ -19,6 +21,29 @@ ScheduleSolution solve_schedule(const Problem& problem, const SolveScheduleOptio
   solver_options.stop = options.stop;
   for (const Schedule& seed : options.seeds) {
     solver_options.seeds.push_back(space.to_flat(seed));
+  }
+  if (options.rank_seeds && solver_options.seeds.size() > 1) {
+    // One batch evaluation scores every seed (duplicate seeds and shared
+    // per-DNN rows collapse inside the batch evaluator); a stable sort
+    // then hands the solvers the best seed first. Objectives land in the
+    // space's memo, so the engines' own seed pass re-uses them.
+    const std::size_t vars = static_cast<std::size_t>(space.variable_count());
+    std::vector<int> seed_buf;
+    seed_buf.reserve(solver_options.seeds.size() * vars);
+    for (const std::vector<int>& seed : solver_options.seeds) {
+      seed_buf.insert(seed_buf.end(), seed.begin(), seed.end());
+    }
+    std::vector<double> seed_obj(solver_options.seeds.size());
+    space.evaluate_batch(seed_buf, static_cast<int>(solver_options.seeds.size()), seed_obj);
+    std::vector<std::size_t> order(solver_options.seeds.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return seed_obj[a] < seed_obj[b];
+    });
+    std::vector<std::vector<int>> ranked;
+    ranked.reserve(order.size());
+    for (const std::size_t i : order) ranked.push_back(std::move(solver_options.seeds[i]));
+    solver_options.seeds = std::move(ranked);
   }
 
   solver::IncumbentCallback cb;

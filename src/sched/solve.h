@@ -25,6 +25,18 @@ struct SolveScheduleOptions {
   double max_nodes_per_ms = 0.0;
   std::vector<Schedule> seeds;   ///< evaluated before the search begins
 
+  /// Rank the seeds best-first before solving: all seeds are scored with
+  /// one batch evaluation (ScheduleSpace::evaluate_batch) and reordered by
+  /// predicted objective (stable, so equal seeds keep their given order).
+  /// Matters when seeds come from heterogeneous sources — naive baselines
+  /// plus several warm-start neighbours from the serving layer's schedule
+  /// cache — because the GA maps seeds to generation-0 slots positionally
+  /// and B&B's incumbent stream improves fastest when the best seed lands
+  /// first. The scores are memoized, so the solver's own seed evaluation
+  /// right after is pure cache hits; the final result is unchanged (seeds
+  /// are a set to the solver), only incumbent timing improves.
+  bool rank_seeds = false;
+
   /// Solver worker threads: 1 = the serial engine (default), 0 = one per
   /// hardware thread, n = exactly n. See solver::SolveOptions::threads.
   int threads = 1;

@@ -21,14 +21,15 @@ struct ScheduleCache::Shard {
   std::map<FpKey, CachedSchedule> entries HAX_GUARDED_BY(mu);
 };
 
-/// Warm-start index: shape_key → latest exemplar of that shape. Bounded
-/// like the shards; stores a full copy so a warm start survives the
-/// underlying entry's eviction.
+/// Warm-start index: shape_key → ring of recent exemplars of that shape,
+/// newest first, deduped by fingerprint. Bounded like the shards; stores
+/// full copies so a warm start survives the underlying entry's eviction.
 struct ScheduleCache::ShapeIndex {
+  using Exemplar = std::pair<sched::ScenarioFingerprint, CachedSchedule>;
   mutable Mutex mu;
   std::size_t capacity HAX_GUARDED_BY(mu) = 64;
-  std::map<std::uint64_t, std::pair<sched::ScenarioFingerprint, CachedSchedule>> entries
-      HAX_GUARDED_BY(mu);
+  std::size_t ring HAX_GUARDED_BY(mu) = 4;
+  std::map<std::uint64_t, std::vector<Exemplar>> entries HAX_GUARDED_BY(mu);
 };
 
 ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
@@ -40,6 +41,7 @@ ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
   shapes_ = std::make_unique<ShapeIndex>();
   LockGuard lock(shapes_->mu);
   shapes_->capacity = options.shape_capacity > 0 ? options.shape_capacity : 1;
+  shapes_->ring = options.shape_ring > 0 ? options.shape_ring : 1;
 }
 
 ScheduleCache::~ScheduleCache() = default;
@@ -107,7 +109,17 @@ bool ScheduleCache::publish(const sched::ScenarioFingerprint& fp, std::uint64_t 
     if (it == shapes_->entries.end() && shapes_->entries.size() >= shapes_->capacity) {
       shapes_->entries.erase(shapes_->entries.begin());
     }
-    shapes_->entries[shape_key] = {fp, std::move(installed)};
+    // Newest-first ring, deduped by fingerprint: re-publishing a scenario
+    // moves its exemplar to the front instead of duplicating it.
+    std::vector<ShapeIndex::Exemplar>& ring = shapes_->entries[shape_key];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (ring[i].first == fp) {
+        ring.erase(ring.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    ring.insert(ring.begin(), {fp, std::move(installed)});
+    if (ring.size() > shapes_->ring) ring.resize(shapes_->ring);
   }
   return true;
 }
@@ -116,9 +128,26 @@ std::optional<CachedSchedule> ScheduleCache::nearest(
     std::uint64_t shape_key, const sched::ScenarioFingerprint& exclude) const {
   LockGuard lock(shapes_->mu);
   const auto it = shapes_->entries.find(shape_key);
-  if (it == shapes_->entries.end() || it->second.first == exclude) return std::nullopt;
+  if (it == shapes_->entries.end() || it->second.empty() || it->second.front().first == exclude) {
+    return std::nullopt;
+  }
   warm_hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.second;
+  return it->second.front().second;
+}
+
+std::vector<CachedSchedule> ScheduleCache::nearest_k(
+    std::uint64_t shape_key, const sched::ScenarioFingerprint& exclude, std::size_t k) const {
+  std::vector<CachedSchedule> out;
+  LockGuard lock(shapes_->mu);
+  const auto it = shapes_->entries.find(shape_key);
+  if (it == shapes_->entries.end()) return out;
+  for (const ShapeIndex::Exemplar& ex : it->second) {
+    if (out.size() >= k) break;
+    if (ex.first == exclude) continue;
+    out.push_back(ex.second);
+  }
+  if (!out.empty()) warm_hits_.fetch_add(1, std::memory_order_relaxed);
+  return out;
 }
 
 std::size_t ScheduleCache::size() const {

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/annotated.h"
 #include "sched/fingerprint.h"
@@ -48,7 +49,11 @@ struct CachedSchedule {
 struct ScheduleCacheOptions {
   std::size_t shards = 8;             ///< power of two
   std::size_t capacity_per_shard = 128;
-  std::size_t shape_capacity = 64;    ///< bounded warm-start index
+  std::size_t shape_capacity = 64;    ///< bounded warm-start index (shapes)
+  /// Recent exemplars retained per shape (newest first). nearest_k can
+  /// then offer several warm-start candidates for the solver to rank,
+  /// instead of betting everything on the single latest publish.
+  std::size_t shape_ring = 4;
 };
 
 struct ScheduleCacheStats {
@@ -94,6 +99,14 @@ class ScheduleCache {
   /// warm start). Counts warm_hits on success.
   [[nodiscard]] std::optional<CachedSchedule> nearest(
       std::uint64_t shape_key, const sched::ScenarioFingerprint& exclude) const;
+
+  /// Multi-candidate warm-start probe: up to `k` recent same-shape
+  /// exemplars, newest first, excluding `exclude` (distinct fingerprints —
+  /// the ring dedupes on publish). The serving layer hands the whole set
+  /// to the solver, which ranks them with one batch evaluation and seeds
+  /// best-first. Counts one warm_hit when non-empty.
+  [[nodiscard]] std::vector<CachedSchedule> nearest_k(
+      std::uint64_t shape_key, const sched::ScenarioFingerprint& exclude, std::size_t k) const;
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] ScheduleCacheStats stats() const noexcept;

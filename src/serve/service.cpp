@@ -507,15 +507,27 @@ SchedulerService::SolveRun SchedulerService::run_solve(detail::RequestControl& c
   SolveRun run;
   if (options_.warm_start) {
     // Refresh requests find their own stale entry; cold misses fall back
-    // to the latest same-shape neighbour. Both seed B&B's incumbent and
-    // (via the portfolio's seed mirroring) the GA's generation 0.
-    std::optional<CachedSchedule> seed = cache_->peek(ctl.canon.fingerprint);
-    if (!seed.has_value()) seed = cache_->nearest(ctl.canon.shape_key, ctl.canon.fingerprint);
-    if (seed.has_value() && seed_compatible(seed->schedule, problem, ctl.canon)) {
-      opts.seeds.push_back(sched::from_canonical(seed->schedule, ctl.canon));
+    // to recent same-shape neighbours (nearest_k — the shape index keeps a
+    // small ring per shape). Every compatible candidate becomes a seed;
+    // rank_seeds below scores the whole set (baselines + neighbours) with
+    // one batch evaluation so the solvers meet the best seed first — it
+    // seeds B&B's incumbent and (via the portfolio's seed mirroring) the
+    // GA's generation-0 slots.
+    const std::optional<CachedSchedule> own = cache_->peek(ctl.canon.fingerprint);
+    std::vector<CachedSchedule> candidates;
+    if (own.has_value()) {
+      candidates.push_back(*own);
+    } else {
+      candidates = cache_->nearest_k(ctl.canon.shape_key, ctl.canon.fingerprint,
+                                     options_.warm_start_candidates);
+    }
+    for (const CachedSchedule& cand : candidates) {
+      if (!seed_compatible(cand.schedule, problem, ctl.canon)) continue;
+      opts.seeds.push_back(sched::from_canonical(cand.schedule, ctl.canon));
       run.warm = true;
     }
   }
+  opts.rank_seeds = true;
   run.solution = sched::solve_schedule(problem, opts);
   return run;
 }

@@ -179,8 +179,12 @@ struct ServiceOptions {
   /// than-naive guarantee, now per request).
   bool seed_baselines = true;
   /// Seed solves from the cache: the scenario's own stale entry on a
-  /// refresh, or a same-shape neighbour on a cold miss.
+  /// refresh, or same-shape neighbours on a cold miss.
   bool warm_start = true;
+  /// Neighbours fetched per cold miss (ScheduleCache::nearest_k). All
+  /// compatible candidates are seeded and ranked best-first by one batch
+  /// evaluation (SolveScheduleOptions::rank_seeds) before the solve.
+  std::size_t warm_start_candidates = 4;
 
   /// Deterministic virtual clock (requires workers == 0): latency is
   /// metered on a single-server queue where a solve costs

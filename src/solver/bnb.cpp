@@ -9,6 +9,19 @@
 #include "common/thread_pool.h"
 
 namespace hax::solver {
+
+void SearchSpace::evaluate_batch(std::span<const int> assignments, int n,
+                                 std::span<double> out) const {
+  const std::size_t vars = static_cast<std::size_t>(variable_count());
+  HAX_REQUIRE(assignments.size() == static_cast<std::size_t>(n) * vars,
+              "batch assignment buffer has wrong length");
+  HAX_REQUIRE(out.size() >= static_cast<std::size_t>(n), "batch output buffer too small");
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        evaluate(assignments.subspan(static_cast<std::size_t>(i) * vars, vars));
+  }
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -34,6 +47,12 @@ struct SharedSearch {
   Mutex mutex;  ///< serializes incumbent storage and callback invocation
   std::optional<Incumbent> incumbent HAX_GUARDED_BY(mutex);
   int incumbents_found HAX_GUARDED_BY(mutex) = 0;
+  /// Lock-free mirror of `incumbents_found > 0` for the clock check: the
+  /// wall-clock budget governs optimality effort, not first-feasible
+  /// discovery, so it only fires once some incumbent exists (the anytime
+  /// guarantee: a budgeted solve still returns *something* whenever a
+  /// feasible assignment is reachable). node_limit stays strict.
+  std::atomic<bool> has_incumbent{false};
 
   std::atomic<std::uint64_t> nodes{0};  ///< global count, enforces node_limit
   std::atomic<bool> abort{false};       ///< callback returned false / stop token
@@ -67,6 +86,7 @@ struct SharedSearch {
     inc.found_at_ms = since_ms(start);
     ++incumbents_found;
     incumbent = std::move(inc);
+    has_incumbent.store(true, std::memory_order_relaxed);
     if (on_incumbent && !on_incumbent(*incumbent)) {
       abort.store(true, std::memory_order_relaxed);
       return false;
@@ -95,11 +115,18 @@ struct SharedSearch {
 };
 
 /// Periodic (every-64-local-nodes) wall-clock budget check and pacing.
-/// Returns true when the time budget is exhausted.
+/// Returns true when the time budget is exhausted. The budget is not
+/// enforced until a first incumbent exists: a tiny budget (or a slow
+/// machine) must degrade to "return the first feasible assignment
+/// found", never to an empty result — the anytime contract that
+/// solve_schedule's callers rely on. Searches over genuinely infeasible
+/// spaces are still bounded by node_limit and exhaustion.
 bool check_clock_and_pace(SharedSearch& shared, std::uint64_t local_nodes) {
   if ((local_nodes & 0x3F) != 0) return false;
   const SolveOptions& options = *shared.options;
-  if (options.time_budget_ms > 0.0 && since_ms(shared.start) > options.time_budget_ms) {
+  if (options.time_budget_ms > 0.0 &&
+      shared.has_incumbent.load(std::memory_order_relaxed) &&
+      since_ms(shared.start) > options.time_budget_ms) {
     shared.out_of_budget.store(true, std::memory_order_relaxed);
     return true;
   }
@@ -131,6 +158,12 @@ void dfs_subtree(const SearchSpace& space, int n, std::vector<int> prefix,
   stack.emplace_back();
   space.candidates(prefix, stack.back().values);
 
+  // Sibling-batch scratch, reused across every last-level expansion in
+  // this subtree (no per-node allocation once warmed up).
+  std::vector<int> leaf_values;
+  std::vector<int> leaf_assignments;
+  std::vector<double> leaf_objectives;
+
   while (!stack.empty()) {
     Frame& frame = stack.back();
     if (frame.next >= frame.values.size()) {
@@ -155,6 +188,51 @@ void dfs_subtree(const SearchSpace& space, int n, std::vector<int> prefix,
     }
     if (space.lower_bound(prefix) >= shared.bound()) {
       ++local.nodes_pruned;
+      prefix.pop_back();
+      continue;
+    }
+    if (static_cast<int>(prefix.size()) == n - 1) {
+      // Sibling expansion: every child of this node is a leaf, so the
+      // whole value set is scored through the space's batch evaluator
+      // instead of one evaluate() per leaf. Node accounting is unchanged
+      // (one reserve_node / nodes_explored / clock check per sibling, so
+      // node_limit stays exact and pacing still applies); incumbents are
+      // offered in candidate order afterwards, keeping the callback
+      // stream strictly improving exactly as the per-leaf loop did.
+      space.candidates(prefix, leaf_values);
+      leaf_assignments.clear();
+      int accepted = 0;
+      bool bail = false;
+      for (const int leaf : leaf_values) {
+        if (shared.stopped() || !shared.reserve_node()) {
+          bail = true;
+          break;
+        }
+        ++local.nodes_explored;
+        if (check_clock_and_pace(shared, local.nodes_explored)) {
+          bail = true;  // counted but never evaluated, same as the scalar path
+          break;
+        }
+        ++local.leaves_evaluated;
+        leaf_assignments.insert(leaf_assignments.end(), prefix.begin(), prefix.end());
+        leaf_assignments.push_back(leaf);
+        ++accepted;
+      }
+      if (accepted > 0) {
+        leaf_objectives.resize(static_cast<std::size_t>(accepted));
+        space.evaluate_batch(leaf_assignments, accepted, leaf_objectives);
+        const std::size_t vars = static_cast<std::size_t>(n);
+        for (int i = 0; i < accepted; ++i) {
+          const std::span<const int> leaf_assignment =
+              std::span<const int>(leaf_assignments).subspan(static_cast<std::size_t>(i) * vars,
+                                                             vars);
+          if (!shared.offer(leaf_assignment, leaf_objectives[static_cast<std::size_t>(i)],
+                            on_incumbent)) {
+            return;
+          }
+        }
+      }
+      if (bail) return;
       prefix.pop_back();
       continue;
     }
@@ -234,15 +312,25 @@ SolveResult BranchAndBound::solve(const SearchSpace& space, const SolveOptions& 
   SolveResult result;
 
   // Seed incumbents first: the search can then never end below them.
-  // (Evaluated serially — callbacks must improve monotonically.)
+  // (Scored as one batch, then offered serially in seed order — callbacks
+  // must improve monotonically.)
   bool seed_abort = false;
-  for (const std::vector<int>& seed : options.seeds) {
-    HAX_REQUIRE(static_cast<int>(seed.size()) == n, "seed has wrong length");
-    ++result.stats.leaves_evaluated;
-    const double obj = space.evaluate(seed);
-    if (!shared.offer(seed, obj, on_incumbent)) {
-      seed_abort = true;
-      break;
+  if (!options.seeds.empty()) {
+    std::vector<int> seed_assignments;
+    seed_assignments.reserve(options.seeds.size() * static_cast<std::size_t>(n));
+    for (const std::vector<int>& seed : options.seeds) {
+      HAX_REQUIRE(static_cast<int>(seed.size()) == n, "seed has wrong length");
+      seed_assignments.insert(seed_assignments.end(), seed.begin(), seed.end());
+    }
+    std::vector<double> seed_objectives(options.seeds.size());
+    space.evaluate_batch(seed_assignments, static_cast<int>(options.seeds.size()),
+                         seed_objectives);
+    result.stats.leaves_evaluated += options.seeds.size();
+    for (std::size_t i = 0; i < options.seeds.size(); ++i) {
+      if (!shared.offer(options.seeds[i], seed_objectives[i], on_incumbent)) {
+        seed_abort = true;
+        break;
+      }
     }
   }
 

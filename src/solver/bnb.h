@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/memo_cache.h"
 #include "common/types.h"
 
 namespace hax::solver {
@@ -46,6 +47,21 @@ class SearchSpace {
 
   /// Objective of a complete assignment; +infinity if infeasible.
   [[nodiscard]] virtual double evaluate(std::span<const int> assignment) const = 0;
+
+  /// Objectives of `n` complete assignments laid out back to back in
+  /// `assignments` (each variable_count() values); `out[i]` receives the
+  /// objective of the i-th. Results must be bit-identical to calling
+  /// evaluate() per assignment — batching is a throughput contract, not a
+  /// semantic one. The default implementation is that per-assignment loop;
+  /// spaces with a cheaper population path (ScheduleSpace's SoA batch
+  /// evaluator) override it. Const-thread-safe like evaluate().
+  virtual void evaluate_batch(std::span<const int> assignments, int n,
+                              std::span<double> out) const;
+
+  /// Hit/miss totals of the space's evaluation memo, when it keeps one
+  /// (see ScheduleSpace); zeros otherwise. Solvers snapshot this around
+  /// each generation/phase to report memo efficacy.
+  [[nodiscard]] virtual MemoCacheStats cache_stats() const noexcept { return {}; }
 };
 
 /// Cooperative cancellation flag shared between solver threads (and, in
@@ -96,6 +112,11 @@ class SharedBound {
 struct SolveOptions {
   /// Wall-clock budget; 0 or negative = unbounded. The solver checks the
   /// clock periodically, so overruns are bounded by one node expansion.
+  /// The budget governs optimality effort, not first-feasible discovery:
+  /// it is only enforced once some incumbent (seed or search-found)
+  /// exists, so a budgeted solve over a feasible space always returns an
+  /// assignment, no matter how small the budget or slow the machine.
+  /// Use node_limit for a hard stop that may return empty.
   TimeMs time_budget_ms = 0.0;
 
   /// Hard cap on explored nodes; 0 = unbounded. Honored exactly even in
@@ -139,6 +160,19 @@ struct Incumbent {
   TimeMs found_at_ms = 0.0;  ///< wall time since solve() started
 };
 
+/// Per-generation telemetry of the genetic solver: how many fitness
+/// evaluations the generation issued and how many were absorbed by the
+/// space's memo cache (duplicate genomes, elites revisited). generation 0
+/// is the initial population. bench_solvers prints these so batch/memo
+/// efficacy is observable per generation, not just per solve.
+struct GenerationStats {
+  int generation = 0;
+  std::uint64_t evaluations = 0;  ///< fitness evaluations issued
+  std::uint64_t cache_hits = 0;   ///< memo hits within this generation
+  std::uint64_t cache_misses = 0; ///< memo misses within this generation
+  double best_objective = std::numeric_limits<double>::infinity();  ///< after this generation
+};
+
 struct SolveStats {
   std::uint64_t nodes_explored = 0;
   std::uint64_t nodes_pruned = 0;
@@ -152,6 +186,8 @@ struct SolveStats {
   /// the cache lives in the space, not the engine — and zero otherwise.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Per-generation breakdown (genetic solver only; empty for B&B).
+  std::vector<GenerationStats> generations;
 };
 
 struct SolveResult {

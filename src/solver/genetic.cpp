@@ -1,7 +1,6 @@
 #include "solver/genetic.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 
 #include "common/error.h"
@@ -81,7 +80,8 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
   const auto start = Clock::now();
   SolveResult result;
   double best_objective = std::numeric_limits<double>::infinity();
-  std::atomic<std::uint64_t> evaluations{0};
+  std::uint64_t evaluations = 0;
+  const int threads = resolve_thread_count(options.threads);
   ThreadPool pool(options.threads);
 
   const auto stopped = [&] {
@@ -89,9 +89,62 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
     return options.time_budget_ms > 0.0 && since_ms(start) > options.time_budget_ms;
   };
 
-  const auto evaluate = [&](Individual& ind) {
-    evaluations.fetch_add(1, std::memory_order_relaxed);
-    ind.fitness = space.evaluate(ind.genes);
+  // Batch fitness evaluation: individuals are *constructed* under
+  // parallel_for, but scoring goes through the space's batch evaluator —
+  // `marked` selects which individuals need scores. The batch is split
+  // into one contiguous chunk per worker; chunking cannot affect results
+  // (evaluate_batch is bit-identical to per-individual evaluate() calls),
+  // so determinism is preserved for any thread count.
+  std::vector<int> eval_buf;
+  std::vector<double> eval_obj;
+  std::vector<std::size_t> eval_slots;
+  const auto evaluate_marked = [&](std::vector<Individual>& group,
+                                   const std::vector<char>& marked) {
+    eval_slots.clear();
+    for (std::size_t slot = 0; slot < group.size(); ++slot) {
+      if (marked[slot]) eval_slots.push_back(slot);
+    }
+    if (eval_slots.empty()) return;
+    eval_buf.clear();
+    eval_buf.reserve(eval_slots.size() * static_cast<std::size_t>(n));
+    for (const std::size_t slot : eval_slots) {
+      eval_buf.insert(eval_buf.end(), group[slot].genes.begin(), group[slot].genes.end());
+    }
+    eval_obj.resize(eval_slots.size());
+    evaluations += eval_slots.size();
+    const std::size_t chunks = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(threads, 1)), eval_slots.size());
+    const std::size_t per_chunk = (eval_slots.size() + chunks - 1) / chunks;
+    parallel_for(pool, chunks, [&](std::size_t c) {
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(begin + per_chunk, eval_slots.size());
+      if (begin >= end) return;
+      space.evaluate_batch(
+          std::span<const int>(eval_buf).subspan(begin * static_cast<std::size_t>(n),
+                                                 (end - begin) * static_cast<std::size_t>(n)),
+          static_cast<int>(end - begin),
+          std::span<double>(eval_obj).subspan(begin, end - begin));
+    });
+    for (std::size_t m = 0; m < eval_slots.size(); ++m) {
+      group[eval_slots[m]].fitness = eval_obj[m];
+    }
+  };
+
+  // Per-generation memo efficacy: snapshot the space's cache counters
+  // around each generation's evaluations.
+  MemoCacheStats cache_before = space.cache_stats();
+  std::uint64_t evals_before = 0;
+  const auto record_generation = [&](int gen) {
+    const MemoCacheStats cache_after = space.cache_stats();
+    GenerationStats gs;
+    gs.generation = gen;
+    gs.evaluations = evaluations - evals_before;
+    gs.cache_hits = cache_after.hits - cache_before.hits;
+    gs.cache_misses = cache_after.misses - cache_before.misses;
+    gs.best_objective = best_objective;
+    result.stats.generations.push_back(gs);
+    cache_before = cache_after;
+    evals_before = evaluations;
   };
 
   // Serial, slot-ordered acceptance keeps incumbents (and callbacks)
@@ -111,7 +164,7 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
   };
 
   const auto finalize = [&]() -> SolveResult {
-    result.stats.leaves_evaluated = evaluations.load(std::memory_order_relaxed);
+    result.stats.leaves_evaluated = evaluations;
     result.stats.elapsed_ms = since_ms(start);
     result.stats.exhausted = false;  // heuristic: no optimality proof
     return result;
@@ -137,7 +190,6 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
         ind.genes.resize(static_cast<std::size_t>(n));
       }
       if (repair(space, n, ind.genes, rng, scratch)) {
-        evaluate(ind);
         valid[slot] = 1;
         return;
       }
@@ -145,12 +197,12 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
     for (int attempt = 0; attempt < kMaxRepairAttempts; ++attempt) {
       ind.genes.clear();
       if (repair(space, n, ind.genes, rng, scratch)) {
-        evaluate(ind);
         valid[slot] = 1;
         return;
       }
     }
   });
+  evaluate_marked(population, valid);
   {
     std::size_t kept = 0;
     for (std::size_t slot = 0; slot < population.size(); ++slot) {
@@ -161,6 +213,7 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
     }
     population.resize(kept);
   }
+  record_generation(0);
   if (population.empty()) return finalize();
 
   // ---- generations ---------------------------------------------------------
@@ -177,6 +230,7 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
         std::min(static_cast<std::size_t>(std::max(options.elites, 0)), population.size());
     const std::size_t child_count = population.size() - elite_count;
     std::vector<Individual> children(child_count);
+    std::vector<char> needs_eval(child_count, 0);
 
     parallel_for(pool, child_count, [&](std::size_t slot) {
       Individual& child = children[slot];
@@ -223,18 +277,20 @@ SolveResult GeneticSolver::solve(const SearchSpace& space, const GeneticOptions&
           }
         }
         if (repair(space, n, child.genes, rng, scratch)) {
-          evaluate(child);
+          needs_eval[slot] = 1;  // scored by the batch evaluator below
           return;
         }
       }
-      // Repair kept dead-ending: clone the best individual (already
-      // evaluated) so the generation always fills up.
+      // Repair kept dead-ending: clone the best individual (fitness
+      // already known) so the generation always fills up.
       child = population.front();
     });
+    evaluate_marked(children, needs_eval);
 
     for (const Individual& child : children) {
       if (!accept(child)) return finalize();
     }
+    record_generation(gen);
 
     std::vector<Individual> next;
     next.reserve(population.size());

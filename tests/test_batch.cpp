@@ -1,0 +1,408 @@
+/// Batch evaluator suite: exact (bit-identical) parity of the SoA batch
+/// paths — Formulation::evaluate_batch / predict_batch and
+/// ScheduleSpace::evaluate_batch — against the scalar flat paths and the
+/// golden reference, across randomized scenarios, batch sizes 1..4096,
+/// option variants, memo-hit interleavings and the permutation-of-
+/// identical-DNNs dedup property. Runs under the "batch" ctest label
+/// (scripts/ci.sh check_batch repeats it under ASan).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/memo_cache.h"
+#include "common/rng.h"
+#include "nn/zoo.h"
+#include "sched/formulation.h"
+#include "sched/problem.h"
+#include "sched/search_space.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::sched;
+
+/// Same structural variety as test_evaluator: a parallel pair, a
+/// pipelined streaming pair, and a 3-DNN hybrid across two platforms.
+struct WorkloadDef {
+  const char* name;
+  soc::Platform (*platform)();
+  Objective objective;
+  std::vector<const char*> dnns;
+  std::vector<int> deps;
+  std::vector<int> iters;
+};
+
+const std::vector<WorkloadDef>& workloads() {
+  static const std::vector<WorkloadDef> defs = {
+      {"xavier-vgg19+resnet152", &soc::Platform::xavier, Objective::MinMaxLatency,
+       {"VGG19", "ResNet152"}, {-1, -1}, {1, 1}},
+      {"xavier-alexnet>resnet101", &soc::Platform::xavier, Objective::MaxThroughput,
+       {"AlexNet", "ResNet101"}, {-1, 0}, {4, 4}},
+      {"orin-resnet101>googlenet+inception", &soc::Platform::orin, Objective::MinMaxLatency,
+       {"ResNet101", "GoogleNet", "Inception"}, {-1, 0, -1}, {2, 2, 1}},
+  };
+  return defs;
+}
+
+ProblemInstance make_instance(const soc::Platform& platform, const WorkloadDef& def) {
+  ProblemInstance inst(platform, def.objective, {.max_groups = 5});
+  for (std::size_t i = 0; i < def.dnns.size(); ++i) {
+    inst.add_dnn(nn::zoo::by_name(def.dnns[i]), def.deps[i], def.iters[i]);
+  }
+  return inst;
+}
+
+/// Structurally valid random flat assignment (same construction as the
+/// GA's repair pass; see test_evaluator.cpp).
+std::vector<int> random_flat(const ScheduleSpace& space, Rng& rng) {
+  std::vector<int> flat;
+  std::vector<int> cands;
+  const int n = space.variable_count();
+  flat.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    space.candidates(flat, cands);
+    if (cands.empty()) {
+      flat.clear();
+      v = -1;
+      continue;
+    }
+    flat.push_back(cands[rng.uniform_index(cands.size())]);
+  }
+  return flat;
+}
+
+/// Pool of distinct valid candidates.
+std::vector<std::vector<int>> distinct_pool(const ScheduleSpace& space, Rng& rng,
+                                            std::size_t want) {
+  std::vector<std::vector<int>> pool;
+  while (pool.size() < want) {
+    std::vector<int> flat = random_flat(space, rng);
+    if (std::find(pool.begin(), pool.end(), flat) == pool.end()) {
+      pool.push_back(std::move(flat));
+    }
+  }
+  return pool;
+}
+
+/// Concatenates `n` candidates drawn (with repeats) from `pool` into the
+/// back-to-back layout evaluate_batch consumes. Returns the draw order.
+std::vector<std::size_t> fill_batch(const std::vector<std::vector<int>>& pool, Rng& rng,
+                                    int n, std::vector<int>& buf) {
+  buf.clear();
+  std::vector<std::size_t> picks;
+  picks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t p = rng.uniform_index(pool.size());
+    picks.push_back(p);
+    buf.insert(buf.end(), pool[p].begin(), pool[p].end());
+  }
+  return picks;
+}
+
+void expect_identical(const Prediction& ref, const Prediction& got, const char* what) {
+  EXPECT_EQ(ref.feasible, got.feasible) << what;
+  EXPECT_EQ(ref.sweep_capped, got.sweep_capped) << what;
+  // Bit-identical, not approximately equal: the batch path must perform
+  // the same float operations in the same order as the scalar path.
+  EXPECT_EQ(ref.objective_value, got.objective_value) << what;
+  EXPECT_EQ(ref.makespan_ms, got.makespan_ms) << what;
+  EXPECT_EQ(ref.round_ms, got.round_ms) << what;
+  EXPECT_EQ(ref.fps, got.fps) << what;
+  EXPECT_EQ(ref.total_queue_ms, got.total_queue_ms) << what;
+  ASSERT_EQ(ref.dnn_span_ms.size(), got.dnn_span_ms.size()) << what;
+  for (std::size_t i = 0; i < ref.dnn_span_ms.size(); ++i) {
+    EXPECT_EQ(ref.dnn_span_ms[i], got.dnn_span_ms[i]) << what << " span " << i;
+  }
+}
+
+// ------------------------------------------------------------- parity ----
+
+TEST(BatchParity, EvaluateBatchMatchesFlatAcrossBatchSizes) {
+  for (const WorkloadDef& def : workloads()) {
+    const soc::Platform plat = def.platform();
+    const ProblemInstance inst = make_instance(plat, def);
+    const ScheduleSpace space(inst.problem(), {.memo_cache = false});
+    const Formulation& f = space.formulation();
+    const int vars = f.flat_variable_count();
+    EvalWorkspace ws;
+    BatchEvalWorkspace bws;  // reused across every batch below
+    Rng rng(0xBA7C4ull);
+
+    const auto pool = distinct_pool(space, rng, 12);
+    std::vector<int> buf;
+    for (const int n : {1, 2, 3, 7, 17, 64, 257}) {
+      const auto picks = fill_batch(pool, rng, n, buf);
+      std::vector<double> out(static_cast<std::size_t>(n), -1.0);
+      f.evaluate_batch(buf, n, out, bws);
+
+      EXPECT_EQ(bws.last_batch_candidates(), static_cast<std::uint64_t>(n)) << def.name;
+      EXPECT_GE(bws.last_batch_unique(), 1u) << def.name;
+      EXPECT_LE(bws.last_batch_unique(),
+                std::min<std::uint64_t>(static_cast<std::uint64_t>(n), pool.size()))
+          << def.name;
+
+      for (int i = 0; i < n; ++i) {
+        const std::span<const int> cand(buf.data() + static_cast<std::size_t>(i) * vars,
+                                        static_cast<std::size_t>(vars));
+        EXPECT_EQ(f.evaluate_flat(cand, ws), out[static_cast<std::size_t>(i)])
+            << def.name << " n=" << n << " i=" << i << " pick=" << picks[i];
+      }
+    }
+  }
+}
+
+TEST(BatchParity, PredictBatchMatchesFlatAndReference) {
+  for (const WorkloadDef& def : workloads()) {
+    const soc::Platform plat = def.platform();
+    const ProblemInstance inst = make_instance(plat, def);
+    const Problem& prob = inst.problem();
+    const ScheduleSpace space(prob, {.memo_cache = false});
+    const Formulation& f = space.formulation();
+    const int vars = f.flat_variable_count();
+    EvalWorkspace ws;
+    BatchEvalWorkspace bws;
+    Rng rng(99);
+
+    auto pool = distinct_pool(space, rng, 6);
+    // Infeasible zigzag (alternating PU index per variable): the batch
+    // path must report it exactly as the scalar path does.
+    std::vector<int> zigzag(static_cast<std::size_t>(vars));
+    for (int v = 0; v < vars; ++v) zigzag[static_cast<std::size_t>(v)] = v % 2;
+    pool.push_back(zigzag);
+
+    std::vector<int> buf;
+    (void)fill_batch(pool, rng, 16, buf);
+    // Force the zigzag in:
+    std::copy(zigzag.begin(), zigzag.end(), buf.begin() + 3 * vars);
+
+    std::vector<Prediction> out(16);
+    f.predict_batch(buf, 16, out, bws);
+    for (int i = 0; i < 16; ++i) {
+      const std::span<const int> cand(buf.data() + static_cast<std::size_t>(i) * vars,
+                                      static_cast<std::size_t>(vars));
+      expect_identical(f.predict_flat(cand, ws), out[static_cast<std::size_t>(i)], def.name);
+    }
+    // Spot-check lane 0 against the golden reference through the
+    // Schedule-shaped entry point.
+    const std::vector<int> first(buf.begin(), buf.begin() + vars);
+    expect_identical(f.predict_reference(space.to_schedule(first)), out[0], def.name);
+  }
+}
+
+TEST(BatchParity, OptionVariantsMatchFlat) {
+  const WorkloadDef& def = workloads()[0];
+  const soc::Platform plat = def.platform();
+  const ProblemInstance inst = make_instance(plat, def);
+  Problem prob = inst.problem();
+  prob.epsilon_ms = 0.25;  // make the ε constraint bite sometimes
+  const Formulation f(prob);
+  const ScheduleSpace space(prob, {.memo_cache = false});
+  const int vars = f.flat_variable_count();
+  EvalWorkspace ws;
+  BatchEvalWorkspace bws;
+  Rng rng(7);
+
+  const PredictOptions variants[] = {
+      {},
+      {.model_contention = false},
+      {.enforce_epsilon = false},
+      {.model_contention = false, .enforce_transition_budget = false, .enforce_epsilon = false},
+      {.max_events = 1},  // every sweep trips the cap
+  };
+  const auto pool = distinct_pool(space, rng, 8);
+  std::vector<int> buf;
+  (void)fill_batch(pool, rng, 24, buf);
+  std::vector<Prediction> out(24);
+  for (const PredictOptions& opt : variants) {
+    f.predict_batch(buf, 24, out, bws, opt);
+    for (int i = 0; i < 24; ++i) {
+      const std::span<const int> cand(buf.data() + static_cast<std::size_t>(i) * vars,
+                                      static_cast<std::size_t>(vars));
+      expect_identical(f.predict_flat(cand, ws, opt), out[static_cast<std::size_t>(i)],
+                       "option variant");
+    }
+  }
+}
+
+TEST(BatchParity, LargeBatch4096MatchesFlat) {
+  const WorkloadDef& def = workloads()[0];
+  const soc::Platform plat = def.platform();
+  const ProblemInstance inst = make_instance(plat, def);
+  const ScheduleSpace space(inst.problem(), {.memo_cache = false});
+  const Formulation& f = space.formulation();
+  const int vars = f.flat_variable_count();
+  EvalWorkspace ws;
+  BatchEvalWorkspace bws;
+  Rng rng(0x4096ull);
+
+  // 64 distinct candidates spread over 4096 slots: heavy whole-candidate
+  // dedup, exactly the GA's converged-population shape.
+  const auto pool = distinct_pool(space, rng, 64);
+  std::vector<int> buf;
+  (void)fill_batch(pool, rng, 4096, buf);
+  std::vector<double> out(4096, -1.0);
+  f.evaluate_batch(buf, 4096, out, bws);
+
+  EXPECT_EQ(bws.last_batch_candidates(), 4096u);
+  EXPECT_LE(bws.last_batch_unique(), 64u);
+
+  for (int i = 0; i < 4096; ++i) {
+    const std::span<const int> cand(buf.data() + static_cast<std::size_t>(i) * vars,
+                                    static_cast<std::size_t>(vars));
+    ASSERT_EQ(f.evaluate_flat(cand, ws), out[static_cast<std::size_t>(i)]) << "i=" << i;
+  }
+}
+
+// --------------------------------------------------- memo interleaving ----
+
+TEST(BatchMemo, MemoHitInterleavingsMatchUncached) {
+  const WorkloadDef& def = workloads()[1];
+  const soc::Platform plat = def.platform();
+  const ProblemInstance inst = make_instance(plat, def);
+  const ScheduleSpace cached(inst.problem(), {.memo_cache = true});
+  const ScheduleSpace uncached(inst.problem(), {.memo_cache = false});
+  const int vars = cached.variable_count();
+  Rng rng(0x3E30ull);
+
+  const auto pool = distinct_pool(cached, rng, 10);
+  // Pre-warm the memo with the even-indexed candidates via the scalar
+  // path, so the batch below interleaves warm hits, cold misses and
+  // in-batch duplicates.
+  for (std::size_t p = 0; p < pool.size(); p += 2) (void)cached.evaluate(pool[p]);
+  const MemoCacheStats warm = cached.cache_stats();
+  EXPECT_EQ(warm.misses, pool.size() / 2);
+
+  std::vector<int> buf;
+  const auto picks = fill_batch(pool, rng, 96, buf);
+  std::vector<double> out(96, -1.0);
+  cached.evaluate_batch(buf, 96, out);
+
+  std::size_t warm_occurrences = 0;
+  for (int i = 0; i < 96; ++i) {
+    const std::span<const int> cand(buf.data() + static_cast<std::size_t>(i) * vars,
+                                    static_cast<std::size_t>(vars));
+    std::vector<double> scalar(1, -1.0);
+    uncached.evaluate_batch(cand, 1, scalar);
+    EXPECT_EQ(uncached.evaluate(std::vector<int>(cand.begin(), cand.end())),
+              out[static_cast<std::size_t>(i)])
+        << "i=" << i;
+    EXPECT_EQ(scalar[0], out[static_cast<std::size_t>(i)]) << "i=" << i;
+    if (picks[static_cast<std::size_t>(i)] % 2 == 0) ++warm_occurrences;
+  }
+
+  // Every occurrence of a pre-warmed candidate must have hit the memo.
+  const MemoCacheStats after = cached.cache_stats();
+  EXPECT_GE(after.hits - warm.hits, warm_occurrences);
+  // Cold candidates were inserted: a second identical batch is all hits.
+  cached.evaluate_batch(buf, 96, out);
+  const MemoCacheStats again = cached.cache_stats();
+  EXPECT_EQ(again.hits - after.hits, 96u);
+  EXPECT_EQ(again.misses, after.misses);
+}
+
+// ---------------------------------------- permuted identical DNNs ----
+
+/// Two byte-identical DNNs (same network, same deps, same iterations):
+/// candidates that differ only by swapping the two DNNs' plans are
+/// DIFFERENT flat vectors and must not be conflated by any dedup layer
+/// (whole-candidate and per-(DNN,row) keys are exact values, and row keys
+/// are salted by DNN index). This is the fingerprint-canonicalization
+/// interaction: the serve layer may canonicalize scenario order, but the
+/// evaluator itself must treat permuted assignments as distinct.
+TEST(BatchProperty, PermutedIdenticalDnnCandidatesStayDistinct) {
+  const soc::Platform plat = soc::Platform::xavier();
+  ProblemInstance inst(plat, Objective::MinMaxLatency, {.max_groups = 5});
+  inst.add_dnn(nn::zoo::by_name("GoogleNet"), -1, 1);
+  inst.add_dnn(nn::zoo::by_name("GoogleNet"), -1, 1);
+  const ScheduleSpace space(inst.problem(), {.memo_cache = false});
+  const Formulation& f = space.formulation();
+  const int vars = f.flat_variable_count();
+  ASSERT_EQ(vars % 2, 0);
+  const int half = vars / 2;
+  EvalWorkspace ws;
+  BatchEvalWorkspace bws;
+  Rng rng(0x1DEA);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<int> base = random_flat(space, rng);
+    const std::vector<int> x(base.begin(), base.begin() + half);
+    const std::vector<int> y(base.begin() + half, base.end());
+    if (x == y) continue;  // swap would be the identity; nothing to test
+
+    // A = x||y, B = y||x, plus a repeat of A to exercise true dedup
+    // alongside the must-stay-distinct pair.
+    std::vector<int> buf;
+    buf.insert(buf.end(), base.begin(), base.end());
+    buf.insert(buf.end(), y.begin(), y.end());
+    buf.insert(buf.end(), x.begin(), x.end());
+    buf.insert(buf.end(), base.begin(), base.end());
+
+    std::vector<double> out(3, -1.0);
+    f.evaluate_batch(buf, 3, out, bws);
+    EXPECT_EQ(bws.last_batch_candidates(), 3u);
+    EXPECT_EQ(bws.last_batch_unique(), 2u);  // A and B distinct; repeat deduped
+
+    const std::span<const int> a(buf.data(), static_cast<std::size_t>(vars));
+    const std::span<const int> b(buf.data() + vars, static_cast<std::size_t>(vars));
+    EXPECT_EQ(f.evaluate_flat(a, ws), out[0]) << "trial " << trial;
+    EXPECT_EQ(f.evaluate_flat(b, ws), out[1]) << "trial " << trial;
+    EXPECT_EQ(out[0], out[2]) << "trial " << trial;  // exact repeat shares the lane
+  }
+}
+
+// ----------------------------------------------------------- telemetry ----
+
+TEST(BatchTelemetry, RowDedupCountersAreExact) {
+  const soc::Platform plat = soc::Platform::xavier();
+  ProblemInstance inst(plat, Objective::MinMaxLatency, {.max_groups = 5});
+  inst.add_dnn(nn::zoo::by_name("GoogleNet"), -1, 1);
+  inst.add_dnn(nn::zoo::by_name("ResNet101"), -1, 1);
+  const ScheduleSpace space(inst.problem(), {.memo_cache = false});
+  const Formulation& f = space.formulation();
+  BatchEvalWorkspace bws;
+  Rng rng(5);
+
+  std::vector<int> a = random_flat(space, rng);
+  std::vector<int> b;
+  do {
+    b = random_flat(space, rng);
+  } while (std::equal(b.begin(), b.end(), a.begin()));  // need a distinct candidate
+
+  // Whole-candidate duplicates never reach the row tables: N copies of
+  // one candidate cost exactly dnn_count row walks.
+  {
+    std::vector<int> buf;
+    for (int i = 0; i < 5; ++i) buf.insert(buf.end(), a.begin(), a.end());
+    std::vector<double> out(5);
+    f.evaluate_batch(buf, 5, out, bws);
+    EXPECT_EQ(bws.last_batch_candidates(), 5u);
+    EXPECT_EQ(bws.last_batch_unique(), 1u);
+    EXPECT_EQ(bws.last_batch_row_walks(), 2u);
+    EXPECT_EQ(bws.last_batch_row_hits(), 0u);
+  }
+
+  // Two candidates sharing DNN-0's row: the shared row is walked once and
+  // served from the table the second time.
+  {
+    std::vector<int> hybrid = a;
+    // Keep a's DNN-0 half, take b's DNN-1 half. Variable split: DNN 0 owns
+    // the first group_count(0) variables.
+    const int dnn0_vars =
+        inst.problem().dnns[0].net->group_count();
+    std::vector<int> buf(a.begin(), a.end());
+    std::copy(a.begin(), a.begin() + dnn0_vars, hybrid.begin());
+    std::copy(b.begin() + dnn0_vars, b.end(), hybrid.begin() + dnn0_vars);
+    if (hybrid == a) return;  // b's DNN-1 half happened to equal a's: skip
+    buf.insert(buf.end(), hybrid.begin(), hybrid.end());
+    std::vector<double> out(2);
+    f.evaluate_batch(buf, 2, out, bws);
+    EXPECT_EQ(bws.last_batch_unique(), 2u);
+    EXPECT_EQ(bws.last_batch_row_walks(), 3u);  // a0, a1, hybrid1
+    EXPECT_EQ(bws.last_batch_row_hits(), 1u);   // hybrid0 == a0
+  }
+}
+
+}  // namespace

@@ -275,6 +275,35 @@ TEST(Bnb, TimeBudgetReturnsQuickly) {
   ASSERT_TRUE(r.best.has_value());  // anytime: something was found
 }
 
+/// TableSpace where only the all-ones assignment is feasible; every other
+/// leaf evaluates to infinity. DFS tries value 0 first at each level, so
+/// the lone feasible leaf is the very last one explored.
+class LastLeafFeasibleSpace : public WeakBoundTableSpace {
+ public:
+  using WeakBoundTableSpace::WeakBoundTableSpace;
+  double evaluate(std::span<const int> assignment) const override {
+    for (const int v : assignment) {
+      if (v != 1) return std::numeric_limits<double>::infinity();
+    }
+    return WeakBoundTableSpace::evaluate(assignment);
+  }
+};
+
+TEST(Bnb, TinyBudgetStillReturnsFirstFeasibleIncumbent) {
+  // The wall-clock budget governs optimality effort, not first-feasible
+  // discovery: an already-expired budget must still yield an incumbent
+  // whenever a feasible assignment is reachable (the anytime contract —
+  // no machine is slow enough to turn a budgeted solve into an empty
+  // result). Only node_limit may do that, and it is not set here.
+  const LastLeafFeasibleSpace space(10, 2, 53);
+  SolveOptions options;
+  options.time_budget_ms = 1e-6;
+  const SolveResult r = BranchAndBound().solve(space, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_EQ(r.best->assignment, std::vector<int>(10, 1));
+  EXPECT_TRUE(std::isfinite(r.best->objective));
+}
+
 // ------------------------------------------- budget / abort semantics --
 // These paths gate the portfolio's cancellation logic: `exhausted` must
 // be false whenever any budget or abort cut the search short, for both

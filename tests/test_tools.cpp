@@ -271,6 +271,26 @@ TEST(HaxLint, SrandTokenDoesNotDoubleCountRand) {
   EXPECT_NE(findings[0].message.find("srand("), std::string::npos);
 }
 
+TEST(HaxLint, BatchEvaluatorSourcesAreInDeterministicScope) {
+  // The batched SoA evaluator lives under src/sched/ — the deterministic
+  // core — so both the nondet and raw-mutex rules must cover it exactly
+  // as they cover the scalar evaluator. Guards against the batch path
+  // drifting out of lint scope (e.g. moving to an unscanned directory).
+  const std::string nondet_src = read_fixture("nondet_hit.cpp");
+  const auto nondet = lint::scan_source("src/sched/formulation_batch.cpp", nondet_src);
+  ASSERT_EQ(nondet.size(), 3u);  // random_device, system_clock, rand(
+  for (const lint::Finding& f : nondet) EXPECT_EQ(f.rule, "nondet");
+
+  const auto mutex = lint::scan_source("src/sched/formulation_batch.cpp",
+                                       read_fixture("raw_mutex_hit.cpp"));
+  ASSERT_FALSE(mutex.empty());
+  EXPECT_EQ(mutex[0].rule, "raw-mutex");
+
+  // The batch test suite is scanned too (pragma-once / using-namespace
+  // header hygiene applies), but the src-only rules stay off there.
+  EXPECT_TRUE(lint::scan_source("tests/test_batch.cpp", nondet_src).empty());
+}
+
 TEST(HaxLint, FormatIsFileLineRuleMessage) {
   const auto findings = lint::scan_source("src/core/x.cpp", "std::mutex m;\n");
   ASSERT_EQ(findings.size(), 1u);
