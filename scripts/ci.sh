@@ -20,6 +20,9 @@ cmake --build "$BUILD_DIR" -j
 echo "== tier 1: ctest (includes the hax_lint scan) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 
+echo "== lock-order gate: check_lock_order =="
+cmake --build "$BUILD_DIR" --target check_lock_order
+
 echo "== analysis gate: check_all_analysis =="
 cmake --build "$BUILD_DIR" --target check_all_analysis
 

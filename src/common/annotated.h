@@ -25,10 +25,27 @@
 ///    timeline) is intentionally *not* `HAX_GUARDED_BY`: readers touch it
 ///    without the mutex by design. Such fields carry a comment naming the
 ///    publication protocol instead.
+///  - Under `HAX_RANK_CHECKS` (defined automatically in HAX_SANITIZE
+///    builds) every Mutex may carry a rank + name from the canonical
+///    assignment in src/common/lock_ranks.h, and lock()/try_lock()/
+///    unlock() maintain a thread-local held-rank stack: acquiring a
+///    ranked mutex while holding one of equal or higher rank aborts with
+///    both names. LockGuard and CondVar inherit the checking through
+///    Mutex, so every acquisition path in the repo is covered. The stack
+///    is per-thread, so a mutex released inside CondVar::wait cannot
+///    corrupt another thread's view. `hax_analyze --emit-ranks` derives
+///    the ranks from the static acquisition graph — the two layers share
+///    tools/analyze/lock_ranks.inc and the hax_analyze CTest gate fails
+///    on drift.
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+
+#ifdef HAX_RANK_CHECKS
+#include <cstdio>
+#include <cstdlib>
+#endif
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -76,22 +93,118 @@ namespace hax {
 
 class CondVar;
 
+#ifdef HAX_RANK_CHECKS
+namespace detail {
+
+/// Per-thread stack of held ranked locks. Fixed capacity: the deepest
+/// real nesting in the repo is 3; 64 leaves room while keeping the hot
+/// path allocation-free (TSan instruments allocations heavily).
+struct RankStack {
+  static constexpr int kMax = 64;
+  struct Entry {
+    const void* mu;
+    int rank;
+    const char* name;
+  };
+  Entry held[kMax];
+  int depth = 0;
+};
+
+inline RankStack& rank_stack() noexcept {
+  thread_local RankStack stack;
+  return stack;
+}
+
+/// Called *before* blocking on the lock (aborting after would deadlock
+/// first). Rank 0 = unranked: recorded for completeness but never checked
+/// (test/bench-local mutexes outside the canonical assignment).
+inline void rank_check_acquire(int rank, const char* name) noexcept {
+  if (rank <= 0) return;
+  const RankStack& s = rank_stack();
+  for (int i = 0; i < s.depth; ++i) {
+    if (s.held[i].rank > 0 && rank <= s.held[i].rank) {
+      std::fprintf(stderr,
+                   "hax lock-rank violation: acquiring %s (rank %d) while "
+                   "holding %s (rank %d) — out-of-order acquisition, see "
+                   "tools/analyze/lock_ranks.inc\n",
+                   name, rank, s.held[i].name, s.held[i].rank);
+      std::abort();
+    }
+  }
+}
+
+inline void rank_push(const void* mu, int rank, const char* name) noexcept {
+  RankStack& s = rank_stack();
+  if (s.depth >= RankStack::kMax) {
+    std::fprintf(stderr, "hax lock-rank stack overflow acquiring %s\n", name);
+    std::abort();
+  }
+  s.held[s.depth++] = {mu, rank, name};
+}
+
+inline void rank_pop(const void* mu) noexcept {
+  RankStack& s = rank_stack();
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.held[i].mu != mu) continue;
+    for (int j = i; j + 1 < s.depth; ++j) s.held[j] = s.held[j + 1];
+    --s.depth;
+    return;
+  }
+}
+
+}  // namespace detail
+#endif  // HAX_RANK_CHECKS
+
 /// Annotated exclusive mutex. Same semantics as std::mutex; the capability
 /// annotations make `-Wthread-safety` enforce the HAX_GUARDED_BY contracts
-/// of everything it protects.
+/// of everything it protects. The ranked constructor feeds the runtime
+/// lock-order validator in HAX_RANK_CHECKS builds and costs nothing
+/// otherwise (use the HAX_MUTEX_RANK macro from lock_ranks.h, never a
+/// literal rank).
 class HAX_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+#ifdef HAX_RANK_CHECKS
+  Mutex(int rank, const char* name) noexcept : rank_(rank), name_(name) {}
+#else
+  Mutex(int /*rank*/, const char* /*name*/) noexcept {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() HAX_ACQUIRE() { mu_.lock(); }
-  void unlock() HAX_RELEASE() { mu_.unlock(); }
-  [[nodiscard]] bool try_lock() HAX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() HAX_ACQUIRE() {
+#ifdef HAX_RANK_CHECKS
+    detail::rank_check_acquire(rank_, name_);
+#endif
+    mu_.lock();
+#ifdef HAX_RANK_CHECKS
+    detail::rank_push(this, rank_, name_);
+#endif
+  }
+  void unlock() HAX_RELEASE() {
+#ifdef HAX_RANK_CHECKS
+    detail::rank_pop(this);
+#endif
+    mu_.unlock();
+  }
+  [[nodiscard]] bool try_lock() HAX_TRY_ACQUIRE(true) {
+    const bool locked = mu_.try_lock();
+#ifdef HAX_RANK_CHECKS
+    // No pre-check: a failed try_lock cannot deadlock. A successful one
+    // still lands on the stack so later blocking acquisitions are
+    // validated against it.
+    if (locked) detail::rank_push(this, rank_, name_);
+#endif
+    return locked;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#ifdef HAX_RANK_CHECKS
+  int rank_ = 0;
+  const char* name_ = "<unranked>";
+#endif
 };
 
 /// Tag type for LockGuard's adopting constructor (mirrors std::adopt_lock

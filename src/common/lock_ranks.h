@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file lock_ranks.h
+/// Canonical lock-rank constants, generated from the static acquisition
+/// graph. Each `HAX_LOCK_RANK_DEF(id, rank)` line in
+/// tools/analyze/lock_ranks.inc becomes `hax::ranks::id`; declaration
+/// sites pass `HAX_MUTEX_RANK(id)` as the Mutex constructor arguments:
+///
+///     Mutex mutex_{HAX_MUTEX_RANK(ThreadPool_mutex_)};
+///
+/// The id is the analyzer's canonical name for the lock (class-scope
+/// chain + field with `::` -> `_`, or enclosing function + local name);
+/// `hax_analyze` fails the build when a declaration's id does not match
+/// the model, when lock_ranks.inc drifts from the graph, or when a Mutex
+/// in src/ lacks the handshake entirely — so the runtime validator in
+/// annotated.h and the static analysis can never disagree about order.
+///
+/// Regenerate after adding a Mutex or a nesting edge:
+///     build/tools/hax_analyze . --emit-ranks > tools/analyze/lock_ranks.inc
+
+#include "common/annotated.h"
+
+namespace hax::ranks {
+
+#define HAX_LOCK_RANK_DEF(id, rank) inline constexpr int id = (rank);
+#include "../../tools/analyze/lock_ranks.inc"
+#undef HAX_LOCK_RANK_DEF
+
+}  // namespace hax::ranks
+
+/// Expands to the (rank, name) constructor-argument pair for a ranked
+/// Mutex declaration. The stringized id doubles as the runtime
+/// validator's diagnostic name, keeping abort messages greppable back to
+/// both the declaration and lock_ranks.inc.
+#define HAX_MUTEX_RANK(id) ::hax::ranks::id, #id

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 
 namespace hax::log {
 namespace {
@@ -13,7 +14,7 @@ std::atomic<int> g_level{static_cast<int>(Level::Warn)};
 /// Serializes sink writes. Function-local static so logging from other
 /// globals' constructors/destructors is init-order-safe.
 Mutex& write_mutex() {
-  static Mutex m;
+  static Mutex m{HAX_MUTEX_RANK(write_mutex_m)};
   return m;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/lock_ranks.h"
 
 namespace hax {
 namespace {
@@ -44,7 +45,7 @@ std::uint64_t hash_span(std::span<const int> values) noexcept {
 }
 
 struct alignas(64) MemoCache::Shard {
-  Mutex mutex;
+  Mutex mutex{HAX_MUTEX_RANK(MemoCache_Shard_mutex)};
   std::vector<std::uint64_t> keys HAX_GUARDED_BY(mutex);
   std::vector<double> values HAX_GUARDED_BY(mutex);
 };

@@ -90,7 +90,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   HAX_REQUIRE(fn != nullptr, "parallel_for requires a body");
 
   std::atomic<std::size_t> next{0};
-  Mutex error_mutex;
+  Mutex error_mutex{HAX_MUTEX_RANK(parallel_for_error_mutex)};
   std::exception_ptr error;  // guarded by error_mutex (local, unannotatable)
 
   const auto drain = [&] {

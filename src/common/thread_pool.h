@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 
 namespace hax {
 
@@ -52,8 +53,8 @@ class ThreadPool {
  private:
   void worker_loop() HAX_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  Mutex mutex_;
+  std::vector<std::thread> workers_;  ///< owned by the ctor/dtor thread only
+  Mutex mutex_{HAX_MUTEX_RANK(ThreadPool_mutex_)};
   std::deque<std::function<void()>> queue_ HAX_GUARDED_BY(mutex_);
   CondVar task_cv_;  ///< signals workers: work or shutdown
   CondVar idle_cv_;  ///< signals wait_idle: fully drained

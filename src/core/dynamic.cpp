@@ -63,6 +63,10 @@ void DHaxConn::start(const sched::Problem& problem, const sched::Schedule* initi
   worker_ = std::thread([this, &problem] {
     sched::SolveScheduleOptions options;
     options.max_nodes_per_ms = solver_nodes_per_ms_;
+    // The portfolio invokes this callback from under its funnel mutex,
+    // and publish() takes mutex_ — a nesting the analyzer cannot see
+    // through the std::function, so it is declared explicitly:
+    // hax-analyze: edge(PortfolioSolver_solve_cb_mutex -> DHaxConn_mutex_)
     const auto on_incumbent = [this](const sched::Schedule& s, const sched::Prediction& p,
                                      TimeMs) {
       publish(s, p);

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "core/haxconn.h"
 #include "sched/formulation.h"
 #include "sched/schedule.h"
@@ -61,13 +62,13 @@ class DHaxConn {
   void publish(const sched::Schedule& schedule, const sched::Prediction& prediction);
 
   const HaxConn* hax_;
-  double solver_nodes_per_ms_;
-  std::thread worker_;
+  double solver_nodes_per_ms_;  ///< const after construction
+  std::thread worker_;          ///< owned by the start()/stop() caller thread
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> converged_{false};
   std::atomic<int> updates_{0};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{HAX_MUTEX_RANK(DHaxConn_mutex_)};
   mutable CondVar cv_;
   sched::Schedule schedule_ HAX_GUARDED_BY(mutex_);
   sched::Prediction prediction_ HAX_GUARDED_BY(mutex_);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "common/types.h"
 #include "soc/processing_unit.h"
 
@@ -152,11 +153,11 @@ class FaultPlan {
   /// so the seal is a double-checked atomic behind compile_mu_.
   void compile() const;
 
-  std::uint64_t seed_;
-  double jitter_ = 0.0;
-  std::vector<FaultEvent> events_;
+  std::uint64_t seed_;              ///< builder state, set before the plan is shared
+  double jitter_ = 0.0;             ///< builder state, set before the plan is shared
+  std::vector<FaultEvent> events_;  ///< builder state, set before the plan is shared
 
-  mutable Mutex compile_mu_;
+  mutable Mutex compile_mu_{HAX_MUTEX_RANK(FaultPlan_compile_mu_)};
   mutable std::atomic<bool> compiled_{false};
   /// Sorted, unique. Deliberately NOT HAX_GUARDED_BY(compile_mu_): after
   /// the seal, readers access it without the mutex. The publication

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "common/error.h"
 #include "sched/validate.h"
 
@@ -27,20 +28,21 @@ TimeMs wall_ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-/// State shared by the per-DNN worker threads.
+/// State shared by the per-DNN worker threads. The unguarded scalars are
+/// all configuration: set before the workers spawn, const after that.
 struct Shared {
   const sched::Problem* prob = nullptr;
-  double time_scale = 1.0;
+  double time_scale = 1.0;      // set before spawn, const after
   const faults::FaultPlan* plan = nullptr;
-  TimeMs frame_timeout_ms = 0.0;
+  TimeMs frame_timeout_ms = 0.0;  // set before spawn, const after
   const FrameObserver* observer = nullptr;
-  Clock::time_point run_start;
+  Clock::time_point run_start;  // set before spawn, const after
 
   /// Simulated time since run() began (the fault plan's time base).
   [[nodiscard]] TimeMs sim_now() const { return wall_ms_since(run_start) / time_scale; }
 
   // EMC demand registry: what each PU's active kernel currently requests.
-  Mutex demand_mutex;
+  Mutex demand_mutex{HAX_MUTEX_RANK(Shared_demand_mutex)};
   std::vector<GBps> demands HAX_GUARDED_BY(demand_mutex);
 
   // PU exclusivity (one kernel per PU at a time). Each element is its own
@@ -49,17 +51,17 @@ struct Shared {
   std::vector<std::unique_ptr<Mutex>> pu_mutex;
 
   // Frame-level pipeline dependencies.
-  Mutex dep_mutex;
+  Mutex dep_mutex{HAX_MUTEX_RANK(Shared_dep_mutex)};
   CondVar dep_cv;
   std::vector<int> frames_done HAX_GUARDED_BY(dep_mutex);
 
   // Result collection.
-  Mutex record_mutex;
+  Mutex record_mutex{HAX_MUTEX_RANK(Shared_record_mutex)};
   std::vector<FrameRecord> frames HAX_GUARDED_BY(record_mutex);
   int timed_out_frames HAX_GUARDED_BY(record_mutex) = 0;
 
   // First worker exception (rethrown on the caller's thread after join).
-  Mutex error_mutex;
+  Mutex error_mutex{HAX_MUTEX_RANK(Shared_error_mutex)};
   std::exception_ptr error HAX_GUARDED_BY(error_mutex);
   std::atomic<bool> failed{false};
 };
@@ -99,12 +101,14 @@ bool run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand, Frame
     if (kernel_start + expected > ctx.deadline_sim) {
       // The deadline lands mid-kernel: sleep only to the deadline.
       const TimeMs till = std::max(ctx.deadline_sim - kernel_start, 0.0);
-      std::this_thread::sleep_for(
+      // Sleeping while holding the PU *is* the kernel occupying the PU;
+      // the mutex is the resource, not a guard over data.
+      std::this_thread::sleep_for(  // hax-analyze: allow(blocking-under-lock)
           std::chrono::duration<double, std::milli>(till * sh.time_scale));
       ctx.stuck_pu = pu;
       ok = false;
     } else {
-      std::this_thread::sleep_for(
+      std::this_thread::sleep_for(  // hax-analyze: allow(blocking-under-lock)
           std::chrono::duration<double, std::milli>(expected * sh.time_scale));
     }
   } else {
@@ -132,7 +136,7 @@ bool run_kernel(Shared& sh, soc::PuId pu, TimeMs duration_ms, GBps demand, Frame
         break;
       }
       chunk = std::max(chunk, kMinChunkMs);
-      std::this_thread::sleep_for(
+      std::this_thread::sleep_for(  // hax-analyze: allow(blocking-under-lock)
           std::chrono::duration<double, std::milli>(chunk * sh.time_scale));
       // Credit the time actually elapsed, not the intended chunk: OS
       // sleep overshoot then counts as progress instead of compounding
@@ -288,7 +292,7 @@ RunStats Executor::run(const sched::Problem& problem, const ScheduleProvider& pr
   }
   sh.pu_mutex.reserve(static_cast<std::size_t>(platform_->pu_count()));
   for (int p = 0; p < platform_->pu_count(); ++p) {
-    sh.pu_mutex.push_back(std::make_unique<Mutex>());
+    sh.pu_mutex.push_back(std::make_unique<Mutex>(HAX_MUTEX_RANK(Shared_pu_mutex)));
   }
   {
     LockGuard lock(sh.dep_mutex);

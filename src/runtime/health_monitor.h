@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "runtime/executor.h"
 
 namespace hax::runtime {
@@ -115,7 +116,7 @@ class HealthMonitor {
 
   HealthOptions options_;  ///< immutable after construction
   TimeMs epsilon_ms_;      ///< immutable after construction
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{HAX_MUTEX_RANK(HealthMonitor_mutex_)};
   std::vector<DnnState> dnns_ HAX_GUARDED_BY(mutex_);
   std::vector<PuState> pus_ HAX_GUARDED_BY(mutex_);
 };

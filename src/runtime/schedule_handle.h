@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "runtime/executor.h"
 #include "sched/schedule.h"
 
@@ -52,7 +53,7 @@ class ScheduleHandle {
   [[nodiscard]] static ScheduleProvider provider(std::shared_ptr<const ScheduleHandle> handle);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{HAX_MUTEX_RANK(ScheduleHandle_mu_)};
   sched::Schedule schedule_ HAX_GUARDED_BY(mu_);
   double objective_ HAX_GUARDED_BY(mu_) = 0.0;
   bool has_ HAX_GUARDED_BY(mu_) = false;

@@ -55,7 +55,9 @@ SelfHealingRuntime::SelfHealingRuntime(const sched::Problem& problem,
 
   // Seed the loop before any frame runs: DHaxConn publishes the best
   // naive schedule synchronously in start(), then improves in background.
-  solver_.start(degraded_);
+  // Blocking in start() under mu_ is safe here: no frames run yet, so no
+  // other thread can contend for mu_ during construction.
+  solver_.start(degraded_);  // hax-analyze: allow(blocking-under-lock)
   solver_stale_ = false;
   active_ = solver_.current_schedule();
   active_pred_ = solver_.current_prediction();
@@ -175,8 +177,12 @@ void SelfHealingRuntime::readmit_locked(TimeMs now) {
           options_.readmit_after_ms *
           static_cast<double>(1 << std::min(cond.quarantine_count - 1, 8));
       if (now - cond.since_ms < window) continue;
-      // The solver reads degraded_; stop it before the rebuild mutates it.
-      solver_.stop();
+      // The solver reads degraded_; stop it (joining its worker) before
+      // the rebuild mutates it. Holding mu_ across the join is the
+      // intervention design: frames must not observe a half-rebuilt
+      // problem, and the solver worker never takes mu_ (it publishes via
+      // DHaxConn's own lock), so the join cannot deadlock.
+      solver_.stop();  // hax-analyze: allow(blocking-under-lock)
       solver_stale_ = true;
       condition_.set(pu, soc::PuHealth::Probation, cond.frequency_scale, now);
       monitor_.reset_pu(pu);
@@ -194,8 +200,9 @@ void SelfHealingRuntime::readmit_locked(TimeMs now) {
 }
 
 void SelfHealingRuntime::intervene_locked(const DriftReport& report, TimeMs now) {
-  // Stop the background solver before touching the problem it reads.
-  solver_.stop();
+  // Stop the background solver (a join) before touching the problem it
+  // reads; see readmit_locked for why joining under mu_ is deliberate.
+  solver_.stop();  // hax-analyze: allow(blocking-under-lock)
   solver_stale_ = true;
   ++stats_.interventions;
 
@@ -305,8 +312,10 @@ void SelfHealingRuntime::kick_resolve_locked(TimeMs now) {
 
 void SelfHealingRuntime::do_resolve_locked(TimeMs now) {
   pending_resolve_ = false;
-  solver_.stop();
-  solver_.start(degraded_, &active_);
+  // Restarting the solver blocks (stop joins the worker, start solves
+  // the seed synchronously) under mu_ by design; see readmit_locked.
+  solver_.stop();   // hax-analyze: allow(blocking-under-lock)
+  solver_.start(degraded_, &active_);  // hax-analyze: allow(blocking-under-lock)
   solver_stale_ = false;
   last_update_seen_ = 0;  // adopt the restart's seed publication too
   next_resolve_ok_ = now + backoff_;

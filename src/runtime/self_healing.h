@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "core/dynamic.h"
 #include "core/haxconn.h"
 #include "runtime/executor.h"
@@ -140,9 +141,9 @@ class SelfHealingRuntime {
   void note_locked(TimeMs now, std::string what) HAX_REQUIRES(mu_);
 
   const sched::Problem* original_;
-  SelfHealingOptions options_;
+  SelfHealingOptions options_;  ///< const after construction
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{HAX_MUTEX_RANK(SelfHealingRuntime_mu_)};
 
   /// Rescaled copies of the original profiles (one per DNN; addresses
   /// stable — reserved up front). degraded_.dnns[*].profile point here.

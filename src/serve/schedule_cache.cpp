@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/lock_ranks.h"
 
 namespace hax::serve {
 
@@ -17,7 +18,7 @@ FpKey key_of(const sched::ScenarioFingerprint& fp) noexcept { return {fp.hi, fp.
 /// keeps iteration (and therefore eviction) order deterministic, which the
 /// serving layer's bit-identical-replay guarantee leans on.
 struct ScheduleCache::Shard {
-  mutable Mutex mu;
+  mutable Mutex mu{HAX_MUTEX_RANK(ScheduleCache_Shard_mu)};
   std::map<FpKey, CachedSchedule> entries HAX_GUARDED_BY(mu);
 };
 
@@ -26,7 +27,7 @@ struct ScheduleCache::Shard {
 /// full copies so a warm start survives the underlying entry's eviction.
 struct ScheduleCache::ShapeIndex {
   using Exemplar = std::pair<sched::ScenarioFingerprint, CachedSchedule>;
-  mutable Mutex mu;
+  mutable Mutex mu{HAX_MUTEX_RANK(ScheduleCache_ShapeIndex_mu)};
   std::size_t capacity HAX_GUARDED_BY(mu) = 64;
   std::size_t ring HAX_GUARDED_BY(mu) = 4;
   std::map<std::uint64_t, std::vector<Exemplar>> entries HAX_GUARDED_BY(mu);

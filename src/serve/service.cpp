@@ -11,6 +11,7 @@
 
 #include "baselines/baselines.h"
 #include "common/error.h"
+#include "common/lock_ranks.h"
 #include "common/stats.h"
 #include "runtime/schedule_handle.h"
 #include "sched/formulation.h"
@@ -107,16 +108,17 @@ namespace detail {
 struct RequestControl {
   explicit RequestControl(const solver::StopToken* parent) noexcept : stop(parent) {}
 
-  ScenarioRequest request;
-  sched::CanonicalScenario canon;
-  TimeMs submit_ms = 0.0;  ///< wall offset, or virtual arrival in virtual mode
+  ScenarioRequest request;        ///< set before enqueue, const after
+  sched::CanonicalScenario canon; ///< set before enqueue, const after
+  TimeMs submit_ms = 0.0;  ///< wall/virtual arrival; set before enqueue
 
   /// Child of the service's shutdown token: one request_stop() here (or a
   /// service shutdown) stops an in-flight solve at its next poll.
+  /// Internally synchronized (atomic flag chain).
   solver::StopToken stop;
   std::atomic<bool> cancel_requested{false};
 
-  mutable Mutex mu;
+  mutable Mutex mu{HAX_MUTEX_RANK(RequestControl_mu)};
   CondVar cv;
   /// Claimed by the first finish() so a shutdown racing a worker can't
   /// double-count; stats are recorded between claiming and `done` so an
@@ -185,18 +187,20 @@ struct SchedulerService::State {
     }
   };
 
-  mutable Mutex mu;
+  mutable Mutex mu{HAX_MUTEX_RANK(SchedulerService_State_mu)};
   CondVar work_cv;
   std::deque<std::shared_ptr<detail::RequestControl>> queues[kPriorityClassCount]
       HAX_GUARDED_BY(mu);
   bool stopping HAX_GUARDED_BY(mu) = false;
   bool shut_down HAX_GUARDED_BY(mu) = false;
 
-  /// Written by the constructor, swapped out once by shutdown() (guarded
-  /// by `shut_down`); worker threads never touch the vector itself.
+  /// Owned by the ctor/shutdown() thread: written by the constructor,
+  /// swapped out once by shutdown() (serialized by `shut_down`); worker
+  /// threads never touch the vector itself.
   std::vector<std::thread> workers;
 
   /// Parent of every per-request StopToken; fired once at shutdown.
+  /// Internally synchronized (atomic flag chain).
   solver::StopToken shutdown_stop;
 
   /// Live per-scenario publish slots backing make_provider().

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 
@@ -41,10 +42,10 @@ struct Frame {
 /// invocation (keeping callbacks strictly improving across threads).
 struct SharedSearch {
   const SolveOptions* options = nullptr;
-  Clock::time_point start;
+  Clock::time_point start;  ///< set before the search threads spawn
 
   std::atomic<double> best{std::numeric_limits<double>::infinity()};
-  Mutex mutex;  ///< serializes incumbent storage and callback invocation
+  Mutex mutex{HAX_MUTEX_RANK(SharedSearch_mutex)};  ///< serializes incumbent storage and callback invocation
   std::optional<Incumbent> incumbent HAX_GUARDED_BY(mutex);
   int incumbents_found HAX_GUARDED_BY(mutex) = 0;
   /// Lock-free mirror of `incumbents_found > 0` for the clock check: the

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/annotated.h"
+#include "common/lock_ranks.h"
 #include "common/thread_pool.h"
 
 namespace hax::solver {
@@ -31,8 +32,12 @@ PortfolioResult PortfolioSolver::solve(const SearchSpace& space,
 
   // Cross-engine monotonic callback filter: both engines report through
   // here; only strict global improvements reach the caller. A veto stops
-  // both engines.
-  Mutex cb_mutex;  // guards cb_best / cb_improvements / cb_closed (locals)
+  // both engines. The funnel runs under each engine's incumbent mutex
+  // (SharedSearch::offer invokes its callback while holding it) — the
+  // analyzer cannot see through the std::function, so the nesting is
+  // declared explicitly:
+  // hax-analyze: edge(SharedSearch_mutex -> PortfolioSolver_solve_cb_mutex)
+  Mutex cb_mutex{HAX_MUTEX_RANK(PortfolioSolver_solve_cb_mutex)};  // guards cb_best / cb_improvements / cb_closed (locals)
   double cb_best = std::numeric_limits<double>::infinity();
   int cb_improvements = 0;
   bool cb_closed = false;  // sticky after a veto: the user never hears again

@@ -1,0 +1,22 @@
+// Fixture: blocking while held is the design here (the mutex *is* the
+// resource being occupied), so the site carries a same-line allow.
+#include <chrono>
+#include <thread>
+
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Sleeper {
+ public:
+  void nap() {
+    LockGuard lock(mu_);
+    std::this_thread::sleep_for(  // hax-analyze: allow(blocking-under-lock)
+        std::chrono::milliseconds(1));
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace hax::fixture

@@ -1,0 +1,21 @@
+// Fixture: sleeping while holding a mutex — every waiter on mu_ stalls
+// for the full nap.
+#include <chrono>
+#include <thread>
+
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Sleeper {
+ public:
+  void nap() {
+    LockGuard lock(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace hax::fixture

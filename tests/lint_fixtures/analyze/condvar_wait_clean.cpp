@@ -1,0 +1,26 @@
+// Fixture: the one sanctioned blocking-while-held shape — CondVar::wait
+// releases the mutex it waits on, so waiting with only that mutex held
+// blocks nobody.
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Waiter {
+ public:
+  void block_until_ready() {
+    LockGuard lock(mu_);
+    while (!ready_) cv_.wait(mu_);
+  }
+  void set_ready() {
+    LockGuard lock(mu_);
+    ready_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ HAX_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace hax::fixture

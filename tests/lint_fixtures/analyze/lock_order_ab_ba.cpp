@@ -1,0 +1,28 @@
+// Fixture: ABBA lock-order inversion. The two methods nest the same pair
+// of mutexes in opposite orders — the classic two-thread deadlock. The
+// rule is unsuppressible, so the allow-file below must change nothing.
+// hax-analyze: allow-file(lock-order-inversion)
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Pair {
+ public:
+  void ab() {
+    LockGuard a(a_mu_);
+    LockGuard b(b_mu_);
+    ++x_;
+  }
+  void ba() {
+    LockGuard b(b_mu_);
+    LockGuard a(a_mu_);
+    --x_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int x_ HAX_GUARDED_BY(a_mu_) = 0;
+};
+
+}  // namespace hax::fixture

@@ -1,0 +1,27 @@
+// Fixture: consistent nesting order. Both methods take a_mu_ before
+// b_mu_, so the acquisition graph has the single edge a -> b and a
+// topological rank assignment exists.
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Pair {
+ public:
+  void ab() {
+    LockGuard a(a_mu_);
+    LockGuard b(b_mu_);
+    ++x_;
+  }
+  void also_ab() {
+    LockGuard a(a_mu_);
+    LockGuard b(b_mu_);
+    --x_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int x_ HAX_GUARDED_BY(a_mu_) = 0;
+};
+
+}  // namespace hax::fixture

@@ -1,0 +1,24 @@
+// Fixture: a declared callback edge closing a cycle. Lexically only
+// a -> b exists; the edge(...) directive models a callback that acquires
+// a_mu_ while b_mu_ is held (indirection the scanner cannot see), which
+// makes the graph cyclic.
+// hax-analyze: edge(Pair_b_mu_ -> Pair_a_mu_)
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Pair {
+ public:
+  void ab() {
+    LockGuard a(a_mu_);
+    LockGuard b(b_mu_);
+    ++x_;
+  }
+
+ private:
+  Mutex a_mu_;
+  Mutex b_mu_;
+  int x_ HAX_GUARDED_BY(a_mu_) = 0;
+};
+
+}  // namespace hax::fixture

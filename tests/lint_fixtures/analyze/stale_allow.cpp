@@ -1,0 +1,14 @@
+// Fixture: a suppression that suppresses nothing — the analyzer must
+// flag it so dead escapes can't accumulate.
+
+namespace hax::fixture {
+
+class Quiet {
+ public:
+  int value() const { return v_; }  // hax-analyze: allow(blocking-under-lock)
+
+ private:
+  int v_ = 0;
+};
+
+}  // namespace hax::fixture

@@ -1,0 +1,25 @@
+// Fixture: every mutable field of the Mutex-owning class names its
+// protocol — HAX_GUARDED_BY for the locked one, a protocol comment for
+// the publication-style one, exemption by const/atomic for the rest.
+#include <atomic>
+
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Counter {
+ public:
+  void add() {
+    LockGuard lock(mu_);
+    ++hits_;
+  }
+
+ private:
+  Mutex mu_;
+  int hits_ HAX_GUARDED_BY(mu_) = 0;
+  double scale_ = 1.0;  ///< const after construction
+  std::atomic<int> peeks_{0};
+  const int limit_ = 8;
+};
+
+}  // namespace hax::fixture

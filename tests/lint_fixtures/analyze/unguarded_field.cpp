@@ -1,0 +1,19 @@
+// Fixture: a mutable field of a Mutex-owning class with neither
+// HAX_GUARDED_BY nor a protocol comment — nothing says who may touch it.
+#include "common/annotated.h"
+
+namespace hax::fixture {
+
+class Counter {
+ public:
+  void add() {
+    LockGuard lock(mu_);
+    ++hits_;
+  }
+
+ private:
+  Mutex mu_;
+  int hits_ = 0;
+};
+
+}  // namespace hax::fixture

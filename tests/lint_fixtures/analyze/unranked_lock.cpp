@@ -1,0 +1,24 @@
+// Fixture: one Mutex without the HAX_MUTEX_RANK handshake (invisible to
+// the runtime validator) and one with it.
+#include "common/annotated.h"
+#include "common/lock_ranks.h"
+
+namespace hax::fixture {
+
+class Unranked {
+ public:
+  void touch() { LockGuard lock(mu_); }
+
+ private:
+  Mutex mu_;
+};
+
+class Ranked {
+ public:
+  void touch() { LockGuard lock(mu_); }
+
+ private:
+  Mutex mu_{HAX_MUTEX_RANK(Ranked_mu_)};
+};
+
+}  // namespace hax::fixture

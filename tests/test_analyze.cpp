@@ -1,0 +1,273 @@
+// Self-tests for hax_analyze (tools/analyze/): replay deliberate
+// lock-discipline violations from tests/lint_fixtures/analyze/ through
+// the extractor + rules under synthetic src/ paths, and exercise the
+// runtime lock-rank validator that shares lock_ranks.inc with it.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/model.h"
+#include "analyze/rules.h"
+#include "common/annotated.h"
+
+namespace {
+
+using hax::analyze::Analysis;
+using hax::analyze::Model;
+using hax::analyze::SourceFile;
+
+SourceFile load_fixture(const std::string& name) {
+  const std::string path = std::string(HAX_LINT_FIXTURE_DIR) + "/analyze/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Synthetic src/ path: the rules only police the production tree.
+  return {"src/fixture/" + name, buf.str()};
+}
+
+Model model_of(const std::string& name) {
+  return hax::analyze::build_model({load_fixture(name)});
+}
+
+std::vector<std::string> rules_of(const std::vector<hax::lint::Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(AnalyzeModel, CanonicalMemberLockIds) {
+  const Model model = model_of("lock_order_ab_ba.cpp");
+  ASSERT_EQ(model.locks.size(), 2u);
+  EXPECT_NE(model.find_lock("Pair_a_mu_"), nullptr);
+  EXPECT_NE(model.find_lock("Pair_b_mu_"), nullptr);
+  EXPECT_TRUE(model.find_lock("Pair_a_mu_")->is_member);
+  EXPECT_EQ(model.find_lock("Pair_a_mu_")->owner, "Pair");
+  EXPECT_TRUE(model.extraction_errors.empty());
+}
+
+TEST(AnalyzeModel, GuardedFieldsAndExemptionsExtracted) {
+  const Model model = model_of("unguarded_clean.cpp");
+  // Only hits_ and scale_ survive as candidate fields (atomic/const are
+  // exempt, and the Mutex itself never is a candidate).
+  ASSERT_EQ(model.fields.size(), 2u);
+  for (const auto& f : model.fields) {
+    EXPECT_TRUE(f.guarded || f.documented) << f.name;
+  }
+}
+
+TEST(AnalyzeModel, EdgeDirectiveWithUnknownIdIsAnExtractionError) {
+  const SourceFile bad{"src/fixture/bad_edge.cpp",
+                       "// hax-analyze: edge(NoSuchLock -> AlsoMissing)\n"};
+  const Model model = hax::analyze::build_model({bad});
+  ASSERT_EQ(model.extraction_errors.size(), 2u);
+  EXPECT_EQ(model.extraction_errors[0].rule, "bad-directive");
+}
+
+TEST(AnalyzeLockOrder, AbbaInversionReportedDespiteAllowFile) {
+  Model model = model_of("lock_order_ab_ba.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  // The fixture carries allow-file(lock-order-inversion); the rule is
+  // unsuppressible, so the finding must survive it.
+  ASSERT_EQ(rules_of(analysis.findings),
+            std::vector<std::string>{"lock-order-inversion"});
+  EXPECT_NE(analysis.findings[0].message.find("Pair_a_mu_"), std::string::npos);
+  EXPECT_NE(analysis.findings[0].message.find("Pair_b_mu_"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrder, ConsistentNestingIsCleanAndDeduped) {
+  Model model = model_of("lock_order_clean.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  EXPECT_TRUE(analysis.findings.empty());
+  // Two witness sites of the same a -> b nesting collapse to one edge.
+  ASSERT_EQ(analysis.edges.size(), 1u);
+  EXPECT_EQ(analysis.edges[0].from, "Pair_a_mu_");
+  EXPECT_EQ(analysis.edges[0].to, "Pair_b_mu_");
+}
+
+TEST(AnalyzeLockOrder, DeclaredCallbackEdgeClosesCycle) {
+  Model model = model_of("lock_order_declared_edge.cpp");
+  ASSERT_EQ(model.declared_edges.size(), 1u);
+  EXPECT_EQ(model.declared_edges[0].via, "declared");
+  const Analysis analysis = hax::analyze::analyze(model);
+  EXPECT_EQ(rules_of(analysis.findings),
+            std::vector<std::string>{"lock-order-inversion"});
+}
+
+TEST(AnalyzeBlocking, SleepUnderLockFlagged) {
+  Model model = model_of("blocking_under_lock.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  ASSERT_EQ(rules_of(analysis.findings),
+            std::vector<std::string>{"blocking-under-lock"});
+  EXPECT_NE(analysis.findings[0].message.find("sleep_for"), std::string::npos);
+  EXPECT_NE(analysis.findings[0].message.find("Sleeper_mu_"), std::string::npos);
+}
+
+TEST(AnalyzeBlocking, SameLineAllowSuppressesAndIsNotStale) {
+  Model model = model_of("blocking_suppressed.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  EXPECT_TRUE(analysis.findings.empty());
+  // The allowance earned its keep, so the stale-allow pass stays quiet.
+  EXPECT_TRUE(hax::analyze::stale_allow_findings(model, {}).empty());
+}
+
+TEST(AnalyzeBlocking, CondVarWaitOnSoleHeldLockAllowlisted) {
+  Model model = model_of("condvar_wait_clean.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  EXPECT_TRUE(analysis.findings.empty());
+}
+
+TEST(AnalyzeUnguarded, MissingProtocolFlagged) {
+  Model model = model_of("unguarded_field.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  ASSERT_EQ(rules_of(analysis.findings),
+            std::vector<std::string>{"unguarded-shared-field"});
+  EXPECT_NE(analysis.findings[0].message.find("hits_"), std::string::npos);
+}
+
+TEST(AnalyzeUnguarded, SameLineAllowSuppresses) {
+  Model model = model_of("unguarded_suppressed.cpp");
+  EXPECT_TRUE(hax::analyze::analyze(model).findings.empty());
+}
+
+TEST(AnalyzeUnguarded, GuardedDocumentedConstAtomicAllClean) {
+  Model model = model_of("unguarded_clean.cpp");
+  EXPECT_TRUE(hax::analyze::analyze(model).findings.empty());
+}
+
+TEST(AnalyzeStaleAllow, UnusedSuppressionReported) {
+  Model model = model_of("stale_allow.cpp");
+  EXPECT_TRUE(hax::analyze::analyze(model).findings.empty());
+  const auto stale = hax::analyze::stale_allow_findings(model, {});
+  ASSERT_EQ(rules_of(stale), std::vector<std::string>{"stale-allow"});
+  EXPECT_NE(stale[0].message.find("blocking-under-lock"), std::string::npos);
+}
+
+TEST(AnalyzeRanks, UnrankedLockFlaggedRankedNot) {
+  Model model = model_of("unranked_lock.cpp");
+  ASSERT_NE(model.find_lock("Ranked_mu_"), nullptr);
+  EXPECT_TRUE(model.find_lock("Ranked_mu_")->has_rank);
+  const auto findings = hax::analyze::rank_findings(model);
+  ASSERT_EQ(rules_of(findings), std::vector<std::string>{"unranked-lock"});
+  EXPECT_NE(findings[0].message.find("Unranked_mu_"), std::string::npos);
+}
+
+TEST(AnalyzeRanks, EmitRanksIsDeterministicAndOrderConsistent) {
+  Model model = model_of("lock_order_clean.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  const std::string once = hax::analyze::emit_ranks(model, analysis.edges);
+  const std::string twice = hax::analyze::emit_ranks(model, analysis.edges);
+  EXPECT_EQ(once, twice);
+  // a is acquired before b, so its rank must be strictly lower.
+  EXPECT_NE(once.find("HAX_LOCK_RANK_DEF(Pair_a_mu_, 10)"), std::string::npos);
+  EXPECT_NE(once.find("HAX_LOCK_RANK_DEF(Pair_b_mu_, 20)"), std::string::npos);
+}
+
+TEST(AnalyzeRanks, EmitRanksEmptyOnCyclicGraph) {
+  Model model = model_of("lock_order_ab_ba.cpp");
+  const Analysis analysis = hax::analyze::analyze(model);
+  EXPECT_TRUE(hax::analyze::emit_ranks(model, analysis.edges).empty());
+}
+
+// ---- runtime lock-rank validator (annotated.h) -------------------------
+//
+// Active only in HAX_RANK_CHECKS builds (every HAX_SANITIZE tree gets it
+// automatically), where the TSan/ASan suites double as lock-order
+// regression tests. The tier-1 build compiles the skip stub instead.
+#ifdef HAX_RANK_CHECKS
+
+using hax::LockGuard;
+using hax::Mutex;
+
+// Note: the validator's mutexes live in `static` storage below. A
+// stack-allocated std::mutex is trivially destructible, so TSan never
+// sees it die and links the recycled stack slot into the *next* test's
+// lock-order graph — a false ABBA across unrelated tests.
+
+TEST(LockRank, InOrderNestingRunsClean) {
+  static Mutex low{10, "fixture.low"};
+  static Mutex high{20, "fixture.high"};
+  for (int i = 0; i < 3; ++i) {
+    LockGuard a(low);
+    LockGuard b(high);
+  }
+}
+
+TEST(LockRank, UnrankedLocksAreNeverChecked) {
+  static Mutex u1;  // rank 0: outside the canonical assignment
+  static Mutex u2;
+  static Mutex ranked{10, "fixture.ranked"};
+  LockGuard a(u1);
+  LockGuard c(ranked);  // ranked under unranked: unranked holds don't rank-gate
+  LockGuard b(u2);      // unranked under ranked: rank 0 is never checked
+}
+
+TEST(LockRank, TryLockLandsOnTheStack) {
+  static Mutex low{10, "fixture.try_low"};
+  static Mutex high{20, "fixture.try_high"};
+  ASSERT_TRUE(low.try_lock());
+  LockGuard adopted(low, hax::kAdoptLock);
+  LockGuard b(high);  // still in order: no abort
+}
+
+TEST(LockRank, CondVarWaitersKeepPerThreadStacks) {
+  // The waiter's stack keeps its entry while blocked in wait(); the
+  // notifier's own (empty) stack must be unaffected — ranks are
+  // thread-local by construction.
+  static Mutex mu{10, "fixture.cv_mu"};
+  static hax::CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    LockGuard lock(mu);
+    while (!ready) cv.wait(mu);
+  });
+  {
+    LockGuard lock(mu);
+    ready = true;
+    cv.notify_all();
+  }
+  waiter.join();
+}
+
+TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  static Mutex low{10, "fixture.abba_low"};
+  static Mutex high{20, "fixture.abba_high"};
+  EXPECT_DEATH(
+      {
+        LockGuard b(high);
+        LockGuard a(low);
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, EqualRankNestingAborts) {
+  // Strict ordering: equal-rank peers (e.g. two cache shards) must never
+  // nest — sweeps take them one at a time.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  static Mutex s1{10, "fixture.shard1"};
+  static Mutex s2{10, "fixture.shard2"};
+  EXPECT_DEATH(
+      {
+        LockGuard a(s1);
+        LockGuard b(s2);
+      },
+      "lock-rank violation");
+}
+
+#else  // !HAX_RANK_CHECKS
+
+TEST(LockRank, ValidatorCompiledOut) {
+  GTEST_SKIP() << "HAX_RANK_CHECKS off: rank validation is compiled out "
+                  "(enabled automatically in HAX_SANITIZE builds)";
+}
+
+#endif  // HAX_RANK_CHECKS
+
+}  // namespace

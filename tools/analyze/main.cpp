@@ -1,0 +1,130 @@
+/// hax_analyze CLI: whole-program lock-order & capability analysis.
+///
+///   hax_analyze <repo-root>               run every rule + verify that
+///                                         tools/analyze/lock_ranks.inc
+///                                         matches the graph (exit 1 on
+///                                         any finding or drift)
+///   hax_analyze <repo-root> --emit-ranks  print the canonical rank file
+///                                         to stdout (redirect over
+///                                         tools/analyze/lock_ranks.inc
+///                                         to regenerate)
+///
+/// Wired as a ctest (`ctest -R hax_analyze`) and as the check_lock_order
+/// target, so the acquisition graph gates every test run.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/model.h"
+#include "analyze/rules.h"
+#include "lint/lint.h"
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit = false;
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit-ranks") {
+      emit = true;
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      root_arg.clear();
+      break;
+    }
+  }
+  if (root_arg.empty()) {
+    std::fprintf(stderr, "usage: hax_analyze <repo-root> [--emit-ranks]\n");
+    return 2;
+  }
+  const std::filesystem::path root(root_arg);
+  if (!std::filesystem::exists(root)) {
+    std::fprintf(stderr, "hax_analyze: no such directory: %s\n", root_arg.c_str());
+    return 2;
+  }
+
+  // The model covers src/ minus the annotated primitives themselves.
+  std::vector<hax::analyze::SourceFile> sources;
+  std::vector<std::string> all_paths = hax::lint::tree_paths(root);
+  for (const std::string& rel : all_paths) {
+    if (!starts_with(rel, "src/")) continue;
+    if (rel == "src/common/annotated.h" || rel == "src/common/lock_ranks.h") continue;
+    sources.push_back({rel, read_file(root / rel)});
+  }
+
+  hax::analyze::Model model = hax::analyze::build_model(sources);
+  hax::analyze::Analysis analysis = hax::analyze::analyze(model);
+
+  if (emit) {
+    const std::string ranks = hax::analyze::emit_ranks(model, analysis.edges);
+    if (ranks.empty()) {
+      std::fprintf(stderr, "hax_analyze: cannot emit ranks, the graph is cyclic:\n%s",
+                   hax::lint::format(analysis.findings).c_str());
+      return 1;
+    }
+    std::fputs(ranks.c_str(), stdout);
+    return 0;
+  }
+
+  std::vector<hax::lint::Finding> findings = std::move(analysis.findings);
+  for (hax::lint::Finding& f : hax::analyze::rank_findings(model)) {
+    findings.push_back(std::move(f));
+  }
+
+  // stale-allow needs the lint scan's allowance-usage table for the whole
+  // tree (both tools' escape grammars are policed together).
+  std::vector<hax::lint::Allowance> lint_allowances;
+  for (const std::string& rel : all_paths) {
+    hax::lint::ScanResult result = hax::lint::scan_source_tracked(rel, read_file(root / rel));
+    for (hax::lint::Allowance& a : result.allowances) {
+      lint_allowances.push_back(std::move(a));
+    }
+  }
+  for (hax::lint::Finding& f :
+       hax::analyze::stale_allow_findings(model, lint_allowances)) {
+    findings.push_back(std::move(f));
+  }
+
+  // Rank-file handshake: the checked-in lock_ranks.inc must match the
+  // graph byte for byte.
+  const std::filesystem::path inc = root / "tools" / "analyze" / "lock_ranks.inc";
+  const std::string want = hax::analyze::emit_ranks(model, analysis.edges);
+  if (!want.empty()) {
+    const std::string have = read_file(inc);
+    if (have != want) {
+      findings.push_back({"tools/analyze/lock_ranks.inc", 1, "rank-drift",
+                          "checked-in ranks do not match `hax_analyze --emit-ranks` — "
+                          "regenerate: build/tools/hax_analyze . --emit-ranks > "
+                          "tools/analyze/lock_ranks.inc"});
+    }
+  }
+
+  if (!findings.empty()) {
+    const std::string report = hax::lint::format(findings);
+    std::fprintf(stderr, "%s", report.c_str());
+    std::fprintf(stderr, "hax_analyze: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("hax_analyze: clean (%zu locks, %zu edges, %zu functions)\n",
+              model.locks.size(), analysis.edges.size(), model.functions.size());
+  return 0;
+}

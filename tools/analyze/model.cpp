@@ -1,0 +1,1595 @@
+#include "analyze/model.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <deque>
+
+#include "common/cpp_lexer.h"
+
+namespace hax::analyze {
+namespace {
+
+using lex::TokKind;
+using lex::Token;
+
+/// Idents that never name a user class when guessing a declaration's type.
+const std::set<std::string>& type_blacklist() {
+  static const std::set<std::string> kSet{
+      "std",      "unique_ptr", "shared_ptr", "weak_ptr",  "vector",   "deque",
+      "array",    "optional",   "function",   "atomic",    "pair",     "tuple",
+      "map",      "unordered_map", "set",     "unordered_set", "string", "string_view",
+      "size_t",   "ptrdiff_t",  "uint8_t",    "uint16_t",  "uint32_t", "uint64_t",
+      "int8_t",   "int16_t",    "int32_t",    "int64_t",   "bool",     "char",
+      "int",      "unsigned",   "signed",     "long",      "short",    "float",
+      "double",   "void",       "auto",       "const",     "constexpr", "static",
+      "mutable",  "volatile",   "inline",     "chrono",    "steady_clock",
+      "system_clock", "time_point", "duration", "milliseconds", "nanoseconds",
+      "microseconds", "seconds", "thread",    "explicit",  "virtual",  "friend",
+      "hax",      "detail",     "alignas",    "noexcept",  "nodiscard", "maybe_unused",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& keyword_set() {
+  static const std::set<std::string> kSet{
+      "if",     "while",    "for",         "switch",      "return",      "sizeof",
+      "alignof", "alignas", "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast", "catch",        "throw",        "new",         "delete",
+      "case",   "default",  "do",          "else",         "goto",        "assert",
+      "static_assert", "decltype", "noexcept", "typeid",
+  };
+  return kSet;
+}
+
+/// Call names treated as potentially blocking (the blocking-under-lock
+/// rule). CondVar::wait / wait_until are allowlisted at the call site
+/// when the only held lock is the one being waited on.
+const std::set<std::string>& blocking_names() {
+  static const std::set<std::string> kSet{
+      "sleep_for", "sleep_until", "join",  "submit",        "wait_idle",
+      "wait",      "wait_until",  "wait_for", "parallel_for", "solve",
+      "solve_schedule",
+  };
+  return kSet;
+}
+
+/// Annotation macros that may decorate a member declaration.
+bool is_member_macro(const std::string& s) {
+  return s == "HAX_GUARDED_BY" || s == "HAX_PT_GUARDED_BY" || s == "HAX_MUTEX_RANK" ||
+         s == "alignas";
+}
+
+/// Keywords in a field's declaration comment that document a deliberate
+/// non-GUARDED_BY protocol (publication, immutability, thread ownership).
+bool comment_documents_protocol(const std::string& raw) {
+  static const std::array<const char*, 8> kMarkers{
+      "immutable",   "publication", "internally synchronized", "thread-owned",
+      "owned by",    "set before",  "const after",             "single-threaded",
+  };
+  std::string lower(raw.size(), ' ');
+  std::transform(raw.begin(), raw.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const char* m : kMarkers) {
+    if (lower.find(m) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string join_chain(const std::vector<std::string>& chain, const std::string& last) {
+  std::string out;
+  for (const std::string& c : chain) {
+    if (!out.empty()) out += "::";
+    out += c;
+  }
+  if (!last.empty()) {
+    if (!out.empty()) out += "::";
+    out += last;
+  }
+  return out;
+}
+
+std::string id_from(const std::string& owner, const std::string& name) {
+  std::string id;
+  id.reserve(owner.size() + name.size() + 1);
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    if (owner[i] == ':') {
+      if (i + 1 < owner.size() && owner[i + 1] == ':') {
+        id += '_';
+        ++i;
+      }
+    } else if (owner[i] == '<' || owner[i] == '>' || owner[i] == '@') {
+      id += '_';
+    } else {
+      id += owner[i];
+    }
+  }
+  if (!id.empty()) id += '_';
+  id += name;
+  return id;
+}
+
+struct MemberInfo {
+  std::string name;
+  std::string type;  ///< guessed class-like type, "" when none
+  int line = 0;
+  bool guarded = false;
+  bool exempt = false;  ///< const/static/atomic/Mutex/CondVar/function/…
+  bool documented = false;
+  bool is_mutex = false;
+  bool is_condvar = false;
+};
+
+struct ClassInfo {
+  std::string chain;  ///< "ScheduleCache::Shard"
+  std::string file;
+  int line = 0;
+  std::vector<MemberInfo> members;
+  bool owns_mutex = false;
+
+  [[nodiscard]] const MemberInfo* member(const std::string& name) const {
+    for (const MemberInfo& m : members) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  }
+};
+
+/// HAX_REQUIRES expressions attached to a declared method, kept as raw
+/// token text for resolution once all locks are known.
+struct RequiresDecl {
+  std::vector<std::string> exprs;  ///< each expr joined with spaces
+  std::string class_chain;
+  std::string file;
+  int line = 0;
+};
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kLambda, kBlock } kind;
+  std::string name;           ///< namespace or class component, "" otherwise
+  ClassInfo* cls = nullptr;   ///< kClass
+  Function* fn = nullptr;     ///< kFunction / kLambda
+  std::vector<std::size_t> guards;  ///< indices into held stack opened here
+  std::map<std::string, std::string> locals;  ///< var → type guess
+  std::string name_chain;  ///< full class chain for kClass / kFunction
+};
+
+/// Whole-program tables built in pass 1 and consumed in pass 2.
+struct Program {
+  std::map<std::string, ClassInfo> classes;          ///< by full chain
+  std::map<std::string, std::vector<std::string>> class_by_tail;  ///< tail → chains
+  std::map<std::string, RequiresDecl> method_requires;  ///< by qual name
+  std::map<std::string, std::vector<std::string>> func_by_tail;  ///< name → quals
+  std::set<std::string> all_function_quals;
+  std::deque<Function> functions;  ///< deque: scope frames hold stable pointers
+  Model model;
+};
+
+struct HeldLock {
+  std::string id;
+  bool from_requires = false;
+};
+
+class FileWalker {
+ public:
+  FileWalker(Program& prog, const SourceFile& file, bool pass2)
+      : prog_(prog), file_(file.rel_path), pass2_(pass2) {
+    raw_ = lex::split_lines(file.contents);
+    std::vector<std::string> code = lex::strip_comments_and_strings(raw_);
+    // Blank preprocessor lines (and their backslash continuations): the
+    // token walker models C++, not cpp directives.
+    bool cont = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::size_t first = code[i].find_first_not_of(" \t");
+      const bool directive = first != std::string::npos && code[i][first] == '#';
+      if (cont || directive) {
+        cont = !raw_[i].empty() && raw_[i].back() == '\\';
+        code[i].assign(code[i].size(), ' ');
+      } else {
+        cont = false;
+      }
+    }
+    toks_ = lex::tokenize(code);
+  }
+
+  void run() {
+    if (!pass2_) collect_directives();
+    scopes_.push_back({Scope::kNamespace, "", nullptr, nullptr, {}, {}, {}});
+    while (pos_ < toks_.size()) step();
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------
+  [[nodiscard]] const Token* peek(std::size_t k = 0) const {
+    return pos_ + k < toks_.size() ? &toks_[pos_ + k] : nullptr;
+  }
+  [[nodiscard]] bool at_ident(const char* s, std::size_t k = 0) const {
+    const Token* t = peek(k);
+    return t != nullptr && t->kind == TokKind::Ident && t->text == s;
+  }
+  [[nodiscard]] bool at_punct(const char* s, std::size_t k = 0) const {
+    const Token* t = peek(k);
+    return t != nullptr && t->kind == TokKind::Punct && t->text == s;
+  }
+
+  /// With pos_ on an opening delimiter, advances past its match.
+  void skip_balanced(const char* open, const char* close) {
+    int depth = 0;
+    while (pos_ < toks_.size()) {
+      if (at_punct(open)) {
+        ++depth;
+      } else if (at_punct(close)) {
+        if (--depth == 0) {
+          ++pos_;
+          return;
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  /// Collects the token indices of a balanced group's interior; pos_ must
+  /// be on the opener, ends past the closer.
+  std::vector<std::size_t> balanced_interior(const char* open, const char* close) {
+    std::vector<std::size_t> interior;
+    int depth = 0;
+    while (pos_ < toks_.size()) {
+      if (at_punct(open)) {
+        ++depth;
+        if (depth == 1) {
+          ++pos_;
+          continue;
+        }
+      } else if (at_punct(close)) {
+        if (--depth == 0) {
+          ++pos_;
+          return interior;
+        }
+      }
+      interior.push_back(pos_);
+      ++pos_;
+    }
+    return interior;
+  }
+
+  // ---- directives ----------------------------------------------------
+  void collect_directives() {
+    for (const lex::Directive& d : lex::parse_directives(raw_, "hax-analyze")) {
+      if (d.verb == "allow" || d.verb == "allow-file") {
+        for (const std::string& rule : lex::split_args(d.args)) {
+          prog_.model.allowances.push_back({file_, d.line, rule, d.verb == "allow-file", false});
+        }
+      } else if (d.verb == "edge") {
+        const std::size_t arrow = d.args.find("->");
+        if (arrow == std::string::npos) {
+          prog_.model.extraction_errors.push_back(
+              {file_, d.line, "bad-directive", "edge(...) needs `A -> B`: " + d.args});
+          continue;
+        }
+        auto trim = [](std::string s) {
+          const std::size_t lo = s.find_first_not_of(" \t");
+          const std::size_t hi = s.find_last_not_of(" \t");
+          return lo == std::string::npos ? std::string() : s.substr(lo, hi - lo + 1);
+        };
+        prog_.model.declared_edges.push_back({trim(d.args.substr(0, arrow)),
+                                              trim(d.args.substr(arrow + 2)), file_, d.line,
+                                              "declared"});
+      } else {
+        prog_.model.extraction_errors.push_back(
+            {file_, d.line, "bad-directive", "unknown hax-analyze verb: " + d.verb});
+      }
+    }
+  }
+
+  // ---- scope machinery -----------------------------------------------
+  [[nodiscard]] Scope& top() { return scopes_.back(); }
+
+  [[nodiscard]] std::vector<std::string> namespace_class_chain() const {
+    std::vector<std::string> chain;
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::kClass) chain.push_back(s.name);
+    }
+    return chain;
+  }
+
+  [[nodiscard]] Function* enclosing_function() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction || it->kind == Scope::kLambda) return it->fn;
+    }
+    return nullptr;
+  }
+
+  void pop_scope() {
+    Scope& s = scopes_.back();
+    for (auto it = s.guards.rbegin(); it != s.guards.rend(); ++it) {
+      if (*it < held_.size()) held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    if (s.kind == Scope::kFunction || s.kind == Scope::kLambda) {
+      // Restore the held set saved at entry (REQUIRES of the outer frame).
+      held_ = std::move(held_save_.back());
+      held_save_.pop_back();
+      fn_stack_.pop_back();
+    }
+    scopes_.pop_back();
+    if (scopes_.empty()) scopes_.push_back({Scope::kNamespace, "", nullptr, nullptr, {}, {}, {}});
+  }
+
+  // ---- main dispatch -------------------------------------------------
+  void step() {
+    if (at_punct("}")) {
+      ++pos_;
+      if (scopes_.size() > 1) pop_scope();
+      return;
+    }
+    if (at_punct(";") || at_punct(",")) {
+      ++pos_;
+      return;
+    }
+    const Scope::Kind kind = top().kind;
+    if (kind == Scope::kNamespace || kind == Scope::kClass) {
+      decl_statement();
+    } else {
+      body_token();
+    }
+  }
+
+  // ---- declaration-scope parsing -------------------------------------
+  void decl_statement() {
+    const Token* t = peek();
+    if (t == nullptr) {
+      ++pos_;
+      return;
+    }
+    if (t->kind != TokKind::Ident) {
+      if (at_punct("[")) {  // [[attribute]]
+        skip_balanced("[", "]");
+        return;
+      }
+      if (at_punct("{")) {  // stray brace (extern "C" etc.) — plain scope
+        ++pos_;
+        scopes_.push_back({Scope::kNamespace, "", nullptr, nullptr, {}, {}, {}});
+        return;
+      }
+      ++pos_;
+      return;
+    }
+    const std::string& w = t->text;
+    if (w == "public" || w == "private" || w == "protected") {
+      pos_ += at_punct(":", 1) ? 2 : 1;
+      return;
+    }
+    if (w == "template") {
+      ++pos_;
+      skip_angles();
+      return;
+    }
+    if (w == "namespace") {
+      ++pos_;
+      std::string name;
+      while (peek() != nullptr && !at_punct("{") && !at_punct(";")) {
+        if (peek()->kind == TokKind::Ident) name = peek()->text;
+        ++pos_;
+      }
+      if (at_punct("{")) {
+        ++pos_;
+        Scope s{Scope::kNamespace, name, nullptr, nullptr, {}, {}, {}};
+        scopes_.push_back(std::move(s));
+      } else {
+        ++pos_;
+      }
+      return;
+    }
+    if ((w == "class" || w == "struct") && !prev_is("enum") && !prev_is("friend")) {
+      parse_class_head();
+      return;
+    }
+    if (w == "enum" || w == "using" || w == "typedef" || w == "friend" ||
+        w == "static_assert" || w == "extern") {
+      skip_statement();
+      return;
+    }
+    parse_member_or_function();
+  }
+
+  [[nodiscard]] bool prev_is(const char* s) const {
+    return pos_ > 0 && toks_[pos_ - 1].kind == TokKind::Ident && toks_[pos_ - 1].text == s;
+  }
+
+  void skip_angles() {
+    if (!at_punct("<")) return;
+    int depth = 0;
+    while (pos_ < toks_.size()) {
+      if (at_punct("<")) ++depth;
+      if (at_punct(">")) {
+        if (--depth == 0) {
+          ++pos_;
+          return;
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  /// Skips to the end of the current statement: `;` at depth 0, or past a
+  /// balanced `{...}` body (e.g. enum definitions).
+  void skip_statement() {
+    int paren = 0;
+    while (pos_ < toks_.size()) {
+      if (at_punct("(") || at_punct("[")) ++paren;
+      if (at_punct(")") || at_punct("]")) --paren;
+      if (paren == 0 && at_punct("{")) {
+        skip_balanced("{", "}");
+        if (at_punct(";")) ++pos_;
+        return;
+      }
+      if (paren == 0 && at_punct(";")) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void parse_class_head() {
+    const int line = peek()->line;
+    ++pos_;  // class/struct
+    if (at_ident("alignas") && at_punct("(", 1)) {
+      ++pos_;
+      skip_balanced("(", ")");
+    }
+    // Attribute-macro idents with parens (e.g. HAX_CAPABILITY("mutex")).
+    std::vector<std::string> name_parts;
+    while (pos_ < toks_.size() && !at_punct("{") && !at_punct(";") && !at_punct(":")) {
+      if (peek()->kind == TokKind::Ident) {
+        if (at_punct("(", 1)) {
+          ++pos_;
+          skip_balanced("(", ")");
+          continue;
+        }
+        if (peek()->text != "final") name_parts.push_back(peek()->text);
+        ++pos_;
+        continue;
+      }
+      if (at_punct("::")) {
+        ++pos_;
+        continue;
+      }
+      if (at_punct("[")) {
+        skip_balanced("[", "]");
+        continue;
+      }
+      ++pos_;
+    }
+    if (at_punct(":")) {  // base clause
+      while (pos_ < toks_.size() && !at_punct("{") && !at_punct(";")) {
+        if (at_punct("<")) {
+          skip_angles();
+          continue;
+        }
+        ++pos_;
+      }
+    }
+    if (at_punct(";") || name_parts.empty()) {  // forward declaration
+      if (at_punct(";")) ++pos_;
+      return;
+    }
+    if (!at_punct("{")) return;
+    ++pos_;
+    // Qualified heads (`struct SchedulerService::State {`) contribute the
+    // whole written chain; otherwise nest under the enclosing classes.
+    std::vector<std::string> chain = namespace_class_chain();
+    for (const std::string& p : name_parts) chain.push_back(p);
+    std::string full = join_chain(chain, "");
+    Scope s{Scope::kClass, name_parts.back(), nullptr, nullptr, {}, {}, {}};
+    s.name_chain = full;
+    if (!pass2_) {
+      ClassInfo info;
+      info.chain = full;
+      info.file = file_;
+      info.line = line;
+      prog_.classes.emplace(full, std::move(info));
+      prog_.class_by_tail[name_parts.back()].push_back(full);
+    }
+    s.cls = &prog_.classes[full];
+    scopes_.push_back(std::move(s));
+  }
+
+  /// At class or namespace scope: a member variable, a method
+  /// declaration/definition, or a free-function definition.
+  void parse_member_or_function() {
+    const std::size_t start = pos_;
+    // Operator overloads parse like neither members nor plain functions
+    // (the `==`/`()` tokens confuse both paths); they also never matter
+    // to the model, so skip the whole definition.
+    for (std::size_t probe = start; probe < toks_.size() && probe < start + 8; ++probe) {
+      const Token& tk = toks_[probe];
+      if (tk.kind == TokKind::Ident && tk.text == "operator") {
+        skip_statement();
+        return;
+      }
+      if (tk.kind == TokKind::Punct && (tk.text == ";" || tk.text == "{")) break;
+    }
+    // Scan the statement looking for the first `(` at angle depth 0 whose
+    // preceding token is a plain ident that is not an annotation macro —
+    // that ident is a function name. Otherwise this is a member/variable.
+    std::size_t scan = pos_;
+    int angle = 0;
+    std::size_t fn_name_at = std::string::npos;
+    while (scan < toks_.size()) {
+      const Token& tk = toks_[scan];
+      if (tk.kind == TokKind::Punct) {
+        if (tk.text == "<") ++angle;
+        if (tk.text == ">" && angle > 0) --angle;
+        if (tk.text == ";" || tk.text == "{" || tk.text == "}") break;
+        if (tk.text == "=" ) break;  // `Type x = init;` — member
+        if (tk.text == "(" && angle == 0) {
+          if (scan > start && toks_[scan - 1].kind == TokKind::Ident &&
+              !is_member_macro(toks_[scan - 1].text)) {
+            fn_name_at = scan - 1;
+          } else if (scan > start && toks_[scan - 1].kind == TokKind::Punct &&
+                     toks_[scan - 1].text == "~") {
+            fn_name_at = scan;  // destructor — treat like a function
+          }
+          break;
+        }
+      }
+      ++scan;
+    }
+    if (fn_name_at != std::string::npos) {
+      parse_function(fn_name_at);
+    } else {
+      parse_member();
+    }
+  }
+
+  /// Member/variable declaration ending in `;` (possibly with `= init` or
+  /// `{init}`); pos_ is at its first token.
+  void parse_member() {
+    const int line = peek()->line;
+    std::vector<std::string> idents;
+    bool guarded = false;
+    bool has_const = false;
+    bool has_static = false;
+    bool has_atomic = false;
+    int angle = 0;
+    std::size_t name_at = std::string::npos;
+    while (pos_ < toks_.size()) {
+      if (at_punct(";")) {
+        ++pos_;
+        break;
+      }
+      if (at_punct("{")) {  // default member initializer
+        skip_balanced("{", "}");
+        continue;
+      }
+      if (at_punct("=")) {  // skip initializer to `;`
+        while (pos_ < toks_.size() && !at_punct(";")) {
+          if (at_punct("{")) {
+            skip_balanced("{", "}");
+            continue;
+          }
+          if (at_punct("(")) {
+            skip_balanced("(", ")");
+            continue;
+          }
+          ++pos_;
+        }
+        continue;
+      }
+      const Token* t = peek();
+      if (t->kind == TokKind::Ident) {
+        if (is_member_macro(t->text) && at_punct("(", 1)) {
+          if (t->text == "HAX_GUARDED_BY" || t->text == "HAX_PT_GUARDED_BY") guarded = true;
+          ++pos_;
+          skip_balanced("(", ")");
+          continue;
+        }
+        if (t->text == "const" || t->text == "constexpr") has_const = true;
+        if (t->text == "static") has_static = true;
+        if (t->text == "atomic") has_atomic = true;
+        if (angle == 0) name_at = pos_;
+        idents.push_back(t->text);
+        ++pos_;
+        continue;
+      }
+      if (at_punct("<")) ++angle;
+      if (at_punct(">") && angle > 0) --angle;
+      ++pos_;
+    }
+    if (name_at == std::string::npos) return;
+    const std::string name = toks_[name_at].text;
+
+    // Type guess: last class-like ident before the name.
+    std::string type;
+    bool saw_mutex = false;
+    bool saw_condvar = false;
+    for (const std::string& id : idents) {
+      if (id == name && &id == &idents.back()) break;
+      if (id == "Mutex") saw_mutex = true;
+      if (id == "CondVar") saw_condvar = true;
+      if (type_blacklist().count(id) == 0 && id != name && id.rfind("HAX_", 0) != 0) {
+        type = id;
+      }
+    }
+    if (pass2_) return;
+
+    Scope& s = top();
+    if (s.kind != Scope::kClass || s.cls == nullptr) {
+      // Namespace-scope variable (e.g. `inline constexpr ...`) — ignore.
+      return;
+    }
+    MemberInfo m;
+    m.name = name;
+    m.type = type;
+    m.line = line;
+    m.guarded = guarded;
+    m.is_mutex = saw_mutex && type == "Mutex";
+    m.is_condvar = saw_condvar && type == "CondVar";
+    m.documented = decl_comment_documents(line);
+    m.exempt = has_const || has_static || has_atomic || m.is_mutex || m.is_condvar;
+    s.cls->members.push_back(m);
+    if (m.is_mutex) {
+      s.cls->owns_mutex = true;
+      add_lock(s.cls->chain, name, line, /*is_member=*/true);
+    }
+  }
+
+  /// True when the raw decl line (or up to 3 lines above it) carries a
+  /// comment documenting a publication/ownership protocol.
+  [[nodiscard]] bool decl_comment_documents(int line) const {
+    for (int l = line; l >= 1 && l >= line - 3; --l) {
+      const std::string& raw = raw_[static_cast<std::size_t>(l) - 1];
+      const std::size_t slash = raw.find("//");
+      if (l == line) {
+        if (slash != std::string::npos && comment_documents_protocol(raw.substr(slash))) {
+          return true;
+        }
+        continue;
+      }
+      // A preceding line counts only if it is comment-only.
+      const std::size_t first = raw.find_first_not_of(" \t");
+      if (first == std::string::npos) break;
+      if (raw.compare(first, 2, "//") != 0) break;
+      if (comment_documents_protocol(raw.substr(first))) return true;
+    }
+    return false;
+  }
+
+  void add_lock(const std::string& owner, const std::string& name, int line, bool is_member) {
+    if (pass2_) return;
+    LockDecl d;
+    d.id = id_from(owner, name);
+    d.file = file_;
+    d.line = line;
+    d.owner = owner;
+    d.name = name;
+    d.is_member = is_member;
+    for (const LockDecl& existing : prog_.model.locks) {
+      if (existing.id == d.id) {
+        prog_.model.extraction_errors.push_back(
+            {file_, line,
+             "lock-id-collision", "lock id `" + d.id + "` already declared at " +
+                 existing.file + ":" + std::to_string(existing.line)});
+        return;
+      }
+    }
+    prog_.model.locks.push_back(std::move(d));
+  }
+
+  /// Function declaration or definition; `name_at` indexes the name token.
+  void parse_function(std::size_t name_at) {
+    // Qualified name: walk back over `A :: B ::` pairs.
+    std::vector<std::string> quals;
+    std::size_t back = name_at;
+    if (back >= 1 && toks_[back - 1].kind == TokKind::Punct && toks_[back - 1].text == "~") {
+      --back;  // destructor: the `A::` chain sits before the `~`
+    }
+    while (back >= 2 && toks_[back - 1].kind == TokKind::Punct && toks_[back - 1].text == "::" &&
+           toks_[back - 2].kind == TokKind::Ident) {
+      quals.insert(quals.begin(), toks_[back - 2].text);
+      back -= 2;
+    }
+    std::string name = toks_[name_at].kind == TokKind::Ident ? toks_[name_at].text : "~dtor";
+    if (name_at > 0 && toks_[name_at - 1].kind == TokKind::Punct &&
+        toks_[name_at - 1].text == "~") {
+      name = "~" + name;
+    }
+    const int line = toks_[name_at].line;
+
+    std::vector<std::string> chain = namespace_class_chain();
+    for (const std::string& q : quals) chain.push_back(q);
+    const std::string class_chain = join_chain(chain, "");
+    const std::string qual = join_chain(chain, name);
+
+    // Parameters.
+    pos_ = name_at + (toks_[name_at].kind == TokKind::Ident ? 1 : 0);
+    while (pos_ < toks_.size() && !at_punct("(")) ++pos_;
+    const std::vector<std::size_t> params = balanced_interior("(", ")");
+
+    // Trailer: const/noexcept/annotations/init list, until `{`, `;` or `=`.
+    std::vector<std::string> requires_exprs;
+    bool has_body = false;
+    while (pos_ < toks_.size()) {
+      if (at_punct("{")) {
+        has_body = true;
+        break;
+      }
+      if (at_punct(";")) {
+        ++pos_;
+        break;
+      }
+      if (at_punct("=")) {  // = default / = delete / = 0
+        skip_statement();
+        break;
+      }
+      if (at_ident("HAX_REQUIRES") && at_punct("(", 1)) {
+        ++pos_;
+        const std::vector<std::size_t> in = balanced_interior("(", ")");
+        for (const std::string& e : split_expr_list(in)) requires_exprs.push_back(e);
+        continue;
+      }
+      if (peek()->kind == TokKind::Ident && at_punct("(", 1)) {  // other macros/noexcept(...)
+        ++pos_;
+        skip_balanced("(", ")");
+        continue;
+      }
+      if (at_punct(":")) {  // constructor init list
+        ++pos_;
+        while (pos_ < toks_.size() && !at_punct("{") && !at_punct(";")) {
+          if (at_punct("(")) {
+            skip_balanced("(", ")");
+            continue;
+          }
+          if (at_punct("{")) break;
+          if (peek()->kind == TokKind::Ident && at_punct("{", 1)) {
+            ++pos_;
+            skip_balanced("{", "}");
+            continue;
+          }
+          if (at_punct("<")) {
+            skip_angles();
+            continue;
+          }
+          ++pos_;
+        }
+        continue;
+      }
+      ++pos_;
+    }
+
+    if (!pass2_) {
+      if (!requires_exprs.empty()) {
+        RequiresDecl& rd = prog_.method_requires[qual];
+        for (std::string& e : requires_exprs) rd.exprs.push_back(std::move(e));
+        rd.class_chain = class_chain;
+        rd.file = file_;
+        rd.line = line;
+      }
+      prog_.all_function_quals.insert(qual);
+      prog_.func_by_tail[name].push_back(qual);
+    }
+
+    if (!has_body) return;
+    ++pos_;  // consume `{`
+
+    if (!pass2_) {
+      // Pass 1 still walks bodies (cheaply) to find function-local Mutex
+      // declarations; enter a lightweight function scope.
+      enter_function_scope(qual, class_chain, line, /*record_events=*/false, params);
+      return;
+    }
+    enter_function_scope(qual, class_chain, line, /*record_events=*/true, params);
+    // Entry-held locks: HAX_REQUIRES from this definition plus any header
+    // declaration of the same qualified name.
+    Function* fn = top().fn;
+    std::set<std::string> req;
+    for (const std::string& e : requires_exprs) {
+      const std::string id = resolve_expr_text(e, fn->line);
+      if (!id.empty()) req.insert(id);
+    }
+    const auto decl = prog_.method_requires.find(qual);
+    if (decl != prog_.method_requires.end()) {
+      for (const std::string& e : decl->second.exprs) {
+        const std::string id =
+            resolve_expr_in_class(e, decl->second.class_chain, fn->line);
+        if (!id.empty()) req.insert(id);
+      }
+    }
+    for (const std::string& id : req) {
+      fn->requires_locks.push_back(id);
+      held_.push_back({id, true});
+    }
+  }
+
+  void enter_function_scope(const std::string& qual, const std::string& class_chain, int line,
+                            bool record_events, const std::vector<std::size_t>& params) {
+    held_save_.push_back(held_);
+    held_.clear();
+    Scope s{Scope::kFunction, "", nullptr, nullptr, {}, {}, {}};
+    s.name_chain = class_chain;
+    if (record_events) {
+      prog_.functions.push_back({});
+      Function& fn = prog_.functions.back();
+      fn.qual_name = qual;
+      fn.file = file_;
+      fn.line = line;
+      s.fn = &fn;
+    } else {
+      s.fn = nullptr;
+    }
+    // Parameter types for receiver/lock resolution.
+    for (const auto& [pname, ptype] : split_params(params)) s.locals[pname] = ptype;
+    fn_stack_.push_back(qual);
+    scopes_.push_back(std::move(s));
+  }
+
+  /// Splits a parameter-list interior into (name, type-guess) pairs.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> split_params(
+      const std::vector<std::size_t>& interior) const {
+    std::vector<std::pair<std::string, std::string>> out;
+    std::vector<std::size_t> current;
+    int depth = 0;
+    auto flush = [&]() {
+      // Name = last top-level ident before any default argument; type
+      // guess = last non-blacklisted ident strictly before the name (so
+      // `Shared& sh` guesses Shared, not sh).
+      std::size_t name_at = current.size();
+      int angle = 0;
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        const Token& t = toks_[current[i]];
+        if (t.kind == TokKind::Punct) {
+          if (t.text == "<") ++angle;
+          if (t.text == ">" && angle > 0) --angle;
+          if (t.text == "=") break;  // default argument
+          continue;
+        }
+        if (t.kind == TokKind::Ident && angle == 0) name_at = i;
+      }
+      std::string name;
+      std::string type;
+      if (name_at < current.size()) {
+        name = toks_[current[name_at]].text;
+        for (std::size_t i = 0; i < name_at; ++i) {
+          const Token& t = toks_[current[i]];
+          if (t.kind == TokKind::Ident && type_blacklist().count(t.text) == 0 &&
+              t.text.rfind("HAX_", 0) != 0) {
+            type = t.text;
+          }
+        }
+      }
+      if (!name.empty() && !type.empty()) out.emplace_back(name, type);
+      current.clear();
+    };
+    for (const std::size_t idx : interior) {
+      const Token& t = toks_[idx];
+      if (t.kind == TokKind::Punct) {
+        if (t.text == "(" || t.text == "<" || t.text == "[" || t.text == "{") ++depth;
+        if (t.text == ")" || t.text == ">" || t.text == "]" || t.text == "}") --depth;
+        if (t.text == "," && depth == 0) {
+          flush();
+          continue;
+        }
+      }
+      current.push_back(idx);
+    }
+    flush();
+    return out;
+  }
+
+  /// Splits a macro-argument interior on top-level commas into
+  /// space-joined expression strings.
+  [[nodiscard]] std::vector<std::string> split_expr_list(
+      const std::vector<std::size_t>& interior) const {
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (const std::size_t idx : interior) {
+      const Token& t = toks_[idx];
+      if (t.kind == TokKind::Punct) {
+        if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == ">") --depth;
+        if (t.text == "," && depth == 0) {
+          if (!cur.empty()) out.push_back(cur);
+          cur.clear();
+          continue;
+        }
+      }
+      if (!cur.empty()) cur += ' ';
+      cur += t.text;
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+  }
+
+  // ---- body parsing (pass 2, and local-lock collection in pass 1) ----
+  void body_token() {
+    const Token* t = peek();
+    if (t == nullptr) {
+      ++pos_;
+      return;
+    }
+    if (at_punct("{")) {
+      ++pos_;
+      scopes_.push_back({Scope::kBlock, "", nullptr, nullptr, {}, {}, {}});
+      return;
+    }
+    if (at_punct("[")) {
+      handle_bracket();
+      return;
+    }
+    if (t->kind != TokKind::Ident) {
+      ++pos_;
+      return;
+    }
+    const std::string& w = t->text;
+    const bool stmt_start = pos_ == 0 || (toks_[pos_ - 1].kind == TokKind::Punct &&
+                                          (toks_[pos_ - 1].text == ";" || toks_[pos_ - 1].text == "{" ||
+                                           toks_[pos_ - 1].text == "}")) ||
+                            prev_is("static") || prev_is("const");
+    if (w == "LockGuard" && stmt_start) {
+      parse_lock_guard();
+      return;
+    }
+    if ((w == "Mutex" || w == "CondVar") && stmt_start && peek(1) != nullptr &&
+        peek(1)->kind == TokKind::Ident) {
+      parse_local_sync_decl(w);
+      return;
+    }
+    if (keyword_set().count(w) != 0) {
+      ++pos_;
+      return;
+    }
+    // `Type name` / `Type& name` local declaration: record the type for
+    // resolution (the initializer is still walked for calls).
+    if (stmt_start && prog_.class_by_tail.count(w) != 0) {
+      std::size_t j = pos_ + 1;
+      while (j < toks_.size() && toks_[j].kind == TokKind::Punct &&
+             (toks_[j].text == "&" || toks_[j].text == "*")) {
+        ++j;
+      }
+      if (j < toks_.size() && toks_[j].kind == TokKind::Ident && j + 1 < toks_.size() &&
+          toks_[j + 1].kind == TokKind::Punct &&
+          (toks_[j + 1].text == ";" || toks_[j + 1].text == "=" ||
+           toks_[j + 1].text == "{" || toks_[j + 1].text == "(")) {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+          if (it->kind == Scope::kFunction || it->kind == Scope::kLambda ||
+              it->kind == Scope::kBlock) {
+            it->locals[toks_[j].text] = w;
+            break;
+          }
+        }
+        pos_ = j + 1;
+        return;
+      }
+    }
+    // `auto x = std::make_shared<T>(...)` / make_unique: x has type T.
+    if (w == "auto" && peek(1) != nullptr && peek(1)->kind == TokKind::Ident &&
+        at_punct("=", 2)) {
+      const std::string var = peek(1)->text;
+      std::size_t scan = pos_ + 3;
+      std::string made;
+      int guard = 0;
+      while (scan < toks_.size() && guard < 16) {
+        const Token& mk = toks_[scan];
+        if (mk.kind == TokKind::Punct && (mk.text == ";" || mk.text == "(")) break;
+        if (mk.kind == TokKind::Ident &&
+            (mk.text == "make_shared" || mk.text == "make_unique")) {
+          // Last class-like ident inside the template args.
+          std::size_t a = scan + 1;
+          int angle = 0;
+          while (a < toks_.size()) {
+            const Token& at = toks_[a];
+            if (at.kind == TokKind::Punct) {
+              if (at.text == "<") ++angle;
+              if (at.text == ">") {
+                if (--angle == 0) break;
+              }
+            } else if (at.kind == TokKind::Ident && type_blacklist().count(at.text) == 0) {
+              made = at.text;
+            }
+            ++a;
+          }
+          break;
+        }
+        ++scan;
+        ++guard;
+      }
+      if (!made.empty()) {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+          if (it->kind == Scope::kFunction || it->kind == Scope::kLambda ||
+              it->kind == Scope::kBlock) {
+            it->locals[var] = made;
+            break;
+          }
+        }
+      }
+      pos_ += 2;
+      return;
+    }
+    if (at_punct("(", 1)) {
+      handle_call();
+      return;
+    }
+    ++pos_;
+  }
+
+  void handle_bracket() {
+    if (at_punct("[", 1)) {  // [[attribute]]
+      skip_balanced("[", "]");
+      return;
+    }
+    const bool subscript =
+        pos_ > 0 && ((toks_[pos_ - 1].kind == TokKind::Ident) ||
+                     (toks_[pos_ - 1].kind == TokKind::Punct &&
+                      (toks_[pos_ - 1].text == ")" || toks_[pos_ - 1].text == "]")));
+    if (subscript) {
+      ++pos_;  // contents are still walked (calls inside subscripts count)
+      return;
+    }
+    // Lambda introducer: skip capture list, optional params, specifiers.
+    const int line = peek()->line;
+    skip_balanced("[", "]");
+    std::vector<std::size_t> params;
+    if (at_punct("(")) params = balanced_interior("(", ")");
+    while (pos_ < toks_.size() && !at_punct("{") && !at_punct(";") && !at_punct(")") &&
+           !at_punct(",")) {
+      if (at_ident("noexcept") && at_punct("(", 1)) {
+        ++pos_;
+        skip_balanced("(", ")");
+        continue;
+      }
+      if (at_punct("->")) {  // trailing return type
+        ++pos_;
+        while (pos_ < toks_.size() && !at_punct("{")) {
+          if (at_punct("<")) {
+            skip_angles();
+            continue;
+          }
+          if (at_punct(";") || at_punct(")") || at_punct(",")) break;
+          ++pos_;
+        }
+        continue;
+      }
+      ++pos_;
+    }
+    if (!at_punct("{")) return;  // not a lambda body after all
+    ++pos_;
+    const std::string parent = fn_stack_.empty() ? "<toplevel>" : fn_stack_.back();
+    const std::string qual = parent + "::<lambda:" + std::to_string(line) + ">";
+    const std::string cls = top_class_chain();
+    enter_function_scope(qual, cls, line, /*record_events=*/pass2_, params);
+    scopes_.back().kind = Scope::kLambda;
+  }
+
+  [[nodiscard]] std::string top_class_chain() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (!it->name_chain.empty()) return it->name_chain;
+    }
+    return "";
+  }
+
+  void parse_local_sync_decl(const std::string& kind) {
+    const int line = peek()->line;
+    ++pos_;
+    const std::string name = peek()->text;
+    ++pos_;
+    const std::string owner = fn_stack_.empty() ? "<toplevel>" : fn_stack_.back();
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction || it->kind == Scope::kLambda ||
+          it->kind == Scope::kBlock) {
+        it->locals[name] = kind;
+        break;
+      }
+    }
+    if (kind == "Mutex") add_lock(owner, name, line, /*is_member=*/false);
+    // Skip any initializer up to `;`.
+    while (pos_ < toks_.size() && !at_punct(";")) {
+      if (at_punct("{")) {
+        skip_balanced("{", "}");
+        continue;
+      }
+      if (at_punct("(")) {
+        skip_balanced("(", ")");
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  void parse_lock_guard() {
+    const int line = peek()->line;
+    ++pos_;  // LockGuard
+    if (peek() != nullptr && peek()->kind == TokKind::Ident) ++pos_;  // guard name
+    if (!at_punct("(")) {
+      // `LockGuard` in some other position (e.g. a type mention) — skip.
+      return;
+    }
+    const std::vector<std::size_t> interior = balanced_interior("(", ")");
+    const std::vector<std::string> argv = split_expr_list(interior);
+    if (argv.empty()) return;
+    const bool adopt = argv.size() > 1 && argv[1].find("kAdoptLock") != std::string::npos;
+    if (!pass2_) return;
+    Function* fn = enclosing_function();
+    if (fn == nullptr) return;
+    const std::string id = resolve_expr_text(argv[0], line);
+    if (id.empty()) {
+      prog_.model.extraction_errors.push_back(
+          {file_, line, "unresolved-lock", "cannot resolve LockGuard target `" + argv[0] + "`"});
+      return;
+    }
+    AcquireEvent ev;
+    ev.lock_id = id;
+    ev.line = line;
+    ev.adopt = adopt;
+    for (const HeldLock& h : held_) ev.held.push_back(h.id);
+    fn->acquires.push_back(std::move(ev));
+    held_.push_back({id, false});
+    // The guard dies when the *current* scope closes.
+    top().guards.push_back(held_.size() - 1);
+  }
+
+  void handle_call() {
+    const std::string callee = peek()->text;
+    const int line = peek()->line;
+    // Receiver chain: walk back over `x .` / `x ->` / `X ::` pairs.
+    std::vector<std::string> recv;  // outermost-first idents
+    std::vector<std::string> seps;
+    std::size_t back = pos_;
+    bool qualified_static = false;
+    while (back >= 2 && toks_[back - 1].kind == TokKind::Punct &&
+           (toks_[back - 1].text == "." || toks_[back - 1].text == "->" ||
+            toks_[back - 1].text == "::")) {
+      if (toks_[back - 1].text == "::") qualified_static = true;
+      std::size_t prev = back - 2;
+      // Skip a subscript or call group between the sep and the ident.
+      if (toks_[prev].kind == TokKind::Punct &&
+          (toks_[prev].text == "]" || toks_[prev].text == ")")) {
+        const std::string close = toks_[prev].text;
+        const std::string open = close == "]" ? "[" : "(";
+        int depth = 0;
+        while (prev > 0) {
+          if (toks_[prev].kind == TokKind::Punct && toks_[prev].text == close) ++depth;
+          if (toks_[prev].kind == TokKind::Punct && toks_[prev].text == open) {
+            if (--depth == 0) break;
+          }
+          --prev;
+        }
+        if (prev == 0) break;
+        --prev;
+      }
+      if (toks_[prev].kind != TokKind::Ident) break;
+      recv.insert(recv.begin(), toks_[prev].text);
+      seps.insert(seps.begin(), toks_[back - 1].text);
+      back = prev;
+    }
+    ++pos_;  // callee name; the `(` and args are walked normally
+
+    if (!pass2_) return;
+    Function* fn = enclosing_function();
+    if (fn == nullptr) return;
+
+    // Resolve the receiver to a type where possible.
+    std::string recv_type;
+    if (!recv.empty()) {
+      if (qualified_static) {
+        recv_type = recv.back();  // `Class::method(...)`
+      } else {
+        recv_type = resolve_chain_type(recv);
+      }
+    }
+
+    if (blocking_names().count(callee) != 0) {
+      const bool condvar_wait =
+          (callee == "wait" || callee == "wait_until" || callee == "wait_for") &&
+          recv_type == "CondVar";
+      if (condvar_wait) {
+        // Allowed only when the single held lock is the one being waited
+        // on (waiting while holding anything else blocks that other lock).
+        const std::string arg = first_call_arg();
+        const std::string waited = arg.empty() ? "" : resolve_expr_text(arg, line);
+        bool extra_held = false;
+        for (const HeldLock& h : held_) {
+          if (h.id != waited) extra_held = true;
+        }
+        if (!extra_held) return;
+      }
+      // Recorded even with nothing held: the blocks-closure must know this
+      // function can block so call sites under locks get flagged.
+      BlockEvent ev;
+      ev.what = callee;
+      ev.line = line;
+      for (const HeldLock& h : held_) ev.held.push_back(h.id);
+      fn->blocks.push_back(std::move(ev));
+      return;
+    }
+
+    // A receiver we cannot type is almost always a container / std object
+    // (`change_times_.clear()`, `ring.insert(...)`); binding its method
+    // name to a model function by unique tail would fabricate edges, so
+    // drop the call instead (under-approximate).
+    if (!recv.empty() && recv_type.empty()) return;
+
+    CallEvent ev;
+    ev.callee = recv_type.empty() ? callee : recv_type + "::" + callee;
+    ev.line = line;
+    for (const HeldLock& h : held_) ev.held.push_back(h.id);
+    fn->calls.push_back(std::move(ev));
+  }
+
+  /// Text of the first argument of the call whose name pos_ sits on
+  /// (pos_ is already past the callee; the `(` is next).
+  [[nodiscard]] std::string first_call_arg() const {
+    std::size_t i = pos_;
+    if (i >= toks_.size() || toks_[i].kind != TokKind::Punct || toks_[i].text != "(") return "";
+    ++i;
+    std::string out;
+    int depth = 1;
+    while (i < toks_.size() && depth > 0) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::Punct) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") {
+          if (--depth == 0) break;
+        }
+        if (t.text == "," && depth == 1) break;
+      }
+      if (!out.empty()) out += ' ';
+      out += t.text;
+      ++i;
+    }
+    return out;
+  }
+
+  // ---- name resolution -----------------------------------------------
+  /// Looks up a simple type name in class tables, preferring the
+  /// enclosing class's nested types, then an exact chain, then a unique
+  /// tail match.
+  [[nodiscard]] std::string resolve_class_name(const std::string& name) const {
+    const std::string enclosing = top_class_chain();
+    if (!enclosing.empty()) {
+      std::string probe = enclosing;
+      while (true) {
+        const std::string candidate = probe.empty() ? name : probe + "::" + name;
+        if (prog_.classes.count(candidate) != 0) return candidate;
+        const std::size_t cut = probe.rfind("::");
+        if (cut == std::string::npos) {
+          if (!probe.empty()) {
+            probe.clear();
+            continue;
+          }
+          break;
+        }
+        probe = probe.substr(0, cut);
+      }
+    }
+    if (prog_.classes.count(name) != 0) return name;
+    const auto tails = prog_.class_by_tail.find(name);
+    if (tails != prog_.class_by_tail.end() && tails->second.size() == 1) {
+      return tails->second[0];
+    }
+    return "";
+  }
+
+  /// Type (class chain) of a local/param/member ident, "" if unknown.
+  [[nodiscard]] std::string type_of_ident(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto local = it->locals.find(name);
+      if (local != it->locals.end()) {
+        if (local->second == "Mutex" || local->second == "CondVar") return local->second;
+        return resolve_class_name(local->second);
+      }
+    }
+    const std::string cls = top_class_chain();
+    std::string probe = cls;
+    while (!probe.empty()) {
+      const auto found = prog_.classes.find(probe);
+      if (found != prog_.classes.end()) {
+        if (const MemberInfo* m = found->second.member(name)) {
+          if (m->is_mutex) return "Mutex";
+          if (m->is_condvar) return "CondVar";
+          if (!m->type.empty()) return resolve_class_name(m->type);
+          return "";
+        }
+      }
+      const std::size_t cut = probe.rfind("::");
+      probe = cut == std::string::npos ? "" : probe.substr(0, cut);
+    }
+    return "";
+  }
+
+  /// Resolves a `.`/`->` receiver chain to the type of its final element.
+  [[nodiscard]] std::string resolve_chain_type(const std::vector<std::string>& chain) const {
+    if (chain.empty()) return "";
+    std::string type;
+    std::size_t start = 0;
+    if (chain[0] == "this") {
+      type = top_class_chain();
+      start = 1;
+      if (start == chain.size()) return type;
+    } else {
+      type = type_of_ident(chain[0]);
+      start = 1;
+    }
+    for (std::size_t i = start; i < chain.size(); ++i) {
+      if (type.empty() || type == "Mutex" || type == "CondVar") return "";
+      const auto found = prog_.classes.find(type);
+      if (found == prog_.classes.end()) return "";
+      const MemberInfo* m = found->second.member(chain[i]);
+      if (m == nullptr) return "";
+      if (m->is_mutex) return "Mutex";
+      if (m->is_condvar) return "CondVar";
+      type = m->type.empty() ? "" : resolve_class_name(m->type);
+    }
+    return type;
+  }
+
+  /// Resolves a lock expression (space-joined token text) to a lock id.
+  [[nodiscard]] std::string resolve_expr_text(const std::string& expr, int line) {
+    return resolve_expr_impl(expr, top_class_chain(), line, /*use_scopes=*/true);
+  }
+
+  /// Resolution in a foreign class context (header HAX_REQUIRES merged
+  /// into a .cpp definition).
+  [[nodiscard]] std::string resolve_expr_in_class(const std::string& expr,
+                                                  const std::string& class_chain, int line) {
+    return resolve_expr_impl(expr, class_chain, line, /*use_scopes=*/false);
+  }
+
+  [[nodiscard]] std::string resolve_expr_impl(const std::string& expr,
+                                              const std::string& class_chain, int line,
+                                              bool use_scopes) {
+    (void)line;
+    // Tokenize the expression text into elements split on `.` / `->`,
+    // dropping leading `*`/`&`, `this ->`, subscripts, and call parens.
+    std::vector<std::string> elems;
+    std::vector<bool> is_call;
+    {
+      std::string cur;
+      bool call = false;
+      int depth = 0;
+      std::size_t i = 0;
+      auto flush = [&]() {
+        if (!cur.empty()) {
+          elems.push_back(cur);
+          is_call.push_back(call);
+        }
+        cur.clear();
+        call = false;
+      };
+      while (i < expr.size()) {
+        const char c = expr[i];
+        if (c == ' ') {
+          ++i;
+          continue;
+        }
+        if (c == '[' || c == '(') {
+          if (c == '(' && depth == 0 && !cur.empty()) call = true;
+          ++depth;
+          ++i;
+          continue;
+        }
+        if (c == ']' || c == ')') {
+          --depth;
+          ++i;
+          continue;
+        }
+        if (depth > 0) {
+          ++i;
+          continue;
+        }
+        if (c == '*' || c == '&') {
+          ++i;
+          continue;
+        }
+        if (c == '.') {
+          flush();
+          ++i;
+          continue;
+        }
+        if (c == '-' && i + 1 < expr.size() && expr[i + 1] == '>') {
+          flush();
+          i += 2;
+          continue;
+        }
+        if (c == ':' && i + 1 < expr.size() && expr[i + 1] == ':') {
+          flush();
+          i += 2;
+          continue;
+        }
+        cur += c;
+        ++i;
+      }
+      flush();
+    }
+    if (!elems.empty() && elems[0] == "this") {
+      elems.erase(elems.begin());
+      is_call.erase(is_call.begin());
+    }
+    if (elems.empty()) return "";
+
+    // Head resolution.
+    std::string type;
+    std::size_t next = 1;
+    const std::string& head = elems[0];
+    if (is_call[0]) {
+      // `write_mutex()`-style: a function owning exactly one local Mutex.
+      const auto quals = prog_.func_by_tail.find(head);
+      if (quals != prog_.func_by_tail.end()) {
+        std::string found;
+        for (const std::string& q : quals->second) {
+          for (const LockDecl& d : prog_.model.locks) {
+            if (!d.is_member && d.owner == q) {
+              if (!found.empty() && found != d.id) return "";
+              found = d.id;
+            }
+          }
+        }
+        if (!found.empty() && elems.size() == 1) return found;
+      }
+      return "";
+    }
+    if (use_scopes) {
+      // Local / param?
+      std::string local_type;
+      for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+        const auto local = it->locals.find(head);
+        if (local != it->locals.end()) {
+          local_type = local->second;
+          break;
+        }
+      }
+      if (local_type == "Mutex") {
+        if (elems.size() != 1) return "";
+        const std::string owner = fn_stack_.empty() ? "<toplevel>" : innermost_decl_owner(head);
+        return id_from(owner, head);
+      }
+      if (!local_type.empty() && local_type != "CondVar") {
+        type = resolve_class_name(local_type);
+      }
+    }
+    if (type.empty()) {
+      // Member of the (given) enclosing class chain, innermost-out.
+      std::string probe = class_chain;
+      while (true) {
+        const auto found = prog_.classes.find(probe);
+        if (found != prog_.classes.end()) {
+          const MemberInfo* m = found->second.member(head);
+          if (m != nullptr) {
+            if (m->is_mutex) {
+              return elems.size() == 1 ? id_from(found->second.chain, head) : std::string();
+            }
+            if (!m->type.empty()) {
+              type = resolve_class_name(m->type);
+              break;
+            }
+            return "";
+          }
+        }
+        const std::size_t cut = probe.rfind("::");
+        if (cut == std::string::npos) break;
+        probe = probe.substr(0, cut);
+      }
+    }
+    if (type.empty() && elems.size() == 1) {
+      // Unique global fallback by field/variable name.
+      std::string found;
+      for (const LockDecl& d : prog_.model.locks) {
+        if (d.name == head) {
+          if (!found.empty()) return "";
+          found = d.id;
+        }
+      }
+      return found;
+    }
+    // Walk the remaining chain through member types.
+    for (; next < elems.size(); ++next) {
+      if (type.empty()) return "";
+      const auto found = prog_.classes.find(type);
+      if (found == prog_.classes.end()) return "";
+      const MemberInfo* m = found->second.member(elems[next]);
+      if (m == nullptr) return "";
+      if (m->is_mutex) {
+        return next + 1 == elems.size() ? id_from(found->second.chain, elems[next])
+                                        : std::string();
+      }
+      type = m->type.empty() ? "" : resolve_class_name(m->type);
+    }
+    return "";
+  }
+
+  /// Owner (function qual name) of the innermost scope declaring `name`
+  /// as a local — the Mutex local's id uses the function it lives in,
+  /// even when referenced from a nested lambda.
+  [[nodiscard]] std::string innermost_decl_owner(const std::string& name) const {
+    std::size_t fn_idx = fn_stack_.size();
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kFunction || it->kind == Scope::kLambda) --fn_idx;
+      if (it->locals.count(name) != 0) {
+        if (it->kind == Scope::kFunction || it->kind == Scope::kLambda) {
+          return fn_stack_[fn_idx];
+        }
+        // Block scope: owner is the nearest enclosing function.
+        std::size_t f = fn_idx;
+        return f > 0 ? fn_stack_[f - 1] : std::string("<toplevel>");
+      }
+    }
+    return fn_stack_.empty() ? "<toplevel>" : fn_stack_.back();
+  }
+
+  Program& prog_;
+  std::string file_;
+  bool pass2_;
+  std::vector<std::string> raw_;
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::vector<Scope> scopes_;
+  std::vector<HeldLock> held_;
+  std::vector<std::vector<HeldLock>> held_save_;
+  std::vector<std::string> fn_stack_;  ///< qual names of nested fn/lambda scopes
+};
+
+}  // namespace
+
+const LockDecl* Model::find_lock(const std::string& id) const {
+  for (const LockDecl& d : locks) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+Model build_model(const std::vector<SourceFile>& files) {
+  Program prog;
+  for (const SourceFile& f : files) {
+    FileWalker(prog, f, /*pass2=*/false).run();
+  }
+  // Candidate fields for the unguarded-shared-field rule: every
+  // non-exempt member of a Mutex-owning class.
+  for (const auto& [chain, info] : prog.classes) {
+    if (!info.owns_mutex) continue;
+    for (const MemberInfo& m : info.members) {
+      if (m.exempt) continue;
+      prog.model.fields.push_back(
+          {chain, m.name, info.file, m.line, m.guarded, m.documented});
+    }
+  }
+  // HAX_MUTEX_RANK(<id>) handshake: a lock is "ranked" when the macro with
+  // its exact id appears in the declaring file.
+  for (LockDecl& d : prog.model.locks) {
+    for (const SourceFile& f : files) {
+      if (f.rel_path != d.file) continue;
+      if (f.contents.find("HAX_MUTEX_RANK(" + d.id + ")") != std::string::npos) {
+        d.has_rank = true;
+      }
+      break;
+    }
+  }
+  for (const SourceFile& f : files) {
+    FileWalker(prog, f, /*pass2=*/true).run();
+  }
+  prog.model.functions.assign(prog.functions.begin(), prog.functions.end());
+  // Validate declared edges now that every lock id is known.
+  for (const Edge& e : prog.model.declared_edges) {
+    for (const std::string& end : {e.from, e.to}) {
+      if (prog.model.find_lock(end) == nullptr) {
+        prog.model.extraction_errors.push_back(
+            {e.file, e.line, "bad-directive", "edge(...) names unknown lock id `" + end + "`"});
+      }
+    }
+  }
+  return prog.model;
+}
+
+bool consume_allowance(Model& model, const std::string& file, int line,
+                       const std::string& rule) {
+  bool suppressed = false;
+  for (Allowance& a : model.allowances) {
+    if (a.file != file || a.rule != rule) continue;
+    if (a.file_scope || a.line == line) {
+      a.used = true;
+      suppressed = true;
+    }
+  }
+  return suppressed;
+}
+
+}  // namespace hax::analyze

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file model.h
+/// hax_analyze's program model: what the whole-tree extraction pass
+/// recovers from the `HAX_*` annotations and the annotated primitives in
+/// src/common/annotated.h. The extractor is a token scanner sharing
+/// tools/common/cpp_lexer.h with hax_lint — it tracks namespace / class /
+/// function scopes by brace matching and recognizes the small set of
+/// shapes the repo's discipline guarantees:
+///
+///   Mutex / CondVar member and local declarations   → LockDecl (with a
+///     canonical id: class-scope chain + field name, `::` → `_`, e.g.
+///     `ThreadPool_mutex_`, `ScheduleCache_Shard_mu`; function-locals use
+///     the function's qualified name, e.g. `PortfolioSolver_solve_cb_mutex`)
+///   LockGuard raii(expr[, kAdoptLock]) sites        → AcquireEvent with
+///     the lexically-held lock set (RAII scoping, computed by brace depth)
+///   HAX_REQUIRES(...) on declarations/definitions   → entry-held locks,
+///     merged across header decl and out-of-line def by qualified name
+///   HAX_GUARDED_BY fields / other mutable fields    → FieldDecl (feeds
+///     the unguarded-shared-field rule)
+///   blocking calls (sleep_for, join, submit, solve…)→ BlockEvent
+///   every other `name(...)` call                    → CallEvent, with the
+///     receiver resolved through member/local/param types where possible
+///
+/// Lambda bodies are modelled as separate anonymous functions: they can
+/// *see* enclosing locals (for lock-expression resolution) but do not
+/// inherit the enclosing held-lock set — a LockGuard inside a stored
+/// callback is not held at the definition site.
+///
+/// Comment directives (parsed from raw lines, so they live in comments):
+///   // hax-analyze: allow(<rule>[, <rule>...])      — this line only
+///   // hax-analyze: allow-file(<rule>[, ...])       — the whole file
+///   // hax-analyze: edge(<lock-id> -> <lock-id>)    — declares an
+///     acquisition-graph edge the lexical analysis cannot see (callback
+///     indirection, e.g. a solver incumbent funnel). Both endpoints must
+///     resolve to known lock ids.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace hax::analyze {
+
+struct SourceFile {
+  std::string rel_path;  ///< repo-relative, forward slashes
+  std::string contents;
+};
+
+/// One Mutex object in the program (member, function-local, or
+/// function-static). `id` is the canonical name used by ranks, declared
+/// edges, and diagnostics; extraction fails if two declarations collide.
+struct LockDecl {
+  std::string id;
+  std::string file;
+  int line = 0;
+  std::string owner;  ///< class scope chain, or function qual-name for locals
+  std::string name;   ///< field / variable name
+  bool is_member = false;
+  bool has_rank = false;  ///< declared with HAX_MUTEX_RANK(<id>)
+};
+
+/// A non-exempt data field of a class that owns at least one Mutex.
+struct FieldDecl {
+  std::string owner;  ///< class scope chain
+  std::string name;
+  std::string file;
+  int line = 0;
+  bool guarded = false;     ///< carries HAX_GUARDED_BY(...)
+  bool documented = false;  ///< decl comment names a publication/ownership protocol
+};
+
+/// LockGuard construction site. `held` is the lock set at the point of
+/// acquisition (lexically enclosing guards plus HAX_REQUIRES entry locks).
+struct AcquireEvent {
+  std::string lock_id;
+  int line = 0;
+  bool adopt = false;  ///< kAdoptLock: caller already held it (try_lock)
+  std::vector<std::string> held;
+};
+
+/// A call to a known-blocking operation (sleep_for, join, submit, …).
+struct BlockEvent {
+  std::string what;  ///< the blocking token, e.g. "sleep_for"
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+/// Any other resolved or unresolved call. `callee` is "Type::method" when
+/// the receiver's type was recovered, otherwise the bare name.
+struct CallEvent {
+  std::string callee;
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct Function {
+  std::string qual_name;  ///< scope chain + name, e.g. "SelfHealingRuntime::tick"
+  std::string file;
+  int line = 0;
+  std::vector<std::string> requires_locks;  ///< resolved HAX_REQUIRES lock ids
+  std::vector<AcquireEvent> acquires;
+  std::vector<BlockEvent> blocks;
+  std::vector<CallEvent> calls;
+};
+
+/// Acquisition-graph edge: `to` was acquired while `from` was held.
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string file;  ///< witness site
+  int line = 0;
+  std::string via;  ///< "" for direct, callee chain for interprocedural,
+                    ///< "declared" for hax-analyze: edge(...)
+};
+
+/// One hax-analyze suppression directive (usage tracked like lint's).
+struct Allowance {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  bool file_scope = false;
+  bool used = false;
+};
+
+struct Model {
+  std::vector<LockDecl> locks;
+  std::vector<FieldDecl> fields;
+  std::vector<Function> functions;
+  std::vector<Edge> declared_edges;
+  std::vector<Allowance> allowances;        ///< hax-analyze: allow(...) directives
+  std::vector<lint::Finding> extraction_errors;  ///< id collisions, bad edge ids, …
+
+  [[nodiscard]] const LockDecl* find_lock(const std::string& id) const;
+};
+
+/// Builds the model from already-loaded sources. Pure (no filesystem);
+/// `files` should be the src/ tree minus src/common/annotated.h and
+/// src/common/lock_ranks.h (the primitives themselves). Extraction
+/// problems land in `extraction_errors`, they do not throw.
+[[nodiscard]] Model build_model(const std::vector<SourceFile>& files);
+
+/// Marks an allowance used and returns true if `rule` at `file`:`line`
+/// is suppressed by a hax-analyze allow directive.
+[[nodiscard]] bool consume_allowance(Model& model, const std::string& file, int line,
+                                     const std::string& rule);
+
+}  // namespace hax::analyze

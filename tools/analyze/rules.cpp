@@ -1,0 +1,402 @@
+#include "analyze/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace hax::analyze {
+namespace {
+
+/// Function lookup tables for interprocedural propagation.
+struct FuncIndex {
+  std::map<std::string, const Function*> by_qual;
+  std::map<std::string, std::vector<const Function*>> by_tail;
+
+  explicit FuncIndex(const Model& model) {
+    for (const Function& f : model.functions) {
+      by_qual.emplace(f.qual_name, &f);
+      const std::size_t cut = f.qual_name.rfind("::");
+      const std::string tail =
+          cut == std::string::npos ? f.qual_name : f.qual_name.substr(cut + 2);
+      by_tail[tail].push_back(&f);
+    }
+  }
+
+  /// Resolves a CallEvent callee ("Type::method" or bare "name") to a
+  /// function, or nullptr. Deliberately under-approximates: ambiguous
+  /// names resolve to nothing rather than to everything.
+  [[nodiscard]] const Function* resolve(const std::string& callee,
+                                        const std::string& caller_qual) const {
+    const std::size_t cut = callee.rfind("::");
+    if (cut != std::string::npos) {
+      // Qualified: exact match, else suffix match on the full qual name.
+      const auto exact = by_qual.find(callee);
+      if (exact != by_qual.end()) return exact->second;
+      const std::string tail = callee.substr(cut + 2);
+      const auto tails = by_tail.find(tail);
+      if (tails == by_tail.end()) return nullptr;
+      const Function* found = nullptr;
+      for (const Function* f : tails->second) {
+        const std::string& q = f->qual_name;
+        if (q.size() > callee.size() &&
+            q.compare(q.size() - callee.size(), callee.size(), callee) == 0 &&
+            q[q.size() - callee.size() - 1] == ':') {
+          if (found != nullptr) return nullptr;
+          found = f;
+        }
+      }
+      return found;
+    }
+    // Bare name: prefer a method of the caller's own class, else a
+    // program-wide unique function of that name.
+    const std::size_t caller_cut = caller_qual.rfind("::");
+    if (caller_cut != std::string::npos) {
+      const std::string sibling = caller_qual.substr(0, caller_cut + 2) + callee;
+      const auto m = by_qual.find(sibling);
+      if (m != by_qual.end()) return m->second;
+    }
+    const auto tails = by_tail.find(callee);
+    if (tails != by_tail.end() && tails->second.size() == 1) return tails->second[0];
+    return nullptr;
+  }
+};
+
+/// Strongly connected components via iterative Tarjan; returns components
+/// of size > 1 plus self-loop nodes (both are inversions).
+std::vector<std::vector<std::string>> cyclic_components(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::vector<std::string> nodes;
+  for (const auto& [n, _] : adj) nodes.push_back(n);
+  std::map<std::string, int> index;
+  std::map<std::string, int> low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int counter = 0;
+
+  struct Frame {
+    std::string node;
+    std::vector<std::string> succ;
+    std::size_t next = 0;
+  };
+  for (const std::string& root : nodes) {
+    if (index.count(root) != 0) continue;
+    std::vector<Frame> call_stack;
+    auto push_node = [&](const std::string& n) {
+      index[n] = low[n] = counter++;
+      stack.push_back(n);
+      on_stack[n] = true;
+      Frame fr;
+      fr.node = n;
+      const auto it = adj.find(n);
+      if (it != adj.end()) fr.succ.assign(it->second.begin(), it->second.end());
+      call_stack.push_back(std::move(fr));
+    };
+    push_node(root);
+    while (!call_stack.empty()) {
+      Frame& fr = call_stack.back();
+      if (fr.next < fr.succ.size()) {
+        const std::string& w = fr.succ[fr.next++];
+        if (index.count(w) == 0) {
+          push_node(w);
+        } else if (on_stack[w]) {
+          low[fr.node] = std::min(low[fr.node], index[w]);
+        }
+      } else {
+        if (low[fr.node] == index[fr.node]) {
+          std::vector<std::string> scc;
+          while (true) {
+            const std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == fr.node) break;
+          }
+          const bool self_loop =
+              scc.size() == 1 && adj.count(scc[0]) != 0 && adj.at(scc[0]).count(scc[0]) != 0;
+          if (scc.size() > 1 || self_loop) {
+            std::sort(scc.begin(), scc.end());
+            sccs.push_back(std::move(scc));
+          }
+        }
+        const std::string done = fr.node;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          low[call_stack.back().node] = std::min(low[call_stack.back().node], low[done]);
+        }
+      }
+    }
+  }
+  std::sort(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+}  // namespace
+
+Analysis analyze(Model& model) {
+  Analysis out;
+  out.findings = model.extraction_errors;
+
+  const FuncIndex index(model);
+
+  // Acquires-closure fixpoint: every lock a function may acquire,
+  // directly (non-adopt) or through resolved callees.
+  std::map<std::string, std::set<std::string>> closure;
+  for (const Function& f : model.functions) {
+    for (const AcquireEvent& a : f.acquires) {
+      if (!a.adopt) closure[f.qual_name].insert(a.lock_id);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Function& f : model.functions) {
+      std::set<std::string>& mine = closure[f.qual_name];
+      for (const CallEvent& c : f.calls) {
+        const Function* callee = index.resolve(c.callee, f.qual_name);
+        if (callee == nullptr) continue;
+        for (const std::string& id : closure[callee->qual_name]) {
+          if (mine.insert(id).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // Blocks-closure: can this function block (directly or transitively)?
+  std::map<std::string, std::string> blocks;  // qual → witness description
+  for (const Function& f : model.functions) {
+    if (!f.blocks.empty()) {
+      blocks[f.qual_name] = f.blocks.front().what + " at " + f.file + ":" +
+                            std::to_string(f.blocks.front().line);
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const Function& f : model.functions) {
+      if (blocks.count(f.qual_name) != 0) continue;
+      for (const CallEvent& c : f.calls) {
+        const Function* callee = index.resolve(c.callee, f.qual_name);
+        if (callee == nullptr || blocks.count(callee->qual_name) == 0) continue;
+        blocks[f.qual_name] = callee->qual_name + " (" + blocks[callee->qual_name] + ")";
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // ---- acquisition graph ---------------------------------------------
+  std::map<std::pair<std::string, std::string>, Edge> edges;
+  auto add_edge = [&](const std::string& from, const std::string& to, const std::string& file,
+                      int line, const std::string& via) {
+    if (from == to && !via.empty()) return;  // closure self-loops over-approximate
+    const auto key = std::make_pair(from, to);
+    if (edges.count(key) == 0) edges[key] = {from, to, file, line, via};
+  };
+  for (const Function& f : model.functions) {
+    for (const AcquireEvent& a : f.acquires) {
+      if (a.adopt) continue;
+      for (const std::string& h : a.held) add_edge(h, a.lock_id, f.file, a.line, "");
+    }
+    for (const CallEvent& c : f.calls) {
+      const Function* callee = index.resolve(c.callee, f.qual_name);
+      if (callee == nullptr) continue;
+      for (const std::string& acquired : closure[callee->qual_name]) {
+        for (const std::string& h : c.held) {
+          add_edge(h, acquired, f.file, c.line, callee->qual_name);
+        }
+      }
+    }
+  }
+  for (const Edge& e : model.declared_edges) {
+    if (model.find_lock(e.from) != nullptr && model.find_lock(e.to) != nullptr) {
+      add_edge(e.from, e.to, e.file, e.line, "declared");
+    }
+  }
+  for (const auto& [_, e] : edges) out.edges.push_back(e);
+  std::sort(out.edges.begin(), out.edges.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+  });
+
+  // ---- rule: lock-order-inversion ------------------------------------
+  std::map<std::string, std::set<std::string>> adj;
+  for (const Edge& e : out.edges) adj[e.from].insert(e.to);
+  for (const std::vector<std::string>& scc : cyclic_components(adj)) {
+    std::ostringstream msg;
+    msg << "lock-order cycle {";
+    for (std::size_t i = 0; i < scc.size(); ++i) {
+      if (i != 0) msg << ", ";
+      msg << scc[i];
+    }
+    msg << "}; witness edges:";
+    std::string file = "<graph>";
+    int line = 0;
+    const std::set<std::string> members(scc.begin(), scc.end());
+    for (const Edge& e : out.edges) {
+      if (members.count(e.from) != 0 && members.count(e.to) != 0) {
+        msg << " " << e.from << "->" << e.to << " (" << e.file << ":" << e.line;
+        if (!e.via.empty()) msg << " via " << e.via;
+        msg << ")";
+        if (line == 0) {
+          file = e.file;
+          line = e.line;
+        }
+      }
+    }
+    out.findings.push_back({file, line, "lock-order-inversion", msg.str()});
+  }
+
+  // ---- rule: blocking-under-lock -------------------------------------
+  for (const Function& f : model.functions) {
+    for (const BlockEvent& b : f.blocks) {
+      if (b.held.empty()) continue;
+      if (consume_allowance(model, f.file, b.line, "blocking-under-lock")) continue;
+      std::ostringstream msg;
+      msg << b.what << " while holding {";
+      for (std::size_t i = 0; i < b.held.size(); ++i) {
+        if (i != 0) msg << ", ";
+        msg << b.held[i];
+      }
+      msg << "} in " << f.qual_name;
+      out.findings.push_back({f.file, b.line, "blocking-under-lock", msg.str()});
+    }
+    for (const CallEvent& c : f.calls) {
+      if (c.held.empty()) continue;
+      const Function* callee = index.resolve(c.callee, f.qual_name);
+      if (callee == nullptr || blocks.count(callee->qual_name) == 0) continue;
+      // The callee reports its own direct sites when it HAX_REQUIRES one
+      // of our held locks — don't duplicate along annotated chains.
+      bool callee_requires_held = false;
+      for (const std::string& r : callee->requires_locks) {
+        if (std::find(c.held.begin(), c.held.end(), r) != c.held.end()) {
+          callee_requires_held = true;
+        }
+      }
+      if (callee_requires_held) continue;
+      if (consume_allowance(model, f.file, c.line, "blocking-under-lock")) continue;
+      std::ostringstream msg;
+      msg << "call to blocking " << callee->qual_name << " (" << blocks[callee->qual_name]
+          << ") while holding {";
+      for (std::size_t i = 0; i < c.held.size(); ++i) {
+        if (i != 0) msg << ", ";
+        msg << c.held[i];
+      }
+      msg << "} in " << f.qual_name;
+      out.findings.push_back({f.file, c.line, "blocking-under-lock", msg.str()});
+    }
+  }
+
+  // ---- rule: unguarded-shared-field ----------------------------------
+  for (const FieldDecl& fd : model.fields) {
+    if (fd.guarded || fd.documented) continue;
+    if (consume_allowance(model, fd.file, fd.line, "unguarded-shared-field")) continue;
+    out.findings.push_back(
+        {fd.file, fd.line, "unguarded-shared-field",
+         "mutable field `" + fd.name + "` of Mutex-owning class " + fd.owner +
+             " has neither HAX_GUARDED_BY nor a documented protocol comment"});
+  }
+
+  std::stable_sort(out.findings.begin(), out.findings.end(),
+                   [](const lint::Finding& a, const lint::Finding& b) {
+                     return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+                   });
+  return out;
+}
+
+std::vector<lint::Finding> rank_findings(Model& model) {
+  std::vector<lint::Finding> out;
+  for (const LockDecl& d : model.locks) {
+    if (d.has_rank) continue;
+    if (consume_allowance(model, d.file, d.line, "unranked-lock")) continue;
+    out.push_back({d.file, d.line, "unranked-lock",
+                   "Mutex `" + d.id + "` is not declared with HAX_MUTEX_RANK(" + d.id +
+                       ") — the runtime rank validator cannot check it"});
+  }
+  return out;
+}
+
+namespace {
+
+// Fixture trees hold deliberately-unused allows, and tool/doc comments
+// quote the grammar with placeholder "rules" (`<rule>`, `...`); neither
+// is a stale escape. Real rule names are kebab-case idents.
+bool stale_allow_in_scope(const std::string& file, const std::string& rule) {
+  if (file.rfind("tests/", 0) == 0) return false;
+  if (rule.empty()) return false;
+  for (const char c : rule) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<lint::Finding> stale_allow_findings(
+    const Model& model, const std::vector<lint::Allowance>& lint_allowances) {
+  std::vector<lint::Finding> out;
+  for (const lint::Allowance& a : lint_allowances) {
+    if (a.used || !stale_allow_in_scope(a.file, a.rule)) continue;
+    out.push_back({a.file, a.line, "stale-allow",
+                   "hax-lint: " + std::string(a.file_scope ? "allow-file" : "allow") + "(" +
+                       a.rule + ") suppresses nothing — remove it"});
+  }
+  for (const Allowance& a : model.allowances) {
+    if (a.used || !stale_allow_in_scope(a.file, a.rule)) continue;
+    out.push_back({a.file, a.line, "stale-allow",
+                   "hax-analyze: " + std::string(a.file_scope ? "allow-file" : "allow") + "(" +
+                       a.rule + ") suppresses nothing — remove it"});
+  }
+  std::stable_sort(out.begin(), out.end(), [](const lint::Finding& a, const lint::Finding& b) {
+    return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+  });
+  return out;
+}
+
+std::string emit_ranks(const Model& model, const std::vector<Edge>& edges) {
+  // Kahn topological sort over every declared lock; alphabetical
+  // tie-break makes the output canonical, ranks spaced by 10 leave room
+  // for hand-tuning between regenerations (though regeneration is the
+  // supported path).
+  std::set<std::string> nodes;
+  for (const LockDecl& d : model.locks) nodes.insert(d.id);
+  std::map<std::string, std::set<std::string>> fwd;
+  std::map<std::string, int> indegree;
+  for (const std::string& n : nodes) indegree[n] = 0;
+  for (const Edge& e : edges) {
+    if (nodes.count(e.from) == 0 || nodes.count(e.to) == 0 || e.from == e.to) continue;
+    if (fwd[e.from].insert(e.to).second) ++indegree[e.to];
+  }
+  std::set<std::string> ready;
+  for (const auto& [n, deg] : indegree) {
+    if (deg == 0) ready.insert(n);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string n = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(n);
+    for (const std::string& m : fwd[n]) {
+      if (--indegree[m] == 0) ready.insert(m);
+    }
+  }
+  if (order.size() != nodes.size()) return "";  // cyclic — already reported
+
+  std::ostringstream out;
+  out << "// Canonical lock-rank assignment. Generated by `hax_analyze --emit-ranks`;\n"
+         "// regenerate (do not hand-edit) whenever a Mutex or a nesting edge is\n"
+         "// added. Consumed twice: src/common/lock_ranks.h turns each line into a\n"
+         "// constant for HAX_MUTEX_RANK, and the hax_analyze CTest gate fails if\n"
+         "// this file drifts from the acquisition graph. Lower rank = acquired\n"
+         "// first; the runtime validator aborts on any out-of-order acquisition.\n";
+  int rank = 10;
+  for (const std::string& n : order) {
+    out << "HAX_LOCK_RANK_DEF(" << n << ", " << rank << ")\n";
+    rank += 10;
+  }
+  return out.str();
+}
+
+}  // namespace hax::analyze

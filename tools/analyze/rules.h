@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file rules.h
+/// hax_analyze's rule layer: turns the extracted Model into findings and
+/// the canonical lock-rank assignment.
+///
+/// Rules:
+///   lock-order-inversion   cycle in the acquisition graph (direct RAII
+///                          nesting + interprocedural acquires-closure +
+///                          declared edges). The headline check: any
+///                          cycle is a potential ABBA deadlock. Not
+///                          suppressible — break the cycle or declare a
+///                          different order.
+///   blocking-under-lock    sleep/join/submit/solve/wait while holding a
+///                          lock. CondVar::wait(mu) is allowed when `mu`
+///                          is the only lock held. Suppressible per line
+///                          (`hax-analyze: allow(blocking-under-lock)`)
+///                          for sites where blocking while held is the
+///                          design (e.g. a PU mutex *is* the resource).
+///   unguarded-shared-field mutable field of a Mutex-owning class with
+///                          neither HAX_GUARDED_BY nor a comment naming
+///                          its protocol (immutable / publication /
+///                          thread-owned / …). Suppressible per line.
+///   unranked-lock          Mutex declared without HAX_MUTEX_RANK(<id>)
+///                          — the runtime validator cannot see it.
+///                          Checked by rank_findings (CLI only, so rule
+///                          fixtures don't need rank boilerplate).
+///   stale-allow            a hax-lint / hax-analyze allow(...) that
+///                          suppressed nothing this run.
+///
+/// The acquisition graph orients every edge "held → acquired"; emit_ranks
+/// produces a total order consistent with it (Kahn topological sort,
+/// alphabetical tie-break, ranks spaced by 10) which is checked in as
+/// tools/analyze/lock_ranks.inc and consumed by src/common/lock_ranks.h —
+/// the runtime rank validator and this static graph share one source of
+/// truth.
+
+#include <string>
+#include <vector>
+
+#include "analyze/model.h"
+#include "lint/lint.h"
+
+namespace hax::analyze {
+
+struct Analysis {
+  std::vector<Edge> edges;  ///< deduped acquisition graph (incl. declared)
+  std::vector<lint::Finding> findings;
+};
+
+/// Runs lock-order-inversion, blocking-under-lock and
+/// unguarded-shared-field. Non-const: consumes hax-analyze allowances
+/// (usage feeds the stale-allow rule).
+[[nodiscard]] Analysis analyze(Model& model);
+
+/// unranked-lock findings: every Mutex in the model lacking the
+/// HAX_MUTEX_RANK(<id>) handshake at its declaration site.
+[[nodiscard]] std::vector<lint::Finding> rank_findings(Model& model);
+
+/// stale-allow findings over both tools' suppression tables. Call after
+/// every rule (and the lint scan) has consumed its allowances.
+[[nodiscard]] std::vector<lint::Finding> stale_allow_findings(
+    const Model& model, const std::vector<lint::Allowance>& lint_allowances);
+
+/// The canonical lock_ranks.inc contents for this model's graph.
+/// `edges` must come from analyze() on the same model. Returns the empty
+/// string when the graph is cyclic (analyze() already reported it).
+[[nodiscard]] std::string emit_ranks(const Model& model, const std::vector<Edge>& edges);
+
+}  // namespace hax::analyze

@@ -1,0 +1,186 @@
+#include "common/cpp_lexer.h"
+
+#include <cctype>
+
+namespace hax::lex {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> strip_comments_and_strings(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string s(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;  // rest is comment
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      s[i] = c;
+      ++i;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(const std::vector<std::string>& code_lines) {
+  std::vector<Token> tokens;
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& line = code_lines[li];
+    const int line_no = static_cast<int>(li) + 1;
+    for (std::size_t i = 0; i < line.size();) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t end = i + 1;
+        while (end < line.size() && is_ident_char(line[end])) ++end;
+        tokens.push_back({TokKind::Ident, line.substr(i, end - i), line_no});
+        i = end;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t end = i + 1;
+        // Good enough for 0x1f / 1e-9 / 1'000 / 3.5f — the tools never
+        // interpret numeric values, they only need the token boundaries.
+        while (end < line.size() &&
+               (is_ident_char(line[end]) || line[end] == '.' || line[end] == '\'' ||
+                ((line[end] == '+' || line[end] == '-') &&
+                 (line[end - 1] == 'e' || line[end - 1] == 'E')))) {
+          ++end;
+        }
+        tokens.push_back({TokKind::Number, line.substr(i, end - i), line_no});
+        i = end;
+        continue;
+      }
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        tokens.push_back({TokKind::Punct, "::", line_no});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        tokens.push_back({TokKind::Punct, "->", line_no});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({TokKind::Punct, std::string(1, c), line_no});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<Directive> parse_directives(const std::vector<std::string>& raw_lines,
+                                        const std::string& prefix) {
+  std::vector<Directive> out;
+  const std::string marker = prefix + ":";
+  for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+    const std::string& raw = raw_lines[li];
+    std::size_t pos = 0;
+    while ((pos = raw.find(marker, pos)) != std::string::npos) {
+      std::size_t p = pos + marker.size();
+      while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+      std::size_t verb_end = p;
+      while (verb_end < raw.size() && (is_ident_char(raw[verb_end]) || raw[verb_end] == '-')) {
+        ++verb_end;
+      }
+      if (verb_end > p && verb_end < raw.size() && raw[verb_end] == '(') {
+        const std::size_t close = raw.find(')', verb_end + 1);
+        if (close != std::string::npos) {
+          out.push_back({static_cast<int>(li) + 1, raw.substr(p, verb_end - p),
+                         raw.substr(verb_end + 1, close - verb_end - 1)});
+        }
+      }
+      pos = pos + marker.size();
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_args(const std::string& args) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= args.size()) {
+    std::size_t comma = args.find(',', start);
+    if (comma == std::string::npos) comma = args.size();
+    std::size_t lo = start;
+    std::size_t hi = comma;
+    while (lo < hi && std::isspace(static_cast<unsigned char>(args[lo])) != 0) ++lo;
+    while (hi > lo && std::isspace(static_cast<unsigned char>(args[hi - 1])) != 0) --hi;
+    if (hi > lo) out.push_back(args.substr(lo, hi - lo));
+    if (comma == args.size()) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool contains_token(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool token_ends_ident = is_ident_char(token.back());
+    const bool right_ok = !token_ends_ident || end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+}  // namespace hax::lex

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file cpp_lexer.h
+/// Shared lightweight C++ lexing for the repo's source-analysis tools
+/// (tools/lint, tools/analyze). Deliberately not a real C++ parser: the
+/// tools' rules are designed so that comment/string stripping plus a
+/// token stream with line numbers is enough. Both tools share this one
+/// implementation so their notion of "what is code" can never diverge.
+///
+/// The pipeline every tool uses:
+///   raw text ── split_lines ──► raw lines      (directive comments live here)
+///            ── strip_comments_and_strings ──► code lines (same shape,
+///               comments/strings blanked, lengths preserved)
+///            ── tokenize ──► Token stream      (idents, numbers, puncts;
+///               `::` and `->` are single tokens, everything else 1 char)
+///
+/// Directive comments (the hax-lint / hax-analyze allow and edge
+/// escapes) are parsed from the *raw* lines via parse_directives,
+/// before stripping, because they are comments by construction.
+
+#include <string>
+#include <vector>
+
+namespace hax::lex {
+
+/// Splits into lines, preserving empty ones; the trailing newline does
+/// not create a phantom line.
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text);
+
+/// Replaces comments and string/char literals with spaces, line by line,
+/// tracking /* */ across lines. Keeps line lengths so findings stay
+/// column-accurate enough for humans. Raw strings are treated as plain
+/// strings (good enough: the delimiter rarely contains a quote).
+[[nodiscard]] std::vector<std::string> strip_comments_and_strings(
+    const std::vector<std::string>& lines);
+
+enum class TokKind {
+  Ident,   ///< identifier or keyword (the lexer does not distinguish)
+  Number,  ///< numeric literal
+  Punct,   ///< punctuation; `::` and `->` are fused, the rest single-char
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+/// Tokenizes stripped code lines (run strip_comments_and_strings first —
+/// tokenize assumes comments and literals are already blanked).
+[[nodiscard]] std::vector<Token> tokenize(const std::vector<std::string>& code_lines);
+
+/// One `// <prefix>: <verb>(<args>)` comment directive.
+struct Directive {
+  int line = 0;      ///< 1-based line the directive sits on
+  std::string verb;  ///< e.g. "allow", "allow-file", "edge"
+  std::string args;  ///< raw text between the parentheses, untrimmed
+};
+
+/// Extracts every `<prefix>: <verb>(<args>)` occurrence from raw lines
+/// (prefix is e.g. "hax-lint" or "hax-analyze"). Tools decide which verbs
+/// they understand; unknown verbs are still returned.
+[[nodiscard]] std::vector<Directive> parse_directives(
+    const std::vector<std::string>& raw_lines, const std::string& prefix);
+
+/// Splits a directive argument list on commas and trims whitespace from
+/// each piece; empty pieces are dropped. `allow(a, b)` → {"a", "b"}.
+[[nodiscard]] std::vector<std::string> split_args(const std::string& args);
+
+/// True when `token` occurs in `line` as a standalone token: not embedded
+/// in a longer identifier on either side. `token` itself may contain
+/// non-identifier characters (e.g. "std::mutex", "rand(").
+[[nodiscard]] bool contains_token(const std::string& line, const std::string& token);
+
+}  // namespace hax::lex

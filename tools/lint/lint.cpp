@@ -2,131 +2,17 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <fstream>
 #include <set>
 #include <sstream>
+
+#include "common/cpp_lexer.h"
 
 namespace hax::lint {
 namespace {
 
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when `token` occurs in `line` as a standalone token: not embedded
-/// in a longer identifier on either side. `token` itself may contain
-/// non-identifier characters (e.g. "std::mutex", "rand(").
-bool contains_token(const std::string& line, const std::string& token) {
-  std::size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool token_ends_ident = is_ident_char(token.back());
-    const bool right_ok = !token_ends_ident || end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) return true;
-    pos += 1;
-  }
-  return false;
-}
-
-/// Splits into lines, preserving empty ones; the trailing newline does not
-/// create a phantom line.
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t nl = text.find('\n', start);
-    if (nl == std::string::npos) {
-      if (start < text.size()) lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-/// Replaces comments and string/char literals with spaces, line by line,
-/// tracking /* */ across lines. Keeps line lengths so findings stay
-/// column-accurate enough for humans. Raw strings are treated as plain
-/// strings (good enough: the delimiter rarely contains a quote).
-std::vector<std::string> strip_comments_and_strings(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string s(line.size(), ' ');
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;  // rest is comment
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      s[i] = c;
-      ++i;
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-/// Rules a `// hax-lint: allow(<rule>)` on this raw line suppresses.
-std::set<std::string> line_allowances(const std::string& raw) {
-  std::set<std::string> rules;
-  std::size_t pos = 0;
-  while ((pos = raw.find("hax-lint: allow(", pos)) != std::string::npos) {
-    const std::size_t open = pos + std::string("hax-lint: allow(").size();
-    const std::size_t close = raw.find(')', open);
-    if (close != std::string::npos) rules.insert(raw.substr(open, close - open));
-    pos = open;
-  }
-  return rules;
-}
-
-std::set<std::string> file_allowances(const std::vector<std::string>& raw_lines) {
-  std::set<std::string> rules;
-  for (const std::string& raw : raw_lines) {
-    std::size_t pos = 0;
-    while ((pos = raw.find("hax-lint: allow-file(", pos)) != std::string::npos) {
-      const std::size_t open = pos + std::string("hax-lint: allow-file(").size();
-      const std::size_t close = raw.find(')', open);
-      if (close != std::string::npos) rules.insert(raw.substr(open, close - open));
-      pos = open;
-    }
-  }
-  return rules;
 }
 
 struct TokenRule {
@@ -147,68 +33,117 @@ constexpr std::array<TokenRule, 4> kNondetTokens{{
     {"nondet", "std::random_device", "deterministic core: seed a hax::Rng instead"},
     {"nondet", "rand(", "deterministic core: use hax::Rng"},
     {"nondet", "srand(", "deterministic core: use hax::Rng"},
-    {"nondet", "system_clock", "wall-clock time in the deterministic core; use steady_clock"},
+    {"nondet", "system_clock", "wall-clock time in deterministic code; use steady_clock"},
 }};
 
-/// The deterministic-core directories for the nondet rule.
-constexpr std::array<const char*, 6> kDeterministicDirs{
-    "src/sim/", "src/solver/", "src/sched/", "src/contention/", "src/faults/", "src/serve/"};
+/// Directories the nondet rule polices: the deterministic core plus the
+/// reproducibility-sensitive tool/benchmark trees.
+constexpr std::array<const char*, 8> kDeterministicDirs{
+    "src/sim/",  "src/solver/", "src/sched/", "src/contention/",
+    "src/faults/", "src/serve/", "bench/",    "tools/"};
 
 bool is_header(const std::string& rel_path) {
   return rel_path.size() >= 2 && rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
 }
 
+/// Tracks the suppression directives of one file and records which fired.
+/// Line allows are keyed by (line, rule); file allows by rule alone.
+class AllowanceTable {
+ public:
+  AllowanceTable(const std::string& rel_path, const std::vector<std::string>& raw_lines) {
+    for (const lex::Directive& d : lex::parse_directives(raw_lines, "hax-lint")) {
+      const bool file_scope = d.verb == "allow-file";
+      if (!file_scope && d.verb != "allow") continue;
+      for (const std::string& rule : lex::split_args(d.args)) {
+        entries_.push_back({rel_path, d.line, rule, file_scope, false});
+      }
+    }
+  }
+
+  /// True (and marks the matching entries used) when `rule` at `line` is
+  /// suppressed. Line allows win checked first so a redundant file allow
+  /// stays visibly unused.
+  bool consume(int line, const std::string& rule) {
+    bool suppressed = false;
+    for (Allowance& a : entries_) {
+      if (a.rule != rule) continue;
+      if (a.file_scope || a.line == line) {
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    return suppressed;
+  }
+
+  /// As consume() for rules that have no single finding line (pragma-once
+  /// checks the whole file): any allow of the rule suppresses.
+  bool consume_any(const std::string& rule) {
+    bool suppressed = false;
+    for (Allowance& a : entries_) {
+      if (a.rule == rule) {
+        a.used = true;
+        suppressed = true;
+      }
+    }
+    return suppressed;
+  }
+
+  [[nodiscard]] std::vector<Allowance> take() && { return std::move(entries_); }
+
+ private:
+  std::vector<Allowance> entries_;
+};
+
 }  // namespace
 
-std::vector<Finding> scan_source(const std::string& rel_path, const std::string& contents) {
-  const std::vector<std::string> raw = split_lines(contents);
-  const std::vector<std::string> code = strip_comments_and_strings(raw);
-  const std::set<std::string> file_allow = file_allowances(raw);
+ScanResult scan_source_tracked(const std::string& rel_path, const std::string& contents) {
+  const std::vector<std::string> raw = lex::split_lines(contents);
+  const std::vector<std::string> code = lex::strip_comments_and_strings(raw);
+  AllowanceTable allow(rel_path, raw);
 
   const bool in_src = starts_with(rel_path, "src/");
   const bool raw_mutex_scope = in_src && rel_path != "src/common/annotated.h";
   const bool nondet_scope =
       std::any_of(kDeterministicDirs.begin(), kDeterministicDirs.end(),
                   [&](const char* dir) { return starts_with(rel_path, dir); });
-  const bool cout_scope = in_src;
+  const bool cout_scope =
+      in_src || starts_with(rel_path, "bench/") || starts_with(rel_path, "tools/");
 
-  std::vector<Finding> findings;
-  const auto report = [&](int line_no, const std::set<std::string>& line_allow,
-                          const char* rule, std::string message) {
-    if (file_allow.count(rule) != 0 || line_allow.count(rule) != 0) return;
-    findings.push_back({rel_path, line_no, rule, std::move(message)});
+  ScanResult result;
+  const auto report = [&](int line_no, const char* rule, std::string message) {
+    if (allow.consume(line_no, rule)) return;
+    result.findings.push_back({rel_path, line_no, rule, std::move(message)});
   };
 
   for (std::size_t i = 0; i < code.size(); ++i) {
     const int line_no = static_cast<int>(i) + 1;
-    const std::set<std::string> line_allow = line_allowances(raw[i]);
 
     if (raw_mutex_scope) {
       for (const TokenRule& t : kRawMutexTokens) {
-        if (contains_token(code[i], t.token)) {
-          report(line_no, line_allow, t.rule, std::string(t.token) + ": " + t.message);
+        if (lex::contains_token(code[i], t.token)) {
+          report(line_no, t.rule, std::string(t.token) + ": " + t.message);
         }
       }
     }
     if (nondet_scope) {
       for (const TokenRule& t : kNondetTokens) {
-        if (contains_token(code[i], t.token)) {
-          report(line_no, line_allow, t.rule, std::string(t.token) + ": " + t.message);
+        if (lex::contains_token(code[i], t.token)) {
+          report(line_no, t.rule, std::string(t.token) + ": " + t.message);
         }
       }
     }
-    if (cout_scope && contains_token(code[i], "std::cout")) {
-      report(line_no, line_allow, "cout",
-             "std::cout in library code: report through hax::log "
-             "(stdout belongs to tools/bench/examples)");
+    if (cout_scope && lex::contains_token(code[i], "std::cout")) {
+      report(line_no, "cout",
+             "std::cout outside examples/: use hax::log in src/, bench_util "
+             "tables in bench/, stdio in tools/");
     }
-    if (is_header(rel_path) && contains_token(code[i], "using namespace")) {
-      report(line_no, line_allow, "using-namespace",
+    if (is_header(rel_path) && lex::contains_token(code[i], "using namespace")) {
+      report(line_no, "using-namespace",
              "using-namespace in a header leaks into every includer");
     }
   }
 
-  if (is_header(rel_path) && file_allow.count("pragma-once") == 0) {
+  if (is_header(rel_path)) {
     bool found = false;
     for (std::size_t i = 0; i < code.size(); ++i) {
       std::string trimmed = code[i];
@@ -221,18 +156,23 @@ std::vector<Finding> scan_source(const std::string& rel_path, const std::string&
       found = trimmed == "#pragma once";
       break;  // first non-comment, non-blank line decides
     }
-    if (!found) {
-      findings.push_back({rel_path, 1, "pragma-once",
-                          "header's first non-comment line must be #pragma once"});
+    if (!found && !allow.consume_any("pragma-once")) {
+      result.findings.push_back({rel_path, 1, "pragma-once",
+                                 "header's first non-comment line must be #pragma once"});
     }
   }
 
-  std::stable_sort(findings.begin(), findings.end(),
+  std::stable_sort(result.findings.begin(), result.findings.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });
-  return findings;
+  result.allowances = std::move(allow).take();
+  return result;
 }
 
-std::vector<Finding> scan_tree(const std::filesystem::path& repo_root) {
+std::vector<Finding> scan_source(const std::string& rel_path, const std::string& contents) {
+  return scan_source_tracked(rel_path, contents).findings;
+}
+
+std::vector<std::string> tree_paths(const std::filesystem::path& repo_root) {
   namespace fs = std::filesystem;
   constexpr std::array<const char*, 5> kRoots{"src", "tests", "bench", "examples", "tools"};
 
@@ -250,9 +190,12 @@ std::vector<Finding> scan_tree(const std::filesystem::path& repo_root) {
     }
   }
   std::sort(rel_paths.begin(), rel_paths.end());
+  return rel_paths;
+}
 
+std::vector<Finding> scan_tree(const std::filesystem::path& repo_root) {
   std::vector<Finding> findings;
-  for (const std::string& rel : rel_paths) {
+  for (const std::string& rel : tree_paths(repo_root)) {
     std::ifstream in(repo_root / rel, std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();

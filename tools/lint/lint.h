@@ -5,7 +5,9 @@
 /// concurrency and determinism discipline. It is deliberately a token
 /// scanner, not a parser — the rules are chosen so that a line-level
 /// match after comment/string stripping has essentially no false
-/// positives, and the escape hatch covers the rest.
+/// positives, and the escape hatch covers the rest. Lexing (comment and
+/// string stripping, directive parsing) is shared with tools/analyze via
+/// tools/common/cpp_lexer.h.
 ///
 /// Rules (scoped by repo-relative path, forward slashes):
 ///   raw-mutex        std::mutex / std::lock_guard / std::unique_lock /
@@ -14,21 +16,29 @@
 ///                    code must use the annotated hax wrappers so Clang
 ///                    Thread Safety Analysis sees every lock.
 ///   nondet           std::random_device, rand(, srand(, system_clock in
-///                    src/{sim,solver,sched,contention,faults}/ — the
-///                    deterministic core. Seeded hax::Rng and steady_clock
-///                    are the sanctioned sources of randomness and time.
-///   cout             std::cout under src/. Library code reports through
-///                    hax::log; stdout belongs to tools/bench/examples.
+///                    src/{sim,solver,sched,contention,faults,serve}/ — the
+///                    deterministic core — and in bench/ and tools/, whose
+///                    outputs must be reproducible run to run. Seeded
+///                    hax::Rng and steady_clock are the sanctioned sources
+///                    of randomness and time.
+///   cout             std::cout under src/, bench/ and tools/. Library
+///                    code reports through hax::log; benchmarks route
+///                    tables through bench_util; tools use stdio. Bare
+///                    std::cout belongs to examples/ only.
 ///   pragma-once      a .h file whose first non-comment line is not
 ///                    `#pragma once`.
 ///   using-namespace  `using namespace` at any line of a .h file.
 ///
-/// Suppressions (written inside comments, parsed before stripping):
-///   // hax-lint: allow(<rule>)        — this line only
-///   // hax-lint: allow-file(<rule>)   — the whole file
+/// Suppressions (written inside comments, parsed before stripping; a
+/// comma-separated list suppresses each named rule):
+///   // hax-lint: allow(<rule>[, <rule>...])       — this line only
+///   // hax-lint: allow-file(<rule>[, <rule>...])  — the whole file
 ///
 /// The scanner strips // and /* */ comments and string/char literals
 /// before matching, so prose about rand() or std::mutex never trips it.
+/// scan_source_tracked() additionally reports every suppression it saw
+/// and whether it fired — tools/analyze's stale-allow rule flags the
+/// ones that no longer suppress anything.
 
 #include <filesystem>
 #include <string>
@@ -43,16 +53,40 @@ struct Finding {
   std::string message;
 };
 
+/// One `hax-lint: allow(...)` / `allow-file(...)` suppression, with
+/// whether it actually suppressed a finding during the scan.
+struct Allowance {
+  std::string file;
+  int line = 0;  ///< line the directive sits on
+  std::string rule;
+  bool file_scope = false;  ///< allow-file(...) vs line allow(...)
+  bool used = false;        ///< suppressed at least one would-be finding
+};
+
+struct ScanResult {
+  std::vector<Finding> findings;
+  std::vector<Allowance> allowances;
+};
+
 /// Scans one file's `contents` as if it lived at `rel_path` (repo-relative,
 /// forward slashes). Pure: path scoping, stripping and matching only —
 /// no filesystem access, so tests can replay fixtures under any path.
 [[nodiscard]] std::vector<Finding> scan_source(const std::string& rel_path,
                                                const std::string& contents);
 
+/// As scan_source, but also reports every suppression directive and
+/// whether it fired (feeds the stale-allow rule in tools/analyze).
+[[nodiscard]] ScanResult scan_source_tracked(const std::string& rel_path,
+                                             const std::string& contents);
+
 /// Walks `repo_root` scanning every .h/.cpp under src/, tests/, bench/,
 /// examples/ and tools/. Skips tests/lint_fixtures/ (deliberate
 /// violations used by the lint self-test).
 [[nodiscard]] std::vector<Finding> scan_tree(const std::filesystem::path& repo_root);
+
+/// The repo-relative .h/.cpp paths scan_tree would visit, sorted
+/// (exposed so tools/analyze walks exactly the same file set).
+[[nodiscard]] std::vector<std::string> tree_paths(const std::filesystem::path& repo_root);
 
 /// "file:line: [rule] message" per finding, newline-terminated.
 [[nodiscard]] std::string format(const std::vector<Finding>& findings);
