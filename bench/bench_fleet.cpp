@@ -1,0 +1,364 @@
+/// \file bench_fleet.cpp
+/// Scheduler-fleet benchmark: a 1M-request device-fleet trace (1000
+/// simulated devices with seeded calibration drift) against the sharded
+/// multi-broker fleet. Four sections:
+///
+///   1. locked-vs-lockfree: the cache-hit fast lane under 4 contending
+///      reader threads, epoch-published snapshots vs the classic locked
+///      probe. Acceptance: lock-free hit p50 no worse than locked
+///      (within a 10% noise margin).
+///   2. shard-scaling: the full 1M-request trace replayed against 1, 2
+///      and 4 brokers (replication on and off), virtual-time throughput
+///      and merged latency quantiles per point. Acceptance: >= 3x
+///      throughput at 4 shards over 1 shard.
+///   3. restart-mid-trace: broker killed at request 500k and restored
+///      from a deliberately stale request-400 snapshot; with replication
+///      the bus backfills the gap at boot. Acceptance: hit rate within
+///      5% of the undisturbed run.
+///   4. replay: the restart run repeated; fleet stats must be
+///      bit-identical (deterministic virtual time, restarts included).
+///
+/// Emits results/BENCH_fleet.json (run from the repo root).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "fleet/devices.h"
+#include "fleet/fleet.h"
+#include "serve/schedule_cache.h"
+#include "serve/service.h"
+
+using namespace hax;
+using fleet::DeviceFleetOptions;
+using fleet::DeviceFleetSim;
+using fleet::DeviceRequest;
+using fleet::FleetOptions;
+using fleet::FleetStats;
+using fleet::SchedulerFleet;
+
+namespace {
+
+constexpr std::size_t kRequests = 1'000'000;
+constexpr std::size_t kDevices = 1000;
+constexpr std::size_t kDriftBuckets = 32;
+constexpr std::uint64_t kSeed = 20240801;
+constexpr std::size_t kPumpEvery = 10'000;
+
+/// Eight distinct base scenarios (no permuted twins — the fleet needs
+/// fingerprint diversity, and permutations collapse onto one entry).
+std::vector<sched::ProblemInstance> make_pool(const core::HaxConn& hax) {
+  std::vector<sched::ProblemInstance> pool;
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet()}, {nn::zoo::resnet18()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet()}, {nn::zoo::googlenet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::resnet18()}, {nn::zoo::googlenet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::resnet18()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::googlenet()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::alexnet(), -1, 2}, {nn::zoo::resnet18()}}));
+  pool.push_back(hax.make_problem({{nn::zoo::resnet18(), -1, 2}}));
+  return pool;
+}
+
+[[nodiscard]] serve::ServiceOptions broker_options() {
+  serve::ServiceOptions o;
+  o.workers = 0;
+  o.virtual_time = true;
+  o.default_budget_ms = 0.0;
+  o.default_node_limit = 4000;
+  o.virtual_nodes_per_ms = 500.0;
+  return o;
+}
+
+[[nodiscard]] DeviceFleetOptions sim_options() {
+  DeviceFleetOptions o;
+  o.devices = kDevices;
+  o.drift_buckets = kDriftBuckets;
+  o.seed = kSeed;
+  // 10x the single-broker service rate (a hit costs 0.05 virtual ms):
+  // the trace must overload one broker for shard scaling to be visible —
+  // an under-loaded fleet is capped by the arrival rate, not by capacity.
+  o.mean_gap_ms = 0.005;
+  return o;
+}
+
+struct TraceRun {
+  FleetStats stats;
+  std::string stats_json;
+  double wall_s = 0.0;
+};
+
+/// Replays the full device trace against a fresh fleet. `restart_at` 0
+/// disables the kill/restore drill; otherwise the victim broker (the
+/// owner of variant 0) is snapshotted at `snapshot_at` requests and
+/// killed+restored at `restart_at`.
+TraceRun run_trace(const std::vector<const sched::Problem*>& pool, std::size_t brokers,
+                   bool replicate, std::size_t snapshot_at = 0, std::size_t restart_at = 0) {
+  FleetOptions fopts;
+  fopts.brokers = brokers;
+  fopts.service = broker_options();
+  fopts.replicate = replicate;
+  SchedulerFleet fleet(fopts);
+  DeviceFleetSim sim(pool, sim_options());
+  const std::size_t victim = fleet.router().route(sim.canon(0).fingerprint);
+  json::Value snapshot;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    if (restart_at != 0) {
+      if (i == snapshot_at) snapshot = fleet.snapshot_broker(victim);
+      if (i == restart_at) {
+        fleet.restart_broker(victim, &snapshot);
+        // Boot-time catch-up: a restored broker drains the bus before
+        // taking traffic, so gossip (not re-solving) closes the gap
+        // between its stale snapshot and the fleet's current state.
+        (void)fleet.pump_replication();
+      }
+    }
+    const DeviceRequest req = sim.next();
+    serve::ScenarioRequest r;
+    r.problem = &sim.problem(req.variant);
+    r.canon = &sim.canon(req.variant);
+    (void)fleet.submit_at(r, req.arrival_ms);
+    if ((i + 1) % kPumpEvery == 0) (void)fleet.pump_replication();
+  }
+  TraceRun out;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  out.stats = fleet.stats();
+  out.stats_json = out.stats.to_json().dump();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const soc::Platform plat = bench::platform_by_name("xavier");
+  core::HaxConnOptions hopts;
+  hopts.grouping.max_groups = 5;
+  const core::HaxConn hax(plat, hopts);
+  std::vector<sched::ProblemInstance> instances = make_pool(hax);
+  std::vector<const sched::Problem*> pool;
+  pool.reserve(instances.size());
+  for (sched::ProblemInstance& inst : instances) pool.push_back(&inst.problem());
+
+  json::Object doc;
+  doc["bench"] = "fleet";
+  doc["platform"] = "xavier";
+  doc["requests"] = static_cast<double>(kRequests);
+  doc["devices"] = static_cast<double>(kDevices);
+  doc["drift_buckets"] = static_cast<double>(kDriftBuckets);
+  doc["scenarios"] = static_cast<double>(pool.size());
+  doc["seed"] = static_cast<double>(kSeed);
+  bool all_ok = true;
+
+  // ------------------------------------------------------------ section 1 --
+  // The cache-hit fast lane under contention: 4 reader threads hammering
+  // a warm cache, epoch-published snapshots vs the locked probe. Probes
+  // are timed in batches so a p50 over batch costs absorbs scheduler
+  // noise.
+  {
+    constexpr int kThreads = 4;
+    constexpr std::size_t kEntries = 256;
+    constexpr std::size_t kBatch = 10'000;
+    constexpr std::size_t kBatchesPerThread = 50;
+
+    const auto probe_p50_us = [&](bool lockfree) {
+      serve::ScheduleCacheOptions copts;
+      copts.lockfree_reads = lockfree;
+      // Production shard configuration on both sides: the section compares
+      // the epoch-pin hit path against the locked probe as the fleet
+      // actually runs them. On a single-core host (this container) the
+      // readers timeslice and the comparison is pure per-probe overhead;
+      // real contention only widens the gap in the lock-free path's favor.
+      serve::ScheduleCache cache(copts);
+      sched::Schedule s;
+      s.assignment = {{0, 0}, {1}};
+      for (std::uint64_t i = 0; i < kEntries; ++i) {
+        sched::ScenarioFingerprint fp;
+        fp.hi = i * 0x9E3779B97F4A7C15ull + 1;
+        fp.lo = ~i;
+        (void)cache.publish(fp, i % 8, s, 10.0, false);
+      }
+      std::vector<double> batch_us(kThreads * kBatchesPerThread, 0.0);
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          std::uint64_t salt = static_cast<std::uint64_t>(t);
+          for (std::size_t b = 0; b < kBatchesPerThread; ++b) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t i = 0; i < kBatch; ++i) {
+              sched::ScenarioFingerprint fp;
+              const std::uint64_t k = (salt + i) % kEntries;
+              fp.hi = k * 0x9E3779B97F4A7C15ull + 1;
+              fp.lo = ~k;
+              if (!cache.lookup(fp).has_value()) std::abort();  // must all hit
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            batch_us[static_cast<std::size_t>(t) * kBatchesPerThread + b] =
+                std::chrono::duration<double, std::micro>(t1 - t0).count() /
+                static_cast<double>(kBatch);
+            salt += kBatch;
+          }
+        });
+      }
+      for (std::thread& th : threads) th.join();
+      return stats::percentile(batch_us, 50.0);
+    };
+
+    const double locked_us = probe_p50_us(/*lockfree=*/false);
+    const double lockfree_us = probe_p50_us(/*lockfree=*/true);
+    // 10% margin: "no worse than locked" modulo container timer noise.
+    const bool ok = lockfree_us <= locked_us * 1.10;
+    all_ok = all_ok && ok;
+
+    TextTable table;
+    table.header({"hit path", "p50 (us/probe)", "vs locked"});
+    table.row({"locked probe", fmt(locked_us, 4), "1x"});
+    table.row({"epoch lock-free", fmt(lockfree_us, 4),
+               fmt(locked_us / std::max(lockfree_us, 1e-9), 2) + "x"});
+    bench::emit("Fleet - cache-hit fast lane, " + std::to_string(kThreads) +
+                    " contending readers",
+                table, std::nullopt, {});
+    std::printf("Acceptance: lock-free p50 <= locked p50 (10%% margin) -> %s\n\n",
+                ok ? "PASS" : "FAIL");
+
+    json::Object sec;
+    sec["threads"] = kThreads;
+    sec["entries"] = static_cast<double>(kEntries);
+    sec["locked_p50_us"] = locked_us;
+    sec["lockfree_p50_us"] = lockfree_us;
+    sec["speedup"] = locked_us / std::max(lockfree_us, 1e-9);
+    sec["pass"] = ok;
+    doc["locked_vs_lockfree"] = std::move(sec);
+  }
+
+  // ------------------------------------------------------------ section 2 --
+  // Shard scaling: the same 1M-request trace against 1, 2 and 4 brokers.
+  // Virtual throughput scales with the busiest shard's share of the load;
+  // replication on/off shows the gossip overhead is negligible.
+  double rps_1shard = 0.0;
+  double rps_4shard = 0.0;
+  {
+    TextTable table;
+    table.header({"brokers", "replication", "throughput (req/s)", "hit rate", "p50 (ms)",
+                  "p99 (ms)", "wall (s)"});
+    json::Array points;
+    for (const std::size_t brokers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      for (const bool replicate : {true, false}) {
+        const TraceRun run = run_trace(pool, brokers, replicate);
+        if (brokers == 1 && replicate) rps_1shard = run.stats.throughput_rps;
+        if (brokers == 4 && replicate) rps_4shard = run.stats.throughput_rps;
+        table.row({std::to_string(brokers), replicate ? "on" : "off",
+                   fmt(run.stats.throughput_rps, 0), fmt(run.stats.hit_rate(), 4),
+                   fmt(run.stats.p50_ms, 4), fmt(run.stats.p99_ms, 3), fmt(run.wall_s, 1)});
+        json::Object point;
+        point["brokers"] = static_cast<double>(brokers);
+        point["replication"] = replicate;
+        point["throughput_rps"] = run.stats.throughput_rps;
+        point["hit_rate"] = run.stats.hit_rate();
+        point["solved"] = static_cast<double>(run.stats.solved);
+        point["elapsed_virtual_ms"] = run.stats.elapsed_ms;
+        point["p50_ms"] = run.stats.p50_ms;
+        point["p95_ms"] = run.stats.p95_ms;
+        point["p99_ms"] = run.stats.p99_ms;
+        point["bus_appended"] = static_cast<double>(run.stats.bus.appended);
+        point["wall_s"] = run.wall_s;
+        points.push_back(std::move(point));
+      }
+    }
+    const double scaling = rps_4shard / std::max(rps_1shard, 1e-9);
+    const bool ok = scaling >= 3.0;
+    all_ok = all_ok && ok;
+    bench::emit("Fleet - shard scaling, 1M requests / " + std::to_string(kDevices) +
+                    " devices / " + std::to_string(pool.size() * kDriftBuckets) + " variants",
+                table, std::nullopt, {});
+    std::printf("Acceptance: >= 3x throughput at 4 shards -> %.2fx -> %s\n\n", scaling,
+                ok ? "PASS" : "FAIL");
+
+    json::Object sec;
+    sec["points"] = std::move(points);
+    sec["scaling_4_over_1"] = scaling;
+    sec["acceptance_min_scaling"] = 3.0;
+    sec["pass"] = ok;
+    doc["shard_scaling"] = std::move(sec);
+  }
+
+  // ------------------------------------------------------------ section 3 --
+  // Restart drill: the 4-shard trace with one broker killed at 500k and
+  // restored from a deliberately stale snapshot (taken at request 400,
+  // mid cold-solve phase, before its working set is fully cached). With
+  // replication the bus digest backfills everything the snapshot
+  // predates at boot; without it the shard re-solves the gap.
+  std::string restart_json;
+  {
+    constexpr std::size_t kSnapshotAt = 400;
+    constexpr std::size_t kRestartAt = 500'000;
+    const TraceRun baseline = run_trace(pool, 4, true);
+    const TraceRun with_repl = run_trace(pool, 4, true, kSnapshotAt, kRestartAt);
+    const TraceRun without_repl = run_trace(pool, 4, false, kSnapshotAt, kRestartAt);
+    restart_json = with_repl.stats_json;
+
+    const auto extra = [&](const TraceRun& run) {
+      return static_cast<std::int64_t>(run.stats.solved) -
+             static_cast<std::int64_t>(baseline.stats.solved);
+    };
+    const double base_rate = baseline.stats.hit_rate();
+    const double repl_rate = with_repl.stats.hit_rate();
+    const bool ok = repl_rate >= base_rate - 0.05;
+    all_ok = all_ok && ok;
+
+    TextTable table;
+    table.header({"run", "hit rate", "solves", "extra solves", "throughput (req/s)"});
+    table.row({"no restart", fmt(base_rate, 6), std::to_string(baseline.stats.solved), "0",
+               fmt(baseline.stats.throughput_rps, 0)});
+    table.row({"restart + replication", fmt(repl_rate, 6),
+               std::to_string(with_repl.stats.solved), std::to_string(extra(with_repl)),
+               fmt(with_repl.stats.throughput_rps, 0)});
+    table.row({"restart, no replication", fmt(without_repl.stats.hit_rate(), 6),
+               std::to_string(without_repl.stats.solved), std::to_string(extra(without_repl)),
+               fmt(without_repl.stats.throughput_rps, 0)});
+    bench::emit("Fleet - broker killed at 500k, restored from a request-400 snapshot", table,
+                std::nullopt, {});
+    std::printf("Acceptance: restart hit rate within 5%% of no-restart -> %s\n\n",
+                ok ? "PASS" : "FAIL");
+
+    json::Object sec;
+    sec["snapshot_at"] = static_cast<double>(kSnapshotAt);
+    sec["restart_at"] = static_cast<double>(kRestartAt);
+    sec["baseline_hit_rate"] = base_rate;
+    sec["restart_hit_rate"] = repl_rate;
+    sec["restart_no_replication_hit_rate"] = without_repl.stats.hit_rate();
+    sec["baseline_solves"] = static_cast<double>(baseline.stats.solved);
+    sec["restart_extra_solves"] = static_cast<double>(extra(with_repl));
+    sec["restart_no_replication_extra_solves"] = static_cast<double>(extra(without_repl));
+    sec["acceptance_max_hit_rate_drop"] = 0.05;
+    sec["pass"] = ok;
+    doc["restart"] = std::move(sec);
+  }
+
+  // ------------------------------------------------------------ section 4 --
+  // Determinism: the restart run again — virtual time makes the whole
+  // drill (solves, gossip, kill, restore) replay bit-identically.
+  {
+    constexpr std::size_t kSnapshotAt = 400;
+    constexpr std::size_t kRestartAt = 500'000;
+    const TraceRun replay = run_trace(pool, 4, true, kSnapshotAt, kRestartAt);
+    const bool identical = replay.stats_json == restart_json;
+    all_ok = all_ok && identical;
+    std::printf("Restart-trace replay: %s\n\n",
+                identical ? "bit-identical FleetStats - PASS" : "DIVERGED - FAIL");
+
+    json::Object sec;
+    sec["bit_identical"] = identical;
+    sec["stats"] = json::parse(replay.stats_json);
+    doc["replay"] = std::move(sec);
+  }
+
+  bench::write_json("BENCH_fleet", doc);
+  return all_ok ? 0 : 1;
+}

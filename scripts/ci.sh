@@ -29,6 +29,9 @@ cmake --build "$BUILD_DIR" --target check_all_analysis
 echo "== serving layer under TSan: check_serve =="
 cmake --build "$BUILD_DIR" --target check_serve
 
+echo "== fleet layer under TSan: check_fleet =="
+cmake --build "$BUILD_DIR" --target check_fleet
+
 echo "== batch evaluator under ASan/UBSan: check_batch =="
 cmake --build "$BUILD_DIR" --target check_batch
 

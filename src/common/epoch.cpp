@@ -1,0 +1,178 @@
+#include "common/epoch.h"
+
+#include "common/error.h"
+
+namespace hax::epoch {
+
+namespace {
+
+/// Per-thread slot cache: a thread claims a slot in a domain on its first
+/// ReaderGuard and keeps it until the thread exits (the destructor gives
+/// it back). A Domain must therefore outlive every thread that ever
+/// pinned it — trivially true for the global domain, and tests join their
+/// reader threads before destroying local domains.
+struct ThreadSlot {
+  Domain* domain = nullptr;
+  int slot = -1;
+  int depth = 0;
+};
+
+struct ThreadSlots {
+  static constexpr int kMaxDomains = 8;
+  ThreadSlot entries[kMaxDomains];
+
+  ~ThreadSlots();
+  [[nodiscard]] ThreadSlot& for_domain(Domain& domain);
+};
+
+ThreadSlots& thread_slots() noexcept {
+  thread_local ThreadSlots slots;
+  return slots;
+}
+
+}  // namespace
+
+Domain& global_domain() {
+  static Domain domain;
+  return domain;
+}
+
+Domain::Domain() {
+  for (int i = 0; i < kMaxSlots; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+    slot_owned_[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+Domain::~Domain() {
+  // Contract: no reader may still be pinned. Everything retired is
+  // therefore unreachable, regardless of epoch bookkeeping.
+  LockGuard lock(limbo_mu_);
+  for (const Retired& r : limbo_) r.deleter(r.ptr);
+  limbo_.clear();
+}
+
+int Domain::claim_slot() {
+  for (int i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (slot_owned_[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  HAX_REQUIRE(false, "epoch::Domain reader-slot exhaustion (> kMaxSlots concurrent threads)");
+  return -1;
+}
+
+void Domain::release_slot(int slot) noexcept {
+  slots_[slot].store(0, std::memory_order_seq_cst);
+  slot_owned_[slot].store(false, std::memory_order_release);
+}
+
+void Domain::retire(void* ptr, void (*deleter)(void*)) {
+  {
+    LockGuard lock(limbo_mu_);
+    limbo_.push_back({ptr, deleter, epoch_.load(std::memory_order_seq_cst)});
+  }
+  advance();
+}
+
+void Domain::advance() {
+  // One advance attempt: E moves from e to e+1 only when every pinned
+  // slot shows e. Losing the CAS race to another writer is fine — the
+  // epoch moved, which is all we wanted.
+  std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  bool all_current = true;
+  for (int i = 0; i < kMaxSlots; ++i) {
+    const std::uint64_t pinned = slots_[i].load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned != e) {
+      all_current = false;
+      break;
+    }
+  }
+  if (all_current) {
+    (void)epoch_.compare_exchange_strong(e, e + 1, std::memory_order_seq_cst);
+  }
+
+  // Free garbage two epochs behind: no pinned reader can still hold it.
+  std::vector<Retired> free_now;
+  {
+    LockGuard lock(limbo_mu_);
+    const std::uint64_t cur = epoch_.load(std::memory_order_seq_cst);
+    std::size_t keep = 0;
+    for (Retired& r : limbo_) {
+      if (r.epoch + 2 <= cur) {
+        free_now.push_back(r);
+      } else {
+        limbo_[keep++] = r;
+      }
+    }
+    limbo_.resize(keep);
+  }
+  // Deleters run outside limbo_mu_ so reclamation never nests user code
+  // under a domain lock.
+  for (const Retired& r : free_now) r.deleter(r.ptr);
+}
+
+std::size_t Domain::limbo_size() const {
+  LockGuard lock(limbo_mu_);
+  return limbo_.size();
+}
+
+namespace {
+
+ThreadSlots::~ThreadSlots() {
+  for (ThreadSlot& e : entries) {
+    if (e.domain != nullptr && e.slot >= 0) e.domain->release_slot(e.slot);
+  }
+}
+
+ThreadSlot& ThreadSlots::for_domain(Domain& domain) {
+  for (ThreadSlot& e : entries) {
+    if (e.domain == &domain) return e;
+  }
+  for (ThreadSlot& e : entries) {
+    if (e.domain == nullptr) {
+      e.domain = &domain;
+      e.slot = domain.claim_slot();
+      e.depth = 0;
+      return e;
+    }
+  }
+  HAX_REQUIRE(false, "epoch: one thread pinned more than kMaxDomains distinct domains");
+  return entries[0];
+}
+
+}  // namespace
+
+ReaderGuard::ReaderGuard(Domain& domain) {
+  ThreadSlot& ts = thread_slots().for_domain(domain);
+  depth_ = &ts.depth;
+  if ((*depth_)++ > 0) return;  // nested guard: already pinned
+  outermost_ = true;
+  slot_ = &domain.slots_[ts.slot];
+  // Pin loop: publish the epoch we observed, then confirm it is still
+  // current. If a writer advanced in between, re-pin at the new epoch —
+  // without the confirmation a reader could sit pinned at a stale epoch
+  // the advancing writer never saw, unprotected. The store must be
+  // seq_cst: it needs StoreLoad ordering against the confirming epoch
+  // re-load (and against the advancing writer's slot scan).
+  std::uint64_t e = domain.epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot_->store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = domain.epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+}
+
+ReaderGuard::~ReaderGuard() {
+  --*depth_;
+  if (!outermost_) return;
+  // Release suffices for the unpin (no full fence): everything this
+  // reader did under the pin is sequenced before the store, so a writer
+  // whose slot scan observes the 0 also observes the reader done with
+  // the snapshot — which is exactly what advance() needs before freeing.
+  slot_->store(0, std::memory_order_release);
+}
+
+}  // namespace hax::epoch

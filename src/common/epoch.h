@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file epoch.h
+/// Epoch-based reclamation (EBR) for read-mostly data structures — the
+/// lock-free read path under the serving fleet's cache-hit fast lane.
+/// Writers publish immutable snapshot objects through a single atomic
+/// pointer (release store) and retire the previous snapshot here instead
+/// of deleting it; readers pin the current epoch, load the pointer
+/// (acquire) and use the snapshot without any lock. A retired snapshot is
+/// freed only after the global epoch has advanced twice past its retire
+/// epoch, which cannot happen while any reader that could still hold the
+/// pointer remains pinned.
+///
+/// This is the classic three-epoch scheme (Fraser 2004): the global epoch
+/// E advances from e to e+1 only when every pinned reader slot shows e, so
+/// garbage retired at epoch e is unreachable by the time E reaches e+2 —
+/// every reader pinned during e has unpinned (its release store is
+/// observed by the advancing writer's scan), and readers pinning later
+/// re-load the publish pointer and can only see the replacement.
+///
+/// Scope and limits (deliberately sized for this repo, not a general EBR
+/// library):
+///  - at most kMaxSlots threads may hold a ReaderGuard concurrently;
+///    slots are claimed on a thread's first guard and recycled when the
+///    thread exits (HAX_REQUIRE fails on exhaustion rather than blocking).
+///  - ReaderGuards nest: only the outermost pin/unpin touches the slot.
+///  - retire() is writer-path only (cache publishes, at solve rate) and
+///    takes an internal mutex; the reader path is entirely atomic.
+///  - the Domain frees all outstanding garbage in its destructor, when no
+///    readers may remain by contract.
+///
+/// Determinism note: reclamation timing is scheduling-dependent, but the
+/// *values* readers observe are not — a snapshot pointer is immutable
+/// after publish, so virtual-time replays stay bit-identical regardless
+/// of when old snapshots are freed.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/annotated.h"
+#include "common/lock_ranks.h"
+
+namespace hax::epoch {
+
+class Domain;
+
+/// Process-wide default domain (function-local static). The serve-layer
+/// caches share it so thread slots are claimed once per thread, not once
+/// per cache.
+[[nodiscard]] Domain& global_domain();
+
+class Domain {
+ public:
+  static constexpr int kMaxSlots = 256;
+
+  Domain();
+  ~Domain();  // frees every outstanding retired object (no readers left)
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Hands `ptr` to the domain for deferred deletion via `deleter(ptr)`.
+  /// Callable with any lock held except this domain's own internals; the
+  /// deleter runs later, inside a retire()/advance() call of some thread.
+  void retire(void* ptr, void (*deleter)(void*));
+
+  /// Attempts one epoch advance and frees every retired object that has
+  /// become unreachable. Called automatically by retire(); exposed so
+  /// tests and long-lived writers can drain garbage explicitly.
+  void advance();
+
+  /// Outstanding retired-but-not-yet-freed objects (tests / metrics).
+  [[nodiscard]] std::size_t limbo_size() const;
+
+  /// Current global epoch (tests / metrics).
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Claims / releases a reader slot for the calling thread. Internal to
+  /// the per-thread slot cache in epoch.cpp (public only because that
+  /// cache lives in an anonymous namespace); use ReaderGuard instead.
+  [[nodiscard]] int claim_slot();
+  void release_slot(int slot) noexcept;
+
+ private:
+  friend class ReaderGuard;
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  /// Global epoch, starts at 1 (0 is the quiescent slot sentinel).
+  std::atomic<std::uint64_t> epoch_{1};
+  /// slots_[i] = epoch pinned by reader i, or 0 when quiescent. Readers
+  /// write their own slot only; writers scan all slots (seq_cst on both
+  /// sides gives the advance scan a total order against pins).
+  std::atomic<std::uint64_t> slots_[kMaxSlots];
+  /// slot_owned_[i]: claimed by some live thread (internally synchronized
+  /// via compare-exchange; claim/release only, never read on the pin path).
+  std::atomic<bool> slot_owned_[kMaxSlots];
+
+  mutable Mutex limbo_mu_{HAX_MUTEX_RANK(Domain_limbo_mu_)};
+  std::vector<Retired> limbo_ HAX_GUARDED_BY(limbo_mu_);
+};
+
+/// RAII epoch pin. While any guard is alive on this thread, every pointer
+/// loaded (acquire) from an epoch-published atomic stays valid. Cheap:
+/// one atomic store + load on entry of the outermost guard, one store on
+/// exit.
+class ReaderGuard {
+ public:
+  explicit ReaderGuard(Domain& domain = global_domain());
+  ~ReaderGuard();
+
+  ReaderGuard(const ReaderGuard&) = delete;
+  ReaderGuard& operator=(const ReaderGuard&) = delete;
+
+ private:
+  // Resolved once in the constructor (one TLS slot-table scan per guard,
+  // not two); both point into thread-local storage that outlives any
+  // guard on this thread.
+  std::atomic<std::uint64_t>* slot_ = nullptr;
+  int* depth_ = nullptr;
+  bool outermost_ = false;
+};
+
+}  // namespace hax::epoch

@@ -135,6 +135,46 @@ void P2Quantile::add(double x) noexcept {
   }
 }
 
+void P2Quantile::merge(const P2Quantile& other) {
+  HAX_REQUIRE(p_ == other.p_, "P2Quantile::merge across different quantiles");
+  if (other.n_ == 0) return;
+
+  // Under five observations a P² holds raw samples — replay them exactly.
+  if (other.n_ < 5) {
+    for (std::size_t i = 0; i < other.n_; ++i) add(other.heights_[i]);
+    return;
+  }
+  if (n_ < 5) {
+    // Swap roles so the raw side is the one replayed (merge is then exact
+    // in this direction too: other's state is adopted wholesale).
+    P2Quantile merged = other;
+    for (std::size_t i = 0; i < n_; ++i) merged.add(heights_[i]);
+    *this = merged;
+    return;
+  }
+
+  // Both sides are estimators: reconstruct other's empirical distribution
+  // from its marker curve. Marker i sits at height q_i and cumulative
+  // position (n_i - 1) / (n - 1); sampling the piecewise-linear inverse
+  // CDF at the m mid-quantiles (k + 0.5) / m yields m synthetic samples
+  // whose order statistics approximate the originals, so replaying them
+  // keeps the observation weight (count) of both streams correct for any
+  // later merge.
+  const std::size_t m = other.n_;
+  const double denom = other.pos_[4] - 1.0;  // == n - 1, >= 4 here
+  double cum[5];
+  for (int i = 0; i < 5; ++i) cum[i] = (other.pos_[i] - 1.0) / denom;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double q = (static_cast<double>(k) + 0.5) / static_cast<double>(m);
+    int cell = 0;
+    while (cell < 3 && q > cum[cell + 1]) ++cell;
+    const double span = cum[cell + 1] - cum[cell];
+    const double frac = span > 0.0 ? (q - cum[cell]) / span : 0.0;
+    add(other.heights_[cell] +
+        frac * (other.heights_[cell + 1] - other.heights_[cell]));
+  }
+}
+
 double P2Quantile::value() const noexcept {
   if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (n_ >= 5) return heights_[2];

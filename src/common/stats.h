@@ -44,6 +44,18 @@ class P2Quantile {
 
   void add(double x) noexcept;
 
+  /// Folds another estimator of the *same* quantile into this one (the
+  /// cross-broker latency aggregation of the scheduler fleet: each broker
+  /// keeps its own P² digest, the fleet merges them for the aggregate
+  /// percentile). Exact when either side has fewer than five
+  /// observations (those are still raw samples); otherwise `other`'s
+  /// five-marker state is expanded back into `other.count()` synthetic
+  /// samples by piecewise-linear interpolation of its marker CDF and
+  /// replayed through add(), preserving each side's observation weight.
+  /// Accuracy is that of P² itself plus the CDF interpolation — tests
+  /// bound it against exact percentiles of the concatenated stream.
+  void merge(const P2Quantile& other);
+
   /// Current estimate; NaN before the first observation. With fewer than
   /// five observations, the exact order statistic of what has been seen.
   [[nodiscard]] double value() const noexcept;

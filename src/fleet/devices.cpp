@@ -1,0 +1,70 @@
+#include "fleet/devices.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace hax::fleet {
+
+DeviceFleetSim::DeviceFleetSim(std::vector<const sched::Problem*> pool,
+                               DeviceFleetOptions options)
+    : options_(options), pool_(std::move(pool)), rng_(options.seed) {
+  HAX_REQUIRE(!pool_.empty(), "DeviceFleetSim needs at least one base scenario");
+  HAX_REQUIRE(options_.devices > 0, "DeviceFleetSim needs at least one device");
+  HAX_REQUIRE(options_.drift_buckets > 0, "DeviceFleetSim needs at least one drift bucket");
+  HAX_REQUIRE(options_.mean_gap_ms > 0.0, "DeviceFleetSim mean_gap_ms must be > 0");
+  HAX_REQUIRE(options_.hot_scenarios <= pool_.size(),
+              "DeviceFleetSim hot_scenarios exceeds the pool");
+
+  // Variant problems are cheap: Problem is non-owning (pointers into the
+  // pool's backing instances), only epsilon differs. Canonicalization is
+  // the expensive part (full profile-table hash) and happens exactly once
+  // per variant here, never per request.
+  variants_.reserve(pool_.size() * options_.drift_buckets);
+  canons_.reserve(pool_.size() * options_.drift_buckets);
+  for (const sched::Problem* base : pool_) {
+    HAX_REQUIRE(base != nullptr, "DeviceFleetSim pool entry is null");
+    base->validate();
+    for (std::size_t b = 0; b < options_.drift_buckets; ++b) {
+      sched::Problem drifted = *base;
+      drifted.epsilon_ms = options_.base_epsilon_ms +
+                           static_cast<double>(b) * options_.drift_step_ms;
+      canons_.push_back(sched::canonicalize(drifted));
+      variants_.push_back(std::move(drifted));
+    }
+  }
+
+  device_bucket_.resize(options_.devices);
+  for (std::uint32_t& bucket : device_bucket_) {
+    bucket = static_cast<std::uint32_t>(rng_.uniform_index(options_.drift_buckets));
+  }
+}
+
+const sched::Problem& DeviceFleetSim::problem(std::size_t variant) const {
+  HAX_REQUIRE(variant < variants_.size(), "variant index out of range");
+  return variants_[variant];
+}
+
+const sched::CanonicalScenario& DeviceFleetSim::canon(std::size_t variant) const {
+  HAX_REQUIRE(variant < canons_.size(), "variant index out of range");
+  return canons_[variant];
+}
+
+std::size_t DeviceFleetSim::device_bucket(std::size_t device) const {
+  HAX_REQUIRE(device < device_bucket_.size(), "device index out of range");
+  return device_bucket_[device];
+}
+
+DeviceRequest DeviceFleetSim::next() {
+  DeviceRequest req;
+  clock_ += rng_.uniform(0.2 * options_.mean_gap_ms, 1.8 * options_.mean_gap_ms);
+  req.arrival_ms = clock_;
+  req.device = rng_.uniform_index(options_.devices);
+  const bool hot = options_.hot_scenarios > 0 && rng_.uniform() < options_.duplicate_ratio;
+  const std::size_t scenario =
+      hot ? rng_.uniform_index(options_.hot_scenarios) : rng_.uniform_index(pool_.size());
+  req.variant = scenario * options_.drift_buckets + device_bucket_[req.device];
+  return req;
+}
+
+}  // namespace hax::fleet

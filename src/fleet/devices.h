@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file devices.h
+/// Device-fleet workload model: many simulated edge devices (SoCs running
+/// the paper's concurrent-DNN workloads) pulling schedules from the
+/// broker fleet. Devices share a small pool of base scenarios, but each
+/// device carries a *calibration drift*: its contention calibration puts
+/// it in one of a few drift buckets, modeled as a per-bucket epsilon_ms
+/// offset on the base Problem. Epsilon changes the scenario fingerprint
+/// but not its shape key (fingerprint.cpp hashes epsilon after forking
+/// the shape hasher), which reproduces the real fleet structure: a
+/// population's requests collapse onto (scenarios x buckets) distinct
+/// cache entries, and a miss in one bucket warm-starts from schedules
+/// solved for a neighbouring bucket of the same shape.
+///
+/// The generator is a deterministic open-loop stream: seeded hax::Rng
+/// inter-arrival gaps on a global virtual clock, a seeded device pick per
+/// request, and a hot/cold scenario mix. Variant Problems and their
+/// CanonicalScenarios are precomputed once at construction — a device
+/// stub knows its scenario's fingerprint (it would cache the
+/// canonicalization on-device), so the per-request cost in the fleet is a
+/// routed cache probe, not a profile-table hash.
+///
+/// Single-threaded: one driver thread constructs the sim and drains
+/// next(); determinism comes from the seed, not from synchronization.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/fingerprint.h"
+#include "sched/problem.h"
+
+namespace hax::fleet {
+
+struct DeviceFleetOptions {
+  std::size_t devices = 1000;
+  /// Calibration-drift buckets per base scenario. Each device lands in
+  /// one bucket; variant count = pool size x drift_buckets.
+  std::size_t drift_buckets = 32;
+  /// Bucket b gets epsilon_ms = base_epsilon_ms + b * drift_step_ms. The
+  /// base is huge (epsilon is a feasibility cap; see problem.h) so drift
+  /// perturbs scenario *identity* without perturbing feasibility.
+  double base_epsilon_ms = 1.0e6;
+  double drift_step_ms = 0.5;
+  std::uint64_t seed = 1;
+  /// Mean inter-arrival gap of the open-loop trace (virtual ms).
+  double mean_gap_ms = 0.05;
+  /// Fraction of requests drawn from the first `hot_scenarios` pool
+  /// entries; the rest sweep the whole pool uniformly.
+  double duplicate_ratio = 0.0;
+  std::size_t hot_scenarios = 1;
+};
+
+/// One generated request: which device asked, which precomputed variant
+/// (scenario x bucket) it asked for, and when.
+struct DeviceRequest {
+  std::size_t device = 0;
+  std::size_t variant = 0;
+  TimeMs arrival_ms = 0.0;
+};
+
+class DeviceFleetSim {
+ public:
+  /// `pool` are the base scenarios (borrowed; must outlive the sim).
+  DeviceFleetSim(std::vector<const sched::Problem*> pool, DeviceFleetOptions options);
+
+  DeviceFleetSim(const DeviceFleetSim&) = delete;
+  DeviceFleetSim& operator=(const DeviceFleetSim&) = delete;
+
+  [[nodiscard]] std::size_t device_count() const noexcept { return options_.devices; }
+  [[nodiscard]] std::size_t variant_count() const noexcept { return variants_.size(); }
+
+  /// The drifted Problem / its precomputed canonicalization for a variant
+  /// index (as produced by next()). Stable addresses for the sim's life.
+  [[nodiscard]] const sched::Problem& problem(std::size_t variant) const;
+  [[nodiscard]] const sched::CanonicalScenario& canon(std::size_t variant) const;
+
+  [[nodiscard]] std::size_t device_bucket(std::size_t device) const;
+
+  /// Next open-loop request; arrivals are strictly non-decreasing.
+  [[nodiscard]] DeviceRequest next();
+
+ private:
+  DeviceFleetOptions options_;
+  std::vector<const sched::Problem*> pool_;
+  std::vector<sched::Problem> variants_;  ///< pool-major: scenario * buckets + bucket
+  std::vector<sched::CanonicalScenario> canons_;
+  std::vector<std::uint32_t> device_bucket_;
+  Rng rng_;
+  TimeMs clock_ = 0.0;
+};
+
+}  // namespace hax::fleet

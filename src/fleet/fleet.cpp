@@ -1,0 +1,209 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace hax::fleet {
+
+namespace {
+
+/// splitmix64 finalizer (same mixer the fingerprint hasher uses).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FleetRouter::FleetRouter(std::size_t brokers) : brokers_(brokers) {
+  HAX_REQUIRE(brokers > 0, "FleetRouter needs at least one broker");
+}
+
+std::size_t FleetRouter::route(const sched::ScenarioFingerprint& fp) const noexcept {
+  return static_cast<std::size_t>(mix64(fp.hi) % brokers_);
+}
+
+SchedulerFleet::SchedulerFleet(FleetOptions options)
+    : options_(std::move(options)),
+      router_(options_.brokers),
+      bus_(options_.brokers, options_.bus) {
+  HAX_REQUIRE(options_.service.virtual_time && options_.service.workers == 0,
+              "SchedulerFleet brokers must be virtual-time inline services");
+  brokers_.reserve(options_.brokers);
+  for (std::size_t b = 0; b < options_.brokers; ++b) {
+    brokers_.push_back(make_broker(b));
+  }
+  digests_.resize(options_.brokers);
+}
+
+std::unique_ptr<serve::SchedulerService> SchedulerFleet::make_broker(std::size_t b) {
+  serve::ServiceOptions opts = options_.service;
+  if (options_.replicate) {
+    // The hook fires only on publishes that changed the broker's cache
+    // (improvement-only gossip), never on replication applies.
+    opts.on_publish = [this, b](const sched::ScenarioFingerprint& fp, std::uint64_t shape_key,
+                                const sched::Schedule& canonical, double objective,
+                                bool proven_optimal) {
+      ReplicationEntry entry;
+      entry.fingerprint = fp;
+      entry.shape_key = shape_key;
+      entry.schedule = canonical;
+      entry.objective = objective;
+      entry.proven_optimal = proven_optimal;
+      entry.origin = static_cast<int>(b);
+      bus_.append(std::move(entry));
+    };
+  } else {
+    opts.on_publish = nullptr;
+  }
+  return std::make_unique<serve::SchedulerService>(std::move(opts));
+}
+
+serve::ScheduleTicket SchedulerFleet::submit_at(serve::ScenarioRequest request,
+                                                TimeMs arrival_ms) {
+  HAX_REQUIRE(request.problem != nullptr, "fleet request needs a problem");
+  sched::CanonicalScenario local;
+  if (request.canon == nullptr) {
+    local = sched::canonicalize(*request.problem);
+    request.canon = &local;
+  }
+  const std::size_t b = router_.route(request.canon->fingerprint);
+  serve::ScheduleTicket ticket = brokers_[b]->submit_at(request, arrival_ms);
+  // Inline brokers complete before returning; fold the served latency
+  // into this broker's fleet-side digest (merged fleet-wide in stats())
+  // and the restart-surviving fleet counters.
+  ++submitted_;
+  const serve::ServeReply reply = ticket.reply();
+  if (reply.outcome == serve::ServeOutcome::kHit ||
+      reply.outcome == serve::ServeOutcome::kSolved) {
+    if (reply.outcome == serve::ServeOutcome::kHit) {
+      ++hits_;
+    } else {
+      ++solved_;
+    }
+    LatencyDigest& d = digests_[b];
+    d.p50.add(reply.latency_ms);
+    d.p95.add(reply.latency_ms);
+    d.p99.add(reply.latency_ms);
+    ++d.samples;
+  }
+  return ticket;
+}
+
+std::size_t SchedulerFleet::pump_replication() {
+  if (!options_.replicate) return 0;
+  std::size_t applied = 0;
+  for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    for (const ReplicationEntry& e : bus_.fetch(b)) {
+      (void)brokers_[b]->publish_canonical(e.fingerprint, e.shape_key, e.schedule, e.objective,
+                                           e.proven_optimal, /*notify=*/false);
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+json::Value SchedulerFleet::snapshot_broker(std::size_t b) const {
+  HAX_REQUIRE(b < brokers_.size(), "snapshot_broker index out of range");
+  json::Array entries;
+  for (const serve::ExportedEntry& e : brokers_[b]->cache().export_entries()) {
+    entries.push_back(entry_to_json(from_exported(e, static_cast<int>(b))));
+  }
+  json::Object o;
+  o["broker"] = static_cast<std::int64_t>(b);
+  o["entries"] = std::move(entries);
+  o["snapshot_version"] = 1;
+  return json::Value(std::move(o));
+}
+
+void SchedulerFleet::restart_broker(std::size_t b, const json::Value* snapshot) {
+  HAX_REQUIRE(b < brokers_.size(), "restart_broker index out of range");
+  brokers_[b].reset();  // the old broker dies first (joins nothing: inline)
+  brokers_[b] = make_broker(b);
+  ++restarts_;
+  if (snapshot != nullptr) {
+    HAX_REQUIRE(snapshot->is_object() && snapshot->contains("entries") &&
+                    snapshot->at("entries").is_array(),
+                "broker snapshot must be an object with an entries array");
+    for (const json::Value& v : snapshot->at("entries").as_array()) {
+      const ReplicationEntry e = entry_from_json(v);
+      (void)brokers_[b]->publish_canonical(e.fingerprint, e.shape_key, e.schedule, e.objective,
+                                           e.proven_optimal, /*notify=*/false);
+    }
+  }
+  // Gossip backfills everything the snapshot predates (including the
+  // broker's own pre-crash publishes — fetch does not filter by origin).
+  if (options_.replicate) bus_.reset_cursor(b);
+}
+
+FleetStats SchedulerFleet::stats() const {
+  FleetStats out;
+  out.brokers.reserve(brokers_.size());
+  stats::P2Quantile p50{0.50};
+  stats::P2Quantile p95{0.95};
+  stats::P2Quantile p99{0.99};
+  for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    serve::ServiceStats st = brokers_[b]->stats();
+    out.elapsed_ms = std::max(out.elapsed_ms, st.elapsed_ms);
+    out.brokers.push_back(std::move(st));
+
+    const LatencyDigest& d = digests_[b];
+    if (d.samples > 0) {
+      p50.merge(d.p50);
+      p95.merge(d.p95);
+      p99.merge(d.p99);
+      out.latency_samples += d.samples;
+    }
+  }
+  out.submitted = submitted_;
+  out.hits = hits_;
+  out.solved = solved_;
+  out.restarts = restarts_;
+  if (out.latency_samples > 0) {
+    out.p50_ms = p50.value();
+    out.p95_ms = p95.value();
+    out.p99_ms = p99.value();
+  }
+  const std::uint64_t served = out.hits + out.solved;
+  out.throughput_rps =
+      out.elapsed_ms > 0.0 ? static_cast<double>(served) / (out.elapsed_ms / 1000.0) : 0.0;
+  out.bus = bus_.stats();
+  return out;
+}
+
+json::Value FleetStats::to_json() const {
+  json::Array broker_arr;
+  for (const serve::ServiceStats& st : brokers) broker_arr.push_back(st.to_json());
+
+  json::Object bus_o;
+  bus_o["appended"] = static_cast<std::int64_t>(bus.appended);
+  bus_o["fetched"] = static_cast<std::int64_t>(bus.fetched);
+  bus_o["compactions"] = static_cast<std::int64_t>(bus.compactions);
+  bus_o["digest_entries"] = static_cast<std::int64_t>(bus.digest_entries);
+  bus_o["log_entries"] = static_cast<std::int64_t>(bus.log_entries);
+
+  json::Object fleet;
+  fleet["submitted"] = static_cast<std::int64_t>(submitted);
+  fleet["hits"] = static_cast<std::int64_t>(hits);
+  fleet["solved"] = static_cast<std::int64_t>(solved);
+  fleet["hit_rate"] = hit_rate();
+  fleet["restarts"] = static_cast<std::int64_t>(restarts);
+  fleet["elapsed_ms"] = elapsed_ms;
+  fleet["throughput_rps"] = throughput_rps;
+  fleet["p50_ms"] = p50_ms;
+  fleet["p95_ms"] = p95_ms;
+  fleet["p99_ms"] = p99_ms;
+  fleet["latency_samples"] = static_cast<std::int64_t>(latency_samples);
+  fleet["bus"] = std::move(bus_o);
+
+  json::Object o;
+  o["brokers"] = std::move(broker_arr);
+  o["fleet"] = std::move(fleet);
+  return json::Value(std::move(o));
+}
+
+}  // namespace hax::fleet

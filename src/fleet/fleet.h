@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file fleet.h
+/// Fingerprint-sharded scheduler fleet: N SchedulerService brokers behind
+/// a deterministic router, with cross-broker schedule replication and
+/// broker snapshot/restore. This scales the single-broker serving layer
+/// (serve/service.h) to fleet request rates: each scenario fingerprint is
+/// owned by exactly one broker, so brokers never contend on a scenario,
+/// cache capacity adds up across shards, and the per-broker virtual-time
+/// model composes into a whole-fleet throughput model (fleet elapsed time
+/// = the busiest broker's elapsed time).
+///
+///   device ── canonicalize once ──► FleetRouter (hash fp -> broker)
+///                                        │
+///              ┌─────────────────────────┼─────────────────────────┐
+///              ▼                         ▼                         ▼
+///         broker 0                  broker 1                  broker N-1
+///         (SchedulerService,        cache + solver + live     ...
+///          virtual-time)            handles per broker
+///              │ on_publish             │                         │
+///              └────────────► ReplicationBus ◄────────────────────┘
+///                     improvement-only gossip; pump_replication()
+///                     applies pending entries at every other broker
+///
+/// Replication exists for fault tolerance and warm starts, not for hit
+/// routing (the router already sends a fingerprint to its one owner):
+/// a broker restarted from a stale snapshot catches up from the bus
+/// (reset_cursor -> digest + log replay), and gossiped entries populate
+/// every broker's shape index so cold misses warm-start from schedules
+/// solved anywhere in the fleet.
+///
+/// Snapshot/restore. snapshot_broker() serializes a broker's entire cache
+/// through the replication wire format; restart_broker() tears the broker
+/// down (losing cache, handles and virtual clock), builds a fresh one,
+/// replays the snapshot, and rewinds the broker's bus cursor so gossip
+/// backfills everything published since the snapshot. Restores apply with
+/// notify=false — restored entries are not re-gossiped.
+///
+/// Determinism: with virtual-time brokers (the required configuration), a
+/// fixed request trace plus fixed pump/restart points replays to
+/// bit-identical FleetStats JSON; bench_fleet and the fleet tests assert
+/// this.
+///
+/// Threading: the fleet object itself is a single-threaded control plane
+/// (one driver thread submits, pumps and restarts); the pieces it
+/// coordinates (services, caches, bus) are individually thread-safe.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "fleet/replication.h"
+#include "serve/service.h"
+
+namespace hax::fleet {
+
+struct FleetOptions {
+  std::size_t brokers = 4;
+  /// Per-broker configuration. Must be a deterministic inline service
+  /// (virtual_time = true, workers = 0) — the fleet's elapsed-time and
+  /// replay guarantees are built on the virtual clock. Any on_publish
+  /// hook set here is replaced by the fleet's replication hook.
+  serve::ServiceOptions service;
+  /// Gossip publishes across brokers through the ReplicationBus. Off =
+  /// brokers are fully independent (the bench's ablation arm).
+  bool replicate = true;
+  ReplicationBusOptions bus;
+};
+
+/// Deterministic fingerprint -> broker map. Uses a splitmix64 remix of
+/// the fingerprint's high word: ScheduleCache stripes its internal shards
+/// on fp.lo's low bits, so routing on remixed fp.hi keeps the two
+/// shardings independent (a fleet of B brokers times C cache shards
+/// exercises all B*C stripes).
+class FleetRouter {
+ public:
+  explicit FleetRouter(std::size_t brokers);
+
+  [[nodiscard]] std::size_t brokers() const noexcept { return brokers_; }
+  [[nodiscard]] std::size_t route(const sched::ScenarioFingerprint& fp) const noexcept;
+
+ private:
+  std::size_t brokers_;
+};
+
+struct FleetStats {
+  std::vector<serve::ServiceStats> brokers;
+
+  // Fleet-level counters, accumulated by the fleet at submit time (not
+  // derived from broker stats): they survive broker restarts, which wipe
+  // the rebuilt broker's own counters. `brokers[i]` therefore covers only
+  // broker i's current incarnation, while these cover the whole trace.
+  std::uint64_t submitted = 0;
+  std::uint64_t hits = 0;    ///< cache hits across brokers
+  std::uint64_t solved = 0;  ///< fresh solves across brokers
+  std::uint64_t restarts = 0;
+  /// Busiest broker's elapsed virtual time — the fleet finishes when its
+  /// slowest shard does, so this is the denominator of throughput_rps.
+  TimeMs elapsed_ms = 0.0;
+  double throughput_rps = 0.0;
+  /// Fleet-wide served-request latency quantiles: per-broker P2 digests
+  /// merged with stats::P2Quantile::merge.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t latency_samples = 0;
+
+  ReplicationBusStats bus;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t served = hits + solved;
+    return served == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(served);
+  }
+
+  /// Deterministic serialization (replayed traces must dump identically).
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class SchedulerFleet {
+ public:
+  explicit SchedulerFleet(FleetOptions options);
+
+  SchedulerFleet(const SchedulerFleet&) = delete;
+  SchedulerFleet& operator=(const SchedulerFleet&) = delete;
+
+  [[nodiscard]] const FleetRouter& router() const noexcept { return router_; }
+  [[nodiscard]] std::size_t broker_count() const noexcept { return brokers_.size(); }
+  [[nodiscard]] serve::SchedulerService& broker(std::size_t b) { return *brokers_[b]; }
+  [[nodiscard]] const ReplicationBus& bus() const noexcept { return bus_; }
+
+  /// Routes the request by its canonical fingerprint and submits it to
+  /// the owning broker at `arrival_ms` (global virtual time; must be
+  /// non-decreasing across calls — each broker then sees a non-decreasing
+  /// subsequence). If request.canon is null the scenario is canonicalized
+  /// here and handed down, so the fingerprint is hashed exactly once per
+  /// request. Inline brokers complete the ticket before returning; the
+  /// reply's latency also feeds the fleet's merged latency digests.
+  serve::ScheduleTicket submit_at(serve::ScenarioRequest request, TimeMs arrival_ms);
+
+  /// Delivers every pending bus entry to every broker (publish_canonical
+  /// with notify=false — applies never re-gossip). Returns the number of
+  /// entries applied. No-op when replication is off.
+  std::size_t pump_replication();
+
+  /// Serializes broker `b`'s entire cache (replication wire format) —
+  /// everything restart_broker needs to rebuild a warm cache.
+  [[nodiscard]] json::Value snapshot_broker(std::size_t b) const;
+
+  /// Kills broker `b` (cache, live handles and virtual clock are lost)
+  /// and builds a replacement. `snapshot` (may be null) is replayed into
+  /// the fresh cache; with replication on, the broker's bus cursor is
+  /// rewound so gossip backfills everything newer than the snapshot.
+  void restart_broker(std::size_t b, const json::Value* snapshot);
+
+  [[nodiscard]] FleetStats stats() const;
+
+ private:
+  /// One broker's slot in the fleet-side latency accounting. Survives
+  /// that broker's restarts: latency history is a fleet measurement, not
+  /// broker state.
+  struct LatencyDigest {
+    stats::P2Quantile p50{0.50};
+    stats::P2Quantile p95{0.95};
+    stats::P2Quantile p99{0.99};
+    std::uint64_t samples = 0;
+  };
+
+  [[nodiscard]] std::unique_ptr<serve::SchedulerService> make_broker(std::size_t b);
+
+  FleetOptions options_;
+  FleetRouter router_;
+  ReplicationBus bus_;
+  std::vector<std::unique_ptr<serve::SchedulerService>> brokers_;
+  std::vector<LatencyDigest> digests_;
+  // Fleet-side counters (see FleetStats): broker restarts must not erase
+  // trace-level accounting.
+  std::uint64_t submitted_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t solved_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace hax::fleet

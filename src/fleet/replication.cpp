@@ -1,0 +1,171 @@
+#include "fleet/replication.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "sched/serialize.h"
+
+namespace hax::fleet {
+
+namespace {
+
+/// u64 <-> fixed 16-digit lowercase hex. JSON numbers are doubles; a
+/// shape key hashed into the top bits would come back corrupted, so
+/// 64-bit identities always travel as strings.
+std::string hex_u64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = digits[(v >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+std::uint64_t parse_hex_u64(const std::string& text) {
+  HAX_REQUIRE(text.size() == 16, "u64 hex must be exactly 16 digits");
+  std::uint64_t v = 0;
+  for (char c : text) {
+    std::uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      HAX_REQUIRE(false, "u64 hex contains a non-hex digit");
+      return 0;
+    }
+    v = (v << 4) | nibble;
+  }
+  return v;
+}
+
+constexpr int kWireVersion = 1;
+
+}  // namespace
+
+json::Value entry_to_json(const ReplicationEntry& entry) {
+  json::Object o;
+  o["entry_version"] = hex_u64(entry.entry_version);
+  o["fingerprint"] = entry.fingerprint.to_string();
+  o["objective"] = entry.objective;
+  o["origin"] = entry.origin;
+  o["proven_optimal"] = entry.proven_optimal;
+  o["schedule"] = sched::schedule_to_json(entry.schedule);
+  o["shape_key"] = hex_u64(entry.shape_key);
+  o["wire_version"] = kWireVersion;
+  return json::Value(std::move(o));
+}
+
+ReplicationEntry entry_from_json(const json::Value& value) {
+  HAX_REQUIRE(value.is_object(), "replication entry must be a JSON object");
+  HAX_REQUIRE(value.contains("wire_version") && value.at("wire_version").is_number(),
+              "replication entry missing wire_version");
+  HAX_REQUIRE(value.at("wire_version").as_int() == kWireVersion,
+              "unsupported replication wire_version");
+  for (const char* key : {"entry_version", "fingerprint", "objective", "origin",
+                          "proven_optimal", "schedule", "shape_key"}) {
+    HAX_REQUIRE(value.contains(key), "replication entry missing a required member");
+  }
+  HAX_REQUIRE(value.at("fingerprint").is_string() && value.at("shape_key").is_string() &&
+                  value.at("entry_version").is_string(),
+              "replication u64 fields must be hex strings");
+  HAX_REQUIRE(value.at("objective").is_number(), "replication objective must be a number");
+  HAX_REQUIRE(value.at("proven_optimal").is_bool(), "proven_optimal must be a bool");
+  HAX_REQUIRE(value.at("origin").is_number(), "origin must be a number");
+
+  ReplicationEntry entry;
+  entry.fingerprint = sched::ScenarioFingerprint::from_string(value.at("fingerprint").as_string());
+  entry.shape_key = parse_hex_u64(value.at("shape_key").as_string());
+  entry.objective = value.at("objective").as_number();
+  HAX_REQUIRE(std::isfinite(entry.objective), "replication objective must be finite");
+  entry.proven_optimal = value.at("proven_optimal").as_bool();
+  entry.entry_version = parse_hex_u64(value.at("entry_version").as_string());
+  entry.origin = static_cast<int>(value.at("origin").as_int());
+  entry.schedule = sched::schedule_from_json(value.at("schedule"));
+  HAX_REQUIRE(entry.schedule.dnn_count() > 0, "replication schedule must be non-empty");
+  return entry;
+}
+
+ReplicationEntry from_exported(const serve::ExportedEntry& exported, int origin) {
+  ReplicationEntry entry;
+  entry.fingerprint = exported.fingerprint;
+  entry.shape_key = exported.entry.shape_key;
+  entry.schedule = exported.entry.schedule;
+  entry.objective = exported.entry.objective;
+  entry.proven_optimal = exported.entry.proven_optimal;
+  entry.entry_version = exported.entry.version;
+  entry.origin = origin;
+  return entry;
+}
+
+ReplicationBus::ReplicationBus(std::size_t peers, ReplicationBusOptions options)
+    : peer_count_(peers),
+      compact_threshold_(options.compact_threshold > 0 ? options.compact_threshold : 1) {
+  HAX_REQUIRE(peers > 0, "ReplicationBus needs at least one peer");
+  LockGuard lock(mu_);
+  cursors_.assign(peer_count_, 0);
+  need_digest_.assign(peer_count_, false);
+}
+
+void ReplicationBus::append(ReplicationEntry entry) {
+  LockGuard lock(mu_);
+  log_.push_back(std::move(entry));
+  ++appended_;
+  if (log_.size() > compact_threshold_) compact_locked();
+}
+
+void ReplicationBus::compact_locked() {
+  // Drop only what every cursor has passed; fold it into the digest
+  // (latest entry per fingerprint wins — per-fingerprint publishes are
+  // monotone improvements, so the survivor dominates its predecessors).
+  std::uint64_t min_cursor = base_ + log_.size();
+  for (std::size_t p = 0; p < peer_count_; ++p) {
+    min_cursor = std::min(min_cursor, cursors_[p]);
+  }
+  const std::size_t drop = static_cast<std::size_t>(min_cursor - base_);
+  if (drop == 0) return;
+  for (std::size_t i = 0; i < drop; ++i) {
+    ReplicationEntry& e = log_[i];
+    digest_[{e.fingerprint.hi, e.fingerprint.lo}] = std::move(e);
+  }
+  log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ += drop;
+  ++compactions_;
+}
+
+std::vector<ReplicationEntry> ReplicationBus::fetch(std::size_t peer) {
+  HAX_REQUIRE(peer < peer_count_, "ReplicationBus::fetch peer out of range");
+  std::vector<ReplicationEntry> out;
+  LockGuard lock(mu_);
+  if (need_digest_[peer]) {
+    need_digest_[peer] = false;
+    out.reserve(digest_.size() + log_.size());
+    for (const auto& [key, entry] : digest_) out.push_back(entry);
+  }
+  const std::size_t start = static_cast<std::size_t>(cursors_[peer] - base_);
+  for (std::size_t i = start; i < log_.size(); ++i) out.push_back(log_[i]);
+  cursors_[peer] = base_ + log_.size();
+  fetched_ += out.size();
+  return out;
+}
+
+void ReplicationBus::reset_cursor(std::size_t peer) {
+  HAX_REQUIRE(peer < peer_count_, "ReplicationBus::reset_cursor peer out of range");
+  LockGuard lock(mu_);
+  cursors_[peer] = base_;
+  need_digest_[peer] = true;
+}
+
+ReplicationBusStats ReplicationBus::stats() const {
+  ReplicationBusStats out;
+  LockGuard lock(mu_);
+  out.appended = appended_;
+  out.fetched = fetched_;
+  out.compactions = compactions_;
+  out.digest_entries = digest_.size();
+  out.log_entries = log_.size();
+  return out;
+}
+
+}  // namespace hax::fleet

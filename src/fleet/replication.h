@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file replication.h
+/// Cross-broker schedule replication for the scheduler fleet: the wire
+/// format (one cache entry as JSON) and the ReplicationBus, an in-process
+/// stand-in for the gossip channel a real deployment would run between
+/// broker hosts.
+///
+/// Wire format. Entries carry their 128-bit fingerprint, 64-bit shape
+/// key and 64-bit entry version as fixed-width lowercase hex strings —
+/// JSON numbers are doubles, which silently lose bits above 2^53, so
+/// 64-bit integers never travel as numbers. Schedules reuse sched/serialize's
+/// canonical form. entry_from_json rejects malformed payloads
+/// (PreconditionError): a fleet must drop a corrupt gossip message, not
+/// install it. Round trip is byte-identical: entry → JSON text → entry →
+/// JSON text produces the same bytes (doubles print via the shortest
+/// round-trip form, keys are std::map-ordered).
+///
+/// Bus semantics. append() is called from each broker's on_publish hook
+/// (improvement-only by construction: the hook only fires when the
+/// origin's cache actually changed). Each peer owns a cursor; fetch(peer)
+/// returns every entry the peer has not yet seen and advances the cursor.
+/// Entries are NOT filtered by origin: applying your own entry back is a
+/// harmless rejected publish (the cache's improvement filter already
+/// holds an equal-or-better answer), and replication applies never
+/// re-append (SchedulerService::publish_canonical with notify=false), so
+/// there is no gossip loop to suppress.
+///
+/// Compaction. When the log outgrows its threshold, the prefix every
+/// cursor has passed is folded into a latest-per-fingerprint digest
+/// (sound because per-fingerprint publishes are monotone improvements —
+/// the latest entry dominates the ones it replaces). reset_cursor(peer) —
+/// the restart path — rewinds the peer to the digest plus the full
+/// remaining log, so a broker restored from an old snapshot catches up on
+/// everything it missed, including its own pre-crash publishes.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/annotated.h"
+#include "common/json.h"
+#include "common/lock_ranks.h"
+#include "sched/fingerprint.h"
+#include "sched/schedule.h"
+#include "serve/schedule_cache.h"
+
+namespace hax::fleet {
+
+/// One replicated cache entry. `schedule` is in canonical DNN order (the
+/// form caches store); `origin` is the publishing broker (diagnostics —
+/// fetch does not filter on it).
+struct ReplicationEntry {
+  sched::ScenarioFingerprint fingerprint;
+  std::uint64_t shape_key = 0;
+  sched::Schedule schedule;
+  double objective = 0.0;
+  bool proven_optimal = false;
+  std::uint64_t entry_version = 0;  ///< origin cache's improvement count
+  int origin = -1;
+};
+
+/// Entry -> wire JSON (deterministic key order, hex-encoded u64s).
+[[nodiscard]] json::Value entry_to_json(const ReplicationEntry& entry);
+
+/// Wire JSON -> entry. Throws PreconditionError on any malformed input:
+/// missing or mistyped member, wrong hex width, non-hex digit, bad
+/// schedule payload, or unsupported wire version.
+[[nodiscard]] ReplicationEntry entry_from_json(const json::Value& value);
+
+/// Adapts a ScheduleCache export record (snapshot path) to the wire type.
+[[nodiscard]] ReplicationEntry from_exported(const serve::ExportedEntry& exported, int origin);
+
+struct ReplicationBusOptions {
+  /// Log length that triggers compaction of the all-peers-consumed prefix
+  /// into the latest-per-fingerprint digest.
+  std::size_t compact_threshold = 4096;
+};
+
+struct ReplicationBusStats {
+  std::uint64_t appended = 0;     ///< entries ever appended
+  std::uint64_t fetched = 0;      ///< entries ever delivered (all peers)
+  std::uint64_t compactions = 0;  ///< compaction passes that dropped entries
+  std::uint64_t digest_entries = 0;  ///< current latest-per-fingerprint digest size
+  std::uint64_t log_entries = 0;     ///< current live log length
+};
+
+/// Thread-safe multi-peer log with per-peer cursors. The fleet simulation
+/// drives it single-threaded between virtual-time batches, but brokers
+/// with real solver workers call append() from worker threads, so every
+/// member is mutex-guarded.
+class ReplicationBus {
+ public:
+  explicit ReplicationBus(std::size_t peers, ReplicationBusOptions options = {});
+
+  ReplicationBus(const ReplicationBus&) = delete;
+  ReplicationBus& operator=(const ReplicationBus&) = delete;
+
+  /// Appends one published entry and compacts if the log is past its
+  /// threshold.
+  void append(ReplicationEntry entry);
+
+  /// Everything `peer` has not yet consumed, oldest first (digest entries
+  /// lead when the peer was reset past compacted history); advances the
+  /// peer's cursor to the log head.
+  [[nodiscard]] std::vector<ReplicationEntry> fetch(std::size_t peer);
+
+  /// Rewinds `peer` to the beginning of retained history (digest + log) —
+  /// called when the peer's broker restarts from a snapshot.
+  void reset_cursor(std::size_t peer);
+
+  [[nodiscard]] std::size_t peers() const noexcept { return peer_count_; }
+  [[nodiscard]] ReplicationBusStats stats() const;
+
+ private:
+  using FpKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  void compact_locked() HAX_REQUIRES(mu_);
+
+  const std::size_t peer_count_;         ///< immutable after construction
+  const std::size_t compact_threshold_;  ///< immutable after construction
+
+  mutable Mutex mu_{HAX_MUTEX_RANK(ReplicationBus_mu_)};
+  std::vector<ReplicationEntry> log_ HAX_GUARDED_BY(mu_);
+  /// Global index of log_[0] (cursors are global indices).
+  std::uint64_t base_ HAX_GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> cursors_ HAX_GUARDED_BY(mu_);
+  /// Peers rewound past compacted history; their next fetch leads with
+  /// the digest.
+  std::vector<bool> need_digest_ HAX_GUARDED_BY(mu_);
+  /// Latest entry per fingerprint among compacted-away history (std::map
+  /// so digest delivery order is deterministic).
+  std::map<FpKey, ReplicationEntry> digest_ HAX_GUARDED_BY(mu_);
+  std::uint64_t appended_ HAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t fetched_ HAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t compactions_ HAX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hax::fleet

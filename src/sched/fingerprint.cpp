@@ -83,6 +83,26 @@ std::string ScenarioFingerprint::to_string() const {
   return out;
 }
 
+ScenarioFingerprint ScenarioFingerprint::from_string(const std::string& text) {
+  HAX_REQUIRE(text.size() == 32, "fingerprint hex must be exactly 32 digits");
+  ScenarioFingerprint fp;
+  for (int i = 0; i < 32; ++i) {
+    const char c = text[static_cast<std::size_t>(i)];
+    std::uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      HAX_REQUIRE(false, "fingerprint hex contains a non-hex digit");
+      return fp;
+    }
+    std::uint64_t& half = i < 16 ? fp.hi : fp.lo;
+    half = (half << 4) | nibble;
+  }
+  return fp;
+}
+
 CanonicalScenario canonicalize(const Problem& problem) {
   problem.validate();
   const auto dnn_count = problem.dnns.size();

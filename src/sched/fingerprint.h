@@ -48,6 +48,12 @@ struct ScenarioFingerprint {
 
   /// 32 hex digits, for logs and JSON artifacts.
   [[nodiscard]] std::string to_string() const;
+
+  /// Parses the to_string() form (exactly 32 lowercase hex digits) — the
+  /// fleet's replication wire format carries fingerprints as hex so the
+  /// 128 bits survive JSON's double-typed numbers. Throws
+  /// PreconditionError on malformed input; round-trips with to_string().
+  [[nodiscard]] static ScenarioFingerprint from_string(const std::string& text);
 };
 
 /// A Problem reduced to canonical form: the fingerprint, the warm-start

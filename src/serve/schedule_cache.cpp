@@ -1,8 +1,10 @@
 #include "serve/schedule_cache.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
+#include "common/epoch.h"
 #include "common/error.h"
 #include "common/lock_ranks.h"
 
@@ -14,12 +16,36 @@ using FpKey = std::pair<std::uint64_t, std::uint64_t>;
 FpKey key_of(const sched::ScenarioFingerprint& fp) noexcept { return {fp.hi, fp.lo}; }
 }  // namespace
 
+/// Immutable per-shard snapshot published to the lock-free read path:
+/// the shard's entries as a key-sorted array, binary-searched by lookup
+/// and peek under an epoch pin. Rebuilt (and the predecessor retired)
+/// on every mutation — publishes happen at solve rate, probes at request
+/// rate, so the O(capacity) rebuild buys a zero-lock fast lane.
+struct ScheduleCache::ShardView {
+  std::vector<std::pair<FpKey, CachedSchedule>> sorted;
+
+  [[nodiscard]] const CachedSchedule* find(const FpKey& key) const noexcept {
+    const auto it = std::lower_bound(
+        sorted.begin(), sorted.end(), key,
+        [](const auto& elem, const FpKey& k) { return elem.first < k; });
+    if (it == sorted.end() || it->first != key) return nullptr;
+    return &it->second;
+  }
+
+  static void retire_deleter(void* p) { delete static_cast<const ShardView*>(p); }
+};
+
 /// One lock-striped slice of the fingerprint → schedule map. std::map
 /// keeps iteration (and therefore eviction) order deterministic, which the
 /// serving layer's bit-identical-replay guarantee leans on.
 struct ScheduleCache::Shard {
   mutable Mutex mu{HAX_MUTEX_RANK(ScheduleCache_Shard_mu)};
   std::map<FpKey, CachedSchedule> entries HAX_GUARDED_BY(mu);
+  /// Epoch-published snapshot of `entries`. Publication protocol: the
+  /// pointee is immutable; writers swap it (seq_cst) while holding `mu`
+  /// and retire the predecessor through the global epoch domain after
+  /// releasing `mu`; readers access it only under an epoch::ReaderGuard.
+  std::atomic<const ShardView*> view{nullptr};
 };
 
 /// Warm-start index: shape_key → ring of recent exemplars of that shape,
@@ -34,7 +60,9 @@ struct ScheduleCache::ShapeIndex {
 };
 
 ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
-    : shard_count_(options.shards), capacity_per_shard_(options.capacity_per_shard) {
+    : shard_count_(options.shards),
+      capacity_per_shard_(options.capacity_per_shard),
+      lockfree_reads_(options.lockfree_reads) {
   HAX_REQUIRE(shard_count_ > 0 && (shard_count_ & (shard_count_ - 1)) == 0,
               "ScheduleCache shards must be a power of two");
   HAX_REQUIRE(capacity_per_shard_ > 0, "ScheduleCache capacity_per_shard must be > 0");
@@ -45,36 +73,58 @@ ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
   shapes_->ring = options.shape_ring > 0 ? options.shape_ring : 1;
 }
 
-ScheduleCache::~ScheduleCache() = default;
+ScheduleCache::~ScheduleCache() {
+  // No reader may be mid-probe at destruction (the cache's owner joined
+  // or stopped them); the current views are freed directly, replaced
+  // predecessors were already retired to the epoch domain.
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    delete shards_[s].view.load(std::memory_order_acquire);
+  }
+}
 
 ScheduleCache::Shard& ScheduleCache::shard_for(const sched::ScenarioFingerprint& fp) const noexcept {
   return shards_[fp.lo & (shard_count_ - 1)];
 }
 
-std::optional<CachedSchedule> ScheduleCache::lookup(const sched::ScenarioFingerprint& fp) const {
+std::optional<CachedSchedule> ScheduleCache::probe(const sched::ScenarioFingerprint& fp,
+                                                   bool counted) const {
   Shard& shard = shard_for(fp);
-  LockGuard lock(shard.mu);
-  const auto it = shard.entries.find(key_of(fp));
-  if (it == shard.entries.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+  std::optional<CachedSchedule> found;
+  if (lockfree_reads_) {
+    // Lock-free fast lane: pin an epoch, load the immutable snapshot,
+    // binary-search it. The snapshot cannot be freed while pinned.
+    epoch::ReaderGuard guard;
+    const ShardView* view = shard.view.load(std::memory_order_seq_cst);
+    if (view != nullptr) {
+      if (const CachedSchedule* entry = view->find(key_of(fp))) found = *entry;
+    }
+  } else {
+    LockGuard lock(shard.mu);
+    const auto it = shard.entries.find(key_of(fp));
+    if (it != shard.entries.end()) found = it->second;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  if (counted) {
+    (found.has_value() ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  } else {
+    peeks_.fetch_add(1, std::memory_order_relaxed);
+    if (found.has_value()) peek_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return found;
+}
+
+std::optional<CachedSchedule> ScheduleCache::lookup(const sched::ScenarioFingerprint& fp) const {
+  return probe(fp, /*counted=*/true);
 }
 
 std::optional<CachedSchedule> ScheduleCache::peek(const sched::ScenarioFingerprint& fp) const {
-  Shard& shard = shard_for(fp);
-  LockGuard lock(shard.mu);
-  const auto it = shard.entries.find(key_of(fp));
-  if (it == shard.entries.end()) return std::nullopt;
-  return it->second;
+  return probe(fp, /*counted=*/false);
 }
 
 bool ScheduleCache::publish(const sched::ScenarioFingerprint& fp, std::uint64_t shape_key,
                             const sched::Schedule& canonical_schedule, double objective,
                             bool proven_optimal) {
   CachedSchedule installed;
+  const ShardView* replaced = nullptr;
   {
     Shard& shard = shard_for(fp);
     LockGuard lock(shard.mu);
@@ -86,6 +136,7 @@ bool ScheduleCache::publish(const sched::ScenarioFingerprint& fp, std::uint64_t 
       }
       it->second.schedule = canonical_schedule;
       it->second.objective = objective;
+      it->second.shape_key = shape_key;
       it->second.proven_optimal = proven_optimal;
       ++it->second.version;
       installed = it->second;
@@ -98,11 +149,21 @@ bool ScheduleCache::publish(const sched::ScenarioFingerprint& fp, std::uint64_t 
       CachedSchedule entry;
       entry.schedule = canonical_schedule;
       entry.objective = objective;
+      entry.shape_key = shape_key;
       entry.proven_optimal = proven_optimal;
       entry.version = 1;
       installed = shard.entries.emplace(key_of(fp), std::move(entry)).first->second;
       insertions_.fetch_add(1, std::memory_order_relaxed);
     }
+    // Publish the post-mutation snapshot to the lock-free readers. Built
+    // under `mu` (consistent with `entries`), swapped seq_cst so a reader
+    // pinned at a later epoch can never see the replaced pointer.
+    auto* next = new ShardView;
+    next->sorted.assign(shard.entries.begin(), shard.entries.end());
+    replaced = shard.view.exchange(next, std::memory_order_seq_cst);
+  }
+  if (replaced != nullptr) {
+    epoch::global_domain().retire(const_cast<ShardView*>(replaced), &ShardView::retire_deleter);
   }
   {
     LockGuard lock(shapes_->mu);
@@ -151,6 +212,21 @@ std::vector<CachedSchedule> ScheduleCache::nearest_k(
   return out;
 }
 
+std::vector<ExportedEntry> ScheduleCache::export_entries() const {
+  std::vector<ExportedEntry> out;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    LockGuard lock(shards_[s].mu);
+    for (const auto& [key, entry] : shards_[s].entries) {
+      ExportedEntry e;
+      e.fingerprint.hi = key.first;
+      e.fingerprint.lo = key.second;
+      e.entry = entry;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
 std::size_t ScheduleCache::size() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
@@ -166,6 +242,8 @@ ScheduleCacheStats ScheduleCache::stats() const noexcept {
   ScheduleCacheStats out;
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
+  out.peeks = peeks_.load(std::memory_order_relaxed);
+  out.peek_hits = peek_hits_.load(std::memory_order_relaxed);
   out.insertions = insertions_.load(std::memory_order_relaxed);
   out.improvements = improvements_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);

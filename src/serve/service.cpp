@@ -258,7 +258,7 @@ ScheduleTicket SchedulerService::submit(const ScenarioRequest& request) {
 
   auto ctl = std::make_shared<detail::RequestControl>(&state_->shutdown_stop);
   ctl->request = request;
-  ctl->canon = sched::canonicalize(*request.problem);
+  ctl->canon = request.canon != nullptr ? *request.canon : sched::canonicalize(*request.problem);
   ctl->submit_ms = wall_now_ms();
   const int cls = class_index(request.priority);
 
@@ -321,7 +321,7 @@ ScheduleTicket SchedulerService::submit_at(const ScenarioRequest& request, TimeM
 
   auto ctl = std::make_shared<detail::RequestControl>(&state_->shutdown_stop);
   ctl->request = request;
-  ctl->canon = sched::canonicalize(*request.problem);
+  ctl->canon = request.canon != nullptr ? *request.canon : sched::canonicalize(*request.problem);
   ctl->submit_ms = arrival_ms;
   const int cls = class_index(request.priority);
 
@@ -540,15 +540,26 @@ bool SchedulerService::publish_result(const sched::CanonicalScenario& canon,
                                       const sched::Schedule& request_order_schedule,
                                       double objective, bool proven_optimal) {
   const sched::Schedule canonical = sched::to_canonical(request_order_schedule, canon);
+  return publish_canonical(canon.fingerprint, canon.shape_key, canonical, objective,
+                           proven_optimal, /*notify=*/true);
+}
+
+bool SchedulerService::publish_canonical(const sched::ScenarioFingerprint& fingerprint,
+                                         std::uint64_t shape_key,
+                                         const sched::Schedule& canonical_schedule,
+                                         double objective, bool proven_optimal, bool notify) {
   const bool changed =
-      cache_->publish(canon.fingerprint, canon.shape_key, canonical, objective, proven_optimal);
+      cache_->publish(fingerprint, shape_key, canonical_schedule, objective, proven_optimal);
   std::shared_ptr<runtime::ScheduleHandle> handle;
   {
     LockGuard lock(state_->mu);
-    const auto it = state_->handles.find({canon.fingerprint.hi, canon.fingerprint.lo});
+    const auto it = state_->handles.find({fingerprint.hi, fingerprint.lo});
     if (it != state_->handles.end()) handle = it->second;
   }
-  if (handle != nullptr) handle->publish(canonical, objective);  // improvement-filtered
+  if (handle != nullptr) handle->publish(canonical_schedule, objective);  // improvement-filtered
+  if (changed && notify && options_.on_publish) {
+    options_.on_publish(fingerprint, shape_key, canonical_schedule, objective, proven_optimal);
+  }
   return changed;
 }
 
@@ -653,12 +664,15 @@ json::Value ServiceStats::to_json() const {
   json::Object cache_o;
   cache_o["hits"] = static_cast<std::int64_t>(cache.hits);
   cache_o["misses"] = static_cast<std::int64_t>(cache.misses);
+  cache_o["peeks"] = static_cast<std::int64_t>(cache.peeks);
+  cache_o["peek_hits"] = static_cast<std::int64_t>(cache.peek_hits);
   cache_o["insertions"] = static_cast<std::int64_t>(cache.insertions);
   cache_o["improvements"] = static_cast<std::int64_t>(cache.improvements);
   cache_o["rejected"] = static_cast<std::int64_t>(cache.rejected);
   cache_o["evictions"] = static_cast<std::int64_t>(cache.evictions);
   cache_o["warm_hits"] = static_cast<std::int64_t>(cache.warm_hits);
   cache_o["hit_rate"] = cache.hit_rate();
+  cache_o["probe_hit_rate"] = cache.probe_hit_rate();
 
   json::Object o;
   o["classes"] = std::move(classes);

@@ -45,6 +45,7 @@
 /// rate) — a fixed arrival trace plus solver seed then reproduces
 /// bit-identical ServiceStats, which bench_serve asserts.
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -88,6 +89,14 @@ struct ScenarioRequest {
   /// result still publishes through the improvement filter, so a refresh
   /// can only upgrade what executors see.
   bool refresh = false;
+
+  /// Optional precomputed canonicalization of `problem` (must match it).
+  /// Device stubs in the fleet simulation cache their scenario's
+  /// CanonicalScenario and pass it here, turning the per-request
+  /// canonicalize() (a full profile-table hash) into a copy — the router
+  /// already needed the fingerprint to pick a shard, so the service
+  /// hashing it again would double the hit-path cost.
+  const sched::CanonicalScenario* canon = nullptr;
 
   SolveLimits limits;
 };
@@ -186,6 +195,17 @@ struct ServiceOptions {
   /// evaluation (SolveScheduleOptions::rank_seeds) before the solve.
   std::size_t warm_start_candidates = 4;
 
+  /// Called after every *local* publish that changed the cache (fresh
+  /// solves and publish_external — never replication applies, which
+  /// would echo gossip back into the bus). The fleet layer hooks this to
+  /// append the entry to its replication log. Invoked from whichever
+  /// thread completed the solve, outside every service lock; must be
+  /// thread-safe in multi-worker configurations.
+  std::function<void(const sched::ScenarioFingerprint& fingerprint, std::uint64_t shape_key,
+                     const sched::Schedule& canonical_schedule, double objective,
+                     bool proven_optimal)>
+      on_publish;
+
   /// Deterministic virtual clock (requires workers == 0): latency is
   /// metered on a single-server queue where a solve costs
   /// (nodes explored + leaves evaluated) / virtual_nodes_per_ms and a
@@ -255,6 +275,18 @@ class SchedulerService {
   /// previous deployment's answer. Evaluated through the scenario's
   /// Formulation; infeasible schedules are refused (returns false).
   bool publish_external(const sched::Problem& problem, const sched::Schedule& schedule);
+
+  /// Installs an already-canonical entry — the fleet's snapshot-restore
+  /// and replication-apply path, where only the serialized entry exists
+  /// (no Problem to re-evaluate). Trusts the payload: the entry came out
+  /// of a peer's improvement filter, and this cache's own filter still
+  /// applies, so a corrupt objective can at worst waste one slot. Updates
+  /// any live ScheduleHandle. `notify` fires on_publish (replication
+  /// applies pass false to keep gossip from echoing). Returns whether the
+  /// cache changed.
+  bool publish_canonical(const sched::ScenarioFingerprint& fingerprint, std::uint64_t shape_key,
+                         const sched::Schedule& canonical_schedule, double objective,
+                         bool proven_optimal, bool notify = false);
 
   /// Frame-boundary ScheduleProvider for running this scenario under an
   /// Executor with live upgrades. Seeded (in order of preference) from

@@ -1,0 +1,795 @@
+/// Tests for the scheduler fleet (src/fleet) and its foundations: the
+/// epoch-based reclamation domain (common/epoch.h) behind the cache's
+/// lock-free read path, the replication wire format and ReplicationBus,
+/// the fingerprint router, broker snapshot/restore and restart catch-up,
+/// the device-fleet workload generator, and the provenance stamp of the
+/// committed BENCH_fleet.json artifact. The concurrent tests in this file
+/// are the payload of the `check_fleet` TSan gate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "core/haxconn.h"
+#include "fleet/devices.h"
+#include "fleet/fleet.h"
+#include "fleet/replication.h"
+#include "nn/zoo.h"
+#include "sched/fingerprint.h"
+#include "sched/serialize.h"
+#include "serve/schedule_cache.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace hax;
+using namespace hax::fleet;
+
+// ------------------------------------------------------------------ epoch --
+
+/// Deleter that bumps a counter behind the retired pointer.
+struct FreeCounter {
+  static void free_u64(void* ptr) {
+    auto* cell = static_cast<std::atomic<std::uint64_t>*>(ptr);
+    cell->fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+TEST(Epoch, RetiredObjectsAreFreedAfterQuiescentAdvances) {
+  epoch::Domain domain;
+  std::atomic<std::uint64_t> freed{0};
+  domain.retire(&freed, &FreeCounter::free_u64);
+  EXPECT_EQ(domain.limbo_size(), 1u);
+  // No reader is pinned, so two advances make the garbage unreachable.
+  domain.advance();
+  domain.advance();
+  domain.advance();
+  EXPECT_EQ(domain.limbo_size(), 0u);
+  EXPECT_EQ(freed.load(), 1u);
+}
+
+TEST(Epoch, PinnedReaderBlocksReclamation) {
+  epoch::Domain domain;
+  std::atomic<std::uint64_t> freed{0};
+  {
+    epoch::ReaderGuard guard(domain);
+    domain.retire(&freed, &FreeCounter::free_u64);
+    const std::uint64_t pinned_epoch = domain.current_epoch();
+    for (int i = 0; i < 8; ++i) domain.advance();
+    // A pinned reader freezes the epoch, so the retired object survives.
+    EXPECT_EQ(domain.current_epoch(), pinned_epoch);
+    EXPECT_EQ(domain.limbo_size(), 1u);
+    EXPECT_EQ(freed.load(), 0u);
+  }
+  domain.advance();
+  domain.advance();
+  domain.advance();
+  EXPECT_EQ(domain.limbo_size(), 0u);
+  EXPECT_EQ(freed.load(), 1u);
+}
+
+TEST(Epoch, NestedGuardsUnpinOnlyAtOutermostExit) {
+  epoch::Domain domain;
+  std::atomic<std::uint64_t> freed{0};
+  {
+    epoch::ReaderGuard outer(domain);
+    {
+      epoch::ReaderGuard inner(domain);
+    }
+    // The inner guard's destruction must NOT have unpinned the thread.
+    domain.retire(&freed, &FreeCounter::free_u64);
+    for (int i = 0; i < 8; ++i) domain.advance();
+    EXPECT_EQ(freed.load(), 0u);
+  }
+  domain.advance();
+  domain.advance();
+  domain.advance();
+  EXPECT_EQ(freed.load(), 1u);
+}
+
+TEST(Epoch, DomainDestructorDrainsLimbo) {
+  std::atomic<std::uint64_t> freed{0};
+  {
+    epoch::Domain domain;
+    domain.retire(&freed, &FreeCounter::free_u64);
+    // Never advanced: the destructor must still run the deleter.
+  }
+  EXPECT_EQ(freed.load(), 1u);
+}
+
+/// Writer republishes immutable snapshots through an atomic pointer while
+/// readers pin and dereference — the exact protocol the cache's lock-free
+/// probe runs. TSan (check_fleet) must see no race, and no reader may
+/// observe a torn or reclaimed snapshot.
+TEST(Epoch, ConcurrentPublishAndReadKeepsSnapshotsValid) {
+  struct Snapshot {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;  ///< invariant: b == 2 * a + 1
+  };
+  epoch::Domain domain;
+  std::atomic<Snapshot*> published{new Snapshot{0, 1}};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        epoch::ReaderGuard guard(domain);
+        const Snapshot* snap = published.load(std::memory_order_acquire);
+        if (snap->b != 2 * snap->a + 1) violations.fetch_add(1);
+      }
+    });
+  }
+
+  for (std::uint64_t i = 1; i <= 400; ++i) {
+    Snapshot* next = new Snapshot{i, 2 * i + 1};
+    Snapshot* old = published.exchange(next, std::memory_order_acq_rel);
+    domain.retire(old, [](void* p) { delete static_cast<Snapshot*>(p); });
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  delete published.load();
+  // With all readers gone, the domain can drain whatever is left.
+  domain.advance();
+  domain.advance();
+  domain.advance();
+  EXPECT_EQ(domain.limbo_size(), 0u);
+}
+
+// ---------------------------------------------------- cache lock-free path --
+
+sched::ScenarioFingerprint fp_of(std::uint64_t hi, std::uint64_t lo) {
+  sched::ScenarioFingerprint fp;
+  fp.hi = hi;
+  fp.lo = lo;
+  return fp;
+}
+
+sched::Schedule tiny_schedule(int pu) {
+  sched::Schedule s;
+  s.assignment = {{pu, pu}, {1 - pu}};
+  return s;
+}
+
+TEST(ScheduleCacheLockfree, ProbeMatchesLockedProbe) {
+  serve::ScheduleCacheOptions locked_opts;
+  locked_opts.lockfree_reads = false;
+  serve::ScheduleCacheOptions lockfree_opts;
+  lockfree_opts.lockfree_reads = true;
+  serve::ScheduleCache locked(locked_opts);
+  serve::ScheduleCache lockfree(lockfree_opts);
+
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto fp = fp_of(i * 0x9E3779B97F4A7C15ull, i);
+    const double objective = 10.0 + static_cast<double>(i % 7);
+    EXPECT_TRUE(locked.publish(fp, i % 5, tiny_schedule(static_cast<int>(i % 2)), objective,
+                               i % 3 == 0));
+    EXPECT_TRUE(lockfree.publish(fp, i % 5, tiny_schedule(static_cast<int>(i % 2)), objective,
+                                 i % 3 == 0));
+  }
+  for (std::uint64_t i = 0; i < 80; ++i) {  // 64 present + 16 misses
+    const auto fp = fp_of(i * 0x9E3779B97F4A7C15ull, i);
+    const auto a = locked.lookup(fp);
+    const auto b = lockfree.lookup(fp);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "fingerprint " << i;
+    if (a.has_value()) {
+      EXPECT_EQ(a->schedule, b->schedule);
+      EXPECT_EQ(a->objective, b->objective);
+      EXPECT_EQ(a->shape_key, b->shape_key);
+      EXPECT_EQ(a->proven_optimal, b->proven_optimal);
+      EXPECT_EQ(a->version, b->version);
+    }
+    EXPECT_EQ(locked.peek(fp).has_value(), lockfree.peek(fp).has_value());
+  }
+  EXPECT_EQ(locked.stats().hits, lockfree.stats().hits);
+  EXPECT_EQ(locked.stats().misses, lockfree.stats().misses);
+  EXPECT_EQ(locked.stats().peeks, lockfree.stats().peeks);
+  EXPECT_EQ(locked.stats().peek_hits, lockfree.stats().peek_hits);
+}
+
+/// Lock-free readers race a writer that keeps improving a small set of
+/// entries. Every observed objective must be a value some publish
+/// installed, and per-fingerprint objectives can only improve (decrease)
+/// over a single reader's successive probes.
+TEST(ScheduleCacheLockfree, ConcurrentReadersSeeOnlyPublishedImprovements) {
+  serve::ScheduleCacheOptions opts;
+  opts.lockfree_reads = true;
+  serve::ScheduleCache cache(opts);
+  constexpr int kFps = 8;
+  constexpr double kRounds = 100.0;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      double best[kFps];
+      for (double& b : best) b = std::numeric_limits<double>::infinity();
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int f = 0; f < kFps; ++f) {
+          const auto hit = cache.peek(fp_of(static_cast<std::uint64_t>(f) + 1, 7));
+          if (!hit.has_value()) continue;
+          if (hit->objective > best[f]) violations.fetch_add(1);
+          best[f] = hit->objective;
+        }
+      }
+    });
+  }
+  for (double round = kRounds; round >= 1.0; round -= 1.0) {
+    for (int f = 0; f < kFps; ++f) {
+      // Objective strictly decreases round over round: every publish is
+      // an improvement and must pass the filter.
+      EXPECT_TRUE(cache.publish(fp_of(static_cast<std::uint64_t>(f) + 1, 7), 3,
+                                tiny_schedule(f % 2), round + f, false));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : readers) th.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kFps));
+}
+
+TEST(ScheduleCache, ExportEntriesIsDeterministicAndComplete) {
+  serve::ScheduleCache cache;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    cache.publish(fp_of(i + 1, i * 3), i % 4, tiny_schedule(static_cast<int>(i % 2)),
+                  5.0 + static_cast<double>(i), false);
+  }
+  const auto first = cache.export_entries();
+  const auto second = cache.export_entries();
+  ASSERT_EQ(first.size(), cache.size());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].fingerprint, second[i].fingerprint);
+    EXPECT_EQ(first[i].entry.objective, second[i].entry.objective);
+  }
+  // Replaying an export through publish() is a no-op (idempotent restore).
+  for (const serve::ExportedEntry& e : first) {
+    EXPECT_FALSE(cache.publish(e.fingerprint, e.entry.shape_key, e.entry.schedule,
+                               e.entry.objective, e.entry.proven_optimal));
+  }
+  EXPECT_EQ(cache.size(), first.size());
+}
+
+// ------------------------------------------------------------- wire format --
+
+ReplicationEntry sample_entry(std::uint64_t seed) {
+  ReplicationEntry e;
+  e.fingerprint = fp_of(seed * 0xDEADBEEFull + 1, ~seed);
+  e.shape_key = seed ^ 0xABCDEF0123456789ull;
+  e.schedule = tiny_schedule(static_cast<int>(seed % 2));
+  e.objective = 12.5 + static_cast<double>(seed) * 0.1;
+  e.proven_optimal = seed % 2 == 0;
+  e.entry_version = seed + 1;
+  e.origin = static_cast<int>(seed % 4);
+  return e;
+}
+
+TEST(ReplicationWire, RoundTripIsByteIdentical) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const ReplicationEntry e = sample_entry(seed);
+    const std::string once = entry_to_json(e).dump();
+    const ReplicationEntry back = entry_from_json(json::parse(once));
+    const std::string twice = entry_to_json(back).dump();
+    EXPECT_EQ(once, twice) << "seed " << seed;
+    EXPECT_EQ(back.fingerprint, e.fingerprint);
+    EXPECT_EQ(back.shape_key, e.shape_key);
+    EXPECT_EQ(back.schedule, e.schedule);
+    EXPECT_EQ(back.objective, e.objective);
+    EXPECT_EQ(back.proven_optimal, e.proven_optimal);
+    EXPECT_EQ(back.entry_version, e.entry_version);
+  }
+}
+
+/// Extreme u64 values are exactly where JSON's double-typed numbers lose
+/// bits; the hex encoding must carry them unharmed.
+TEST(ReplicationWire, FullWidthIntegersSurvive) {
+  ReplicationEntry e = sample_entry(0);
+  e.fingerprint = fp_of(0xFFFFFFFFFFFFFFFFull, 0x8000000000000001ull);
+  e.shape_key = 0xFFFFFFFFFFFFFFFEull;
+  e.entry_version = (1ull << 62) + 3;
+  const ReplicationEntry back = entry_from_json(json::parse(entry_to_json(e).dump()));
+  EXPECT_EQ(back.fingerprint.hi, 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(back.fingerprint.lo, 0x8000000000000001ull);
+  EXPECT_EQ(back.shape_key, 0xFFFFFFFFFFFFFFFEull);
+  EXPECT_EQ(back.entry_version, (1ull << 62) + 3);
+}
+
+TEST(ReplicationWire, RejectsMalformedPayloads) {
+  const json::Value good = entry_to_json(sample_entry(1));
+
+  // A corrupted message must throw, never install garbage.
+  EXPECT_THROW((void)entry_from_json(json::parse("42")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(json::parse("[]")), PreconditionError);
+
+  const auto mutated = [&](const char* key, const char* replacement) {
+    json::Object o = good.as_object();
+    if (replacement == nullptr) {
+      o.erase(key);
+    } else {
+      o[key] = json::parse(replacement);
+    }
+    return json::Value(std::move(o));
+  };
+  for (const char* key : {"entry_version", "fingerprint", "objective", "origin",
+                          "proven_optimal", "schedule", "shape_key", "wire_version"}) {
+    EXPECT_THROW((void)entry_from_json(mutated(key, nullptr)), PreconditionError)
+        << "missing " << key;
+  }
+  EXPECT_THROW((void)entry_from_json(mutated("wire_version", "2")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("wire_version", "\"1\"")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("fingerprint", "\"abc\"")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(
+                   mutated("fingerprint", "\"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz\"")),
+               PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("fingerprint", "17")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("shape_key", "\"12345\"")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("entry_version", "7")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("objective", "\"fast\"")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("objective", "1e999")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("proven_optimal", "1")), PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("schedule", "{\"version\":1,\"assignment\":[]}")),
+               PreconditionError);
+  EXPECT_THROW((void)entry_from_json(mutated("schedule", "\"not a schedule\"")),
+               PreconditionError);
+}
+
+// --------------------------------------------------------- replication bus --
+
+TEST(ReplicationBus, PerPeerCursorsAreIndependent) {
+  ReplicationBus bus(3);
+  for (std::uint64_t i = 0; i < 4; ++i) bus.append(sample_entry(i));
+
+  EXPECT_EQ(bus.fetch(0).size(), 4u);
+  EXPECT_TRUE(bus.fetch(0).empty());  // cursor advanced
+  EXPECT_EQ(bus.fetch(1).size(), 4u);
+
+  bus.append(sample_entry(9));
+  EXPECT_EQ(bus.fetch(0).size(), 1u);
+  EXPECT_EQ(bus.fetch(2).size(), 5u);  // never fetched before: sees all
+
+  const ReplicationBusStats st = bus.stats();
+  EXPECT_EQ(st.appended, 5u);
+  EXPECT_EQ(st.fetched, 4u + 4u + 1u + 5u);
+}
+
+TEST(ReplicationBus, ResetCursorRedeliversHistory) {
+  ReplicationBus bus(2);
+  for (std::uint64_t i = 0; i < 3; ++i) bus.append(sample_entry(i));
+  ASSERT_EQ(bus.fetch(0).size(), 3u);
+  bus.reset_cursor(0);
+  const auto again = bus.fetch(0);
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_EQ(again[0].fingerprint, sample_entry(0).fingerprint);
+}
+
+TEST(ReplicationBus, CompactionFoldsConsumedPrefixIntoDigest) {
+  ReplicationBusOptions opts;
+  opts.compact_threshold = 4;
+  ReplicationBus bus(2, opts);
+
+  // Two generations of the same two fingerprints; everyone consumes them,
+  // so the next append can compact the prefix away.
+  for (std::uint64_t gen = 0; gen < 2; ++gen) {
+    for (std::uint64_t f = 0; f < 2; ++f) {
+      ReplicationEntry e = sample_entry(f);
+      e.objective = 100.0 - static_cast<double>(gen);  // improves per generation
+      e.entry_version = gen + 1;
+      bus.append(e);
+    }
+  }
+  (void)bus.fetch(0);
+  (void)bus.fetch(1);
+  bus.append(sample_entry(7));  // pushes the log past threshold -> compacts
+
+  ReplicationBusStats st = bus.stats();
+  EXPECT_EQ(st.compactions, 1u);
+  EXPECT_EQ(st.digest_entries, 2u);  // latest entry per fingerprint
+  EXPECT_EQ(st.log_entries, 1u);
+
+  // A reset peer replays the digest (latest generation only) + live log.
+  bus.reset_cursor(0);
+  const auto replay = bus.fetch(0);
+  ASSERT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay[0].entry_version, 2u);  // digest kept the newest version
+  EXPECT_EQ(replay[1].entry_version, 2u);
+  EXPECT_EQ(replay[2].fingerprint, sample_entry(7).fingerprint);
+
+  // The un-reset peer only sees what it has not consumed.
+  EXPECT_EQ(bus.fetch(1).size(), 1u);
+}
+
+TEST(ReplicationBus, ConcurrentAppendAndFetchDeliverEverything) {
+  ReplicationBusOptions opts;
+  opts.compact_threshold = 64;  // force compactions under load
+  ReplicationBus bus(3, opts);
+  constexpr std::uint64_t kPerAppender = 200;
+  constexpr int kAppenders = 2;
+
+  std::vector<std::thread> threads;
+  for (int a = 0; a < kAppenders; ++a) {
+    threads.emplace_back([&bus, a] {
+      for (std::uint64_t i = 0; i < kPerAppender; ++i) {
+        bus.append(sample_entry(static_cast<std::uint64_t>(a) * kPerAppender + i));
+      }
+    });
+  }
+  std::atomic<std::uint64_t> delivered[3] = {};
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&bus, &delivered, p] {
+      // Digest compaction may dedupe by fingerprint, but every appended
+      // fingerprint here is distinct, so each peer must see all of them.
+      std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+      while (seen.size() < kAppenders * kPerAppender) {
+        for (const ReplicationEntry& e : bus.fetch(static_cast<std::size_t>(p))) {
+          seen.insert({e.fingerprint.hi, e.fingerprint.lo});
+        }
+      }
+      delivered[p].store(seen.size());
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(delivered[p].load(), kAppenders * kPerAppender);
+  EXPECT_EQ(bus.stats().appended, kAppenders * kPerAppender);
+}
+
+// ------------------------------------------------------------------ router --
+
+TEST(FleetRouter, DeterministicInRangeAndSpreading) {
+  FleetRouter router(4);
+  std::set<std::size_t> used;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const auto fp = fp_of(i, i * 17);
+    const std::size_t b = router.route(fp);
+    EXPECT_LT(b, 4u);
+    EXPECT_EQ(router.route(fp), b);  // stable
+    used.insert(b);
+  }
+  EXPECT_EQ(used.size(), 4u);  // 256 fingerprints cover every broker
+
+  // A single broker maps everything to shard 0.
+  FleetRouter solo(1);
+  EXPECT_EQ(solo.route(fp_of(123, 456)), 0u);
+}
+
+// ---------------------------------------------------------- fleet fixture --
+
+class FleetFixture : public testing::Test {
+ protected:
+  FleetFixture()
+      : plat_(soc::Platform::xavier()),
+        hax_(plat_,
+             [] {
+               core::HaxConnOptions o;
+               o.grouping.max_groups = 5;
+               return o;
+             }()),
+        inst_a_(hax_.make_problem({{nn::zoo::alexnet()}, {nn::zoo::resnet18()}})),
+        solo_(hax_.make_problem({{nn::zoo::alexnet()}})),
+        solo_iter_(hax_.make_problem({{nn::zoo::alexnet(), -1, 2}})) {}
+
+  /// Virtual-time inline brokers: the deterministic configuration the
+  /// fleet requires (mirrors the serve-layer replay tests).
+  [[nodiscard]] static serve::ServiceOptions broker_options() {
+    serve::ServiceOptions o;
+    o.workers = 0;
+    o.virtual_time = true;
+    o.default_budget_ms = 0.0;
+    o.default_node_limit = 800;
+    o.virtual_nodes_per_ms = 200.0;
+    return o;
+  }
+
+  [[nodiscard]] static FleetOptions fleet_options(std::size_t brokers, bool replicate = true) {
+    FleetOptions o;
+    o.brokers = brokers;
+    o.service = broker_options();
+    o.replicate = replicate;
+    return o;
+  }
+
+  [[nodiscard]] serve::ScenarioRequest request_for(const sched::Problem& problem) const {
+    serve::ScenarioRequest r;
+    r.problem = &problem;
+    return r;
+  }
+
+  soc::Platform plat_;
+  core::HaxConn hax_;
+  sched::ProblemInstance inst_a_;
+  sched::ProblemInstance solo_;
+  sched::ProblemInstance solo_iter_;
+};
+
+TEST_F(FleetFixture, RoutesRepeatScenariosToOneOwnerAndHits) {
+  SchedulerFleet fleet(fleet_options(4));
+  const auto canon = sched::canonicalize(inst_a_.problem());
+  const std::size_t owner = fleet.router().route(canon.fingerprint);
+
+  const serve::ServeReply first = fleet.submit_at(request_for(inst_a_.problem()), 0.0).reply();
+  ASSERT_EQ(first.outcome, serve::ServeOutcome::kSolved);
+  const serve::ServeReply second = fleet.submit_at(request_for(inst_a_.problem()), 1.0).reply();
+  EXPECT_EQ(second.outcome, serve::ServeOutcome::kHit);
+  EXPECT_EQ(second.objective, first.objective);
+
+  const FleetStats st = fleet.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.solved, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.brokers[owner].total.solved, 1u);
+  EXPECT_EQ(st.latency_samples, 2u);
+  EXPECT_GT(st.elapsed_ms, 0.0);
+}
+
+TEST_F(FleetFixture, PrecomputedCanonSkipsRehashing) {
+  SchedulerFleet fleet(fleet_options(2));
+  const auto canon = sched::canonicalize(inst_a_.problem());
+  serve::ScenarioRequest r = request_for(inst_a_.problem());
+  r.canon = &canon;
+  EXPECT_EQ(fleet.submit_at(r, 0.0).reply().outcome, serve::ServeOutcome::kSolved);
+  EXPECT_EQ(fleet.submit_at(r, 1.0).reply().outcome, serve::ServeOutcome::kHit);
+  EXPECT_EQ(fleet.submit_at(r, 1.0).reply().fingerprint, canon.fingerprint);
+}
+
+TEST_F(FleetFixture, ReplicationMakesSolvesVisibleFleetWide) {
+  SchedulerFleet fleet(fleet_options(2));
+  const auto canon = sched::canonicalize(solo_.problem());
+  const std::size_t owner = fleet.router().route(canon.fingerprint);
+  const std::size_t other = 1 - owner;
+
+  ASSERT_EQ(fleet.submit_at(request_for(solo_.problem()), 0.0).reply().outcome,
+            serve::ServeOutcome::kSolved);
+  EXPECT_FALSE(fleet.broker(other).cache().peek(canon.fingerprint).has_value());
+
+  const std::size_t applied = fleet.pump_replication();
+  EXPECT_GE(applied, 1u);
+  // The gossiped entry is now in the non-owner's cache (warm-start and
+  // failover capital), even though the router never sends it requests.
+  EXPECT_TRUE(fleet.broker(other).cache().peek(canon.fingerprint).has_value());
+  EXPECT_GT(fleet.stats().bus.appended, 0u);
+}
+
+TEST_F(FleetFixture, ReplicationOffKeepsBrokersIndependent) {
+  SchedulerFleet fleet(fleet_options(2, /*replicate=*/false));
+  const auto canon = sched::canonicalize(solo_.problem());
+  const std::size_t owner = fleet.router().route(canon.fingerprint);
+
+  ASSERT_EQ(fleet.submit_at(request_for(solo_.problem()), 0.0).reply().outcome,
+            serve::ServeOutcome::kSolved);
+  EXPECT_EQ(fleet.pump_replication(), 0u);
+  EXPECT_FALSE(fleet.broker(1 - owner).cache().peek(canon.fingerprint).has_value());
+  EXPECT_EQ(fleet.stats().bus.appended, 0u);
+}
+
+TEST_F(FleetFixture, SnapshotRestoreRebuildsWarmCache) {
+  SchedulerFleet fleet(fleet_options(2));
+  const auto canon_a = sched::canonicalize(inst_a_.problem());
+  const auto canon_s = sched::canonicalize(solo_.problem());
+  ASSERT_EQ(fleet.submit_at(request_for(inst_a_.problem()), 0.0).reply().outcome,
+            serve::ServeOutcome::kSolved);
+  ASSERT_EQ(fleet.submit_at(request_for(solo_.problem()), 1.0).reply().outcome,
+            serve::ServeOutcome::kSolved);
+
+  const std::size_t owner = fleet.router().route(canon_a.fingerprint);
+  const json::Value snapshot = fleet.snapshot_broker(owner);
+  ASSERT_TRUE(snapshot.is_object());
+  EXPECT_EQ(snapshot.at("snapshot_version").as_int(), 1);
+
+  fleet.restart_broker(owner, &snapshot);
+  EXPECT_EQ(fleet.stats().restarts, 1u);
+  // The restored broker answers its old scenario from cache: no re-solve.
+  const serve::ServeReply after = fleet.submit_at(request_for(inst_a_.problem()), 2.0).reply();
+  EXPECT_EQ(after.outcome, serve::ServeOutcome::kHit);
+  (void)canon_s;
+}
+
+TEST_F(FleetFixture, RestartWithoutSnapshotCatchesUpFromBus) {
+  SchedulerFleet fleet(fleet_options(2));
+  const auto canon = sched::canonicalize(solo_iter_.problem());
+  const std::size_t owner = fleet.router().route(canon.fingerprint);
+  ASSERT_EQ(fleet.submit_at(request_for(solo_iter_.problem()), 0.0).reply().outcome,
+            serve::ServeOutcome::kSolved);
+
+  // Cold restart, no snapshot: the bus backfills the broker's own
+  // pre-crash publish (fetch does not filter by origin).
+  fleet.restart_broker(owner, nullptr);
+  EXPECT_FALSE(fleet.broker(owner).cache().peek(canon.fingerprint).has_value());
+  (void)fleet.pump_replication();
+  EXPECT_TRUE(fleet.broker(owner).cache().peek(canon.fingerprint).has_value());
+  EXPECT_EQ(fleet.submit_at(request_for(solo_iter_.problem()), 1.0).reply().outcome,
+            serve::ServeOutcome::kHit);
+}
+
+TEST_F(FleetFixture, RestartWithoutReplicationForcesResolve) {
+  SchedulerFleet fleet(fleet_options(2, /*replicate=*/false));
+  const auto canon = sched::canonicalize(solo_.problem());
+  const std::size_t owner = fleet.router().route(canon.fingerprint);
+  ASSERT_EQ(fleet.submit_at(request_for(solo_.problem()), 0.0).reply().outcome,
+            serve::ServeOutcome::kSolved);
+  fleet.restart_broker(owner, nullptr);
+  (void)fleet.pump_replication();
+  EXPECT_EQ(fleet.submit_at(request_for(solo_.problem()), 1.0).reply().outcome,
+            serve::ServeOutcome::kSolved);  // cache really was lost
+}
+
+// ------------------------------------------------- device-fleet simulation --
+
+TEST_F(FleetFixture, DeviceFleetSimIsDeterministic) {
+  const std::vector<const sched::Problem*> pool{&inst_a_.problem(), &solo_.problem()};
+  DeviceFleetOptions opts;
+  opts.devices = 50;
+  opts.drift_buckets = 4;
+  opts.seed = 42;
+
+  DeviceFleetSim sim_a(pool, opts);
+  DeviceFleetSim sim_b(pool, opts);
+  EXPECT_EQ(sim_a.variant_count(), pool.size() * opts.drift_buckets);
+  double last_arrival = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const DeviceRequest ra = sim_a.next();
+    const DeviceRequest rb = sim_b.next();
+    EXPECT_EQ(ra.device, rb.device);
+    EXPECT_EQ(ra.variant, rb.variant);
+    EXPECT_EQ(ra.arrival_ms, rb.arrival_ms);
+    EXPECT_GE(ra.arrival_ms, last_arrival);  // open-loop: non-decreasing
+    last_arrival = ra.arrival_ms;
+    // A device's drift bucket is sticky: variant mod buckets matches it.
+    EXPECT_EQ(ra.variant % opts.drift_buckets, sim_a.device_bucket(ra.device));
+  }
+}
+
+TEST_F(FleetFixture, CalibrationDriftChangesFingerprintNotShape) {
+  const std::vector<const sched::Problem*> pool{&solo_.problem()};
+  DeviceFleetOptions opts;
+  opts.devices = 8;
+  opts.drift_buckets = 3;
+  DeviceFleetSim sim(pool, opts);
+
+  const auto& c0 = sim.canon(0);
+  const auto& c1 = sim.canon(1);
+  const auto& c2 = sim.canon(2);
+  // Drift buckets are distinct scenarios (distinct cache entries)...
+  EXPECT_NE(c0.fingerprint, c1.fingerprint);
+  EXPECT_NE(c1.fingerprint, c2.fingerprint);
+  // ...but share a warm-start shape: bucket 1's miss seeds from bucket 0.
+  EXPECT_EQ(c0.shape_key, c1.shape_key);
+  EXPECT_EQ(c1.shape_key, c2.shape_key);
+  // Canonicalization was precomputed correctly per variant.
+  EXPECT_EQ(sim.canon(1).fingerprint, sched::canonicalize(sim.problem(1)).fingerprint);
+}
+
+/// End-to-end restart drill at test scale: a device-fleet trace with a
+/// broker killed mid-trace and warm-restarted from an early snapshot. Two
+/// properties: (1) determinism — the same trace with the same restart
+/// point replays to bit-identical fleet stats; (2) recovery — with
+/// replication backfilling the snapshot gap, the post-restart hit rate
+/// stays within 5% of an undisturbed run (the bench asserts the same at
+/// 1M-request scale).
+TEST_F(FleetFixture, RestartMidTraceRecoversHitRateDeterministically) {
+  const std::vector<const sched::Problem*> pool{&inst_a_.problem(), &solo_.problem(),
+                                                &solo_iter_.problem()};
+  DeviceFleetOptions sim_opts;
+  sim_opts.devices = 64;
+  sim_opts.drift_buckets = 4;
+  sim_opts.seed = 7;
+  constexpr int kRequests = 1200;
+  constexpr int kSnapshotAt = 200;
+  constexpr int kRestartAt = 600;
+  constexpr int kPumpEvery = 50;
+
+  struct RunResult {
+    std::string stats_json;
+    std::uint64_t window_hits = 0;
+    std::uint64_t window_served = 0;
+    std::uint64_t solved = 0;
+  };
+  const auto run_trace = [&](bool restart) {
+    SchedulerFleet fleet(fleet_options(2));
+    DeviceFleetSim sim(pool, sim_opts);
+    json::Value snapshot;
+    const auto canon_zero = sim.canon(0);
+    const std::size_t victim = fleet.router().route(canon_zero.fingerprint);
+
+    RunResult out;
+    for (int i = 0; i < kRequests; ++i) {
+      if (i == kSnapshotAt) snapshot = fleet.snapshot_broker(victim);
+      if (restart && i == kRestartAt) fleet.restart_broker(victim, &snapshot);
+      const DeviceRequest req = sim.next();
+      serve::ScenarioRequest r;
+      r.problem = &sim.problem(req.variant);
+      r.canon = &sim.canon(req.variant);
+      const serve::ServeReply reply = fleet.submit_at(r, req.arrival_ms).reply();
+      EXPECT_TRUE(reply.outcome == serve::ServeOutcome::kHit ||
+                  reply.outcome == serve::ServeOutcome::kSolved);
+      if (i >= kRestartAt) {
+        ++out.window_served;
+        if (reply.outcome == serve::ServeOutcome::kHit) ++out.window_hits;
+      }
+      if ((i + 1) % kPumpEvery == 0) (void)fleet.pump_replication();
+    }
+    const FleetStats st = fleet.stats();
+    out.solved = st.solved;
+    out.stats_json = st.to_json().dump();
+    return out;
+  };
+
+  const RunResult baseline = run_trace(/*restart=*/false);
+  const RunResult restarted = run_trace(/*restart=*/true);
+  const RunResult replayed = run_trace(/*restart=*/true);
+
+  // (1) Bit-identical replay, restarts included.
+  EXPECT_EQ(restarted.stats_json, replayed.stats_json);
+
+  // (2) Post-restart hit rate within 5% of the undisturbed run.
+  ASSERT_GT(baseline.window_served, 0u);
+  const double base_rate =
+      static_cast<double>(baseline.window_hits) / static_cast<double>(baseline.window_served);
+  const double restart_rate =
+      static_cast<double>(restarted.window_hits) / static_cast<double>(restarted.window_served);
+  EXPECT_GE(restart_rate, base_rate - 0.05);
+  // The snapshot + bus catch-up bounds the damage: at worst the victim
+  // re-solves what arrived between the last pump and the crash.
+  EXPECT_LE(restarted.solved, baseline.solved + sim_opts.drift_buckets * pool.size());
+}
+
+// ------------------------------------------------------ publish_canonical --
+
+TEST_F(FleetFixture, PublishCanonicalFiltersAndNotifies) {
+  serve::ServiceOptions opts = broker_options();
+  std::vector<double> notified;
+  opts.on_publish = [&notified](const sched::ScenarioFingerprint&, std::uint64_t,
+                                const sched::Schedule&, double objective, bool) {
+    notified.push_back(objective);
+  };
+  serve::SchedulerService svc(opts);
+
+  const auto fp = fp_of(11, 22);
+  const sched::Schedule s = tiny_schedule(0);
+  // notify=false (the replication-apply path) never fires the hook.
+  EXPECT_TRUE(svc.publish_canonical(fp, 5, s, 10.0, false, /*notify=*/false));
+  EXPECT_TRUE(notified.empty());
+  // An improvement with notify=true fires it exactly once.
+  EXPECT_TRUE(svc.publish_canonical(fp, 5, s, 8.0, false, /*notify=*/true));
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0], 8.0);
+  // A non-improvement is rejected and never notifies.
+  EXPECT_FALSE(svc.publish_canonical(fp, 5, s, 9.0, false, /*notify=*/true));
+  EXPECT_EQ(notified.size(), 1u);
+  EXPECT_TRUE(svc.cache().peek(fp).has_value());
+}
+
+// -------------------------------------------------------------- provenance --
+
+/// The committed bench artifact must say which build produced it. Skipped
+/// (not failed) when the artifact has not been generated in this checkout.
+TEST(FleetProvenance, BenchFleetJsonCarriesGitSha) {
+  const std::string path = std::string(HAX_REPO_ROOT) + "/results/BENCH_fleet.json";
+  std::ifstream in(path);
+  if (!in.good()) GTEST_SKIP() << "results/BENCH_fleet.json not generated yet";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.contains("provenance")) << "bench_fleet must stamp provenance";
+  const json::Value& prov = doc.at("provenance");
+  ASSERT_TRUE(prov.contains("git_sha"));
+  EXPECT_FALSE(prov.at("git_sha").as_string().empty());
+  // The fleet results themselves must be present alongside the stamp.
+  EXPECT_TRUE(doc.contains("shard_scaling"));
+}
+
+}  // namespace

@@ -199,6 +199,32 @@ TEST(ScheduleCache, PeekDoesNotCountAndNearestExcludesSelf) {
   EXPECT_EQ(cache.stats().warm_hits, 1u);
 }
 
+TEST(ScheduleCache, PeeksAreCountedSeparately) {
+  // The old stats block made peeks invisible, which skewed the fleet's
+  // accounting (queued duplicates are answered through peek): probes now
+  // split into counted lookups and uncounted-but-tracked peeks, and
+  // probe_hit_rate() covers both.
+  ScheduleCache cache;
+  const sched::ScenarioFingerprint fp{3, 4};
+  sched::Schedule s;
+  s.assignment = {{0}};
+  ASSERT_TRUE(cache.publish(fp, 1, s, 2.0, false));
+
+  (void)cache.lookup(fp);       // hit
+  (void)cache.lookup({9, 9});   // miss
+  (void)cache.peek(fp);         // peek hit
+  (void)cache.peek({8, 8});     // peek miss
+
+  const ScheduleCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.peeks, 2u);
+  EXPECT_EQ(st.peek_hits, 1u);
+  // lookup-only rate unchanged by peeks; probe rate folds them in.
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(st.probe_hit_rate(), 0.5);  // (1 + 1) / (1 + 1 + 2)
+}
+
 TEST(ScheduleCache, BoundedShardsEvictDeterministically) {
   ScheduleCacheOptions opts;
   opts.shards = 1;

@@ -310,6 +310,21 @@ TEST(HaxLint, BatchEvaluatorSourcesAreInDeterministicScope) {
   EXPECT_TRUE(lint::scan_source("tests/test_batch.cpp", nondet_src).empty());
 }
 
+TEST(HaxLint, FleetSourcesAreInDeterministicScope) {
+  // src/fleet/ carries the replication bus and the device-fleet replay —
+  // both bit-identical-replay surfaces — so the nondet and raw-mutex
+  // rules must police it like the rest of the deterministic core.
+  const std::string nondet_src = read_fixture("nondet_hit.cpp");
+  const auto nondet = lint::scan_source("src/fleet/replication.cpp", nondet_src);
+  ASSERT_EQ(nondet.size(), 3u);  // random_device, system_clock, rand(
+  for (const lint::Finding& f : nondet) EXPECT_EQ(f.rule, "nondet");
+
+  const auto mutex =
+      lint::scan_source("src/fleet/fleet.cpp", read_fixture("raw_mutex_hit.cpp"));
+  ASSERT_FALSE(mutex.empty());
+  EXPECT_EQ(mutex[0].rule, "raw-mutex");
+}
+
 TEST(HaxLint, FormatIsFileLineRuleMessage) {
   const auto findings = lint::scan_source("src/core/x.cpp", "std::mutex m;\n");
   ASSERT_EQ(findings.size(), 1u);

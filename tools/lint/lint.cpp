@@ -38,9 +38,9 @@ constexpr std::array<TokenRule, 4> kNondetTokens{{
 
 /// Directories the nondet rule polices: the deterministic core plus the
 /// reproducibility-sensitive tool/benchmark trees.
-constexpr std::array<const char*, 8> kDeterministicDirs{
+constexpr std::array<const char*, 9> kDeterministicDirs{
     "src/sim/",  "src/solver/", "src/sched/", "src/contention/",
-    "src/faults/", "src/serve/", "bench/",    "tools/"};
+    "src/faults/", "src/serve/", "src/fleet/", "bench/",    "tools/"};
 
 bool is_header(const std::string& rel_path) {
   return rel_path.size() >= 2 && rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
